@@ -1,0 +1,106 @@
+//! Figure 3: online empirical evaluation of two variants of libquantum
+//! (host) running with er-naive (co-runner) — normalized performance of
+//! both applications as a function of the nap intensity applied to the
+//! host. Variant 0 (no hints) needs a much higher nap intensity to meet
+//! a 95% co-runner QoS target than variant 1 (fully non-temporal).
+
+use pcc::NtAssignment;
+use protean::{ExtMonitor, Runtime, RuntimeConfig};
+use protean_bench::{compile_plain, compile_protean, experiment_os, solo_batch_bps, Scale};
+use simos::Os;
+
+const QOS_TARGET: f64 = 0.95;
+
+struct Sweep {
+    rows: Vec<(f64, f64, f64)>, // (nap, host_norm, ext_norm)
+    crossing: Option<f64>,
+}
+
+fn sweep(all_hints: bool, secs: f64) -> Sweep {
+    let cfg = experiment_os();
+    let host_img = compile_protean("libquantum", &cfg);
+    let ext_img = compile_plain("er-naive", &cfg);
+
+    // Solo baselines (deterministic replays).
+    let host_solo_bps = solo_batch_bps("libquantum", secs);
+    let ext_solo_ips = {
+        let mut os = Os::new(cfg.clone());
+        let pid = os.spawn(&ext_img, 0);
+        os.advance_seconds(secs * 0.2);
+        let mut mon = ExtMonitor::new(&os, pid);
+        os.advance_seconds(secs);
+        mon.end_window(&os).ips
+    };
+
+    let mut rows = Vec::new();
+    let mut crossing = None;
+    for nap_pct in (0..=100).step_by(10) {
+        let mut os = Os::new(cfg.clone());
+        let ext = os.spawn(&ext_img, 0);
+        let host = os.spawn(&host_img, 1);
+        let mut rt = Runtime::attach(&os, host, RuntimeConfig::on_core(2)).expect("attach");
+        if all_hints {
+            // Variant 1: every innermost load carries a hint.
+            let sites: Vec<_> = pir::load_sites(rt.module())
+                .iter()
+                .filter(|s| s.at_max_depth())
+                .map(|s| s.site)
+                .collect();
+            let nt = NtAssignment::all(sites);
+            for func in rt.virtualized_funcs() {
+                let sub: NtAssignment = nt.sites_in(func).into_iter().collect();
+                if !sub.is_empty() {
+                    let _ = rt.transform(&mut os, func, &sub);
+                }
+            }
+        }
+        os.set_nap(host, nap_pct as f64 / 100.0);
+        os.advance_seconds(secs * 0.2);
+        let mut host_mon = ExtMonitor::new(&os, host);
+        let mut ext_mon = ExtMonitor::new(&os, ext);
+        os.advance_seconds(secs);
+        let host_norm = host_mon.end_window(&os).bps / host_solo_bps;
+        let ext_norm = ext_mon.end_window(&os).ips / ext_solo_ips;
+        if crossing.is_none() && ext_norm >= QOS_TARGET {
+            crossing = Some(nap_pct as f64);
+        }
+        rows.push((nap_pct as f64, host_norm, ext_norm));
+    }
+    Sweep { rows, crossing }
+}
+
+fn print_sweep(title: &str, s: &Sweep) {
+    println!("\n{title}");
+    println!(
+        "{:>6}{:>22}{:>22}{:>10}",
+        "nap %", "libquantum BPS (norm)", "er-naive IPS (norm)", "QoS met?"
+    );
+    for (nap, host, ext) in &s.rows {
+        println!(
+            "{nap:>6.0}{:>21.1}%{:>21.1}%{:>10}",
+            host * 100.0,
+            ext * 100.0,
+            if *ext >= QOS_TARGET { "yes" } else { "" }
+        );
+    }
+    match s.crossing {
+        Some(c) => println!("co-runner QoS target (95%) first met at nap intensity ~{c:.0}%"),
+        None => println!("co-runner QoS target (95%) never met in this sweep"),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let secs = scale.secs(3.0);
+    protean_bench::header(
+        "Figure 3 — nap-intensity sweep for two libquantum variants vs er-naive (QoS 95%)",
+    );
+    let v0 = sweep(false, secs);
+    let v1 = sweep(true, secs);
+    print_sweep("(a) Original program, variant 0 (no non-temporal hints)", &v0);
+    print_sweep("(b) Fully non-temporal program, variant 1", &v1);
+    println!(
+        "\nPaper: variant 0 needs ~99% nap intensity to protect the co-runner;\n\
+         variant 1 needs only ~23%, at far better host performance."
+    );
+}

@@ -1,0 +1,65 @@
+//! Figure 4: dynamic compiler overhead when making no code modifications
+//! (normalized to native execution) — protean code's edge virtualization
+//! vs a DynamoRIO-style binary translator.
+
+use machine::BtConfig;
+use protean_bench::{compile_plain, compile_protean, experiment_os, Scale};
+use simos::Os;
+use workloads::catalog;
+
+/// Instructions per second over a measured window, after warmup.
+fn measure_ips(mut os: Os, pid: simos::Pid, warm: f64, secs: f64) -> f64 {
+    os.advance_seconds(warm);
+    let c0 = os.counters(pid).instructions;
+    let t0 = os.now_seconds();
+    os.advance_seconds(secs);
+    (os.counters(pid).instructions - c0) as f64 / (os.now_seconds() - t0)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let secs = scale.secs(5.0);
+    let warm = scale.secs(1.0);
+    protean_bench::header(
+        "Figure 4 — virtualization overhead with no code modification (slowdown vs native)",
+    );
+    println!("{:<14}{:>14}{:>14}", "benchmark", "protean", "DynamoRIO");
+
+    let mut sum_p = 0.0;
+    let mut sum_d = 0.0;
+    let names = catalog::spec_overhead_names();
+    for name in names {
+        let cfg = experiment_os();
+        let native = {
+            let img = compile_plain(name, &cfg);
+            let mut os = Os::new(cfg.clone());
+            let pid = os.spawn(&img, 0);
+            measure_ips(os, pid, warm, secs)
+        };
+        let protean = {
+            let img = compile_protean(name, &cfg);
+            let mut os = Os::new(cfg.clone());
+            let pid = os.spawn(&img, 0);
+            measure_ips(os, pid, warm, secs)
+        };
+        let dynamorio = {
+            let img = compile_plain(name, &cfg);
+            let mut os = Os::new(cfg.clone());
+            let pid = os.spawn_with_bt(&img, 0, BtConfig::default());
+            measure_ips(os, pid, warm, secs)
+        };
+        let sp = native / protean;
+        let sd = native / dynamorio;
+        sum_p += sp;
+        sum_d += sd;
+        println!("{name:<14}{sp:>13.3}x{sd:>13.3}x");
+    }
+    let n = names.len() as f64;
+    println!("{:-<42}", "");
+    println!("{:<14}{:>13.3}x{:>13.3}x", "Mean", sum_p / n, sum_d / n);
+    println!(
+        "\nPaper: protean code <1% average overhead; DynamoRIO ~18% average.\n\
+         Protean overhead comes only from indirect (EVT) calls; the binary\n\
+         translator pays block translation + dispatch on every branch."
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 7: average fraction of server cycles consumed by the PC3D
+//! runtime while managing each batch application (paper: <1% in all
+//! cases).
+
+use pc3d::{Pc3d, Pc3dConfig};
+use protean::{Runtime, RuntimeConfig};
+use protean_bench::{bar, compile_plain, compile_protean, experiment_os, operating_qps, Scale};
+use simos::{LoadSchedule, Os};
+use workloads::catalog;
+
+fn runtime_fraction(batch: &str, secs: f64) -> f64 {
+    let cfg = experiment_os();
+    let ext_img = compile_plain("web-search", &cfg);
+    let host_img = compile_protean(batch, &cfg);
+    let mut os = Os::new(cfg);
+    let ext = os.spawn(&ext_img, 0);
+    let host = os.spawn(&host_img, 1);
+    os.set_load(ext, LoadSchedule::constant(operating_qps("web-search")));
+    let rt = Runtime::attach(&os, host, RuntimeConfig::on_core(2)).expect("attach");
+    let mut ctl = Pc3d::new(&mut os, rt, ext, Pc3dConfig { qos_target: 0.95, ..Default::default() });
+    ctl.run_for(&mut os, secs);
+    os.runtime_consumed_total() as f64 / os.server_cycles() as f64
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let secs = scale.secs(30.0);
+    protean_bench::header("Figure 7 — % of server cycles consumed by the PC3D runtime");
+    let mut worst: f64 = 0.0;
+    for name in catalog::batch_names() {
+        let frac = runtime_fraction(name, secs) * 100.0;
+        worst = worst.max(frac);
+        println!("{}", bar(name, frac, 10.0, 40));
+    }
+    println!("\n(values are percentages; paper: <1% in all cases; worst here {worst:.2}%)");
+}

@@ -1,0 +1,155 @@
+//! Figure 16: dynamic behaviour of libquantum running with web-search
+//! under a fluctuating load (high → low → high), PC3D vs ReQoS:
+//! (a) offered load, (b) libquantum BPS, (c) web-search QoS,
+//! (d) cycles used by the PC3D runtime.
+
+use pc3d::{Pc3d, Pc3dConfig};
+use protean::{Runtime, RuntimeConfig};
+use protean_bench::{compile_plain, compile_protean, experiment_os, operating_qps, Scale};
+use reqos::{ReqosConfig, ReqosController};
+use simos::{LoadSchedule, Os};
+
+const QOS_TARGET: f64 = 0.95;
+
+struct Timeline {
+    /// (t, qps, host_bps, ext_qos, runtime_frac)
+    rows: Vec<(f64, f64, f64, f64, f64)>,
+}
+
+fn schedule(duration: f64, high: f64, low: f64) -> LoadSchedule {
+    LoadSchedule::fig16_shape(duration, high, low)
+}
+
+fn run_pc3d(duration: f64, bucket: f64, high: f64, low: f64) -> Timeline {
+    let cfg = experiment_os();
+    let host_img = compile_protean("libquantum", &cfg);
+    let ext_img = compile_plain("web-search", &cfg);
+    let mut os = Os::new(cfg);
+    let ext = os.spawn(&ext_img, 0);
+    let host = os.spawn(&host_img, 1);
+    let sched = schedule(duration, high, low);
+    os.set_load(ext, sched.clone());
+    let rt = Runtime::attach(&os, host, RuntimeConfig::on_core(2)).expect("attach");
+    let mut ctl =
+        Pc3d::new(&mut os, rt, ext, Pc3dConfig { qos_target: QOS_TARGET, ..Default::default() });
+    ctl.run_for(&mut os, duration);
+    // Bucket the controller's window records.
+    let mut rows = Vec::new();
+    let mut t = bucket;
+    while t <= duration + 1e-9 {
+        let in_bucket: Vec<_> =
+            ctl.history().iter().filter(|r| r.t > t - bucket && r.t <= t).collect();
+        if !in_bucket.is_empty() {
+            let n = in_bucket.len() as f64;
+            rows.push((
+                t,
+                sched.qps_at(t - bucket / 2.0),
+                in_bucket.iter().map(|r| r.host_bps).sum::<f64>() / n,
+                in_bucket.iter().map(|r| r.qos).sum::<f64>() / n,
+                in_bucket.iter().map(|r| r.runtime_frac).sum::<f64>() / n,
+            ));
+        }
+        t += bucket;
+    }
+    Timeline { rows }
+}
+
+fn run_reqos(duration: f64, bucket: f64, high: f64, low: f64) -> Timeline {
+    let cfg = experiment_os();
+    let host_img = compile_protean("libquantum", &cfg);
+    let ext_img = compile_plain("web-search", &cfg);
+    let mut os = Os::new(cfg);
+    let ext = os.spawn(&ext_img, 0);
+    let host = os.spawn(&host_img, 1);
+    let sched = schedule(duration, high, low);
+    os.set_load(ext, sched.clone());
+    let mut ctl = ReqosController::new(
+        &mut os,
+        host,
+        ext,
+        ReqosConfig { qos_target: QOS_TARGET, ..Default::default() },
+    );
+    ctl.run_for(&mut os, duration);
+    let mut rows = Vec::new();
+    let mut t = bucket;
+    while t <= duration + 1e-9 {
+        let in_bucket: Vec<_> =
+            ctl.history().iter().filter(|r| r.t > t - bucket && r.t <= t).collect();
+        if !in_bucket.is_empty() {
+            let n = in_bucket.len() as f64;
+            rows.push((
+                t,
+                sched.qps_at(t - bucket / 2.0),
+                in_bucket.iter().map(|r| r.host_bps).sum::<f64>() / n,
+                in_bucket.iter().map(|r| r.qos).sum::<f64>() / n,
+                0.0,
+            ));
+        }
+        t += bucket;
+    }
+    Timeline { rows }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let duration = scale.secs(450.0);
+    let bucket = duration / 15.0;
+    let high = operating_qps("web-search");
+    let low = high * 0.12;
+    protean_bench::header(&format!(
+        "Figure 16 — libquantum with web-search under fluctuating load \
+         (high {high:.0} qps, low {low:.0} qps, {duration:.0}s; QoS target 95%)"
+    ));
+    let pc3d = run_pc3d(duration, bucket, high, low);
+    let reqos = run_reqos(duration, bucket, high, low);
+    println!(
+        "{:>7}{:>8} |{:>14}{:>14} |{:>11}{:>11} |{:>12}",
+        "t (s)", "qps", "PC3D bps", "ReQoS bps", "PC3D QoS", "ReQoS QoS", "runtime %"
+    );
+    for (p, r) in pc3d.rows.iter().zip(&reqos.rows) {
+        println!(
+            "{:>7.0}{:>8.0} |{:>14.0}{:>14.0} |{:>10.1}%{:>10.1}% |{:>11.2}%",
+            p.0,
+            p.1,
+            p.2,
+            r.2,
+            p.3 * 100.0,
+            r.3 * 100.0,
+            p.4 * 100.0
+        );
+    }
+    let csv_rows: Vec<String> = pc3d
+        .rows
+        .iter()
+        .zip(&reqos.rows)
+        .map(|(p, r)| {
+            format!(
+                "{:.0},{:.0},{:.0},{:.0},{:.4},{:.4},{:.5}",
+                p.0, p.1, p.2, r.2, p.3, r.3, p.4
+            )
+        })
+        .collect();
+    protean_bench::maybe_csv(
+        "fig16_dynamic",
+        "t_s,qps,pc3d_bps,reqos_bps,pc3d_qos,reqos_qos,runtime_frac",
+        &csv_rows,
+    );
+    let third = pc3d.rows.len() / 3;
+    let mean = |rows: &[(f64, f64, f64, f64, f64)], lo: usize, hi: usize| {
+        let s: f64 = rows[lo..hi].iter().map(|r| r.2).sum();
+        s / (hi - lo) as f64
+    };
+    println!(
+        "\nHigh-load phases: PC3D libquantum bps {:.0} vs ReQoS {:.0} ({:.2}x).",
+        mean(&pc3d.rows, 0, third),
+        mean(&reqos.rows, 0, third),
+        mean(&pc3d.rows, 0, third) / mean(&reqos.rows, 0, third).max(1.0)
+    );
+    println!(
+        "Low-load phase: both systems let libquantum run nearly unthrottled\n\
+         (PC3D reverts to the original variant on the co-phase change).\n\
+         Paper: PC3D finds an improved variant by ~t=20s, reverts at t=300,\n\
+         re-searches at t=600; runtime cycles spike briefly to ~2% during\n\
+         searches and stay <1% otherwise."
+    );
+}

@@ -1,0 +1,136 @@
+//! Criterion micro-benchmarks for the substrate itself: cache-simulator
+//! throughput, interpreter speed, runtime-compiler latency, EVT patch
+//! latency, and IR codec/compressor throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use machine::{AccessKind, Cache, CacheConfig, InsertPos, MachineConfig, MemorySystem,
+              PerfCounters};
+use pcc::{compile_function_variant, Compiler, NtAssignment, Options};
+use protean::{Runtime, RuntimeConfig};
+use simos::{Os, OsConfig};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    let mut cache = Cache::new(CacheConfig { sets: 4096, ways: 16, hit_latency: 0 });
+    for line in 0..65536u64 {
+        cache.fill(line, InsertPos::Mru);
+    }
+    let mut line = 0u64;
+    group.bench_function("lookup_hit", |b| {
+        b.iter(|| {
+            line = (line + 97) & 0xffff;
+            std::hint::black_box(cache.lookup(line))
+        })
+    });
+    group.bench_function("miss_and_fill", |b| {
+        let mut far = 1u64 << 32;
+        b.iter(|| {
+            far += 1;
+            if !cache.lookup(far) {
+                cache.fill(far, InsertPos::Mru);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let cfg = MachineConfig::default();
+    let mut mem = MemorySystem::new(&cfg);
+    let mut counters = PerfCounters::default();
+    let mut addr = 0u64;
+    c.bench_function("hierarchy_access_stream", |b| {
+        b.iter(|| {
+            addr = (addr + 64) & 0xff_ffff;
+            std::hint::black_box(mem.access(0, addr, AccessKind::Load, &mut counters))
+        })
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let llc = 98304;
+    let m = workloads::catalog::build("milc", llc).expect("workload");
+    let img = Compiler::new(Options::plain()).compile(&m).expect("compile").image;
+    let mut group = c.benchmark_group("interpreter");
+    group.bench_function("advance_100k_cycles", |b| {
+        let mut os = Os::new(OsConfig::default());
+        os.spawn(&img, 0);
+        b.iter(|| os.advance(100_000));
+    });
+    group.finish();
+}
+
+fn bench_runtime_compiler(c: &mut Criterion) {
+    let llc = 98304;
+    let m = workloads::catalog::build("sphinx3", llc).expect("workload");
+    let out = Compiler::new(Options::protean()).compile(&m).expect("compile");
+    let meta = out.meta.expect("meta");
+    let fid = m.function_by_name("hot0").expect("hot0");
+    let sites: Vec<_> = pir::load_sites(&m)
+        .iter()
+        .filter(|s| s.site.func == fid)
+        .map(|s| s.site)
+        .collect();
+    let nt = NtAssignment::all(sites);
+    c.bench_function("compile_function_variant", |b| {
+        b.iter(|| {
+            std::hint::black_box(compile_function_variant(&m, fid, &nt, &meta.link, 1 << 20))
+        })
+    });
+    c.bench_function("whole_module_compile_sphinx3", |b| {
+        b.iter_batched(
+            || m.clone(),
+            |m| std::hint::black_box(Compiler::new(Options::protean()).compile(&m).unwrap()),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_evt_patch(c: &mut Criterion) {
+    let llc = 98304;
+    let m = workloads::catalog::build("libquantum", llc).expect("workload");
+    let img = Compiler::new(Options::protean()).compile(&m).expect("compile").image;
+    let mut os = Os::new(OsConfig::default());
+    let pid = os.spawn(&img, 0);
+    let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).expect("attach");
+    let func = rt.virtualized_funcs()[0];
+    let v = rt.compile_variant(&mut os, func, &NtAssignment::none()).expect("variant");
+    c.bench_function("evt_dispatch", |b| {
+        b.iter(|| rt.dispatch(&mut os, v));
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let llc = 98304;
+    let m = workloads::catalog::build("soplex", llc).expect("workload");
+    let bytes = pir::encode::encode_module(&m);
+    let compressed = pir::compress::compress(&bytes);
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_soplex", |b| {
+        b.iter(|| std::hint::black_box(pir::encode::encode_module(&m)))
+    });
+    group.bench_function("decode_soplex", |b| {
+        b.iter(|| std::hint::black_box(pir::encode::decode_module(&bytes).unwrap()))
+    });
+    group.bench_function("compress_soplex", |b| {
+        b.iter(|| std::hint::black_box(pir::compress::compress(&bytes)))
+    });
+    group.bench_function("decompress_soplex", |b| {
+        b.iter(|| std::hint::black_box(pir::compress::decompress(&compressed).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_hierarchy,
+    bench_interpreter,
+    bench_runtime_compiler,
+    bench_evt_patch,
+    bench_codec
+);
+criterion_main!(benches);

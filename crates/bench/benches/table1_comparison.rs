@@ -1,0 +1,9 @@
+//! Table I: comparison between protean code and prior dynamic
+//! compilation infrastructures.
+
+fn main() {
+    protean_bench::header("Table I — dynamic compilation infrastructure comparison");
+    print!("{}", protean::systems::render_table());
+    println!();
+    println!("(x = capability present; see protean::systems for the encoded claims)");
+}

@@ -1,0 +1,135 @@
+//! Per-context hardware performance counters.
+//!
+//! These are the quantities the protean runtime's monitoring reads: the
+//! paper tracks "progress rate of the running applications using metrics
+//! such as instructions per cycle (IPC) or branches retired per cycle
+//! (BPC)" and "microarchitectural status ... such as cache misses or
+//! bandwidth usage".
+
+use std::ops::{Add, Sub};
+
+/// A snapshot of one context's counters. Supports differencing
+/// (`end - start`) for windowed measurements.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PerfCounters {
+    /// Cycles this context has executed (excluding time descheduled).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Branches retired (jumps, conditional branches, calls, returns).
+    pub branches: u64,
+    /// L1 data misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Shared-LLC hits.
+    pub llc_hits: u64,
+    /// Shared-LLC misses (memory accesses).
+    pub llc_misses: u64,
+    /// Non-temporal prefetches issued.
+    pub nt_prefetches: u64,
+    /// Hardware (next-line) prefetches issued by the memory system.
+    pub hw_prefetches: u64,
+}
+
+impl PerfCounters {
+    /// Instructions per cycle; 0 if no cycles.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branches per cycle; 0 if no cycles.
+    pub fn bpc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.branches as f64 / self.cycles as f64
+        }
+    }
+
+    /// LLC misses per kilo-instruction; 0 if no instructions.
+    pub fn llc_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+impl Add for PerfCounters {
+    type Output = PerfCounters;
+
+    fn add(self, rhs: PerfCounters) -> PerfCounters {
+        PerfCounters {
+            cycles: self.cycles + rhs.cycles,
+            instructions: self.instructions + rhs.instructions,
+            branches: self.branches + rhs.branches,
+            l1_misses: self.l1_misses + rhs.l1_misses,
+            l2_misses: self.l2_misses + rhs.l2_misses,
+            llc_hits: self.llc_hits + rhs.llc_hits,
+            llc_misses: self.llc_misses + rhs.llc_misses,
+            nt_prefetches: self.nt_prefetches + rhs.nt_prefetches,
+            hw_prefetches: self.hw_prefetches + rhs.hw_prefetches,
+        }
+    }
+}
+
+impl Sub for PerfCounters {
+    type Output = PerfCounters;
+
+    fn sub(self, rhs: PerfCounters) -> PerfCounters {
+        PerfCounters {
+            cycles: self.cycles - rhs.cycles,
+            instructions: self.instructions - rhs.instructions,
+            branches: self.branches - rhs.branches,
+            l1_misses: self.l1_misses - rhs.l1_misses,
+            l2_misses: self.l2_misses - rhs.l2_misses,
+            llc_hits: self.llc_hits - rhs.llc_hits,
+            llc_misses: self.llc_misses - rhs.llc_misses,
+            nt_prefetches: self.nt_prefetches - rhs.nt_prefetches,
+            hw_prefetches: self.hw_prefetches - rhs.hw_prefetches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let c = PerfCounters {
+            cycles: 1000,
+            instructions: 800,
+            branches: 100,
+            llc_misses: 8,
+            ..Default::default()
+        };
+        assert!((c.ipc() - 0.8).abs() < 1e-12);
+        assert!((c.bpc() - 0.1).abs() < 1e-12);
+        assert!((c.llc_mpki() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_safe_rates() {
+        let c = PerfCounters::default();
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.bpc(), 0.0);
+        assert_eq!(c.llc_mpki(), 0.0);
+    }
+
+    #[test]
+    fn windowed_difference() {
+        let start = PerfCounters { cycles: 100, instructions: 50, ..Default::default() };
+        let end = PerfCounters { cycles: 300, instructions: 250, ..Default::default() };
+        let win = end - start;
+        assert_eq!(win.cycles, 200);
+        assert_eq!(win.instructions, 200);
+        assert_eq!((start + win), end);
+    }
+}

@@ -1,0 +1,814 @@
+//! The VISA interpreter with its timing model.
+//!
+//! [`run`] advances one execution context by a cycle budget. The context
+//! owns the architectural state (PC, register-window stack); the caller
+//! (the simulated OS) owns text, data, the memory hierarchy, and the
+//! counters, passing them in via [`ExecEnv`]. This split is what lets the
+//! protean runtime patch a process's EVT or append to its code cache while
+//! the process is between quanta — exactly the asynchrony the paper's
+//! mechanism relies on.
+
+use std::collections::HashSet;
+
+use visa::{Op, PReg, FRAME_REGS};
+
+use crate::config::{BtConfig, CostModel};
+use crate::counters::PerfCounters;
+use crate::hierarchy::{AccessKind, MemorySystem};
+use crate::phys_addr;
+
+/// Why a [`run`] call stopped.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The cycle budget was exhausted; the context is still runnable.
+    BudgetExhausted,
+    /// The context executed [`Op::Wait`] and is parked until new work.
+    Waiting,
+    /// The context executed [`Op::Halt`] or returned from its entry frame.
+    Halted,
+    /// The context performed an out-of-bounds memory or text access.
+    Faulted,
+}
+
+/// Liveness of an execution context.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ExecStatus {
+    /// Eligible to run.
+    Running,
+    /// Parked on [`Op::Wait`]; resumes after [`ExecContext::wake`].
+    Waiting,
+    /// Finished.
+    Halted,
+    /// Dead after a memory fault at the contained data address.
+    Faulted(u64),
+}
+
+/// Result of one [`run`] call.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RunResult {
+    /// Cycles actually consumed (may slightly exceed the budget when the
+    /// final instruction stalls).
+    pub cycles: u64,
+    /// Why execution stopped.
+    pub stop: StopReason,
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    base: usize,
+    ret_pc: u32,
+    ret_dst: Option<PReg>,
+}
+
+/// Binary-translation execution mode (the DynamoRIO-style baseline of
+/// Figure 4). When attached to a context, every first-executed basic
+/// block pays a translation cost and every branch pays dispatch overhead.
+#[derive(Clone, Debug)]
+pub struct BtState {
+    config: BtConfig,
+    translated: HashSet<u32>,
+    inst_counter: u8,
+    /// Total extra cycles charged so far (for reporting).
+    pub overhead_cycles: u64,
+}
+
+impl BtState {
+    /// Creates a fresh translation cache with the given cost parameters.
+    pub fn new(config: BtConfig) -> Self {
+        BtState { config, translated: HashSet::new(), inst_counter: 0, overhead_cycles: 0 }
+    }
+
+    /// Charges for reaching `target`: translation if unseen, plus branch
+    /// dispatch. Returns cycles.
+    fn charge_branch(&mut self, target: u32, indirect: bool) -> u64 {
+        let mut cost = if indirect {
+            self.config.indirect_dispatch
+        } else {
+            self.config.branch_dispatch
+        };
+        if self.translated.insert(target) {
+            cost += self.config.translate_block;
+        }
+        self.overhead_cycles += cost;
+        cost
+    }
+
+    /// Diffuse per-instruction tax, charged every 16 retired
+    /// instructions. Returns cycles for this instruction.
+    fn charge_inst(&mut self) -> u64 {
+        self.inst_counter = self.inst_counter.wrapping_add(1);
+        if self.inst_counter & 15 == 0 {
+            self.overhead_cycles += self.config.per_16_insts;
+            self.config.per_16_insts
+        } else {
+            0
+        }
+    }
+}
+
+/// Architectural state of one running program.
+#[derive(Clone, Debug)]
+pub struct ExecContext {
+    pc: u32,
+    regs: Vec<i64>,
+    frames: Vec<Frame>,
+    status: ExecStatus,
+    space: u16,
+    evt_base: u64,
+    bt: Option<BtState>,
+    /// Application-metric samples published via [`Op::Report`], drained by
+    /// the OS.
+    pub reports: Vec<(u8, i64)>,
+}
+
+impl ExecContext {
+    /// Creates a context starting at `entry` in address space `space`.
+    ///
+    /// `evt_base` is the data address of EVT slot 0 (0 for non-protean
+    /// binaries, which contain no `CallVirt`).
+    pub fn new(entry: u32, space: u16, evt_base: u64) -> Self {
+        let mut ctx = ExecContext {
+            pc: entry,
+            regs: Vec::with_capacity(FRAME_REGS * 16),
+            frames: Vec::with_capacity(16),
+            status: ExecStatus::Running,
+            space,
+            evt_base,
+            bt: None,
+            reports: Vec::new(),
+        };
+        ctx.push_frame(entry, 0, None, &[]);
+        ctx.pc = entry;
+        ctx
+    }
+
+    /// Attaches binary-translation mode (Figure 4 baseline). The entry
+    /// block is marked translated up front (its one-time cost happens
+    /// before timing starts, as when DynamoRIO takes over a process).
+    pub fn with_binary_translation(mut self, config: BtConfig) -> Self {
+        let mut bt = BtState::new(config);
+        bt.translated.insert(self.pc);
+        self.bt = Some(bt);
+        self
+    }
+
+    /// The current program counter (a PC sample, as the runtime's ptrace
+    /// polling would obtain).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Current liveness.
+    pub fn status(&self) -> ExecStatus {
+        self.status
+    }
+
+    /// The address-space id.
+    pub fn space(&self) -> u16 {
+        self.space
+    }
+
+    /// Total binary-translation overhead charged, if in BT mode.
+    pub fn bt_overhead(&self) -> Option<u64> {
+        self.bt.as_ref().map(|b| b.overhead_cycles)
+    }
+
+    /// Wakes a [`ExecStatus::Waiting`] context. No-op otherwise.
+    pub fn wake(&mut self) {
+        if self.status == ExecStatus::Waiting {
+            self.status = ExecStatus::Running;
+        }
+    }
+
+    /// True if the context can execute.
+    pub fn is_running(&self) -> bool {
+        self.status == ExecStatus::Running
+    }
+
+    /// Call depth (entry frame = 1).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn push_frame(&mut self, target: u32, ret_pc: u32, ret_dst: Option<PReg>, args: &[i64]) {
+        let base = self.frames.len() * FRAME_REGS;
+        self.regs.resize(base + FRAME_REGS, 0);
+        // Zero the new window (resize only zeroes growth; reused capacity
+        // after a pop must be cleared).
+        for r in &mut self.regs[base..base + FRAME_REGS] {
+            *r = 0;
+        }
+        for (i, a) in args.iter().enumerate() {
+            self.regs[base + i] = *a;
+        }
+        self.frames.push(Frame { base, ret_pc, ret_dst });
+        self.pc = target;
+    }
+
+    #[inline]
+    fn reg(&self, r: PReg) -> i64 {
+        self.regs[self.frames.last().expect("live frame").base + r.index()]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, r: PReg, v: i64) {
+        let base = self.frames.last().expect("live frame").base;
+        self.regs[base + r.index()] = v;
+    }
+}
+
+/// Everything outside the context that one quantum of execution touches.
+pub struct ExecEnv<'a> {
+    /// Program text: loaded image plus any appended code-cache variants.
+    pub text: &'a [Op],
+    /// The process data segment.
+    pub data: &'a mut [u8],
+    /// The machine's cache hierarchy.
+    pub mem: &'a mut MemorySystem,
+    /// Core the context is scheduled on.
+    pub core: usize,
+    /// The context's hardware counters.
+    pub counters: &'a mut PerfCounters,
+    /// Instruction base costs.
+    pub costs: CostModel,
+}
+
+fn fault(ctx: &mut ExecContext, addr: u64) -> StopReason {
+    ctx.status = ExecStatus::Faulted(addr);
+    StopReason::Faulted
+}
+
+/// True if an 8-byte access at `addr` stays inside `len` bytes
+/// (overflow-safe: `addr + 8` must not wrap).
+#[inline]
+fn in_bounds(addr: u64, len: usize) -> bool {
+    addr.checked_add(8).is_some_and(|end| end <= len as u64)
+}
+
+/// Runs `ctx` for up to `budget` cycles, returning how many cycles were
+/// consumed and why execution stopped.
+///
+/// Memory accesses outside the data segment fault the context rather than
+/// panicking, so buggy generated programs surface as [`StopReason::Faulted`].
+pub fn run(ctx: &mut ExecContext, env: &mut ExecEnv<'_>, budget: u64) -> RunResult {
+    let mut used: u64 = 0;
+    if ctx.status != ExecStatus::Running {
+        let stop = match ctx.status {
+            ExecStatus::Waiting => StopReason::Waiting,
+            ExecStatus::Faulted(_) => StopReason::Faulted,
+            _ => StopReason::Halted,
+        };
+        return RunResult { cycles: 0, stop };
+    }
+    while used < budget {
+        let Some(op) = env.text.get(ctx.pc as usize) else {
+            let bad = u64::from(ctx.pc);
+            let stop = fault(ctx, bad);
+            return RunResult { cycles: used, stop };
+        };
+        env.counters.instructions += 1;
+        let mut cost;
+        let mut next_pc = ctx.pc + 1;
+        let bt_inst_tax = match &mut ctx.bt {
+            Some(bt) => bt.charge_inst(),
+            None => 0,
+        };
+        match op {
+            Op::Movi { dst, imm } => {
+                cost = env.costs.alu;
+                ctx.set_reg(*dst, *imm);
+            }
+            Op::Alu { op, dst, a, b } => {
+                cost = env.costs.alu;
+                let v = op.eval(ctx.reg(*a), ctx.reg(*b));
+                ctx.set_reg(*dst, v);
+            }
+            Op::AluImm { op, dst, a, imm } => {
+                cost = env.costs.alu;
+                let v = op.eval(ctx.reg(*a), *imm);
+                ctx.set_reg(*dst, v);
+            }
+            Op::Load { dst, base, offset } => {
+                cost = env.costs.alu;
+                let addr = ctx.reg(*base).wrapping_add(*offset) as u64;
+                if !in_bounds(addr, env.data.len()) {
+                    let stop = fault(ctx, addr);
+                    return RunResult { cycles: used, stop };
+                }
+                cost += env.mem.access(
+                    env.core,
+                    phys_addr(ctx.space, addr),
+                    AccessKind::Load,
+                    env.counters,
+                );
+                let a = addr as usize;
+                let v = i64::from_le_bytes(env.data[a..a + 8].try_into().expect("8 bytes"));
+                ctx.set_reg(*dst, v);
+            }
+            Op::Store { base, offset, src } => {
+                cost = env.costs.alu;
+                let addr = ctx.reg(*base).wrapping_add(*offset) as u64;
+                if !in_bounds(addr, env.data.len()) {
+                    let stop = fault(ctx, addr);
+                    return RunResult { cycles: used, stop };
+                }
+                cost += env.mem.access(
+                    env.core,
+                    phys_addr(ctx.space, addr),
+                    AccessKind::Store,
+                    env.counters,
+                );
+                let v = ctx.reg(*src);
+                let a = addr as usize;
+                env.data[a..a + 8].copy_from_slice(&v.to_le_bytes());
+            }
+            Op::PrefetchNta { base, offset } => {
+                cost = env.costs.prefetch;
+                let addr = ctx.reg(*base).wrapping_add(*offset) as u64;
+                // Prefetches to invalid addresses are silently dropped, as
+                // on real hardware.
+                if in_bounds(addr, env.data.len()) {
+                    cost += env.mem.access(
+                        env.core,
+                        phys_addr(ctx.space, addr),
+                        AccessKind::NonTemporalPrefetch,
+                        env.counters,
+                    );
+                }
+            }
+            Op::Jmp { target } => {
+                cost = env.costs.branch;
+                env.counters.branches += 1;
+                if let Some(bt) = &mut ctx.bt {
+                    cost += bt.charge_branch(*target, false);
+                }
+                next_pc = *target;
+            }
+            Op::Bnz { cond, target } => {
+                cost = env.costs.branch;
+                env.counters.branches += 1;
+                if ctx.reg(*cond) != 0 {
+                    if let Some(bt) = &mut ctx.bt {
+                        cost += bt.charge_branch(*target, false);
+                    }
+                    next_pc = *target;
+                }
+            }
+            Op::Bz { cond, target } => {
+                cost = env.costs.branch;
+                env.counters.branches += 1;
+                if ctx.reg(*cond) == 0 {
+                    if let Some(bt) = &mut ctx.bt {
+                        cost += bt.charge_branch(*target, false);
+                    }
+                    next_pc = *target;
+                }
+            }
+            Op::Call { target, dst, args } => {
+                cost = env.costs.call;
+                env.counters.branches += 1;
+                if let Some(bt) = &mut ctx.bt {
+                    cost += bt.charge_branch(*target, false);
+                }
+                let mut vals = [0i64; visa::MAX_ARGS];
+                for (i, a) in args.iter().enumerate() {
+                    vals[i] = ctx.reg(*a);
+                }
+                let ret_pc = ctx.pc + 1;
+                ctx.push_frame(*target, ret_pc, *dst, &vals[..args.len()]);
+                next_pc = *target;
+            }
+            Op::CallVirt { slot, dst, args } => {
+                cost = env.costs.call + env.costs.indirect_penalty;
+                env.counters.branches += 1;
+                let cell = ctx.evt_base.wrapping_add(8u64.wrapping_mul(u64::from(*slot)));
+                if !in_bounds(cell, env.data.len()) {
+                    let stop = fault(ctx, cell);
+                    return RunResult { cycles: used, stop };
+                }
+                // The EVT read is an ordinary cached memory access; this
+                // is where the (tiny) cost of edge virtualization lives.
+                cost += env.mem.access(
+                    env.core,
+                    phys_addr(ctx.space, cell),
+                    AccessKind::Load,
+                    env.counters,
+                );
+                let c = cell as usize;
+                let target =
+                    u64::from_le_bytes(env.data[c..c + 8].try_into().expect("8 bytes")) as u32;
+                if let Some(bt) = &mut ctx.bt {
+                    cost += bt.charge_branch(target, true);
+                }
+                let mut vals = [0i64; visa::MAX_ARGS];
+                for (i, a) in args.iter().enumerate() {
+                    vals[i] = ctx.reg(*a);
+                }
+                let ret_pc = ctx.pc + 1;
+                ctx.push_frame(target, ret_pc, *dst, &vals[..args.len()]);
+                next_pc = target;
+            }
+            Op::Ret { src } => {
+                cost = env.costs.call;
+                env.counters.branches += 1;
+                let val = src.map(|r| ctx.reg(r));
+                let frame = ctx.frames.pop().expect("ret with live frame");
+                ctx.regs.truncate(frame.base);
+                if ctx.frames.is_empty() {
+                    // Returned from the entry frame: program finished.
+                    env.counters.cycles += cost;
+                    used += cost;
+                    ctx.status = ExecStatus::Halted;
+                    return RunResult { cycles: used, stop: StopReason::Halted };
+                }
+                if let Some(bt) = &mut ctx.bt {
+                    cost += bt.charge_branch(frame.ret_pc, true);
+                }
+                if let (Some(dst), Some(v)) = (frame.ret_dst, val) {
+                    ctx.set_reg(dst, v);
+                }
+                next_pc = frame.ret_pc;
+            }
+            Op::Report { channel, src } => {
+                cost = env.costs.alu;
+                let v = ctx.reg(*src);
+                ctx.reports.push((*channel, v));
+            }
+            Op::Wait => {
+                cost = env.costs.alu;
+                env.counters.cycles += cost;
+                used += cost;
+                ctx.pc = next_pc;
+                ctx.status = ExecStatus::Waiting;
+                return RunResult { cycles: used, stop: StopReason::Waiting };
+            }
+            Op::Halt => {
+                cost = env.costs.alu;
+                env.counters.cycles += cost;
+                used += cost;
+                ctx.status = ExecStatus::Halted;
+                return RunResult { cycles: used, stop: StopReason::Halted };
+            }
+        }
+        cost += bt_inst_tax;
+        env.counters.cycles += cost;
+        used += cost;
+        ctx.pc = next_pc;
+    }
+    RunResult { cycles: used, stop: StopReason::BudgetExhausted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use pir::BinOp;
+
+    fn env_parts() -> (MemorySystem, Vec<u8>, PerfCounters) {
+        let cfg = MachineConfig::small();
+        (MemorySystem::new(&cfg), vec![0u8; 4096], PerfCounters::default())
+    }
+
+    fn run_to_end(text: &[Op], data: &mut Vec<u8>, evt_base: u64) -> (ExecContext, PerfCounters) {
+        let cfg = MachineConfig::small();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut counters = PerfCounters::default();
+        let mut ctx = ExecContext::new(0, 1, evt_base);
+        let mut env = ExecEnv {
+            text,
+            data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1_000_000);
+        assert_ne!(res.stop, StopReason::BudgetExhausted, "program should finish");
+        (ctx, counters)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let text = vec![
+            Op::Movi { dst: PReg(0), imm: 6 },
+            Op::AluImm { op: BinOp::Mul, dst: PReg(1), a: PReg(0), imm: 7 },
+            Op::Store { base: PReg(2), offset: 100, src: PReg(1) },
+            Op::Halt,
+        ];
+        let mut data = vec![0u8; 4096];
+        let (ctx, counters) = run_to_end(&text, &mut data, 0);
+        assert_eq!(ctx.status(), ExecStatus::Halted);
+        assert_eq!(i64::from_le_bytes(data[100..108].try_into().unwrap()), 42);
+        assert_eq!(counters.instructions, 4);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let text = vec![
+            Op::Movi { dst: PReg(0), imm: 256 },
+            Op::Movi { dst: PReg(1), imm: -99 },
+            Op::Store { base: PReg(0), offset: 0, src: PReg(1) },
+            Op::Load { dst: PReg(2), base: PReg(0), offset: 0 },
+            Op::Store { base: PReg(0), offset: 8, src: PReg(2) },
+            Op::Halt,
+        ];
+        let mut data = vec![0u8; 4096];
+        let (_, _) = run_to_end(&text, &mut data, 0);
+        assert_eq!(i64::from_le_bytes(data[264..272].try_into().unwrap()), -99);
+    }
+
+    #[test]
+    fn call_and_ret_with_register_windows() {
+        // f(a, b) = a + b at addr 0; main at 2.
+        let text = vec![
+            Op::Alu { op: BinOp::Add, dst: PReg(2), a: PReg(0), b: PReg(1) },
+            Op::Ret { src: Some(PReg(2)) },
+            // main:
+            Op::Movi { dst: PReg(5), imm: 30 },
+            Op::Movi { dst: PReg(6), imm: 12 },
+            Op::Call { target: 0, dst: Some(PReg(7)), args: vec![PReg(5), PReg(6)] },
+            Op::Store { base: PReg(0), offset: 64, src: PReg(7) },
+            Op::Halt,
+        ];
+        let mut data = vec![0u8; 4096];
+        let cfg = MachineConfig::small();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut counters = PerfCounters::default();
+        let mut ctx = ExecContext::new(2, 1, 0);
+        let mut env = ExecEnv {
+            text: &text,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1_000_000);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(i64::from_le_bytes(data[64..72].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn callee_registers_start_zeroed_after_frame_reuse() {
+        // dirty(x): writes r3 = 77, returns; probe(): returns r3 (should
+        // be 0 even after dirty() polluted the same window).
+        let text = vec![
+            // dirty at 0:
+            Op::Movi { dst: PReg(3), imm: 77 },
+            Op::Ret { src: None },
+            // probe at 2:
+            Op::Ret { src: Some(PReg(3)) },
+            // main at 3:
+            Op::Call { target: 0, dst: None, args: vec![] },
+            Op::Call { target: 2, dst: Some(PReg(0)), args: vec![] },
+            Op::Store { base: PReg(1), offset: 128, src: PReg(0) },
+            Op::Halt,
+        ];
+        let mut data = vec![0u8; 4096];
+        let cfg = MachineConfig::small();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut counters = PerfCounters::default();
+        let mut ctx = ExecContext::new(3, 1, 0);
+        let mut env = ExecEnv {
+            text: &text,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        run(&mut ctx, &mut env, 1_000_000);
+        assert_eq!(i64::from_le_bytes(data[128..136].try_into().unwrap()), 0);
+    }
+
+    #[test]
+    fn recursion_via_entry_return_halts() {
+        // main: ret -> returning from entry frame halts the program.
+        let text = vec![Op::Ret { src: None }];
+        let mut data = vec![0u8; 64];
+        let (ctx, _) = run_to_end(&text, &mut data, 0);
+        assert_eq!(ctx.status(), ExecStatus::Halted);
+    }
+
+    #[test]
+    fn loop_respects_budget() {
+        // Infinite loop; ensure budget exhaustion returns control.
+        let text = vec![Op::Jmp { target: 0 }];
+        let (mut mem, mut data, mut counters) = env_parts();
+        let mut ctx = ExecContext::new(0, 1, 0);
+        let mut env = ExecEnv {
+            text: &text,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1000);
+        assert_eq!(res.stop, StopReason::BudgetExhausted);
+        assert!(res.cycles >= 1000);
+        assert!(ctx.is_running());
+        assert_eq!(counters.branches, counters.instructions);
+    }
+
+    #[test]
+    fn wait_parks_and_wake_resumes() {
+        let text = vec![
+            Op::Movi { dst: PReg(0), imm: 1 },
+            Op::Wait,
+            Op::Movi { dst: PReg(0), imm: 2 },
+            Op::Halt,
+        ];
+        let (mut mem, mut data, mut counters) = env_parts();
+        let mut ctx = ExecContext::new(0, 1, 0);
+        let mut env = ExecEnv {
+            text: &text,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1000);
+        assert_eq!(res.stop, StopReason::Waiting);
+        assert_eq!(ctx.status(), ExecStatus::Waiting);
+        // Running while parked consumes nothing.
+        let res2 = run(&mut ctx, &mut env, 1000);
+        assert_eq!(res2.cycles, 0);
+        assert_eq!(res2.stop, StopReason::Waiting);
+        ctx.wake();
+        let res3 = run(&mut ctx, &mut env, 1000);
+        assert_eq!(res3.stop, StopReason::Halted);
+    }
+
+    #[test]
+    fn out_of_bounds_load_faults() {
+        let text = vec![
+            Op::Movi { dst: PReg(0), imm: 1 << 20 },
+            Op::Load { dst: PReg(1), base: PReg(0), offset: 0 },
+            Op::Halt,
+        ];
+        let (mut mem, mut data, mut counters) = env_parts();
+        let mut ctx = ExecContext::new(0, 1, 0);
+        let mut env = ExecEnv {
+            text: &text,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1000);
+        assert_eq!(res.stop, StopReason::Faulted);
+        assert!(matches!(ctx.status(), ExecStatus::Faulted(_)));
+    }
+
+    #[test]
+    fn pc_past_text_faults() {
+        let text = vec![Op::Jmp { target: 7 }];
+        let (mut mem, mut data, mut counters) = env_parts();
+        let mut ctx = ExecContext::new(0, 1, 0);
+        let mut env = ExecEnv {
+            text: &text,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1000);
+        assert_eq!(res.stop, StopReason::Faulted);
+    }
+
+    #[test]
+    fn callvirt_reads_evt_and_redirect_takes_effect() {
+        // Two variants of a leaf function; EVT slot 0 selects.
+        let text = vec![
+            // variant A at 0: returns 1
+            Op::Movi { dst: PReg(0), imm: 1 },
+            Op::Ret { src: Some(PReg(0)) },
+            // variant B at 2: returns 2
+            Op::Movi { dst: PReg(0), imm: 2 },
+            Op::Ret { src: Some(PReg(0)) },
+            // main at 4: callv [evt+0]; store result; callv again after
+            // the "runtime" patches the EVT (simulated by a store here? —
+            // no: the test patches data directly between runs).
+            Op::CallVirt { slot: 0, dst: Some(PReg(1)), args: vec![] },
+            Op::Store { base: PReg(2), offset: 512, src: PReg(1) },
+            Op::Wait,
+            Op::CallVirt { slot: 0, dst: Some(PReg(1)), args: vec![] },
+            Op::Store { base: PReg(2), offset: 520, src: PReg(1) },
+            Op::Halt,
+        ];
+        let evt_base = 64u64;
+        let (mut mem, mut data, mut counters) = env_parts();
+        data[64..72].copy_from_slice(&0u64.to_le_bytes()); // slot 0 -> variant A
+        let mut ctx = ExecContext::new(4, 1, evt_base);
+        let mut env = ExecEnv {
+            text: &text,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1_000_000);
+        assert_eq!(res.stop, StopReason::Waiting);
+        // "EVT manager" patches the slot with a single 8-byte write while
+        // the program is parked.
+        env.data[64..72].copy_from_slice(&2u64.to_le_bytes());
+        ctx.wake();
+        let res2 = run(&mut ctx, &mut env, 1_000_000);
+        assert_eq!(res2.stop, StopReason::Halted);
+        assert_eq!(i64::from_le_bytes(env.data[512..520].try_into().unwrap()), 1);
+        assert_eq!(i64::from_le_bytes(env.data[520..528].try_into().unwrap()), 2);
+    }
+
+    #[test]
+    fn binary_translation_charges_overhead() {
+        // A loop executing 1000 iterations: BT mode must be slower and
+        // report overhead.
+        let text = vec![
+            Op::Movi { dst: PReg(0), imm: 1000 },
+            // loop: dec, bnz
+            Op::AluImm { op: BinOp::Sub, dst: PReg(0), a: PReg(0), imm: 1 },
+            Op::Bnz { cond: PReg(0), target: 1 },
+            Op::Halt,
+        ];
+        let time = |bt: bool| {
+            let (mut mem, mut data, mut counters) = env_parts();
+            let mut ctx = ExecContext::new(0, 1, 0);
+            if bt {
+                ctx = ctx.with_binary_translation(BtConfig::default());
+            }
+            let mut env = ExecEnv {
+                text: &text,
+                data: &mut data,
+                mem: &mut mem,
+                core: 0,
+                counters: &mut counters,
+                costs: CostModel::default(),
+            };
+            let res = run(&mut ctx, &mut env, u64::MAX / 2);
+            assert_eq!(res.stop, StopReason::Halted);
+            (res.cycles, ctx.bt_overhead())
+        };
+        let (plain, none) = time(false);
+        let (translated, overhead) = time(true);
+        assert_eq!(none, None);
+        let oh = overhead.unwrap();
+        assert!(oh > 0);
+        assert_eq!(translated, plain + oh);
+    }
+
+    #[test]
+    fn bz_branches_on_zero() {
+        let text = vec![
+            Op::Movi { dst: PReg(0), imm: 0 },
+            Op::Bz { cond: PReg(0), target: 4 }, // taken: r0 == 0
+            Op::Movi { dst: PReg(1), imm: 111 }, // skipped
+            Op::Halt,
+            Op::Movi { dst: PReg(1), imm: 7 },
+            Op::Bz { cond: PReg(1), target: 0 }, // not taken: r1 != 0
+            Op::Store { base: PReg(2), offset: 64, src: PReg(1) },
+            Op::Halt,
+        ];
+        let mut data = vec![0u8; 256];
+        let (ctx, counters) = run_to_end(&text, &mut data, 0);
+        assert_eq!(ctx.status(), ExecStatus::Halted);
+        assert_eq!(i64::from_le_bytes(data[64..72].try_into().unwrap()), 7);
+        assert_eq!(counters.branches, 2);
+    }
+
+    #[test]
+    fn report_samples_collected() {
+        let text = vec![
+            Op::Movi { dst: PReg(0), imm: 5 },
+            Op::Report { channel: 2, src: PReg(0) },
+            Op::Movi { dst: PReg(0), imm: 9 },
+            Op::Report { channel: 2, src: PReg(0) },
+            Op::Halt,
+        ];
+        let mut data = vec![0u8; 64];
+        let (ctx, _) = run_to_end(&text, &mut data, 0);
+        assert_eq!(ctx.reports, vec![(2, 5), (2, 9)]);
+    }
+
+    #[test]
+    fn counters_track_memory_hierarchy() {
+        // Stream 64 distinct lines: all LLC misses the first pass.
+        let text = vec![
+            Op::Movi { dst: PReg(0), imm: 0 },
+            // loop:
+            Op::Load { dst: PReg(1), base: PReg(0), offset: 0 },
+            Op::AluImm { op: BinOp::Add, dst: PReg(0), a: PReg(0), imm: 64 },
+            Op::AluImm { op: BinOp::Lt, dst: PReg(2), a: PReg(0), imm: 64 * 64 },
+            Op::Bnz { cond: PReg(2), target: 1 },
+            Op::Halt,
+        ];
+        let mut data = vec![0u8; 64 * 64 + 64];
+        let (_, counters) = run_to_end(&text, &mut data, 0);
+        assert_eq!(counters.llc_misses, 64);
+        assert!(counters.cycles > 64 * 180);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the machine: cache invariants, hierarchy
+//! policies, and interpreter robustness against arbitrary code.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use machine::{
+    AccessKind, Cache, CacheConfig, CostModel, ExecContext, ExecEnv, InsertPos, MachineConfig,
+    MemorySystem, NtPolicy, PerfCounters,
+};
+use visa::{Op, PReg};
+
+fn arb_insert() -> impl Strategy<Value = InsertPos> {
+    prop_oneof![Just(InsertPos::Mru), Just(InsertPos::Lru)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        ops in vec((any::<u64>(), arb_insert()), 0..2000),
+    ) {
+        let mut c = Cache::new(CacheConfig { sets: 16, ways: 4, hit_latency: 0 });
+        for (line, pos) in ops {
+            if !c.lookup(line) {
+                c.fill(line, pos);
+            }
+            prop_assert!(c.occupancy() <= c.capacity());
+        }
+    }
+
+    #[test]
+    fn filled_line_is_immediately_present(lines in vec(any::<u64>(), 1..200)) {
+        let mut c = Cache::new(CacheConfig { sets: 8, ways: 2, hit_latency: 0 });
+        for line in lines {
+            c.fill(line, InsertPos::Mru);
+            prop_assert!(c.probe(line), "line {line} missing right after fill");
+        }
+    }
+
+    #[test]
+    fn eviction_only_removes_one_line(lines in vec(any::<u64>(), 1..500)) {
+        let mut c = Cache::new(CacheConfig { sets: 8, ways: 2, hit_latency: 0 });
+        let mut prev = 0usize;
+        for line in lines {
+            let evicted = c.fill(line, InsertPos::Mru);
+            let now = c.occupancy();
+            match evicted {
+                Some(_) => prop_assert!(now == prev || now == prev.saturating_sub(0)),
+                None => prop_assert!(now >= prev),
+            }
+            prop_assert!(now <= prev + 1, "occupancy can grow at most one per fill");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn hit_plus_miss_equals_lookups(lines in vec(0u64..64, 1..500)) {
+        let mut c = Cache::new(CacheConfig { sets: 4, ways: 2, hit_latency: 0 });
+        for (i, line) in lines.into_iter().enumerate() {
+            if !c.lookup(line) {
+                c.fill(line, InsertPos::Mru);
+            }
+            let s = c.stats();
+            prop_assert_eq!(s.hits + s.misses, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn nt_bypass_never_fills_llc(addrs in vec(0u64..(1 << 20), 1..300)) {
+        let mut cfg = MachineConfig::small();
+        cfg.nt_policy = NtPolicy::Bypass;
+        let mut mem = MemorySystem::new(&cfg);
+        let mut counters = PerfCounters::default();
+        for a in addrs {
+            mem.access(0, a, AccessKind::NonTemporalPrefetch, &mut counters);
+            prop_assert_eq!(mem.llc_occupancy_where(|_| true), 0);
+        }
+    }
+
+    #[test]
+    fn hierarchy_latency_is_bounded(
+        accesses in vec((0usize..2, 0u64..(1 << 18), any::<bool>()), 1..500),
+    ) {
+        let cfg = MachineConfig::small();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut counters = PerfCounters::default();
+        for (core, addr, store) in accesses {
+            let kind = if store { AccessKind::Store } else { AccessKind::Load };
+            let stall = mem.access(core, addr, kind, &mut counters);
+            prop_assert!(stall <= cfg.mem_latency);
+        }
+    }
+
+    #[test]
+    fn interpreter_never_panics_on_arbitrary_code(
+        raw in vec((0u8..16, any::<u8>(), any::<u8>(), any::<u8>(), -64i64..64), 1..80),
+    ) {
+        // Build arbitrary (often invalid) programs from a compact tuple
+        // encoding; the interpreter must fault or halt, never panic.
+        let text: Vec<Op> = raw
+            .iter()
+            .map(|(kind, a, b, c, imm)| {
+                let r = |x: &u8| PReg(x % 16);
+                match kind % 12 {
+                    0 => Op::Movi { dst: r(a), imm: *imm },
+                    1 => Op::Alu {
+                        op: pir::BinOp::ALL[(*b as usize) % 16],
+                        dst: r(a),
+                        a: r(b),
+                        b: r(c),
+                    },
+                    2 => Op::AluImm {
+                        op: pir::BinOp::ALL[(*b as usize) % 16],
+                        dst: r(a),
+                        a: r(c),
+                        imm: *imm,
+                    },
+                    3 => Op::Load { dst: r(a), base: r(b), offset: *imm },
+                    4 => Op::Store { base: r(a), offset: *imm, src: r(b) },
+                    5 => Op::PrefetchNta { base: r(a), offset: *imm },
+                    6 => Op::Jmp { target: u32::from(*c) },
+                    7 => Op::Bnz { cond: r(a), target: u32::from(*c) },
+                    8 => Op::Bz { cond: r(a), target: u32::from(*c) },
+                    9 => Op::Call { target: u32::from(*c), dst: Some(r(a)), args: vec![r(b)] },
+                    10 => Op::Ret { src: None },
+                    _ => Op::Halt,
+                }
+            })
+            .collect();
+        let cfg = MachineConfig::small();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut counters = PerfCounters::default();
+        let mut ctx = ExecContext::new(0, 1, 0);
+        let mut data = vec![0u8; 4096];
+        let mut env = ExecEnv {
+            text: &text,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let _ = machine::exec::run(&mut ctx, &mut env, 200_000);
+    }
+
+    #[test]
+    fn counters_are_monotonic_under_execution(steps in 1usize..20) {
+        let text = vec![
+            Op::Movi { dst: PReg(0), imm: 64 },
+            Op::Load { dst: PReg(1), base: PReg(0), offset: 0 },
+            Op::AluImm { op: pir::BinOp::Add, dst: PReg(0), a: PReg(0), imm: 64 },
+            Op::AluImm { op: pir::BinOp::Rem, dst: PReg(0), a: PReg(0), imm: 2048 },
+            Op::Jmp { target: 1 },
+        ];
+        let cfg = MachineConfig::small();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut counters = PerfCounters::default();
+        let mut ctx = ExecContext::new(0, 1, 0);
+        let mut data = vec![0u8; 4096];
+        let mut prev = counters;
+        for _ in 0..steps {
+            let mut env = ExecEnv {
+                text: &text,
+                data: &mut data,
+                mem: &mut mem,
+                core: 0,
+                counters: &mut counters,
+                costs: CostModel::default(),
+            };
+            let _ = machine::exec::run(&mut ctx, &mut env, 1000);
+            prop_assert!(counters.cycles >= prev.cycles);
+            prop_assert!(counters.instructions >= prev.instructions);
+            prop_assert!(counters.branches >= prev.branches);
+            prop_assert!(counters.llc_misses >= prev.llc_misses);
+            prev = counters;
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Binary search over nap intensities (the skeleton of Algorithm 2).
+//!
+//! "The performance of both the application and its co-runners are
+//! monotonic as a function of nap intensity, so PC3D organizes the
+//! variant evaluation as a binary search over the range of nap
+//! intensities" — and only "within the range of nap intensities between
+//! the lower and upper bounds established by evaluating other variants."
+
+/// Stateful bisection: probe a nap intensity, report whether co-runner
+/// QoS was satisfied, repeat until the bracket is tighter than the
+/// tolerance. The invariant maintained is that `ub` is always feasible
+/// (or the initial upper bound) and `lb` always infeasible (or the
+/// initial lower bound).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct NapBisection {
+    lb: f64,
+    ub: f64,
+    tol: f64,
+    probes: u32,
+}
+
+impl NapBisection {
+    /// Starts a bisection over `[lb, ub]` with termination tolerance
+    /// `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bracket is inverted or the tolerance non-positive.
+    pub fn new(lb: f64, ub: f64, tol: f64) -> Self {
+        assert!(lb <= ub, "inverted bracket [{lb}, {ub}]");
+        assert!(tol > 0.0, "tolerance must be positive");
+        NapBisection { lb, ub, tol, probes: 0 }
+    }
+
+    /// True when the bracket is tight enough.
+    pub fn done(&self) -> bool {
+        self.ub - self.lb <= self.tol
+    }
+
+    /// The next nap intensity to evaluate (the bracket midpoint).
+    pub fn probe(&self) -> f64 {
+        (self.lb + self.ub) / 2.0
+    }
+
+    /// Records the outcome at the current probe: `qos_ok` means the
+    /// co-runner met its target, so lower naps may suffice.
+    pub fn observe(&mut self, qos_ok: bool) {
+        let mid = self.probe();
+        if qos_ok {
+            self.ub = mid;
+        } else {
+            self.lb = mid;
+        }
+        self.probes += 1;
+    }
+
+    /// The final (feasible) nap intensity.
+    pub fn result(&self) -> f64 {
+        self.ub
+    }
+
+    /// Current bracket.
+    pub fn bracket(&self) -> (f64, f64) {
+        (self.lb, self.ub)
+    }
+
+    /// Number of probes performed.
+    pub fn probes(&self) -> u32 {
+        self.probes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a bisection against a synthetic threshold: QoS is met iff
+    /// nap >= threshold. Returns the found nap.
+    fn solve(threshold: f64, lb: f64, ub: f64, tol: f64) -> (f64, u32) {
+        let mut b = NapBisection::new(lb, ub, tol);
+        while !b.done() {
+            let nap = b.probe();
+            b.observe(nap >= threshold);
+        }
+        (b.result(), b.probes())
+    }
+
+    #[test]
+    fn converges_to_threshold() {
+        for threshold in [0.1, 0.23, 0.5, 0.99] {
+            let (nap, _) = solve(threshold, 0.0, 1.0, 0.01);
+            assert!(
+                (nap - threshold).abs() <= 0.011,
+                "threshold {threshold} found {nap}"
+            );
+            assert!(nap >= threshold - 1e-9, "result must be feasible");
+        }
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let (_, probes) = solve(0.37, 0.0, 1.0, 0.01);
+        assert!(probes <= 7, "1/0.01 range needs <= 7 probes, took {probes}");
+    }
+
+    #[test]
+    fn narrow_bracket_terminates_immediately() {
+        let b = NapBisection::new(0.40, 0.42, 0.05);
+        assert!(b.done());
+        assert_eq!(b.result(), 0.42);
+        assert_eq!(b.probes(), 0);
+    }
+
+    #[test]
+    fn tighter_bounds_reduce_probes() {
+        let (_, wide) = solve(0.5, 0.0, 1.0, 0.02);
+        let (_, narrow) = solve(0.5, 0.4, 0.6, 0.02);
+        assert!(narrow < wide, "narrow {narrow} vs wide {wide}");
+    }
+
+    #[test]
+    fn infeasible_everywhere_returns_upper_bound() {
+        let (nap, _) = solve(2.0, 0.0, 1.0, 0.01); // threshold above ub
+        assert_eq!(nap, 1.0);
+    }
+
+    #[test]
+    fn feasible_everywhere_returns_near_lower_bound() {
+        let (nap, _) = solve(0.0, 0.0, 1.0, 0.01);
+        assert!(nap <= 0.01 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_bracket_rejected() {
+        let _ = NapBisection::new(0.9, 0.1, 0.01);
+    }
+}

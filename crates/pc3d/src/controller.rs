@@ -1,0 +1,912 @@
+//! The PC3D controller: greedy variant search (Algorithm 1), online
+//! variant evaluation (Algorithm 2), flux-based QoS monitoring
+//! (Section IV-F), and co-phase-driven re-transformation.
+
+use pcc::NtAssignment;
+use pir::FuncId;
+use protean::{ExtMonitor, HostMonitor, PhaseChange, PhaseDetector, Runtime};
+use simos::{Os, Pid};
+
+use crate::bisect::NapBisection;
+use crate::heuristics::{select_candidates, HeuristicReport};
+
+/// PC3D configuration.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Pc3dConfig {
+    /// Co-runner QoS target in (0, 1].
+    pub qos_target: f64,
+    /// Steady-state measurement window in simulated seconds.
+    pub window_secs: f64,
+    /// Evaluation window used inside the variant search (shorter, to keep
+    /// Algorithm 1's total duration in the paper's ~20 s range).
+    pub eval_window_secs: f64,
+    /// Seconds between flux measurements (paper: 4 s).
+    pub flux_period_secs: f64,
+    /// Flux freeze duration (paper: 40 ms).
+    pub flux_duration_secs: f64,
+    /// Nap bisection tolerance (Algorithm 2 termination).
+    pub nap_tolerance: f64,
+    /// Cap on the number of candidate sites the greedy search visits.
+    pub max_sites: usize,
+    /// PC-sampling period in seconds.
+    pub sample_period_secs: f64,
+    /// Runtime-core seconds charged per PC sample (a ptrace stop is tens
+    /// of microseconds; monitoring is cheap but not free).
+    pub sample_cost_secs: f64,
+    /// Exponential smoothing for the flux solo-IPS estimate.
+    pub solo_ewma: f64,
+    /// Seconds of pure monitoring before the first search (PC histogram
+    /// warm-up).
+    pub warmup_secs: f64,
+    /// Steady-state proportional nap trim gains (fallback napping).
+    pub gain_up: f64,
+    /// Gain for releasing nap when QoS has headroom.
+    pub gain_down: f64,
+    /// Smoothing factor for the decision QoS (1.0 = unsmoothed).
+    pub qos_alpha: f64,
+    /// Seconds after a search or phase reset during which no new search
+    /// or reset is triggered (settling time).
+    pub cooldown_secs: f64,
+    /// Measurement tolerance subtracted from the QoS target in decisions
+    /// (windowed IPS ratios carry a ~1% noise floor).
+    pub qos_epsilon: f64,
+    /// Base interval for re-searching when the current best still needs
+    /// heavy napping; doubles (up to 8x) while re-searches fail to
+    /// improve, so hopeless hosts don't churn.
+    pub research_interval_secs: f64,
+}
+
+impl Default for Pc3dConfig {
+    fn default() -> Self {
+        Pc3dConfig {
+            qos_target: 0.95,
+            window_secs: 0.5,
+            eval_window_secs: 0.3,
+            flux_period_secs: 8.0,
+            flux_duration_secs: 0.8,
+            nap_tolerance: 0.12,
+            max_sites: 10,
+            sample_period_secs: 0.005,
+            sample_cost_secs: 20e-6,
+            solo_ewma: 0.35,
+            warmup_secs: 2.0,
+            gain_up: 1.5,
+            gain_down: 1.0,
+            qos_alpha: 0.35,
+            cooldown_secs: 4.0,
+            qos_epsilon: 0.01,
+            research_interval_secs: 30.0,
+        }
+    }
+}
+
+/// One window of the controller's timeline (drives Figure 16).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct WindowRecord {
+    /// Window end time in simulated seconds.
+    pub t: f64,
+    /// Host branches per second.
+    pub host_bps: f64,
+    /// Co-runner QoS (IPS / estimated solo IPS).
+    pub qos: f64,
+    /// Nap intensity in effect.
+    pub nap: f64,
+    /// Number of non-temporal hints in the dispatched variant.
+    pub hints: usize,
+    /// Whether this window was part of a variant search.
+    pub searching: bool,
+    /// Fraction of all server cycles consumed by the runtime during the
+    /// window (compilation + monitoring).
+    pub runtime_frac: f64,
+}
+
+/// State for one additional protected co-runner.
+struct ExtraExt {
+    pid: Pid,
+    mon: ExtMonitor,
+    solo_ips: f64,
+}
+
+/// The PC3D decision engine for one (host, co-runner) pair.
+pub struct Pc3d {
+    config: Pc3dConfig,
+    rt: Runtime,
+    host: Pid,
+    ext: Pid,
+    host_mon: HostMonitor,
+    ext_mon: ExtMonitor,
+    host_perf_mon: ExtMonitor,
+    /// Additional protected co-runners beyond the primary one; the
+    /// effective QoS is the minimum across all of them ("QoS of
+    /// co-runners is satisfied", Algorithm 2).
+    extra: Vec<ExtraExt>,
+    extra_qos_min: f64,
+    ext_phase: PhaseDetector,
+    host_phase: PhaseDetector,
+    solo_ips: f64,
+    next_flux: f64,
+    applied: NtAssignment,
+    candidate_funcs: Vec<FuncId>,
+    nap: f64,
+    searched_this_phase: bool,
+    /// Nap intensity the last search concluded; steady-state drift far
+    /// above it invalidates the search (conditions changed under us).
+    searched_nap: f64,
+    /// When the last search finished, and the current re-search backoff.
+    last_search_end: f64,
+    research_interval: f64,
+    last_best_bps: f64,
+    searches: u64,
+    /// Phase-change resets performed (diagnostics).
+    resets_ext: u64,
+    resets_host: u64,
+    /// Smoothed QoS used for decisions (raw windows are noisy at low
+    /// co-runner load).
+    qos_smooth: f64,
+    /// Smoothed external progress rate fed to the phase detector (raw
+    /// windowed IPS jitters with the co-runner's own cache phases).
+    ext_rate_smooth: f64,
+    /// No phase-resets or new searches before this time (settling).
+    cooldown_until: f64,
+    last_report: Option<HeuristicReport>,
+    last_runtime_cycles: u64,
+    last_window_end: u64,
+    history: Vec<WindowRecord>,
+}
+
+impl Pc3d {
+    /// Creates the controller around an attached protean [`Runtime`],
+    /// protecting co-runner `ext`. Performs an initial flux measurement.
+    pub fn new(os: &mut Os, rt: Runtime, ext: Pid, config: Pc3dConfig) -> Self {
+        let host = rt.pid();
+        let mut ctl = Pc3d {
+            config,
+            host_mon: HostMonitor::new(os, host, 0.5),
+            ext_mon: ExtMonitor::new(os, ext),
+            host_perf_mon: ExtMonitor::new(os, host),
+            ext_phase: PhaseDetector::default(),
+            host_phase: PhaseDetector::default(),
+            extra: Vec::new(),
+            extra_qos_min: 1.0,
+            rt,
+            host,
+            ext,
+            solo_ips: 0.0,
+            next_flux: 0.0,
+            applied: NtAssignment::none(),
+            candidate_funcs: Vec::new(),
+            nap: 0.0,
+            searched_this_phase: false,
+            searched_nap: 0.0,
+            last_search_end: 0.0,
+            research_interval: config.research_interval_secs,
+            last_best_bps: 0.0,
+            searches: 0,
+            resets_ext: 0,
+            resets_host: 0,
+            qos_smooth: 1.0,
+            ext_rate_smooth: 0.0,
+            cooldown_until: 0.0,
+            last_report: None,
+            last_runtime_cycles: os.runtime_consumed_total(),
+            last_window_end: os.now(),
+            history: Vec::new(),
+        };
+        ctl.flux(os);
+        ctl.next_flux = os.now_seconds() + config.flux_period_secs;
+        ctl
+    }
+
+    /// Registers an additional co-runner whose QoS must also be
+    /// protected. The controller's decisions use the *minimum* QoS across
+    /// every registered co-runner.
+    pub fn add_corunner(&mut self, os: &Os, pid: Pid) {
+        self.extra.push(ExtraExt { pid, mon: ExtMonitor::new(os, pid), solo_ips: 0.0 });
+    }
+
+    /// The attached runtime (variant index, compile statistics).
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Timeline records.
+    pub fn history(&self) -> &[WindowRecord] {
+        &self.history
+    }
+
+    /// Number of full variant searches performed.
+    pub fn searches(&self) -> u64 {
+        self.searches
+    }
+
+    /// Phase resets triggered by (external, host) detectors so far.
+    pub fn resets(&self) -> (u64, u64) {
+        (self.resets_ext, self.resets_host)
+    }
+
+    /// Heuristic report from the most recent search.
+    pub fn heuristic_report(&self) -> Option<HeuristicReport> {
+        self.last_report
+    }
+
+    /// Current nap intensity.
+    pub fn nap(&self) -> f64 {
+        self.nap
+    }
+
+    /// Hints in the currently dispatched variant.
+    pub fn hints(&self) -> usize {
+        self.applied.len()
+    }
+
+    /// Current solo-IPS estimate for the co-runner.
+    pub fn solo_ips(&self) -> f64 {
+        self.solo_ips
+    }
+
+    /// Mean co-runner QoS over history, skipping `skip` warmup windows.
+    pub fn mean_qos(&self, skip: usize) -> f64 {
+        let tail = &self.history[skip.min(self.history.len())..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(|r| r.qos).sum::<f64>() / tail.len() as f64
+    }
+
+    /// Serializes the timeline to CSV (for plotting Figure 16-style
+    /// traces downstream).
+    pub fn history_csv(&self) -> String {
+        let mut out = String::from("t_s,host_bps,qos,nap,hints,searching,runtime_frac\n");
+        for r in &self.history {
+            out.push_str(&format!(
+                "{:.2},{:.1},{:.4},{:.3},{},{},{:.6}\n",
+                r.t, r.host_bps, r.qos, r.nap, r.hints, r.searching as u8, r.runtime_frac
+            ));
+        }
+        out
+    }
+
+    /// Mean host BPS over history, skipping warmup windows.
+    pub fn mean_host_bps(&self, skip: usize) -> f64 {
+        let tail = &self.history[skip.min(self.history.len())..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().map(|r| r.host_bps).sum::<f64>() / tail.len() as f64
+    }
+
+    // ------------------------------------------------------------------
+    // Measurement machinery
+    // ------------------------------------------------------------------
+
+    /// Flux: freeze the host for `flux_duration` and sample the co-runner
+    /// running alone (Section IV-F). The first 60% of the freeze lets the
+    /// co-runner's cache state recover (the simulated time base compresses
+    /// wall time ~2600x but cache capacity only ~50x, so refill takes a
+    /// proportionally longer slice of simulated time than on the paper's
+    /// testbed); only the tail is measured.
+    fn flux(&mut self, os: &mut Os) {
+        os.set_frozen(self.host, true);
+        os.advance_seconds(self.config.flux_duration_secs * 0.6);
+        let mut probe = ExtMonitor::new(os, self.ext);
+        let mut extra_probes: Vec<ExtMonitor> =
+            self.extra.iter().map(|e| ExtMonitor::new(os, e.pid)).collect();
+        os.advance_seconds(self.config.flux_duration_secs * 0.4);
+        let w = probe.end_window(os);
+        os.set_frozen(self.host, false);
+        let ewma = self.config.solo_ewma;
+        if w.ips > 0.0 {
+            self.solo_ips = if self.solo_ips == 0.0 {
+                w.ips
+            } else {
+                ewma * w.ips + (1.0 - ewma) * self.solo_ips
+            };
+        }
+        for (e, p) in self.extra.iter_mut().zip(extra_probes.iter_mut()) {
+            let we = p.end_window(os);
+            if we.ips > 0.0 {
+                e.solo_ips = if e.solo_ips == 0.0 {
+                    we.ips
+                } else {
+                    ewma * we.ips + (1.0 - ewma) * e.solo_ips
+                };
+            }
+            e.mon = ExtMonitor::new(os, e.pid);
+        }
+        self.ext_mon = ExtMonitor::new(os, self.ext);
+        self.host_perf_mon = ExtMonitor::new(os, self.host);
+    }
+
+    /// Advances one measurement window of `secs` (flux first if due),
+    /// PC-sampling the host throughout. Returns `(co-runner stats, host
+    /// stats)`.
+    fn advance_window(&mut self, os: &mut Os, secs: f64) -> (protean::WindowStats, protean::WindowStats) {
+        if os.now_seconds() >= self.next_flux {
+            self.flux(os);
+            self.next_flux = os.now_seconds() + self.config.flux_period_secs;
+        }
+        let end = os.now_seconds() + secs;
+        let sample_cost =
+            (self.config.sample_cost_secs * os.config().machine.cycles_per_second as f64) as u64;
+        while os.now_seconds() < end {
+            os.advance_seconds(self.config.sample_period_secs);
+            self.host_mon.sample(os, &self.rt);
+            os.charge_runtime(self.rt.config().core, sample_cost.max(1));
+        }
+        let ext = self.ext_mon.end_window(os);
+        let host = self.host_perf_mon.end_window(os);
+        let _ = self.host_mon.end_window(os);
+        // Minimum QoS among additional protected co-runners this window.
+        self.extra_qos_min = 1.0f64;
+        for i in 0..self.extra.len() {
+            let we = self.extra[i].mon.end_window(os);
+            let solo = self.extra[i].solo_ips;
+            let q = if solo <= 0.0 {
+                1.0
+            } else {
+                let raw = we.ips / solo;
+                if we.busy < 0.35 && raw < 1.0 {
+                    1.0
+                } else {
+                    raw
+                }
+            };
+            self.extra_qos_min = self.extra_qos_min.min(q);
+        }
+        (ext, host)
+    }
+
+    fn qos(&self, ext: &protean::WindowStats) -> f64 {
+        if self.solo_ips <= 0.0 {
+            return 1.0;
+        }
+        let raw = ext.ips / self.solo_ips;
+        // A mostly-idle co-runner (a server between requests) is keeping
+        // up with its offered load: it is meeting QoS even though its
+        // windowed IPS is tiny and noisy.
+        if ext.busy < 0.35 && raw < 1.0 {
+            1.0
+        } else {
+            raw
+        }
+    }
+
+    fn record(&mut self, os: &Os, ext: &protean::WindowStats, host: &protean::WindowStats, searching: bool) {
+        let rc = os.runtime_consumed_total();
+        let dt_cycles = os.now().saturating_sub(self.last_window_end).max(1);
+        let cores = os.config().machine.cores as u64;
+        let runtime_frac = (rc - self.last_runtime_cycles) as f64 / (dt_cycles * cores) as f64;
+        self.last_runtime_cycles = rc;
+        self.last_window_end = os.now();
+        self.history.push(WindowRecord {
+            t: os.now_seconds(),
+            host_bps: host.bps,
+            // Cap for reporting: early flux underestimates of solo IPS can
+            // briefly make the ratio exceed 1.
+            qos: self.qos(ext).min(1.25),
+            nap: self.nap,
+            hints: self.applied.len(),
+            searching,
+        runtime_frac,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Variant dispatch
+    // ------------------------------------------------------------------
+
+    /// Dispatches variant `nt`: every candidate function is recompiled
+    /// with its subset of hints (identical requests hit the runtime's
+    /// variant cache), or restored to the original code when it carries
+    /// no hints.
+    fn apply_variant(&mut self, os: &mut Os, nt: &NtAssignment) {
+        for func in self.candidate_funcs.clone() {
+            let sub: NtAssignment = nt.sites_in(func).into_iter().collect();
+            if sub.is_empty() {
+                let _ = self.rt.restore(os, func);
+            } else {
+                let _ = self.rt.transform(os, func, &sub);
+            }
+        }
+        self.applied = nt.clone();
+    }
+
+    fn set_nap(&mut self, os: &mut Os, nap: f64) {
+        self.nap = nap.clamp(0.0, 0.99);
+        os.set_nap(self.host, self.nap);
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 2: VariantEval
+    // ------------------------------------------------------------------
+
+    /// Evaluates variant `nt`: finds (by bisection within `[lb, ub]`) the
+    /// minimum nap intensity at which the co-runner meets its QoS target,
+    /// and the host's BPS at that intensity.
+    fn variant_eval(
+        &mut self,
+        os: &mut Os,
+        nt: &NtAssignment,
+        lb: f64,
+        ub: f64,
+    ) -> (f64, f64) {
+        self.apply_variant(os, nt);
+        let mut bis = NapBisection::new(lb.min(ub), ub.max(lb), self.config.nap_tolerance);
+        while !bis.done() {
+            let nap = bis.probe();
+            self.set_nap(os, nap);
+            // Settle: cache occupancy lags nap/variant changes by a cache
+            // fill time; discard the transition window.
+            let _ = self.advance_window(os, self.config.eval_window_secs);
+            let (ext, host) = self.advance_window(os, self.config.eval_window_secs);
+            let ok = self.qos(&ext).min(self.extra_qos_min)
+                >= self.config.qos_target - self.config.qos_epsilon;
+            self.record(os, &ext, &host, true);
+            bis.observe(ok);
+        }
+        // Confirmation at the final nap decides the variant's performance:
+        // settle, then average two windows. Per Algorithm 2, BPS is only
+        // credited when the co-runner's QoS is actually satisfied.
+        let nap = bis.result();
+        self.set_nap(os, nap);
+        let _ = self.advance_window(os, self.config.eval_window_secs);
+        let (ext1, host1) = self.advance_window(os, self.config.eval_window_secs);
+        self.record(os, &ext1, &host1, true);
+        let (ext2, host2) = self.advance_window(os, self.config.eval_window_secs);
+        self.record(os, &ext2, &host2, true);
+        let extra1 = self.extra_qos_min;
+        let q2 = self.qos(&ext2).min(self.extra_qos_min);
+        let qos = ((self.qos(&ext1).min(extra1)) + q2) / 2.0;
+        let bps = (host1.bps + host2.bps) / 2.0;
+        let feasible_bps = if qos >= self.config.qos_target - self.config.qos_epsilon {
+            bps
+        } else {
+            0.0
+        };
+        (nap, feasible_bps)
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 1: greedy variant search
+    // ------------------------------------------------------------------
+
+    /// Runs the greedy search over the candidate sites, dispatching the
+    /// best mix of non-temporal hints + napping found.
+    fn search(&mut self, os: &mut Os) {
+        let (sites, report) = select_candidates(&self.rt, &self.host_mon, self.config.max_sites);
+        self.last_report = Some(report);
+        self.searches += 1;
+        let mut funcs: Vec<FuncId> = sites.iter().map(|s| s.func).collect();
+        funcs.sort();
+        funcs.dedup();
+        self.candidate_funcs = funcs;
+        if sites.is_empty() {
+            // Nothing transformable: pure nap fallback.
+            let (nap0, _) = self.variant_eval(os, &NtAssignment::none(), 0.0, 1.0);
+            self.set_nap(os, nap0);
+            self.searched_nap = nap0;
+            self.searched_this_phase = true;
+            self.last_search_end = os.now_seconds();
+            return;
+        }
+
+        let zero = NtAssignment::none();
+        let one = NtAssignment::all(sites.iter().copied());
+        // Bounds: variant 0 exerts the most pressure (upper nap bound),
+        // variant 1 the least (lower bound).
+        let (nap0, r0) = self.variant_eval(os, &zero, 0.0, 1.0);
+        let (nap1, r1) = self.variant_eval(os, &one, 0.0, 1.0);
+        let mut nap_ub = nap0.max(nap1);
+        let nap_lb = nap1.min(nap0);
+
+        let mut m = one.clone();
+        let mut best = one.clone();
+        let mut r_best = r1;
+        let mut best_nap = nap1;
+        // Also consider variant 0 as a candidate best (occasionally hints
+        // are pure loss). A small acceptance margin keeps single-window
+        // noise from cascading through the greedy walk.
+        let margin = 1.03;
+        if r0 > r_best * margin {
+            best = zero.clone();
+            r_best = r0;
+            best_nap = nap0;
+        }
+
+        for site in &sites {
+            if nap_ub - nap_lb <= self.config.nap_tolerance {
+                break;
+            }
+            m.flip(*site); // revoke this site's hint
+            let (nap_m, r_m) = self.variant_eval(os, &m, nap_lb, nap_ub);
+            if r_best * margin < r_m {
+                r_best = r_m;
+                best = m.clone();
+                best_nap = nap_m;
+                nap_ub = nap_m;
+            } else {
+                m.flip(*site); // reject the change
+            }
+            let _ = nap_lb;
+        }
+
+        self.apply_variant(os, &best);
+        self.set_nap(os, best_nap);
+        self.searched_nap = best_nap;
+        self.searched_this_phase = true;
+        self.last_search_end = os.now_seconds();
+        // Backoff: if this search did not improve on the previous best,
+        // wait longer before trying again.
+        if r_best > self.last_best_bps * 1.05 {
+            self.research_interval = self.config.research_interval_secs;
+        } else {
+            self.research_interval =
+                (self.research_interval * 2.0).min(self.config.research_interval_secs * 8.0);
+        }
+        self.last_best_bps = r_best;
+    }
+
+    // ------------------------------------------------------------------
+    // Steady-state loop
+    // ------------------------------------------------------------------
+
+    /// Runs one steady-state window: measure, detect phase changes,
+    /// search or trim nap as needed.
+    pub fn run_window(&mut self, os: &mut Os) {
+        let (ext, host) = self.advance_window(os, self.config.window_secs);
+        let qos = self.qos(&ext).min(self.extra_qos_min);
+        let a = self.config.qos_alpha;
+        self.qos_smooth = a * qos + (1.0 - a) * self.qos_smooth;
+        self.record(os, &ext, &host, false);
+
+        // Co-phase detection: external progress/load shifts or host
+        // hot-set shifts invalidate the current variant choice. The rate
+        // is smoothed first so the detector sees sustained shifts, not
+        // single-window jitter.
+        let raw_rate = if ext.app_rate > 0.0 { ext.app_rate } else { ext.ips };
+        self.ext_rate_smooth = if self.ext_rate_smooth == 0.0 {
+            raw_rate
+        } else {
+            0.4 * raw_rate + 0.6 * self.ext_rate_smooth
+        };
+        let smoothed = protean::WindowStats {
+            app_rate: self.ext_rate_smooth,
+            ips: self.ext_rate_smooth,
+            ..ext
+        };
+        // A near-idle co-runner's windowed rates are dominated by arrival
+        // granularity; its "phase" is simply idle — observe nothing.
+        let ext_rate_change = if ext.busy < 0.35 {
+            PhaseChange::Stable
+        } else if ext.app_rate > 0.0 {
+            self.ext_phase.observe_app_rate(&smoothed)
+        } else {
+            self.ext_phase.observe_ips(&smoothed)
+        };
+        // Only significant functions (>=10% of samples) define the phase;
+        // occasionally-sampled warm code would churn the set.
+        let hot: Vec<FuncId> = self
+            .host_mon
+            .hot_funcs()
+            .iter()
+            .filter(|(_, w)| *w >= 0.10)
+            .map(|(f, _)| *f)
+            .collect();
+        let host_change = self.host_phase.observe_hot_set(&hot);
+        // Diagnostic trace for controller tuning (documented in
+        // DESIGN.md): set PC3D_DEBUG=1 to stream per-window decisions.
+        if std::env::var("PC3D_DEBUG").is_ok() {
+            eprintln!(
+                "[dbg] t={:.1} app_rate={:.1} ips={:.0} smooth={:.1} change={:?} qos={:.3} busy={:.2} nap={:.2}",
+                os.now_seconds(), ext.app_rate, ext.ips, self.ext_rate_smooth,
+                ext_rate_change, qos, ext.busy, self.nap
+            );
+        }
+        let settled = os.now_seconds() >= self.cooldown_until;
+        if settled
+            && (ext_rate_change != PhaseChange::Stable || host_change != PhaseChange::Stable)
+        {
+            if ext_rate_change != PhaseChange::Stable {
+                self.resets_ext += 1;
+            }
+            if host_change != PhaseChange::Stable {
+                self.resets_host += 1;
+            }
+            // Revert to the original program and re-evaluate from scratch
+            // (the paper reverts libquantum at the t=300 load drop).
+            let nt_none = NtAssignment::none();
+            self.apply_variant(os, &nt_none);
+            self.set_nap(os, 0.0);
+            self.searched_this_phase = false;
+            self.qos_smooth = 1.0;
+            self.ext_rate_smooth = 0.0;
+            self.ext_phase.reset();
+            self.host_phase.reset();
+            self.cooldown_until = os.now_seconds() + self.config.cooldown_secs;
+            return;
+        }
+
+        let warm = os.now_seconds() >= self.config.warmup_secs;
+        let qos_d = self.qos_smooth;
+        let effective_target = self.config.qos_target - self.config.qos_epsilon;
+        // Periodic re-search: if the last search left us napping heavily,
+        // conditions may have improved (or it straddled a transition).
+        let research_due = self.nap > 0.5
+            && os.now_seconds() > self.last_search_end + self.research_interval;
+        if qos_d < effective_target || (research_due && warm && settled) {
+            if warm && settled && (!self.searched_this_phase || research_due) {
+                self.search(os);
+                self.ext_phase.reset();
+                self.host_phase.reset();
+                self.qos_smooth = 1.0;
+                self.cooldown_until = os.now_seconds() + self.config.cooldown_secs;
+            } else {
+                // Fallback: trim with napping (the search's variant stays).
+                let err = effective_target - qos_d;
+                let nap = self.nap + self.config.gain_up * err;
+                self.set_nap(os, nap);
+                // If napping drifts far above what the search concluded,
+                // the search's conclusion no longer describes reality
+                // (e.g. it straddled a load transition): invalidate it so
+                // the next violating window re-searches.
+                if self.searched_this_phase && self.nap > self.searched_nap + 0.25 {
+                    self.searched_this_phase = false;
+                }
+            }
+        } else if ext.busy < 0.35 {
+            // Idle co-runner: nothing to protect; shed nap quickly.
+            let nap = self.nap * 0.5 - 0.01;
+            self.set_nap(os, nap);
+        } else {
+            // Headroom: release nap slowly to recover host throughput.
+            let err = qos_d - effective_target;
+            let nap = self.nap - self.config.gain_down * err;
+            self.set_nap(os, nap);
+        }
+    }
+
+    /// Runs the controller for `secs` simulated seconds.
+    pub fn run_for(&mut self, os: &mut Os, secs: f64) {
+        let end = os.now_seconds() + secs;
+        while os.now_seconds() < end {
+            self.run_window(os);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcc::{Compiler, Options};
+    use protean::RuntimeConfig;
+    use simos::{LoadSchedule, OsConfig};
+    use workloads::catalog;
+
+    fn setup(host_name: &str, ext_name: &str) -> (Os, Pid, Pid, Runtime) {
+        let cfg = OsConfig::small();
+        let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+        let host_m = catalog::build(host_name, llc).unwrap();
+        let ext_m = catalog::build(ext_name, llc).unwrap();
+        let host_img = Compiler::new(Options::protean()).compile(&host_m).unwrap().image;
+        let ext_img = Compiler::new(Options::plain()).compile(&ext_m).unwrap().image;
+        let mut os = Os::new(cfg);
+        let ext = os.spawn(&ext_img, 0);
+        let host = os.spawn(&host_img, 1);
+        let rt = Runtime::attach(&os, host, RuntimeConfig::on_core(1)).unwrap();
+        (os, host, ext, rt)
+    }
+
+    #[test]
+    fn pc3d_meets_qos_on_contentious_pair() {
+        let (mut os, _host, ext, rt) = setup("libquantum", "mcf");
+        let mut ctl = Pc3d::new(&mut os, rt, ext, Pc3dConfig::default());
+        ctl.run_for(&mut os, 40.0);
+        let windows = ctl.history().len();
+        let qos = ctl.mean_qos(windows / 2);
+        assert!(qos > 0.85, "PC3D should hold QoS near target, got {qos:.3}");
+    }
+
+    #[test]
+    fn pc3d_searches_and_applies_hints_on_streaming_host() {
+        let (mut os, _host, ext, rt) = setup("libquantum", "mcf");
+        let mut ctl =
+            Pc3d::new(&mut os, rt, ext, Pc3dConfig { qos_target: 0.98, ..Default::default() });
+        ctl.run_for(&mut os, 60.0);
+        assert!(ctl.searches() >= 1, "a contentious pair should trigger a search");
+        assert!(
+            ctl.hints() > 0,
+            "libquantum is streaming: the best variant should carry hints"
+        );
+        let report = ctl.heuristic_report().expect("search produced a report");
+        assert_eq!(report.total_loads, 636);
+        assert!(report.max_depth_loads < 30);
+    }
+
+    #[test]
+    fn pc3d_outperforms_nap_only_on_streaming_host() {
+        // The paper's core claim: with NT hints the host makes more
+        // progress at equal QoS than nap-only throttling.
+        let (mut os, _h, ext, rt) = setup("libquantum", "mcf");
+        let mut ctl = Pc3d::new(&mut os, rt, ext, Pc3dConfig::default());
+        ctl.run_for(&mut os, 60.0);
+        let w = ctl.history().len();
+        let pc3d_bps = ctl.mean_host_bps(w * 2 / 3);
+        let pc3d_qos = ctl.mean_qos(w * 2 / 3);
+
+        let (mut os2, h2, ext2, _rt2) = setup("libquantum", "mcf");
+        let mut reqos = reqos_baseline(&mut os2, h2, ext2);
+        reqos.run_for(&mut os2, 60.0);
+        let w2 = reqos.history().len();
+        let reqos_bps = reqos.mean_host_bps(w2 * 2 / 3);
+        let reqos_qos = reqos.mean_qos(w2 * 2 / 3);
+
+        assert!(
+            pc3d_bps > reqos_bps,
+            "PC3D ({pc3d_bps:.0} bps, qos {pc3d_qos:.3}) should beat nap-only \
+             ({reqos_bps:.0} bps, qos {reqos_qos:.3}) on a streaming host"
+        );
+    }
+
+    #[test]
+    fn pc3d_reverts_on_load_drop() {
+        // Server co-runner whose load drops mid-run: PC3D should detect
+        // the co-phase change and let the host run unthrottled.
+        let cfg = OsConfig::small();
+        let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+        let host_m = catalog::build("libquantum", llc).unwrap();
+        let ext_m = catalog::build("web-search", llc).unwrap();
+        let host_img = Compiler::new(Options::protean()).compile(&host_m).unwrap().image;
+        let ext_img = Compiler::new(Options::plain()).compile(&ext_m).unwrap().image;
+        let mut os = Os::new(cfg);
+        let ext = os.spawn(&ext_img, 0);
+        let host = os.spawn(&host_img, 1);
+        // Estimate solo capacity roughly: high then low load.
+        // High load near the server's capacity on the small test config,
+        // then a deep drop.
+        os.set_load(ext, LoadSchedule::steps(vec![(0.0, 10.0), (40.0, 1.0)]));
+        let rt = Runtime::attach(&os, host, RuntimeConfig::on_core(1)).unwrap();
+        let mut ctl = Pc3d::new(&mut os, rt, ext, Pc3dConfig::default());
+        ctl.run_for(&mut os, 100.0);
+        // After the load drop the host should be (nearly) unthrottled.
+        let late: Vec<_> =
+            ctl.history().iter().filter(|r| r.t > 75.0 && !r.searching).collect();
+        assert!(!late.is_empty());
+        let mean_late_nap: f64 =
+            late.iter().map(|r| r.nap).sum::<f64>() / late.len() as f64;
+        assert!(
+            mean_late_nap < 0.4,
+            "host should be mostly unthrottled at low load, nap {mean_late_nap:.2}"
+        );
+    }
+
+    #[test]
+    fn protects_multiple_corunners() {
+        // Three-way co-location: libquantum (host) + two protected
+        // externals; the controller's decisions use the minimum QoS.
+        let mut cfg = OsConfig::small();
+        cfg.machine.cores = 3;
+        let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+        let host_m = catalog::build("libquantum", llc).unwrap();
+        let e1_m = catalog::build("er-naive", llc).unwrap();
+        let e2_m = catalog::build("mcf", llc).unwrap();
+        let host_img = Compiler::new(Options::protean()).compile(&host_m).unwrap().image;
+        let e1_img = Compiler::new(Options::plain()).compile(&e1_m).unwrap().image;
+        let e2_img = Compiler::new(Options::plain()).compile(&e2_m).unwrap().image;
+        let mut os = Os::new(cfg);
+        let e1 = os.spawn(&e1_img, 0);
+        let host = os.spawn(&host_img, 1);
+        let e2 = os.spawn(&e2_img, 2);
+        let rt = Runtime::attach(&os, host, RuntimeConfig::on_core(1)).unwrap();
+        let mut ctl =
+            Pc3d::new(&mut os, rt, e1, Pc3dConfig { qos_target: 0.95, ..Default::default() });
+        ctl.add_corunner(&os, e2);
+        ctl.run_for(&mut os, 40.0);
+        let w = ctl.history().len();
+        let qos = ctl.mean_qos(w / 2);
+        assert!(qos > 0.85, "min-QoS across both co-runners should be held, got {qos:.3}");
+    }
+
+    #[test]
+    fn history_csv_has_all_rows() {
+        let (mut os, _h, ext, rt) = setup("libquantum", "mcf");
+        let mut ctl = Pc3d::new(&mut os, rt, ext, Pc3dConfig::default());
+        ctl.run_for(&mut os, 5.0);
+        let csv = ctl.history_csv();
+        assert_eq!(csv.lines().count(), ctl.history().len() + 1);
+        assert!(csv.starts_with("t_s,host_bps"));
+    }
+
+    #[test]
+    fn runtime_cycles_stay_small() {
+        let (mut os, _h, ext, rt) = setup("milc", "mcf");
+        let mut ctl = Pc3d::new(&mut os, rt, ext, Pc3dConfig::default());
+        ctl.run_for(&mut os, 30.0);
+        let total_runtime = os.runtime_consumed_total() as f64;
+        let server = os.server_cycles() as f64;
+        assert!(
+            total_runtime / server < 0.02,
+            "runtime should use <2% of server cycles, used {:.3}%",
+            100.0 * total_runtime / server
+        );
+    }
+
+    // A minimal nap-only baseline reusing the reqos crate is not possible
+    // here (circular dev-dependency), so the test embeds one.
+    struct NapOnly {
+        host: Pid,
+        ext: Pid,
+        solo: f64,
+        nap: f64,
+        hist: Vec<(f64, f64)>, // (qos, host_bps)
+        ext_mon: ExtMonitor,
+        host_mon: ExtMonitor,
+        next_flux: f64,
+    }
+
+    fn reqos_baseline(os: &mut Os, host: Pid, ext: Pid) -> NapOnly {
+        let mut n = NapOnly {
+            host,
+            ext,
+            solo: 0.0,
+            nap: 0.0,
+            hist: Vec::new(),
+            ext_mon: ExtMonitor::new(os, ext),
+            host_mon: ExtMonitor::new(os, host),
+            next_flux: 0.0,
+        };
+        n.flux(os);
+        n.next_flux = os.now_seconds() + 4.0;
+        n
+    }
+
+    impl NapOnly {
+        fn flux(&mut self, os: &mut Os) {
+            os.set_frozen(self.host, true);
+            let mut probe = ExtMonitor::new(os, self.ext);
+            os.advance_seconds(0.04);
+            let w = probe.end_window(os);
+            os.set_frozen(self.host, false);
+            if w.ips > 0.0 {
+                self.solo = if self.solo == 0.0 { w.ips } else { 0.5 * w.ips + 0.5 * self.solo };
+            }
+            self.ext_mon = ExtMonitor::new(os, self.ext);
+            self.host_mon = ExtMonitor::new(os, self.host);
+        }
+
+        fn run_for(&mut self, os: &mut Os, secs: f64) {
+            let end = os.now_seconds() + secs;
+            while os.now_seconds() < end {
+                if os.now_seconds() >= self.next_flux {
+                    self.flux(os);
+                    self.next_flux = os.now_seconds() + 4.0;
+                }
+                os.advance_seconds(0.2);
+                let w = self.ext_mon.end_window(os);
+                let h = self.host_mon.end_window(os);
+                let qos = if self.solo > 0.0 { w.ips / self.solo } else { 1.0 };
+                let err = 0.95 - qos;
+                if err > 0.0 {
+                    self.nap = (self.nap + 3.0 * err).min(0.99);
+                } else {
+                    self.nap = (self.nap + 0.4 * err).max(0.0);
+                }
+                os.set_nap(self.host, self.nap);
+                self.hist.push((qos, h.bps));
+            }
+        }
+
+        fn history(&self) -> &[(f64, f64)] {
+            &self.hist
+        }
+
+        fn mean_qos(&self, skip: usize) -> f64 {
+            let t = &self.hist[skip.min(self.hist.len())..];
+            t.iter().map(|x| x.0).sum::<f64>() / t.len().max(1) as f64
+        }
+
+        fn mean_host_bps(&self, skip: usize) -> f64 {
+            let t = &self.hist[skip.min(self.hist.len())..];
+            t.iter().map(|x| x.1).sum::<f64>() / t.len().max(1) as f64
+        }
+    }
+}

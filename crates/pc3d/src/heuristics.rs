@@ -1,0 +1,189 @@
+//! Variant search-space reduction (Section IV-C).
+//!
+//! Three pruning heuristics applied in order:
+//!
+//! 1. **Exclude Uncovered Code** — loads in functions that never appear
+//!    in PC samples are dropped (average 12x reduction in the paper).
+//! 2. **Prioritize Hotter Code** — surviving loads are ordered by the
+//!    sample weight of their function, hottest first, so the greedy
+//!    search visits impactful sites first.
+//! 3. **Only Innermost Loops** — loads not at their function's maximum
+//!    loop depth are dropped (44x total reduction, >80% dynamic-load
+//!    coverage in the paper).
+
+use std::collections::HashMap;
+
+use pir::{FuncId, LoadSiteId};
+use protean::{HostMonitor, Runtime};
+
+/// Search-space sizes after each successive heuristic — the data behind
+/// Figure 8.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct HeuristicReport {
+    /// Static loads in the whole program ("Full Program").
+    pub total_loads: usize,
+    /// Loads in PC-sample-covered functions ("Active Regions").
+    pub active_loads: usize,
+    /// Covered loads at their function's max loop depth ("Max Depth").
+    pub max_depth_loads: usize,
+}
+
+impl HeuristicReport {
+    /// Overall reduction factor (total / final), `inf`-safe.
+    pub fn reduction(&self) -> f64 {
+        if self.max_depth_loads == 0 {
+            f64::INFINITY
+        } else {
+            self.total_loads as f64 / self.max_depth_loads as f64
+        }
+    }
+}
+
+/// Applies the three heuristics, returning the candidate sites in search
+/// order (hotter functions first, program order within a function) plus
+/// the reduction report.
+///
+/// Only sites in *virtualized* functions are returned — the runtime can
+/// only re-dispatch functions with EVT slots — and the list is capped at
+/// `max_sites` (the report counts are pre-cap).
+pub fn select_candidates(
+    rt: &Runtime,
+    mon: &HostMonitor,
+    max_sites: usize,
+) -> (Vec<LoadSiteId>, HeuristicReport) {
+    select_candidates_with(rt, mon, max_sites, true, true)
+}
+
+/// [`select_candidates`] with each pruning heuristic individually
+/// toggleable — the ablation surface for DESIGN.md's
+/// `ablate_heuristics` experiment.
+pub fn select_candidates_with(
+    rt: &Runtime,
+    mon: &HostMonitor,
+    max_sites: usize,
+    use_active_regions: bool,
+    use_max_depth: bool,
+) -> (Vec<LoadSiteId>, HeuristicReport) {
+    let module = rt.module();
+    let all = pir::load_sites(module);
+    let hot = mon.hot_funcs();
+    let weight: HashMap<FuncId, f64> = hot.iter().copied().collect();
+
+    let active: Vec<&pir::LoadSite> = all
+        .iter()
+        .filter(|s| !use_active_regions || weight.contains_key(&s.site.func))
+        .collect();
+    let deep: Vec<&pir::LoadSite> = active
+        .iter()
+        .filter(|s| !use_max_depth || s.at_max_depth())
+        .copied()
+        .collect();
+
+    let report = HeuristicReport {
+        total_loads: all.len(),
+        active_loads: active.len(),
+        max_depth_loads: deep.len(),
+    };
+
+    let dispatchable: Vec<FuncId> = rt.virtualized_funcs();
+    let mut candidates: Vec<LoadSiteId> = deep
+        .iter()
+        .filter(|s| dispatchable.contains(&s.site.func))
+        .map(|s| s.site)
+        .collect();
+    // Order by function hotness (descending), then program order.
+    candidates.sort_by(|a, b| {
+        let wa = weight.get(&a.func).copied().unwrap_or(0.0);
+        let wb = weight.get(&b.func).copied().unwrap_or(0.0);
+        wb.partial_cmp(&wa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
+    });
+    candidates.truncate(max_sites);
+    (candidates, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcc::{Compiler, Options};
+    use protean::RuntimeConfig;
+    use simos::{Os, OsConfig};
+    use workloads::catalog;
+
+    fn monitored(name: &str) -> (Os, Runtime, HostMonitor) {
+        let cfg = OsConfig::small();
+        let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+        let m = catalog::build(name, llc).unwrap();
+        let img = Compiler::new(Options::protean()).compile(&m).unwrap().image;
+        let mut os = Os::new(cfg);
+        let pid = os.spawn(&img, 0);
+        let rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+        let mut mon = HostMonitor::new(&os, pid, 1.0);
+        // Sample long enough that every hot function of the big
+        // benchmarks is observed (soplex rounds take ~1M cycles).
+        for _ in 0..4000 {
+            os.advance(1013);
+            mon.sample(&os, &rt);
+        }
+        (os, rt, mon)
+    }
+
+    #[test]
+    fn cold_code_is_excluded() {
+        let (_, rt, mon) = monitored("soplex");
+        let (sites, report) = select_candidates(&rt, &mon, 1000);
+        assert_eq!(report.total_loads, 15666);
+        assert!(
+            report.active_loads < report.total_loads / 5,
+            "active-region prune too weak: {} of {}",
+            report.active_loads,
+            report.total_loads
+        );
+        assert!(report.max_depth_loads <= report.active_loads);
+        assert!(!sites.is_empty());
+        // Final candidate count near the paper's 57 for soplex.
+        assert!(
+            (40..=80).contains(&report.max_depth_loads),
+            "soplex should reduce to ~57 sites, got {}",
+            report.max_depth_loads
+        );
+    }
+
+    #[test]
+    fn candidates_are_innermost_only() {
+        let (_, rt, mon) = monitored("bzip2");
+        let (sites, _) = select_candidates(&rt, &mon, 1000);
+        let all = pir::load_sites(rt.module());
+        for site in &sites {
+            let ls = all.iter().find(|s| s.site == *site).unwrap();
+            assert!(ls.at_max_depth(), "candidate {site} not at max depth");
+        }
+    }
+
+    #[test]
+    fn hotter_functions_come_first() {
+        let (_, rt, mon) = monitored("milc");
+        let (sites, _) = select_candidates(&rt, &mon, 1000);
+        let hot = mon.hot_funcs();
+        let weight: HashMap<FuncId, f64> = hot.iter().copied().collect();
+        let weights: Vec<f64> =
+            sites.iter().map(|s| weight.get(&s.func).copied().unwrap_or(0.0)).collect();
+        for w in weights.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "candidates must be hotness-ordered: {weights:?}");
+        }
+    }
+
+    #[test]
+    fn cap_respected() {
+        let (_, rt, mon) = monitored("sphinx3");
+        let (sites, report) = select_candidates(&rt, &mon, 8);
+        assert!(sites.len() <= 8);
+        assert!(report.max_depth_loads >= sites.len(), "report is pre-cap");
+    }
+
+    #[test]
+    fn reduction_factor_reported() {
+        let (_, rt, mon) = monitored("libquantum");
+        let (_, report) = select_candidates(&rt, &mon, 64);
+        assert!(report.reduction() > 10.0, "libquantum reduces strongly: {report:?}");
+    }
+}

@@ -1,0 +1,253 @@
+//! The embedded metadata blob: serialized IR plus link annex.
+//!
+//! The paper embeds the program's IR in the data region so the runtime
+//! compiler can perform "rich analysis and transformations online". To
+//! *relink* a recompiled function into the running process, the runtime
+//! also needs the static link facts; we bundle them with the IR as a
+//! **link annex**: function text addresses, per-function EVT slots, global
+//! addresses, and the EVT base. The whole bundle is compressed with
+//! [`pir::compress`].
+
+use std::error::Error;
+use std::fmt;
+
+use pir::compress::{compress, decompress, DecompressError};
+use pir::encode::{decode_module, encode_module, DecodeError};
+use pir::Module;
+
+/// Static link facts the runtime compiler needs to lower a function
+/// variant against the original image.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkInfo {
+    /// Text address of each function body, indexed by [`pir::FuncId`].
+    pub func_addrs: Vec<u32>,
+    /// EVT slot of each function (None = calls to it are direct).
+    pub func_evt_slot: Vec<Option<u32>>,
+    /// Data address of each global, indexed by [`pir::GlobalId`].
+    pub global_addrs: Vec<u64>,
+    /// Data address of EVT slot 0.
+    pub evt_base: u64,
+}
+
+impl LinkInfo {
+    /// The EVT cell address for `func`, if its edges are virtualized.
+    pub fn evt_cell(&self, func: pir::FuncId) -> Option<u64> {
+        self.func_evt_slot[func.index()].map(|slot| self.evt_base + 8 * u64::from(slot))
+    }
+}
+
+/// The full embedded bundle: the module IR plus the link annex.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EmbeddedMeta {
+    /// The program's IR, exactly as compiled.
+    pub module: Module,
+    /// Link facts for relinking variants.
+    pub link: LinkInfo,
+}
+
+/// Failure to decode an embedded metadata blob.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetaError {
+    /// Decompression failed.
+    Decompress(DecompressError),
+    /// IR decode failed.
+    Module(DecodeError),
+    /// The annex section was malformed.
+    BadAnnex,
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaError::Decompress(e) => write!(f, "decompressing metadata: {e}"),
+            MetaError::Module(e) => write!(f, "decoding embedded IR: {e}"),
+            MetaError::BadAnnex => write!(f, "malformed link annex"),
+        }
+    }
+}
+
+impl Error for MetaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MetaError::Decompress(e) => Some(e),
+            MetaError::Module(e) => Some(e),
+            MetaError::BadAnnex => None,
+        }
+    }
+}
+
+fn put_varu(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn read_varu(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+impl EmbeddedMeta {
+    /// Serializes and compresses the bundle into the blob `pcc` places in
+    /// the data region.
+    pub fn to_blob(&self) -> Vec<u8> {
+        let module_bytes = encode_module(&self.module);
+        let mut raw = Vec::with_capacity(module_bytes.len() + 256);
+        put_varu(&mut raw, module_bytes.len() as u64);
+        raw.extend_from_slice(&module_bytes);
+        put_varu(&mut raw, self.link.func_addrs.len() as u64);
+        for a in &self.link.func_addrs {
+            put_varu(&mut raw, u64::from(*a));
+        }
+        for s in &self.link.func_evt_slot {
+            match s {
+                Some(slot) => put_varu(&mut raw, u64::from(*slot) + 1),
+                None => put_varu(&mut raw, 0),
+            }
+        }
+        put_varu(&mut raw, self.link.global_addrs.len() as u64);
+        for a in &self.link.global_addrs {
+            put_varu(&mut raw, *a);
+        }
+        put_varu(&mut raw, self.link.evt_base);
+        compress(&raw)
+    }
+
+    /// Decompresses and decodes a blob produced by [`Self::to_blob`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MetaError`] describing the first malformation.
+    pub fn from_blob(blob: &[u8]) -> Result<EmbeddedMeta, MetaError> {
+        let raw = decompress(blob).map_err(MetaError::Decompress)?;
+        let mut pos = 0usize;
+        let mlen = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)? as usize;
+        if pos + mlen > raw.len() {
+            return Err(MetaError::BadAnnex);
+        }
+        let module = decode_module(&raw[pos..pos + mlen]).map_err(MetaError::Module)?;
+        pos += mlen;
+        let nfuncs = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)? as usize;
+        if nfuncs != module.functions().len() {
+            return Err(MetaError::BadAnnex);
+        }
+        let mut func_addrs = Vec::with_capacity(nfuncs);
+        for _ in 0..nfuncs {
+            func_addrs.push(read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)? as u32);
+        }
+        let mut func_evt_slot = Vec::with_capacity(nfuncs);
+        for _ in 0..nfuncs {
+            let v = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+            func_evt_slot.push(if v == 0 { None } else { Some((v - 1) as u32) });
+        }
+        let nglobals = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)? as usize;
+        if nglobals != module.globals().len() {
+            return Err(MetaError::BadAnnex);
+        }
+        let mut global_addrs = Vec::with_capacity(nglobals);
+        for _ in 0..nglobals {
+            global_addrs.push(read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?);
+        }
+        let evt_base = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+        if pos != raw.len() {
+            return Err(MetaError::BadAnnex);
+        }
+        Ok(EmbeddedMeta {
+            module,
+            link: LinkInfo { func_addrs, func_evt_slot, global_addrs, evt_base },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pir::FunctionBuilder;
+
+    fn sample() -> EmbeddedMeta {
+        let mut m = Module::new("s");
+        m.add_global("a", 64);
+        m.add_global("b", 8);
+        let mut f = FunctionBuilder::new("f", 0);
+        f.ret(None);
+        m.add_function(f.finish());
+        let mut g = FunctionBuilder::new("g", 0);
+        g.counted_loop(0, 4, 1, |b, i| {
+            let _ = b.add_imm(i, 1);
+        });
+        g.ret(None);
+        let gid = m.add_function(g.finish());
+        m.set_entry(gid);
+        EmbeddedMeta {
+            module: m,
+            link: LinkInfo {
+                func_addrs: vec![0, 10],
+                func_evt_slot: vec![None, Some(0)],
+                global_addrs: vec![64, 128],
+                evt_base: 192,
+            },
+        }
+    }
+
+    #[test]
+    fn blob_roundtrip() {
+        let meta = sample();
+        let blob = meta.to_blob();
+        let back = EmbeddedMeta::from_blob(&blob).expect("decode");
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn evt_cell_lookup() {
+        let meta = sample();
+        assert_eq!(meta.link.evt_cell(pir::FuncId(0)), None);
+        assert_eq!(meta.link.evt_cell(pir::FuncId(1)), Some(192));
+    }
+
+    #[test]
+    fn corrupt_blob_rejected_cleanly() {
+        let meta = sample();
+        let mut blob = meta.to_blob();
+        for i in 0..blob.len() {
+            let mut copy = blob.clone();
+            copy[i] ^= 0xff;
+            let _ = EmbeddedMeta::from_blob(&copy); // must not panic
+        }
+        blob.truncate(blob.len() / 2);
+        assert!(EmbeddedMeta::from_blob(&blob).is_err());
+    }
+
+    #[test]
+    fn annex_func_count_must_match_module() {
+        let mut meta = sample();
+        meta.link.func_addrs.push(99);
+        meta.link.func_evt_slot.push(None);
+        // Manually build a blob with the inconsistent annex. to_blob will
+        // happily encode it; decode must reject.
+        let blob = meta.to_blob();
+        assert_eq!(EmbeddedMeta::from_blob(&blob), Err(MetaError::BadAnnex));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!MetaError::BadAnnex.to_string().is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! Function inlining for small leaf callees.
+//!
+//! Call overhead on the virtual ISA is small but real (register-window
+//! shuffle, and an EVT read for virtualized edges), so inlining tiny leaf
+//! functions is profitable exactly as on real hardware. The pass is
+//! deliberately conservative:
+//!
+//! * only **single-block** callees are inlined (the same functions the
+//!   paper's edge policy declines to virtualize — so inlining never
+//!   removes a PC3D redirection hook), and
+//! * only callees below a size threshold, to bound code growth.
+//!
+//! Inlining remaps callee registers above the caller's register file and
+//! rewrites the return into a move, so it composes with the scalar
+//! pipeline (`opt`), which then cleans up the copies.
+
+use pir::{BinOp, FuncId, Inst, Module, Reg, Term};
+
+/// Inlining thresholds.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct InlineConfig {
+    /// Maximum callee instruction count to inline.
+    pub max_callee_insts: usize,
+    /// Maximum register count a caller may grow to.
+    pub max_caller_regs: u32,
+}
+
+impl Default for InlineConfig {
+    fn default() -> Self {
+        InlineConfig { max_callee_insts: 12, max_caller_regs: pir::MAX_REGS }
+    }
+}
+
+/// Result of an inlining run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct InlineStats {
+    /// Call sites replaced by callee bodies.
+    pub inlined: usize,
+}
+
+/// Returns the callee's body if it is inlinable: a single block ending in
+/// `Ret`, small enough, and containing no calls (leaf).
+fn inlinable(module: &Module, callee: FuncId, config: InlineConfig) -> Option<(Vec<Inst>, Option<Reg>, u32)> {
+    let f = module.function(callee);
+    if f.block_count() != 1 || f.inst_count() > config.max_callee_insts {
+        return None;
+    }
+    let block = f.block(pir::BlockId(0));
+    let Term::Ret(ret) = block.term else { return None };
+    if block.insts.iter().any(|i| matches!(i, Inst::Call { .. } | Inst::Wait)) {
+        return None;
+    }
+    Some((block.insts.clone(), ret, f.reg_count()))
+}
+
+fn remap_reg(r: Reg, params: u32, arg_map: &[Reg], base: u32) -> Reg {
+    if r.0 < params {
+        arg_map[r.index()]
+    } else {
+        Reg(base + (r.0 - params))
+    }
+}
+
+/// Inlines eligible call sites throughout the module. Run before the
+/// scalar pipeline for best results.
+pub fn inline_module(module: &mut Module, config: InlineConfig) -> InlineStats {
+    let mut stats = InlineStats::default();
+    let nfuncs = module.functions().len();
+    for fi in 0..nfuncs {
+        // Collect this function's rewrite plan against an immutable view.
+        let mut new_blocks: Vec<Vec<Inst>> = Vec::new();
+        let mut grew_to = module.function(FuncId(fi as u32)).reg_count();
+        {
+            let caller = module.function(FuncId(fi as u32));
+            for block in caller.blocks() {
+                let mut out: Vec<Inst> = Vec::with_capacity(block.insts.len());
+                for inst in &block.insts {
+                    let Inst::Call { dst, callee, args } = inst else {
+                        out.push(inst.clone());
+                        continue;
+                    };
+                    if callee.index() == fi {
+                        out.push(inst.clone()); // never inline recursion
+                        continue;
+                    }
+                    let Some((body, ret, callee_regs)) = inlinable(module, *callee, config)
+                    else {
+                        out.push(inst.clone());
+                        continue;
+                    };
+                    let callee_params = module.function(*callee).params();
+                    let locals = callee_regs.saturating_sub(callee_params);
+                    if grew_to + locals > config.max_caller_regs {
+                        out.push(inst.clone());
+                        continue;
+                    }
+                    let base = grew_to;
+                    grew_to += locals;
+                    // Arguments map directly onto the caller's registers.
+                    let arg_map: Vec<Reg> = args.clone();
+                    for bi in &body {
+                        let mut cloned = bi.clone();
+                        // Remap every register operand.
+                        let fix = |r: &mut Reg| {
+                            *r = remap_reg(*r, callee_params, &arg_map, base);
+                        };
+                        match &mut cloned {
+                            Inst::Const { dst, .. } => fix(dst),
+                            Inst::Bin { dst, lhs, rhs, .. } => {
+                                fix(lhs);
+                                fix(rhs);
+                                fix(dst);
+                            }
+                            Inst::BinImm { dst, lhs, .. } => {
+                                fix(lhs);
+                                fix(dst);
+                            }
+                            Inst::Load { dst, base, .. } => {
+                                fix(base);
+                                fix(dst);
+                            }
+                            Inst::Store { base, src, .. } => {
+                                fix(base);
+                                fix(src);
+                            }
+                            Inst::GlobalAddr { dst, .. } => fix(dst),
+                            Inst::Report { src, .. } => fix(src),
+                            Inst::Call { .. } | Inst::Nop | Inst::Wait => {}
+                        }
+                        out.push(cloned);
+                    }
+                    // The return value becomes a copy into the call's dst.
+                    if let (Some(d), Some(r)) = (dst, ret) {
+                        let src = remap_reg(r, callee_params, &arg_map, base);
+                        out.push(Inst::BinImm { op: BinOp::Add, dst: *d, lhs: src, imm: 0 });
+                    }
+                    stats.inlined += 1;
+                }
+                new_blocks.push(out);
+            }
+        }
+        let caller = &mut module.functions_mut()[fi];
+        caller.set_reg_count(grew_to.max(caller.reg_count()));
+        for (block, insts) in caller.blocks_mut().iter_mut().zip(new_blocks) {
+            block.insts = insts;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pir::verify::verify_module;
+    use pir::FunctionBuilder;
+
+    /// leaf(a, b) = a*2 + b; main stores leaf(5, 9) twice.
+    fn module() -> Module {
+        let mut m = Module::new("t");
+        let out = m.add_global("out", 64);
+        let mut leaf = FunctionBuilder::new("leaf", 2);
+        let a = leaf.param(0);
+        let b = leaf.param(1);
+        let d = leaf.mul_imm(a, 2);
+        let s = leaf.add(d, b);
+        leaf.ret(Some(s));
+        let leaf_id = m.add_function(leaf.finish());
+        let mut main = FunctionBuilder::new("main", 0);
+        let base = main.global_addr(out);
+        let x = main.const_(5);
+        let y = main.const_(9);
+        let r1 = main.call(leaf_id, &[x, y]);
+        main.store(base, 0, r1);
+        let r2 = main.call(leaf_id, &[y, x]);
+        main.store(base, 8, r2);
+        main.ret(None);
+        let main_id = m.add_function(main.finish());
+        m.set_entry(main_id);
+        m
+    }
+
+    fn run(m: &Module) -> (i64, i64) {
+        use machine::{CostModel, ExecContext, ExecEnv, MachineConfig, MemorySystem,
+                      PerfCounters};
+        let img = crate::Compiler::new(crate::Options::plain()).compile(m).unwrap().image;
+        let cfg = MachineConfig::small();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut counters = PerfCounters::default();
+        let mut ctx = ExecContext::new(img.entry, 1, 0);
+        let mut data = img.data.clone();
+        let mut env = ExecEnv {
+            text: &img.text,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        machine::exec::run(&mut ctx, &mut env, 1_000_000);
+        let a = img.global_by_name("out").unwrap().addr as usize;
+        (
+            i64::from_le_bytes(data[a..a + 8].try_into().unwrap()),
+            i64::from_le_bytes(data[a + 8..a + 16].try_into().unwrap()),
+        )
+    }
+
+    #[test]
+    fn inlines_leaf_and_preserves_results() {
+        let m = module();
+        let before = run(&m);
+        assert_eq!(before, (19, 23));
+        let mut inlined = m.clone();
+        let stats = inline_module(&mut inlined, InlineConfig::default());
+        assert_eq!(stats.inlined, 2);
+        assert!(verify_module(&inlined).is_ok());
+        assert_eq!(run(&inlined), before);
+        // No calls remain in main.
+        let main = inlined.function(inlined.function_by_name("main").unwrap());
+        let calls = main
+            .blocks()
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| matches!(i, Inst::Call { .. }))
+            .count();
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn recursion_is_never_inlined() {
+        let mut m = Module::new("r");
+        let mut f = FunctionBuilder::new("f", 1);
+        let p = f.param(0);
+        f.call_void(pir::FuncId(0), &[p]); // self-call
+        f.ret(None);
+        m.add_function(f.finish());
+        let mut main = FunctionBuilder::new("main", 0);
+        main.ret(None);
+        let mid = m.add_function(main.finish());
+        m.set_entry(mid);
+        let stats = inline_module(&mut m, InlineConfig::default());
+        assert_eq!(stats.inlined, 0);
+    }
+
+    #[test]
+    fn large_callees_are_skipped() {
+        let mut m = Module::new("big");
+        let mut leaf = FunctionBuilder::new("leaf", 0);
+        let mut r = leaf.const_(1);
+        for _ in 0..50 {
+            r = leaf.add_imm(r, 1);
+        }
+        leaf.ret(Some(r));
+        let leaf_id = m.add_function(leaf.finish());
+        let mut main = FunctionBuilder::new("main", 0);
+        let _ = main.call(leaf_id, &[]);
+        main.ret(None);
+        let mid = m.add_function(main.finish());
+        m.set_entry(mid);
+        let stats = inline_module(&mut m, InlineConfig::default());
+        assert_eq!(stats.inlined, 0, "callee exceeds the size threshold");
+    }
+
+    #[test]
+    fn multiblock_callees_are_skipped() {
+        let mut m = Module::new("mb");
+        let mut leaf = FunctionBuilder::new("leaf", 0);
+        let next = leaf.new_block();
+        leaf.br(next);
+        leaf.switch_to(next);
+        leaf.ret(None);
+        let leaf_id = m.add_function(leaf.finish());
+        let mut main = FunctionBuilder::new("main", 0);
+        main.call_void(leaf_id, &[]);
+        main.ret(None);
+        let mid = m.add_function(main.finish());
+        m.set_entry(mid);
+        let stats = inline_module(&mut m, InlineConfig::default());
+        assert_eq!(stats.inlined, 0, "PC3D's redirection hooks must survive inlining");
+    }
+
+    #[test]
+    fn inlining_then_optimizing_shrinks_code() {
+        let m = module();
+        let plain_len =
+            crate::Compiler::new(crate::Options::plain()).compile(&m).unwrap().image.text_len();
+        let mut opt = m.clone();
+        inline_module(&mut opt, InlineConfig::default());
+        crate::opt::optimize_module(&mut opt);
+        assert!(verify_module(&opt).is_ok());
+        let opt_len =
+            crate::Compiler::new(crate::Options::plain()).compile(&opt).unwrap().image.text_len();
+        // Two call+ret pairs disappear; bodies are tiny.
+        assert!(opt_len <= plain_len, "{opt_len} vs {plain_len}");
+        assert_eq!(run(&opt), run(&m));
+    }
+}

@@ -1,0 +1,104 @@
+//! Data-segment layout: meta root, globals, EVT, and embedded IR blob.
+
+use pir::Module;
+use visa::META_ROOT_SIZE;
+
+/// Alignment for globals and metadata regions (a cache line, so distinct
+/// objects never share lines).
+pub const ALIGN: u64 = 64;
+
+fn align_up(v: u64, a: u64) -> u64 {
+    v.div_ceil(a) * a
+}
+
+/// Resolved addresses of everything in the data segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataLayout {
+    /// Address of each global, indexed by [`pir::GlobalId`].
+    pub global_addrs: Vec<u64>,
+    /// Address of EVT slot 0 (meaningful when `evt_len > 0`).
+    pub evt_base: u64,
+    /// Number of EVT slots.
+    pub evt_len: u32,
+    /// Address of the compressed IR blob (meaningful when `ir_len > 0`).
+    pub ir_addr: u64,
+    /// Length of the compressed IR blob.
+    pub ir_len: u64,
+    /// Total data-segment size in bytes.
+    pub total_size: u64,
+}
+
+/// Computes the data layout for `module` with `evt_len` EVT slots and an
+/// IR blob of `ir_len` bytes.
+///
+/// Layout order: meta root header, globals (line-aligned), EVT, IR blob,
+/// plus a trailing guard line.
+pub fn compute(module: &Module, evt_len: u32, ir_len: u64) -> DataLayout {
+    let mut cursor = align_up(META_ROOT_SIZE, ALIGN);
+    let mut global_addrs = Vec::with_capacity(module.globals().len());
+    for g in module.globals() {
+        global_addrs.push(cursor);
+        cursor = align_up(cursor + g.size().max(8), ALIGN);
+    }
+    let evt_base = cursor;
+    cursor = align_up(cursor + 8 * u64::from(evt_len), ALIGN);
+    let ir_addr = cursor;
+    cursor = align_up(cursor + ir_len, ALIGN);
+    let total_size = cursor + ALIGN; // trailing guard line
+    DataLayout { global_addrs, evt_base, evt_len, ir_addr, ir_len, total_size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pir::Module;
+
+    fn module_with_globals(sizes: &[u64]) -> Module {
+        let mut m = Module::new("t");
+        for (i, s) in sizes.iter().enumerate() {
+            m.add_global(format!("g{i}"), *s);
+        }
+        m
+    }
+
+    #[test]
+    fn globals_are_line_aligned_and_disjoint() {
+        let m = module_with_globals(&[100, 8, 64]);
+        let l = compute(&m, 0, 0);
+        assert_eq!(l.global_addrs.len(), 3);
+        for (i, addr) in l.global_addrs.iter().enumerate() {
+            assert_eq!(addr % ALIGN, 0, "global {i} misaligned");
+            assert!(*addr >= META_ROOT_SIZE);
+        }
+        // Disjointness.
+        assert!(l.global_addrs[0] + 100 <= l.global_addrs[1]);
+        assert!(l.global_addrs[1] + 8 <= l.global_addrs[2]);
+    }
+
+    #[test]
+    fn evt_and_ir_after_globals() {
+        let m = module_with_globals(&[128]);
+        let l = compute(&m, 4, 1000);
+        assert!(l.evt_base >= l.global_addrs[0] + 128);
+        assert_eq!(l.evt_base % ALIGN, 0);
+        assert!(l.ir_addr >= l.evt_base + 32);
+        assert_eq!(l.ir_addr % ALIGN, 0);
+        assert!(l.total_size >= l.ir_addr + 1000);
+    }
+
+    #[test]
+    fn empty_module_layout_is_minimal_but_valid() {
+        let m = Module::new("e");
+        let l = compute(&m, 0, 0);
+        assert!(l.total_size >= META_ROOT_SIZE);
+        assert_eq!(l.total_size % ALIGN, 0);
+    }
+
+    #[test]
+    fn zero_size_global_gets_space() {
+        let m = module_with_globals(&[0]);
+        let l = compute(&m, 0, 0);
+        assert_eq!(l.global_addrs.len(), 1);
+        assert!(l.total_size > l.global_addrs[0]);
+    }
+}

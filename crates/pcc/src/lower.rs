@@ -1,0 +1,305 @@
+//! Lowering PIR functions to VISA.
+//!
+//! The same routine serves the static compiler (laying out the whole
+//! module) and the runtime compiler (lowering one transformed function at
+//! a code-cache address): only the base address and the link facts differ.
+//!
+//! Instruction selection notes:
+//!
+//! * A [`pir::Locality::NonTemporal`] load lowers to `prefetchnta` +
+//!   `ld` — two instructions, mirroring x86, which is why variants change
+//!   the program's instruction count but not its branch count (the paper's
+//!   justification for the BPS metric).
+//! * Calls to functions with an EVT slot lower to `callv [evt+slot]` when
+//!   virtualization is enabled; all other calls are direct.
+//! * Branches to the next block in layout order are elided (fallthrough).
+
+use pir::{Function, Inst, Locality, Module, Reg, Term};
+use visa::{Op, PReg};
+
+use crate::annex::LinkInfo;
+
+/// Context shared by every function lowering within one module.
+#[derive(Copy, Clone, Debug)]
+pub struct LowerCtx<'a> {
+    /// The module being compiled (callee arities, globals).
+    pub module: &'a Module,
+    /// Resolved addresses and EVT slots.
+    pub link: &'a LinkInfo,
+    /// Whether calls to slot-assigned callees go through the EVT.
+    pub virtualize: bool,
+}
+
+fn preg(r: Reg) -> PReg {
+    debug_assert!(r.0 < 256, "register {r} exceeds frame register file");
+    PReg(r.0 as u8)
+}
+
+/// Number of VISA ops one instruction lowers to.
+fn inst_size(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Load { locality: Locality::NonTemporal, .. } => 2,
+        Inst::Nop => 0,
+        _ => 1,
+    }
+}
+
+/// Number of VISA ops a terminator lowers to, given whether each successor
+/// is the fallthrough block.
+fn term_size(term: &Term, next: Option<pir::BlockId>) -> u32 {
+    match term {
+        Term::Br(t) => u32::from(Some(*t) != next),
+        Term::CondBr { then_bb, else_bb, .. } => {
+            if Some(*then_bb) == next {
+                // Invert: a single bz to the else block (or nothing if
+                // both fall through).
+                u32::from(Some(*else_bb) != next)
+            } else {
+                1 + u32::from(Some(*else_bb) != next)
+            }
+        }
+        Term::Ret(_) => 1,
+    }
+}
+
+/// Computes the lowered size (in instructions) of a function. Independent
+/// of the base address, so the static compiler can lay out all functions
+/// before lowering any.
+pub fn lowered_size(func: &Function) -> u32 {
+    let nblocks = func.block_count();
+    let mut size = 0u32;
+    for (bi, block) in func.blocks().iter().enumerate() {
+        let next = (bi + 1 < nblocks).then(|| pir::BlockId(bi as u32 + 1));
+        size += block.insts.iter().map(inst_size).sum::<u32>();
+        size += term_size(&block.term, next);
+    }
+    size
+}
+
+/// Lowers `func` at text address `base`, resolving calls and globals via
+/// the context.
+///
+/// # Panics
+///
+/// Panics if the function references link facts that do not exist; a
+/// verified module with a complete [`LinkInfo`] never does.
+pub fn lower_function(func: &Function, ctx: &LowerCtx<'_>, base: u32) -> Vec<Op> {
+    let nblocks = func.block_count();
+    // Pass 1: block start offsets.
+    let mut starts = Vec::with_capacity(nblocks);
+    let mut off = 0u32;
+    for (bi, block) in func.blocks().iter().enumerate() {
+        starts.push(off);
+        let next = (bi + 1 < nblocks).then(|| pir::BlockId(bi as u32 + 1));
+        off += block.insts.iter().map(inst_size).sum::<u32>();
+        off += term_size(&block.term, next);
+    }
+    let target_of = |b: pir::BlockId| base + starts[b.index()];
+
+    // Pass 2: emit.
+    let mut ops = Vec::with_capacity(off as usize);
+    for (bi, block) in func.blocks().iter().enumerate() {
+        let next = (bi + 1 < nblocks).then(|| pir::BlockId(bi as u32 + 1));
+        for inst in &block.insts {
+            match inst {
+                Inst::Const { dst, value } => {
+                    ops.push(Op::Movi { dst: preg(*dst), imm: *value });
+                }
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    ops.push(Op::Alu {
+                        op: *op,
+                        dst: preg(*dst),
+                        a: preg(*lhs),
+                        b: preg(*rhs),
+                    });
+                }
+                Inst::BinImm { op, dst, lhs, imm } => {
+                    ops.push(Op::AluImm { op: *op, dst: preg(*dst), a: preg(*lhs), imm: *imm });
+                }
+                Inst::Load { dst, base: b, offset, locality } => {
+                    if locality.is_non_temporal() {
+                        ops.push(Op::PrefetchNta { base: preg(*b), offset: *offset });
+                    }
+                    ops.push(Op::Load { dst: preg(*dst), base: preg(*b), offset: *offset });
+                }
+                Inst::Store { base: b, offset, src } => {
+                    ops.push(Op::Store { base: preg(*b), offset: *offset, src: preg(*src) });
+                }
+                Inst::GlobalAddr { dst, global } => {
+                    let addr = ctx.link.global_addrs[global.index()];
+                    ops.push(Op::Movi { dst: preg(*dst), imm: addr as i64 });
+                }
+                Inst::Call { dst, callee, args } => {
+                    let vargs: Vec<PReg> = args.iter().map(|r| preg(*r)).collect();
+                    let vdst = dst.map(preg);
+                    let slot = if ctx.virtualize {
+                        ctx.link.func_evt_slot[callee.index()]
+                    } else {
+                        None
+                    };
+                    match slot {
+                        Some(slot) => ops.push(Op::CallVirt { slot, dst: vdst, args: vargs }),
+                        None => ops.push(Op::Call {
+                            target: ctx.link.func_addrs[callee.index()],
+                            dst: vdst,
+                            args: vargs,
+                        }),
+                    }
+                }
+                Inst::Report { channel, src } => {
+                    ops.push(Op::Report { channel: *channel, src: preg(*src) });
+                }
+                Inst::Nop => {}
+                Inst::Wait => ops.push(Op::Wait),
+            }
+        }
+        match &block.term {
+            Term::Br(t) => {
+                if Some(*t) != next {
+                    ops.push(Op::Jmp { target: target_of(*t) });
+                }
+            }
+            Term::CondBr { cond, then_bb, else_bb } => {
+                if Some(*then_bb) == next {
+                    if Some(*else_bb) != next {
+                        ops.push(Op::Bz { cond: preg(*cond), target: target_of(*else_bb) });
+                    }
+                } else {
+                    ops.push(Op::Bnz { cond: preg(*cond), target: target_of(*then_bb) });
+                    if Some(*else_bb) != next {
+                        ops.push(Op::Jmp { target: target_of(*else_bb) });
+                    }
+                }
+            }
+            Term::Ret(v) => {
+                ops.push(Op::Ret { src: v.map(preg) });
+            }
+        }
+    }
+    debug_assert_eq!(ops.len() as u32, off, "size computation out of sync with emission");
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pir::FunctionBuilder;
+
+    fn link_for(module: &Module) -> LinkInfo {
+        LinkInfo {
+            func_addrs: (0..module.functions().len() as u32).map(|i| i * 100).collect(),
+            func_evt_slot: vec![None; module.functions().len()],
+            global_addrs: (0..module.globals().len() as u64).map(|i| 64 + i * 64).collect(),
+            evt_base: 0,
+        }
+    }
+
+    #[test]
+    fn straight_line_size_and_emission_agree() {
+        let mut m = Module::new("t");
+        let g = m.add_global("g", 64);
+        let mut b = FunctionBuilder::new("f", 0);
+        let base = b.global_addr(g);
+        let v = b.load(base, 0, Locality::Normal);
+        let w = b.load(base, 8, Locality::NonTemporal);
+        let s = b.add(v, w);
+        b.store(base, 16, s);
+        b.ret(Some(s));
+        let f = b.finish();
+        m.add_function(f.clone());
+        let link = link_for(&m);
+        let ctx = LowerCtx { module: &m, link: &link, virtualize: false };
+        let ops = lower_function(&f, &ctx, 0);
+        assert_eq!(ops.len() as u32, lowered_size(&f));
+        // NT load produced a prefetchnta.
+        assert!(ops.iter().any(|o| matches!(o, Op::PrefetchNta { .. })));
+        // Exactly one prefetch (one NT site).
+        assert_eq!(ops.iter().filter(|o| matches!(o, Op::PrefetchNta { .. })).count(), 1);
+    }
+
+    #[test]
+    fn fallthrough_branches_elided() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.counted_loop(0, 4, 1, |b, i| {
+            let _ = b.add_imm(i, 1);
+        });
+        b.ret(None);
+        let f = b.finish();
+        let m = {
+            let mut m = Module::new("t");
+            m.add_function(f.clone());
+            m
+        };
+        let link = link_for(&m);
+        let ctx = LowerCtx { module: &m, link: &link, virtualize: false };
+        let ops = lower_function(&f, &ctx, 0);
+        // entry falls through to header: the entry block's Br is elided.
+        // The loop needs exactly one backward Jmp (body -> header).
+        let jmps = ops.iter().filter(|o| matches!(o, Op::Jmp { .. })).count();
+        assert_eq!(jmps, 1, "ops: {ops:?}");
+    }
+
+    #[test]
+    fn virtualized_call_uses_evt() {
+        let mut m = Module::new("t");
+        let mut callee = FunctionBuilder::new("callee", 1);
+        let p = callee.param(0);
+        callee.ret(Some(p));
+        let cid = m.add_function(callee.finish());
+        let mut main = FunctionBuilder::new("main", 0);
+        let x = main.const_(3);
+        let _ = main.call(cid, &[x]);
+        main.ret(None);
+        let f = main.finish();
+        m.add_function(f.clone());
+        let mut link = link_for(&m);
+        link.func_evt_slot[cid.index()] = Some(7);
+        // Virtualization on: emits CallVirt.
+        let ctx = LowerCtx { module: &m, link: &link, virtualize: true };
+        let ops = lower_function(&f, &ctx, 0);
+        assert!(ops.iter().any(|o| matches!(o, Op::CallVirt { slot: 7, .. })));
+        // Virtualization off: emits a direct call to the callee address.
+        let ctx2 = LowerCtx { module: &m, link: &link, virtualize: false };
+        let ops2 = lower_function(&f, &ctx2, 0);
+        assert!(ops2.iter().any(|o| matches!(o, Op::Call { target: 0, .. })));
+    }
+
+    #[test]
+    fn base_address_offsets_targets() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.counted_loop(0, 4, 1, |b, i| {
+            let _ = b.add_imm(i, 1);
+        });
+        b.ret(None);
+        let f = b.finish();
+        let m = {
+            let mut m = Module::new("t");
+            m.add_function(f.clone());
+            m
+        };
+        let link = link_for(&m);
+        let ctx = LowerCtx { module: &m, link: &link, virtualize: false };
+        let at0 = lower_function(&f, &ctx, 0);
+        let at500 = lower_function(&f, &ctx, 500);
+        for (a, b) in at0.iter().zip(&at500) {
+            match (a, b) {
+                (Op::Jmp { target: t0 }, Op::Jmp { target: t1 })
+                | (Op::Bnz { target: t0, .. }, Op::Bnz { target: t1, .. })
+                | (Op::Bz { target: t0, .. }, Op::Bz { target: t1, .. }) => {
+                    assert_eq!(t0 + 500, *t1);
+                }
+                _ => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn nop_lowers_to_nothing() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.push(Inst::Nop);
+        b.push(Inst::Nop);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(lowered_size(&f), 1); // just the ret
+    }
+}

@@ -1,0 +1,194 @@
+//! Non-temporal hint assignments — the paper's variant bit vectors.
+//!
+//! Section IV-B: "We refer to each such program variant as a bit vector
+//! M = ⟨M1 … MN⟩, where N is the number of loads in the host program's
+//! code and Mi ∈ {0,1} represents the absence or presence of a
+//! non-temporal cache hint associated with the ith load."
+//!
+//! [`NtAssignment`] is that bit vector, keyed by [`pir::LoadSiteId`] so it
+//! stays valid as search heuristics prune and reorder the site list.
+
+use std::collections::BTreeSet;
+
+use pir::{Function, Inst, LoadSiteId, Locality};
+
+/// The set of load sites carrying a non-temporal hint.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NtAssignment {
+    sites: BTreeSet<LoadSiteId>,
+}
+
+impl NtAssignment {
+    /// The all-zeros vector **0** (no hints): maximum cache pressure.
+    pub fn none() -> Self {
+        NtAssignment::default()
+    }
+
+    /// The all-ones vector **1** over the given sites: minimum cache
+    /// pressure.
+    pub fn all(sites: impl IntoIterator<Item = LoadSiteId>) -> Self {
+        NtAssignment { sites: sites.into_iter().collect() }
+    }
+
+    /// Whether the load at `site` carries a hint.
+    pub fn contains(&self, site: LoadSiteId) -> bool {
+        self.sites.contains(&site)
+    }
+
+    /// Adds a hint. Returns true if it was newly added.
+    pub fn insert(&mut self, site: LoadSiteId) -> bool {
+        self.sites.insert(site)
+    }
+
+    /// Removes a hint. Returns true if it was present.
+    pub fn remove(&mut self, site: LoadSiteId) -> bool {
+        self.sites.remove(&site)
+    }
+
+    /// Flips one bit, as Algorithm 1's `m ← ⟨m1 … !mi … mn⟩` step.
+    pub fn flip(&mut self, site: LoadSiteId) {
+        if !self.sites.remove(&site) {
+            self.sites.insert(site);
+        }
+    }
+
+    /// Number of hinted sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// True if no site is hinted (the **0** vector).
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Iterates hinted sites in order.
+    pub fn iter(&self) -> impl Iterator<Item = LoadSiteId> + '_ {
+        self.sites.iter().copied()
+    }
+
+    /// Hinted sites within one function.
+    pub fn sites_in(&self, func: pir::FuncId) -> Vec<LoadSiteId> {
+        self.sites.iter().copied().filter(|s| s.func == func).collect()
+    }
+
+    /// Produces a copy of `func` (which must be function `fid` of the
+    /// module) with load localities set exactly per this assignment:
+    /// hinted sites become [`Locality::NonTemporal`], everything else
+    /// [`Locality::Normal`].
+    pub fn apply_to(&self, func: &Function, fid: pir::FuncId) -> Function {
+        let mut out = func.clone();
+        for (bi, block) in out.blocks_mut().iter_mut().enumerate() {
+            for (ii, inst) in block.insts.iter_mut().enumerate() {
+                if let Inst::Load { locality, .. } = inst {
+                    let site = LoadSiteId {
+                        func: fid,
+                        block: pir::BlockId(bi as u32),
+                        index: ii as u32,
+                    };
+                    *locality = if self.contains(site) {
+                        Locality::NonTemporal
+                    } else {
+                        Locality::Normal
+                    };
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<LoadSiteId> for NtAssignment {
+    fn from_iter<I: IntoIterator<Item = LoadSiteId>>(iter: I) -> Self {
+        NtAssignment { sites: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<LoadSiteId> for NtAssignment {
+    fn extend<I: IntoIterator<Item = LoadSiteId>>(&mut self, iter: I) {
+        self.sites.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pir::{load_sites, FuncId, FunctionBuilder, Module};
+
+    fn two_load_module() -> Module {
+        let mut m = Module::new("t");
+        let g = m.add_global("buf", 1 << 12);
+        let mut b = FunctionBuilder::new("f", 0);
+        let base = b.global_addr(g);
+        let _ = b.load(base, 0, Locality::Normal);
+        let _ = b.load(base, 8, Locality::Normal);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        m
+    }
+
+    #[test]
+    fn flip_toggles() {
+        let m = two_load_module();
+        let sites: Vec<_> = load_sites(&m).iter().map(|s| s.site).collect();
+        let mut a = NtAssignment::none();
+        a.flip(sites[0]);
+        assert!(a.contains(sites[0]));
+        a.flip(sites[0]);
+        assert!(!a.contains(sites[0]));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn all_and_none_vectors() {
+        let m = two_load_module();
+        let sites: Vec<_> = load_sites(&m).iter().map(|s| s.site).collect();
+        let one = NtAssignment::all(sites.iter().copied());
+        assert_eq!(one.len(), 2);
+        assert!(NtAssignment::none().is_empty());
+        assert_eq!(one.iter().count(), 2);
+    }
+
+    #[test]
+    fn apply_sets_localities_exactly() {
+        let m = two_load_module();
+        let sites: Vec<_> = load_sites(&m).iter().map(|s| s.site).collect();
+        let mut a = NtAssignment::none();
+        a.insert(sites[1]);
+        let f2 = a.apply_to(m.function(FuncId(0)), FuncId(0));
+        let locs: Vec<Locality> = f2
+            .blocks()
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter_map(|i| match i {
+                Inst::Load { locality, .. } => Some(*locality),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(locs, vec![Locality::Normal, Locality::NonTemporal]);
+        // Applying the empty assignment resets everything.
+        let f3 = NtAssignment::none().apply_to(&f2, FuncId(0));
+        assert_eq!(f3, *m.function(FuncId(0)));
+    }
+
+    #[test]
+    fn sites_in_filters_by_function() {
+        let m = two_load_module();
+        let sites: Vec<_> = load_sites(&m).iter().map(|s| s.site).collect();
+        let a = NtAssignment::all(sites.iter().copied());
+        assert_eq!(a.sites_in(FuncId(0)).len(), 2);
+        assert!(a.sites_in(FuncId(5)).is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let m = two_load_module();
+        let sites: Vec<_> = load_sites(&m).iter().map(|s| s.site).collect();
+        let a: NtAssignment = sites.iter().copied().collect();
+        assert_eq!(a.len(), 2);
+        let mut b = NtAssignment::none();
+        b.extend(sites.iter().copied());
+        assert_eq!(a, b);
+    }
+}

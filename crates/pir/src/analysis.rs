@@ -1,0 +1,129 @@
+//! Load-site enumeration — the domain of PC3D's variant bit vectors.
+//!
+//! Section IV-B of the paper defines a program variant as a bit vector over
+//! the program's static loads. This module enumerates those loads together
+//! with the loop-nesting depth of their blocks (feeding the "Only Innermost
+//! Loops" heuristic).
+
+use crate::ids::{BlockId, FuncId, LoadSiteId};
+use crate::loops;
+use crate::module::{Function, Module};
+
+/// One static load instruction plus its loop context.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct LoadSite {
+    /// Where the load is.
+    pub site: LoadSiteId,
+    /// Loop nesting depth of the containing block.
+    pub depth: u32,
+    /// The maximum loop nesting depth anywhere in the containing function.
+    pub func_max_depth: u32,
+}
+
+impl LoadSite {
+    /// True if this load sits at the deepest loop level of its function —
+    /// the paper observes >80% of dynamic loads come from such sites.
+    pub fn at_max_depth(&self) -> bool {
+        self.depth == self.func_max_depth && self.func_max_depth > 0
+    }
+}
+
+/// Enumerates the load sites of one function, in program order.
+pub fn function_load_sites(func: &Function, fid: FuncId) -> Vec<LoadSite> {
+    let info = loops::analyze(func);
+    let mut out = Vec::new();
+    for (bi, block) in func.blocks().iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        for (ii, inst) in block.insts.iter().enumerate() {
+            if inst.is_load() {
+                out.push(LoadSite {
+                    site: LoadSiteId { func: fid, block: bid, index: ii as u32 },
+                    depth: info.depth(bid),
+                    func_max_depth: info.max_depth(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates every load site in the module, in `(function, block, index)`
+/// order.
+pub fn load_sites(module: &Module) -> Vec<LoadSite> {
+    let mut out = Vec::new();
+    for (fi, func) in module.functions().iter().enumerate() {
+        out.extend(function_load_sites(func, FuncId(fi as u32)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Locality;
+    use crate::module::Module;
+
+    fn sample_module() -> Module {
+        let mut m = Module::new("t");
+        let g = m.add_global("buf", 1 << 16);
+        // f0: one load outside any loop, one inside a depth-1 loop,
+        // one inside a depth-2 loop.
+        let mut b = FunctionBuilder::new("f0", 0);
+        let base = b.global_addr(g);
+        let _ = b.load(base, 0, Locality::Normal);
+        b.counted_loop(0, 8, 1, |b, _| {
+            let _ = b.load(base, 8, Locality::Normal);
+            b.counted_loop(0, 8, 1, |b, _| {
+                let _ = b.load(base, 16, Locality::Normal);
+            });
+        });
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        m
+    }
+
+    #[test]
+    fn sites_enumerated_in_order_with_depths() {
+        let m = sample_module();
+        let sites = load_sites(&m);
+        assert_eq!(sites.len(), 3);
+        let depths: Vec<u32> = sites.iter().map(|s| s.depth).collect();
+        assert!(depths.contains(&0));
+        assert!(depths.contains(&1));
+        assert!(depths.contains(&2));
+        for s in &sites {
+            assert_eq!(s.func_max_depth, 2);
+        }
+    }
+
+    #[test]
+    fn max_depth_filter() {
+        let m = sample_module();
+        let sites = load_sites(&m);
+        let deepest: Vec<_> = sites.iter().filter(|s| s.at_max_depth()).collect();
+        assert_eq!(deepest.len(), 1);
+        assert_eq!(deepest[0].depth, 2);
+    }
+
+    #[test]
+    fn no_loops_means_not_at_max_depth() {
+        let mut m = Module::new("t");
+        let g = m.add_global("b", 64);
+        let mut b = FunctionBuilder::new("f", 0);
+        let base = b.global_addr(g);
+        let _ = b.load(base, 0, Locality::Normal);
+        b.ret(None);
+        m.add_function(b.finish());
+        let sites = load_sites(&m);
+        assert_eq!(sites.len(), 1);
+        assert!(!sites[0].at_max_depth());
+    }
+
+    #[test]
+    fn site_count_matches_module_load_count() {
+        let m = sample_module();
+        assert_eq!(load_sites(&m).len(), m.load_count());
+    }
+}

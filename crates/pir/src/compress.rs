@@ -1,0 +1,330 @@
+//! A small LZ77-family compressor for embedded IR blobs.
+//!
+//! The paper's compiler "serializes, compresses and places the IR into the
+//! data region". The offline crate set has no compression crate, so this
+//! module implements a simple byte-oriented LZ with a hash-table match
+//! finder. It is deterministic and self-contained; ratios on encoded PIR
+//! are typically 2-4x.
+//!
+//! Stream format: `PZ1` magic, varint decompressed length, then a token
+//! stream of literal runs (`0x00 len bytes…`) and matches
+//! (`0x01 len dist`), with `len >= 3` and `dist >= 1` for matches.
+
+use std::error::Error;
+use std::fmt;
+
+/// Magic bytes opening a compressed stream.
+pub const MAGIC: [u8; 3] = *b"PZ1";
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 1 << 16;
+const HASH_BITS: u32 = 15;
+const WINDOW: usize = 1 << 16;
+
+/// A failure while decompressing.
+#[allow(missing_docs)] // operand/payload fields are standard roles
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecompressError {
+    /// Input ended prematurely.
+    UnexpectedEof,
+    /// The magic bytes were wrong.
+    BadMagic,
+    /// A token tag was neither literal nor match.
+    BadToken(u8),
+    /// A match referenced data before the start of the output.
+    BadDistance { dist: u64, at: usize },
+    /// The decompressed size did not match the header.
+    LengthMismatch { expected: u64, got: u64 },
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompressError::UnexpectedEof => write!(f, "unexpected end of compressed input"),
+            DecompressError::BadMagic => write!(f, "bad compression magic"),
+            DecompressError::BadToken(t) => write!(f, "invalid token tag {t}"),
+            DecompressError::BadDistance { dist, at } => {
+                write!(f, "match distance {dist} exceeds output position {at}")
+            }
+            DecompressError::LengthMismatch { expected, got } => {
+                write!(f, "decompressed length {got}, header said {expected}")
+            }
+            DecompressError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+        }
+    }
+}
+
+impl Error for DecompressError {}
+
+fn put_varu(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn read_varu(data: &[u8], pos: &mut usize) -> Result<u64, DecompressError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *data.get(*pos).ok_or(DecompressError::UnexpectedEof)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && (byte & 0x7e) != 0) {
+            return Err(DecompressError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let w = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (w.wrapping_mul(0x9e37_79b1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input`, returning a self-describing stream.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&MAGIC);
+    put_varu(&mut out, input.len() as u64);
+
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize, input: &[u8]| {
+        if to > from {
+            out.push(0x00);
+            put_varu(out, (to - from) as u64);
+            out.extend_from_slice(&input[from..to]);
+        }
+    };
+
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(input, i);
+        let cand = table[h];
+        table[h] = i;
+        if cand != usize::MAX && i - cand <= WINDOW && input[cand..cand + MIN_MATCH] == input[i..i + MIN_MATCH]
+        {
+            // Extend the match.
+            let mut len = MIN_MATCH;
+            let max = (input.len() - i).min(MAX_MATCH);
+            while len < max && input[cand + len] == input[i + len] {
+                len += 1;
+            }
+            flush_literals(&mut out, lit_start, i, input);
+            out.push(0x01);
+            put_varu(&mut out, len as u64);
+            put_varu(&mut out, (i - cand) as u64);
+            // Index a few positions inside the match so later data can
+            // reference it (sparse to keep compression fast).
+            let end = i + len;
+            let mut j = i + 1;
+            while j + MIN_MATCH <= input.len() && j < end {
+                table[hash4(input, j)] = j;
+                j += 3;
+            }
+            i = end;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, lit_start, input.len(), input);
+    out
+}
+
+/// Decompresses a stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns a [`DecompressError`] for any malformed stream; the function
+/// never panics on untrusted input.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    if data.len() < 3 || data[..3] != MAGIC {
+        return Err(DecompressError::BadMagic);
+    }
+    let mut pos = 3usize;
+    let expected = read_varu(data, &mut pos)?;
+    if expected > (1 << 34) {
+        // Refuse absurd allocations from corrupt headers.
+        return Err(DecompressError::LengthMismatch { expected, got: 0 });
+    }
+    let mut out: Vec<u8> = Vec::with_capacity(expected as usize);
+    while pos < data.len() {
+        let tag = data[pos];
+        pos += 1;
+        match tag {
+            0x00 => {
+                let len = read_varu(data, &mut pos)? as usize;
+                if pos + len > data.len() {
+                    return Err(DecompressError::UnexpectedEof);
+                }
+                out.extend_from_slice(&data[pos..pos + len]);
+                pos += len;
+            }
+            0x01 => {
+                let len = read_varu(data, &mut pos)? as usize;
+                let dist = read_varu(data, &mut pos)?;
+                let d = dist as usize;
+                if d == 0 || d > out.len() {
+                    return Err(DecompressError::BadDistance { dist, at: out.len() });
+                }
+                let start = out.len() - d;
+                // Overlapping copies are valid (RLE-style); copy bytewise.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            t => return Err(DecompressError::BadToken(t)),
+        }
+    }
+    if out.len() as u64 != expected {
+        return Err(DecompressError::LengthMismatch { expected, got: out.len() as u64 });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompress");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn roundtrip_short() {
+        roundtrip(b"ab");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn roundtrip_repetitive_compresses() {
+        let data: Vec<u8> = b"protean code ".iter().copied().cycle().take(10_000).collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 4, "ratio too poor: {} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_overlapping_rle() {
+        let data = vec![7u8; 5000];
+        let c = compress(&data);
+        assert!(c.len() < 64);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_pseudorandom() {
+        // xorshift-generated incompressible data must still roundtrip.
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..8192)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrip_encoded_module() {
+        use crate::builder::FunctionBuilder;
+        use crate::module::Module;
+        let mut m = Module::new("m");
+        for fi in 0..20 {
+            let mut b = FunctionBuilder::new(format!("f{fi}"), 0);
+            b.counted_loop(0, 100, 1, |b, i| {
+                let _ = b.add_imm(i, 7);
+            });
+            b.ret(None);
+            m.add_function(b.finish());
+        }
+        let bytes = crate::encode::encode_module(&m);
+        let c = compress(&bytes);
+        assert!(c.len() < bytes.len(), "compression should help on IR: {} vs {}", c.len(), bytes.len());
+        assert_eq!(decompress(&c).unwrap(), bytes);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decompress(b"XYZ\x00"), Err(DecompressError::BadMagic));
+        assert_eq!(decompress(b""), Err(DecompressError::BadMagic));
+    }
+
+    #[test]
+    fn bad_token_rejected() {
+        let mut c = compress(b"");
+        c.push(0x02);
+        assert_eq!(decompress(&c), Err(DecompressError::BadToken(2)));
+    }
+
+    #[test]
+    fn truncated_literal_rejected() {
+        let mut c = Vec::new();
+        c.extend_from_slice(&MAGIC);
+        c.push(10); // claim 10 bytes
+        c.push(0x00);
+        c.push(10); // literal run of 10
+        c.extend_from_slice(b"abc"); // but only 3 present
+        assert_eq!(decompress(&c), Err(DecompressError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bad_distance_rejected() {
+        let mut c = Vec::new();
+        c.extend_from_slice(&MAGIC);
+        c.push(4);
+        c.push(0x01); // match before any output exists
+        c.push(4); // len
+        c.push(1); // dist
+        assert!(matches!(decompress(&c), Err(DecompressError::BadDistance { .. })));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut c = Vec::new();
+        c.extend_from_slice(&MAGIC);
+        c.push(9); // claim 9 bytes
+        c.push(0x00);
+        c.push(3);
+        c.extend_from_slice(b"abc");
+        assert!(matches!(decompress(&c), Err(DecompressError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            DecompressError::UnexpectedEof,
+            DecompressError::BadMagic,
+            DecompressError::BadToken(9),
+            DecompressError::BadDistance { dist: 4, at: 0 },
+            DecompressError::LengthMismatch { expected: 1, got: 2 },
+            DecompressError::VarintOverflow,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! Binary serialization of PIR modules.
+//!
+//! `pcc` serializes the module with this codec, compresses it with
+//! [`crate::compress`], and embeds the result in the binary's data region
+//! (Section III-A2 of the paper). The protean runtime reverses the process
+//! at attach time.
+//!
+//! The format is a compact tag/varint encoding: LEB128 for unsigned
+//! quantities, zigzag-LEB128 for signed ones.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{BlockId, FuncId, GlobalId, Reg};
+use crate::inst::{BinOp, Inst, Locality, Term};
+use crate::module::{Block, Function, Global, GlobalInit, Module};
+
+/// Magic bytes opening an encoded module (`PIR1`).
+pub const MAGIC: [u8; 4] = *b"PIR1";
+
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// A failure while decoding an encoded module.
+#[allow(missing_docs)] // operand/payload fields are standard roles
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended prematurely.
+    UnexpectedEof,
+    /// The magic bytes were wrong.
+    BadMagic,
+    /// The version byte was not [`VERSION`].
+    BadVersion(u8),
+    /// An enum tag byte had no defined meaning.
+    BadTag { what: &'static str, value: u8 },
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// Trailing bytes followed a well-formed module.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::BadMagic => write!(f, "bad magic bytes"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::BadTag { what, value } => write!(f, "invalid {what} tag {value}"),
+            DecodeError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            DecodeError::BadUtf8 => write!(f, "string is not valid utf-8"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after module"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+// ---------------------------------------------------------------------------
+// Primitive writers/readers
+// ---------------------------------------------------------------------------
+
+fn put_varu(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn put_vari(buf: &mut Vec<u8>, v: i64) {
+    // Zigzag encoding.
+    put_varu(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_varu(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Byte-stream reader with position tracking.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.data.get(self.pos).ok_or(DecodeError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.data.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn varu(&mut self) -> Result<u64, DecodeError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 {
+                return Err(DecodeError::VarintOverflow);
+            }
+            // The 10th byte may only contribute one bit.
+            if shift == 63 && (byte & 0x7e) != 0 {
+                return Err(DecodeError::VarintOverflow);
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn vari(&mut self) -> Result<i64, DecodeError> {
+        let z = self.varu()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.varu()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        Ok(Reg(self.varu()? as u32))
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instruction encoding
+// ---------------------------------------------------------------------------
+
+fn put_inst(buf: &mut Vec<u8>, inst: &Inst) {
+    match inst {
+        Inst::Const { dst, value } => {
+            buf.push(0);
+            put_varu(buf, u64::from(dst.0));
+            put_vari(buf, *value);
+        }
+        Inst::Bin { op, dst, lhs, rhs } => {
+            buf.push(1);
+            buf.push(*op as u8);
+            put_varu(buf, u64::from(dst.0));
+            put_varu(buf, u64::from(lhs.0));
+            put_varu(buf, u64::from(rhs.0));
+        }
+        Inst::BinImm { op, dst, lhs, imm } => {
+            buf.push(2);
+            buf.push(*op as u8);
+            put_varu(buf, u64::from(dst.0));
+            put_varu(buf, u64::from(lhs.0));
+            put_vari(buf, *imm);
+        }
+        Inst::Load { dst, base, offset, locality } => {
+            buf.push(3);
+            put_varu(buf, u64::from(dst.0));
+            put_varu(buf, u64::from(base.0));
+            put_vari(buf, *offset);
+            buf.push(locality.is_non_temporal() as u8);
+        }
+        Inst::Store { base, offset, src } => {
+            buf.push(4);
+            put_varu(buf, u64::from(base.0));
+            put_vari(buf, *offset);
+            put_varu(buf, u64::from(src.0));
+        }
+        Inst::GlobalAddr { dst, global } => {
+            buf.push(5);
+            put_varu(buf, u64::from(dst.0));
+            put_varu(buf, u64::from(global.0));
+        }
+        Inst::Call { dst, callee, args } => {
+            buf.push(6);
+            match dst {
+                Some(d) => {
+                    buf.push(1);
+                    put_varu(buf, u64::from(d.0));
+                }
+                None => buf.push(0),
+            }
+            put_varu(buf, u64::from(callee.0));
+            put_varu(buf, args.len() as u64);
+            for a in args {
+                put_varu(buf, u64::from(a.0));
+            }
+        }
+        Inst::Report { channel, src } => {
+            buf.push(7);
+            buf.push(*channel);
+            put_varu(buf, u64::from(src.0));
+        }
+        Inst::Nop => buf.push(8),
+        Inst::Wait => buf.push(9),
+    }
+}
+
+fn binop_from_u8(v: u8) -> Result<BinOp, DecodeError> {
+    BinOp::ALL
+        .get(v as usize)
+        .copied()
+        .ok_or(DecodeError::BadTag { what: "binop", value: v })
+}
+
+fn read_inst(r: &mut Reader<'_>) -> Result<Inst, DecodeError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => Inst::Const { dst: r.reg()?, value: r.vari()? },
+        1 => {
+            let op = binop_from_u8(r.u8()?)?;
+            Inst::Bin { op, dst: r.reg()?, lhs: r.reg()?, rhs: r.reg()? }
+        }
+        2 => {
+            let op = binop_from_u8(r.u8()?)?;
+            Inst::BinImm { op, dst: r.reg()?, lhs: r.reg()?, imm: r.vari()? }
+        }
+        3 => {
+            let dst = r.reg()?;
+            let base = r.reg()?;
+            let offset = r.vari()?;
+            let locality = match r.u8()? {
+                0 => Locality::Normal,
+                1 => Locality::NonTemporal,
+                v => return Err(DecodeError::BadTag { what: "locality", value: v }),
+            };
+            Inst::Load { dst, base, offset, locality }
+        }
+        4 => Inst::Store { base: r.reg()?, offset: r.vari()?, src: r.reg()? },
+        5 => Inst::GlobalAddr { dst: r.reg()?, global: GlobalId(r.varu()? as u32) },
+        6 => {
+            let dst = match r.u8()? {
+                0 => None,
+                1 => Some(r.reg()?),
+                v => return Err(DecodeError::BadTag { what: "call-dst", value: v }),
+            };
+            let callee = FuncId(r.varu()? as u32);
+            let n = r.varu()? as usize;
+            let mut args = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                args.push(r.reg()?);
+            }
+            Inst::Call { dst, callee, args }
+        }
+        7 => Inst::Report { channel: r.u8()?, src: r.reg()? },
+        8 => Inst::Nop,
+        9 => Inst::Wait,
+        v => return Err(DecodeError::BadTag { what: "inst", value: v }),
+    })
+}
+
+fn put_term(buf: &mut Vec<u8>, term: &Term) {
+    match term {
+        Term::Br(t) => {
+            buf.push(0);
+            put_varu(buf, u64::from(t.0));
+        }
+        Term::CondBr { cond, then_bb, else_bb } => {
+            buf.push(1);
+            put_varu(buf, u64::from(cond.0));
+            put_varu(buf, u64::from(then_bb.0));
+            put_varu(buf, u64::from(else_bb.0));
+        }
+        Term::Ret(Some(r)) => {
+            buf.push(2);
+            put_varu(buf, u64::from(r.0));
+        }
+        Term::Ret(None) => buf.push(3),
+    }
+}
+
+fn read_term(r: &mut Reader<'_>) -> Result<Term, DecodeError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => Term::Br(BlockId(r.varu()? as u32)),
+        1 => Term::CondBr {
+            cond: r.reg()?,
+            then_bb: BlockId(r.varu()? as u32),
+            else_bb: BlockId(r.varu()? as u32),
+        },
+        2 => Term::Ret(Some(r.reg()?)),
+        3 => Term::Ret(None),
+        v => return Err(DecodeError::BadTag { what: "term", value: v }),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Module encoding
+// ---------------------------------------------------------------------------
+
+/// Serializes a module to bytes.
+pub fn encode_module(module: &Module) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(256 + module.inst_count() * 4);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    put_str(&mut buf, module.name());
+    match module.entry() {
+        Some(e) => put_varu(&mut buf, u64::from(e.0) + 1),
+        None => put_varu(&mut buf, 0),
+    }
+    put_varu(&mut buf, module.globals().len() as u64);
+    for g in module.globals() {
+        put_str(&mut buf, g.name());
+        match g.init() {
+            GlobalInit::Zero => {
+                buf.push(0);
+                put_varu(&mut buf, g.size());
+            }
+            GlobalInit::Words(words) => {
+                buf.push(1);
+                put_varu(&mut buf, words.len() as u64);
+                for w in words {
+                    put_vari(&mut buf, *w);
+                }
+            }
+        }
+    }
+    put_varu(&mut buf, module.functions().len() as u64);
+    for f in module.functions() {
+        put_str(&mut buf, f.name());
+        put_varu(&mut buf, u64::from(f.params()));
+        put_varu(&mut buf, u64::from(f.reg_count()));
+        put_varu(&mut buf, f.block_count() as u64);
+        for block in f.blocks() {
+            put_varu(&mut buf, block.insts.len() as u64);
+            for inst in &block.insts {
+                put_inst(&mut buf, inst);
+            }
+            put_term(&mut buf, &block.term);
+        }
+    }
+    buf
+}
+
+/// Deserializes a module from bytes produced by [`encode_module`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] describing the first malformation found. The
+/// decoded module is *structurally* well formed but callers should still
+/// run [`crate::verify::verify_module`] before trusting cross-references.
+pub fn decode_module(data: &[u8]) -> Result<Module, DecodeError> {
+    let mut r = Reader::new(data);
+    if r.bytes(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let name = r.str()?;
+    let entry = r.varu()?;
+    let mut module = Module::new(name);
+    let nglobals = r.varu()? as usize;
+    for _ in 0..nglobals {
+        let gname = r.str()?;
+        match r.u8()? {
+            0 => {
+                let size = r.varu()?;
+                module.add_global(gname, size);
+            }
+            1 => {
+                let n = r.varu()? as usize;
+                let mut words = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    words.push(r.vari()?);
+                }
+                module.add_global_full(Global::with_words(gname, words));
+            }
+            v => return Err(DecodeError::BadTag { what: "global-init", value: v }),
+        }
+    }
+    let nfuncs = r.varu()? as usize;
+    for _ in 0..nfuncs {
+        let fname = r.str()?;
+        let params = r.varu()? as u32;
+        let reg_count = r.varu()? as u32;
+        let nblocks = r.varu()? as usize;
+        let mut blocks = Vec::with_capacity(nblocks.min(1 << 16));
+        for _ in 0..nblocks {
+            let ninsts = r.varu()? as usize;
+            let mut insts = Vec::with_capacity(ninsts.min(1 << 16));
+            for _ in 0..ninsts {
+                insts.push(read_inst(&mut r)?);
+            }
+            let term = read_term(&mut r)?;
+            blocks.push(Block { insts, term });
+        }
+        module.add_function(Function::from_parts(fname, params, reg_count, blocks));
+    }
+    if entry > 0 {
+        module.set_entry(FuncId((entry - 1) as u32));
+    }
+    if r.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes(r.remaining()));
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+
+    fn roundtrip(m: &Module) -> Module {
+        decode_module(&encode_module(m)).expect("roundtrip decode")
+    }
+
+    fn rich_module() -> Module {
+        let mut m = Module::new("rich");
+        let g0 = m.add_global("zeros", 4096);
+        let g1 = m.add_global_full(Global::with_words("tbl", vec![-1, 0, 1, i64::MAX]));
+        let mut leaf = FunctionBuilder::new("leaf", 2);
+        let a = leaf.param(0);
+        let b_ = leaf.param(1);
+        let s = leaf.add(a, b_);
+        leaf.ret(Some(s));
+        let leaf_id = m.add_function(leaf.finish());
+        let mut b = FunctionBuilder::new("main", 0);
+        let base0 = b.global_addr(g0);
+        let base1 = b.global_addr(g1);
+        let v = b.load(base1, 8, Locality::NonTemporal);
+        let w = b.load(base0, -16, Locality::Normal);
+        let x = b.call(leaf_id, &[v, w]);
+        b.store(base0, 0, x);
+        b.report(2, x);
+        b.push(Inst::Nop);
+        b.counted_loop(0, 3, 1, |b, i| {
+            let _ = b.bin(BinOp::Xor, i, i);
+        });
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        m
+    }
+
+    #[test]
+    fn roundtrip_preserves_module() {
+        let m = rich_module();
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn roundtrip_empty_module() {
+        let m = Module::new("empty");
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn entry_none_roundtrips() {
+        let mut m = Module::new("noentry");
+        let mut b = FunctionBuilder::new("f", 0);
+        b.ret(None);
+        m.add_function(b.finish());
+        let m2 = roundtrip(&m);
+        assert_eq!(m2.entry(), None);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_module(&Module::new("x"));
+        bytes[0] = b'Q';
+        assert_eq!(decode_module(&bytes), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode_module(&Module::new("x"));
+        bytes[4] = 99;
+        assert_eq!(decode_module(&bytes), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode_module(&rich_module());
+        for cut in [5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_module(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_module(&Module::new("x"));
+        bytes.push(0);
+        assert_eq!(decode_module(&bytes), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn extreme_immediates_roundtrip() {
+        let mut m = Module::new("imm");
+        let mut b = FunctionBuilder::new("f", 0);
+        for v in [i64::MIN, i64::MAX, 0, -1, 1, 0x7fff_ffff] {
+            let _ = b.const_(v);
+        }
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // Craft a stream whose first varint after magic+version+name is
+        // an 11-byte varint.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(0); // empty name
+        bytes.extend_from_slice(&[0xff; 10]);
+        bytes.push(0x7f);
+        assert_eq!(decode_module(&bytes), Err(DecodeError::VarintOverflow));
+    }
+
+    #[test]
+    fn decode_error_display() {
+        for e in [
+            DecodeError::UnexpectedEof,
+            DecodeError::BadMagic,
+            DecodeError::BadVersion(3),
+            DecodeError::BadTag { what: "inst", value: 200 },
+            DecodeError::VarintOverflow,
+            DecodeError::BadUtf8,
+            DecodeError::TrailingBytes(4),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

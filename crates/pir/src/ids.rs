@@ -1,0 +1,127 @@
+//! Lightweight index newtypes identifying IR entities.
+//!
+//! All of these are plain indices into their owning containers; newtypes
+//! keep them from being confused with one another (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifies a function within a [`Module`](crate::Module).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub u32);
+
+/// Identifies a basic block within a [`Function`](crate::Function).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+/// Identifies a global data object within a [`Module`](crate::Module).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GlobalId(pub u32);
+
+/// A virtual register.
+///
+/// Registers `Reg(0)..Reg(params)` hold the function's arguments on entry;
+/// all other registers read as zero until first written.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u32);
+
+/// Uniquely identifies a static load instruction within a module.
+///
+/// This is the unit of PC3D's variant bit vectors: bit *i* of a variant
+/// toggles the non-temporal hint of the load at site *i*.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoadSiteId {
+    /// Function containing the load.
+    pub func: FuncId,
+    /// Block containing the load.
+    pub block: BlockId,
+    /// Index of the load within the block's instruction list.
+    pub index: u32,
+}
+
+impl FuncId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl GlobalId {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Reg {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for GlobalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for LoadSiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.func, self.block, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(FuncId(3).to_string(), "@3");
+        assert_eq!(BlockId(1).to_string(), "bb1");
+        assert_eq!(GlobalId(2).to_string(), "g2");
+        assert_eq!(Reg(7).to_string(), "r7");
+        let site = LoadSiteId { func: FuncId(1), block: BlockId(2), index: 3 };
+        assert_eq!(site.to_string(), "@1:bb2:3");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_for_sites() {
+        let a = LoadSiteId { func: FuncId(0), block: BlockId(5), index: 9 };
+        let b = LoadSiteId { func: FuncId(1), block: BlockId(0), index: 0 };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(FuncId(9).index(), 9);
+        assert_eq!(BlockId(9).index(), 9);
+        assert_eq!(GlobalId(9).index(), 9);
+        assert_eq!(Reg(9).index(), 9);
+    }
+}

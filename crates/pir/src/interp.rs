@@ -1,0 +1,337 @@
+//! A reference interpreter for PIR.
+//!
+//! Executes modules directly over the IR, with the same wrapping/no-trap
+//! semantics as the virtual ISA but none of the compilation pipeline.
+//! Its purpose is **differential testing**: for any program, the
+//! interpreter's final memory must equal what the compiled binary
+//! computes on the simulated machine (see `pcc`'s differential property
+//! tests). It is also handy for debugging generated workloads.
+//!
+//! The caller supplies the global placement (usually the one `pcc`'s
+//! layout chose) so that address-valued data matches the compiled run
+//! bit-for-bit.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{FuncId, Reg};
+use crate::inst::{Inst, Term};
+use crate::module::{GlobalInit, Module};
+
+/// A runtime failure in the interpreter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InterpError {
+    /// The module has no entry function.
+    NoEntry,
+    /// A memory access fell outside the data segment.
+    Fault {
+        /// The offending data address.
+        addr: u64,
+    },
+    /// Execution exceeded the step budget (probably an infinite loop).
+    StepBudgetExceeded,
+    /// `global_addrs` does not cover the module's globals or overflows
+    /// the data segment.
+    BadLayout,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::NoEntry => write!(f, "module has no entry function"),
+            InterpError::Fault { addr } => write!(f, "memory fault at {addr:#x}"),
+            InterpError::StepBudgetExceeded => write!(f, "step budget exceeded"),
+            InterpError::BadLayout => write!(f, "global layout invalid for the data segment"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// Outcome of an interpreter run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterpResult {
+    /// Final data-segment contents.
+    pub data: Vec<u8>,
+    /// Instructions executed.
+    pub steps: u64,
+    /// Application-metric samples published via `Report`.
+    pub reports: Vec<(u8, i64)>,
+    /// True if the program reached a `Wait` (treated as termination by
+    /// the interpreter — there is no OS to deliver work).
+    pub parked: bool,
+}
+
+struct Frame {
+    regs: Vec<i64>,
+    func: FuncId,
+    block: usize,
+    index: usize,
+    ret_dst: Option<Reg>,
+}
+
+/// Interprets `module` from its entry function.
+///
+/// Globals are placed at `global_addrs` (parallel to `module.globals()`)
+/// inside a zeroed data segment of `data_size` bytes, with `Words`
+/// initializers written.
+///
+/// # Errors
+///
+/// See [`InterpError`]; programs that run past `max_steps` instructions
+/// return [`InterpError::StepBudgetExceeded`].
+pub fn run(
+    module: &Module,
+    global_addrs: &[u64],
+    data_size: usize,
+    max_steps: u64,
+) -> Result<InterpResult, InterpError> {
+    let entry = module.entry().ok_or(InterpError::NoEntry)?;
+    if global_addrs.len() != module.globals().len() {
+        return Err(InterpError::BadLayout);
+    }
+    let mut data = vec![0u8; data_size];
+    for (g, addr) in module.globals().iter().zip(global_addrs) {
+        if addr + g.size() > data_size as u64 {
+            return Err(InterpError::BadLayout);
+        }
+        if let GlobalInit::Words(words) = g.init() {
+            let mut a = *addr as usize;
+            for w in words {
+                data[a..a + 8].copy_from_slice(&w.to_le_bytes());
+                a += 8;
+            }
+        }
+    }
+
+    let new_frame = |func: FuncId, args: &[i64], ret_dst: Option<Reg>| {
+        let f = module.function(func);
+        let mut regs = vec![0i64; f.reg_count().max(f.params()) as usize];
+        regs[..args.len()].copy_from_slice(args);
+        Frame { regs, func, block: 0, index: 0, ret_dst }
+    };
+
+    let mut stack = vec![new_frame(entry, &[], None)];
+    let mut steps = 0u64;
+    let mut reports = Vec::new();
+    let mut parked = false;
+
+    'outer: while let Some(frame) = stack.last_mut() {
+        if steps >= max_steps {
+            return Err(InterpError::StepBudgetExceeded);
+        }
+        let func = module.function(frame.func);
+        let block = &func.blocks()[frame.block];
+        if frame.index < block.insts.len() {
+            let inst = &block.insts[frame.index];
+            frame.index += 1;
+            steps += 1;
+            match inst {
+                Inst::Const { dst, value } => frame.regs[dst.index()] = *value,
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    frame.regs[dst.index()] =
+                        op.eval(frame.regs[lhs.index()], frame.regs[rhs.index()]);
+                }
+                Inst::BinImm { op, dst, lhs, imm } => {
+                    frame.regs[dst.index()] = op.eval(frame.regs[lhs.index()], *imm);
+                }
+                Inst::Load { dst, base, offset, .. } => {
+                    let addr = frame.regs[base.index()].wrapping_add(*offset) as u64;
+                    if addr.checked_add(8).is_none_or(|e| e > data_size as u64) {
+                        return Err(InterpError::Fault { addr });
+                    }
+                    let a = addr as usize;
+                    frame.regs[dst.index()] =
+                        i64::from_le_bytes(data[a..a + 8].try_into().expect("8 bytes"));
+                }
+                Inst::Store { base, offset, src } => {
+                    let addr = frame.regs[base.index()].wrapping_add(*offset) as u64;
+                    if addr.checked_add(8).is_none_or(|e| e > data_size as u64) {
+                        return Err(InterpError::Fault { addr });
+                    }
+                    let v = frame.regs[src.index()];
+                    let a = addr as usize;
+                    data[a..a + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                Inst::GlobalAddr { dst, global } => {
+                    frame.regs[dst.index()] = global_addrs[global.index()] as i64;
+                }
+                Inst::Report { channel, src } => {
+                    reports.push((*channel, frame.regs[src.index()]));
+                }
+                Inst::Nop => {}
+                Inst::Wait => {
+                    parked = true;
+                    break 'outer;
+                }
+                Inst::Call { dst, callee, args } => {
+                    let vals: Vec<i64> =
+                        args.iter().map(|r| frame.regs[r.index()]).collect();
+                    let (callee, dst) = (*callee, *dst);
+                    stack.push(new_frame(callee, &vals, dst));
+                    continue 'outer;
+                }
+            }
+            continue 'outer;
+        }
+        // Terminator.
+        steps += 1;
+        match &block.term {
+            Term::Br(t) => {
+                frame.block = t.index();
+                frame.index = 0;
+            }
+            Term::CondBr { cond, then_bb, else_bb } => {
+                frame.block = if frame.regs[cond.index()] != 0 {
+                    then_bb.index()
+                } else {
+                    else_bb.index()
+                };
+                frame.index = 0;
+            }
+            Term::Ret(val) => {
+                let v = val.map(|r| frame.regs[r.index()]);
+                let ret_dst = frame.ret_dst;
+                stack.pop();
+                if let Some(caller) = stack.last_mut() {
+                    if let (Some(dst), Some(v)) = (ret_dst, v) {
+                        caller.regs[dst.index()] = v;
+                    }
+                }
+            }
+        }
+    }
+    Ok(InterpResult { data, steps, reports, parked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Locality;
+
+    fn layout(module: &Module) -> (Vec<u64>, usize) {
+        let mut addrs = Vec::new();
+        let mut cursor = 64u64;
+        for g in module.globals() {
+            addrs.push(cursor);
+            cursor += g.size().max(8).div_ceil(64) * 64;
+        }
+        (addrs, cursor as usize + 64)
+    }
+
+    #[test]
+    fn computes_a_checksum() {
+        let mut m = Module::new("t");
+        let data = m.add_global_full(crate::Global::with_words("d", vec![3, 5, 7, 11]));
+        let out = m.add_global("out", 8);
+        let mut b = FunctionBuilder::new("main", 0);
+        let base = b.global_addr(data);
+        let o = b.global_addr(out);
+        let acc0 = b.const_(0);
+        let acc = b.accumulate_loop(0, 4, 1, acc0, |bl, i, acc| {
+            let off = bl.shl_imm(i, 3);
+            let a = bl.add(base, off);
+            let v = bl.load(a, 0, Locality::Normal);
+            bl.add_into(acc, acc, v);
+        });
+        b.store(o, 0, acc);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let (addrs, size) = layout(&m);
+        let r = run(&m, &addrs, size, 10_000).expect("run");
+        let a = addrs[1] as usize;
+        assert_eq!(i64::from_le_bytes(r.data[a..a + 8].try_into().unwrap()), 26);
+        assert!(!r.parked);
+        assert!(r.steps > 10);
+    }
+
+    #[test]
+    fn calls_pass_args_and_return_values() {
+        let mut m = Module::new("t");
+        let out = m.add_global("out", 8);
+        let mut add3 = FunctionBuilder::new("add3", 3);
+        let s1 = add3.add(add3.param(0), add3.param(1));
+        let s2 = add3.add(s1, add3.param(2));
+        add3.ret(Some(s2));
+        let aid = m.add_function(add3.finish());
+        let mut main = FunctionBuilder::new("main", 0);
+        let o = main.global_addr(out);
+        let a = main.const_(10);
+        let b = main.const_(20);
+        let c = main.const_(12);
+        let r = main.call(aid, &[a, b, c]);
+        main.store(o, 0, r);
+        main.ret(None);
+        let mid = m.add_function(main.finish());
+        m.set_entry(mid);
+        let (addrs, size) = layout(&m);
+        let res = run(&m, &addrs, size, 10_000).unwrap();
+        let at = addrs[0] as usize;
+        assert_eq!(i64::from_le_bytes(res.data[at..at + 8].try_into().unwrap()), 42);
+    }
+
+    #[test]
+    fn infinite_loops_hit_the_budget() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let h = b.new_block();
+        b.br(h);
+        b.switch_to(h);
+        b.br(h);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        assert_eq!(run(&m, &[], 64, 1_000), Err(InterpError::StepBudgetExceeded));
+    }
+
+    #[test]
+    fn faults_are_reported_not_panicked() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let big = b.const_(1 << 40);
+        let _ = b.load(big, 0, Locality::Normal);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        assert!(matches!(run(&m, &[], 64, 1_000), Err(InterpError::Fault { .. })));
+    }
+
+    #[test]
+    fn wait_parks() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        b.wait();
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let r = run(&m, &[], 64, 1_000).unwrap();
+        assert!(r.parked);
+    }
+
+    #[test]
+    fn reports_are_collected() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", 0);
+        let v = b.const_(9);
+        b.report(2, v);
+        b.report(3, v);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let r = run(&m, &[], 64, 1_000).unwrap();
+        assert_eq!(r.reports, vec![(2, 9), (3, 9)]);
+    }
+
+    #[test]
+    fn bad_layout_rejected() {
+        let mut m = Module::new("t");
+        m.add_global("g", 128);
+        let mut b = FunctionBuilder::new("main", 0);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        assert_eq!(run(&m, &[], 64, 100), Err(InterpError::BadLayout));
+        assert_eq!(run(&m, &[0], 64, 100), Err(InterpError::BadLayout));
+    }
+}

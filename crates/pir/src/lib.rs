@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+
+//! # `pir` — the Protean Intermediate Representation
+//!
+//! A compact, virtual-register intermediate representation standing in for
+//! LLVM IR in the Protean Code reproduction (MICRO 2014). The protean code
+//! compiler (`pcc`) lowers PIR to the virtual ISA (`visa`) and embeds a
+//! serialized, compressed copy of the PIR into the binary's data region so
+//! the protean runtime can re-transform code online.
+//!
+//! The crate provides:
+//!
+//! * the IR data model ([`Module`], [`Function`], [`Block`], [`Inst`]),
+//! * an ergonomic [`builder::FunctionBuilder`],
+//! * a structural [`verify`](verify::verify_module) pass,
+//! * dominator-based natural-loop analysis ([`loops`]) used by PC3D's
+//!   "innermost loops only" search heuristic,
+//! * load-site enumeration ([`analysis`]) — the unit of PC3D's variant
+//!   bit vectors,
+//! * a binary codec ([`encode`]) and an LZ-style compressor ([`compress`])
+//!   implementing the paper's "serialize, compress and place the IR into the
+//!   data region" step.
+//!
+//! # Example
+//!
+//! ```
+//! use pir::{Module, builder::FunctionBuilder, Locality};
+//!
+//! let mut module = Module::new("demo");
+//! let buf = module.add_global("buf", 4096);
+//! let mut b = FunctionBuilder::new("sum", 0);
+//! let base = b.global_addr(buf);
+//! let acc0 = b.const_(0);
+//! let acc = b.accumulate_loop(0, 512, 1, acc0, |b, i, acc| {
+//!     let off = b.shl_imm(i, 3);
+//!     let addr = b.add(base, off);
+//!     let v = b.load(addr, 0, Locality::Normal);
+//!     b.add_into(acc, acc, v);
+//! });
+//! b.ret(Some(acc));
+//! let f = module.add_function(b.finish());
+//! module.set_entry(f);
+//! assert!(pir::verify::verify_module(&module).is_ok());
+//! ```
+
+pub mod analysis;
+pub mod builder;
+pub mod compress;
+pub mod encode;
+pub mod ids;
+pub mod inst;
+pub mod interp;
+pub mod loops;
+pub mod module;
+pub mod print;
+pub mod verify;
+
+pub use analysis::{load_sites, LoadSite};
+pub use builder::FunctionBuilder;
+pub use ids::{BlockId, FuncId, GlobalId, LoadSiteId, Reg};
+pub use inst::{BinOp, Inst, Locality, Term};
+pub use module::{Block, Function, Global, GlobalInit, Module};
+
+/// Maximum number of virtual registers a single function may use.
+///
+/// The virtual ISA gives every activation frame a private register file of
+/// this size (a register-window design), so the lowering in `pcc` never
+/// needs spill code. The verifier enforces the bound.
+pub const MAX_REGS: u32 = 240;
+
+/// Maximum number of parameters a function may declare.
+pub const MAX_PARAMS: u32 = 8;

@@ -1,0 +1,309 @@
+//! Module, function, block, and global-data containers.
+
+use crate::ids::{BlockId, FuncId, GlobalId};
+use crate::inst::{Inst, Term};
+
+/// Initial contents of a global data object.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum GlobalInit {
+    /// Zero-initialized (BSS-style).
+    Zero,
+    /// Initialized from 64-bit words (little-endian in memory).
+    Words(Vec<i64>),
+}
+
+/// A global data object (array/buffer) in the module's data segment.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Global {
+    name: String,
+    size: u64,
+    init: GlobalInit,
+}
+
+impl Global {
+    /// Creates a zero-initialized global of `size` bytes.
+    pub fn new(name: impl Into<String>, size: u64) -> Self {
+        Global { name: name.into(), size, init: GlobalInit::Zero }
+    }
+
+    /// Creates a global initialized with the given 64-bit words.
+    pub fn with_words(name: impl Into<String>, words: Vec<i64>) -> Self {
+        let size = (words.len() as u64) * 8;
+        Global { name: name.into(), size, init: GlobalInit::Words(words) }
+    }
+
+    /// The global's symbolic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Initializer.
+    pub fn init(&self) -> &GlobalInit {
+        &self.init
+    }
+}
+
+/// A basic block: a straight-line instruction list plus one terminator.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Block {
+    /// Non-terminator instructions, in program order.
+    pub insts: Vec<Inst>,
+    /// The block terminator.
+    pub term: Term,
+}
+
+impl Block {
+    /// Creates a block ending in the given terminator.
+    pub fn new(term: Term) -> Self {
+        Block { insts: Vec::new(), term }
+    }
+}
+
+/// A PIR function: a CFG of [`Block`]s over a private register file.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Function {
+    name: String,
+    params: u32,
+    reg_count: u32,
+    blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Creates a function from parts. Most callers should use
+    /// [`FunctionBuilder`](crate::builder::FunctionBuilder) instead.
+    pub fn from_parts(
+        name: impl Into<String>,
+        params: u32,
+        reg_count: u32,
+        blocks: Vec<Block>,
+    ) -> Self {
+        Function { name: name.into(), params, reg_count, blocks }
+    }
+
+    /// The function's symbolic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of parameters (arriving in registers `r0..r{params}`).
+    pub fn params(&self) -> u32 {
+        self.params
+    }
+
+    /// Number of virtual registers used.
+    pub fn reg_count(&self) -> u32 {
+        self.reg_count
+    }
+
+    /// Overrides the declared register count (used by register-compaction
+    /// passes after renumbering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is smaller than the parameter count.
+    pub fn set_reg_count(&mut self, n: u32) {
+        assert!(n >= self.params, "register count below parameter count");
+        self.reg_count = n;
+    }
+
+    /// The entry block (always `bb0`).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// All blocks, indexable by [`BlockId`].
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Mutable access to blocks (used by transformation passes).
+    pub fn blocks_mut(&mut self) -> &mut [Block] {
+        &mut self.blocks
+    }
+
+    /// Looks up one block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; verified modules never do this.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of non-terminator instructions.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Number of static load instructions.
+    pub fn load_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.insts.iter().filter(|i| i.is_load()).count())
+            .sum()
+    }
+}
+
+/// A PIR module: functions plus global data, the unit of compilation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Module {
+    name: String,
+    functions: Vec<Function>,
+    globals: Vec<Global>,
+    entry: Option<FuncId>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module { name: name.into(), functions: Vec::new(), globals: Vec::new(), entry: None }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a function, returning its id.
+    pub fn add_function(&mut self, func: Function) -> FuncId {
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(func);
+        id
+    }
+
+    /// Appends a zero-initialized global of `size` bytes, returning its id.
+    pub fn add_global(&mut self, name: impl Into<String>, size: u64) -> GlobalId {
+        self.add_global_full(Global::new(name, size))
+    }
+
+    /// Appends a fully specified global, returning its id.
+    pub fn add_global_full(&mut self, global: Global) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(global);
+        id
+    }
+
+    /// Sets the program entry function.
+    pub fn set_entry(&mut self, func: FuncId) {
+        self.entry = Some(func);
+    }
+
+    /// The program entry function, if set.
+    pub fn entry(&self) -> Option<FuncId> {
+        self.entry
+    }
+
+    /// All functions, indexable by [`FuncId`].
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Mutable access to functions (used by transformation passes).
+    pub fn functions_mut(&mut self) -> &mut [Function] {
+        &mut self.functions
+    }
+
+    /// Looks up one function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; verified modules never do this.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Finds a function by name.
+    pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions.iter().position(|f| f.name() == name).map(|i| FuncId(i as u32))
+    }
+
+    /// All globals, indexable by [`GlobalId`].
+    pub fn globals(&self) -> &[Global] {
+        &self.globals
+    }
+
+    /// Looks up one global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; verified modules never do this.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// Total static load count across all functions (Figure 8's
+    /// parenthesized numbers).
+    pub fn load_count(&self) -> usize {
+        self.functions.iter().map(Function::load_count).sum()
+    }
+
+    /// Total instruction count across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(Function::inst_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Reg;
+    use crate::inst::Locality;
+
+    fn leaf(name: &str) -> Function {
+        let mut b = Block::new(Term::Ret(None));
+        b.insts.push(Inst::Const { dst: Reg(0), value: 1 });
+        b.insts.push(Inst::Load { dst: Reg(1), base: Reg(0), offset: 0, locality: Locality::Normal });
+        Function::from_parts(name, 0, 2, vec![b])
+    }
+
+    #[test]
+    fn module_add_and_lookup() {
+        let mut m = Module::new("t");
+        let f = m.add_function(leaf("a"));
+        let g = m.add_global("buf", 64);
+        assert_eq!(f, FuncId(0));
+        assert_eq!(g, GlobalId(0));
+        assert_eq!(m.function(f).name(), "a");
+        assert_eq!(m.global(g).size(), 64);
+        assert_eq!(m.function_by_name("a"), Some(f));
+        assert_eq!(m.function_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn counts() {
+        let mut m = Module::new("t");
+        m.add_function(leaf("a"));
+        m.add_function(leaf("b"));
+        assert_eq!(m.load_count(), 2);
+        assert_eq!(m.inst_count(), 4);
+        assert_eq!(m.function(FuncId(0)).block_count(), 1);
+        assert_eq!(m.function(FuncId(0)).load_count(), 1);
+    }
+
+    #[test]
+    fn entry_defaults_unset() {
+        let mut m = Module::new("t");
+        assert_eq!(m.entry(), None);
+        let f = m.add_function(leaf("main"));
+        m.set_entry(f);
+        assert_eq!(m.entry(), Some(f));
+    }
+
+    #[test]
+    fn global_with_words_sizes() {
+        let g = Global::with_words("tbl", vec![1, 2, 3]);
+        assert_eq!(g.size(), 24);
+        assert_eq!(g.init(), &GlobalInit::Words(vec![1, 2, 3]));
+        assert_eq!(g.name(), "tbl");
+    }
+}

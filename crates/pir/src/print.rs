@@ -1,0 +1,143 @@
+//! Human-readable pretty-printing of PIR.
+
+use std::fmt;
+
+use crate::inst::{Inst, Term};
+use crate::module::{Function, Module};
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Const { dst, value } => write!(f, "{dst} = const {value}"),
+            Inst::Bin { op, dst, lhs, rhs } => {
+                write!(f, "{dst} = {} {lhs}, {rhs}", op.mnemonic())
+            }
+            Inst::BinImm { op, dst, lhs, imm } => {
+                write!(f, "{dst} = {} {lhs}, #{imm}", op.mnemonic())
+            }
+            Inst::Load { dst, base, offset, locality } => {
+                let hint = if locality.is_non_temporal() { ".nt" } else { "" };
+                write!(f, "{dst} = load{hint} [{base}{offset:+}]")
+            }
+            Inst::Store { base, offset, src } => {
+                write!(f, "store [{base}{offset:+}], {src}")
+            }
+            Inst::GlobalAddr { dst, global } => write!(f, "{dst} = addr {global}"),
+            Inst::Call { dst, callee, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = call {callee}(")?;
+                } else {
+                    write!(f, "call {callee}(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::Report { channel, src } => write!(f, "report ch{channel}, {src}"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Wait => write!(f, "wait"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Br(t) => write!(f, "br {t}"),
+            Term::CondBr { cond, then_bb, else_bb } => {
+                write!(f, "br {cond} ? {then_bb} : {else_bb}")
+            }
+            Term::Ret(Some(r)) => write!(f, "ret {r}"),
+            Term::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {}({} params, {} regs) {{", self.name(), self.params(), self.reg_count())?;
+        for (i, block) in self.blocks().iter().enumerate() {
+            writeln!(f, "bb{i}:")?;
+            for inst in &block.insts {
+                writeln!(f, "    {inst}")?;
+            }
+            writeln!(f, "    {}", block.term)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} {{", self.name())?;
+        for (i, g) in self.globals().iter().enumerate() {
+            writeln!(f, "  global g{i} `{}` [{} bytes]", g.name(), g.size())?;
+        }
+        for (i, func) in self.functions().iter().enumerate() {
+            let entry =
+                if self.entry() == Some(crate::FuncId(i as u32)) { " (entry)" } else { "" };
+            writeln!(f, "  ; @{i}{entry}")?;
+            for line in func.to_string().lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Locality;
+    use crate::module::Module;
+
+    #[test]
+    fn function_prints_all_parts() {
+        let mut m = Module::new("m");
+        let g = m.add_global("buf", 128);
+        let mut b = FunctionBuilder::new("f", 1);
+        let p = b.param(0);
+        let base = b.global_addr(g);
+        let v = b.load(base, 8, Locality::NonTemporal);
+        let s = b.add(v, p);
+        b.store(base, 0, s);
+        b.ret(Some(s));
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let text = m.to_string();
+        assert!(text.contains("module m"));
+        assert!(text.contains("global g0 `buf` [128 bytes]"));
+        assert!(text.contains("load.nt [r1+8]"), "got: {text}");
+        assert!(text.contains("store [r1+0]"));
+        assert!(text.contains("(entry)"));
+        assert!(text.contains("ret r3"));
+    }
+
+    #[test]
+    fn call_and_branch_forms() {
+        let mut m = Module::new("m");
+        let mut leaf = FunctionBuilder::new("leaf", 1);
+        let p = leaf.param(0);
+        leaf.ret(Some(p));
+        let leaf_id = m.add_function(leaf.finish());
+        let mut b = FunctionBuilder::new("main", 0);
+        let x = b.const_(5);
+        let r = b.call(leaf_id, &[x]);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.cond_br(r, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let text = m.to_string();
+        assert!(text.contains("r1 = call @0(r0)"));
+        assert!(text.contains("br r1 ? bb1 : bb2"));
+    }
+}

@@ -1,0 +1,358 @@
+//! Structural verification of PIR modules.
+//!
+//! A verified module can be lowered by `pcc` and executed by the machine
+//! without bounds panics: every block target, register, global, and callee
+//! reference is checked here.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{BlockId, FuncId, Reg};
+use crate::inst::{Inst, Term};
+use crate::module::{Function, Module};
+use crate::{MAX_PARAMS, MAX_REGS};
+
+/// A verification failure, locating the offending entity.
+#[allow(missing_docs)] // operand/payload fields are standard roles
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A function uses more registers than [`MAX_REGS`].
+    TooManyRegs { func: String, regs: u32 },
+    /// A function declares more parameters than [`MAX_PARAMS`].
+    TooManyParams { func: String, params: u32 },
+    /// A function has no blocks.
+    EmptyFunction { func: String },
+    /// A register operand is out of the function's register range.
+    BadReg { func: String, block: BlockId, reg: Reg },
+    /// A branch targets a nonexistent block.
+    BadBlockTarget { func: String, block: BlockId, target: BlockId },
+    /// A call references a nonexistent function.
+    BadCallee { func: String, callee: FuncId },
+    /// A call passes the wrong number of arguments.
+    BadArity { func: String, callee: FuncId, expected: u32, got: u32 },
+    /// A `GlobalAddr` references a nonexistent global.
+    BadGlobal { func: String, index: u32 },
+    /// The module entry function is missing or invalid.
+    BadEntry,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::TooManyRegs { func, regs } => {
+                write!(f, "function `{func}` uses {regs} registers, exceeding {MAX_REGS}")
+            }
+            VerifyError::TooManyParams { func, params } => {
+                write!(f, "function `{func}` declares {params} params, exceeding {MAX_PARAMS}")
+            }
+            VerifyError::EmptyFunction { func } => {
+                write!(f, "function `{func}` has no blocks")
+            }
+            VerifyError::BadReg { func, block, reg } => {
+                write!(f, "function `{func}` {block} references out-of-range register {reg}")
+            }
+            VerifyError::BadBlockTarget { func, block, target } => {
+                write!(f, "function `{func}` {block} branches to nonexistent {target}")
+            }
+            VerifyError::BadCallee { func, callee } => {
+                write!(f, "function `{func}` calls nonexistent function {callee}")
+            }
+            VerifyError::BadArity { func, callee, expected, got } => {
+                write!(
+                    f,
+                    "function `{func}` calls {callee} with {got} args, expected {expected}"
+                )
+            }
+            VerifyError::BadGlobal { func, index } => {
+                write!(f, "function `{func}` references nonexistent global g{index}")
+            }
+            VerifyError::BadEntry => write!(f, "module entry function is missing or invalid"),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies a single function against the module context.
+///
+/// `func_arities[i]` is the parameter count of function `i`;
+/// `global_count` is the number of globals in the module.
+///
+/// # Errors
+///
+/// Returns the first structural violation found.
+pub fn verify_function_in(
+    func: &Function,
+    func_arities: &[u32],
+    global_count: u32,
+) -> Result<(), VerifyError> {
+    let name = func.name().to_string();
+    if func.reg_count() > MAX_REGS {
+        return Err(VerifyError::TooManyRegs { func: name, regs: func.reg_count() });
+    }
+    if func.params() > MAX_PARAMS {
+        return Err(VerifyError::TooManyParams { func: name, params: func.params() });
+    }
+    if func.blocks().is_empty() {
+        return Err(VerifyError::EmptyFunction { func: name });
+    }
+    let nblocks = func.block_count() as u32;
+    let check_reg = |r: Reg, block: BlockId| -> Result<(), VerifyError> {
+        if r.0 >= func.reg_count() {
+            Err(VerifyError::BadReg { func: func.name().to_string(), block, reg: r })
+        } else {
+            Ok(())
+        }
+    };
+    for (bi, block) in func.blocks().iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        for inst in &block.insts {
+            match inst {
+                Inst::Const { dst, .. } => check_reg(*dst, bid)?,
+                Inst::Bin { dst, lhs, rhs, .. } => {
+                    check_reg(*dst, bid)?;
+                    check_reg(*lhs, bid)?;
+                    check_reg(*rhs, bid)?;
+                }
+                Inst::BinImm { dst, lhs, .. } => {
+                    check_reg(*dst, bid)?;
+                    check_reg(*lhs, bid)?;
+                }
+                Inst::Load { dst, base, .. } => {
+                    check_reg(*dst, bid)?;
+                    check_reg(*base, bid)?;
+                }
+                Inst::Store { base, src, .. } => {
+                    check_reg(*base, bid)?;
+                    check_reg(*src, bid)?;
+                }
+                Inst::GlobalAddr { dst, global } => {
+                    check_reg(*dst, bid)?;
+                    if global.0 >= global_count {
+                        return Err(VerifyError::BadGlobal {
+                            func: func.name().to_string(),
+                            index: global.0,
+                        });
+                    }
+                }
+                Inst::Call { dst, callee, args } => {
+                    if let Some(d) = dst {
+                        check_reg(*d, bid)?;
+                    }
+                    for a in args {
+                        check_reg(*a, bid)?;
+                    }
+                    let Some(&arity) = func_arities.get(callee.index()) else {
+                        return Err(VerifyError::BadCallee {
+                            func: func.name().to_string(),
+                            callee: *callee,
+                        });
+                    };
+                    if arity != args.len() as u32 {
+                        return Err(VerifyError::BadArity {
+                            func: func.name().to_string(),
+                            callee: *callee,
+                            expected: arity,
+                            got: args.len() as u32,
+                        });
+                    }
+                }
+                Inst::Report { src, .. } => check_reg(*src, bid)?,
+                Inst::Nop | Inst::Wait => {}
+            }
+        }
+        match &block.term {
+            Term::Br(t) => {
+                if t.0 >= nblocks {
+                    return Err(VerifyError::BadBlockTarget {
+                        func: name,
+                        block: bid,
+                        target: *t,
+                    });
+                }
+            }
+            Term::CondBr { cond, then_bb, else_bb } => {
+                check_reg(*cond, bid)?;
+                for t in [then_bb, else_bb] {
+                    if t.0 >= nblocks {
+                        return Err(VerifyError::BadBlockTarget {
+                            func: name,
+                            block: bid,
+                            target: *t,
+                        });
+                    }
+                }
+            }
+            Term::Ret(v) => {
+                if let Some(r) = v {
+                    check_reg(*r, bid)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Verifies a function in isolation, treating it as function 0 of a module
+/// whose only arity is its own. Convenience for unit tests.
+///
+/// # Errors
+///
+/// Returns the first structural violation found.
+pub fn verify_function(
+    func: &Function,
+    func_count: u32,
+    global_count: u32,
+) -> Result<(), VerifyError> {
+    let arities = vec![func.params(); func_count as usize];
+    verify_function_in(func, &arities, global_count)
+}
+
+/// Verifies every function of a module plus the entry designation.
+///
+/// # Errors
+///
+/// Returns the first structural violation found.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    let arities: Vec<u32> = module.functions().iter().map(|f| f.params()).collect();
+    for func in module.functions() {
+        verify_function_in(func, &arities, module.globals().len() as u32)?;
+    }
+    match module.entry() {
+        Some(e) if e.index() < module.functions().len() => {
+            if module.function(e).params() != 0 {
+                return Err(VerifyError::BadEntry);
+            }
+            Ok(())
+        }
+        _ => Err(VerifyError::BadEntry),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ids::GlobalId;
+    use crate::inst::Locality;
+    use crate::module::{Block, Module};
+
+    fn ok_module() -> Module {
+        let mut m = Module::new("m");
+        let g = m.add_global("buf", 64);
+        let mut b = FunctionBuilder::new("main", 0);
+        let a = b.global_addr(g);
+        let v = b.load(a, 0, Locality::Normal);
+        b.ret(Some(v));
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        m
+    }
+
+    #[test]
+    fn good_module_verifies() {
+        assert!(verify_module(&ok_module()).is_ok());
+    }
+
+    #[test]
+    fn missing_entry_rejected() {
+        let mut m = Module::new("n");
+        let mut b = FunctionBuilder::new("main", 0);
+        b.ret(None);
+        m.add_function(b.finish());
+        assert_eq!(verify_module(&m), Err(VerifyError::BadEntry));
+    }
+
+    #[test]
+    fn entry_with_params_rejected() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", 2);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        assert_eq!(verify_module(&m), Err(VerifyError::BadEntry));
+    }
+
+    #[test]
+    fn bad_global_rejected() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", 0);
+        let _ = b.global_addr(GlobalId(3));
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        assert!(matches!(verify_module(&m), Err(VerifyError::BadGlobal { index: 3, .. })));
+    }
+
+    #[test]
+    fn bad_callee_rejected() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", 0);
+        b.call_void(crate::FuncId(9), &[]);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        assert!(matches!(verify_module(&m), Err(VerifyError::BadCallee { .. })));
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut m = Module::new("m");
+        let mut leaf = FunctionBuilder::new("leaf", 2);
+        leaf.ret(None);
+        let leaf_id = m.add_function(leaf.finish());
+        let mut b = FunctionBuilder::new("main", 0);
+        let x = b.const_(1);
+        b.call_void(leaf_id, &[x]); // wrong: leaf wants 2 args
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::BadArity { expected: 2, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_block_target_rejected() {
+        use crate::inst::Term;
+        let blocks = vec![Block::new(Term::Br(crate::BlockId(5)))];
+        let f = crate::Function::from_parts("f", 0, 0, blocks);
+        assert!(matches!(
+            verify_function(&f, 1, 0),
+            Err(VerifyError::BadBlockTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_reg_rejected() {
+        use crate::inst::{Inst, Term};
+        let mut blk = Block::new(Term::Ret(None));
+        blk.insts.push(Inst::Const { dst: Reg(10), value: 0 });
+        let f = crate::Function::from_parts("f", 0, 2, vec![blk]);
+        assert!(matches!(verify_function(&f, 1, 0), Err(VerifyError::BadReg { .. })));
+    }
+
+    #[test]
+    fn reg_limit_enforced() {
+        let f = crate::Function::from_parts(
+            "huge",
+            0,
+            MAX_REGS + 1,
+            vec![Block::new(crate::inst::Term::Ret(None))],
+        );
+        assert!(matches!(verify_function(&f, 1, 0), Err(VerifyError::TooManyRegs { .. })));
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs: Vec<VerifyError> = vec![
+            VerifyError::BadEntry,
+            VerifyError::EmptyFunction { func: "f".into() },
+            VerifyError::TooManyRegs { func: "f".into(), regs: 999 },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the PIR codec, compressor, and loop analysis.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use pir::builder::FunctionBuilder;
+use pir::compress::{compress, decompress};
+use pir::encode::{decode_module, encode_module};
+use pir::{BinOp, Inst, Locality, Module, Reg};
+
+/// Strategy producing an arbitrary straight-line instruction over a
+/// register file of `nregs` registers and `nglobals` globals.
+fn arb_inst(nregs: u32, nglobals: u32) -> impl Strategy<Value = Inst> {
+    let reg = move || (0..nregs).prop_map(Reg);
+    let op = (0usize..BinOp::ALL.len()).prop_map(|i| BinOp::ALL[i]);
+    prop_oneof![
+        (reg(), any::<i64>()).prop_map(|(dst, value)| Inst::Const { dst, value }),
+        (op.clone(), reg(), reg(), reg())
+            .prop_map(|(op, dst, lhs, rhs)| Inst::Bin { op, dst, lhs, rhs }),
+        (op, reg(), reg(), any::<i64>())
+            .prop_map(|(op, dst, lhs, imm)| Inst::BinImm { op, dst, lhs, imm }),
+        (reg(), reg(), -1024i64..1024, any::<bool>()).prop_map(|(dst, base, offset, nt)| {
+            Inst::Load {
+                dst,
+                base,
+                offset,
+                locality: if nt { Locality::NonTemporal } else { Locality::Normal },
+            }
+        }),
+        (reg(), -1024i64..1024, reg())
+            .prop_map(|(base, offset, src)| Inst::Store { base, offset, src }),
+        (reg(), 0..nglobals)
+            .prop_map(|(dst, g)| Inst::GlobalAddr { dst, global: pir::GlobalId(g) }),
+        (any::<u8>(), reg()).prop_map(|(channel, src)| Inst::Report { channel, src }),
+        Just(Inst::Nop),
+    ]
+}
+
+/// Strategy producing a verified single-function module with arbitrary
+/// straight-line body plus optional nested loops.
+fn arb_module() -> impl Strategy<Value = Module> {
+    (
+        vec(arb_inst(16, 2), 0..40),
+        vec(arb_inst(16, 2), 0..10),
+        0u32..3, // loop nesting depth
+    )
+        .prop_map(|(straight, loop_body, depth)| {
+            let mut m = Module::new("prop");
+            m.add_global("g0", 4096);
+            m.add_global("g1", 512);
+            let mut b = FunctionBuilder::new("main", 0);
+            // Reserve the 16 registers the generated insts may reference.
+            while b.fresh().0 < 15 {}
+            for inst in straight {
+                b.push(inst);
+            }
+            fn nest(b: &mut FunctionBuilder, depth: u32, body: &[Inst]) {
+                if depth == 0 {
+                    for inst in body {
+                        b.push(inst.clone());
+                    }
+                } else {
+                    b.counted_loop(0, 4, 1, |b, _| nest(b, depth - 1, body));
+                }
+            }
+            nest(&mut b, depth, &loop_body);
+            b.ret(None);
+            let f = m.add_function(b.finish());
+            m.set_entry(f);
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn codec_roundtrip(m in arb_module()) {
+        let bytes = encode_module(&m);
+        let m2 = decode_module(&bytes).expect("decode");
+        prop_assert_eq!(m2, m);
+    }
+
+    #[test]
+    fn generated_modules_verify(m in arb_module()) {
+        prop_assert!(pir::verify::verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn compress_roundtrip(data in vec(any::<u8>(), 0..8192)) {
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).expect("decompress"), data);
+    }
+
+    #[test]
+    fn compress_roundtrip_repetitive(
+        unit in vec(any::<u8>(), 1..32),
+        reps in 1usize..512,
+    ) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let c = compress(&data);
+        prop_assert_eq!(decompress(&c).expect("decompress"), data);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in vec(any::<u8>(), 0..512)) {
+        let _ = decompress(&data);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(data in vec(any::<u8>(), 0..512)) {
+        let _ = decode_module(&data);
+    }
+
+    #[test]
+    fn decode_never_panics_on_bitflipped_valid_stream(
+        m in arb_module(),
+        flip_byte in 0usize..4096,
+        flip_bit in 0u8..8,
+    ) {
+        let mut bytes = encode_module(&m);
+        if !bytes.is_empty() {
+            let i = flip_byte % bytes.len();
+            bytes[i] ^= 1 << flip_bit;
+            let _ = decode_module(&bytes);
+        }
+    }
+
+    #[test]
+    fn loop_depth_matches_builder_nesting(depth in 0u32..4) {
+        let mut b = FunctionBuilder::new("f", 0);
+        fn nest(b: &mut FunctionBuilder, depth: u32) {
+            if depth == 0 {
+                let _ = b.const_(1);
+            } else {
+                b.counted_loop(0, 2, 1, |b, _| nest(b, depth - 1));
+            }
+        }
+        nest(&mut b, depth);
+        b.ret(None);
+        let f = b.finish();
+        let info = pir::loops::analyze(&f);
+        prop_assert_eq!(info.max_depth(), depth);
+        prop_assert_eq!(info.headers().len() as u32, depth);
+    }
+
+    #[test]
+    fn encoded_ir_compresses(nfuncs in 1usize..30) {
+        // Realistic IR (repeated loop scaffolding) must compress.
+        let mut m = Module::new("c");
+        for fi in 0..nfuncs {
+            let mut b = FunctionBuilder::new(format!("f{fi}"), 0);
+            b.counted_loop(0, 64, 1, |b, i| {
+                let x = b.add_imm(i, 3);
+                let _ = b.mul_imm(x, 5);
+            });
+            b.ret(None);
+            m.add_function(b.finish());
+        }
+        let bytes = encode_module(&m);
+        let c = compress(&bytes);
+        if nfuncs >= 4 {
+            prop_assert!(c.len() < bytes.len());
+        }
+        prop_assert_eq!(decompress(&c).unwrap(), bytes);
+    }
+}

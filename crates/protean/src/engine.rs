@@ -1,0 +1,137 @@
+//! The decision-engine abstraction.
+//!
+//! Figure 1's runtime contains a "decision engine" that "determines (1)
+//! when to invoke the dynamic compiler, (2) what transformations to
+//! apply, and (3) which variant to dispatch" (Section III-B3). The
+//! protean mechanism is policy-agnostic: any [`DecisionEngine`] can drive
+//! an attached [`Runtime`]. This crate ships the recompilation stress
+//! engine; the `pc3d` crate ships the cache-contention engine.
+
+use simos::Os;
+
+use crate::runtime::Runtime;
+use crate::stress::StressEngine;
+
+/// A policy driving an attached protean runtime.
+///
+/// Engines are invoked by their driver loop after every simulation step;
+/// they observe the system through the OS surface and act through the
+/// runtime (compile, dispatch, restore).
+pub trait DecisionEngine {
+    /// Observes the current state and performs any due actions.
+    fn tick(&mut self, os: &mut Os, rt: &mut Runtime);
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "engine"
+    }
+}
+
+impl DecisionEngine for StressEngine {
+    fn tick(&mut self, os: &mut Os, rt: &mut Runtime) {
+        self.step(os, rt);
+    }
+
+    fn name(&self) -> &str {
+        "stress"
+    }
+}
+
+/// Drives an engine: advances the OS in `step_cycles` quanta for
+/// `total_cycles`, ticking the engine after each step.
+pub fn drive(
+    os: &mut Os,
+    rt: &mut Runtime,
+    engine: &mut dyn DecisionEngine,
+    step_cycles: u64,
+    total_cycles: u64,
+) {
+    let end = os.now() + total_cycles;
+    while os.now() < end {
+        os.advance(step_cycles.min(end - os.now()));
+        engine.tick(os, rt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+    use pcc::{Compiler, NtAssignment, Options};
+    use pir::{FunctionBuilder, Locality, Module};
+    use simos::OsConfig;
+
+    fn host() -> Module {
+        let mut m = Module::new("h");
+        let buf = m.add_global("buf", 1 << 12);
+        let mut w = FunctionBuilder::new("work", 0);
+        let base = w.global_addr(buf);
+        w.counted_loop(0, 32, 1, |b, i| {
+            let off = b.shl_imm(i, 3);
+            let a = b.add(base, off);
+            let _ = b.load(a, 0, Locality::Normal);
+        });
+        w.ret(None);
+        let wid = m.add_function(w.finish());
+        let mut main = FunctionBuilder::new("main", 0);
+        let h = main.new_block();
+        main.br(h);
+        main.switch_to(h);
+        main.call_void(wid, &[]);
+        main.br(h);
+        let mid = m.add_function(main.finish());
+        m.set_entry(mid);
+        m
+    }
+
+    /// A custom one-shot engine: dispatches the all-hints variant once.
+    struct OneShot {
+        fired: bool,
+    }
+
+    impl DecisionEngine for OneShot {
+        fn tick(&mut self, os: &mut Os, rt: &mut Runtime) {
+            if self.fired {
+                return;
+            }
+            self.fired = true;
+            let nt = NtAssignment::all(pir::load_sites(rt.module()).iter().map(|s| s.site));
+            for func in rt.virtualized_funcs() {
+                let sub: NtAssignment = nt.sites_in(func).into_iter().collect();
+                if !sub.is_empty() {
+                    rt.transform(os, func, &sub).expect("dispatch");
+                }
+            }
+        }
+
+        fn name(&self) -> &str {
+            "one-shot"
+        }
+    }
+
+    #[test]
+    fn custom_engines_drive_the_runtime() {
+        let img = Compiler::new(Options::protean()).compile(&host()).unwrap().image;
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&img, 0);
+        let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+        let mut engine = OneShot { fired: false };
+        assert_eq!(engine.name(), "one-shot");
+        drive(&mut os, &mut rt, &mut engine, 1_000, 300_000);
+        assert!(engine.fired);
+        assert!(os.counters(pid).nt_prefetches > 0, "the dispatched variant must run");
+    }
+
+    #[test]
+    fn stress_engine_is_a_decision_engine() {
+        let img = Compiler::new(Options::protean()).compile(&host()).unwrap().image;
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&img, 0);
+        let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+        let mut engine = StressEngine::new(&rt, 10_000, 1);
+        assert_eq!(DecisionEngine::name(&engine), "stress");
+        drive(&mut os, &mut rt, &mut engine, 1_000, 200_000);
+        assert!(engine.recompiles() >= 15);
+        let _ = pid;
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # `protean` — the Protean Code runtime
+//!
+//! The paper's primary contribution (Section III-B): a runtime system that
+//! attaches to a running protean binary and can generate, dispatch, and
+//! revoke code variants **asynchronously**, while the program keeps
+//! executing — overhead lives only in the virtualized edges, not in any
+//! interposition on the program's control flow.
+//!
+//! The pieces, mirroring Figure 1's right-hand side:
+//!
+//! * **Runtime initialization** ([`Runtime::attach`]): discovers the
+//!   structures `pcc` embedded — reads the meta root from process data
+//!   memory, decompresses and decodes the IR + link annex, and indexes the
+//!   EVT.
+//! * **Code generation and dispatch** ([`Runtime::compile_variant`],
+//!   [`Runtime::dispatch`]): the runtime compiler (the `pcc` backend)
+//!   lowers a transformed function into the process's code cache; the EVT
+//!   manager then redirects the function's virtualized edges with a single
+//!   atomic 8-byte write. Compilation cycles are charged to the runtime's
+//!   core through the OS ([`CompileCostModel`]), making the overhead
+//!   experiments of Figures 5-7 meaningful.
+//! * **Monitoring** ([`monitor`]): introspection (PC sampling → hot
+//!   functions; HPM windows → IPC/BPC) and extrospection (co-runner HPM
+//!   and application-level metrics).
+//! * **Phase analysis** ([`phase`]): detects host phase and co-phase
+//!   changes from monitoring windows.
+//! * **Decision engines**: [`stress::StressEngine`] reproduces the
+//!   recompilation stress tests (Figures 5-6); PC3D (its own crate) is the
+//!   full contention-mitigation engine.
+//! * **[`systems`]**: the qualitative comparison matrix of Table I.
+
+pub mod cost;
+pub mod engine;
+pub mod monitor;
+pub mod phase;
+pub mod runtime;
+pub mod stress;
+pub mod systems;
+
+pub use cost::CompileCostModel;
+pub use engine::{drive, DecisionEngine};
+pub use monitor::{ExtMonitor, HostMonitor, WindowStats};
+pub use phase::{PhaseChange, PhaseDetector};
+pub use runtime::{AttachError, DispatchError, Runtime, RuntimeConfig, VariantRecord};
+pub use stress::StressEngine;

@@ -1,0 +1,337 @@
+//! Monitoring: introspection and extrospection (Section III-B3).
+//!
+//! The runtime "identifies hot code regions by sampling the program
+//! counter periodically through the ptrace interface", associates samples
+//! "with high-level code structures such as functions", and tracks
+//! progress rates "using metrics such as instructions per cycle (IPC) or
+//! branches retired per cycle (BPC)". For external programs it reads
+//! hardware performance monitors and optional application-level metrics.
+
+use std::collections::HashMap;
+
+use machine::PerfCounters;
+use pir::FuncId;
+use simos::{Os, Pid};
+
+use crate::runtime::Runtime;
+
+/// One monitoring window's derived statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct WindowStats {
+    /// Window length in simulated seconds.
+    pub seconds: f64,
+    /// Instructions per (wall) second — the paper's QoS proxy for
+    /// latency-sensitive co-runners.
+    pub ips: f64,
+    /// Branches per (wall) second — the paper's progress metric for hosts
+    /// (robust to variants changing instruction counts).
+    pub bps: f64,
+    /// Instructions per executed cycle.
+    pub ipc: f64,
+    /// Branches per executed cycle.
+    pub bpc: f64,
+    /// LLC misses per kilo-instruction.
+    pub llc_mpki: f64,
+    /// Application-metric delta on channel 0 divided by window seconds
+    /// (e.g. queries per second), if the app reports any.
+    pub app_rate: f64,
+    /// Fraction of the window the process actually executed (servers
+    /// parked in `Wait` show low busy fractions).
+    pub busy: f64,
+}
+
+fn window_stats(
+    delta: PerfCounters,
+    seconds: f64,
+    app_delta: i64,
+    cycles_per_second: u64,
+) -> WindowStats {
+    let safe = |x: f64| if x.is_finite() { x } else { 0.0 };
+    let window_cycles = seconds * cycles_per_second as f64;
+    WindowStats {
+        seconds,
+        ips: safe(delta.instructions as f64 / seconds),
+        bps: safe(delta.branches as f64 / seconds),
+        ipc: delta.ipc(),
+        bpc: delta.bpc(),
+        llc_mpki: delta.llc_mpki(),
+        app_rate: safe(app_delta as f64 / seconds),
+        busy: safe(delta.cycles as f64 / window_cycles).min(1.0),
+    }
+}
+
+/// Introspective monitor for the host program: PC-sample histogram plus
+/// HPM windows.
+#[derive(Clone, Debug)]
+pub struct HostMonitor {
+    pid: Pid,
+    /// Exponentially decayed per-function sample weight.
+    weights: HashMap<FuncId, f64>,
+    /// Samples taken in the current window.
+    window_samples: u64,
+    decay: f64,
+    last_counters: PerfCounters,
+    last_time: u64,
+    last_app: i64,
+}
+
+impl HostMonitor {
+    /// Creates a monitor for `pid`. `decay` in (0, 1] is applied to the
+    /// histogram at each window boundary (1.0 = never forget).
+    pub fn new(os: &Os, pid: Pid, decay: f64) -> Self {
+        HostMonitor {
+            pid,
+            weights: HashMap::new(),
+            window_samples: 0,
+            decay: decay.clamp(0.0, 1.0),
+            last_counters: os.counters(pid),
+            last_time: os.now(),
+            last_app: os.app_metric(pid, 0),
+        }
+    }
+
+    /// Takes one PC sample and attributes it to a function (through the
+    /// runtime's resolver, which also knows the code cache).
+    pub fn sample(&mut self, os: &Os, rt: &Runtime) {
+        let pc = os.sample_pc(self.pid);
+        if let Some(func) = rt.resolve_pc(os, pc) {
+            *self.weights.entry(func).or_insert(0.0) += 1.0;
+            self.window_samples += 1;
+        }
+    }
+
+    /// Ends the current window: returns derived stats and decays the
+    /// histogram.
+    pub fn end_window(&mut self, os: &Os) -> WindowStats {
+        let now = os.now();
+        let counters = os.counters(self.pid);
+        let app = os.app_metric(self.pid, 0);
+        let seconds = os.config().machine.cycles_to_seconds(now - self.last_time);
+        let stats = window_stats(
+            counters - self.last_counters,
+            seconds,
+            app - self.last_app,
+            os.config().machine.cycles_per_second,
+        );
+        self.last_counters = counters;
+        self.last_time = now;
+        self.last_app = app;
+        for w in self.weights.values_mut() {
+            *w *= self.decay;
+        }
+        self.weights.retain(|_, w| *w > 1e-6);
+        self.window_samples = 0;
+        stats
+    }
+
+    /// Functions observed in PC samples, hottest first, with their share
+    /// of total weight.
+    pub fn hot_funcs(&self) -> Vec<(FuncId, f64)> {
+        let total: f64 = self.weights.values().sum();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        let mut v: Vec<(FuncId, f64)> =
+            self.weights.iter().map(|(f, w)| (*f, w / total)).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// The set of functions that have appeared in any recent sample — the
+    /// "covered code" of PC3D's first search heuristic.
+    pub fn active_funcs(&self) -> Vec<FuncId> {
+        let mut v: Vec<FuncId> = self.weights.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// The monitored process.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+}
+
+/// Extrospective monitor for an external (co-running) program: HPM windows
+/// plus application-level metrics. No PC sampling — the runtime does not
+/// own external programs' symbols.
+#[derive(Clone, Debug)]
+pub struct ExtMonitor {
+    pid: Pid,
+    last_counters: PerfCounters,
+    last_time: u64,
+    last_app: i64,
+}
+
+impl ExtMonitor {
+    /// Creates a monitor for external process `pid`.
+    pub fn new(os: &Os, pid: Pid) -> Self {
+        ExtMonitor {
+            pid,
+            last_counters: os.counters(pid),
+            last_time: os.now(),
+            last_app: os.app_metric(pid, 0),
+        }
+    }
+
+    /// Ends the current window, returning derived stats.
+    pub fn end_window(&mut self, os: &Os) -> WindowStats {
+        let now = os.now();
+        let counters = os.counters(self.pid);
+        let app = os.app_metric(self.pid, 0);
+        let seconds = os.config().machine.cycles_to_seconds(now - self.last_time);
+        let stats = window_stats(
+            counters - self.last_counters,
+            seconds,
+            app - self.last_app,
+            os.config().machine.cycles_per_second,
+        );
+        self.last_counters = counters;
+        self.last_time = now;
+        self.last_app = app;
+        stats
+    }
+
+    /// Peeks at stats since the last window boundary without closing the
+    /// window.
+    pub fn peek(&self, os: &Os) -> WindowStats {
+        let seconds = os.config().machine.cycles_to_seconds(os.now() - self.last_time);
+        window_stats(
+            os.counters(self.pid) - self.last_counters,
+            seconds,
+            os.app_metric(self.pid, 0) - self.last_app,
+            os.config().machine.cycles_per_second,
+        )
+    }
+
+    /// The monitored process.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+    use pcc::{Compiler, Options};
+    use pir::{FunctionBuilder, Locality, Module};
+    use simos::OsConfig;
+
+    /// Host with one hot (big loop) and one cold function.
+    fn host() -> Module {
+        let mut m = Module::new("h");
+        let buf = m.add_global("buf", 1 << 14);
+        let mut hot = FunctionBuilder::new("hot", 0);
+        let base = hot.global_addr(buf);
+        hot.counted_loop(0, 128, 1, |b, i| {
+            let off = b.shl_imm(i, 3);
+            let a = b.add(base, off);
+            let _ = b.load(a, 0, Locality::Normal);
+        });
+        hot.ret(None);
+        let hid = m.add_function(hot.finish());
+        let mut cold = FunctionBuilder::new("cold", 0);
+        let x = cold.const_(1);
+        let header = cold.new_block();
+        cold.br(header);
+        cold.switch_to(header);
+        let _ = cold.add_imm(x, 1);
+        cold.ret(None);
+        let cid = m.add_function(cold.finish());
+        let mut main = FunctionBuilder::new("main", 0);
+        let h2 = main.new_block();
+        main.br(h2);
+        main.switch_to(h2);
+        main.call_void(hid, &[]);
+        main.call_void(cid, &[]);
+        main.br(h2);
+        let mid = m.add_function(main.finish());
+        m.set_entry(mid);
+        m
+    }
+
+    #[test]
+    fn pc_samples_identify_hot_function() {
+        let out = Compiler::new(Options::protean()).compile(&host()).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+        let mut mon = HostMonitor::new(&os, pid, 0.5);
+        for _ in 0..400 {
+            os.advance(997); // co-prime-ish with loop length to avoid aliasing
+            mon.sample(&os, &rt);
+        }
+        let hot = mon.hot_funcs();
+        assert!(!hot.is_empty());
+        let hot_id = rt.module().function_by_name("hot").unwrap();
+        assert_eq!(hot[0].0, hot_id, "hot loop should dominate samples: {hot:?}");
+        assert!(hot[0].1 > 0.5);
+        assert!(mon.active_funcs().contains(&hot_id));
+    }
+
+    #[test]
+    fn windows_compute_rates() {
+        let out = Compiler::new(Options::protean()).compile(&host()).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+        let mut mon = HostMonitor::new(&os, pid, 1.0);
+        os.advance_seconds(1.0);
+        mon.sample(&os, &rt);
+        let w = mon.end_window(&os);
+        assert!((w.seconds - 1.0).abs() < 1e-9);
+        assert!(w.ips > 0.0);
+        assert!(w.bps > 0.0);
+        assert!(w.bps < w.ips);
+        assert!(w.ipc > 0.0 && w.ipc <= 1.0);
+        // Second window is fresh.
+        os.advance_seconds(0.5);
+        let w2 = mon.end_window(&os);
+        assert!((w2.seconds - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ext_monitor_tracks_coruner() {
+        let out = Compiler::new(Options::plain()).compile(&host()).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let mut ext = ExtMonitor::new(&os, pid);
+        os.advance_seconds(0.25);
+        let peek = ext.peek(&os);
+        let w = ext.end_window(&os);
+        assert!(w.ips > 0.0);
+        assert!((peek.ips - w.ips).abs() / w.ips < 0.05);
+        assert_eq!(ext.pid(), pid);
+    }
+
+    #[test]
+    fn decay_forgets_old_hotness() {
+        let out = Compiler::new(Options::protean()).compile(&host()).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+        let mut mon = HostMonitor::new(&os, pid, 0.01);
+        for _ in 0..50 {
+            os.advance(1000);
+            mon.sample(&os, &rt);
+        }
+        assert!(!mon.hot_funcs().is_empty());
+        // Several empty windows: histogram decays to nothing.
+        for _ in 0..4 {
+            os.advance(1000);
+            let _ = mon.end_window(&os);
+        }
+        assert!(mon.hot_funcs().is_empty());
+    }
+
+    #[test]
+    fn zero_length_window_is_safe() {
+        let out = Compiler::new(Options::plain()).compile(&host()).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let mut ext = ExtMonitor::new(&os, pid);
+        let w = ext.end_window(&os);
+        assert_eq!(w.ips, 0.0);
+        assert_eq!(w.seconds, 0.0);
+    }
+}

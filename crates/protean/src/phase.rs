@@ -1,0 +1,192 @@
+//! Phase analysis: detecting host phase and co-phase changes.
+//!
+//! "Phases are defined in terms of the hot code identified by program
+//! counter samples ... as well as by the progress rate of the running
+//! applications using metrics such as IPC or BPC" (Section III-B3). A
+//! *co-phase* (Section IV, footnote 1) is the combination of the current
+//! phases of a program and its co-runners; PC3D restarts its variant
+//! search when the co-phase changes.
+
+use pir::FuncId;
+
+use crate::monitor::WindowStats;
+
+/// What changed between two monitoring windows.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PhaseChange {
+    /// No significant change.
+    Stable,
+    /// Progress rate moved beyond the threshold.
+    RateShift,
+    /// The hot-code set changed (host programs only).
+    HotCodeShift,
+}
+
+/// Detects phase changes from a stream of window statistics (and, for
+/// hosts, hot-function sets).
+#[derive(Clone, Debug)]
+pub struct PhaseDetector {
+    /// Relative progress-rate change (on the chosen metric) that counts as
+    /// a phase change.
+    rate_threshold: f64,
+    /// Minimum Jaccard similarity of consecutive hot sets.
+    hot_set_threshold: f64,
+    prev_rate: Option<f64>,
+    prev_hot: Vec<FuncId>,
+}
+
+impl PhaseDetector {
+    /// Creates a detector. Typical thresholds: `rate_threshold` 0.25,
+    /// `hot_set_threshold` 0.5.
+    pub fn new(rate_threshold: f64, hot_set_threshold: f64) -> Self {
+        PhaseDetector { rate_threshold, hot_set_threshold, prev_rate: None, prev_hot: Vec::new() }
+    }
+
+    /// Observes a window using the IPS metric (external programs, whose
+    /// instruction mix is fixed).
+    pub fn observe_ips(&mut self, w: &WindowStats) -> PhaseChange {
+        self.observe_rate(w.ips)
+    }
+
+    /// Observes a window using the BPS metric (host programs, whose
+    /// instruction counts change across variants).
+    pub fn observe_bps(&mut self, w: &WindowStats) -> PhaseChange {
+        self.observe_rate(w.bps)
+    }
+
+    /// Observes an offered-load metric (queries per second) — the paper's
+    /// "application-specific reporting interfaces".
+    pub fn observe_app_rate(&mut self, w: &WindowStats) -> PhaseChange {
+        self.observe_rate(w.app_rate)
+    }
+
+    fn observe_rate(&mut self, rate: f64) -> PhaseChange {
+        let change = match self.prev_rate {
+            None => PhaseChange::Stable,
+            Some(prev) => {
+                let denom = prev.abs().max(rate.abs()).max(1e-12);
+                if (rate - prev).abs() / denom > self.rate_threshold {
+                    PhaseChange::RateShift
+                } else {
+                    PhaseChange::Stable
+                }
+            }
+        };
+        self.prev_rate = Some(rate);
+        change
+    }
+
+    /// Observes the current hot-function set (host programs). Returns
+    /// [`PhaseChange::HotCodeShift`] when the set diverges.
+    pub fn observe_hot_set(&mut self, hot: &[FuncId]) -> PhaseChange {
+        let change = if self.prev_hot.is_empty() || hot.is_empty() {
+            PhaseChange::Stable
+        } else {
+            let inter = hot.iter().filter(|f| self.prev_hot.contains(f)).count();
+            let union = {
+                let mut u: Vec<FuncId> = self.prev_hot.clone();
+                for f in hot {
+                    if !u.contains(f) {
+                        u.push(*f);
+                    }
+                }
+                u.len()
+            };
+            let jaccard = inter as f64 / union as f64;
+            if jaccard < self.hot_set_threshold {
+                PhaseChange::HotCodeShift
+            } else {
+                PhaseChange::Stable
+            }
+        };
+        self.prev_hot = hot.to_vec();
+        change
+    }
+
+    /// Forgets history (e.g. after acting on a phase change, to avoid
+    /// re-triggering on the transition itself).
+    pub fn reset(&mut self) {
+        self.prev_rate = None;
+        self.prev_hot.clear();
+    }
+}
+
+impl Default for PhaseDetector {
+    fn default() -> Self {
+        PhaseDetector::new(0.25, 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(ips: f64) -> WindowStats {
+        WindowStats { ips, bps: ips / 10.0, app_rate: ips / 100.0, ..Default::default() }
+    }
+
+    #[test]
+    fn stable_rates_no_change() {
+        let mut d = PhaseDetector::default();
+        assert_eq!(d.observe_ips(&w(100.0)), PhaseChange::Stable);
+        assert_eq!(d.observe_ips(&w(105.0)), PhaseChange::Stable);
+        assert_eq!(d.observe_ips(&w(95.0)), PhaseChange::Stable);
+    }
+
+    #[test]
+    fn rate_jump_detected() {
+        let mut d = PhaseDetector::default();
+        let _ = d.observe_ips(&w(100.0));
+        assert_eq!(d.observe_ips(&w(300.0)), PhaseChange::RateShift);
+        // After the jump the new level is the baseline.
+        assert_eq!(d.observe_ips(&w(310.0)), PhaseChange::Stable);
+    }
+
+    #[test]
+    fn rate_drop_detected() {
+        let mut d = PhaseDetector::default();
+        let _ = d.observe_ips(&w(100.0));
+        assert_eq!(d.observe_ips(&w(10.0)), PhaseChange::RateShift);
+    }
+
+    #[test]
+    fn zero_to_zero_is_stable() {
+        let mut d = PhaseDetector::default();
+        let _ = d.observe_ips(&w(0.0));
+        assert_eq!(d.observe_ips(&w(0.0)), PhaseChange::Stable);
+    }
+
+    #[test]
+    fn hot_set_shift_detected() {
+        let mut d = PhaseDetector::default();
+        let a = [FuncId(0), FuncId(1)];
+        let b = [FuncId(2), FuncId(3)];
+        assert_eq!(d.observe_hot_set(&a), PhaseChange::Stable); // first observation
+        assert_eq!(d.observe_hot_set(&a), PhaseChange::Stable);
+        assert_eq!(d.observe_hot_set(&b), PhaseChange::HotCodeShift);
+    }
+
+    #[test]
+    fn overlapping_hot_sets_stable() {
+        let mut d = PhaseDetector::default();
+        let a = [FuncId(0), FuncId(1), FuncId(2)];
+        let b = [FuncId(0), FuncId(1), FuncId(3)];
+        let _ = d.observe_hot_set(&a);
+        assert_eq!(d.observe_hot_set(&b), PhaseChange::Stable, "jaccard 0.5 >= threshold");
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut d = PhaseDetector::default();
+        let _ = d.observe_ips(&w(100.0));
+        d.reset();
+        assert_eq!(d.observe_ips(&w(500.0)), PhaseChange::Stable);
+    }
+
+    #[test]
+    fn app_rate_metric_works() {
+        let mut d = PhaseDetector::default();
+        let _ = d.observe_app_rate(&w(1000.0));
+        assert_eq!(d.observe_app_rate(&w(4000.0)), PhaseChange::RateShift);
+    }
+}

@@ -1,0 +1,490 @@
+//! Attach, discovery, the EVT manager, and variant dispatch.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use pcc::annex::MetaError;
+use pcc::{compile_function_variant, EmbeddedMeta, NtAssignment};
+use pir::{FuncId, Module};
+use simos::{Os, Pid};
+use visa::MetaDesc;
+
+use crate::cost::CompileCostModel;
+
+/// Runtime placement and cost configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RuntimeConfig {
+    /// Core the runtime process occupies; its compilation work is charged
+    /// there (Figure 6 contrasts "same core" vs "separate core").
+    pub core: usize,
+    /// Compilation cost model.
+    pub cost: CompileCostModel,
+}
+
+impl RuntimeConfig {
+    /// Runtime on a dedicated core with default costs.
+    pub fn on_core(core: usize) -> Self {
+        RuntimeConfig { core, cost: CompileCostModel::default() }
+    }
+}
+
+/// Failure to attach to a process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttachError {
+    /// The process carries no protean meta root — not compiled by `pcc`.
+    NotProtean,
+    /// The metadata blob failed to decode.
+    Meta(MetaError),
+}
+
+impl fmt::Display for AttachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttachError::NotProtean => {
+                write!(f, "process has no protean metadata (not compiled by pcc)")
+            }
+            AttachError::Meta(e) => write!(f, "embedded metadata unreadable: {e}"),
+        }
+    }
+}
+
+impl Error for AttachError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttachError::NotProtean => None,
+            AttachError::Meta(e) => Some(e),
+        }
+    }
+}
+
+/// Failure to dispatch a variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DispatchError {
+    /// The function's call edges were not virtualized by the static
+    /// compiler, so the runtime has no hook to redirect it.
+    NotVirtualized(FuncId),
+}
+
+impl fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchError::NotVirtualized(f_) => {
+                write!(f, "function {f_} has no EVT slot; its edges are not virtualized")
+            }
+        }
+    }
+}
+
+impl Error for DispatchError {}
+
+/// A compiled variant living in the code cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VariantRecord {
+    /// The function this is a variant of.
+    pub func: FuncId,
+    /// The non-temporal assignment baked into it.
+    pub nt: NtAssignment,
+    /// Code-cache address of the variant's first instruction.
+    pub addr: u32,
+    /// Length in instructions.
+    pub len: u32,
+}
+
+/// The protean code runtime, attached to one host process.
+#[derive(Clone, Debug)]
+pub struct Runtime {
+    pid: Pid,
+    config: RuntimeConfig,
+    meta: EmbeddedMeta,
+    desc: MetaDesc,
+    /// All variants compiled so far (the runtime's code-cache index).
+    variants: Vec<VariantRecord>,
+    /// Memoization: identical (func, nt) requests reuse the cached
+    /// variant instead of recompiling.
+    by_key: HashMap<(FuncId, Vec<pir::LoadSiteId>), usize>,
+    /// Cumulative cycles of compilation work charged.
+    compile_cycles: u64,
+    /// Number of compilations performed (cache misses).
+    compilations: u64,
+}
+
+impl Runtime {
+    /// Attaches to `pid`: discovers the meta root in the process's data
+    /// memory, reads and decodes the embedded IR + link annex.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::NotProtean`] if the process lacks a meta root;
+    /// [`AttachError::Meta`] if the blob is corrupt.
+    pub fn attach(os: &Os, pid: Pid, config: RuntimeConfig) -> Result<Runtime, AttachError> {
+        // Discovery happens through process memory, exactly as a real
+        // runtime attaching over shared memory would do it.
+        let header = os.read_mem(pid, visa::META_ROOT_ADDR, visa::META_ROOT_SIZE as usize);
+        let desc = MetaDesc::read_root(header).ok_or(AttachError::NotProtean)?;
+        let blob = os.read_mem(pid, desc.ir_addr, desc.ir_len as usize);
+        let meta = EmbeddedMeta::from_blob(blob).map_err(AttachError::Meta)?;
+        Ok(Runtime {
+            pid,
+            config,
+            meta,
+            desc,
+            variants: Vec::new(),
+            by_key: HashMap::new(),
+            compile_cycles: 0,
+            compilations: 0,
+        })
+    }
+
+    /// The host process.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The runtime's placement/cost configuration.
+    pub fn config(&self) -> RuntimeConfig {
+        self.config
+    }
+
+    /// The recovered program IR.
+    pub fn module(&self) -> &Module {
+        &self.meta.module
+    }
+
+    /// The recovered link facts.
+    pub fn link(&self) -> &pcc::LinkInfo {
+        &self.meta.link
+    }
+
+    /// The discovered metadata locations.
+    pub fn meta_desc(&self) -> MetaDesc {
+        self.desc
+    }
+
+    /// Functions whose edges are virtualized (re-dispatchable).
+    pub fn virtualized_funcs(&self) -> Vec<FuncId> {
+        self.meta
+            .link
+            .func_evt_slot
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|_| FuncId(i as u32)))
+            .collect()
+    }
+
+    /// Total compilation cycles charged so far.
+    pub fn compile_cycles(&self) -> u64 {
+        self.compile_cycles
+    }
+
+    /// Number of distinct variant compilations performed.
+    pub fn compilations(&self) -> u64 {
+        self.compilations
+    }
+
+    /// All compiled variants.
+    pub fn variants(&self) -> &[VariantRecord] {
+        &self.variants
+    }
+
+    /// Compiles a variant of `func` with hints `nt` into the process's
+    /// code cache, charging compilation cycles to the runtime's core.
+    /// Identical requests hit the variant cache and cost nothing.
+    ///
+    /// Returns the index of the variant record.
+    ///
+    /// # Errors
+    ///
+    /// [`DispatchError::NotVirtualized`] if the function cannot later be
+    /// dispatched (no EVT slot) — compiling it would be useless.
+    pub fn compile_variant(
+        &mut self,
+        os: &mut Os,
+        func: FuncId,
+        nt: &NtAssignment,
+    ) -> Result<usize, DispatchError> {
+        if self.meta.link.func_evt_slot[func.index()].is_none() {
+            return Err(DispatchError::NotVirtualized(func));
+        }
+        let key = (func, nt.iter().collect::<Vec<_>>());
+        if let Some(&idx) = self.by_key.get(&key) {
+            return Ok(idx);
+        }
+        let idx = self.compile_fresh(os, func, nt)?;
+        self.by_key.insert(key, idx);
+        Ok(idx)
+    }
+
+    /// Compiles a fresh variant unconditionally, bypassing the variant
+    /// cache (used by the recompilation stress tests, which measure
+    /// compiler activity). Returns the new variant index.
+    ///
+    /// # Errors
+    ///
+    /// [`DispatchError::NotVirtualized`] if the function has no EVT slot.
+    pub fn compile_fresh(
+        &mut self,
+        os: &mut Os,
+        func: FuncId,
+        nt: &NtAssignment,
+    ) -> Result<usize, DispatchError> {
+        if self.meta.link.func_evt_slot[func.index()].is_none() {
+            return Err(DispatchError::NotVirtualized(func));
+        }
+        let base = os.text_len(self.pid);
+        let ops = compile_function_variant(&self.meta.module, func, nt, &self.meta.link, base);
+        let cost = self.config.cost.cost(ops.len());
+        os.charge_runtime(self.config.core, cost);
+        self.compile_cycles += cost;
+        self.compilations += 1;
+        let addr = os.append_text(self.pid, &ops);
+        debug_assert_eq!(addr, base);
+        let record =
+            VariantRecord { func, nt: nt.clone(), addr, len: ops.len() as u32 };
+        self.variants.push(record);
+        Ok(self.variants.len() - 1)
+    }
+
+    /// Dispatches a previously compiled variant: one atomic 8-byte EVT
+    /// write redirecting every virtualized edge into the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variant` is out of range.
+    pub fn dispatch(&mut self, os: &mut Os, variant: usize) {
+        let rec = &self.variants[variant];
+        let cell = self
+            .meta
+            .link
+            .evt_cell(rec.func)
+            .expect("compiled variants always have EVT slots");
+        os.write_u64(self.pid, cell, u64::from(rec.addr));
+    }
+
+    /// Compiles (or reuses) and dispatches in one step. Returns the
+    /// variant index.
+    ///
+    /// # Errors
+    ///
+    /// [`DispatchError::NotVirtualized`] if the function has no EVT slot.
+    pub fn transform(
+        &mut self,
+        os: &mut Os,
+        func: FuncId,
+        nt: &NtAssignment,
+    ) -> Result<usize, DispatchError> {
+        let idx = self.compile_variant(os, func, nt)?;
+        self.dispatch(os, idx);
+        Ok(idx)
+    }
+
+    /// Restores the original code of `func` (EVT back to the static
+    /// binary's body).
+    ///
+    /// # Errors
+    ///
+    /// [`DispatchError::NotVirtualized`] if the function has no EVT slot.
+    pub fn restore(&mut self, os: &mut Os, func: FuncId) -> Result<(), DispatchError> {
+        let cell = self
+            .meta
+            .link
+            .evt_cell(func)
+            .ok_or(DispatchError::NotVirtualized(func))?;
+        let original = self.meta.link.func_addrs[func.index()];
+        os.write_u64(self.pid, cell, u64::from(original));
+        Ok(())
+    }
+
+    /// Restores every virtualized function to its original code.
+    pub fn restore_all(&mut self, os: &mut Os) {
+        for func in self.virtualized_funcs() {
+            let _ = self.restore(os, func);
+        }
+    }
+
+    /// The text address currently installed for `func`'s edges.
+    pub fn current_target(&self, os: &Os, func: FuncId) -> Option<u32> {
+        let cell = self.meta.link.evt_cell(func)?;
+        Some(os.read_u64(self.pid, cell) as u32)
+    }
+
+    /// Maps a PC sample to the function it belongs to, covering both the
+    /// original image (via its symbols) and the runtime's own code-cache
+    /// variants.
+    pub fn resolve_pc(&self, os: &Os, pc: u32) -> Option<FuncId> {
+        if let Some(sym) = os.proc(self.pid).symbolize(pc) {
+            return Some(sym.func);
+        }
+        self.variants
+            .iter()
+            .find(|v| pc >= v.addr && pc < v.addr + v.len)
+            .map(|v| v.func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcc::{Compiler, Options};
+    use pir::{FunctionBuilder, Locality};
+    use simos::OsConfig;
+
+    /// A module whose entry loops forever calling a multi-block worker
+    /// that streams over a buffer.
+    fn host_module(lines: i64) -> Module {
+        let mut m = Module::new("host");
+        let buf = m.add_global("buf", (lines * 64) as u64 + 64);
+        let mut w = FunctionBuilder::new("worker", 0);
+        let base = w.global_addr(buf);
+        w.counted_loop(0, lines, 1, |b, i| {
+            let off = b.mul_imm(i, 64);
+            let addr = b.add(base, off);
+            let _ = b.load(addr, 0, Locality::Normal);
+        });
+        w.ret(None);
+        let wid = m.add_function(w.finish());
+        let mut main = FunctionBuilder::new("main", 0);
+        let header = main.new_block();
+        main.br(header);
+        main.switch_to(header);
+        main.call_void(wid, &[]);
+        main.br(header);
+        let mid = m.add_function(main.finish());
+        m.set_entry(mid);
+        m
+    }
+
+    fn setup(lines: i64) -> (Os, Pid, Runtime) {
+        let m = host_module(lines);
+        let out = Compiler::new(Options::protean()).compile(&m).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+        (os, pid, rt)
+    }
+
+    #[test]
+    fn attach_recovers_module_through_process_memory() {
+        let (_, _, rt) = setup(8);
+        assert_eq!(rt.module().name(), "host");
+        assert_eq!(rt.module().functions().len(), 2);
+        assert_eq!(rt.virtualized_funcs().len(), 1, "worker is multi-block and called");
+    }
+
+    #[test]
+    fn attach_rejects_plain_binaries() {
+        let m = host_module(4);
+        let out = Compiler::new(Options::plain()).compile(&m).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let err = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap_err();
+        assert_eq!(err, AttachError::NotProtean);
+    }
+
+    #[test]
+    fn transform_redirects_execution_into_code_cache() {
+        let (mut os, pid, mut rt) = setup(8);
+        os.advance(50_000);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        let image_len = os.proc(pid).image_text_len();
+        // All-NT variant.
+        let sites: Vec<_> = pir::load_sites(rt.module())
+            .iter()
+            .map(|s| s.site)
+            .filter(|s| s.func == worker)
+            .collect();
+        let nt = NtAssignment::all(sites);
+        rt.transform(&mut os, worker, &nt).unwrap();
+        assert!(rt.current_target(&os, worker).unwrap() >= image_len);
+        // The program must keep running and eventually execute from the
+        // code cache.
+        let before = os.counters(pid).instructions;
+        os.advance(200_000);
+        assert!(os.counters(pid).instructions > before);
+        // PC samples eventually land in the code cache and resolve to the
+        // worker function.
+        let mut saw_cache = false;
+        for _ in 0..200 {
+            os.advance(1_000);
+            let pc = os.sample_pc(pid);
+            if pc >= image_len {
+                assert_eq!(rt.resolve_pc(&os, pc), Some(worker));
+                saw_cache = true;
+                break;
+            }
+        }
+        assert!(saw_cache, "execution never reached the code-cache variant");
+        // NT prefetches are now being issued.
+        let nt_before = os.counters(pid).nt_prefetches;
+        os.advance(100_000);
+        assert!(os.counters(pid).nt_prefetches > nt_before);
+    }
+
+    #[test]
+    fn restore_reverts_to_original_code() {
+        let (mut os, pid, mut rt) = setup(8);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        let nt = NtAssignment::all(
+            pir::load_sites(rt.module()).iter().map(|s| s.site),
+        );
+        rt.transform(&mut os, worker, &nt).unwrap();
+        rt.restore(&mut os, worker).unwrap();
+        let original = rt.link().func_addrs[worker.index()];
+        assert_eq!(rt.current_target(&os, worker), Some(original));
+        os.advance(100_000);
+        // Original code has no prefetches.
+        let a = os.counters(pid).nt_prefetches;
+        os.advance(100_000);
+        assert_eq!(os.counters(pid).nt_prefetches, a);
+    }
+
+    #[test]
+    fn variant_cache_deduplicates() {
+        let (mut os, _, mut rt) = setup(8);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        let nt = NtAssignment::none();
+        let v1 = rt.compile_variant(&mut os, worker, &nt).unwrap();
+        let v2 = rt.compile_variant(&mut os, worker, &nt).unwrap();
+        assert_eq!(v1, v2);
+        assert_eq!(rt.compilations(), 1);
+        let mut nt2 = NtAssignment::none();
+        nt2.extend(
+            pir::load_sites(rt.module()).iter().map(|s| s.site).take(1),
+        );
+        let v3 = rt.compile_variant(&mut os, worker, &nt2).unwrap();
+        assert_ne!(v1, v3);
+        assert_eq!(rt.compilations(), 2);
+    }
+
+    #[test]
+    fn compile_charges_runtime_core() {
+        let (mut os, _, mut rt) = setup(8);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        rt.compile_variant(&mut os, worker, &NtAssignment::none()).unwrap();
+        assert!(rt.compile_cycles() > 0);
+        os.advance(1_000_000);
+        assert_eq!(os.runtime_consumed(1), rt.compile_cycles());
+    }
+
+    #[test]
+    fn unvirtualized_function_rejected() {
+        let (mut os, _, mut rt) = setup(8);
+        let main = rt.module().function_by_name("main").unwrap();
+        let err = rt.transform(&mut os, main, &NtAssignment::none()).unwrap_err();
+        assert!(matches!(err, DispatchError::NotVirtualized(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn corrupt_metadata_rejected() {
+        let m = host_module(4);
+        let out = Compiler::new(Options::protean()).compile(&m).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        // Corrupt the IR blob in process memory before attach.
+        let desc = out.image.meta.unwrap();
+        os.write_mem(pid, desc.ir_addr + desc.ir_len / 2, &[0xff; 8]);
+        let err = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap_err();
+        assert!(matches!(err, AttachError::Meta(_)));
+    }
+}

@@ -1,0 +1,165 @@
+//! Dynamic-compilation stress testing (Figures 5 and 6).
+//!
+//! "The host program is run with a protean runtime configured to
+//! periodically recompile randomly selected functions throughout the life
+//! of the running application" (Section V-A). The engine recompiles a
+//! random virtualized function — with no semantic change — at a fixed
+//! interval and dispatches the fresh variant, exercising the entire
+//! compile → code-cache → EVT path and charging its cycles to the
+//! runtime's core.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pcc::NtAssignment;
+use pir::FuncId;
+use simos::Os;
+
+use crate::runtime::Runtime;
+
+/// Periodic random-recompilation engine.
+pub struct StressEngine {
+    interval_cycles: u64,
+    next_fire: u64,
+    rng: StdRng,
+    targets: Vec<FuncId>,
+    /// Counter used to make each compilation distinct (defeats the variant
+    /// cache, as the stress test intends every trigger to do real work).
+    round: u64,
+    recompiles: u64,
+}
+
+impl StressEngine {
+    /// Creates an engine firing every `interval_cycles`, seeded for
+    /// deterministic runs.
+    pub fn new(rt: &Runtime, interval_cycles: u64, seed: u64) -> Self {
+        StressEngine {
+            interval_cycles,
+            next_fire: interval_cycles,
+            rng: StdRng::seed_from_u64(seed),
+            targets: rt.virtualized_funcs(),
+            round: 0,
+            recompiles: 0,
+        }
+    }
+
+    /// Number of recompilations performed so far.
+    pub fn recompiles(&self) -> u64 {
+        self.recompiles
+    }
+
+    /// Advances the engine to the OS's current time, firing any due
+    /// recompilations. Call after each `os.advance` step.
+    pub fn step(&mut self, os: &mut Os, rt: &mut Runtime) {
+        while os.now() >= self.next_fire {
+            self.next_fire += self.interval_cycles;
+            if self.targets.is_empty() {
+                continue;
+            }
+            let func = self.targets[self.rng.gen_range(0..self.targets.len())];
+            self.round += 1;
+            // Every firing does real compiler work: compile a fresh
+            // identity variant (bypassing the variant cache) and dispatch
+            // it, exactly as the paper's stress test recompiles functions
+            // with no semantic change.
+            let nt = NtAssignment::none();
+            if let Ok(idx) = rt.compile_fresh(os, func, &nt) {
+                rt.dispatch(os, idx);
+                self.recompiles += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeConfig;
+    use pcc::{Compiler, Options};
+    use pir::{FunctionBuilder, Locality, Module};
+    use simos::OsConfig;
+
+    fn host() -> Module {
+        let mut m = Module::new("h");
+        let buf = m.add_global("buf", 1 << 13);
+        let mut w = FunctionBuilder::new("work", 0);
+        let base = w.global_addr(buf);
+        w.counted_loop(0, 64, 1, |b, i| {
+            let off = b.shl_imm(i, 3);
+            let a = b.add(base, off);
+            let _ = b.load(a, 0, Locality::Normal);
+        });
+        w.ret(None);
+        let wid = m.add_function(w.finish());
+        let mut main = FunctionBuilder::new("main", 0);
+        let h = main.new_block();
+        main.br(h);
+        main.switch_to(h);
+        main.call_void(wid, &[]);
+        main.br(h);
+        let mid = m.add_function(main.finish());
+        m.set_entry(mid);
+        m
+    }
+
+    fn setup(core: usize) -> (Os, simos::Pid, Runtime) {
+        let out = Compiler::new(Options::protean()).compile(&host()).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(core)).unwrap();
+        (os, pid, rt)
+    }
+
+    #[test]
+    fn fires_at_interval() {
+        let (mut os, _pid, mut rt) = setup(1);
+        let mut eng = StressEngine::new(&rt, 10_000, 42);
+        for _ in 0..100 {
+            os.advance(10_000);
+            eng.step(&mut os, &mut rt);
+        }
+        assert!((95..=105).contains(&eng.recompiles()), "got {}", eng.recompiles());
+    }
+
+    #[test]
+    fn separate_core_stress_is_nearly_free() {
+        // Host alone vs host + stress on the other core.
+        let baseline = {
+            let (mut os, pid, _) = setup(1);
+            os.advance(2_000_000);
+            os.counters(pid).instructions
+        };
+        let (mut os, pid, mut rt) = setup(1);
+        let mut eng = StressEngine::new(&rt, 20_000, 7);
+        for _ in 0..100 {
+            os.advance(20_000);
+            eng.step(&mut os, &mut rt);
+        }
+        let stressed = os.counters(pid).instructions;
+        let slowdown = baseline as f64 / stressed as f64;
+        assert!(
+            slowdown < 1.05,
+            "separate-core stress should cost <5% in this regime, got {slowdown:.3}x"
+        );
+        assert!(os.runtime_consumed(1) > 0, "runtime work must be accounted");
+    }
+
+    #[test]
+    fn same_core_frequent_stress_costs_more_than_separate() {
+        let run = |core: usize| {
+            let (mut os, pid, mut rt) = setup(core);
+            let mut eng = StressEngine::new(&rt, 5_000, 7);
+            for _ in 0..200 {
+                os.advance(5_000);
+                eng.step(&mut os, &mut rt);
+            }
+            os.counters(pid).instructions
+        };
+        let separate = run(1);
+        let same = run(0);
+        assert!(
+            same < separate,
+            "same-core stress must slow the host more: same={same} separate={separate}"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Table I: comparison between protean code and prior dynamic compilation
+//! infrastructures.
+//!
+//! The table is qualitative in the paper; we encode it as data so the
+//! bench harness can regenerate it and the claims stay greppable.
+
+/// Capabilities of one dynamic-compilation system, per Table I's rows.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SystemDescriptor {
+    /// System name.
+    pub name: &'static str,
+    /// Near-zero baseline overhead.
+    pub low_overhead: bool,
+    /// Operates on the full compiler IR (not lifted machine code).
+    pub full_ir: bool,
+    /// Runs on commodity hardware.
+    pub commodity_hardware: bool,
+    /// Requires no programmer involvement.
+    pub programmer_unneeded: bool,
+    /// Reacts to external (co-runner) conditions.
+    pub extrospective: bool,
+}
+
+/// The systems of Table I, in the paper's column order.
+pub const SYSTEMS: [SystemDescriptor; 5] = [
+    SystemDescriptor {
+        name: "ADAPT",
+        low_overhead: false,
+        full_ir: false,
+        commodity_hardware: true,
+        programmer_unneeded: false,
+        extrospective: false,
+    },
+    SystemDescriptor {
+        name: "ADORE",
+        low_overhead: true,
+        full_ir: false,
+        commodity_hardware: true,
+        programmer_unneeded: true,
+        extrospective: false,
+    },
+    SystemDescriptor {
+        name: "DynamoRIO",
+        low_overhead: false,
+        full_ir: false,
+        commodity_hardware: true,
+        programmer_unneeded: true,
+        extrospective: false,
+    },
+    SystemDescriptor {
+        name: "Mojo",
+        low_overhead: false,
+        full_ir: false,
+        commodity_hardware: true,
+        programmer_unneeded: true,
+        extrospective: false,
+    },
+    SystemDescriptor {
+        name: "protean code",
+        low_overhead: true,
+        full_ir: true,
+        commodity_hardware: true,
+        programmer_unneeded: true,
+        extrospective: true,
+    },
+];
+
+/// Accessor for one boolean capability row of the table.
+type RowGetter = fn(&SystemDescriptor) -> bool;
+
+/// Renders Table I as fixed-width text.
+pub fn render_table() -> String {
+    let rows: [(&str, RowGetter); 5] = [
+        ("Low Overhead", |s| s.low_overhead),
+        ("Full Intermediate Representation", |s| s.full_ir),
+        ("Commodity Hardware", |s| s.commodity_hardware),
+        ("Programmer Unneeded", |s| s.programmer_unneeded),
+        ("Extrospective", |s| s.extrospective),
+    ];
+    let mut out = String::new();
+    out.push_str(&format!("{:<36}", ""));
+    for s in &SYSTEMS {
+        out.push_str(&format!("{:>14}", s.name));
+    }
+    out.push('\n');
+    for (label, get) in rows {
+        out.push_str(&format!("{label:<36}"));
+        for s in &SYSTEMS {
+            out.push_str(&format!("{:>14}", if get(s) { "x" } else { "" }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(name: &str) -> SystemDescriptor {
+        *SYSTEMS.iter().find(|s| s.name == name).expect("system listed")
+    }
+
+    #[test]
+    fn protean_checks_every_box() {
+        let p = find("protean code");
+        assert!(p.low_overhead && p.full_ir && p.commodity_hardware);
+        assert!(p.programmer_unneeded && p.extrospective);
+    }
+
+    #[test]
+    fn only_protean_is_extrospective_or_full_ir() {
+        for s in &SYSTEMS {
+            if s.name != "protean code" {
+                assert!(!s.extrospective, "{} should not be extrospective", s.name);
+                assert!(!s.full_ir, "{} should not carry full IR", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_paper_marks() {
+        // Spot checks against Table I.
+        assert!(find("ADORE").low_overhead);
+        assert!(!find("DynamoRIO").low_overhead);
+        assert!(!find("ADAPT").programmer_unneeded);
+        assert!(find("Mojo").commodity_hardware);
+    }
+
+    #[test]
+    fn rendering_contains_all_systems_and_rows() {
+        let t = render_table();
+        for s in &SYSTEMS {
+            assert!(t.contains(s.name));
+        }
+        assert!(t.contains("Extrospective"));
+        assert_eq!(t.lines().count(), 6);
+    }
+}

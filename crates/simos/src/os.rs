@@ -1,0 +1,665 @@
+//! The OS kernel: scheduling, time, and the runtime's control surface.
+
+use machine::{
+    exec, BtConfig, CostModel, ExecEnv, ExecStatus, MachineConfig, MemorySystem, PerfCounters,
+};
+use visa::{Image, Op};
+
+use crate::loadgen::LoadSchedule;
+use crate::process::{Pid, Process};
+
+/// OS configuration.
+#[derive(Clone, Debug)]
+pub struct OsConfig {
+    /// Machine the OS runs on.
+    pub machine: MachineConfig,
+    /// Scheduling quantum in cycles (granularity of core interleaving and
+    /// of nap decisions).
+    pub quantum: u64,
+    /// Nap duty-cycle period in cycles. Nap intensity resolution is
+    /// `quantum / nap_period`.
+    pub nap_period: u64,
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        let machine = MachineConfig::default();
+        OsConfig { machine, quantum: 1_000, nap_period: 100_000 }
+    }
+}
+
+impl OsConfig {
+    /// Small configuration for unit tests.
+    pub fn small() -> Self {
+        OsConfig { machine: MachineConfig::small(), quantum: 500, nap_period: 50_000 }
+    }
+
+    /// The standard experiment configuration: the paper's topology with
+    /// capacities scaled to the simulated time base (see
+    /// [`MachineConfig::scaled`]).
+    pub fn scaled() -> Self {
+        OsConfig { machine: MachineConfig::scaled(), ..OsConfig::default() }
+    }
+}
+
+/// Query-latency statistics for a latency-sensitive process.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LatencyStats {
+    /// Median sojourn time in cycles.
+    pub p50: u64,
+    /// 99th-percentile sojourn time in cycles.
+    pub p99: u64,
+    /// Mean sojourn time in cycles.
+    pub mean: f64,
+    /// Number of samples in the window.
+    pub count: usize,
+}
+
+/// The simulated operating system.
+pub struct Os {
+    config: OsConfig,
+    mem: MemorySystem,
+    procs: Vec<Process>,
+    /// Which process (if any) is pinned to each core.
+    core_proc: Vec<Option<Pid>>,
+    /// Pending runtime-work cycles per core (consumed before the pinned
+    /// process runs — "same core" runtime placement steals these cycles).
+    runtime_pending: Vec<u64>,
+    /// Total runtime-work cycles consumed per core.
+    runtime_consumed: Vec<u64>,
+    now: u64,
+}
+
+impl Os {
+    /// Boots an OS on the configured machine.
+    pub fn new(config: OsConfig) -> Self {
+        let cores = config.machine.cores;
+        let mem = MemorySystem::new(&config.machine);
+        Os {
+            config,
+            mem,
+            procs: Vec::new(),
+            core_proc: vec![None; cores],
+            runtime_pending: vec![0; cores],
+            runtime_consumed: vec![0; cores],
+            now: 0,
+        }
+    }
+
+    /// The OS configuration.
+    pub fn config(&self) -> &OsConfig {
+        &self.config
+    }
+
+    /// Current time in cycles.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Current time in simulated seconds.
+    pub fn now_seconds(&self) -> f64 {
+        self.config.machine.cycles_to_seconds(self.now)
+    }
+
+    /// Loads `image` as a new process pinned to `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or already has a pinned process.
+    pub fn spawn(&mut self, image: &Image, core: usize) -> Pid {
+        assert!(core < self.core_proc.len(), "core {core} out of range");
+        assert!(
+            self.core_proc[core].is_none(),
+            "core {core} already runs {:?}",
+            self.core_proc[core]
+        );
+        let pid = Pid(self.procs.len() as u16 + 1); // space 0 = kernel
+        let proc_ = Process::load(image, pid, core);
+        self.core_proc[core] = Some(pid);
+        self.procs.push(proc_);
+        pid
+    }
+
+    /// Loads `image` under a DynamoRIO-style binary translator (the
+    /// Figure 4 baseline): all execution flows from a translation cache
+    /// with per-block translation and per-branch dispatch costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or already pinned.
+    pub fn spawn_with_bt(&mut self, image: &Image, core: usize, bt: BtConfig) -> Pid {
+        let pid = self.spawn(image, core);
+        let i = self.idx(pid);
+        let ctx = std::mem::replace(
+            &mut self.procs[i].ctx,
+            machine::ExecContext::new(0, 0, 0),
+        );
+        self.procs[i].ctx = ctx.with_binary_translation(bt);
+        pid
+    }
+
+    /// Total binary-translation overhead cycles charged to a process, if
+    /// it runs under the translator.
+    pub fn bt_overhead(&self, pid: Pid) -> Option<u64> {
+        self.proc(pid).ctx().bt_overhead()
+    }
+
+    /// Terminates a process and frees its core.
+    pub fn kill(&mut self, pid: Pid) {
+        let core = self.proc(pid).core();
+        self.core_proc[core] = None;
+        // Keep the process slot (counters remain readable post-mortem) but
+        // detach it from scheduling by freezing.
+        self.proc_mut(pid).frozen = true;
+    }
+
+    fn idx(&self, pid: Pid) -> usize {
+        pid.index() - 1
+    }
+
+    /// Immutable access to a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was never spawned.
+    pub fn proc(&self, pid: Pid) -> &Process {
+        &self.procs[self.idx(pid)]
+    }
+
+    fn proc_mut(&mut self, pid: Pid) -> &mut Process {
+        let i = self.idx(pid);
+        &mut self.procs[i]
+    }
+
+    /// All spawned processes.
+    pub fn procs(&self) -> &[Process] {
+        &self.procs
+    }
+
+    // ----------------------------------------------------------------
+    // Observation surface (ptrace / perf)
+    // ----------------------------------------------------------------
+
+    /// Samples the process's program counter (ptrace-style).
+    pub fn sample_pc(&self, pid: Pid) -> u32 {
+        self.proc(pid).ctx().pc()
+    }
+
+    /// Reads the process's hardware performance counters.
+    pub fn counters(&self, pid: Pid) -> PerfCounters {
+        self.proc(pid).counters()
+    }
+
+    /// Execution status of the process.
+    pub fn status(&self, pid: Pid) -> ExecStatus {
+        self.proc(pid).ctx().status()
+    }
+
+    /// Cumulative application metric on `channel`.
+    pub fn app_metric(&self, pid: Pid, channel: u8) -> i64 {
+        self.proc(pid).metric(channel)
+    }
+
+    /// Tail-latency statistics over the process's recent queries (the
+    /// paper's "99th percentile tail query latency" reporting interface).
+    /// Returns `None` for batch processes or before any query completed.
+    pub fn latency_stats(&self, pid: Pid) -> Option<LatencyStats> {
+        let mut samples: Vec<u64> = self.proc(pid).latency_samples().collect();
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let pick = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        Some(LatencyStats { p50: pick(0.5), p99: pick(0.99), mean, count: samples.len() })
+    }
+
+    /// Shared-LLC lines currently owned by `pid`.
+    pub fn llc_occupancy(&self, pid: Pid) -> usize {
+        let space = u64::from(pid.0);
+        let shift = 40 - self.config.machine.line_bytes.trailing_zeros();
+        self.mem.llc_occupancy_where(move |line| (line >> shift) == space)
+    }
+
+    /// Reads `len` bytes of process data memory (shared-memory mapping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds (the runtime maps only valid
+    /// regions).
+    pub fn read_mem(&self, pid: Pid, addr: u64, len: usize) -> &[u8] {
+        let p = self.proc(pid);
+        &p.data[addr as usize..addr as usize + len]
+    }
+
+    /// Writes bytes into process data memory. An 8-byte aligned write is
+    /// atomic with respect to process execution (the process only runs
+    /// between quanta), which is what EVT redirection relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write_mem(&mut self, pid: Pid, addr: u64, bytes: &[u8]) {
+        let p = self.proc_mut(pid);
+        p.data[addr as usize..addr as usize + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Convenience: atomically writes a u64 (EVT slot update).
+    pub fn write_u64(&mut self, pid: Pid, addr: u64, value: u64) {
+        self.write_mem(pid, addr, &value.to_le_bytes());
+    }
+
+    /// Convenience: reads a u64.
+    pub fn read_u64(&self, pid: Pid, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read_mem(pid, addr, 8).try_into().expect("8 bytes"))
+    }
+
+    /// Appends code to the process's text space (the shared code cache),
+    /// returning the address of the first appended instruction.
+    pub fn append_text(&mut self, pid: Pid, ops: &[Op]) -> u32 {
+        let p = self.proc_mut(pid);
+        let base = p.text.len() as u32;
+        p.text.extend_from_slice(ops);
+        base
+    }
+
+    /// Total text length (image + code cache) of a process.
+    pub fn text_len(&self, pid: Pid) -> u32 {
+        self.proc(pid).text.len() as u32
+    }
+
+    // ----------------------------------------------------------------
+    // Control surface
+    // ----------------------------------------------------------------
+
+    /// Sets the nap intensity (fraction of time descheduled) in [0, 1].
+    pub fn set_nap(&mut self, pid: Pid, intensity: f64) {
+        self.proc_mut(pid).nap_intensity = intensity.clamp(0.0, 1.0);
+    }
+
+    /// Freezes or thaws a process (the flux measurement mechanism: freeze
+    /// the host briefly and observe co-runners running alone).
+    pub fn set_frozen(&mut self, pid: Pid, frozen: bool) {
+        self.proc_mut(pid).frozen = frozen;
+    }
+
+    /// Attaches an offered-load schedule; the process should park in
+    /// [`Op::Wait`] between work items.
+    pub fn set_load(&mut self, pid: Pid, schedule: LoadSchedule) {
+        self.proc_mut(pid).load = Some(schedule);
+    }
+
+    /// Charges `cycles` of runtime work (e.g. dynamic compilation) to a
+    /// core. If a process is pinned there, the work steals its cycles.
+    pub fn charge_runtime(&mut self, core: usize, cycles: u64) {
+        self.runtime_pending[core] += cycles;
+    }
+
+    /// Total runtime-work cycles consumed on `core` so far.
+    pub fn runtime_consumed(&self, core: usize) -> u64 {
+        self.runtime_consumed[core]
+    }
+
+    /// Total runtime-work cycles consumed across all cores.
+    pub fn runtime_consumed_total(&self) -> u64 {
+        self.runtime_consumed.iter().sum()
+    }
+
+    /// Total core-cycles elapsed (cores × time), the denominator of
+    /// "fraction of server cycles" plots.
+    pub fn server_cycles(&self) -> u64 {
+        self.now * self.core_proc.len() as u64
+    }
+
+    // ----------------------------------------------------------------
+    // Scheduling
+    // ----------------------------------------------------------------
+
+    /// Advances simulated time by `cycles`, interleaving all cores at
+    /// quantum granularity.
+    pub fn advance(&mut self, cycles: u64) {
+        let end = self.now + cycles;
+        while self.now < end {
+            let q = self.config.quantum.min(end - self.now);
+            let t0 = self.config.machine.cycles_to_seconds(self.now);
+            let t1 = self.config.machine.cycles_to_seconds(self.now + q);
+            for core in 0..self.core_proc.len() {
+                let mut budget = q;
+                // Runtime work shares the core with the pinned process.
+                // When both want the core, scheduling is fair (half the
+                // quantum each) rather than preemptive — a saturated
+                // same-core compiler halves the host instead of starving
+                // it, as on a real OS.
+                if self.runtime_pending[core] > 0 {
+                    let cap = if self.core_proc[core].is_some() { q / 2 } else { q };
+                    let used = self.runtime_pending[core].min(cap);
+                    self.runtime_pending[core] -= used;
+                    self.runtime_consumed[core] += used;
+                    budget -= used;
+                }
+                let Some(pid) = self.core_proc[core] else { continue };
+                let i = pid.index() - 1;
+                // Split borrows: process vs memory system.
+                let (procs, mem) = (&mut self.procs, &mut self.mem);
+                let p = &mut procs[i];
+                // Integrate offered load over this quantum. Whole arrivals
+                // are timestamped for latency accounting; a bounded queue
+                // sheds excess (an overloaded server drops, it does not
+                // accumulate unbounded backlog).
+                if let Some(load) = &p.load {
+                    p.pending_work += load.arrivals_between(t0, t1);
+                    while p.pending_work >= 1.0 && p.arrival_queue.len() < 64 {
+                        p.pending_work -= 1.0;
+                        p.arrival_queue.push_back(self.now);
+                    }
+                    if p.pending_work >= 1.0 {
+                        p.pending_work = p.pending_work.fract(); // shed
+                    }
+                }
+                if budget == 0 {
+                    continue;
+                }
+                if p.frozen {
+                    p.napped_cycles += budget;
+                    continue;
+                }
+                let napped = {
+                    let intensity = p.nap_intensity;
+                    if intensity <= 0.0 {
+                        false
+                    } else if intensity >= 1.0 {
+                        true
+                    } else {
+                        let phase = (self.now % self.config.nap_period) as f64
+                            / self.config.nap_period as f64;
+                        phase < intensity
+                    }
+                };
+                if napped {
+                    p.napped_cycles += budget;
+                    continue;
+                }
+                // Run, waking a parked server while work is pending.
+                loop {
+                    if !p.ctx.is_running() {
+                        if p.ctx.status() == ExecStatus::Waiting {
+                            if let Some(arrived) = p.arrival_queue.pop_front() {
+                                p.in_service = Some(arrived);
+                                p.ctx.wake();
+                            } else {
+                                p.idle_cycles += budget;
+                                break;
+                            }
+                        } else {
+                            p.idle_cycles += budget;
+                            break;
+                        }
+                    }
+                    let mut env = ExecEnv {
+                        text: &p.text,
+                        data: &mut p.data,
+                        mem,
+                        core,
+                        counters: &mut p.counters,
+                        costs: CostModel::default(),
+                    };
+                    let res = exec::run(&mut p.ctx, &mut env, budget);
+                    budget = budget.saturating_sub(res.cycles);
+                    // Drain application metrics.
+                    for (ch, v) in p.ctx.reports.drain(..) {
+                        p.metrics[ch as usize % crate::METRIC_CHANNELS] += v;
+                    }
+                    if matches!(res.stop, exec::StopReason::Waiting) {
+                        // A query completed: record its sojourn time.
+                        if let Some(arrived) = p.in_service.take() {
+                            if p.latency_samples.len() >= 1024 {
+                                p.latency_samples.pop_front();
+                            }
+                            p.latency_samples.push_back(self.now.saturating_sub(arrived));
+                        }
+                    }
+                    if budget == 0 || !matches!(res.stop, exec::StopReason::Waiting) {
+                        break;
+                    }
+                }
+            }
+            self.now += q;
+        }
+    }
+
+    /// Advances by a simulated duration in seconds.
+    pub fn advance_seconds(&mut self, secs: f64) {
+        let cycles = self.config.machine.seconds_to_cycles(secs);
+        self.advance(cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pir::FuncId;
+    use visa::{FuncSym, PReg};
+
+    /// An endless compute loop touching a configurable number of distinct
+    /// cache lines per pass.
+    fn spinner(name: &str, lines: i64) -> Image {
+        let text = vec![
+            // r0 = addr cursor, r1 = limit
+            Op::Movi { dst: PReg(0), imm: 64 },
+            Op::Movi { dst: PReg(1), imm: 64 + lines * 64 },
+            // loop:
+            Op::Load { dst: PReg(2), base: PReg(0), offset: 0 },
+            Op::AluImm { op: pir::BinOp::Add, dst: PReg(0), a: PReg(0), imm: 64 },
+            Op::Alu { op: pir::BinOp::Lt, dst: PReg(3), a: PReg(0), b: PReg(1) },
+            Op::Bnz { cond: PReg(3), target: 2 },
+            Op::Jmp { target: 0 },
+        ];
+        Image {
+            name: name.into(),
+            entry: 0,
+            text,
+            data: vec![0u8; (64 + lines * 64 + 64) as usize],
+            funcs: vec![FuncSym { name: "main".into(), func: FuncId(0), start: 0, len: 7 }],
+            globals: vec![],
+            evt: vec![],
+            meta: None,
+        }
+    }
+
+    /// A server: waits, does a fixed chunk of work, reports one query.
+    fn server(name: &str) -> Image {
+        let text = vec![
+            // loop: wait; r0 = 64; inner: load; add; lt; bnz; report; jmp
+            Op::Wait,
+            Op::Movi { dst: PReg(0), imm: 64 },
+            Op::Load { dst: PReg(1), base: PReg(0), offset: 0 },
+            Op::AluImm { op: pir::BinOp::Add, dst: PReg(0), a: PReg(0), imm: 64 },
+            Op::AluImm { op: pir::BinOp::Lt, dst: PReg(2), a: PReg(0), imm: 64 * 32 },
+            Op::Bnz { cond: PReg(2), target: 2 },
+            Op::Movi { dst: PReg(3), imm: 1 },
+            Op::Report { channel: 0, src: PReg(3) },
+            Op::Jmp { target: 0 },
+        ];
+        Image {
+            name: name.into(),
+            entry: 0,
+            text,
+            data: vec![0u8; 64 * 40],
+            funcs: vec![FuncSym { name: "serve".into(), func: FuncId(0), start: 0, len: 9 }],
+            globals: vec![],
+            evt: vec![],
+            meta: None,
+        }
+    }
+
+    #[test]
+    fn batch_process_progresses() {
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&spinner("a", 8), 0);
+        os.advance(100_000);
+        let c = os.counters(pid);
+        assert!(c.instructions > 1000, "got {} instructions", c.instructions);
+        assert!(c.cycles > 0);
+        assert!(os.sample_pc(pid) < 7);
+    }
+
+    #[test]
+    fn napping_slows_progress_proportionally() {
+        let progress = |nap: f64| {
+            let mut os = Os::new(OsConfig::small());
+            let pid = os.spawn(&spinner("a", 4), 0);
+            os.set_nap(pid, nap);
+            os.advance(1_000_000);
+            os.counters(pid).instructions
+        };
+        let full = progress(0.0);
+        let half = progress(0.5);
+        let tenth = progress(0.9);
+        let ratio_half = half as f64 / full as f64;
+        let ratio_tenth = tenth as f64 / full as f64;
+        assert!((ratio_half - 0.5).abs() < 0.1, "50% nap gave ratio {ratio_half}");
+        assert!((ratio_tenth - 0.1).abs() < 0.05, "90% nap gave ratio {ratio_tenth}");
+    }
+
+    #[test]
+    fn freeze_stops_execution_entirely() {
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&spinner("a", 4), 0);
+        os.advance(10_000);
+        let before = os.counters(pid).instructions;
+        os.set_frozen(pid, true);
+        os.advance(100_000);
+        assert_eq!(os.counters(pid).instructions, before);
+        os.set_frozen(pid, false);
+        os.advance(10_000);
+        assert!(os.counters(pid).instructions > before);
+    }
+
+    #[test]
+    fn server_throughput_tracks_offered_load() {
+        let served_at = |qps: f64| {
+            let mut os = Os::new(OsConfig::small());
+            let pid = os.spawn(&server("ws"), 0);
+            os.set_load(pid, LoadSchedule::constant(qps));
+            os.advance_seconds(10.0);
+            os.app_metric(pid, 0)
+        };
+        let low = served_at(5.0);
+        let high = served_at(20.0);
+        assert!((low - 50).abs() <= 2, "5 qps * 10 s should serve ~50, got {low}");
+        assert!((high - 200).abs() <= 5, "20 qps * 10 s should serve ~200, got {high}");
+    }
+
+    #[test]
+    fn overloaded_server_saturates() {
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&server("ws"), 0);
+        os.set_load(pid, LoadSchedule::constant(1e9));
+        os.advance_seconds(1.0);
+        let served = os.app_metric(pid, 0);
+        // Capacity-bound, far below offered.
+        assert!(served > 0);
+        assert!((served as f64) < 1e8);
+    }
+
+    #[test]
+    fn runtime_charge_steals_from_same_core_only() {
+        let run = |charge_core: Option<usize>| {
+            let mut os = Os::new(OsConfig::small());
+            let pid = os.spawn(&spinner("a", 4), 0);
+            if let Some(c) = charge_core {
+                // Saturate the core with runtime work for half the window.
+                os.charge_runtime(c, 500_000);
+            }
+            os.advance(1_000_000);
+            os.counters(pid).instructions
+        };
+        let clean = run(None);
+        let same = run(Some(0));
+        let separate = run(Some(1));
+        assert!(
+            (same as f64) < 0.6 * clean as f64,
+            "same-core runtime work should steal cycles: {same} vs {clean}"
+        );
+        assert_eq!(separate, clean, "separate-core runtime work must not perturb the host");
+    }
+
+    #[test]
+    fn runtime_cycles_accounted() {
+        let mut os = Os::new(OsConfig::small());
+        os.charge_runtime(1, 12_345);
+        os.advance(1_000_000);
+        assert_eq!(os.runtime_consumed(1), 12_345);
+        assert_eq!(os.runtime_consumed_total(), 12_345);
+        assert_eq!(os.server_cycles(), 2_000_000); // 2 cores x 1M cycles
+    }
+
+    #[test]
+    fn co_runner_contention_slows_both() {
+        // Two processes with LLC-sized working sets contend; each must be
+        // slower than when running alone.
+        let solo = {
+            let mut os = Os::new(OsConfig::small());
+            let pid = os.spawn(&spinner("a", 96), 0);
+            os.advance(2_000_000);
+            os.counters(pid).instructions
+        };
+        let mut os = Os::new(OsConfig::small());
+        let a = os.spawn(&spinner("a", 96), 0);
+        let b = os.spawn(&spinner("b", 96), 1);
+        os.advance(2_000_000);
+        let ia = os.counters(a).instructions;
+        let ib = os.counters(b).instructions;
+        assert!(ia < solo, "contended run should be slower: {ia} vs {solo}");
+        assert!(ib < solo);
+    }
+
+    #[test]
+    fn write_u64_patches_memory_atomically() {
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&spinner("a", 2), 0);
+        os.write_u64(pid, 128, 0xdead_beef);
+        assert_eq!(os.read_u64(pid, 128), 0xdead_beef);
+    }
+
+    #[test]
+    fn append_text_returns_code_cache_base() {
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&spinner("a", 2), 0);
+        let img_len = os.text_len(pid);
+        let base = os.append_text(pid, &[Op::Halt, Op::Halt]);
+        assert_eq!(base, img_len);
+        assert_eq!(os.text_len(pid), img_len + 2);
+    }
+
+    #[test]
+    fn kill_frees_core_and_stops_process() {
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&spinner("a", 2), 0);
+        os.advance(10_000);
+        os.kill(pid);
+        let before = os.counters(pid).instructions;
+        os.advance(10_000);
+        assert_eq!(os.counters(pid).instructions, before);
+        // Core is reusable.
+        let pid2 = os.spawn(&spinner("b", 2), 0);
+        os.advance(10_000);
+        assert!(os.counters(pid2).instructions > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already runs")]
+    fn double_pin_rejected() {
+        let mut os = Os::new(OsConfig::small());
+        os.spawn(&spinner("a", 2), 0);
+        os.spawn(&spinner("b", 2), 0);
+    }
+
+    #[test]
+    fn llc_occupancy_visible_per_process() {
+        let mut os = Os::new(OsConfig::small());
+        let a = os.spawn(&spinner("a", 64), 0);
+        os.advance(500_000);
+        assert!(os.llc_occupancy(a) > 0);
+    }
+}

@@ -1,0 +1,447 @@
+//! A two-pass text assembler for VISA.
+//!
+//! Accepts the syntax the [`disasm`](crate::disasm) module prints (so
+//! disassembly round-trips), plus labels and comments for hand-written
+//! test programs:
+//!
+//! ```text
+//! ; compute 6*7 into memory
+//! start:
+//!     movi   r0, #6
+//!     movi   r1, #7
+//!     mul    r2, r0, r1
+//!     st     [r3+64], r2
+//!     bnz    r2, done
+//!     jmp    start
+//! done:
+//!     halt
+//! ```
+//!
+//! Labels may be used wherever a numeric target is accepted; numeric
+//! targets may be decimal or `0x`-prefixed hex.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use pir::BinOp;
+
+use crate::op::{Op, PReg};
+
+/// An assembly failure, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+/// Strips comments (`;` or `//` to end of line) and surrounding space.
+fn clean(line: &str) -> &str {
+    let line = match line.find(';') {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    let line = match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    line.trim()
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<PReg, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let rest = t.strip_prefix('r').ok_or_else(|| err(line, format!("expected register, got `{t}`")))?;
+    let n: u16 =
+        rest.parse().map_err(|_| err(line, format!("bad register number in `{t}`")))?;
+    if n >= crate::FRAME_REGS as u16 {
+        return Err(err(line, format!("register r{n} exceeds the frame register file")));
+    }
+    Ok(PReg(n as u8))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let t = t.strip_prefix('#').unwrap_or(t);
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    // Parse the magnitude as i128 so `i64::MIN` (whose magnitude exceeds
+    // `i64::MAX`) round-trips.
+    let mag: i128 = if let Some(hex) = t.strip_prefix("0x") {
+        i128::from_str_radix(hex, 16)
+    } else {
+        t.parse()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    let v = if neg { -mag } else { mag };
+    i64::try_from(v).map_err(|_| err(line, format!("immediate out of range `{tok}`")))
+}
+
+/// A branch target: numeric or label (resolved in pass 2).
+enum Target {
+    Addr(u32),
+    Label(String),
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<Target, AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    if let Some(hex) = t.strip_prefix("0x") {
+        return u32::from_str_radix(hex, 16)
+            .map(Target::Addr)
+            .map_err(|_| err(line, format!("bad hex target `{t}`")));
+    }
+    if t.chars().all(|c| c.is_ascii_digit()) && !t.is_empty() {
+        return t.parse().map(Target::Addr).map_err(|_| err(line, format!("bad target `{t}`")));
+    }
+    if t.is_empty() {
+        return Err(err(line, "missing branch target"));
+    }
+    Ok(Target::Label(t.to_string()))
+}
+
+/// `[rN+off]` or `[rN-off]` memory operand.
+fn parse_mem(tok: &str, line: usize) -> Result<(PReg, i64), AsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [reg+off], got `{t}`")))?;
+    let split = inner
+        .char_indices()
+        .skip(1)
+        .find(|(_, c)| *c == '+' || *c == '-')
+        .map(|(i, _)| i);
+    match split {
+        Some(i) => {
+            let base = parse_reg(&inner[..i], line)?;
+            let off = parse_imm(&inner[i..], line)?;
+            Ok((base, off))
+        }
+        None => Ok((parse_reg(inner, line)?, 0)),
+    }
+}
+
+/// `(r1, r2) -> r3` call suffix: args plus optional destination.
+fn parse_call_suffix(rest: &str, line: usize) -> Result<(Vec<PReg>, Option<PReg>), AsmError> {
+    let rest = rest.trim();
+    let open = rest.find('(').ok_or_else(|| err(line, "call needs an argument list"))?;
+    let close = rest.find(')').ok_or_else(|| err(line, "unterminated argument list"))?;
+    let args_str = &rest[open + 1..close];
+    let mut args = Vec::new();
+    for part in args_str.split(',') {
+        let part = part.trim();
+        if !part.is_empty() {
+            args.push(parse_reg(part, line)?);
+        }
+    }
+    if args.len() > crate::MAX_ARGS {
+        return Err(err(line, format!("too many call arguments ({})", args.len())));
+    }
+    let tail = rest[close + 1..].trim();
+    let dst = match tail.strip_prefix("->") {
+        Some(d) => Some(parse_reg(d, line)?),
+        None if tail.is_empty() => None,
+        None => return Err(err(line, format!("unexpected call suffix `{tail}`"))),
+    };
+    Ok((args, dst))
+}
+
+enum Pending {
+    Done(Op),
+    Jmp(Target),
+    Bnz(PReg, Target),
+    Bz(PReg, Target),
+    Call(Target, Vec<PReg>, Option<PReg>),
+}
+
+/// Assembles a program. Returns the instruction sequence; labels resolve
+/// to instruction indices.
+///
+/// # Errors
+///
+/// Returns the first syntax error or unresolved label.
+pub fn assemble(source: &str) -> Result<Vec<Op>, AsmError> {
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut pending: Vec<(usize, Pending)> = Vec::new();
+
+    for (li, raw) in source.lines().enumerate() {
+        let line_no = li + 1;
+        let mut line = clean(raw);
+        if line.is_empty() {
+            continue;
+        }
+        // Leading `addr:` from disassembler output (hex address labels)
+        // and user labels both end with ':'.
+        while let Some(colon) = line.find(':') {
+            let (head, tail) = line.split_at(colon);
+            let head = head.trim();
+            // Disassembler address prefixes look like `0x0004`; ignore
+            // them. Anything else is a user label.
+            if !head.starts_with("0x") {
+                if head.is_empty() || head.contains(char::is_whitespace) {
+                    return Err(err(line_no, format!("bad label `{head}`")));
+                }
+                if labels.insert(head.to_string(), pending.len() as u32).is_some() {
+                    return Err(err(line_no, format!("duplicate label `{head}`")));
+                }
+            }
+            line = tail[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match line.find(char::is_whitespace) {
+            Some(i) => (&line[..i], line[i..].trim()),
+            None => (line, ""),
+        };
+        let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let p = match mnemonic {
+            "movi" => {
+                let [d, imm] = ops[..] else {
+                    return Err(err(line_no, "movi needs `dst, #imm`"));
+                };
+                Pending::Done(Op::Movi { dst: parse_reg(d, line_no)?, imm: parse_imm(imm, line_no)? })
+            }
+            "ld" => {
+                let [d, mem] = ops[..] else {
+                    return Err(err(line_no, "ld needs `dst, [base+off]`"));
+                };
+                let (base, offset) = parse_mem(mem, line_no)?;
+                Pending::Done(Op::Load { dst: parse_reg(d, line_no)?, base, offset })
+            }
+            "st" => {
+                let [mem, s] = ops[..] else {
+                    return Err(err(line_no, "st needs `[base+off], src`"));
+                };
+                let (base, offset) = parse_mem(mem, line_no)?;
+                Pending::Done(Op::Store { base, offset, src: parse_reg(s, line_no)? })
+            }
+            "prefetchnta" => {
+                let (base, offset) = parse_mem(rest, line_no)?;
+                Pending::Done(Op::PrefetchNta { base, offset })
+            }
+            "jmp" => Pending::Jmp(parse_target(rest, line_no)?),
+            "bnz" => {
+                let [c, t] = ops[..] else {
+                    return Err(err(line_no, "bnz needs `cond, target`"));
+                };
+                Pending::Bnz(parse_reg(c, line_no)?, parse_target(t, line_no)?)
+            }
+            "bz" => {
+                let [c, t] = ops[..] else {
+                    return Err(err(line_no, "bz needs `cond, target`"));
+                };
+                Pending::Bz(parse_reg(c, line_no)?, parse_target(t, line_no)?)
+            }
+            "call" => {
+                let tgt_end = rest.find('(').unwrap_or(rest.len());
+                let target = parse_target(&rest[..tgt_end], line_no)?;
+                let (args, dst) = parse_call_suffix(&rest[tgt_end..], line_no)?;
+                Pending::Call(target, args, dst)
+            }
+            "callv" => {
+                let open = rest.find("[evt+").ok_or_else(|| err(line_no, "callv needs `[evt+N]`"))?;
+                let close = rest[open..]
+                    .find(']')
+                    .map(|i| open + i)
+                    .ok_or_else(|| err(line_no, "unterminated `[evt+N]`"))?;
+                let slot: u32 = rest[open + 5..close]
+                    .parse()
+                    .map_err(|_| err(line_no, "bad EVT slot"))?;
+                let (args, dst) = parse_call_suffix(&rest[close + 1..], line_no)?;
+                Pending::Done(Op::CallVirt { slot, dst, args })
+            }
+            "ret" => {
+                let src = if rest.is_empty() { None } else { Some(parse_reg(rest, line_no)?) };
+                Pending::Done(Op::Ret { src })
+            }
+            "report" => {
+                let [ch, s] = ops[..] else {
+                    return Err(err(line_no, "report needs `chN, src`"));
+                };
+                let channel: u8 = ch
+                    .strip_prefix("ch")
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err(line_no, format!("bad channel `{ch}`")))?;
+                Pending::Done(Op::Report { channel, src: parse_reg(s, line_no)? })
+            }
+            "wait" => Pending::Done(Op::Wait),
+            "halt" => Pending::Done(Op::Halt),
+            m => {
+                // ALU mnemonics.
+                let Some(op) = BinOp::ALL.iter().copied().find(|o| o.mnemonic() == m) else {
+                    return Err(err(line_no, format!("unknown mnemonic `{m}`")));
+                };
+                match ops[..] {
+                    [d, a, b] if b.starts_with('#') => Pending::Done(Op::AluImm {
+                        op,
+                        dst: parse_reg(d, line_no)?,
+                        a: parse_reg(a, line_no)?,
+                        imm: parse_imm(b, line_no)?,
+                    }),
+                    [d, a, b] => Pending::Done(Op::Alu {
+                        op,
+                        dst: parse_reg(d, line_no)?,
+                        a: parse_reg(a, line_no)?,
+                        b: parse_reg(b, line_no)?,
+                    }),
+                    _ => return Err(err(line_no, format!("{m} needs `dst, a, b|#imm`"))),
+                }
+            }
+        };
+        pending.push((line_no, p));
+    }
+
+    // Pass 2: resolve labels.
+    let resolve = |t: Target, line: usize| -> Result<u32, AsmError> {
+        match t {
+            Target::Addr(a) => Ok(a),
+            Target::Label(l) => labels
+                .get(&l)
+                .copied()
+                .ok_or_else(|| err(line, format!("undefined label `{l}`"))),
+        }
+    };
+    pending
+        .into_iter()
+        .map(|(line, p)| {
+            Ok(match p {
+                Pending::Done(op) => op,
+                Pending::Jmp(t) => Op::Jmp { target: resolve(t, line)? },
+                Pending::Bnz(c, t) => Op::Bnz { cond: c, target: resolve(t, line)? },
+                Pending::Bz(c, t) => Op::Bz { cond: c, target: resolve(t, line)? },
+                Pending::Call(t, args, dst) => {
+                    Op::Call { target: resolve(t, line)?, dst, args }
+                }
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disasm::disasm_ops;
+
+    #[test]
+    fn assembles_the_doc_example() {
+        let ops = assemble(
+            "; compute 6*7 into memory\n\
+             start:\n\
+                 movi   r0, #6\n\
+                 movi   r1, #7\n\
+                 mul    r2, r0, r1\n\
+                 st     [r3+64], r2\n\
+                 bnz    r2, done\n\
+                 jmp    start\n\
+             done:\n\
+                 halt\n",
+        )
+        .expect("assemble");
+        assert_eq!(ops.len(), 7);
+        assert_eq!(ops[4], Op::Bnz { cond: PReg(2), target: 6 });
+        assert_eq!(ops[5], Op::Jmp { target: 0 });
+        assert_eq!(ops[6], Op::Halt);
+    }
+
+    #[test]
+    fn roundtrips_disassembly() {
+        let ops = vec![
+            Op::Movi { dst: PReg(0), imm: -5 },
+            Op::AluImm { op: BinOp::Add, dst: PReg(1), a: PReg(0), imm: 100 },
+            Op::Alu { op: BinOp::Mul, dst: PReg(2), a: PReg(0), b: PReg(1) },
+            Op::Load { dst: PReg(3), base: PReg(2), offset: -8 },
+            Op::PrefetchNta { base: PReg(2), offset: 64 },
+            Op::Store { base: PReg(2), offset: 0, src: PReg(3) },
+            Op::Bnz { cond: PReg(3), target: 0 },
+            Op::Bz { cond: PReg(3), target: 1 },
+            Op::Jmp { target: 8 },
+            Op::CallVirt { slot: 4, dst: Some(PReg(4)), args: vec![PReg(0), PReg(1)] },
+            Op::Call { target: 0, dst: None, args: vec![] },
+            Op::Report { channel: 3, src: PReg(4) },
+            Op::Wait,
+            Op::Ret { src: Some(PReg(4)) },
+            Op::Halt,
+        ];
+        let text = disasm_ops(&ops, 0);
+        let back = assemble(&text).expect("reassemble");
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn mem_operand_forms() {
+        assert_eq!(
+            assemble("ld r1, [r0]").unwrap(),
+            vec![Op::Load { dst: PReg(1), base: PReg(0), offset: 0 }]
+        );
+        assert_eq!(
+            assemble("ld r1, [r0-16]").unwrap(),
+            vec![Op::Load { dst: PReg(1), base: PReg(0), offset: -16 }]
+        );
+    }
+
+    #[test]
+    fn call_forms() {
+        assert_eq!(
+            assemble("call 5 ()").unwrap(),
+            vec![Op::Call { target: 5, dst: None, args: vec![] }]
+        );
+        assert_eq!(
+            assemble("call 0x10 (r1, r2) -> r3").unwrap(),
+            vec![Op::Call {
+                target: 16,
+                dst: Some(PReg(3)),
+                args: vec![PReg(1), PReg(2)]
+            }]
+        );
+        assert_eq!(
+            assemble("f: call f ()").unwrap(),
+            vec![Op::Call { target: 0, dst: None, args: vec![] }]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("movi r0, #1\nbogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+        let e2 = assemble("jmp nowhere").unwrap_err();
+        assert!(e2.message.contains("undefined label"));
+        let e3 = assemble("a:\na:\nhalt").unwrap_err();
+        assert!(e3.message.contains("duplicate"));
+        assert!(!e3.to_string().is_empty());
+    }
+
+    #[test]
+    fn extreme_immediates_roundtrip() {
+        let ops = vec![
+            Op::Movi { dst: PReg(0), imm: i64::MIN },
+            Op::Movi { dst: PReg(1), imm: i64::MAX },
+            Op::AluImm { op: BinOp::Add, dst: PReg(2), a: PReg(0), imm: i64::MIN },
+        ];
+        let text = disasm_ops(&ops, 0);
+        assert_eq!(assemble(&text).unwrap(), ops);
+    }
+
+    #[test]
+    fn register_bounds_checked() {
+        let e = assemble("movi r250, #1").unwrap_err();
+        assert!(e.message.contains("exceeds"));
+    }
+
+}

@@ -1,0 +1,148 @@
+//! Disassembly of VISA text, in the style of the paper's Figure 2.
+
+use std::fmt;
+
+use crate::image::Image;
+use crate::op::Op;
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Movi { dst, imm } => write!(f, "movi   {dst}, #{imm}"),
+            Op::Alu { op, dst, a, b } => {
+                write!(f, "{:<6} {dst}, {a}, {b}", op.mnemonic())
+            }
+            Op::AluImm { op, dst, a, imm } => {
+                write!(f, "{:<6} {dst}, {a}, #{imm}", op.mnemonic())
+            }
+            Op::Load { dst, base, offset } => write!(f, "ld     {dst}, [{base}{offset:+}]"),
+            Op::Store { base, offset, src } => write!(f, "st     [{base}{offset:+}], {src}"),
+            Op::PrefetchNta { base, offset } => {
+                write!(f, "prefetchnta [{base}{offset:+}]")
+            }
+            Op::Jmp { target } => write!(f, "jmp    {target:#06x}"),
+            Op::Bnz { cond, target } => write!(f, "bnz    {cond}, {target:#06x}"),
+            Op::Bz { cond, target } => write!(f, "bz     {cond}, {target:#06x}"),
+            Op::Call { target, dst, args } => {
+                write!(f, "call   {target:#06x}")?;
+                write_call_suffix(f, dst, args)
+            }
+            Op::CallVirt { slot, dst, args } => {
+                write!(f, "callv  [evt+{slot}]")?;
+                write_call_suffix(f, dst, args)
+            }
+            Op::Ret { src: Some(r) } => write!(f, "ret    {r}"),
+            Op::Ret { src: None } => write!(f, "ret"),
+            Op::Report { channel, src } => write!(f, "report ch{channel}, {src}"),
+            Op::Wait => write!(f, "wait"),
+            Op::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+fn write_call_suffix(
+    f: &mut fmt::Formatter<'_>,
+    dst: &Option<crate::op::PReg>,
+    args: &[crate::op::PReg],
+) -> fmt::Result {
+    write!(f, " (")?;
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{a}")?;
+    }
+    write!(f, ")")?;
+    if let Some(d) = dst {
+        write!(f, " -> {d}")?;
+    }
+    Ok(())
+}
+
+/// Disassembles a text range of `image` with addresses and symbol
+/// boundaries annotated.
+pub fn disasm_range(image: &Image, start: u32, len: u32) -> String {
+    let mut out = String::new();
+    let end = (start + len).min(image.text_len());
+    for addr in start..end {
+        if let Some(sym) = image.symbolize(addr) {
+            if sym.start == addr {
+                out.push_str(&format!("<{}>:\n", sym.name));
+            }
+        }
+        out.push_str(&format!("  {addr:#06x}:  {}\n", image.text[addr as usize]));
+    }
+    out
+}
+
+/// Disassembles an arbitrary instruction slice (used for code-cache
+/// variants, which have no image symbols).
+pub fn disasm_ops(ops: &[Op], base_addr: u32) -> String {
+    let mut out = String::new();
+    for (i, op) in ops.iter().enumerate() {
+        out.push_str(&format!("  {:#06x}:  {}\n", base_addr + i as u32, op));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{FuncSym, Image};
+    use crate::op::PReg;
+    use pir::{BinOp, FuncId};
+
+    #[test]
+    fn op_display_forms() {
+        assert_eq!(Op::Movi { dst: PReg(0), imm: 3 }.to_string(), "movi   r0, #3");
+        assert_eq!(
+            Op::Alu { op: BinOp::Add, dst: PReg(2), a: PReg(0), b: PReg(1) }.to_string(),
+            "add    r2, r0, r1"
+        );
+        assert_eq!(
+            Op::Load { dst: PReg(1), base: PReg(0), offset: -8 }.to_string(),
+            "ld     r1, [r0-8]"
+        );
+        assert_eq!(
+            Op::PrefetchNta { base: PReg(3), offset: 16 }.to_string(),
+            "prefetchnta [r3+16]"
+        );
+        assert_eq!(
+            Op::CallVirt { slot: 4, dst: Some(PReg(1)), args: vec![PReg(0)] }.to_string(),
+            "callv  [evt+4] (r0) -> r1"
+        );
+        assert_eq!(Op::Ret { src: None }.to_string(), "ret");
+        assert_eq!(Op::Wait.to_string(), "wait");
+    }
+
+    #[test]
+    fn disasm_annotates_symbols() {
+        let image = Image {
+            name: "t".into(),
+            entry: 0,
+            text: vec![
+                Op::Movi { dst: PReg(0), imm: 1 },
+                Op::Ret { src: Some(PReg(0)) },
+                Op::Halt,
+            ],
+            data: vec![0; 64],
+            funcs: vec![
+                FuncSym { name: "one".into(), func: FuncId(0), start: 0, len: 2 },
+                FuncSym { name: "main".into(), func: FuncId(1), start: 2, len: 1 },
+            ],
+            globals: vec![],
+            evt: vec![],
+            meta: None,
+        };
+        let text = disasm_range(&image, 0, 3);
+        assert!(text.contains("<one>:"));
+        assert!(text.contains("<main>:"));
+        assert!(text.contains("movi   r0, #1"));
+    }
+
+    #[test]
+    fn disasm_ops_uses_base_addr() {
+        let text = disasm_ops(&[Op::Halt], 0x100);
+        assert!(text.contains("0x0100"), "got: {text}");
+    }
+}

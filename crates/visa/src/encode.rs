@@ -1,0 +1,508 @@
+//! Byte serialization of VISA images ("object file" format).
+//!
+//! Gives images a durable on-disk representation and exercises the same
+//! varint machinery style as the PIR codec. Format: `VBIN` magic, version,
+//! then the image sections in order.
+
+use std::error::Error;
+use std::fmt;
+
+use pir::{BinOp, FuncId};
+
+use crate::image::{EvtEntry, FuncSym, GlobalSym, Image, MetaDesc};
+use crate::op::{Op, PReg};
+
+/// Magic bytes opening an encoded image.
+pub const MAGIC: [u8; 4] = *b"VBIN";
+
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// A failure while decoding an encoded image.
+#[allow(missing_docs)] // operand/payload fields are standard roles
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImageDecodeError {
+    /// Input ended prematurely.
+    UnexpectedEof,
+    /// The magic bytes were wrong.
+    BadMagic,
+    /// The version byte was unsupported.
+    BadVersion(u8),
+    /// An opcode or tag byte had no defined meaning.
+    BadTag { what: &'static str, value: u8 },
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// Trailing bytes followed a well-formed image.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for ImageDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageDecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            ImageDecodeError::BadMagic => write!(f, "bad image magic"),
+            ImageDecodeError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+            ImageDecodeError::BadTag { what, value } => write!(f, "invalid {what} tag {value}"),
+            ImageDecodeError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            ImageDecodeError::BadUtf8 => write!(f, "string is not valid utf-8"),
+            ImageDecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes"),
+        }
+    }
+}
+
+impl Error for ImageDecodeError {}
+
+fn put_varu(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+fn put_vari(buf: &mut Vec<u8>, v: i64) {
+    put_varu(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_varu(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, ImageDecodeError> {
+        let b = *self.data.get(self.pos).ok_or(ImageDecodeError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ImageDecodeError> {
+        if self.pos + n > self.data.len() {
+            return Err(ImageDecodeError::UnexpectedEof);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn varu(&mut self) -> Result<u64, ImageDecodeError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 || (shift == 63 && (byte & 0x7e) != 0) {
+                return Err(ImageDecodeError::VarintOverflow);
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn vari(&mut self) -> Result<i64, ImageDecodeError> {
+        let z = self.varu()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn str(&mut self) -> Result<String, ImageDecodeError> {
+        let len = self.varu()? as usize;
+        String::from_utf8(self.bytes(len)?.to_vec()).map_err(|_| ImageDecodeError::BadUtf8)
+    }
+
+    fn preg(&mut self) -> Result<PReg, ImageDecodeError> {
+        Ok(PReg(self.u8()?))
+    }
+}
+
+fn put_opt_preg(buf: &mut Vec<u8>, r: &Option<PReg>) {
+    match r {
+        Some(p) => {
+            buf.push(1);
+            buf.push(p.0);
+        }
+        None => buf.push(0),
+    }
+}
+
+fn read_opt_preg(r: &mut Reader<'_>) -> Result<Option<PReg>, ImageDecodeError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.preg()?)),
+        v => Err(ImageDecodeError::BadTag { what: "opt-reg", value: v }),
+    }
+}
+
+fn put_args(buf: &mut Vec<u8>, args: &[PReg]) {
+    buf.push(args.len() as u8);
+    for a in args {
+        buf.push(a.0);
+    }
+}
+
+fn read_args(r: &mut Reader<'_>) -> Result<Vec<PReg>, ImageDecodeError> {
+    let n = r.u8()? as usize;
+    let mut args = Vec::with_capacity(n);
+    for _ in 0..n {
+        args.push(r.preg()?);
+    }
+    Ok(args)
+}
+
+fn put_op(buf: &mut Vec<u8>, op: &Op) {
+    match op {
+        Op::Movi { dst, imm } => {
+            buf.push(0);
+            buf.push(dst.0);
+            put_vari(buf, *imm);
+        }
+        Op::Alu { op, dst, a, b } => {
+            buf.push(1);
+            buf.push(*op as u8);
+            buf.push(dst.0);
+            buf.push(a.0);
+            buf.push(b.0);
+        }
+        Op::AluImm { op, dst, a, imm } => {
+            buf.push(2);
+            buf.push(*op as u8);
+            buf.push(dst.0);
+            buf.push(a.0);
+            put_vari(buf, *imm);
+        }
+        Op::Load { dst, base, offset } => {
+            buf.push(3);
+            buf.push(dst.0);
+            buf.push(base.0);
+            put_vari(buf, *offset);
+        }
+        Op::Store { base, offset, src } => {
+            buf.push(4);
+            buf.push(base.0);
+            put_vari(buf, *offset);
+            buf.push(src.0);
+        }
+        Op::PrefetchNta { base, offset } => {
+            buf.push(5);
+            buf.push(base.0);
+            put_vari(buf, *offset);
+        }
+        Op::Jmp { target } => {
+            buf.push(6);
+            put_varu(buf, u64::from(*target));
+        }
+        Op::Bnz { cond, target } => {
+            buf.push(7);
+            buf.push(cond.0);
+            put_varu(buf, u64::from(*target));
+        }
+        Op::Call { target, dst, args } => {
+            buf.push(8);
+            put_varu(buf, u64::from(*target));
+            put_opt_preg(buf, dst);
+            put_args(buf, args);
+        }
+        Op::CallVirt { slot, dst, args } => {
+            buf.push(9);
+            put_varu(buf, u64::from(*slot));
+            put_opt_preg(buf, dst);
+            put_args(buf, args);
+        }
+        Op::Ret { src } => {
+            buf.push(10);
+            put_opt_preg(buf, src);
+        }
+        Op::Report { channel, src } => {
+            buf.push(11);
+            buf.push(*channel);
+            buf.push(src.0);
+        }
+        Op::Wait => buf.push(12),
+        Op::Halt => buf.push(13),
+        Op::Bz { cond, target } => {
+            buf.push(14);
+            buf.push(cond.0);
+            put_varu(buf, u64::from(*target));
+        }
+    }
+}
+
+fn binop_from_u8(v: u8) -> Result<BinOp, ImageDecodeError> {
+    BinOp::ALL
+        .get(v as usize)
+        .copied()
+        .ok_or(ImageDecodeError::BadTag { what: "aluop", value: v })
+}
+
+fn read_op(r: &mut Reader<'_>) -> Result<Op, ImageDecodeError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => Op::Movi { dst: r.preg()?, imm: r.vari()? },
+        1 => {
+            let op = binop_from_u8(r.u8()?)?;
+            Op::Alu { op, dst: r.preg()?, a: r.preg()?, b: r.preg()? }
+        }
+        2 => {
+            let op = binop_from_u8(r.u8()?)?;
+            Op::AluImm { op, dst: r.preg()?, a: r.preg()?, imm: r.vari()? }
+        }
+        3 => Op::Load { dst: r.preg()?, base: r.preg()?, offset: r.vari()? },
+        4 => Op::Store { base: r.preg()?, offset: r.vari()?, src: r.preg()? },
+        5 => Op::PrefetchNta { base: r.preg()?, offset: r.vari()? },
+        6 => Op::Jmp { target: r.varu()? as u32 },
+        7 => Op::Bnz { cond: r.preg()?, target: r.varu()? as u32 },
+        8 => Op::Call {
+            target: r.varu()? as u32,
+            dst: read_opt_preg(r)?,
+            args: read_args(r)?,
+        },
+        9 => Op::CallVirt {
+            slot: r.varu()? as u32,
+            dst: read_opt_preg(r)?,
+            args: read_args(r)?,
+        },
+        10 => Op::Ret { src: read_opt_preg(r)? },
+        11 => Op::Report { channel: r.u8()?, src: r.preg()? },
+        12 => Op::Wait,
+        13 => Op::Halt,
+        14 => Op::Bz { cond: r.preg()?, target: r.varu()? as u32 },
+        v => return Err(ImageDecodeError::BadTag { what: "op", value: v }),
+    })
+}
+
+/// Serializes an image to bytes.
+pub fn encode_image(image: &Image) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(image.text.len() * 6 + image.data.len() + 256);
+    buf.extend_from_slice(&MAGIC);
+    buf.push(VERSION);
+    put_str(&mut buf, &image.name);
+    put_varu(&mut buf, u64::from(image.entry));
+    put_varu(&mut buf, image.text.len() as u64);
+    for op in &image.text {
+        put_op(&mut buf, op);
+    }
+    put_varu(&mut buf, image.data.len() as u64);
+    buf.extend_from_slice(&image.data);
+    put_varu(&mut buf, image.funcs.len() as u64);
+    for f in &image.funcs {
+        put_str(&mut buf, &f.name);
+        put_varu(&mut buf, u64::from(f.func.0));
+        put_varu(&mut buf, u64::from(f.start));
+        put_varu(&mut buf, u64::from(f.len));
+    }
+    put_varu(&mut buf, image.globals.len() as u64);
+    for g in &image.globals {
+        put_str(&mut buf, &g.name);
+        put_varu(&mut buf, g.addr);
+        put_varu(&mut buf, g.size);
+    }
+    put_varu(&mut buf, image.evt.len() as u64);
+    for e in &image.evt {
+        put_varu(&mut buf, u64::from(e.slot));
+        put_varu(&mut buf, u64::from(e.callee.0));
+        put_varu(&mut buf, u64::from(e.original_target));
+    }
+    match &image.meta {
+        Some(m) => {
+            buf.push(1);
+            put_varu(&mut buf, m.evt_base);
+            put_varu(&mut buf, u64::from(m.evt_len));
+            put_varu(&mut buf, m.ir_addr);
+            put_varu(&mut buf, m.ir_len);
+        }
+        None => buf.push(0),
+    }
+    buf
+}
+
+/// Deserializes an image from bytes produced by [`encode_image`].
+///
+/// # Errors
+///
+/// Returns an [`ImageDecodeError`] describing the first malformation.
+/// Callers should additionally run [`Image::validate`].
+pub fn decode_image(data: &[u8]) -> Result<Image, ImageDecodeError> {
+    let mut r = Reader { data, pos: 0 };
+    if r.bytes(4)? != MAGIC {
+        return Err(ImageDecodeError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(ImageDecodeError::BadVersion(version));
+    }
+    let name = r.str()?;
+    let entry = r.varu()? as u32;
+    let ntext = r.varu()? as usize;
+    let mut text = Vec::with_capacity(ntext.min(1 << 20));
+    for _ in 0..ntext {
+        text.push(read_op(&mut r)?);
+    }
+    let ndata = r.varu()? as usize;
+    let seg = r.bytes(ndata)?.to_vec();
+    let nfuncs = r.varu()? as usize;
+    let mut funcs = Vec::with_capacity(nfuncs.min(1 << 16));
+    for _ in 0..nfuncs {
+        funcs.push(FuncSym {
+            name: r.str()?,
+            func: FuncId(r.varu()? as u32),
+            start: r.varu()? as u32,
+            len: r.varu()? as u32,
+        });
+    }
+    let nglobals = r.varu()? as usize;
+    let mut globals = Vec::with_capacity(nglobals.min(1 << 16));
+    for _ in 0..nglobals {
+        globals.push(GlobalSym { name: r.str()?, addr: r.varu()?, size: r.varu()? });
+    }
+    let nevt = r.varu()? as usize;
+    let mut evt = Vec::with_capacity(nevt.min(1 << 16));
+    for _ in 0..nevt {
+        evt.push(EvtEntry {
+            slot: r.varu()? as u32,
+            callee: FuncId(r.varu()? as u32),
+            original_target: r.varu()? as u32,
+        });
+    }
+    let meta = match r.u8()? {
+        0 => None,
+        1 => Some(MetaDesc {
+            evt_base: r.varu()?,
+            evt_len: r.varu()? as u32,
+            ir_addr: r.varu()?,
+            ir_len: r.varu()?,
+        }),
+        v => return Err(ImageDecodeError::BadTag { what: "meta", value: v }),
+    };
+    if r.pos != data.len() {
+        return Err(ImageDecodeError::TrailingBytes(data.len() - r.pos));
+    }
+    Ok(Image { name, entry, text, data: seg, funcs, globals, evt, meta })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_image() -> Image {
+        let text = vec![
+            Op::Movi { dst: PReg(0), imm: -5 },
+            Op::AluImm { op: BinOp::Add, dst: PReg(1), a: PReg(0), imm: 100 },
+            Op::Alu { op: BinOp::Mul, dst: PReg(2), a: PReg(0), b: PReg(1) },
+            Op::Load { dst: PReg(3), base: PReg(2), offset: -8 },
+            Op::PrefetchNta { base: PReg(2), offset: 64 },
+            Op::Store { base: PReg(2), offset: 0, src: PReg(3) },
+            Op::Bnz { cond: PReg(3), target: 0 },
+            Op::Bz { cond: PReg(3), target: 1 },
+            Op::Jmp { target: 8 },
+            Op::CallVirt { slot: 0, dst: Some(PReg(4)), args: vec![PReg(0), PReg(1)] },
+            Op::Call { target: 0, dst: None, args: vec![] },
+            Op::Report { channel: 3, src: PReg(4) },
+            Op::Wait,
+            Op::Ret { src: Some(PReg(4)) },
+            Op::Halt,
+        ];
+        let mut data = vec![0u8; 128];
+        let meta = MetaDesc { evt_base: 40, evt_len: 1, ir_addr: 64, ir_len: 10 };
+        meta.write_root(&mut data);
+        Image {
+            name: "sample".into(),
+            entry: 0,
+            text,
+            data,
+            funcs: vec![FuncSym { name: "main".into(), func: FuncId(0), start: 0, len: 14 }],
+            globals: vec![GlobalSym { name: "g".into(), addr: 48, size: 16 }],
+            evt: vec![EvtEntry { slot: 0, callee: FuncId(0), original_target: 0 }],
+            meta: Some(meta),
+        }
+    }
+
+    #[test]
+    fn roundtrip_image() {
+        let img = sample_image();
+        let bytes = encode_image(&img);
+        let img2 = decode_image(&bytes).expect("decode");
+        assert_eq!(img2, img);
+    }
+
+    #[test]
+    fn roundtrip_plain_image() {
+        let img = Image {
+            name: "plain".into(),
+            entry: 0,
+            text: vec![Op::Halt],
+            data: vec![0u8; 64],
+            funcs: vec![],
+            globals: vec![],
+            evt: vec![],
+            meta: None,
+        };
+        let bytes = encode_image(&img);
+        assert_eq!(decode_image(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_image(&sample_image());
+        bytes[0] = 0;
+        assert_eq!(decode_image(&bytes), Err(ImageDecodeError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode_image(&sample_image());
+        for cut in [4, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_image(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_image(&sample_image());
+        bytes.push(7);
+        assert_eq!(decode_image(&bytes), Err(ImageDecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        // Deterministic pseudo-random fuzz.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for len in 0..200 {
+            let data: Vec<u8> = (0..len)
+                .map(|_| {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x as u8
+                })
+                .collect();
+            let _ = decode_image(&data);
+        }
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ImageDecodeError::UnexpectedEof,
+            ImageDecodeError::BadMagic,
+            ImageDecodeError::BadVersion(9),
+            ImageDecodeError::BadTag { what: "op", value: 200 },
+            ImageDecodeError::VarintOverflow,
+            ImageDecodeError::BadUtf8,
+            ImageDecodeError::TrailingBytes(2),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Executable images: text, data, symbols, EVT, and embedded metadata.
+//!
+//! An [`Image`] is what `pcc` produces and what the simulated OS loads.
+//! Protean images additionally carry, *inside the data segment* exactly as
+//! in the paper:
+//!
+//! * a **meta root** at [`META_ROOT_ADDR`] announcing where the other
+//!   structures live (the runtime "discovers the locations of the
+//!   structures inserted by pcc" by reading process memory, not by being
+//!   handed the `Image`),
+//! * the **Edge Virtualization Table**: one 8-byte target address per
+//!   virtualized call edge, pre-initialized to the original callee, and
+//! * the serialized, compressed **IR blob**.
+
+use std::error::Error;
+use std::fmt;
+
+use pir::FuncId;
+
+use crate::op::Op;
+
+/// Data-segment address of the meta root header.
+pub const META_ROOT_ADDR: u64 = 0;
+
+/// Magic value opening the meta root (`b"PROTEAN1"` as a little-endian
+/// u64).
+pub const META_MAGIC: u64 = u64::from_le_bytes(*b"PROTEAN1");
+
+/// Size of the meta root header in bytes.
+pub const META_ROOT_SIZE: u64 = 40;
+
+/// A function symbol: maps a text range back to a PIR function.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FuncSym {
+    /// Symbolic name.
+    pub name: String,
+    /// The PIR function this text was lowered from.
+    pub func: FuncId,
+    /// First text address of the function body.
+    pub start: u32,
+    /// Number of instructions in the body.
+    pub len: u32,
+}
+
+/// A global data symbol.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GlobalSym {
+    /// Symbolic name.
+    pub name: String,
+    /// Data-segment address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// One virtualized call edge.
+///
+/// The edge's current target lives in data memory at
+/// `evt_base + 8 * slot`; this struct records the static facts about the
+/// edge.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct EvtEntry {
+    /// EVT slot index.
+    pub slot: u32,
+    /// The callee function of the original direct call.
+    pub callee: FuncId,
+    /// Text address of the original callee body (the slot's initial
+    /// value).
+    pub original_target: u32,
+}
+
+/// Locations of the protean metadata inside the data segment.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MetaDesc {
+    /// Data address of EVT slot 0.
+    pub evt_base: u64,
+    /// Number of EVT slots.
+    pub evt_len: u32,
+    /// Data address of the compressed IR blob.
+    pub ir_addr: u64,
+    /// Length of the compressed IR blob in bytes.
+    pub ir_len: u64,
+}
+
+impl MetaDesc {
+    /// Serializes the meta root header (magic + this descriptor) into
+    /// `data` at [`META_ROOT_ADDR`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is shorter than [`META_ROOT_SIZE`].
+    pub fn write_root(&self, data: &mut [u8]) {
+        let base = META_ROOT_ADDR as usize;
+        data[base..base + 8].copy_from_slice(&META_MAGIC.to_le_bytes());
+        data[base + 8..base + 16].copy_from_slice(&self.evt_base.to_le_bytes());
+        data[base + 16..base + 24].copy_from_slice(&u64::from(self.evt_len).to_le_bytes());
+        data[base + 24..base + 32].copy_from_slice(&self.ir_addr.to_le_bytes());
+        data[base + 32..base + 40].copy_from_slice(&self.ir_len.to_le_bytes());
+    }
+
+    /// Attempts to read a meta root header from a data segment. Returns
+    /// `None` if the magic is absent (a non-protean binary).
+    pub fn read_root(data: &[u8]) -> Option<MetaDesc> {
+        let base = META_ROOT_ADDR as usize;
+        if data.len() < (META_ROOT_ADDR + META_ROOT_SIZE) as usize {
+            return None;
+        }
+        let word = |i: usize| {
+            u64::from_le_bytes(data[base + i..base + i + 8].try_into().expect("8 bytes"))
+        };
+        if word(0) != META_MAGIC {
+            return None;
+        }
+        Some(MetaDesc {
+            evt_base: word(8),
+            evt_len: word(16) as u32,
+            ir_addr: word(24),
+            ir_len: word(32),
+        })
+    }
+}
+
+/// A structural flaw detected by [`Image::validate`].
+#[allow(missing_docs)] // operand/payload fields are standard roles
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImageError {
+    /// A control-flow target is outside the text section.
+    BadTarget { at: u32, target: u32 },
+    /// A `CallVirt` references a nonexistent EVT slot.
+    BadEvtSlot { at: u32, slot: u32 },
+    /// The entry point is outside the text section.
+    BadEntry { entry: u32 },
+    /// A function symbol's range is outside the text section.
+    BadFuncSym { name: String },
+    /// Function symbols are not sorted by start address (symbolization
+    /// requires it).
+    UnsortedFuncSyms,
+    /// A global symbol overlaps the meta structures or exceeds the data
+    /// segment.
+    BadGlobalSym { name: String },
+    /// The EVT region is outside the data segment.
+    BadEvtRegion,
+    /// The IR blob region is outside the data segment.
+    BadIrRegion,
+    /// An EVT slot's in-memory initial value disagrees with the entry's
+    /// `original_target`.
+    EvtInitMismatch { slot: u32 },
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::BadTarget { at, target } => {
+                write!(f, "instruction {at} targets {target}, outside text")
+            }
+            ImageError::BadEvtSlot { at, slot } => {
+                write!(f, "instruction {at} uses nonexistent EVT slot {slot}")
+            }
+            ImageError::BadEntry { entry } => write!(f, "entry {entry} outside text"),
+            ImageError::BadFuncSym { name } => write!(f, "function symbol `{name}` out of range"),
+            ImageError::UnsortedFuncSyms => {
+                write!(f, "function symbols must be sorted by start address")
+            }
+            ImageError::BadGlobalSym { name } => write!(f, "global symbol `{name}` out of range"),
+            ImageError::BadEvtRegion => write!(f, "EVT region outside data segment"),
+            ImageError::BadIrRegion => write!(f, "IR blob region outside data segment"),
+            ImageError::EvtInitMismatch { slot } => {
+                write!(f, "EVT slot {slot} initial value differs from original target")
+            }
+        }
+    }
+}
+
+impl Error for ImageError {}
+
+/// An executable image.
+///
+/// Passive compound data in the C spirit; fields are public by design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Image {
+    /// Program name.
+    pub name: String,
+    /// Text address of the program entry.
+    pub entry: u32,
+    /// The text section.
+    pub text: Vec<Op>,
+    /// The initialized data segment (includes meta root, globals, EVT, and
+    /// IR blob for protean images).
+    pub data: Vec<u8>,
+    /// Function symbols, sorted by `start`.
+    pub funcs: Vec<FuncSym>,
+    /// Global symbols.
+    pub globals: Vec<GlobalSym>,
+    /// Virtualized edges (empty for non-protean images).
+    pub evt: Vec<EvtEntry>,
+    /// Metadata locations (None for non-protean images).
+    pub meta: Option<MetaDesc>,
+}
+
+impl Image {
+    /// True if this image was prepared by the protean code compiler (has
+    /// discoverable metadata).
+    pub fn is_protean(&self) -> bool {
+        self.meta.is_some()
+    }
+
+    /// Finds the function symbol covering text address `addr`, if any.
+    /// This is how the runtime associates PC samples "with high-level code
+    /// structures such as functions".
+    pub fn symbolize(&self, addr: u32) -> Option<&FuncSym> {
+        // funcs is sorted by start; find the last start <= addr.
+        let idx = self.funcs.partition_point(|f| f.start <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let sym = &self.funcs[idx - 1];
+        (addr < sym.start + sym.len).then_some(sym)
+    }
+
+    /// Finds a function symbol by PIR function id.
+    pub fn func_sym(&self, func: FuncId) -> Option<&FuncSym> {
+        self.funcs.iter().find(|f| f.func == func)
+    }
+
+    /// Finds a global symbol by name.
+    pub fn global_by_name(&self, name: &str) -> Option<&GlobalSym> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Number of instructions in the text section.
+    pub fn text_len(&self) -> u32 {
+        self.text.len() as u32
+    }
+
+    /// Checks internal consistency: all control-flow targets, symbol
+    /// ranges, EVT slots, and metadata regions must be in bounds, and the
+    /// in-memory EVT initial values must match the entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ImageError`] found.
+    pub fn validate(&self) -> Result<(), ImageError> {
+        let tl = self.text_len();
+        if self.entry >= tl {
+            return Err(ImageError::BadEntry { entry: self.entry });
+        }
+        for (i, op) in self.text.iter().enumerate() {
+            let at = i as u32;
+            match op {
+                Op::Jmp { target }
+                | Op::Bnz { target, .. }
+                | Op::Bz { target, .. }
+                | Op::Call { target, .. }
+                    if *target >= tl =>
+                {
+                    return Err(ImageError::BadTarget { at, target: *target });
+                }
+                Op::CallVirt { slot, .. } if *slot as usize >= self.evt.len() => {
+                    return Err(ImageError::BadEvtSlot { at, slot: *slot });
+                }
+                _ => {}
+            }
+        }
+        for f in &self.funcs {
+            if f.start + f.len > tl {
+                return Err(ImageError::BadFuncSym { name: f.name.clone() });
+            }
+        }
+        if self.funcs.windows(2).any(|w| w[0].start > w[1].start) {
+            return Err(ImageError::UnsortedFuncSyms);
+        }
+        for g in &self.globals {
+            if g.addr < META_ROOT_SIZE || g.addr + g.size > self.data.len() as u64 {
+                return Err(ImageError::BadGlobalSym { name: g.name.clone() });
+            }
+        }
+        if let Some(meta) = &self.meta {
+            let evt_end = meta.evt_base + 8 * u64::from(meta.evt_len);
+            if evt_end > self.data.len() as u64 {
+                return Err(ImageError::BadEvtRegion);
+            }
+            if meta.ir_addr + meta.ir_len > self.data.len() as u64 {
+                return Err(ImageError::BadIrRegion);
+            }
+            for e in &self.evt {
+                let cell = (meta.evt_base + 8 * u64::from(e.slot)) as usize;
+                let val = u64::from_le_bytes(
+                    self.data[cell..cell + 8].try_into().expect("8 bytes"),
+                );
+                if val != u64::from(e.original_target) {
+                    return Err(ImageError::EvtInitMismatch { slot: e.slot });
+                }
+                if u64::from(e.slot) >= u64::from(meta.evt_len) {
+                    return Err(ImageError::BadEvtRegion);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::PReg;
+
+    fn tiny_image() -> Image {
+        // f0 at 0..2: Movi; Ret. entry at 2: Call f0; Halt.
+        let text = vec![
+            Op::Movi { dst: PReg(0), imm: 7 },
+            Op::Ret { src: Some(PReg(0)) },
+            Op::Call { target: 0, dst: Some(PReg(0)), args: vec![] },
+            Op::Halt,
+        ];
+        let mut data = vec![0u8; 256];
+        let meta = MetaDesc { evt_base: 64, evt_len: 1, ir_addr: 128, ir_len: 16 };
+        meta.write_root(&mut data);
+        // EVT slot 0 initial value = 0 (f0's start), already zero.
+        Image {
+            name: "tiny".into(),
+            entry: 2,
+            text,
+            data,
+            funcs: vec![
+                FuncSym { name: "f0".into(), func: FuncId(0), start: 0, len: 2 },
+                FuncSym { name: "main".into(), func: FuncId(1), start: 2, len: 2 },
+            ],
+            globals: vec![GlobalSym { name: "g".into(), addr: 48, size: 8 }],
+            evt: vec![EvtEntry { slot: 0, callee: FuncId(0), original_target: 0 }],
+            meta: Some(meta),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_good_image() {
+        assert_eq!(tiny_image().validate(), Ok(()));
+    }
+
+    #[test]
+    fn symbolize_maps_addresses() {
+        let img = tiny_image();
+        assert_eq!(img.symbolize(0).unwrap().name, "f0");
+        assert_eq!(img.symbolize(1).unwrap().name, "f0");
+        assert_eq!(img.symbolize(2).unwrap().name, "main");
+        assert_eq!(img.symbolize(3).unwrap().name, "main");
+        assert!(img.symbolize(4).is_none());
+    }
+
+    #[test]
+    fn meta_root_roundtrip() {
+        let mut data = vec![0u8; 64];
+        let meta = MetaDesc { evt_base: 0x40, evt_len: 9, ir_addr: 0x100, ir_len: 77 };
+        meta.write_root(&mut data);
+        assert_eq!(MetaDesc::read_root(&data), Some(meta));
+    }
+
+    #[test]
+    fn meta_root_absent_for_plain_binaries() {
+        let data = vec![0u8; 64];
+        assert_eq!(MetaDesc::read_root(&data), None);
+        assert_eq!(MetaDesc::read_root(&[0u8; 8]), None);
+    }
+
+    #[test]
+    fn validate_rejects_bad_target() {
+        let mut img = tiny_image();
+        img.text[2] = Op::Call { target: 99, dst: None, args: vec![] };
+        assert!(matches!(img.validate(), Err(ImageError::BadTarget { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_evt_slot() {
+        let mut img = tiny_image();
+        img.text[2] = Op::CallVirt { slot: 5, dst: None, args: vec![] };
+        assert!(matches!(img.validate(), Err(ImageError::BadEvtSlot { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_entry() {
+        let mut img = tiny_image();
+        img.entry = 100;
+        assert!(matches!(img.validate(), Err(ImageError::BadEntry { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_evt_init_mismatch() {
+        let mut img = tiny_image();
+        let cell = 64usize;
+        img.data[cell..cell + 8].copy_from_slice(&5u64.to_le_bytes());
+        assert!(matches!(img.validate(), Err(ImageError::EvtInitMismatch { slot: 0 })));
+    }
+
+    #[test]
+    fn validate_rejects_global_overlapping_meta_root() {
+        let mut img = tiny_image();
+        img.globals[0].addr = 8; // inside the meta root header
+        assert!(matches!(img.validate(), Err(ImageError::BadGlobalSym { .. })));
+    }
+
+    #[test]
+    fn func_and_global_lookup() {
+        let img = tiny_image();
+        assert_eq!(img.func_sym(FuncId(1)).unwrap().name, "main");
+        assert!(img.func_sym(FuncId(9)).is_none());
+        assert_eq!(img.global_by_name("g").unwrap().addr, 48);
+        assert!(img.global_by_name("nope").is_none());
+        assert!(img.is_protean());
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_funcs() {
+        let mut img = tiny_image();
+        img.funcs.swap(0, 1);
+        assert_eq!(img.validate(), Err(ImageError::UnsortedFuncSyms));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs: Vec<ImageError> = vec![
+            ImageError::BadTarget { at: 1, target: 2 },
+            ImageError::BadEvtSlot { at: 1, slot: 2 },
+            ImageError::BadEntry { entry: 3 },
+            ImageError::BadFuncSym { name: "f".into() },
+            ImageError::BadGlobalSym { name: "g".into() },
+            ImageError::BadEvtRegion,
+            ImageError::BadIrRegion,
+            ImageError::EvtInitMismatch { slot: 0 },
+            ImageError::UnsortedFuncSyms,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

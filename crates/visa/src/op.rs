@@ -1,0 +1,126 @@
+//! VISA instruction definitions.
+
+use pir::BinOp;
+
+/// A physical (frame) register, `r0..r239`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PReg(pub u8);
+
+impl PReg {
+    /// Returns the raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One VISA instruction.
+///
+/// Text addresses (`target`) are absolute indices into a process's text
+/// space; addresses beyond the loaded image index into the runtime's code
+/// cache. Memory offsets address the process data segment.
+#[allow(missing_docs)] // operand/payload fields are standard roles
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `dst = imm`
+    Movi { dst: PReg, imm: i64 },
+    /// `dst = a <op> b`
+    Alu { op: BinOp, dst: PReg, a: PReg, b: PReg },
+    /// `dst = a <op> imm`
+    AluImm { op: BinOp, dst: PReg, a: PReg, imm: i64 },
+    /// `dst = mem[base + offset]` (8 bytes, through the cache hierarchy).
+    Load { dst: PReg, base: PReg, offset: i64 },
+    /// `mem[base + offset] = src` (8 bytes, write-allocate).
+    Store { base: PReg, offset: i64, src: PReg },
+    /// Non-temporal prefetch of `mem[base + offset]` — the VISA analogue of
+    /// x86 `prefetchnta`. Installs the line using the machine's configured
+    /// non-temporal fill policy so it minimizes shared-LLC pollution.
+    PrefetchNta { base: PReg, offset: i64 },
+    /// Unconditional jump.
+    Jmp { target: u32 },
+    /// Branch to `target` if `cond != 0`, else fall through.
+    Bnz { cond: PReg, target: u32 },
+    /// Branch to `target` if `cond == 0`, else fall through.
+    Bz { cond: PReg, target: u32 },
+    /// Direct call: pushes a fresh register window, copies `args` into the
+    /// callee's `r0..rN`; on return the callee's return value lands in
+    /// `dst` (if any).
+    Call { target: u32, dst: Option<PReg>, args: Vec<PReg> },
+    /// Virtualized call through Edge Virtualization Table slot `slot`: the
+    /// target address is read (as a cached 8-byte memory access) from the
+    /// EVT, so the protean runtime can redirect this edge atomically.
+    CallVirt { slot: u32, dst: Option<PReg>, args: Vec<PReg> },
+    /// Return, optionally passing `src` back to the caller's `dst`.
+    Ret { src: Option<PReg> },
+    /// Publish an application metric sample on `channel`.
+    Report { channel: u8, src: PReg },
+    /// Yield to the OS until new work arrives (latency-sensitive servers
+    /// park here between requests).
+    Wait,
+    /// Terminate the process.
+    Halt,
+}
+
+impl Op {
+    /// True for instructions counted as branches by the hardware
+    /// performance monitors (the paper's BPS metric counts these).
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Op::Jmp { .. }
+                | Op::Bnz { .. }
+                | Op::Bz { .. }
+                | Op::Call { .. }
+                | Op::CallVirt { .. }
+                | Op::Ret { .. }
+        )
+    }
+
+    /// True for instructions that access data memory through the caches.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Op::Load { .. } | Op::Store { .. } | Op::PrefetchNta { .. } | Op::CallVirt { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_classification() {
+        assert!(Op::Jmp { target: 0 }.is_branch());
+        assert!(Op::Bnz { cond: PReg(0), target: 0 }.is_branch());
+        assert!(Op::Bz { cond: PReg(0), target: 0 }.is_branch());
+        assert!(Op::Call { target: 0, dst: None, args: vec![] }.is_branch());
+        assert!(Op::CallVirt { slot: 0, dst: None, args: vec![] }.is_branch());
+        assert!(Op::Ret { src: None }.is_branch());
+        assert!(!Op::Movi { dst: PReg(0), imm: 0 }.is_branch());
+        assert!(!Op::Load { dst: PReg(0), base: PReg(0), offset: 0 }.is_branch());
+        assert!(!Op::Wait.is_branch());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Op::Load { dst: PReg(0), base: PReg(0), offset: 0 }.is_memory());
+        assert!(Op::Store { base: PReg(0), offset: 0, src: PReg(0) }.is_memory());
+        assert!(Op::PrefetchNta { base: PReg(0), offset: 0 }.is_memory());
+        // CallVirt reads its EVT slot from memory.
+        assert!(Op::CallVirt { slot: 0, dst: None, args: vec![] }.is_memory());
+        assert!(!Op::Jmp { target: 0 }.is_memory());
+        assert!(!Op::Halt.is_memory());
+    }
+
+    #[test]
+    fn preg_display() {
+        assert_eq!(PReg(17).to_string(), "r17");
+        assert_eq!(PReg(17).index(), 17);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the VISA image codec and disassembler.
+
+use proptest::collection::vec;
+use proptest::option;
+use proptest::prelude::*;
+
+use pir::{BinOp, FuncId};
+use visa::encode::{decode_image, encode_image};
+use visa::{EvtEntry, FuncSym, GlobalSym, Image, MetaDesc, Op, PReg};
+
+fn arb_preg() -> impl Strategy<Value = PReg> {
+    any::<u8>().prop_map(PReg)
+}
+
+/// Registers within the frame file (what the assembler accepts back).
+fn arb_frame_preg() -> impl Strategy<Value = PReg> {
+    (0u8..240).prop_map(PReg)
+}
+
+/// Ops whose disassembly the assembler can parse back (frame registers
+/// only; everything else is unrestricted).
+fn arb_asmable_op() -> impl Strategy<Value = Op> {
+    let binop = (0usize..16).prop_map(|i| BinOp::ALL[i]);
+    prop_oneof![
+        (arb_frame_preg(), any::<i64>()).prop_map(|(dst, imm)| Op::Movi { dst, imm }),
+        (binop.clone(), arb_frame_preg(), arb_frame_preg(), arb_frame_preg())
+            .prop_map(|(op, dst, a, b)| Op::Alu { op, dst, a, b }),
+        (binop, arb_frame_preg(), arb_frame_preg(), any::<i64>())
+            .prop_map(|(op, dst, a, imm)| Op::AluImm { op, dst, a, imm }),
+        (arb_frame_preg(), arb_frame_preg(), any::<i64>())
+            .prop_map(|(dst, base, offset)| Op::Load { dst, base, offset }),
+        (arb_frame_preg(), any::<i64>(), arb_frame_preg())
+            .prop_map(|(base, offset, src)| Op::Store { base, offset, src }),
+        (arb_frame_preg(), any::<i64>())
+            .prop_map(|(base, offset)| Op::PrefetchNta { base, offset }),
+        any::<u32>().prop_map(|target| Op::Jmp { target }),
+        (arb_frame_preg(), any::<u32>()).prop_map(|(cond, target)| Op::Bnz { cond, target }),
+        (arb_frame_preg(), any::<u32>()).prop_map(|(cond, target)| Op::Bz { cond, target }),
+        (any::<u32>(), option::of(arb_frame_preg()), vec(arb_frame_preg(), 0..8))
+            .prop_map(|(target, dst, args)| Op::Call { target, dst, args }),
+        (any::<u32>(), option::of(arb_frame_preg()), vec(arb_frame_preg(), 0..8))
+            .prop_map(|(slot, dst, args)| Op::CallVirt { slot, dst, args }),
+        option::of(arb_frame_preg()).prop_map(|src| Op::Ret { src }),
+        (any::<u8>(), arb_frame_preg()).prop_map(|(channel, src)| Op::Report { channel, src }),
+        Just(Op::Wait),
+        Just(Op::Halt),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let binop = (0usize..16).prop_map(|i| BinOp::ALL[i]);
+    prop_oneof![
+        (arb_preg(), any::<i64>()).prop_map(|(dst, imm)| Op::Movi { dst, imm }),
+        (binop.clone(), arb_preg(), arb_preg(), arb_preg())
+            .prop_map(|(op, dst, a, b)| Op::Alu { op, dst, a, b }),
+        (binop, arb_preg(), arb_preg(), any::<i64>())
+            .prop_map(|(op, dst, a, imm)| Op::AluImm { op, dst, a, imm }),
+        (arb_preg(), arb_preg(), any::<i64>())
+            .prop_map(|(dst, base, offset)| Op::Load { dst, base, offset }),
+        (arb_preg(), any::<i64>(), arb_preg())
+            .prop_map(|(base, offset, src)| Op::Store { base, offset, src }),
+        (arb_preg(), any::<i64>()).prop_map(|(base, offset)| Op::PrefetchNta { base, offset }),
+        any::<u32>().prop_map(|target| Op::Jmp { target }),
+        (arb_preg(), any::<u32>()).prop_map(|(cond, target)| Op::Bnz { cond, target }),
+        (arb_preg(), any::<u32>()).prop_map(|(cond, target)| Op::Bz { cond, target }),
+        (any::<u32>(), option::of(arb_preg()), vec(arb_preg(), 0..8))
+            .prop_map(|(target, dst, args)| Op::Call { target, dst, args }),
+        (any::<u32>(), option::of(arb_preg()), vec(arb_preg(), 0..8))
+            .prop_map(|(slot, dst, args)| Op::CallVirt { slot, dst, args }),
+        option::of(arb_preg()).prop_map(|src| Op::Ret { src }),
+        (any::<u8>(), arb_preg()).prop_map(|(channel, src)| Op::Report { channel, src }),
+        Just(Op::Wait),
+        Just(Op::Halt),
+    ]
+}
+
+fn arb_image() -> impl Strategy<Value = Image> {
+    (
+        vec(arb_op(), 0..100),
+        vec(any::<u8>(), 64..512),
+        vec(("[a-z]{1,8}", any::<u32>(), any::<u32>(), any::<u32>()), 0..8),
+        vec(("[a-z]{1,8}", any::<u64>(), any::<u64>()), 0..8),
+        any::<bool>(),
+    )
+        .prop_map(|(text, data, funcs, globals, with_meta)| {
+            let funcs = funcs
+                .into_iter()
+                .map(|(name, f, start, len)| FuncSym { name, func: FuncId(f), start, len })
+                .collect::<Vec<_>>();
+            let globals = globals
+                .into_iter()
+                .map(|(name, addr, size)| GlobalSym { name, addr, size })
+                .collect();
+            Image {
+                name: "prop".into(),
+                entry: 0,
+                text,
+                data,
+                funcs,
+                globals,
+                evt: vec![EvtEntry { slot: 0, callee: FuncId(0), original_target: 3 }],
+                meta: with_meta.then_some(MetaDesc {
+                    evt_base: 64,
+                    evt_len: 1,
+                    ir_addr: 128,
+                    ir_len: 5,
+                }),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn image_roundtrip(img in arb_image()) {
+        let bytes = encode_image(&img);
+        let back = decode_image(&bytes).expect("decode");
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in vec(any::<u8>(), 0..600)) {
+        let _ = decode_image(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_corrupted_valid_images(
+        img in arb_image(),
+        flip in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = encode_image(&img);
+        if !bytes.is_empty() {
+            let i = flip as usize % bytes.len();
+            bytes[i] ^= 1 << bit;
+            let _ = decode_image(&bytes);
+        }
+    }
+
+    #[test]
+    fn assembler_roundtrips_disassembly(ops in vec(arb_asmable_op(), 0..60)) {
+        let text = visa::disasm::disasm_ops(&ops, 0);
+        let back = visa::assemble(&text).expect("reassemble disassembly");
+        prop_assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn assembler_never_panics_on_garbage(lines in vec("[ -~]{0,40}", 0..20)) {
+        let src = lines.join("\n");
+        let _ = visa::assemble(&src);
+    }
+
+    #[test]
+    fn disassembly_is_nonempty_and_unique_per_op(op in arb_op()) {
+        let s = op.to_string();
+        prop_assert!(!s.trim().is_empty());
+        // Branch classification is consistent with mnemonics.
+        if op.is_branch() {
+            let m = s.split_whitespace().next().unwrap();
+            prop_assert!(
+                ["jmp", "bnz", "bz", "call", "callv", "ret"].contains(&m),
+                "branch op with non-branch mnemonic {m}"
+            );
+        }
+    }
+}

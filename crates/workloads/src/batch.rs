@@ -1,0 +1,508 @@
+//! Batch (host) program generation.
+
+use pir::{FuncId, FunctionBuilder, Locality, Module};
+
+/// Shape of one generated batch benchmark.
+///
+/// Sizes are in cache lines relative to the target machine's LLC
+/// capacity (`llc_lines` passed to [`build_batch`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchSpec {
+    /// Program name (shows up in image symbols and harness output).
+    pub name: &'static str,
+    /// Number of hot functions (the innermost-loop workhorses).
+    pub hot_funcs: usize,
+    /// Streaming load sites per hot function's innermost loop.
+    pub stream_sites: usize,
+    /// Resident (LLC-reusing) load sites per hot innermost loop.
+    pub resident_sites: usize,
+    /// Random-access load sites per hot innermost loop.
+    pub random_sites: usize,
+    /// Pointer-chasing load sites per hot innermost loop (serially
+    /// dependent).
+    pub chase_sites: usize,
+    /// Load sites in each hot function's outer (depth-1) loop.
+    pub outer_sites: usize,
+    /// Warm functions: called occasionally (so they appear in PC samples)
+    /// but structured so their loads sit below the function's max loop
+    /// depth and get pruned by the "only innermost loops" heuristic.
+    pub warm_funcs: usize,
+    /// Load sites per warm function.
+    pub warm_sites: usize,
+    /// Cold functions: never called (pruned by the "exclude uncovered
+    /// code" heuristic). `cold_loads` is distributed across them.
+    pub cold_funcs: usize,
+    /// Total load sites across all cold functions.
+    pub cold_loads: usize,
+    /// Resident working set as a fraction of the LLC.
+    pub resident_frac: f64,
+    /// Streaming buffer size as a multiple of the LLC.
+    pub stream_mult: f64,
+    /// Random-access space as a multiple of the LLC.
+    pub random_mult: f64,
+    /// Every 4th site also stores (write-heavy benchmarks).
+    pub stores: bool,
+    /// ALU instructions of pure compute per innermost iteration (raises
+    /// IPC; compute-bound applications have high values).
+    pub compute_per_iter: usize,
+    /// Override for the innermost trip count (None = cover the resident
+    /// set). Short trips raise branch density (search/branchy codes).
+    pub inner_trip: Option<i64>,
+}
+
+impl Default for BatchSpec {
+    /// A neutral mid-size spec; catalog entries override everything that
+    /// matters.
+    fn default() -> Self {
+        BatchSpec {
+            name: "generic",
+            hot_funcs: 2,
+            stream_sites: 2,
+            resident_sites: 4,
+            random_sites: 1,
+            chase_sites: 0,
+            outer_sites: 2,
+            warm_funcs: 2,
+            warm_sites: 10,
+            cold_funcs: 2,
+            cold_loads: 50,
+            resident_frac: 0.3,
+            stream_mult: 2.0,
+            random_mult: 1.0,
+            stores: false,
+            compute_per_iter: 8,
+            inner_trip: None,
+        }
+    }
+}
+
+impl BatchSpec {
+    /// Total static load sites this spec will generate.
+    pub fn total_loads(&self) -> usize {
+        self.hot_funcs
+            * (self.stream_sites
+                + self.resident_sites
+                + self.random_sites
+                + self.chase_sites
+                + self.outer_sites)
+            + self.warm_funcs * self.warm_sites
+            + self.cold_loads
+    }
+
+    /// Load sites in hot innermost loops (what survives all of PC3D's
+    /// pruning heuristics).
+    pub fn innermost_loads(&self) -> usize {
+        self.hot_funcs
+            * (self.stream_sites + self.resident_sites + self.random_sites + self.chase_sites)
+    }
+
+    /// Load sites in covered (hot + warm) code.
+    pub fn active_loads(&self) -> usize {
+        self.innermost_loads()
+            + self.hot_funcs * self.outer_sites
+            + self.warm_funcs * self.warm_sites
+    }
+}
+
+fn lines_to_bytes(lines: u64) -> i64 {
+    (lines.max(16) * 64) as i64
+}
+
+/// Emits one hot function: a two-deep loop nest whose innermost loop
+/// contains the spec's site mix, with `outer_sites` loads at depth 1.
+#[allow(clippy::too_many_arguments)]
+fn build_hot_func(
+    m: &mut Module,
+    spec: &BatchSpec,
+    idx: usize,
+    resident: pir::GlobalId,
+    stream: pir::GlobalId,
+    random: pir::GlobalId,
+    chase: pir::GlobalId,
+    cursor: pir::GlobalId,
+    res_bytes: i64,
+    stream_bytes: i64,
+    rand_bytes: i64,
+    chase_lines: i64,
+) -> FuncId {
+    let mut b = FunctionBuilder::new(format!("hot{idx}"), 0);
+    let res = b.global_addr(resident);
+    let stm = b.global_addr(stream);
+    let rnd = b.global_addr(random);
+    let chs = b.global_addr(chase);
+    let curg = b.global_addr(cursor);
+    let cur = b.load(curg, 0, Locality::Normal);
+    // Rotating base so short inner trips still sweep the whole resident
+    // set across calls (persisted beside the cursor).
+    let resbase = b.load(curg, 8, Locality::Normal);
+    // LCG state seeded from the cursor so runs are deterministic.
+    let x = b.add_imm(cur, 12345 + idx as i64);
+    // Chase pointer starts at the cursor's current line.
+    let chase_ptr_line = b.rem_imm(cur, chase_lines.max(1) * 64);
+    b.bin_imm_into(pir::BinOp::And, chase_ptr_line, chase_ptr_line, !63i64);
+    // Scratch registers reused by every site.
+    let t0 = b.fresh();
+    let a0 = b.fresh();
+    let v0 = b.fresh();
+
+    // Innermost trip count: sites jointly cover the resident set once per
+    // inner-loop execution.
+    let res_lines = (res_bytes / 64).max(1);
+    let inner_trip = spec
+        .inner_trip
+        .unwrap_or_else(|| (res_lines / spec.resident_sites.max(1) as i64).clamp(64, 4096));
+
+    let outer_trip = 2i64;
+    b.counted_loop(0, outer_trip, 1, |b, o| {
+        // Depth-1 sites: resident accesses striding the working set.
+        for s in 0..spec.outer_sites {
+            b.bin_imm_into(pir::BinOp::Mul, t0, o, 64 * (s as i64 + 1) * 17);
+            b.bin_imm_into(pir::BinOp::Rem, t0, t0, res_bytes);
+            b.bin_into(pir::BinOp::Add, a0, res, t0);
+            b.load_into(v0, a0, 0, Locality::Normal);
+        }
+        b.counted_loop(0, inner_trip, 1, |b, i| {
+            let mut site = 0i64;
+            // Streaming sites: consecutive lines behind a moving cursor.
+            for _ in 0..spec.stream_sites {
+                b.bin_imm_into(pir::BinOp::Add, t0, cur, site * 64);
+                b.bin_imm_into(pir::BinOp::Rem, t0, t0, stream_bytes);
+                b.bin_into(pir::BinOp::Add, a0, stm, t0);
+                b.load_into(v0, a0, 0, Locality::Normal);
+                if spec.stores && site % 4 == 3 {
+                    b.store(a0, 0, v0);
+                }
+                site += 1;
+            }
+            // Resident sites: partitioned coverage of the working set,
+            // revisited every inner-loop execution (temporal reuse). The
+            // rotating base keeps the full set swept even when the trip
+            // count is short.
+            for rs in 0..spec.resident_sites {
+                b.bin_imm_into(pir::BinOp::Add, t0, i, rs as i64 * inner_trip);
+                b.bin_imm_into(pir::BinOp::Mul, t0, t0, 64);
+                b.bin_into(pir::BinOp::Add, t0, t0, resbase);
+                b.bin_imm_into(pir::BinOp::Rem, t0, t0, res_bytes);
+                b.bin_into(pir::BinOp::Add, a0, res, t0);
+                b.load_into(v0, a0, 0, Locality::Normal);
+                if spec.stores && site % 4 == 3 {
+                    b.store(a0, 0, v0);
+                }
+                site += 1;
+            }
+            // Random sites: LCG over a large space.
+            for _ in 0..spec.random_sites {
+                b.bin_imm_into(pir::BinOp::Mul, x, x, 6364136223846793005);
+                b.bin_imm_into(pir::BinOp::Add, x, x, 1442695040888963407);
+                b.bin_imm_into(pir::BinOp::Shr, t0, x, 17);
+                b.bin_imm_into(pir::BinOp::And, t0, t0, i64::MAX);
+                b.bin_imm_into(pir::BinOp::Rem, t0, t0, rand_bytes);
+                b.bin_imm_into(pir::BinOp::And, t0, t0, !63i64);
+                b.bin_into(pir::BinOp::Add, a0, rnd, t0);
+                b.load_into(v0, a0, 0, Locality::Normal);
+                site += 1;
+            }
+            // Chase sites: serially dependent walks over a permutation.
+            for _ in 0..spec.chase_sites {
+                b.bin_into(pir::BinOp::Add, a0, chs, chase_ptr_line);
+                b.load_into(chase_ptr_line, a0, 0, Locality::Normal);
+                site += 1;
+            }
+            let _ = site;
+            // Pure compute (xorshift-style mixing) raising IPC.
+            for k in 0..spec.compute_per_iter {
+                match k % 3 {
+                    0 => b.bin_imm_into(pir::BinOp::Add, x, x, 0x9e37),
+                    1 => b.bin_into(pir::BinOp::Xor, x, x, i),
+                    _ => b.bin_imm_into(pir::BinOp::Mul, x, x, 0x100000001b3u64 as i64),
+                }
+            }
+            // Advance the streaming cursor past this iteration's lines.
+            b.bin_imm_into(
+                pir::BinOp::Add,
+                cur,
+                cur,
+                64 * spec.stream_sites.max(1) as i64,
+            );
+            b.bin_imm_into(pir::BinOp::Rem, cur, cur, stream_bytes);
+        });
+    });
+    b.store(curg, 0, cur);
+    // Rotate the resident base by the lines covered this call.
+    let covered = inner_trip * spec.resident_sites.max(1) as i64 * 64;
+    b.bin_imm_into(pir::BinOp::Add, resbase, resbase, covered);
+    b.bin_imm_into(pir::BinOp::Rem, resbase, resbase, res_bytes);
+    b.store(curg, 8, resbase);
+    b.ret(None);
+    m.add_function(b.finish())
+}
+
+/// Emits one warm function: loads at depth ≤1 plus an empty depth-2 nest
+/// so the "only innermost loops" heuristic prunes every load.
+fn build_warm_func(
+    m: &mut Module,
+    spec: &BatchSpec,
+    idx: usize,
+    scratch: pir::GlobalId,
+    scratch_bytes: i64,
+) -> FuncId {
+    let mut b = FunctionBuilder::new(format!("warm{idx}"), 0);
+    let base = b.global_addr(scratch);
+    let t0 = b.fresh();
+    let a0 = b.fresh();
+    let v0 = b.fresh();
+    b.counted_loop(0, 16, 1, |b, i| {
+        for s in 0..spec.warm_sites {
+            b.bin_imm_into(pir::BinOp::Mul, t0, i, 64 * (s as i64 + 1));
+            b.bin_imm_into(pir::BinOp::Rem, t0, t0, scratch_bytes);
+            b.bin_into(pir::BinOp::Add, a0, base, t0);
+            b.load_into(v0, a0, 0, Locality::Normal);
+        }
+        // Empty two-deep nest: raises the function's max loop depth above
+        // every load.
+        b.counted_loop(0, 2, 1, |b, _| {
+            b.counted_loop(0, 2, 1, |b, k| {
+                b.bin_imm_into(pir::BinOp::Add, t0, k, 1);
+            });
+        });
+    });
+    b.ret(None);
+    m.add_function(b.finish())
+}
+
+/// Emits one cold function with `sites` straight-line loads, never called.
+fn build_cold_func(
+    m: &mut Module,
+    idx: usize,
+    sites: usize,
+    scratch: pir::GlobalId,
+    scratch_bytes: i64,
+) -> FuncId {
+    let mut b = FunctionBuilder::new(format!("cold{idx}"), 0);
+    let base = b.global_addr(scratch);
+    let v0 = b.fresh();
+    for s in 0..sites {
+        let off = (s as i64 * 8) % scratch_bytes.max(8);
+        b.load_into(v0, base, off, Locality::Normal);
+    }
+    b.ret(None);
+    m.add_function(b.finish())
+}
+
+/// Builds the batch benchmark described by `spec` for a machine whose LLC
+/// holds `llc_lines` cache lines.
+///
+/// The entry function loops forever, calling every hot function each
+/// iteration and the warm functions every 16th iteration.
+pub fn build_batch(spec: &BatchSpec, llc_lines: u64) -> Module {
+    let mut m = Module::new(spec.name);
+    let res_bytes = lines_to_bytes((spec.resident_frac * llc_lines as f64) as u64);
+    let stream_bytes = lines_to_bytes((spec.stream_mult * llc_lines as f64) as u64);
+    let rand_bytes = lines_to_bytes((spec.random_mult * llc_lines as f64) as u64);
+    // Chase permutation: one pointer per line, single cycle covering the
+    // resident-sized space (simple stride permutation with an odd step is
+    // a full cycle and defeats next-line prefetchability).
+    let chase_lines = (res_bytes / 64).max(16);
+    let chase_words: Vec<i64> = {
+        let mut words = vec![0i64; (chase_lines * 8) as usize];
+        let step = {
+            // An odd stride co-prime with chase_lines gives a full cycle
+            // when chase_lines is a power of two; for general sizes fall
+            // back to a simple +1 cycle with a large odd stride search.
+            let mut s = chase_lines / 2 + 1;
+            while gcd(s, chase_lines) != 1 {
+                s += 1;
+            }
+            s
+        };
+        for l in 0..chase_lines {
+            let next = (l + step) % chase_lines;
+            words[(l * 8) as usize] = next * 64;
+        }
+        words
+    };
+
+    let resident = m.add_global("resident", res_bytes as u64 + 64);
+    let stream = m.add_global("stream", stream_bytes as u64 + 64);
+    let random = m.add_global("random", rand_bytes as u64 + 64);
+    let chase = m.add_global_full(pir::Global::with_words("chase", chase_words));
+    let cursor = m.add_global("cursor", 64);
+    let scratch = m.add_global("scratch", 64 * 64);
+
+    let hot: Vec<FuncId> = (0..spec.hot_funcs)
+        .map(|i| {
+            build_hot_func(
+                &mut m,
+                spec,
+                i,
+                resident,
+                stream,
+                random,
+                chase,
+                cursor,
+                res_bytes,
+                stream_bytes,
+                rand_bytes,
+                chase_lines,
+            )
+        })
+        .collect();
+    let warm: Vec<FuncId> =
+        (0..spec.warm_funcs).map(|i| build_warm_func(&mut m, spec, i, scratch, 64 * 64)).collect();
+    if let Some(per) = spec.cold_loads.checked_div(spec.cold_funcs) {
+        let rem = spec.cold_loads % spec.cold_funcs;
+        for i in 0..spec.cold_funcs {
+            let sites = per + usize::from(i == 0) * rem;
+            build_cold_func(&mut m, i, sites, scratch, 64 * 64);
+        }
+    }
+
+    // main: k = 0; loop { hot*(); if k % 16 == 0 { warm*(); }; k += 1 }
+    let mut b = FunctionBuilder::new("main", 0);
+    let k = b.const_(0);
+    let header = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    for h in &hot {
+        b.call_void(*h, &[]);
+    }
+    let warm_bb = b.new_block();
+    let cont_bb = b.new_block();
+    let km = b.rem_imm(k, 16);
+    b.cond_br(km, cont_bb, warm_bb); // k%16 != 0 -> skip warm
+    b.switch_to(warm_bb);
+    for w in &warm {
+        b.call_void(*w, &[]);
+    }
+    b.br(cont_bb);
+    b.switch_to(cont_bb);
+    b.bin_imm_into(pir::BinOp::Add, k, k, 1);
+    b.br(header);
+    let main_id = b.add_and_set_entry(&mut m);
+    let _ = main_id;
+    m
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+trait AddAndSetEntry {
+    fn add_and_set_entry(self, m: &mut Module) -> FuncId;
+}
+
+impl AddAndSetEntry for FunctionBuilder {
+    fn add_and_set_entry(self, m: &mut Module) -> FuncId {
+        let id = m.add_function(self.finish());
+        m.set_entry(id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pir::verify::verify_module;
+
+    fn spec() -> BatchSpec {
+        BatchSpec {
+            name: "test-batch",
+            hot_funcs: 2,
+            stream_sites: 3,
+            resident_sites: 2,
+            random_sites: 1,
+            chase_sites: 1,
+            outer_sites: 2,
+            warm_funcs: 2,
+            warm_sites: 5,
+            cold_funcs: 3,
+            cold_loads: 31,
+            resident_frac: 0.5,
+            stream_mult: 4.0,
+            random_mult: 2.0,
+            stores: true,
+            compute_per_iter: 6,
+            inner_trip: None,
+        }
+    }
+
+    #[test]
+    fn generated_module_verifies() {
+        let m = build_batch(&spec(), 2048);
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn load_counts_match_spec() {
+        let s = spec();
+        let m = build_batch(&s, 2048);
+        assert_eq!(
+            m.load_count(),
+            s.total_loads() + 2 * s.hot_funcs,
+            "total (+cursor and resident-base loads per hot function)"
+        );
+        // Innermost sites: enumerate via the analysis the heuristics use.
+        let sites = pir::load_sites(&m);
+        let hot_names: Vec<FuncId> = (0..s.hot_funcs)
+            .map(|i| m.function_by_name(&format!("hot{i}")).unwrap())
+            .collect();
+        let innermost = sites
+            .iter()
+            .filter(|ls| hot_names.contains(&ls.site.func) && ls.at_max_depth())
+            .count();
+        assert_eq!(innermost, s.innermost_loads());
+    }
+
+    #[test]
+    fn warm_loads_below_function_max_depth() {
+        let s = spec();
+        let m = build_batch(&s, 2048);
+        let warm0 = m.function_by_name("warm0").unwrap();
+        let sites = pir::load_sites(&m);
+        for ls in sites.iter().filter(|ls| ls.site.func == warm0) {
+            assert!(!ls.at_max_depth(), "warm loads must be prunable: {ls:?}");
+        }
+    }
+
+    #[test]
+    fn chase_permutation_is_a_single_cycle() {
+        let m = build_batch(&spec(), 2048);
+        let pos = m.globals().iter().position(|g| g.name() == "chase").unwrap();
+        let chase = m.global(pir::GlobalId(pos as u32));
+        let pir::GlobalInit::Words(words) = chase.init() else {
+            panic!("chase must have word init")
+        };
+        let lines = words.len() / 8;
+        let mut seen = vec![false; lines];
+        let mut cur = 0usize;
+        for _ in 0..lines {
+            assert!(!seen[cur], "cycle revisits line {cur} early");
+            seen[cur] = true;
+            cur = (words[cur * 8] / 64) as usize;
+        }
+        assert_eq!(cur, 0, "permutation must close the cycle");
+    }
+
+    #[test]
+    fn compiles_and_runs() {
+        use pcc::{Compiler, Options};
+        use simos::{Os, OsConfig};
+        let m = build_batch(&spec(), 512);
+        let out = Compiler::new(Options::protean()).compile(&m).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        os.advance(500_000);
+        let c = os.counters(pid);
+        assert!(
+            matches!(os.status(pid), machine::ExecStatus::Running),
+            "batch program must keep running, status {:?}",
+            os.status(pid)
+        );
+        assert!(c.instructions > 10_000);
+        assert!(c.llc_misses > 0, "streaming must miss");
+    }
+}

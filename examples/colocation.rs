@@ -1,0 +1,65 @@
+//! Co-location under PC3D: a contentious batch application (libquantum)
+//! shares the server with a latency-sensitive webservice (web-search).
+//! PC3D searches for a non-temporal variant mix that protects the
+//! service's QoS while keeping the batch job productive, then prints the
+//! timeline.
+//!
+//! Run with: `cargo run --release --example colocation`
+
+use pc3d::{Pc3d, Pc3dConfig};
+use pcc::{Compiler, Options};
+use protean::{Runtime, RuntimeConfig};
+use simos::{LoadSchedule, Os, OsConfig};
+use workloads::catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = OsConfig { machine: machine::MachineConfig::scaled(), ..OsConfig::default() };
+    let llc_lines = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+
+    // Build both applications from the catalog.
+    let search = catalog::build("web-search", llc_lines).expect("catalog");
+    let batch = catalog::build("libquantum", llc_lines).expect("catalog");
+    let search_img = Compiler::new(Options::plain()).compile(&search)?.image;
+    let batch_img = Compiler::new(Options::protean()).compile(&batch)?.image;
+
+    let mut os = Os::new(cfg);
+    let ws = os.spawn(&search_img, 0);
+    let lq = os.spawn(&batch_img, 1);
+    os.set_load(ws, LoadSchedule::constant(80.0));
+
+    let rt = Runtime::attach(&os, lq, RuntimeConfig::on_core(2))?;
+    let mut ctl =
+        Pc3d::new(&mut os, rt, ws, Pc3dConfig { qos_target: 0.95, ..Default::default() });
+
+    println!("time   batch BPS   ws QoS   nap   hints  state");
+    for _ in 0..24 {
+        ctl.run_for(&mut os, 5.0);
+        let r = ctl.history().last().expect("window recorded");
+        println!(
+            "{:>4.0}s {:>10.0} {:>7.1}% {:>5.2} {:>6}  {}",
+            os.now_seconds(),
+            r.host_bps,
+            r.qos * 100.0,
+            r.nap,
+            r.hints,
+            if r.searching { "searching" } else { "steady" }
+        );
+    }
+    println!(
+        "\nsearches: {}, variants compiled: {}, runtime cycles: {} ({:.2}% of server)",
+        ctl.searches(),
+        ctl.runtime().compilations(),
+        os.runtime_consumed_total(),
+        100.0 * os.runtime_consumed_total() as f64 / os.server_cycles() as f64
+    );
+    if let Some(rep) = ctl.heuristic_report() {
+        println!(
+            "search space: {} static loads -> {} active -> {} innermost ({}x reduction)",
+            rep.total_loads,
+            rep.active_loads,
+            rep.max_depth_loads,
+            (rep.reduction()) as u64
+        );
+    }
+    Ok(())
+}

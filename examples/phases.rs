@@ -1,0 +1,111 @@
+//! Introspection demo: PC sampling, hot-code identification, and phase
+//! detection on a program that alternates between two distinct phases
+//! (streaming vs pointer-chasing).
+//!
+//! Run with: `cargo run --release --example phases`
+
+use pcc::{Compiler, Options};
+use pir::{FunctionBuilder, Locality, Module};
+use protean::{HostMonitor, PhaseChange, PhaseDetector, Runtime, RuntimeConfig};
+use simos::{Os, OsConfig};
+
+/// A program alternating between a streaming phase and a chase phase,
+/// switching every `passes` calls.
+fn phased_program() -> Module {
+    let mut m = Module::new("phased");
+    let buf = m.add_global("buf", 1 << 20);
+    let chase_lines = 4096i64;
+    let chase = {
+        let mut words = vec![0i64; (chase_lines * 8) as usize];
+        for l in 0..chase_lines {
+            words[(l * 8) as usize] = ((l + 2049) % chase_lines) * 64;
+        }
+        m.add_global_full(pir::Global::with_words("chase", words))
+    };
+
+    let mut s = FunctionBuilder::new("stream_phase", 0);
+    let base = s.global_addr(buf);
+    s.counted_loop(0, 4096, 1, |b, i| {
+        let off = b.mul_imm(i, 64);
+        let a = b.add(base, off);
+        let _ = b.load(a, 0, Locality::Normal);
+    });
+    s.ret(None);
+    let stream = m.add_function(s.finish());
+
+    let mut c = FunctionBuilder::new("chase_phase", 0);
+    let cbase = c.global_addr(chase);
+    let ptr = c.const_(0);
+    c.counted_loop(0, 4096, 1, |b, _| {
+        let a = b.add(cbase, ptr);
+        b.load_into(ptr, a, 0, Locality::Normal);
+    });
+    c.ret(None);
+    let chase_f = m.add_function(c.finish());
+
+    // main: 8 stream passes, then 8 chase passes, repeat.
+    let mut b = FunctionBuilder::new("main", 0);
+    let k = b.const_(0);
+    let header = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    let sel = b.bin_imm(pir::BinOp::Rem, k, 16);
+    let cond = b.bin_imm(pir::BinOp::Lt, sel, 8);
+    let do_stream = b.new_block();
+    let do_chase = b.new_block();
+    let cont = b.new_block();
+    b.cond_br(cond, do_stream, do_chase);
+    b.switch_to(do_stream);
+    b.call_void(stream, &[]);
+    b.br(cont);
+    b.switch_to(do_chase);
+    b.call_void(chase_f, &[]);
+    b.br(cont);
+    b.switch_to(cont);
+    b.bin_imm_into(pir::BinOp::Add, k, k, 1);
+    b.br(header);
+    let main_id = m.add_function(b.finish());
+    m.set_entry(main_id);
+    m
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = phased_program();
+    let image = Compiler::new(Options::protean()).compile(&module)?.image;
+    let mut os = Os::new(OsConfig::default());
+    let pid = os.spawn(&image, 0);
+    let rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1))?;
+
+    let mut mon = HostMonitor::new(&os, pid, 0.25);
+    let mut detector = PhaseDetector::new(0.25, 0.6);
+    println!("window     hot functions (share)              BPC     phase");
+    for w in 0..30 {
+        // Sample for one window.
+        for _ in 0..100 {
+            os.advance(5_000);
+            mon.sample(&os, &rt);
+        }
+        let stats = mon.end_window(&os);
+        let hot = mon.hot_funcs();
+        let hot_str: Vec<String> = hot
+            .iter()
+            .take(2)
+            .map(|(f, share)| {
+                let name = rt.module().function(*f).name().to_string();
+                format!("{name} ({:.0}%)", share * 100.0)
+            })
+            .collect();
+        let set: Vec<pir::FuncId> =
+            hot.iter().filter(|(_, s)| *s > 0.2).map(|(f, _)| *f).collect();
+        let rate = detector.observe_bps(&stats);
+        let hotset = detector.observe_hot_set(&set);
+        let verdict = match (rate, hotset) {
+            (PhaseChange::Stable, PhaseChange::Stable) => "stable",
+            (_, PhaseChange::HotCodeShift) => "HOT-CODE SHIFT",
+            (PhaseChange::RateShift, _) => "RATE SHIFT",
+            _ => "change",
+        };
+        println!("{w:>6}     {:<36} {:.3}   {verdict}", hot_str.join(", "), stats.bpc);
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! # Protean Code — a full reproduction in Rust
+//!
+//! This workspace reproduces *"Protean Code: Achieving Near-Free Online
+//! Code Transformations for Warehouse Scale Computers"* (Laurenzano,
+//! Zhang, Tang, Mars — MICRO 2014) end to end on a self-contained
+//! simulated substrate. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! The crates, bottom-up:
+//!
+//! * [`pir`] — the intermediate representation (stands in for LLVM IR).
+//! * [`visa`] — the virtual ISA and binary image format (stands in for
+//!   x86-64 + ELF), including `prefetchnta` and EVT-indirected calls.
+//! * [`pcc`] — the protean code compiler: edge virtualization, metadata
+//!   embedding, and the runtime variant compiler.
+//! * [`machine`] — the timing-model multicore with a shared LLC,
+//!   non-temporal fill policies, performance counters, and a
+//!   binary-translation baseline mode.
+//! * [`simos`] — the simulated OS: loader, scheduler with napping and
+//!   freezing, ptrace-style PC sampling, load generation.
+//! * [`protean`] — **the paper's contribution**: the runtime that
+//!   attaches, discovers embedded IR, compiles variants asynchronously,
+//!   and dispatches them through the EVT.
+//! * [`pc3d`] — Protean Code for Cache Contention in Datacenters:
+//!   heuristics, Algorithms 1 & 2, flux QoS monitoring, co-phase
+//!   detection.
+//! * [`reqos`] — the nap-only ReQoS baseline.
+//! * [`workloads`] — generators for the paper's benchmark roster.
+//! * [`datacenter`] — the Figures 17-18 scale-out and energy model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pcc::{Compiler, Options};
+//! use pir::{FunctionBuilder, Module};
+//! use simos::{Os, OsConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut m = Module::new("hello");
+//! let mut b = FunctionBuilder::new("main", 0);
+//! b.ret(None);
+//! let f = m.add_function(b.finish());
+//! m.set_entry(f);
+//! let image = Compiler::new(Options::protean()).compile(&m)?.image;
+//! let mut os = Os::new(OsConfig::default());
+//! let pid = os.spawn(&image, 0);
+//! os.advance(10_000);
+//! assert!(matches!(os.status(pid), machine::ExecStatus::Halted));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Run the examples (`cargo run --release --example quickstart`) and the
+//! figure harnesses (`cargo bench`) for the full tour.
+
+pub use datacenter;
+pub use machine;
+pub use pc3d;
+pub use pcc;
+pub use pir;
+pub use protean;
+pub use reqos;
+pub use simos;
+pub use visa;
+pub use workloads;

@@ -1,0 +1,148 @@
+//! Integration tests for the full QoS-management pipeline: PC3D and
+//! ReQoS managing real catalog workload pairs on the simulated server.
+
+use pc3d::{Pc3d, Pc3dConfig};
+use pcc::{Compiler, Options};
+use protean::{ExtMonitor, Runtime, RuntimeConfig};
+use reqos::{ReqosConfig, ReqosController};
+use simos::{LoadSchedule, Os, OsConfig, Pid};
+
+fn scaled_os() -> OsConfig {
+    OsConfig { machine: machine::MachineConfig::scaled(), ..OsConfig::default() }
+}
+
+fn spawn_pair(batch: &str, ext: &str, qps: Option<f64>) -> (Os, Pid, Pid) {
+    let cfg = scaled_os();
+    let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+    let ext_img = Compiler::new(Options::plain())
+        .compile(&workloads::catalog::build(ext, llc).unwrap())
+        .unwrap()
+        .image;
+    let host_img = Compiler::new(Options::protean())
+        .compile(&workloads::catalog::build(batch, llc).unwrap())
+        .unwrap()
+        .image;
+    let mut os = Os::new(cfg);
+    let e = os.spawn(&ext_img, 0);
+    let h = os.spawn(&host_img, 1);
+    if let Some(q) = qps {
+        os.set_load(e, LoadSchedule::constant(q));
+    }
+    (os, e, h)
+}
+
+/// Ground-truth co-runner QoS over a window, against a solo replay.
+fn true_qos(batch_managed_ips: f64, ext: &str, qps: Option<f64>, secs: f64) -> f64 {
+    let cfg = scaled_os();
+    let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+    let img = Compiler::new(Options::plain())
+        .compile(&workloads::catalog::build(ext, llc).unwrap())
+        .unwrap()
+        .image;
+    let mut os = Os::new(cfg);
+    let pid = os.spawn(&img, 0);
+    if let Some(q) = qps {
+        os.set_load(pid, LoadSchedule::constant(q));
+    }
+    os.advance_seconds(secs);
+    let mut mon = ExtMonitor::new(&os, pid);
+    os.advance_seconds(secs);
+    batch_managed_ips / mon.end_window(&os).ips
+}
+
+#[test]
+fn pc3d_protects_web_search_from_libquantum() {
+    let qps = 80.0;
+    let (mut os, ws, lq) = spawn_pair("libquantum", "web-search", Some(qps));
+    let rt = Runtime::attach(&os, lq, RuntimeConfig::on_core(2)).unwrap();
+    let mut ctl = Pc3d::new(&mut os, rt, ws, Pc3dConfig { qos_target: 0.95, ..Default::default() });
+    ctl.run_for(&mut os, 90.0);
+    // Measure the converged tail.
+    let mut ext_mon = ExtMonitor::new(&os, ws);
+    let mut host_mon = ExtMonitor::new(&os, lq);
+    ctl.run_for(&mut os, 30.0);
+    let w = ext_mon.end_window(&os);
+    let h = host_mon.end_window(&os);
+    let qos = true_qos(w.ips, "web-search", Some(qps), 15.0);
+    assert!(qos > 0.90, "web-search must be protected, true QoS {qos:.3}");
+    assert!(ctl.hints() > 0, "libquantum should carry NT hints at convergence");
+    assert!(h.bps > 0.0);
+}
+
+#[test]
+fn pc3d_beats_reqos_on_streaming_host_at_tight_target() {
+    let qps = 80.0;
+    let measure_pc3d = || {
+        let (mut os, ws, lq) = spawn_pair("libquantum", "web-search", Some(qps));
+        let rt = Runtime::attach(&os, lq, RuntimeConfig::on_core(2)).unwrap();
+        let mut ctl =
+            Pc3d::new(&mut os, rt, ws, Pc3dConfig { qos_target: 0.95, ..Default::default() });
+        ctl.run_for(&mut os, 90.0);
+        let mut host_mon = ExtMonitor::new(&os, lq);
+        ctl.run_for(&mut os, 30.0);
+        host_mon.end_window(&os).bps
+    };
+    let measure_reqos = || {
+        let (mut os, ws, lq) = spawn_pair("libquantum", "web-search", Some(qps));
+        let mut ctl = ReqosController::new(
+            &mut os,
+            lq,
+            ws,
+            ReqosConfig { qos_target: 0.95, ..Default::default() },
+        );
+        ctl.run_for(&mut os, 90.0);
+        let mut host_mon = ExtMonitor::new(&os, lq);
+        ctl.run_for(&mut os, 30.0);
+        host_mon.end_window(&os).bps
+    };
+    let pc3d_bps = measure_pc3d();
+    let reqos_bps = measure_reqos();
+    assert!(
+        pc3d_bps > reqos_bps * 1.2,
+        "PC3D ({pc3d_bps:.0} bps) should clearly beat nap-only ReQoS ({reqos_bps:.0} bps)"
+    );
+}
+
+#[test]
+fn both_systems_meet_target_on_batch_external() {
+    // Batch external (milc) instead of a server: QoS is plain IPS ratio.
+    for use_pc3d in [true, false] {
+        let (mut os, ext, host) = spawn_pair("sledge", "milc", None);
+        let measured_ips = if use_pc3d {
+            let rt = Runtime::attach(&os, host, RuntimeConfig::on_core(2)).unwrap();
+            let mut ctl =
+                Pc3d::new(&mut os, rt, ext, Pc3dConfig { qos_target: 0.95, ..Default::default() });
+            ctl.run_for(&mut os, 60.0);
+            let mut mon = ExtMonitor::new(&os, ext);
+            ctl.run_for(&mut os, 20.0);
+            mon.end_window(&os).ips
+        } else {
+            let mut ctl = ReqosController::new(
+                &mut os,
+                host,
+                ext,
+                ReqosConfig { qos_target: 0.95, ..Default::default() },
+            );
+            ctl.run_for(&mut os, 60.0);
+            let mut mon = ExtMonitor::new(&os, ext);
+            ctl.run_for(&mut os, 20.0);
+            mon.end_window(&os).ips
+        };
+        let qos = true_qos(measured_ips, "milc", None, 10.0);
+        assert!(
+            qos > 0.88,
+            "{} must hold milc near its 95% target, got {qos:.3}",
+            if use_pc3d { "PC3D" } else { "ReQoS" }
+        );
+    }
+}
+
+#[test]
+fn runtime_overhead_stays_under_one_percent() {
+    let (mut os, ext, host) = spawn_pair("soplex", "web-search", Some(60.0));
+    let rt = Runtime::attach(&os, host, RuntimeConfig::on_core(2)).unwrap();
+    let mut ctl = Pc3d::new(&mut os, rt, ext, Pc3dConfig::default());
+    ctl.run_for(&mut os, 60.0);
+    let frac = os.runtime_consumed_total() as f64 / os.server_cycles() as f64;
+    assert!(frac < 0.01, "PC3D runtime used {:.2}% of server cycles", frac * 100.0);
+}

@@ -1,0 +1,218 @@
+//! Workload-class fidelity guards: the generated benchmark programs must
+//! keep the contentiousness/sensitivity character their real namesakes
+//! have, because the evaluation's shapes depend on it.
+
+use pcc::{Compiler, NtAssignment, Options};
+use protean::{ExtMonitor, Runtime, RuntimeConfig};
+use simos::{Os, OsConfig};
+use workloads::catalog;
+
+fn scaled_os() -> OsConfig {
+    OsConfig { machine: machine::MachineConfig::scaled(), ..OsConfig::default() }
+}
+
+/// Unmanaged co-runner QoS: `victim`'s IPS when `aggressor` shares the
+/// LLC, relative to running alone.
+fn unmanaged_qos(aggressor: &str, victim: &str) -> f64 {
+    let cfg = scaled_os();
+    let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+    let vi = Compiler::new(Options::plain())
+        .compile(&catalog::build(victim, llc).unwrap())
+        .unwrap()
+        .image;
+    let ai = Compiler::new(Options::plain())
+        .compile(&catalog::build(aggressor, llc).unwrap())
+        .unwrap()
+        .image;
+    let solo = {
+        let mut os = Os::new(cfg.clone());
+        let v = os.spawn(&vi, 0);
+        os.advance_seconds(2.0);
+        let mut mon = ExtMonitor::new(&os, v);
+        os.advance_seconds(3.0);
+        mon.end_window(&os).ips
+    };
+    let mut os = Os::new(cfg);
+    let v = os.spawn(&vi, 0);
+    let _a = os.spawn(&ai, 1);
+    os.advance_seconds(2.0);
+    let mut mon = ExtMonitor::new(&os, v);
+    os.advance_seconds(3.0);
+    mon.end_window(&os).ips / solo
+}
+
+#[test]
+fn streaming_apps_are_more_contentious_than_compute_apps() {
+    // libquantum (streaming, 6x LLC) must hurt a sensitive victim far
+    // more than namd (compute-bound, tiny footprint).
+    let victim = "er-naive";
+    let from_stream = unmanaged_qos("libquantum", victim);
+    let from_compute = unmanaged_qos("namd", victim);
+    assert!(
+        from_compute > from_stream + 0.02,
+        "namd ({from_compute:.3}) should be gentler than libquantum ({from_stream:.3})"
+    );
+    assert!(from_stream < 0.97, "libquantum must visibly hurt er-naive");
+}
+
+#[test]
+fn every_fig8_host_is_measurably_contentious_or_benign_as_classed() {
+    // The heavy streamers of the paper's evaluation.
+    for aggressor in ["libquantum", "lbm", "sledge"] {
+        let q = unmanaged_qos(aggressor, "er-naive");
+        assert!(q < 0.99, "{aggressor} should pressure the LLC, qos {q:.3}");
+    }
+}
+
+#[test]
+fn nt_hints_cost_little_on_streamers_and_more_on_reusers() {
+    // Apply the all-innermost-hints variant and measure the *host's own*
+    // slowdown: near-free for streaming libquantum, costly for
+    // LLC-reusing blockie.
+    let self_cost = |name: &str| -> f64 {
+        let cfg = scaled_os();
+        let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+        let img = Compiler::new(Options::protean())
+            .compile(&catalog::build(name, llc).unwrap())
+            .unwrap()
+            .image;
+        let run = |hints: bool| -> f64 {
+            let mut os = Os::new(scaled_os());
+            let pid = os.spawn(&img, 0);
+            if hints {
+                let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+                let nt = NtAssignment::all(
+                    pir::load_sites(rt.module())
+                        .iter()
+                        .filter(|s| s.at_max_depth())
+                        .map(|s| s.site),
+                );
+                for func in rt.virtualized_funcs() {
+                    let sub: NtAssignment = nt.sites_in(func).into_iter().collect();
+                    if !sub.is_empty() {
+                        let _ = rt.transform(&mut os, func, &sub);
+                    }
+                }
+            }
+            os.advance_seconds(2.0);
+            let mut mon = ExtMonitor::new(&os, pid);
+            os.advance_seconds(3.0);
+            mon.end_window(&os).bps
+        };
+        run(false) / run(true) // slowdown factor from hints
+    };
+    let streamer = self_cost("libquantum");
+    let reuser = self_cost("blockie");
+    assert!(
+        streamer < 1.05,
+        "hints must be near-free for a pure streamer, got {streamer:.3}x"
+    );
+    assert!(
+        reuser > streamer + 0.05,
+        "hints must cost an LLC-reuser more ({reuser:.3}x) than a streamer ({streamer:.3}x)"
+    );
+}
+
+#[test]
+fn servers_degrade_under_contention_only_near_saturation() {
+    // The Figure 16 mechanism: web-search at low load is insensitive to a
+    // heavy co-runner; at high load it saturates and loses throughput.
+    let cfg = scaled_os();
+    let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+    let ws = Compiler::new(Options::plain())
+        .compile(&catalog::build("web-search", llc).unwrap())
+        .unwrap()
+        .image;
+    let lq = Compiler::new(Options::protean())
+        .compile(&catalog::build("libquantum", llc).unwrap())
+        .unwrap()
+        .image;
+    let qos_at = |qps: f64| -> f64 {
+        let measure = |with_aggressor: bool| -> f64 {
+            let mut os = Os::new(scaled_os());
+            let w = os.spawn(&ws, 0);
+            if with_aggressor {
+                os.spawn(&lq, 1);
+            }
+            os.set_load(w, simos::LoadSchedule::constant(qps));
+            os.advance_seconds(4.0);
+            let start = os.app_metric(w, 0);
+            os.advance_seconds(8.0);
+            (os.app_metric(w, 0) - start) as f64 / 8.0
+        };
+        measure(true) / measure(false)
+    };
+    let capacity = protean_repro_capacity();
+    let low = qos_at(capacity * 0.15);
+    let high = qos_at(capacity * 0.9);
+    assert!(low > 0.97, "at low load the server must keep up, got {low:.3}");
+    assert!(
+        high < low - 0.05,
+        "near saturation contention must cost throughput: high {high:.3} vs low {low:.3}"
+    );
+}
+
+/// Measures web-search's solo capacity on the scaled machine.
+fn protean_repro_capacity() -> f64 {
+    let cfg = scaled_os();
+    let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+    let ws = Compiler::new(Options::plain())
+        .compile(&catalog::build("web-search", llc).unwrap())
+        .unwrap()
+        .image;
+    let mut os = Os::new(cfg);
+    let w = os.spawn(&ws, 0);
+    os.set_load(w, simos::LoadSchedule::constant(1e9));
+    os.advance_seconds(3.0);
+    let start = os.app_metric(w, 0);
+    os.advance_seconds(5.0);
+    (os.app_metric(w, 0) - start) as f64 / 5.0
+}
+
+#[test]
+fn tail_latency_rises_under_contention() {
+    // The paper's optional app-level QoS metric: p99 query latency. A
+    // heavy co-runner must raise web-search's tail latency.
+    let cfg = scaled_os();
+    let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+    let ws = Compiler::new(Options::plain())
+        .compile(&catalog::build("web-search", llc).unwrap())
+        .unwrap()
+        .image;
+    let lq = Compiler::new(Options::plain())
+        .compile(&catalog::build("libquantum", llc).unwrap())
+        .unwrap()
+        .image;
+    let p99_at = |with_aggressor: bool| -> u64 {
+        let mut os = Os::new(scaled_os());
+        let w = os.spawn(&ws, 0);
+        if with_aggressor {
+            os.spawn(&lq, 1);
+        }
+        os.set_load(w, simos::LoadSchedule::constant(40.0));
+        os.advance_seconds(10.0);
+        let stats = os.latency_stats(w).expect("queries completed");
+        assert!(stats.p99 >= stats.p50);
+        stats.p50
+    };
+    let solo = p99_at(false);
+    let contended = p99_at(true);
+    assert!(
+        contended as f64 > solo as f64 * 1.3,
+        "contention should raise median latency: solo {solo} vs contended {contended} cycles"
+    );
+}
+
+#[test]
+fn batch_processes_report_no_latency() {
+    let cfg = scaled_os();
+    let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+    let img = Compiler::new(Options::plain())
+        .compile(&catalog::build("milc", llc).unwrap())
+        .unwrap()
+        .image;
+    let mut os = Os::new(scaled_os());
+    let pid = os.spawn(&img, 0);
+    os.advance_seconds(2.0);
+    assert!(os.latency_stats(pid).is_none());
+}
