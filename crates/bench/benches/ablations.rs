@@ -86,7 +86,13 @@ fn ablate_edge_policy(secs: f64) {
         ("MultiBlockCallees", EdgePolicy::MultiBlockCallees),
         ("AllCalls", EdgePolicy::AllCalls),
     ] {
-        let opts = Options { protean: true, edge_policy: policy, embed_ir: true, optimize: false };
+        let opts = Options {
+            protean: true,
+            edge_policy: policy,
+            embed_ir: true,
+            optimize: false,
+            ..Options::protean()
+        };
         let protean = Compiler::new(opts).compile(&m).unwrap().image;
         let slowdown = base_ips / ips_of(&protean, secs, &cfg);
         println!("{name:<22}{:>12}{:>15.4}x", protean.evt.len(), slowdown);
@@ -104,15 +110,27 @@ fn ablate_nt_policy(secs: f64) {
         "{:<12}{:>22}{:>22}",
         "policy", "co-runner QoS (hints)", "host slowdown (hints)"
     );
-    for (label, policy) in [("Bypass", NtPolicy::Bypass), ("LruInsert", NtPolicy::LruInsert)] {
+    for (label, policy) in [
+        ("Bypass", NtPolicy::Bypass),
+        ("LruInsert", NtPolicy::LruInsert),
+    ] {
         let mut machine = MachineConfig::scaled();
         machine.nt_policy = policy;
-        let cfg = OsConfig { machine, ..OsConfig::default() };
+        let cfg = OsConfig {
+            machine,
+            ..OsConfig::default()
+        };
         let lines = llc_lines(&cfg);
         let host_m = catalog::build("libquantum", lines).unwrap();
         let ext_m = catalog::build("er-naive", lines).unwrap();
-        let host_img = Compiler::new(Options::protean()).compile(&host_m).unwrap().image;
-        let ext_img = Compiler::new(Options::plain()).compile(&ext_m).unwrap().image;
+        let host_img = Compiler::new(Options::protean())
+            .compile(&host_m)
+            .unwrap()
+            .image;
+        let ext_img = Compiler::new(Options::plain())
+            .compile(&ext_m)
+            .unwrap()
+            .image;
 
         // Solo baselines under this machine policy.
         let ext_solo = ips_of(&ext_img, secs, &cfg);
@@ -131,7 +149,10 @@ fn ablate_nt_policy(secs: f64) {
         let host = os.spawn(&host_img, 1);
         let mut rt = Runtime::attach(&os, host, RuntimeConfig::on_core(2)).unwrap();
         let nt = NtAssignment::all(
-            pir::load_sites(rt.module()).iter().filter(|s| s.at_max_depth()).map(|s| s.site),
+            pir::load_sites(rt.module())
+                .iter()
+                .filter(|s| s.at_max_depth())
+                .map(|s| s.site),
         );
         for func in rt.virtualized_funcs() {
             let sub: NtAssignment = nt.sites_in(func).into_iter().collect();
@@ -145,7 +166,11 @@ fn ablate_nt_policy(secs: f64) {
         os.advance_seconds(secs);
         let qos = ext_mon.end_window(&os).ips / ext_solo;
         let host_ratio = host_mon.end_window(&os).bps / host_solo_bps;
-        println!("{label:<12}{:>21.1}%{:>21.2}x", qos * 100.0, 1.0 / host_ratio.max(1e-9));
+        println!(
+            "{label:<12}{:>21.1}%{:>21.2}x",
+            qos * 100.0,
+            1.0 / host_ratio.max(1e-9)
+        );
     }
     println!(
         "Bypass protects the co-runner completely; LruInsert leaves a one-way\n\
@@ -154,7 +179,9 @@ fn ablate_nt_policy(secs: f64) {
 }
 
 fn ablate_heuristics() {
-    protean_bench::header("Ablation 3 — search heuristics (candidates and projected search length)");
+    protean_bench::header(
+        "Ablation 3 — search heuristics (candidates and projected search length)",
+    );
     println!(
         "{:<26}{:>12}{:>12}{:>14}",
         "configuration", "soplex*", "sphinx3*", "proj. evals"
@@ -199,7 +226,10 @@ fn ablate_heuristics() {
 
 fn ablate_nap_search() {
     protean_bench::header("Ablation 4 — Algorithm 2's bisection vs a linear nap sweep");
-    println!("{:<26}{:>18}{:>20}", "method", "windows needed", "achieved error");
+    println!(
+        "{:<26}{:>18}{:>20}",
+        "method", "windows needed", "achieved error"
+    );
     let tol = 0.05;
     // A synthetic monotone threshold (true minimum nap = 0.37).
     let threshold = 0.37;
@@ -226,7 +256,12 @@ fn ablate_nap_search() {
         }
         nap += tol;
     }
-    println!("{:<26}{:>18}{:>19.3}", "linear sweep", windows, found - threshold);
+    println!(
+        "{:<26}{:>18}{:>19.3}",
+        "linear sweep",
+        windows,
+        found - threshold
+    );
     // With cross-variant bounds (Algorithm 1 narrows [lb, ub]).
     let mut bounded = NapBisection::new(0.25, 0.55, tol);
     while !bounded.done() {
@@ -242,9 +277,7 @@ fn ablate_nap_search() {
 }
 
 fn ablate_prefetcher(secs: f64) {
-    protean_bench::header(
-        "Ablation 5 — software NT hints under a hardware next-line prefetcher",
-    );
+    protean_bench::header("Ablation 5 — software NT hints under a hardware next-line prefetcher");
     println!(
         "{:<14}{:>22}{:>22}",
         "prefetcher", "co-runner QoS (hints)", "co-runner QoS (none)"
@@ -252,12 +285,21 @@ fn ablate_prefetcher(secs: f64) {
     for (label, enabled) in [("off", false), ("on (deg 2)", true)] {
         let mut machine_cfg = MachineConfig::scaled();
         machine_cfg.prefetcher = machine::PrefetcherConfig { enabled, degree: 2 };
-        let cfg = OsConfig { machine: machine_cfg, ..OsConfig::default() };
+        let cfg = OsConfig {
+            machine: machine_cfg,
+            ..OsConfig::default()
+        };
         let lines = llc_lines(&cfg);
         let host_m = catalog::build("libquantum", lines).unwrap();
         let ext_m = catalog::build("er-naive", lines).unwrap();
-        let host_img = Compiler::new(Options::protean()).compile(&host_m).unwrap().image;
-        let ext_img = Compiler::new(Options::plain()).compile(&ext_m).unwrap().image;
+        let host_img = Compiler::new(Options::protean())
+            .compile(&host_m)
+            .unwrap()
+            .image;
+        let ext_img = Compiler::new(Options::plain())
+            .compile(&ext_m)
+            .unwrap()
+            .image;
         let ext_solo = ips_of(&ext_img, secs, &cfg);
         let mut qos = [0.0f64; 2];
         for (i, hints) in [true, false].into_iter().enumerate() {
@@ -284,7 +326,11 @@ fn ablate_prefetcher(secs: f64) {
             os.advance_seconds(secs);
             qos[i] = ext_mon.end_window(&os).ips / ext_solo;
         }
-        println!("{label:<14}{:>21.1}%{:>21.1}%", qos[0] * 100.0, qos[1] * 100.0);
+        println!(
+            "{label:<14}{:>21.1}%{:>21.1}%",
+            qos[0] * 100.0,
+            qos[1] * 100.0
+        );
     }
     println!(
         "A next-line prefetcher adds its own LLC fills on the host's stream, but

@@ -26,7 +26,9 @@ fn main() {
     let e = m.add_function(main_fn.finish());
     m.set_entry(e);
 
-    let out = Compiler::new(Options::protean()).compile(&m).expect("compile");
+    let out = Compiler::new(Options::protean())
+        .compile(&m)
+        .expect("compile");
     let meta = out.meta.expect("protean metadata");
     let sites: Vec<_> = pir::load_sites(&m).iter().map(|s| s.site).collect();
     assert_eq!(sites.len(), 2, "the region has exactly two loads");

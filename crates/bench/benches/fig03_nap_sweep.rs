@@ -97,7 +97,10 @@ fn main() {
     );
     let v0 = sweep(false, secs);
     let v1 = sweep(true, secs);
-    print_sweep("(a) Original program, variant 0 (no non-temporal hints)", &v0);
+    print_sweep(
+        "(a) Original program, variant 0 (no non-temporal hints)",
+        &v0,
+    );
     print_sweep("(b) Fully non-temporal program, variant 1", &v1);
     println!(
         "\nPaper: variant 0 needs ~99% nap intensity to protect the co-runner;\n\

@@ -52,8 +52,7 @@ pub fn native_ips(name: &str, secs: f64) -> f64 {
 fn main() {
     let scale = Scale::from_env();
     let secs = scale.secs(4.0);
-    let intervals: [Option<f64>; 5] =
-        [None, Some(5000.0), Some(500.0), Some(50.0), Some(5.0)];
+    let intervals: [Option<f64>; 5] = [None, Some(5000.0), Some(500.0), Some(50.0), Some(5.0)];
     protean_bench::header(
         "Figure 5 — recompilation stress, runtime on a SEPARATE core (slowdown vs native)",
     );

@@ -48,7 +48,10 @@ fn main() {
     protean_bench::header(
         "Figure 6 — recompilation stress: same core vs separate core (mean slowdown vs native)",
     );
-    println!("{:<16}{:>12}{:>14}", "interval (ms)", "same core", "separate core");
+    println!(
+        "{:<16}{:>12}{:>14}",
+        "interval (ms)", "same core", "separate core"
+    );
     for interval in intervals_ms {
         let mut same = 0.0;
         let mut sep = 0.0;

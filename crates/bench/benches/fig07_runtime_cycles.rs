@@ -17,7 +17,15 @@ fn runtime_fraction(batch: &str, secs: f64) -> f64 {
     let host = os.spawn(&host_img, 1);
     os.set_load(ext, LoadSchedule::constant(operating_qps("web-search")));
     let rt = Runtime::attach(&os, host, RuntimeConfig::on_core(2)).expect("attach");
-    let mut ctl = Pc3d::new(&mut os, rt, ext, Pc3dConfig { qos_target: 0.95, ..Default::default() });
+    let mut ctl = Pc3d::new(
+        &mut os,
+        rt,
+        ext,
+        Pc3dConfig {
+            qos_target: 0.95,
+            ..Default::default()
+        },
+    );
     ctl.run_for(&mut os, secs);
     os.runtime_consumed_total() as f64 / os.server_cycles() as f64
 }

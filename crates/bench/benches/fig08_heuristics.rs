@@ -12,7 +12,9 @@ use workloads::catalog;
 fn main() {
     let scale = Scale::from_env();
     let sample_cycles = scale.secs(20.0);
-    protean_bench::header("Figure 8 — variant search-space reduction (loads remaining, % of total)");
+    protean_bench::header(
+        "Figure 8 — variant search-space reduction (loads remaining, % of total)",
+    );
     println!(
         "{:<14}{:>9}{:>18}{:>14}{:>12}",
         "benchmark", "(total)", "full program %", "active %", "max depth %"

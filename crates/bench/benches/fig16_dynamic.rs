@@ -30,15 +30,25 @@ fn run_pc3d(duration: f64, bucket: f64, high: f64, low: f64) -> Timeline {
     let sched = schedule(duration, high, low);
     os.set_load(ext, sched.clone());
     let rt = Runtime::attach(&os, host, RuntimeConfig::on_core(2)).expect("attach");
-    let mut ctl =
-        Pc3d::new(&mut os, rt, ext, Pc3dConfig { qos_target: QOS_TARGET, ..Default::default() });
+    let mut ctl = Pc3d::new(
+        &mut os,
+        rt,
+        ext,
+        Pc3dConfig {
+            qos_target: QOS_TARGET,
+            ..Default::default()
+        },
+    );
     ctl.run_for(&mut os, duration);
     // Bucket the controller's window records.
     let mut rows = Vec::new();
     let mut t = bucket;
     while t <= duration + 1e-9 {
-        let in_bucket: Vec<_> =
-            ctl.history().iter().filter(|r| r.t > t - bucket && r.t <= t).collect();
+        let in_bucket: Vec<_> = ctl
+            .history()
+            .iter()
+            .filter(|r| r.t > t - bucket && r.t <= t)
+            .collect();
         if !in_bucket.is_empty() {
             let n = in_bucket.len() as f64;
             rows.push((
@@ -67,14 +77,20 @@ fn run_reqos(duration: f64, bucket: f64, high: f64, low: f64) -> Timeline {
         &mut os,
         host,
         ext,
-        ReqosConfig { qos_target: QOS_TARGET, ..Default::default() },
+        ReqosConfig {
+            qos_target: QOS_TARGET,
+            ..Default::default()
+        },
     );
     ctl.run_for(&mut os, duration);
     let mut rows = Vec::new();
     let mut t = bucket;
     while t <= duration + 1e-9 {
-        let in_bucket: Vec<_> =
-            ctl.history().iter().filter(|r| r.t > t - bucket && r.t <= t).collect();
+        let in_bucket: Vec<_> = ctl
+            .history()
+            .iter()
+            .filter(|r| r.t > t - bucket && r.t <= t)
+            .collect();
         if !in_bucket.is_empty() {
             let n = in_bucket.len() as f64;
             rows.push((

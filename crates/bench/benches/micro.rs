@@ -1,11 +1,13 @@
 //! Criterion micro-benchmarks for the substrate itself: cache-simulator
 //! throughput, interpreter speed, runtime-compiler latency, EVT patch
-//! latency, and IR codec/compressor throughput.
+//! latency, verifier/lint/dataflow analysis throughput, and IR
+//! codec/compressor throughput.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
-use machine::{AccessKind, Cache, CacheConfig, InsertPos, MachineConfig, MemorySystem,
-              PerfCounters};
+use machine::{
+    AccessKind, Cache, CacheConfig, InsertPos, MachineConfig, MemorySystem, PerfCounters,
+};
 use pcc::{compile_function_variant, Compiler, NtAssignment, Options};
 use protean::{Runtime, RuntimeConfig};
 use simos::{Os, OsConfig};
@@ -13,7 +15,11 @@ use simos::{Os, OsConfig};
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache");
     group.throughput(Throughput::Elements(1));
-    let mut cache = Cache::new(CacheConfig { sets: 4096, ways: 16, hit_latency: 0 });
+    let mut cache = Cache::new(CacheConfig {
+        sets: 4096,
+        ways: 16,
+        hit_latency: 0,
+    });
     for line in 0..65536u64 {
         cache.fill(line, InsertPos::Mru);
     }
@@ -52,7 +58,10 @@ fn bench_hierarchy(c: &mut Criterion) {
 fn bench_interpreter(c: &mut Criterion) {
     let llc = 98304;
     let m = workloads::catalog::build("milc", llc).expect("workload");
-    let img = Compiler::new(Options::plain()).compile(&m).expect("compile").image;
+    let img = Compiler::new(Options::plain())
+        .compile(&m)
+        .expect("compile")
+        .image;
     let mut group = c.benchmark_group("interpreter");
     group.bench_function("advance_100k_cycles", |b| {
         let mut os = Os::new(OsConfig::default());
@@ -65,7 +74,9 @@ fn bench_interpreter(c: &mut Criterion) {
 fn bench_runtime_compiler(c: &mut Criterion) {
     let llc = 98304;
     let m = workloads::catalog::build("sphinx3", llc).expect("workload");
-    let out = Compiler::new(Options::protean()).compile(&m).expect("compile");
+    let out = Compiler::new(Options::protean())
+        .compile(&m)
+        .expect("compile");
     let meta = out.meta.expect("meta");
     let fid = m.function_by_name("hot0").expect("hot0");
     let sites: Vec<_> = pir::load_sites(&m)
@@ -75,9 +86,7 @@ fn bench_runtime_compiler(c: &mut Criterion) {
         .collect();
     let nt = NtAssignment::all(sites);
     c.bench_function("compile_function_variant", |b| {
-        b.iter(|| {
-            std::hint::black_box(compile_function_variant(&m, fid, &nt, &meta.link, 1 << 20))
-        })
+        b.iter(|| std::hint::black_box(compile_function_variant(&m, fid, &nt, &meta.link, 1 << 20)))
     });
     c.bench_function("whole_module_compile_sphinx3", |b| {
         b.iter_batched(
@@ -91,15 +100,57 @@ fn bench_runtime_compiler(c: &mut Criterion) {
 fn bench_evt_patch(c: &mut Criterion) {
     let llc = 98304;
     let m = workloads::catalog::build("libquantum", llc).expect("workload");
-    let img = Compiler::new(Options::protean()).compile(&m).expect("compile").image;
+    let img = Compiler::new(Options::protean())
+        .compile(&m)
+        .expect("compile")
+        .image;
     let mut os = Os::new(OsConfig::default());
     let pid = os.spawn(&img, 0);
     let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).expect("attach");
     let func = rt.virtualized_funcs()[0];
-    let v = rt.compile_variant(&mut os, func, &NtAssignment::none()).expect("variant");
+    let v = rt
+        .compile_variant(&mut os, func, &NtAssignment::none())
+        .expect("variant");
+    rt.dispatch(&mut os, v)
+        .expect("variant passes the safety gate");
     c.bench_function("evt_dispatch", |b| {
-        b.iter(|| rt.dispatch(&mut os, v));
+        b.iter(|| rt.dispatch(&mut os, v).unwrap());
     });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let llc = 98304;
+    let m = workloads::catalog::build("soplex", llc).expect("workload");
+    let insts: usize = m.functions().iter().map(|f| f.inst_count()).sum();
+    let mut group = c.benchmark_group("analysis");
+    group.throughput(Throughput::Elements(insts as u64));
+    group.bench_function("verify_soplex", |b| {
+        b.iter(|| std::hint::black_box(pir::verify::verify_module(&m).is_ok()))
+    });
+    group.bench_function("lint_soplex", |b| {
+        b.iter(|| std::hint::black_box(pir::lint::lint_module(&m).error_count()))
+    });
+    group.finish();
+    let hot = m
+        .functions()
+        .iter()
+        .max_by_key(|f| f.inst_count())
+        .expect("nonempty");
+    let cfg = pir::dataflow::Cfg::new(hot);
+    let mut group = c.benchmark_group("dataflow");
+    group.throughput(Throughput::Elements(hot.inst_count() as u64));
+    group.bench_function("liveness_hot_fn", |b| {
+        let liveness = pir::dataflow::Liveness::new(hot);
+        b.iter(|| std::hint::black_box(liveness.solve(&cfg).ins.len()))
+    });
+    group.bench_function("reaching_defs_hot_fn", |b| {
+        let rd = pir::dataflow::ReachingDefs::new(hot);
+        b.iter(|| std::hint::black_box(rd.solve(&cfg).ins.len()))
+    });
+    group.bench_function("dominators_hot_fn", |b| {
+        b.iter(|| std::hint::black_box(pir::dataflow::Dominators::compute(&cfg)))
+    });
+    group.finish();
 }
 
 fn bench_codec(c: &mut Criterion) {
@@ -131,6 +182,7 @@ criterion_group!(
     bench_interpreter,
     bench_runtime_compiler,
     bench_evt_patch,
+    bench_analysis,
     bench_codec
 );
 criterion_main!(benches);

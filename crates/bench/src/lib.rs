@@ -9,8 +9,8 @@
 //! `PROTEAN_SCALE=full` for longer, lower-variance runs; the default is a
 //! middle setting.
 
-use pcc::{Compiler, Options};
 use pc3d::{Pc3d, Pc3dConfig};
+use pcc::{Compiler, Options};
 use protean::{ExtMonitor, Runtime, RuntimeConfig};
 use reqos::{ReqosConfig, ReqosController};
 use simos::{LoadSchedule, Os, OsConfig, Pid};
@@ -52,7 +52,10 @@ impl Scale {
 /// capacities scaled to the simulated time base (see
 /// [`machine::MachineConfig::scaled`]).
 pub fn experiment_os() -> OsConfig {
-    OsConfig { machine: machine::MachineConfig::scaled(), ..OsConfig::default() }
+    OsConfig {
+        machine: machine::MachineConfig::scaled(),
+        ..OsConfig::default()
+    }
 }
 
 /// LLC capacity in lines for an OS configuration.
@@ -66,9 +69,12 @@ pub fn llc_lines(cfg: &OsConfig) -> u64 {
 ///
 /// Panics on unknown names (harness-internal misuse).
 pub fn compile_protean(name: &str, cfg: &OsConfig) -> Image {
-    let m = catalog::build(name, llc_lines(cfg))
-        .unwrap_or_else(|| panic!("unknown workload {name}"));
-    Compiler::new(Options::protean()).compile(&m).expect("compile").image
+    let m =
+        catalog::build(name, llc_lines(cfg)).unwrap_or_else(|| panic!("unknown workload {name}"));
+    Compiler::new(Options::protean())
+        .compile(&m)
+        .expect("compile")
+        .image
 }
 
 /// Compiles a catalog workload as a plain (non-protean) binary.
@@ -77,9 +83,12 @@ pub fn compile_protean(name: &str, cfg: &OsConfig) -> Image {
 ///
 /// Panics on unknown names.
 pub fn compile_plain(name: &str, cfg: &OsConfig) -> Image {
-    let m = catalog::build(name, llc_lines(cfg))
-        .unwrap_or_else(|| panic!("unknown workload {name}"));
-    Compiler::new(Options::plain()).compile(&m).expect("compile").image
+    let m =
+        catalog::build(name, llc_lines(cfg)).unwrap_or_else(|| panic!("unknown workload {name}"));
+    Compiler::new(Options::plain())
+        .compile(&m)
+        .expect("compile")
+        .image
 }
 
 /// True if the catalog entry is a latency-sensitive server.
@@ -91,8 +100,7 @@ pub fn is_server(name: &str) -> bool {
 /// second) on the experiment machine. Memoized per (name, rounded secs).
 pub fn solo_batch_bps(name: &str, secs: f64) -> f64 {
     use std::sync::{Mutex, OnceLock};
-    static CACHE: OnceLock<Mutex<std::collections::HashMap<(String, u64), f64>>> =
-        OnceLock::new();
+    static CACHE: OnceLock<Mutex<std::collections::HashMap<(String, u64), f64>>> = OnceLock::new();
     let key = (name.to_string(), (secs * 10.0) as u64);
     let cache = CACHE.get_or_init(|| Mutex::new(std::collections::HashMap::new()));
     if let Some(v) = cache.lock().expect("cache lock").get(&key) {
@@ -139,7 +147,10 @@ pub fn operating_qps(name: &str) -> f64 {
         return *v;
     }
     let v = 0.85 * server_capacity_qps(name, 5.0);
-    cache.lock().expect("cache lock").insert(name.to_string(), v);
+    cache
+        .lock()
+        .expect("cache lock")
+        .insert(name.to_string(), v);
     v
 }
 
@@ -206,7 +217,15 @@ pub fn run_pc3d_pair(batch: &str, ext: &str, qos_target: f64, secs: f64) -> Pair
     let ext_qps = is_server(ext).then(|| operating_qps(ext));
     let (mut os, ext_pid, host_pid) = spawn_pair(batch, ext, ext_qps);
     let rt = Runtime::attach(&os, host_pid, RuntimeConfig::on_core(2)).expect("attach");
-    let mut ctl = Pc3d::new(&mut os, rt, ext_pid, Pc3dConfig { qos_target, ..Default::default() });
+    let mut ctl = Pc3d::new(
+        &mut os,
+        rt,
+        ext_pid,
+        Pc3dConfig {
+            qos_target,
+            ..Default::default()
+        },
+    );
     // Let the controller converge, then measure the tail.
     ctl.run_for(&mut os, secs * 0.6);
     let tail_start_ext = ExtMonitor::new(&os, ext_pid);
@@ -245,7 +264,10 @@ pub fn run_reqos_pair(batch: &str, ext: &str, qos_target: f64, secs: f64) -> Pai
         &mut os,
         host_pid,
         ext_pid,
-        ReqosConfig { qos_target, ..Default::default() },
+        ReqosConfig {
+            qos_target,
+            ..Default::default()
+        },
     );
     ctl.run_for(&mut os, secs * 0.6);
     let mut ext_mon = ExtMonitor::new(&os, ext_pid);
@@ -276,7 +298,9 @@ pub fn run_reqos_pair(batch: &str, ext: &str, qos_target: f64, secs: f64) -> Pai
 /// `<dir>/<name>.csv` for downstream plotting; otherwise does nothing.
 /// Harness output is unaffected either way.
 pub fn maybe_csv(name: &str, header: &str, rows: &[String]) {
-    let Ok(dir) = std::env::var("PROTEAN_CSV_DIR") else { return };
+    let Ok(dir) = std::env::var("PROTEAN_CSV_DIR") else {
+        return;
+    };
     let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
     let mut out = String::with_capacity(rows.len() * 32 + header.len() + 2);
     out.push_str(header);
@@ -296,7 +320,12 @@ pub fn maybe_csv(name: &str, header: &str, rows: &[String]) {
 pub fn bar(label: &str, value: f64, max: f64, width: usize) -> String {
     let frac = (value / max).clamp(0.0, 1.0);
     let filled = (frac * width as f64).round() as usize;
-    format!("{label:<16} {:>7.1?} |{}{}|", value, "#".repeat(filled), " ".repeat(width - filled))
+    format!(
+        "{label:<16} {:>7.1?} |{}{}|",
+        value,
+        "#".repeat(filled),
+        " ".repeat(width - filled)
+    )
 }
 
 /// Prints a section header.

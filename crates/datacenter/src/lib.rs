@@ -22,9 +22,18 @@ pub struct Mix {
 
 /// Table III: the workload mixes used for scale-out analysis.
 pub const MIXES: [Mix; 3] = [
-    Mix { name: "WL1", batch_apps: ["libquantum", "bzip2", "sphinx3", "milc"] },
-    Mix { name: "WL2", batch_apps: ["soplex", "bst", "milc", "lbm"] },
-    Mix { name: "WL3", batch_apps: ["sledge", "soplex", "sphinx3", "libquantum"] },
+    Mix {
+        name: "WL1",
+        batch_apps: ["libquantum", "bzip2", "sphinx3", "milc"],
+    },
+    Mix {
+        name: "WL2",
+        batch_apps: ["soplex", "bst", "milc", "lbm"],
+    },
+    Mix {
+        name: "WL3",
+        batch_apps: ["sledge", "soplex", "sphinx3", "libquantum"],
+    },
 ];
 
 /// The latency-sensitive services paired with each mix.
@@ -44,7 +53,10 @@ pub struct PowerModel {
 
 impl Default for PowerModel {
     fn default() -> Self {
-        PowerModel { idle_watts: 160.0, peak_watts: 320.0 }
+        PowerModel {
+            idle_watts: 160.0,
+            peak_watts: 320.0,
+        }
     }
 }
 
@@ -117,8 +129,7 @@ pub fn analyze(
     let ls_only_util = mean_ls_core / c;
     let batch_only_util = 1.0 / c; // batch runs flat out on one core
     let power_pc3d = servers_pc3d * power.power(pc3d_server_util);
-    let power_no_colo =
-        machines * power.power(ls_only_util) + extra * power.power(batch_only_util);
+    let power_no_colo = machines * power.power(ls_only_util) + extra * power.power(batch_only_util);
     ScaleOutResult {
         servers_pc3d,
         servers_no_colo,
@@ -138,7 +149,11 @@ mod tests {
     use super::*;
 
     fn pair(util: f64) -> PairMeasurement {
-        PairMeasurement { batch_utilization: util, ls_core_util: 0.6, batch_core_util: util }
+        PairMeasurement {
+            batch_utilization: util,
+            ls_core_util: 0.6,
+            batch_core_util: util,
+        }
     }
 
     #[test]
@@ -203,7 +218,10 @@ mod tests {
     fn zero_idle_power_removes_consolidation_win() {
         // Sanity: with no idle power, energy tracks work exactly and
         // consolidation gains little.
-        let power = PowerModel { idle_watts: 0.0, peak_watts: 300.0 };
+        let power = PowerModel {
+            idle_watts: 0.0,
+            peak_watts: 300.0,
+        };
         let r = analyze(10_000.0, 4, &[pair(0.6); 4], power);
         assert!(
             (r.efficiency_ratio - 1.0).abs() < 0.25,

@@ -175,7 +175,10 @@ impl Cache {
     /// Counts valid lines whose address satisfies `pred` — used to measure
     /// per-process LLC occupancy (the quantity non-temporal hints reduce).
     pub fn occupancy_where(&self, pred: impl Fn(u64) -> bool) -> usize {
-        self.tags.iter().filter(|&&t| t != INVALID && pred(t)).count()
+        self.tags
+            .iter()
+            .filter(|&&t| t != INVALID && pred(t))
+            .count()
     }
 
     /// Total valid lines.
@@ -204,7 +207,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Cache {
-        Cache::new(CacheConfig { sets: 2, ways: 2, hit_latency: 0 })
+        Cache::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            hit_latency: 0,
+        })
     }
 
     #[test]
@@ -238,7 +245,11 @@ mod tests {
         c.fill(0, InsertPos::Mru);
         c.fill(2, InsertPos::Lru); // NT-style insert
         let evicted = c.fill(4, InsertPos::Mru);
-        assert_eq!(evicted, Some(2), "the LRU-inserted line must be evicted first");
+        assert_eq!(
+            evicted,
+            Some(2),
+            "the LRU-inserted line must be evicted first"
+        );
         assert!(c.probe(0));
     }
 
@@ -261,7 +272,11 @@ mod tests {
 
     #[test]
     fn occupancy_filtering() {
-        let mut c = Cache::new(CacheConfig { sets: 4, ways: 4, hit_latency: 0 });
+        let mut c = Cache::new(CacheConfig {
+            sets: 4,
+            ways: 4,
+            hit_latency: 0,
+        });
         for line in 0..8u64 {
             c.fill(line | (1 << 40), InsertPos::Mru);
         }
@@ -290,7 +305,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_pow2_sets_rejected() {
-        let _ = Cache::new(CacheConfig { sets: 3, ways: 2, hit_latency: 0 });
+        let _ = Cache::new(CacheConfig {
+            sets: 3,
+            ways: 2,
+            hit_latency: 0,
+        });
     }
 
     #[test]
@@ -298,7 +317,11 @@ mod tests {
         // A resident working set protected by NT streaming: stream with
         // LRU-insert touches each set once per pass and should displace at
         // most one way per set.
-        let mut c = Cache::new(CacheConfig { sets: 16, ways: 4, hit_latency: 0 });
+        let mut c = Cache::new(CacheConfig {
+            sets: 16,
+            ways: 4,
+            hit_latency: 0,
+        });
         // Resident set: 32 lines (half the cache).
         for line in 0..32u64 {
             c.fill(line, InsertPos::Mru);
@@ -315,7 +338,11 @@ mod tests {
             "NT streaming should preserve most of the resident set, kept {resident_left}/32"
         );
         // Contrast: MRU streaming wipes the resident set.
-        let mut c2 = Cache::new(CacheConfig { sets: 16, ways: 4, hit_latency: 0 });
+        let mut c2 = Cache::new(CacheConfig {
+            sets: 16,
+            ways: 4,
+            hit_latency: 0,
+        });
         for line in 0..32u64 {
             c2.fill(line, InsertPos::Mru);
         }

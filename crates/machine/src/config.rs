@@ -48,7 +48,13 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        CostModel { alu: 1, branch: 1, call: 2, indirect_penalty: 2, prefetch: 1 }
+        CostModel {
+            alu: 1,
+            branch: 1,
+            call: 2,
+            indirect_penalty: 2,
+            prefetch: 1,
+        }
     }
 }
 
@@ -117,9 +123,21 @@ impl Default for MachineConfig {
     fn default() -> Self {
         MachineConfig {
             cores: 4,
-            l1: CacheConfig { sets: 64, ways: 8, hit_latency: 0 },
-            l2: CacheConfig { sets: 1024, ways: 8, hit_latency: 0 },
-            l3: CacheConfig { sets: 4096, ways: 24, hit_latency: 0 },
+            l1: CacheConfig {
+                sets: 64,
+                ways: 8,
+                hit_latency: 0,
+            },
+            l2: CacheConfig {
+                sets: 1024,
+                ways: 8,
+                hit_latency: 0,
+            },
+            l3: CacheConfig {
+                sets: 4096,
+                ways: 24,
+                hit_latency: 0,
+            },
             line_bytes: 64,
             l2_latency: 8,
             l3_latency: 30,
@@ -143,9 +161,21 @@ impl MachineConfig {
     pub fn scaled() -> Self {
         MachineConfig {
             cores: 4,
-            l1: CacheConfig { sets: 16, ways: 2, hit_latency: 0 },
-            l2: CacheConfig { sets: 64, ways: 4, hit_latency: 0 },
-            l3: CacheConfig { sets: 128, ways: 16, hit_latency: 0 },
+            l1: CacheConfig {
+                sets: 16,
+                ways: 2,
+                hit_latency: 0,
+            },
+            l2: CacheConfig {
+                sets: 64,
+                ways: 4,
+                hit_latency: 0,
+            },
+            l3: CacheConfig {
+                sets: 128,
+                ways: 16,
+                hit_latency: 0,
+            },
             line_bytes: 64,
             l2_latency: 8,
             l3_latency: 30,
@@ -161,9 +191,21 @@ impl MachineConfig {
     pub fn small() -> Self {
         MachineConfig {
             cores: 2,
-            l1: CacheConfig { sets: 8, ways: 2, hit_latency: 0 },
-            l2: CacheConfig { sets: 16, ways: 4, hit_latency: 0 },
-            l3: CacheConfig { sets: 32, ways: 4, hit_latency: 0 },
+            l1: CacheConfig {
+                sets: 8,
+                ways: 2,
+                hit_latency: 0,
+            },
+            l2: CacheConfig {
+                sets: 16,
+                ways: 4,
+                hit_latency: 0,
+            },
+            l3: CacheConfig {
+                sets: 32,
+                ways: 4,
+                hit_latency: 0,
+            },
             line_bytes: 64,
             l2_latency: 8,
             l3_latency: 30,

@@ -125,8 +125,16 @@ mod tests {
 
     #[test]
     fn windowed_difference() {
-        let start = PerfCounters { cycles: 100, instructions: 50, ..Default::default() };
-        let end = PerfCounters { cycles: 300, instructions: 250, ..Default::default() };
+        let start = PerfCounters {
+            cycles: 100,
+            instructions: 50,
+            ..Default::default()
+        };
+        let end = PerfCounters {
+            cycles: 300,
+            instructions: 250,
+            ..Default::default()
+        };
         let win = end - start;
         assert_eq!(win.cycles, 200);
         assert_eq!(win.instructions, 200);

@@ -75,7 +75,12 @@ pub struct BtState {
 impl BtState {
     /// Creates a fresh translation cache with the given cost parameters.
     pub fn new(config: BtConfig) -> Self {
-        BtState { config, translated: HashSet::new(), inst_counter: 0, overhead_cycles: 0 }
+        BtState {
+            config,
+            translated: HashSet::new(),
+            inst_counter: 0,
+            overhead_cycles: 0,
+        }
     }
 
     /// Charges for reaching `target`: translation if unseen, plus branch
@@ -201,7 +206,11 @@ impl ExecContext {
         for (i, a) in args.iter().enumerate() {
             self.regs[base + i] = *a;
         }
-        self.frames.push(Frame { base, ret_pc, ret_dst });
+        self.frames.push(Frame {
+            base,
+            ret_pc,
+            ret_dst,
+        });
         self.pc = target;
     }
 
@@ -381,7 +390,9 @@ pub fn run(ctx: &mut ExecContext, env: &mut ExecEnv<'_>, budget: u64) -> RunResu
             Op::CallVirt { slot, dst, args } => {
                 cost = env.costs.call + env.costs.indirect_penalty;
                 env.counters.branches += 1;
-                let cell = ctx.evt_base.wrapping_add(8u64.wrapping_mul(u64::from(*slot)));
+                let cell = ctx
+                    .evt_base
+                    .wrapping_add(8u64.wrapping_mul(u64::from(*slot)));
                 if !in_bounds(cell, env.data.len()) {
                     let stop = fault(ctx, cell);
                     return RunResult { cycles: used, stop };
@@ -419,7 +430,10 @@ pub fn run(ctx: &mut ExecContext, env: &mut ExecEnv<'_>, budget: u64) -> RunResu
                     env.counters.cycles += cost;
                     used += cost;
                     ctx.status = ExecStatus::Halted;
-                    return RunResult { cycles: used, stop: StopReason::Halted };
+                    return RunResult {
+                        cycles: used,
+                        stop: StopReason::Halted,
+                    };
                 }
                 if let Some(bt) = &mut ctx.bt {
                     cost += bt.charge_branch(frame.ret_pc, true);
@@ -440,14 +454,20 @@ pub fn run(ctx: &mut ExecContext, env: &mut ExecEnv<'_>, budget: u64) -> RunResu
                 used += cost;
                 ctx.pc = next_pc;
                 ctx.status = ExecStatus::Waiting;
-                return RunResult { cycles: used, stop: StopReason::Waiting };
+                return RunResult {
+                    cycles: used,
+                    stop: StopReason::Waiting,
+                };
             }
             Op::Halt => {
                 cost = env.costs.alu;
                 env.counters.cycles += cost;
                 used += cost;
                 ctx.status = ExecStatus::Halted;
-                return RunResult { cycles: used, stop: StopReason::Halted };
+                return RunResult {
+                    cycles: used,
+                    stop: StopReason::Halted,
+                };
             }
         }
         cost += bt_inst_tax;
@@ -455,7 +475,10 @@ pub fn run(ctx: &mut ExecContext, env: &mut ExecEnv<'_>, budget: u64) -> RunResu
         used += cost;
         ctx.pc = next_pc;
     }
-    RunResult { cycles: used, stop: StopReason::BudgetExhausted }
+    RunResult {
+        cycles: used,
+        stop: StopReason::BudgetExhausted,
+    }
 }
 
 #[cfg(test)]
@@ -466,7 +489,11 @@ mod tests {
 
     fn env_parts() -> (MemorySystem, Vec<u8>, PerfCounters) {
         let cfg = MachineConfig::small();
-        (MemorySystem::new(&cfg), vec![0u8; 4096], PerfCounters::default())
+        (
+            MemorySystem::new(&cfg),
+            vec![0u8; 4096],
+            PerfCounters::default(),
+        )
     }
 
     fn run_to_end(text: &[Op], data: &mut Vec<u8>, evt_base: u64) -> (ExecContext, PerfCounters) {
@@ -483,16 +510,32 @@ mod tests {
             costs: CostModel::default(),
         };
         let res = run(&mut ctx, &mut env, 1_000_000);
-        assert_ne!(res.stop, StopReason::BudgetExhausted, "program should finish");
+        assert_ne!(
+            res.stop,
+            StopReason::BudgetExhausted,
+            "program should finish"
+        );
         (ctx, counters)
     }
 
     #[test]
     fn arithmetic_and_halt() {
         let text = vec![
-            Op::Movi { dst: PReg(0), imm: 6 },
-            Op::AluImm { op: BinOp::Mul, dst: PReg(1), a: PReg(0), imm: 7 },
-            Op::Store { base: PReg(2), offset: 100, src: PReg(1) },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 6,
+            },
+            Op::AluImm {
+                op: BinOp::Mul,
+                dst: PReg(1),
+                a: PReg(0),
+                imm: 7,
+            },
+            Op::Store {
+                base: PReg(2),
+                offset: 100,
+                src: PReg(1),
+            },
             Op::Halt,
         ];
         let mut data = vec![0u8; 4096];
@@ -505,11 +548,29 @@ mod tests {
     #[test]
     fn load_store_roundtrip() {
         let text = vec![
-            Op::Movi { dst: PReg(0), imm: 256 },
-            Op::Movi { dst: PReg(1), imm: -99 },
-            Op::Store { base: PReg(0), offset: 0, src: PReg(1) },
-            Op::Load { dst: PReg(2), base: PReg(0), offset: 0 },
-            Op::Store { base: PReg(0), offset: 8, src: PReg(2) },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 256,
+            },
+            Op::Movi {
+                dst: PReg(1),
+                imm: -99,
+            },
+            Op::Store {
+                base: PReg(0),
+                offset: 0,
+                src: PReg(1),
+            },
+            Op::Load {
+                dst: PReg(2),
+                base: PReg(0),
+                offset: 0,
+            },
+            Op::Store {
+                base: PReg(0),
+                offset: 8,
+                src: PReg(2),
+            },
             Op::Halt,
         ];
         let mut data = vec![0u8; 4096];
@@ -521,13 +582,32 @@ mod tests {
     fn call_and_ret_with_register_windows() {
         // f(a, b) = a + b at addr 0; main at 2.
         let text = vec![
-            Op::Alu { op: BinOp::Add, dst: PReg(2), a: PReg(0), b: PReg(1) },
+            Op::Alu {
+                op: BinOp::Add,
+                dst: PReg(2),
+                a: PReg(0),
+                b: PReg(1),
+            },
             Op::Ret { src: Some(PReg(2)) },
             // main:
-            Op::Movi { dst: PReg(5), imm: 30 },
-            Op::Movi { dst: PReg(6), imm: 12 },
-            Op::Call { target: 0, dst: Some(PReg(7)), args: vec![PReg(5), PReg(6)] },
-            Op::Store { base: PReg(0), offset: 64, src: PReg(7) },
+            Op::Movi {
+                dst: PReg(5),
+                imm: 30,
+            },
+            Op::Movi {
+                dst: PReg(6),
+                imm: 12,
+            },
+            Op::Call {
+                target: 0,
+                dst: Some(PReg(7)),
+                args: vec![PReg(5), PReg(6)],
+            },
+            Op::Store {
+                base: PReg(0),
+                offset: 64,
+                src: PReg(7),
+            },
             Op::Halt,
         ];
         let mut data = vec![0u8; 4096];
@@ -554,14 +634,29 @@ mod tests {
         // be 0 even after dirty() polluted the same window).
         let text = vec![
             // dirty at 0:
-            Op::Movi { dst: PReg(3), imm: 77 },
+            Op::Movi {
+                dst: PReg(3),
+                imm: 77,
+            },
             Op::Ret { src: None },
             // probe at 2:
             Op::Ret { src: Some(PReg(3)) },
             // main at 3:
-            Op::Call { target: 0, dst: None, args: vec![] },
-            Op::Call { target: 2, dst: Some(PReg(0)), args: vec![] },
-            Op::Store { base: PReg(1), offset: 128, src: PReg(0) },
+            Op::Call {
+                target: 0,
+                dst: None,
+                args: vec![],
+            },
+            Op::Call {
+                target: 2,
+                dst: Some(PReg(0)),
+                args: vec![],
+            },
+            Op::Store {
+                base: PReg(1),
+                offset: 128,
+                src: PReg(0),
+            },
             Op::Halt,
         ];
         let mut data = vec![0u8; 4096];
@@ -614,9 +709,15 @@ mod tests {
     #[test]
     fn wait_parks_and_wake_resumes() {
         let text = vec![
-            Op::Movi { dst: PReg(0), imm: 1 },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 1,
+            },
             Op::Wait,
-            Op::Movi { dst: PReg(0), imm: 2 },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 2,
+            },
             Op::Halt,
         ];
         let (mut mem, mut data, mut counters) = env_parts();
@@ -644,8 +745,15 @@ mod tests {
     #[test]
     fn out_of_bounds_load_faults() {
         let text = vec![
-            Op::Movi { dst: PReg(0), imm: 1 << 20 },
-            Op::Load { dst: PReg(1), base: PReg(0), offset: 0 },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 1 << 20,
+            },
+            Op::Load {
+                dst: PReg(1),
+                base: PReg(0),
+                offset: 0,
+            },
             Op::Halt,
         ];
         let (mut mem, mut data, mut counters) = env_parts();
@@ -685,19 +793,41 @@ mod tests {
         // Two variants of a leaf function; EVT slot 0 selects.
         let text = vec![
             // variant A at 0: returns 1
-            Op::Movi { dst: PReg(0), imm: 1 },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 1,
+            },
             Op::Ret { src: Some(PReg(0)) },
             // variant B at 2: returns 2
-            Op::Movi { dst: PReg(0), imm: 2 },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 2,
+            },
             Op::Ret { src: Some(PReg(0)) },
             // main at 4: callv [evt+0]; store result; callv again after
             // the "runtime" patches the EVT (simulated by a store here? —
             // no: the test patches data directly between runs).
-            Op::CallVirt { slot: 0, dst: Some(PReg(1)), args: vec![] },
-            Op::Store { base: PReg(2), offset: 512, src: PReg(1) },
+            Op::CallVirt {
+                slot: 0,
+                dst: Some(PReg(1)),
+                args: vec![],
+            },
+            Op::Store {
+                base: PReg(2),
+                offset: 512,
+                src: PReg(1),
+            },
             Op::Wait,
-            Op::CallVirt { slot: 0, dst: Some(PReg(1)), args: vec![] },
-            Op::Store { base: PReg(2), offset: 520, src: PReg(1) },
+            Op::CallVirt {
+                slot: 0,
+                dst: Some(PReg(1)),
+                args: vec![],
+            },
+            Op::Store {
+                base: PReg(2),
+                offset: 520,
+                src: PReg(1),
+            },
             Op::Halt,
         ];
         let evt_base = 64u64;
@@ -720,8 +850,14 @@ mod tests {
         ctx.wake();
         let res2 = run(&mut ctx, &mut env, 1_000_000);
         assert_eq!(res2.stop, StopReason::Halted);
-        assert_eq!(i64::from_le_bytes(env.data[512..520].try_into().unwrap()), 1);
-        assert_eq!(i64::from_le_bytes(env.data[520..528].try_into().unwrap()), 2);
+        assert_eq!(
+            i64::from_le_bytes(env.data[512..520].try_into().unwrap()),
+            1
+        );
+        assert_eq!(
+            i64::from_le_bytes(env.data[520..528].try_into().unwrap()),
+            2
+        );
     }
 
     #[test]
@@ -729,10 +865,21 @@ mod tests {
         // A loop executing 1000 iterations: BT mode must be slower and
         // report overhead.
         let text = vec![
-            Op::Movi { dst: PReg(0), imm: 1000 },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 1000,
+            },
             // loop: dec, bnz
-            Op::AluImm { op: BinOp::Sub, dst: PReg(0), a: PReg(0), imm: 1 },
-            Op::Bnz { cond: PReg(0), target: 1 },
+            Op::AluImm {
+                op: BinOp::Sub,
+                dst: PReg(0),
+                a: PReg(0),
+                imm: 1,
+            },
+            Op::Bnz {
+                cond: PReg(0),
+                target: 1,
+            },
             Op::Halt,
         ];
         let time = |bt: bool| {
@@ -764,13 +911,32 @@ mod tests {
     #[test]
     fn bz_branches_on_zero() {
         let text = vec![
-            Op::Movi { dst: PReg(0), imm: 0 },
-            Op::Bz { cond: PReg(0), target: 4 }, // taken: r0 == 0
-            Op::Movi { dst: PReg(1), imm: 111 }, // skipped
+            Op::Movi {
+                dst: PReg(0),
+                imm: 0,
+            },
+            Op::Bz {
+                cond: PReg(0),
+                target: 4,
+            }, // taken: r0 == 0
+            Op::Movi {
+                dst: PReg(1),
+                imm: 111,
+            }, // skipped
             Op::Halt,
-            Op::Movi { dst: PReg(1), imm: 7 },
-            Op::Bz { cond: PReg(1), target: 0 }, // not taken: r1 != 0
-            Op::Store { base: PReg(2), offset: 64, src: PReg(1) },
+            Op::Movi {
+                dst: PReg(1),
+                imm: 7,
+            },
+            Op::Bz {
+                cond: PReg(1),
+                target: 0,
+            }, // not taken: r1 != 0
+            Op::Store {
+                base: PReg(2),
+                offset: 64,
+                src: PReg(1),
+            },
             Op::Halt,
         ];
         let mut data = vec![0u8; 256];
@@ -783,10 +949,22 @@ mod tests {
     #[test]
     fn report_samples_collected() {
         let text = vec![
-            Op::Movi { dst: PReg(0), imm: 5 },
-            Op::Report { channel: 2, src: PReg(0) },
-            Op::Movi { dst: PReg(0), imm: 9 },
-            Op::Report { channel: 2, src: PReg(0) },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 5,
+            },
+            Op::Report {
+                channel: 2,
+                src: PReg(0),
+            },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 9,
+            },
+            Op::Report {
+                channel: 2,
+                src: PReg(0),
+            },
             Op::Halt,
         ];
         let mut data = vec![0u8; 64];
@@ -798,12 +976,32 @@ mod tests {
     fn counters_track_memory_hierarchy() {
         // Stream 64 distinct lines: all LLC misses the first pass.
         let text = vec![
-            Op::Movi { dst: PReg(0), imm: 0 },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 0,
+            },
             // loop:
-            Op::Load { dst: PReg(1), base: PReg(0), offset: 0 },
-            Op::AluImm { op: BinOp::Add, dst: PReg(0), a: PReg(0), imm: 64 },
-            Op::AluImm { op: BinOp::Lt, dst: PReg(2), a: PReg(0), imm: 64 * 64 },
-            Op::Bnz { cond: PReg(2), target: 1 },
+            Op::Load {
+                dst: PReg(1),
+                base: PReg(0),
+                offset: 0,
+            },
+            Op::AluImm {
+                op: BinOp::Add,
+                dst: PReg(0),
+                a: PReg(0),
+                imm: 64,
+            },
+            Op::AluImm {
+                op: BinOp::Lt,
+                dst: PReg(2),
+                a: PReg(0),
+                imm: 64 * 64,
+            },
+            Op::Bnz {
+                cond: PReg(2),
+                target: 1,
+            },
             Op::Halt,
         ];
         let mut data = vec![0u8; 64 * 64 + 64];

@@ -38,7 +38,10 @@ impl MemorySystem {
     ///
     /// Panics if `line_bytes` is not a power of two.
     pub fn new(config: &MachineConfig) -> Self {
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         MemorySystem {
             l1: (0..config.cores).map(|_| Cache::new(config.l1)).collect(),
             l2: (0..config.cores).map(|_| Cache::new(config.l2)).collect(),
@@ -154,7 +157,10 @@ mod tests {
     use super::*;
 
     fn sys() -> (MemorySystem, PerfCounters) {
-        (MemorySystem::new(&MachineConfig::small()), PerfCounters::default())
+        (
+            MemorySystem::new(&MachineConfig::small()),
+            PerfCounters::default(),
+        )
     }
 
     #[test]
@@ -187,7 +193,11 @@ mod tests {
     fn nt_prefetch_bypasses_llc() {
         let (mut m, mut c) = sys();
         m.access(0, 0x3000, AccessKind::NonTemporalPrefetch, &mut c);
-        assert_eq!(m.llc_occupancy_where(|_| true), 0, "bypass policy fills no LLC line");
+        assert_eq!(
+            m.llc_occupancy_where(|_| true),
+            0,
+            "bypass policy fills no LLC line"
+        );
         // But L1 got the line: a subsequent load hits.
         let stall = m.access(0, 0x3000, AccessKind::Load, &mut c);
         assert_eq!(stall, 0);
@@ -226,7 +236,11 @@ mod tests {
             }
             // Space 2: stream 4x the LLC.
             for i in 0..llc_lines * 4 {
-                let kind = if nt { AccessKind::NonTemporalPrefetch } else { AccessKind::Load };
+                let kind = if nt {
+                    AccessKind::NonTemporalPrefetch
+                } else {
+                    AccessKind::Load
+                };
                 m.access(1, crate::phys_addr(2, i * 64), kind, &mut c);
             }
             let left = m.llc_occupancy_where(|l| (l << 6) >> 40 == 1);
@@ -234,7 +248,10 @@ mod tests {
         };
         let d_normal = displaced(false);
         let d_nt = displaced(true);
-        assert!(d_nt < d_normal / 4, "NT streaming should displace far less: {d_nt} vs {d_normal}");
+        assert!(
+            d_nt < d_normal / 4,
+            "NT streaming should displace far less: {d_nt} vs {d_normal}"
+        );
     }
 
     #[test]
@@ -263,11 +280,17 @@ mod tests {
     #[test]
     fn prefetcher_does_not_fire_for_nt_accesses() {
         let mut cfg = MachineConfig::small();
-        cfg.prefetcher = crate::config::PrefetcherConfig { enabled: true, degree: 2 };
+        cfg.prefetcher = crate::config::PrefetcherConfig {
+            enabled: true,
+            degree: 2,
+        };
         let mut m = MemorySystem::new(&cfg);
         let mut c = PerfCounters::default();
         m.access(0, 0x8000, AccessKind::NonTemporalPrefetch, &mut c);
-        assert_eq!(c.hw_prefetches, 0, "software NT hints suppress the next-line prefetcher");
+        assert_eq!(
+            c.hw_prefetches, 0,
+            "software NT hints suppress the next-line prefetcher"
+        );
     }
 
     #[test]

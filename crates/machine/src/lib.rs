@@ -61,7 +61,10 @@ pub use hierarchy::{AccessKind, MemorySystem};
 /// Debug-asserts that `vaddr` fits in 40 bits.
 #[inline]
 pub fn phys_addr(space: u16, vaddr: u64) -> u64 {
-    debug_assert!(vaddr < (1 << 40), "virtual address {vaddr:#x} exceeds 40 bits");
+    debug_assert!(
+        vaddr < (1 << 40),
+        "virtual address {vaddr:#x} exceeds 40 bits"
+    );
     (u64::from(space) << 40) | vaddr
 }
 

@@ -29,7 +29,12 @@ impl NapBisection {
     pub fn new(lb: f64, ub: f64, tol: f64) -> Self {
         assert!(lb <= ub, "inverted bracket [{lb}, {ub}]");
         assert!(tol > 0.0, "tolerance must be positive");
-        NapBisection { lb, ub, tol, probes: 0 }
+        NapBisection {
+            lb,
+            ub,
+            tol,
+            probes: 0,
+        }
     }
 
     /// True when the bracket is tight enough.

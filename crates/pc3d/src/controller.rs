@@ -201,7 +201,11 @@ impl Pc3d {
     /// protected. The controller's decisions use the *minimum* QoS across
     /// every registered co-runner.
     pub fn add_corunner(&mut self, os: &Os, pid: Pid) {
-        self.extra.push(ExtraExt { pid, mon: ExtMonitor::new(os, pid), solo_ips: 0.0 });
+        self.extra.push(ExtraExt {
+            pid,
+            mon: ExtMonitor::new(os, pid),
+            solo_ips: 0.0,
+        });
     }
 
     /// The attached runtime (variant index, compile statistics).
@@ -289,8 +293,11 @@ impl Pc3d {
         os.set_frozen(self.host, true);
         os.advance_seconds(self.config.flux_duration_secs * 0.6);
         let mut probe = ExtMonitor::new(os, self.ext);
-        let mut extra_probes: Vec<ExtMonitor> =
-            self.extra.iter().map(|e| ExtMonitor::new(os, e.pid)).collect();
+        let mut extra_probes: Vec<ExtMonitor> = self
+            .extra
+            .iter()
+            .map(|e| ExtMonitor::new(os, e.pid))
+            .collect();
         os.advance_seconds(self.config.flux_duration_secs * 0.4);
         let w = probe.end_window(os);
         os.set_frozen(self.host, false);
@@ -320,7 +327,11 @@ impl Pc3d {
     /// Advances one measurement window of `secs` (flux first if due),
     /// PC-sampling the host throughout. Returns `(co-runner stats, host
     /// stats)`.
-    fn advance_window(&mut self, os: &mut Os, secs: f64) -> (protean::WindowStats, protean::WindowStats) {
+    fn advance_window(
+        &mut self,
+        os: &mut Os,
+        secs: f64,
+    ) -> (protean::WindowStats, protean::WindowStats) {
         if os.now_seconds() >= self.next_flux {
             self.flux(os);
             self.next_flux = os.now_seconds() + self.config.flux_period_secs;
@@ -371,7 +382,13 @@ impl Pc3d {
         }
     }
 
-    fn record(&mut self, os: &Os, ext: &protean::WindowStats, host: &protean::WindowStats, searching: bool) {
+    fn record(
+        &mut self,
+        os: &Os,
+        ext: &protean::WindowStats,
+        host: &protean::WindowStats,
+        searching: bool,
+    ) {
         let rc = os.runtime_consumed_total();
         let dt_cycles = os.now().saturating_sub(self.last_window_end).max(1);
         let cores = os.config().machine.cores as u64;
@@ -387,7 +404,7 @@ impl Pc3d {
             nap: self.nap,
             hints: self.applied.len(),
             searching,
-        runtime_frac,
+            runtime_frac,
         });
     }
 
@@ -423,13 +440,7 @@ impl Pc3d {
     /// Evaluates variant `nt`: finds (by bisection within `[lb, ub]`) the
     /// minimum nap intensity at which the co-runner meets its QoS target,
     /// and the host's BPS at that intensity.
-    fn variant_eval(
-        &mut self,
-        os: &mut Os,
-        nt: &NtAssignment,
-        lb: f64,
-        ub: f64,
-    ) -> (f64, f64) {
+    fn variant_eval(&mut self, os: &mut Os, nt: &NtAssignment, lb: f64, ub: f64) -> (f64, f64) {
         self.apply_variant(os, nt);
         let mut bis = NapBisection::new(lb.min(ub), ub.max(lb), self.config.nap_tolerance);
         while !bis.done() {
@@ -563,7 +574,11 @@ impl Pc3d {
         // hot-set shifts invalidate the current variant choice. The rate
         // is smoothed first so the detector sees sustained shifts, not
         // single-window jitter.
-        let raw_rate = if ext.app_rate > 0.0 { ext.app_rate } else { ext.ips };
+        let raw_rate = if ext.app_rate > 0.0 {
+            ext.app_rate
+        } else {
+            ext.ips
+        };
         self.ext_rate_smooth = if self.ext_rate_smooth == 0.0 {
             raw_rate
         } else {
@@ -603,8 +618,7 @@ impl Pc3d {
             );
         }
         let settled = os.now_seconds() >= self.cooldown_until;
-        if settled
-            && (ext_rate_change != PhaseChange::Stable || host_change != PhaseChange::Stable)
+        if settled && (ext_rate_change != PhaseChange::Stable || host_change != PhaseChange::Stable)
         {
             if ext_rate_change != PhaseChange::Stable {
                 self.resets_ext += 1;
@@ -631,8 +645,8 @@ impl Pc3d {
         let effective_target = self.config.qos_target - self.config.qos_epsilon;
         // Periodic re-search: if the last search left us napping heavily,
         // conditions may have improved (or it straddled a transition).
-        let research_due = self.nap > 0.5
-            && os.now_seconds() > self.last_search_end + self.research_interval;
+        let research_due =
+            self.nap > 0.5 && os.now_seconds() > self.last_search_end + self.research_interval;
         if qos_d < effective_target || (research_due && warm && settled) {
             if warm && settled && (!self.searched_this_phase || research_due) {
                 self.search(os);
@@ -687,8 +701,14 @@ mod tests {
         let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
         let host_m = catalog::build(host_name, llc).unwrap();
         let ext_m = catalog::build(ext_name, llc).unwrap();
-        let host_img = Compiler::new(Options::protean()).compile(&host_m).unwrap().image;
-        let ext_img = Compiler::new(Options::plain()).compile(&ext_m).unwrap().image;
+        let host_img = Compiler::new(Options::protean())
+            .compile(&host_m)
+            .unwrap()
+            .image;
+        let ext_img = Compiler::new(Options::plain())
+            .compile(&ext_m)
+            .unwrap()
+            .image;
         let mut os = Os::new(cfg);
         let ext = os.spawn(&ext_img, 0);
         let host = os.spawn(&host_img, 1);
@@ -709,10 +729,20 @@ mod tests {
     #[test]
     fn pc3d_searches_and_applies_hints_on_streaming_host() {
         let (mut os, _host, ext, rt) = setup("libquantum", "mcf");
-        let mut ctl =
-            Pc3d::new(&mut os, rt, ext, Pc3dConfig { qos_target: 0.98, ..Default::default() });
+        let mut ctl = Pc3d::new(
+            &mut os,
+            rt,
+            ext,
+            Pc3dConfig {
+                qos_target: 0.98,
+                ..Default::default()
+            },
+        );
         ctl.run_for(&mut os, 60.0);
-        assert!(ctl.searches() >= 1, "a contentious pair should trigger a search");
+        assert!(
+            ctl.searches() >= 1,
+            "a contentious pair should trigger a search"
+        );
         assert!(
             ctl.hints() > 0,
             "libquantum is streaming: the best variant should carry hints"
@@ -755,8 +785,14 @@ mod tests {
         let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
         let host_m = catalog::build("libquantum", llc).unwrap();
         let ext_m = catalog::build("web-search", llc).unwrap();
-        let host_img = Compiler::new(Options::protean()).compile(&host_m).unwrap().image;
-        let ext_img = Compiler::new(Options::plain()).compile(&ext_m).unwrap().image;
+        let host_img = Compiler::new(Options::protean())
+            .compile(&host_m)
+            .unwrap()
+            .image;
+        let ext_img = Compiler::new(Options::plain())
+            .compile(&ext_m)
+            .unwrap()
+            .image;
         let mut os = Os::new(cfg);
         let ext = os.spawn(&ext_img, 0);
         let host = os.spawn(&host_img, 1);
@@ -768,11 +804,13 @@ mod tests {
         let mut ctl = Pc3d::new(&mut os, rt, ext, Pc3dConfig::default());
         ctl.run_for(&mut os, 100.0);
         // After the load drop the host should be (nearly) unthrottled.
-        let late: Vec<_> =
-            ctl.history().iter().filter(|r| r.t > 75.0 && !r.searching).collect();
+        let late: Vec<_> = ctl
+            .history()
+            .iter()
+            .filter(|r| r.t > 75.0 && !r.searching)
+            .collect();
         assert!(!late.is_empty());
-        let mean_late_nap: f64 =
-            late.iter().map(|r| r.nap).sum::<f64>() / late.len() as f64;
+        let mean_late_nap: f64 = late.iter().map(|r| r.nap).sum::<f64>() / late.len() as f64;
         assert!(
             mean_late_nap < 0.4,
             "host should be mostly unthrottled at low load, nap {mean_late_nap:.2}"
@@ -789,21 +827,40 @@ mod tests {
         let host_m = catalog::build("libquantum", llc).unwrap();
         let e1_m = catalog::build("er-naive", llc).unwrap();
         let e2_m = catalog::build("mcf", llc).unwrap();
-        let host_img = Compiler::new(Options::protean()).compile(&host_m).unwrap().image;
-        let e1_img = Compiler::new(Options::plain()).compile(&e1_m).unwrap().image;
-        let e2_img = Compiler::new(Options::plain()).compile(&e2_m).unwrap().image;
+        let host_img = Compiler::new(Options::protean())
+            .compile(&host_m)
+            .unwrap()
+            .image;
+        let e1_img = Compiler::new(Options::plain())
+            .compile(&e1_m)
+            .unwrap()
+            .image;
+        let e2_img = Compiler::new(Options::plain())
+            .compile(&e2_m)
+            .unwrap()
+            .image;
         let mut os = Os::new(cfg);
         let e1 = os.spawn(&e1_img, 0);
         let host = os.spawn(&host_img, 1);
         let e2 = os.spawn(&e2_img, 2);
         let rt = Runtime::attach(&os, host, RuntimeConfig::on_core(1)).unwrap();
-        let mut ctl =
-            Pc3d::new(&mut os, rt, e1, Pc3dConfig { qos_target: 0.95, ..Default::default() });
+        let mut ctl = Pc3d::new(
+            &mut os,
+            rt,
+            e1,
+            Pc3dConfig {
+                qos_target: 0.95,
+                ..Default::default()
+            },
+        );
         ctl.add_corunner(&os, e2);
         ctl.run_for(&mut os, 40.0);
         let w = ctl.history().len();
         let qos = ctl.mean_qos(w / 2);
-        assert!(qos > 0.85, "min-QoS across both co-runners should be held, got {qos:.3}");
+        assert!(
+            qos > 0.85,
+            "min-QoS across both co-runners should be held, got {qos:.3}"
+        );
     }
 
     #[test]
@@ -867,7 +924,11 @@ mod tests {
             let w = probe.end_window(os);
             os.set_frozen(self.host, false);
             if w.ips > 0.0 {
-                self.solo = if self.solo == 0.0 { w.ips } else { 0.5 * w.ips + 0.5 * self.solo };
+                self.solo = if self.solo == 0.0 {
+                    w.ips
+                } else {
+                    0.5 * w.ips + 0.5 * self.solo
+                };
             }
             self.ext_mon = ExtMonitor::new(os, self.ext);
             self.host_mon = ExtMonitor::new(os, self.host);
@@ -883,7 +944,11 @@ mod tests {
                 os.advance_seconds(0.2);
                 let w = self.ext_mon.end_window(os);
                 let h = self.host_mon.end_window(os);
-                let qos = if self.solo > 0.0 { w.ips / self.solo } else { 1.0 };
+                let qos = if self.solo > 0.0 {
+                    w.ips / self.solo
+                } else {
+                    1.0
+                };
                 let err = 0.95 - qos;
                 if err > 0.0 {
                     self.nap = (self.nap + 3.0 * err).min(0.99);

@@ -95,7 +95,9 @@ pub fn select_candidates_with(
     candidates.sort_by(|a, b| {
         let wa = weight.get(&a.func).copied().unwrap_or(0.0);
         let wb = weight.get(&b.func).copied().unwrap_or(0.0);
-        wb.partial_cmp(&wa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
+        wb.partial_cmp(&wa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(b))
     });
     candidates.truncate(max_sites);
     (candidates, report)
@@ -165,10 +167,15 @@ mod tests {
         let (sites, _) = select_candidates(&rt, &mon, 1000);
         let hot = mon.hot_funcs();
         let weight: HashMap<FuncId, f64> = hot.iter().copied().collect();
-        let weights: Vec<f64> =
-            sites.iter().map(|s| weight.get(&s.func).copied().unwrap_or(0.0)).collect();
+        let weights: Vec<f64> = sites
+            .iter()
+            .map(|s| weight.get(&s.func).copied().unwrap_or(0.0))
+            .collect();
         for w in weights.windows(2) {
-            assert!(w[0] >= w[1] - 1e-12, "candidates must be hotness-ordered: {weights:?}");
+            assert!(
+                w[0] >= w[1] - 1e-12,
+                "candidates must be hotness-ordered: {weights:?}"
+            );
         }
     }
 
@@ -184,6 +191,9 @@ mod tests {
     fn reduction_factor_reported() {
         let (_, rt, mon) = monitored("libquantum");
         let (_, report) = select_candidates(&rt, &mon, 64);
-        assert!(report.reduction() > 10.0, "libquantum reduces strongly: {report:?}");
+        assert!(
+            report.reduction() > 10.0,
+            "libquantum reduces strongly: {report:?}"
+        );
     }
 }

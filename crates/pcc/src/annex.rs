@@ -172,7 +172,12 @@ impl EmbeddedMeta {
         }
         Ok(EmbeddedMeta {
             module,
-            link: LinkInfo { func_addrs, func_evt_slot, global_addrs, evt_base },
+            link: LinkInfo {
+                func_addrs,
+                func_evt_slot,
+                global_addrs,
+                evt_base,
+            },
         })
     }
 }

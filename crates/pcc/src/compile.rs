@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use pir::verify::{verify_module, VerifyError};
+use pir::verify::{verify_module, VerifyReport};
 use pir::{FuncId, GlobalInit, Module};
 use visa::{EvtEntry, FuncSym, GlobalSym, Image, MetaDesc, Op};
 
@@ -27,6 +27,11 @@ pub struct Options {
     /// before lowering. The embedded IR is the optimized module, so the
     /// runtime compiler starts from what actually runs.
     pub optimize: bool,
+    /// Re-run the verifier and the definite-assignment analysis after
+    /// every transformation stage, failing the compile with
+    /// [`CompileError::InvariantViolation`] naming the stage that broke
+    /// the module. Defaults to on in debug builds, off in release.
+    pub check_invariants: bool,
 }
 
 impl Options {
@@ -37,6 +42,7 @@ impl Options {
             edge_policy: EdgePolicy::Never,
             embed_ir: false,
             optimize: false,
+            check_invariants: cfg!(debug_assertions),
         }
     }
 
@@ -47,12 +53,20 @@ impl Options {
             edge_policy: EdgePolicy::default(),
             embed_ir: true,
             optimize: false,
+            check_invariants: cfg!(debug_assertions),
         }
     }
 
     /// Enables the scalar optimization pipeline.
     pub fn with_optimization(mut self) -> Self {
         self.optimize = true;
+        self
+    }
+
+    /// Enables (or disables) inter-stage invariant checking regardless of
+    /// build profile.
+    pub fn with_invariant_checks(mut self, on: bool) -> Self {
+        self.check_invariants = on;
         self
     }
 }
@@ -66,14 +80,24 @@ impl Default for Options {
 /// A compilation failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CompileError {
-    /// The module failed verification.
-    Verify(VerifyError),
+    /// The input module failed verification (all violations reported).
+    Verify(VerifyReport),
+    /// A transformation stage handed the next stage a broken module.
+    InvariantViolation {
+        /// The stage that broke the module (e.g. `"fold-constants"`).
+        stage: &'static str,
+        /// Human-readable description of the breakage.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::Verify(e) => write!(f, "module verification failed: {e}"),
+            CompileError::InvariantViolation { stage, detail } => {
+                write!(f, "stage `{stage}` broke a module invariant: {detail}")
+            }
         }
     }
 }
@@ -82,12 +106,13 @@ impl Error for CompileError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CompileError::Verify(e) => Some(e),
+            CompileError::InvariantViolation { .. } => None,
         }
     }
 }
 
-impl From<VerifyError> for CompileError {
-    fn from(e: VerifyError) -> Self {
+impl From<VerifyReport> for CompileError {
+    fn from(e: VerifyReport) -> Self {
         CompileError::Verify(e)
     }
 }
@@ -130,8 +155,11 @@ impl Compiler {
         let optimized;
         let module = if opts.optimize {
             let mut m = module.clone();
-            crate::opt::optimize_module(&mut m);
-            debug_assert_eq!(verify_module(&m), Ok(()));
+            if opts.check_invariants {
+                crate::opt::optimize_module_checked(&mut m)?;
+            } else {
+                crate::opt::optimize_module(&mut m);
+            }
             optimized = m;
             &optimized
         } else {
@@ -166,7 +194,10 @@ impl Compiler {
             evt_base: prelim.evt_base,
         };
         let (blob, meta) = if opts.protean && opts.embed_ir {
-            let meta = EmbeddedMeta { module: module.clone(), link: link.clone() };
+            let meta = EmbeddedMeta {
+                module: module.clone(),
+                link: link.clone(),
+            };
             (meta.to_blob(), Some(meta))
         } else {
             (Vec::new(), None)
@@ -208,15 +239,18 @@ impl Compiler {
                 ir_len: blob.len() as u64,
             };
             desc.write_root(&mut data);
-            data[lay.ir_addr as usize..lay.ir_addr as usize + blob.len()]
-                .copy_from_slice(&blob);
+            data[lay.ir_addr as usize..lay.ir_addr as usize + blob.len()].copy_from_slice(&blob);
             Some(desc)
         } else {
             None
         };
 
         // 5. Lower every function.
-        let ctx = LowerCtx { module, link: &link, virtualize: opts.protean };
+        let ctx = LowerCtx {
+            module,
+            link: &link,
+            virtualize: opts.protean,
+        };
         let mut text: Vec<Op> = Vec::with_capacity(cursor as usize);
         let mut funcs = Vec::with_capacity(module.functions().len());
         for (fi, func) in module.functions().iter().enumerate() {
@@ -235,7 +269,11 @@ impl Compiler {
             .globals()
             .iter()
             .zip(&lay.global_addrs)
-            .map(|(g, addr)| GlobalSym { name: g.name().to_string(), addr: *addr, size: g.size() })
+            .map(|(g, addr)| GlobalSym {
+                name: g.name().to_string(),
+                addr: *addr,
+                size: g.size(),
+            })
             .collect();
 
         let entry_fn = module.entry().expect("verified module has an entry");
@@ -266,8 +304,51 @@ pub fn compile_function_variant(
     base: u32,
 ) -> Vec<Op> {
     let variant = nt.apply_to(module.function(fid), fid);
-    let ctx = LowerCtx { module, link, virtualize: true };
+    let ctx = LowerCtx {
+        module,
+        link,
+        virtualize: true,
+    };
     lower_function(&variant, &ctx, base)
+}
+
+/// [`compile_function_variant`] with the inter-stage invariants checked
+/// on the NT-transformed function before lowering.
+///
+/// # Errors
+///
+/// Returns [`CompileError::InvariantViolation`] (stage `"nt-transform"`)
+/// if the transformed function no longer verifies or reads an unassigned
+/// register.
+pub fn compile_function_variant_checked(
+    module: &Module,
+    fid: FuncId,
+    nt: &NtAssignment,
+    link: &LinkInfo,
+    base: u32,
+) -> Result<Vec<Op>, CompileError> {
+    let variant = nt.apply_to(module.function(fid), fid);
+    let arities: Vec<u32> = module.functions().iter().map(|f| f.params()).collect();
+    let globals = module.globals().len() as u32;
+    if let Err(report) = pir::verify::verify_function_in(&variant, &arities, globals) {
+        return Err(CompileError::InvariantViolation {
+            stage: "nt-transform",
+            detail: report.to_string(),
+        });
+    }
+    // Baseline the assignment check on the original function: the NT
+    // rewrite must not introduce undefined reads, but a workload that
+    // legally reads zero-initialized registers stays compilable.
+    let clean = pir::dataflow::maybe_undef_uses(module.function(fid)).is_empty();
+    if clean {
+        crate::invariants::InvariantChecker::strict().check_function(&variant, "nt-transform")?;
+    }
+    let ctx = LowerCtx {
+        module,
+        link,
+        virtualize: true,
+    };
+    Ok(lower_function(&variant, &ctx, base))
 }
 
 #[cfg(test)]
@@ -323,7 +404,9 @@ mod tests {
 
     #[test]
     fn protean_compile_has_evt_and_meta() {
-        let out = Compiler::new(Options::protean()).compile(&program()).unwrap();
+        let out = Compiler::new(Options::protean())
+            .compile(&program())
+            .unwrap();
         let img = &out.image;
         assert_eq!(img.validate(), Ok(()));
         assert!(img.is_protean());
@@ -341,7 +424,9 @@ mod tests {
 
     #[test]
     fn evt_cells_initialized_to_original_targets() {
-        let out = Compiler::new(Options::protean()).compile(&program()).unwrap();
+        let out = Compiler::new(Options::protean())
+            .compile(&program())
+            .unwrap();
         let img = &out.image;
         let desc = img.meta.unwrap();
         for e in &img.evt {
@@ -353,7 +438,9 @@ mod tests {
 
     #[test]
     fn function_symbols_cover_text_exactly() {
-        let out = Compiler::new(Options::protean()).compile(&program()).unwrap();
+        let out = Compiler::new(Options::protean())
+            .compile(&program())
+            .unwrap();
         let img = &out.image;
         let total: u32 = img.funcs.iter().map(|f| f.len).sum();
         assert_eq!(total, img.text_len());
@@ -371,35 +458,41 @@ mod tests {
         let out = Compiler::new(Options::protean()).compile(&m).unwrap();
         let meta = out.meta.unwrap();
         let main_id = m.function_by_name("main").unwrap();
-        let sites: Vec<_> =
-            pir::load_sites(&m).iter().map(|s| s.site).filter(|s| s.func == main_id).collect();
+        let sites: Vec<_> = pir::load_sites(&m)
+            .iter()
+            .map(|s| s.site)
+            .filter(|s| s.func == main_id)
+            .collect();
         assert!(!sites.is_empty());
         let nt = NtAssignment::all(sites.iter().copied());
         let base = out.image.text_len();
         let variant = compile_function_variant(&m, main_id, &nt, &meta.link, base);
-        let prefetches =
-            variant.iter().filter(|o| matches!(o, Op::PrefetchNta { .. })).count();
+        let prefetches = variant
+            .iter()
+            .filter(|o| matches!(o, Op::PrefetchNta { .. }))
+            .count();
         assert_eq!(prefetches, sites.len());
         // The empty assignment reproduces the original lowering.
         let original = compile_function_variant(&m, main_id, &NtAssignment::none(), &meta.link, 0);
         let sym = out.image.func_sym(main_id).unwrap();
-        let orig_text =
-            &out.image.text[sym.start as usize..(sym.start + sym.len) as usize];
+        let orig_text = &out.image.text[sym.start as usize..(sym.start + sym.len) as usize];
         assert_eq!(original.len(), orig_text.len());
     }
 
     #[test]
     fn never_policy_produces_no_callvirt() {
         let opts = Options {
-            protean: true,
             edge_policy: EdgePolicy::Never,
-            embed_ir: true,
-            optimize: false,
+            ..Options::protean()
         };
         let out = Compiler::new(opts).compile(&program()).unwrap();
         assert!(out.image.is_protean());
         assert!(out.image.evt.is_empty());
-        assert!(!out.image.text.iter().any(|o| matches!(o, Op::CallVirt { .. })));
+        assert!(!out
+            .image
+            .text
+            .iter()
+            .any(|o| matches!(o, Op::CallVirt { .. })));
     }
 
     #[test]
@@ -416,10 +509,14 @@ mod tests {
         let img = &out.image;
         let g = img.global_by_name("buf").unwrap();
         let first = i64::from_le_bytes(
-            img.data[g.addr as usize..g.addr as usize + 8].try_into().unwrap(),
+            img.data[g.addr as usize..g.addr as usize + 8]
+                .try_into()
+                .unwrap(),
         );
         let third = i64::from_le_bytes(
-            img.data[g.addr as usize + 16..g.addr as usize + 24].try_into().unwrap(),
+            img.data[g.addr as usize + 16..g.addr as usize + 24]
+                .try_into()
+                .unwrap(),
         );
         assert_eq!(first, 0);
         assert_eq!(third, 2);

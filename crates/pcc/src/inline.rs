@@ -27,7 +27,10 @@ pub struct InlineConfig {
 
 impl Default for InlineConfig {
     fn default() -> Self {
-        InlineConfig { max_callee_insts: 12, max_caller_regs: pir::MAX_REGS }
+        InlineConfig {
+            max_callee_insts: 12,
+            max_caller_regs: pir::MAX_REGS,
+        }
     }
 }
 
@@ -40,14 +43,24 @@ pub struct InlineStats {
 
 /// Returns the callee's body if it is inlinable: a single block ending in
 /// `Ret`, small enough, and containing no calls (leaf).
-fn inlinable(module: &Module, callee: FuncId, config: InlineConfig) -> Option<(Vec<Inst>, Option<Reg>, u32)> {
+fn inlinable(
+    module: &Module,
+    callee: FuncId,
+    config: InlineConfig,
+) -> Option<(Vec<Inst>, Option<Reg>, u32)> {
     let f = module.function(callee);
     if f.block_count() != 1 || f.inst_count() > config.max_callee_insts {
         return None;
     }
     let block = f.block(pir::BlockId(0));
-    let Term::Ret(ret) = block.term else { return None };
-    if block.insts.iter().any(|i| matches!(i, Inst::Call { .. } | Inst::Wait)) {
+    let Term::Ret(ret) = block.term else {
+        return None;
+    };
+    if block
+        .insts
+        .iter()
+        .any(|i| matches!(i, Inst::Call { .. } | Inst::Wait))
+    {
         return None;
     }
     Some((block.insts.clone(), ret, f.reg_count()))
@@ -83,8 +96,7 @@ pub fn inline_module(module: &mut Module, config: InlineConfig) -> InlineStats {
                         out.push(inst.clone()); // never inline recursion
                         continue;
                     }
-                    let Some((body, ret, callee_regs)) = inlinable(module, *callee, config)
-                    else {
+                    let Some((body, ret, callee_regs)) = inlinable(module, *callee, config) else {
                         out.push(inst.clone());
                         continue;
                     };
@@ -132,7 +144,12 @@ pub fn inline_module(module: &mut Module, config: InlineConfig) -> InlineStats {
                     // The return value becomes a copy into the call's dst.
                     if let (Some(d), Some(r)) = (dst, ret) {
                         let src = remap_reg(r, callee_params, &arg_map, base);
-                        out.push(Inst::BinImm { op: BinOp::Add, dst: *d, lhs: src, imm: 0 });
+                        out.push(Inst::BinImm {
+                            op: BinOp::Add,
+                            dst: *d,
+                            lhs: src,
+                            imm: 0,
+                        });
                     }
                     stats.inlined += 1;
                 }
@@ -146,6 +163,23 @@ pub fn inline_module(module: &mut Module, config: InlineConfig) -> InlineStats {
         }
     }
     stats
+}
+
+/// [`inline_module`] with the pass-manager invariants (verify + definite
+/// assignment) checked on the result.
+///
+/// # Errors
+///
+/// Returns [`CompileError::InvariantViolation`](crate::CompileError)
+/// (stage `"inline"`) if inlining broke the module.
+pub fn inline_module_checked(
+    module: &mut Module,
+    config: InlineConfig,
+) -> Result<InlineStats, crate::CompileError> {
+    let checker = crate::invariants::InvariantChecker::for_module(module);
+    let stats = inline_module(module, config);
+    checker.check(module, "inline")?;
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -180,9 +214,11 @@ mod tests {
     }
 
     fn run(m: &Module) -> (i64, i64) {
-        use machine::{CostModel, ExecContext, ExecEnv, MachineConfig, MemorySystem,
-                      PerfCounters};
-        let img = crate::Compiler::new(crate::Options::plain()).compile(m).unwrap().image;
+        use machine::{CostModel, ExecContext, ExecEnv, MachineConfig, MemorySystem, PerfCounters};
+        let img = crate::Compiler::new(crate::Options::plain())
+            .compile(m)
+            .unwrap()
+            .image;
         let cfg = MachineConfig::small();
         let mut mem = MemorySystem::new(&cfg);
         let mut counters = PerfCounters::default();
@@ -275,20 +311,29 @@ mod tests {
         let mid = m.add_function(main.finish());
         m.set_entry(mid);
         let stats = inline_module(&mut m, InlineConfig::default());
-        assert_eq!(stats.inlined, 0, "PC3D's redirection hooks must survive inlining");
+        assert_eq!(
+            stats.inlined, 0,
+            "PC3D's redirection hooks must survive inlining"
+        );
     }
 
     #[test]
     fn inlining_then_optimizing_shrinks_code() {
         let m = module();
-        let plain_len =
-            crate::Compiler::new(crate::Options::plain()).compile(&m).unwrap().image.text_len();
+        let plain_len = crate::Compiler::new(crate::Options::plain())
+            .compile(&m)
+            .unwrap()
+            .image
+            .text_len();
         let mut opt = m.clone();
         inline_module(&mut opt, InlineConfig::default());
         crate::opt::optimize_module(&mut opt);
         assert!(verify_module(&opt).is_ok());
-        let opt_len =
-            crate::Compiler::new(crate::Options::plain()).compile(&opt).unwrap().image.text_len();
+        let opt_len = crate::Compiler::new(crate::Options::plain())
+            .compile(&opt)
+            .unwrap()
+            .image
+            .text_len();
         // Two call+ret pairs disappear; bodies are tiny.
         assert!(opt_len <= plain_len, "{opt_len} vs {plain_len}");
         assert_eq!(run(&opt), run(&m));

@@ -45,7 +45,14 @@ pub fn compute(module: &Module, evt_len: u32, ir_len: u64) -> DataLayout {
     let ir_addr = cursor;
     cursor = align_up(cursor + ir_len, ALIGN);
     let total_size = cursor + ALIGN; // trailing guard line
-    DataLayout { global_addrs, evt_base, evt_len, ir_addr, ir_len, total_size }
+    DataLayout {
+        global_addrs,
+        evt_base,
+        evt_len,
+        ir_addr,
+        ir_len,
+        total_size,
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@
 pub mod annex;
 pub mod compile;
 pub mod inline;
+pub mod invariants;
 pub mod layout;
 pub mod lower;
 pub mod nt;
@@ -46,8 +47,11 @@ pub mod opt;
 pub mod virtualize;
 
 pub use annex::{EmbeddedMeta, LinkInfo};
-pub use compile::{compile_function_variant, CompileError, Compiler, Options, Output};
+pub use compile::{
+    compile_function_variant, compile_function_variant_checked, CompileError, Compiler, Options,
+    Output,
+};
+pub use inline::{inline_module, inline_module_checked, InlineConfig, InlineStats};
 pub use nt::NtAssignment;
-pub use inline::{inline_module, InlineConfig, InlineStats};
-pub use opt::{optimize_function, optimize_module, OptStats};
+pub use opt::{optimize_function, optimize_module, optimize_module_checked, OptStats};
 pub use virtualize::EdgePolicy;

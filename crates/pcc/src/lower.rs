@@ -38,7 +38,10 @@ fn preg(r: Reg) -> PReg {
 /// Number of VISA ops one instruction lowers to.
 fn inst_size(inst: &Inst) -> u32 {
     match inst {
-        Inst::Load { locality: Locality::NonTemporal, .. } => 2,
+        Inst::Load {
+            locality: Locality::NonTemporal,
+            ..
+        } => 2,
         Inst::Nop => 0,
         _ => 1,
     }
@@ -49,7 +52,9 @@ fn inst_size(inst: &Inst) -> u32 {
 fn term_size(term: &Term, next: Option<pir::BlockId>) -> u32 {
     match term {
         Term::Br(t) => u32::from(Some(*t) != next),
-        Term::CondBr { then_bb, else_bb, .. } => {
+        Term::CondBr {
+            then_bb, else_bb, ..
+        } => {
             if Some(*then_bb) == next {
                 // Invert: a single bz to the else block (or nothing if
                 // both fall through).
@@ -103,7 +108,10 @@ pub fn lower_function(func: &Function, ctx: &LowerCtx<'_>, base: u32) -> Vec<Op>
         for inst in &block.insts {
             match inst {
                 Inst::Const { dst, value } => {
-                    ops.push(Op::Movi { dst: preg(*dst), imm: *value });
+                    ops.push(Op::Movi {
+                        dst: preg(*dst),
+                        imm: *value,
+                    });
                 }
                 Inst::Bin { op, dst, lhs, rhs } => {
                     ops.push(Op::Alu {
@@ -114,20 +122,48 @@ pub fn lower_function(func: &Function, ctx: &LowerCtx<'_>, base: u32) -> Vec<Op>
                     });
                 }
                 Inst::BinImm { op, dst, lhs, imm } => {
-                    ops.push(Op::AluImm { op: *op, dst: preg(*dst), a: preg(*lhs), imm: *imm });
+                    ops.push(Op::AluImm {
+                        op: *op,
+                        dst: preg(*dst),
+                        a: preg(*lhs),
+                        imm: *imm,
+                    });
                 }
-                Inst::Load { dst, base: b, offset, locality } => {
+                Inst::Load {
+                    dst,
+                    base: b,
+                    offset,
+                    locality,
+                } => {
                     if locality.is_non_temporal() {
-                        ops.push(Op::PrefetchNta { base: preg(*b), offset: *offset });
+                        ops.push(Op::PrefetchNta {
+                            base: preg(*b),
+                            offset: *offset,
+                        });
                     }
-                    ops.push(Op::Load { dst: preg(*dst), base: preg(*b), offset: *offset });
+                    ops.push(Op::Load {
+                        dst: preg(*dst),
+                        base: preg(*b),
+                        offset: *offset,
+                    });
                 }
-                Inst::Store { base: b, offset, src } => {
-                    ops.push(Op::Store { base: preg(*b), offset: *offset, src: preg(*src) });
+                Inst::Store {
+                    base: b,
+                    offset,
+                    src,
+                } => {
+                    ops.push(Op::Store {
+                        base: preg(*b),
+                        offset: *offset,
+                        src: preg(*src),
+                    });
                 }
                 Inst::GlobalAddr { dst, global } => {
                     let addr = ctx.link.global_addrs[global.index()];
-                    ops.push(Op::Movi { dst: preg(*dst), imm: addr as i64 });
+                    ops.push(Op::Movi {
+                        dst: preg(*dst),
+                        imm: addr as i64,
+                    });
                 }
                 Inst::Call { dst, callee, args } => {
                     let vargs: Vec<PReg> = args.iter().map(|r| preg(*r)).collect();
@@ -138,7 +174,11 @@ pub fn lower_function(func: &Function, ctx: &LowerCtx<'_>, base: u32) -> Vec<Op>
                         None
                     };
                     match slot {
-                        Some(slot) => ops.push(Op::CallVirt { slot, dst: vdst, args: vargs }),
+                        Some(slot) => ops.push(Op::CallVirt {
+                            slot,
+                            dst: vdst,
+                            args: vargs,
+                        }),
                         None => ops.push(Op::Call {
                             target: ctx.link.func_addrs[callee.index()],
                             dst: vdst,
@@ -147,7 +187,10 @@ pub fn lower_function(func: &Function, ctx: &LowerCtx<'_>, base: u32) -> Vec<Op>
                     }
                 }
                 Inst::Report { channel, src } => {
-                    ops.push(Op::Report { channel: *channel, src: preg(*src) });
+                    ops.push(Op::Report {
+                        channel: *channel,
+                        src: preg(*src),
+                    });
                 }
                 Inst::Nop => {}
                 Inst::Wait => ops.push(Op::Wait),
@@ -156,18 +199,32 @@ pub fn lower_function(func: &Function, ctx: &LowerCtx<'_>, base: u32) -> Vec<Op>
         match &block.term {
             Term::Br(t) => {
                 if Some(*t) != next {
-                    ops.push(Op::Jmp { target: target_of(*t) });
+                    ops.push(Op::Jmp {
+                        target: target_of(*t),
+                    });
                 }
             }
-            Term::CondBr { cond, then_bb, else_bb } => {
+            Term::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 if Some(*then_bb) == next {
                     if Some(*else_bb) != next {
-                        ops.push(Op::Bz { cond: preg(*cond), target: target_of(*else_bb) });
+                        ops.push(Op::Bz {
+                            cond: preg(*cond),
+                            target: target_of(*else_bb),
+                        });
                     }
                 } else {
-                    ops.push(Op::Bnz { cond: preg(*cond), target: target_of(*then_bb) });
+                    ops.push(Op::Bnz {
+                        cond: preg(*cond),
+                        target: target_of(*then_bb),
+                    });
                     if Some(*else_bb) != next {
-                        ops.push(Op::Jmp { target: target_of(*else_bb) });
+                        ops.push(Op::Jmp {
+                            target: target_of(*else_bb),
+                        });
                     }
                 }
             }
@@ -176,7 +233,11 @@ pub fn lower_function(func: &Function, ctx: &LowerCtx<'_>, base: u32) -> Vec<Op>
             }
         }
     }
-    debug_assert_eq!(ops.len() as u32, off, "size computation out of sync with emission");
+    debug_assert_eq!(
+        ops.len() as u32,
+        off,
+        "size computation out of sync with emission"
+    );
     ops
 }
 
@@ -187,9 +248,13 @@ mod tests {
 
     fn link_for(module: &Module) -> LinkInfo {
         LinkInfo {
-            func_addrs: (0..module.functions().len() as u32).map(|i| i * 100).collect(),
+            func_addrs: (0..module.functions().len() as u32)
+                .map(|i| i * 100)
+                .collect(),
             func_evt_slot: vec![None; module.functions().len()],
-            global_addrs: (0..module.globals().len() as u64).map(|i| 64 + i * 64).collect(),
+            global_addrs: (0..module.globals().len() as u64)
+                .map(|i| 64 + i * 64)
+                .collect(),
             evt_base: 0,
         }
     }
@@ -208,13 +273,22 @@ mod tests {
         let f = b.finish();
         m.add_function(f.clone());
         let link = link_for(&m);
-        let ctx = LowerCtx { module: &m, link: &link, virtualize: false };
+        let ctx = LowerCtx {
+            module: &m,
+            link: &link,
+            virtualize: false,
+        };
         let ops = lower_function(&f, &ctx, 0);
         assert_eq!(ops.len() as u32, lowered_size(&f));
         // NT load produced a prefetchnta.
         assert!(ops.iter().any(|o| matches!(o, Op::PrefetchNta { .. })));
         // Exactly one prefetch (one NT site).
-        assert_eq!(ops.iter().filter(|o| matches!(o, Op::PrefetchNta { .. })).count(), 1);
+        assert_eq!(
+            ops.iter()
+                .filter(|o| matches!(o, Op::PrefetchNta { .. }))
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -231,7 +305,11 @@ mod tests {
             m
         };
         let link = link_for(&m);
-        let ctx = LowerCtx { module: &m, link: &link, virtualize: false };
+        let ctx = LowerCtx {
+            module: &m,
+            link: &link,
+            virtualize: false,
+        };
         let ops = lower_function(&f, &ctx, 0);
         // entry falls through to header: the entry block's Br is elided.
         // The loop needs exactly one backward Jmp (body -> header).
@@ -255,11 +333,21 @@ mod tests {
         let mut link = link_for(&m);
         link.func_evt_slot[cid.index()] = Some(7);
         // Virtualization on: emits CallVirt.
-        let ctx = LowerCtx { module: &m, link: &link, virtualize: true };
+        let ctx = LowerCtx {
+            module: &m,
+            link: &link,
+            virtualize: true,
+        };
         let ops = lower_function(&f, &ctx, 0);
-        assert!(ops.iter().any(|o| matches!(o, Op::CallVirt { slot: 7, .. })));
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, Op::CallVirt { slot: 7, .. })));
         // Virtualization off: emits a direct call to the callee address.
-        let ctx2 = LowerCtx { module: &m, link: &link, virtualize: false };
+        let ctx2 = LowerCtx {
+            module: &m,
+            link: &link,
+            virtualize: false,
+        };
         let ops2 = lower_function(&f, &ctx2, 0);
         assert!(ops2.iter().any(|o| matches!(o, Op::Call { target: 0, .. })));
     }
@@ -278,7 +366,11 @@ mod tests {
             m
         };
         let link = link_for(&m);
-        let ctx = LowerCtx { module: &m, link: &link, virtualize: false };
+        let ctx = LowerCtx {
+            module: &m,
+            link: &link,
+            virtualize: false,
+        };
         let at0 = lower_function(&f, &ctx, 0);
         let at500 = lower_function(&f, &ctx, 500);
         for (a, b) in at0.iter().zip(&at500) {

@@ -27,7 +27,9 @@ impl NtAssignment {
     /// The all-ones vector **1** over the given sites: minimum cache
     /// pressure.
     pub fn all(sites: impl IntoIterator<Item = LoadSiteId>) -> Self {
-        NtAssignment { sites: sites.into_iter().collect() }
+        NtAssignment {
+            sites: sites.into_iter().collect(),
+        }
     }
 
     /// Whether the load at `site` carries a hint.
@@ -69,7 +71,11 @@ impl NtAssignment {
 
     /// Hinted sites within one function.
     pub fn sites_in(&self, func: pir::FuncId) -> Vec<LoadSiteId> {
-        self.sites.iter().copied().filter(|s| s.func == func).collect()
+        self.sites
+            .iter()
+            .copied()
+            .filter(|s| s.func == func)
+            .collect()
     }
 
     /// Produces a copy of `func` (which must be function `fid` of the
@@ -100,7 +106,9 @@ impl NtAssignment {
 
 impl FromIterator<LoadSiteId> for NtAssignment {
     fn from_iter<I: IntoIterator<Item = LoadSiteId>>(iter: I) -> Self {
-        NtAssignment { sites: iter.into_iter().collect() }
+        NtAssignment {
+            sites: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -89,10 +89,18 @@ pub fn fold_constants(func: &mut Function) -> OptStats {
                         Known::CopyOf(_) => None,
                     });
                     if let (Some(a), Some(b)) = (lv, rv) {
-                        replace = Some(Inst::Const { dst: *dst, value: op.eval(a, b) });
+                        replace = Some(Inst::Const {
+                            dst: *dst,
+                            value: op.eval(a, b),
+                        });
                         stats.folded += 1;
                     } else if let Some(b) = rv {
-                        replace = Some(Inst::BinImm { op: *op, dst: *dst, lhs: *lhs, imm: b });
+                        replace = Some(Inst::BinImm {
+                            op: *op,
+                            dst: *dst,
+                            lhs: *lhs,
+                            imm: b,
+                        });
                         stats.folded += 1;
                     }
                 }
@@ -102,7 +110,10 @@ pub fn fold_constants(func: &mut Function) -> OptStats {
                         Known::CopyOf(_) => None,
                     });
                     if let Some(a) = lv {
-                        replace = Some(Inst::Const { dst: *dst, value: op.eval(a, *imm) });
+                        replace = Some(Inst::Const {
+                            dst: *dst,
+                            value: op.eval(a, *imm),
+                        });
                         stats.folded += 1;
                     } else {
                         // Algebraic identities: the result equals lhs.
@@ -140,7 +151,12 @@ pub fn fold_constants(func: &mut Function) -> OptStats {
                     invalidate(&mut known, *dst);
                     known.insert(*dst, Known::Const(*value));
                 }
-                Inst::BinImm { op: BinOp::Add, dst, lhs, imm: 0 } if dst != lhs => {
+                Inst::BinImm {
+                    op: BinOp::Add,
+                    dst,
+                    lhs,
+                    imm: 0,
+                } if dst != lhs => {
                     let src = *lhs;
                     invalidate(&mut known, *dst);
                     match known.get(&src).cloned() {
@@ -198,7 +214,12 @@ pub fn propagate_copies(func: &mut Function) -> OptStats {
             }
             // Then record/kill definitions.
             match inst {
-                Inst::BinImm { op: BinOp::Add, dst, lhs, imm: 0 } if dst != lhs => {
+                Inst::BinImm {
+                    op: BinOp::Add,
+                    dst,
+                    lhs,
+                    imm: 0,
+                } if dst != lhs => {
                     let (d, s) = (*dst, *lhs);
                     copy_of.remove(&d);
                     copy_of.retain(|_, v| *v != d);
@@ -383,6 +404,47 @@ pub fn optimize_module(module: &mut Module) -> OptStats {
     total
 }
 
+/// [`optimize_module`] run stage by stage across the whole module, with
+/// the pass-manager invariants (verify + definite assignment) re-checked
+/// after **every** stage: each of fold/propagate/DCE per round, then
+/// register compaction. The first stage to break the module fails the
+/// run with its name attached.
+///
+/// # Errors
+///
+/// Returns [`CompileError::InvariantViolation`](crate::CompileError)
+/// naming the offending stage.
+pub fn optimize_module_checked(module: &mut Module) -> Result<OptStats, crate::CompileError> {
+    // A named per-function rewrite stage.
+    type Stage = (&'static str, fn(&mut Function) -> OptStats);
+    let checker = crate::invariants::InvariantChecker::for_module(module);
+    let stages: [Stage; 3] = [
+        ("fold-constants", fold_constants),
+        ("propagate-copies", propagate_copies),
+        ("eliminate-dead-code", eliminate_dead_code),
+    ];
+    let mut total = OptStats::default();
+    for _ in 0..8 {
+        let mut round = OptStats::default();
+        for (name, stage) in stages {
+            for func in module.functions_mut() {
+                round.merge(stage(func));
+            }
+            checker.check(module, name)?;
+        }
+        let changed = round.changed();
+        total.merge(round);
+        if !changed {
+            break;
+        }
+    }
+    for func in module.functions_mut() {
+        total.merge(compact_registers(func));
+    }
+    checker.check(module, "compact-registers")?;
+    Ok(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,11 +517,16 @@ mod tests {
         let stats = optimize_function(&mut f);
         assert!(stats.propagated >= 1, "{stats:?}");
         // The multiply should now read the parameter directly.
-        let reads_param = f
-            .blocks()
-            .iter()
-            .flat_map(|blk| blk.insts.iter())
-            .any(|i| matches!(i, Inst::BinImm { op: BinOp::Mul, lhs: Reg(0), .. }));
+        let reads_param = f.blocks().iter().flat_map(|blk| blk.insts.iter()).any(|i| {
+            matches!(
+                i,
+                Inst::BinImm {
+                    op: BinOp::Mul,
+                    lhs: Reg(0),
+                    ..
+                }
+            )
+        });
         assert!(reads_param, "{f}");
     }
 
@@ -491,7 +558,10 @@ mod tests {
             m
         };
         let run = |m: &pir::Module| -> i64 {
-            let img = crate::Compiler::new(crate::Options::plain()).compile(m).unwrap().image;
+            let img = crate::Compiler::new(crate::Options::plain())
+                .compile(m)
+                .unwrap()
+                .image;
             let cfg = machine::MachineConfig::small();
             let mut mem = MemorySystem::new(&cfg);
             let mut counters = PerfCounters::default();

@@ -102,7 +102,10 @@ mod tests {
         let m = module();
         let policy = EdgePolicy::MultiBlockCallees;
         assert!(!policy.virtualizes(&m, FuncId(0)), "leaf has one block");
-        assert!(policy.virtualizes(&m, FuncId(1)), "looper has several blocks");
+        assert!(
+            policy.virtualizes(&m, FuncId(1)),
+            "looper has several blocks"
+        );
         let slots = policy.assign_slots(&m);
         assert_eq!(slots[0], None);
         assert_eq!(slots[1], Some(0));
@@ -116,7 +119,10 @@ mod tests {
         let slots = EdgePolicy::AllCalls.assign_slots(&m);
         assert!(slots[0].is_some());
         assert!(slots[1].is_some());
-        assert_eq!(slots[2], None, "main is never called, no edge to virtualize");
+        assert_eq!(
+            slots[2], None,
+            "main is never called, no edge to virtualize"
+        );
         assert_eq!(EdgePolicy::AllCalls.slot_count(&m), 2);
     }
 
@@ -124,7 +130,10 @@ mod tests {
     fn never_policy_assigns_nothing() {
         let m = module();
         assert_eq!(EdgePolicy::Never.slot_count(&m), 0);
-        assert!(EdgePolicy::Never.assign_slots(&m).iter().all(Option::is_none));
+        assert!(EdgePolicy::Never
+            .assign_slots(&m)
+            .iter()
+            .all(Option::is_none));
     }
 
     #[test]

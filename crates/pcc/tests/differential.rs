@@ -21,10 +21,18 @@ fn arb_body() -> impl Strategy<Value = Vec<Inst>> {
     let op = (0usize..BinOp::ALL.len()).prop_map(|i| BinOp::ALL[i]);
     let inst = prop_oneof![
         (reg(), -500i64..500).prop_map(|(dst, value)| Inst::Const { dst, value }),
-        (op.clone(), reg(), reg(), reg())
-            .prop_map(|(op, dst, lhs, rhs)| Inst::Bin { op, dst, lhs, rhs }),
-        (op, reg(), reg(), -32i64..32)
-            .prop_map(|(op, dst, lhs, imm)| Inst::BinImm { op, dst, lhs, imm }),
+        (op.clone(), reg(), reg(), reg()).prop_map(|(op, dst, lhs, rhs)| Inst::Bin {
+            op,
+            dst,
+            lhs,
+            rhs
+        }),
+        (op, reg(), reg(), -32i64..32).prop_map(|(op, dst, lhs, imm)| Inst::BinImm {
+            op,
+            dst,
+            lhs,
+            imm
+        }),
     ];
     vec(inst, 0..40)
 }
@@ -51,7 +59,11 @@ fn build(body: &[Inst], nt_some: bool) -> Module {
     while b.fresh().0 < NREGS - 1 {}
     let base = b.global_addr(data);
     let outa = b.global_addr(out);
-    let locality = if nt_some { Locality::NonTemporal } else { Locality::Normal };
+    let locality = if nt_some {
+        Locality::NonTemporal
+    } else {
+        Locality::Normal
+    };
     b.counted_loop(0, 5, 1, |bl, i| {
         for inst in body {
             bl.push(inst.clone());
@@ -101,7 +113,11 @@ fn run_compiled(m: &Module, opts: Options) -> (Vec<u8>, Vec<u64>) {
         costs: CostModel::default(),
     };
     let res = machine::exec::run(&mut ctx, &mut env, 100_000_000);
-    assert_eq!(res.stop, machine::StopReason::Halted, "compiled program must halt");
+    assert_eq!(
+        res.stop,
+        machine::StopReason::Halted,
+        "compiled program must halt"
+    );
     (data, global_addrs)
 }
 
@@ -142,6 +158,7 @@ proptest! {
             edge_policy: pcc::EdgePolicy::MultiBlockCallees,
             embed_ir: protean,
             optimize,
+            ..Options::protean()
         };
         let (machine_data, addrs) = run_compiled(&m, opts);
         let interp = pir::interp::run(&m, &addrs, machine_data.len(), 50_000_000)

@@ -19,10 +19,18 @@ fn arb_body() -> impl Strategy<Value = Vec<Inst>> {
     let op = (0usize..BinOp::ALL.len()).prop_map(|i| BinOp::ALL[i]);
     let inst = prop_oneof![
         (reg(), -1000i64..1000).prop_map(|(dst, value)| Inst::Const { dst, value }),
-        (op.clone(), reg(), reg(), reg())
-            .prop_map(|(op, dst, lhs, rhs)| Inst::Bin { op, dst, lhs, rhs }),
-        (op, reg(), reg(), -64i64..64)
-            .prop_map(|(op, dst, lhs, imm)| Inst::BinImm { op, dst, lhs, imm }),
+        (op.clone(), reg(), reg(), reg()).prop_map(|(op, dst, lhs, rhs)| Inst::Bin {
+            op,
+            dst,
+            lhs,
+            rhs
+        }),
+        (op, reg(), reg(), -64i64..64).prop_map(|(op, dst, lhs, imm)| Inst::BinImm {
+            op,
+            dst,
+            lhs,
+            imm
+        }),
         // Copy shapes the propagation pass cares about.
         (reg(), reg()).prop_map(|(dst, lhs)| Inst::BinImm {
             op: BinOp::Add,
@@ -99,7 +107,11 @@ fn run(m: &Module, opts: Options) -> i64 {
         costs: CostModel::default(),
     };
     let res = machine::exec::run(&mut ctx, &mut env, 50_000_000);
-    assert_eq!(res.stop, machine::StopReason::Halted, "program must finish: {res:?}");
+    assert_eq!(
+        res.stop,
+        machine::StopReason::Halted,
+        "program must finish: {res:?}"
+    );
     let addr = img.global_by_name("out").unwrap().addr as usize;
     i64::from_le_bytes(data[addr..addr + 8].try_into().unwrap())
 }
@@ -140,7 +152,8 @@ proptest! {
         let policy = [EdgePolicy::Never, EdgePolicy::MultiBlockCallees, EdgePolicy::AllCalls]
             [policy_idx];
         let m = build_module(&body, true);
-        let opts = Options { protean, edge_policy: policy, embed_ir: protean, optimize };
+        let opts =
+            Options { protean, edge_policy: policy, embed_ir: protean, optimize, ..Options::protean() };
         let img = Compiler::new(opts).compile(&m).expect("compile").image;
         prop_assert_eq!(img.validate(), Ok(()));
     }

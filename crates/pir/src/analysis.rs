@@ -37,7 +37,11 @@ pub fn function_load_sites(func: &Function, fid: FuncId) -> Vec<LoadSite> {
         for (ii, inst) in block.insts.iter().enumerate() {
             if inst.is_load() {
                 out.push(LoadSite {
-                    site: LoadSiteId { func: fid, block: bid, index: ii as u32 },
+                    site: LoadSiteId {
+                        func: fid,
+                        block: bid,
+                        index: ii as u32,
+                    },
                     depth: info.depth(bid),
                     func_max_depth: info.max_depth(),
                 });

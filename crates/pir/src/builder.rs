@@ -56,7 +56,10 @@ impl FunctionBuilder {
             name: name.into(),
             params,
             next_reg: params,
-            blocks: vec![PendingBlock { insts: Vec::new(), term: None }],
+            blocks: vec![PendingBlock {
+                insts: Vec::new(),
+                term: None,
+            }],
             cur: 0,
         }
     }
@@ -172,13 +175,23 @@ impl FunctionBuilder {
     /// `fresh = mem[base + offset]`.
     pub fn load(&mut self, base: Reg, offset: i64, locality: Locality) -> Reg {
         let dst = self.fresh();
-        self.push(Inst::Load { dst, base, offset, locality });
+        self.push(Inst::Load {
+            dst,
+            base,
+            offset,
+            locality,
+        });
         dst
     }
 
     /// `dst = mem[base + offset]` into an existing register.
     pub fn load_into(&mut self, dst: Reg, base: Reg, offset: i64, locality: Locality) {
-        self.push(Inst::Load { dst, base, offset, locality });
+        self.push(Inst::Load {
+            dst,
+            base,
+            offset,
+            locality,
+        });
     }
 
     /// `mem[base + offset] = src`.
@@ -196,13 +209,21 @@ impl FunctionBuilder {
     /// Calls `callee`, capturing the return value in a fresh register.
     pub fn call(&mut self, callee: FuncId, args: &[Reg]) -> Reg {
         let dst = self.fresh();
-        self.push(Inst::Call { dst: Some(dst), callee, args: args.to_vec() });
+        self.push(Inst::Call {
+            dst: Some(dst),
+            callee,
+            args: args.to_vec(),
+        });
         dst
     }
 
     /// Calls `callee`, discarding any return value.
     pub fn call_void(&mut self, callee: FuncId, args: &[Reg]) {
-        self.push(Inst::Call { dst: None, callee, args: args.to_vec() });
+        self.push(Inst::Call {
+            dst: None,
+            callee,
+            args: args.to_vec(),
+        });
     }
 
     /// Publishes `src` on application-metric `channel`.
@@ -218,7 +239,10 @@ impl FunctionBuilder {
     /// Creates a new (unterminated, empty) block without switching to it.
     pub fn new_block(&mut self) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(PendingBlock { insts: Vec::new(), term: None });
+        self.blocks.push(PendingBlock {
+            insts: Vec::new(),
+            term: None,
+        });
         id
     }
 
@@ -248,7 +272,11 @@ impl FunctionBuilder {
 
     /// Terminates the current block with a conditional branch.
     pub fn cond_br(&mut self, cond: Reg, then_bb: BlockId, else_bb: BlockId) {
-        self.terminate(Term::CondBr { cond, then_bb, else_bb });
+        self.terminate(Term::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        });
     }
 
     /// Terminates the current block with a return.
@@ -331,7 +359,9 @@ impl FunctionBuilder {
             .enumerate()
             .map(|(i, b)| Block {
                 insts: b.insts,
-                term: b.term.unwrap_or_else(|| panic!("block bb{i} lacks a terminator")),
+                term: b
+                    .term
+                    .unwrap_or_else(|| panic!("block bb{i} lacks a terminator")),
             })
             .collect();
         Function::from_parts(self.name, self.params, self.next_reg, blocks)

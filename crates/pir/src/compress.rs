@@ -115,7 +115,9 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         let h = hash4(input, i);
         let cand = table[h];
         table[h] = i;
-        if cand != usize::MAX && i - cand <= WINDOW && input[cand..cand + MIN_MATCH] == input[i..i + MIN_MATCH]
+        if cand != usize::MAX
+            && i - cand <= WINDOW
+            && input[cand..cand + MIN_MATCH] == input[i..i + MIN_MATCH]
         {
             // Extend the match.
             let mut len = MIN_MATCH;
@@ -179,7 +181,10 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
                 let dist = read_varu(data, &mut pos)?;
                 let d = dist as usize;
                 if d == 0 || d > out.len() {
-                    return Err(DecompressError::BadDistance { dist, at: out.len() });
+                    return Err(DecompressError::BadDistance {
+                        dist,
+                        at: out.len(),
+                    });
                 }
                 let start = out.len() - d;
                 // Overlapping copies are valid (RLE-style); copy bytewise.
@@ -192,7 +197,10 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
         }
     }
     if out.len() as u64 != expected {
-        return Err(DecompressError::LengthMismatch { expected, got: out.len() as u64 });
+        return Err(DecompressError::LengthMismatch {
+            expected,
+            got: out.len() as u64,
+        });
     }
     Ok(out)
 }
@@ -220,9 +228,19 @@ mod tests {
 
     #[test]
     fn roundtrip_repetitive_compresses() {
-        let data: Vec<u8> = b"protean code ".iter().copied().cycle().take(10_000).collect();
+        let data: Vec<u8> = b"protean code "
+            .iter()
+            .copied()
+            .cycle()
+            .take(10_000)
+            .collect();
         let c = compress(&data);
-        assert!(c.len() < data.len() / 4, "ratio too poor: {} vs {}", c.len(), data.len());
+        assert!(
+            c.len() < data.len() / 4,
+            "ratio too poor: {} vs {}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 
@@ -264,7 +282,12 @@ mod tests {
         }
         let bytes = crate::encode::encode_module(&m);
         let c = compress(&bytes);
-        assert!(c.len() < bytes.len(), "compression should help on IR: {} vs {}", c.len(), bytes.len());
+        assert!(
+            c.len() < bytes.len(),
+            "compression should help on IR: {} vs {}",
+            c.len(),
+            bytes.len()
+        );
         assert_eq!(decompress(&c).unwrap(), bytes);
     }
 
@@ -300,7 +323,10 @@ mod tests {
         c.push(0x01); // match before any output exists
         c.push(4); // len
         c.push(1); // dist
-        assert!(matches!(decompress(&c), Err(DecompressError::BadDistance { .. })));
+        assert!(matches!(
+            decompress(&c),
+            Err(DecompressError::BadDistance { .. })
+        ));
     }
 
     #[test]
@@ -311,7 +337,10 @@ mod tests {
         c.push(0x00);
         c.push(3);
         c.extend_from_slice(b"abc");
-        assert!(matches!(decompress(&c), Err(DecompressError::LengthMismatch { .. })));
+        assert!(matches!(
+            decompress(&c),
+            Err(DecompressError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -321,7 +350,10 @@ mod tests {
             DecompressError::BadMagic,
             DecompressError::BadToken(9),
             DecompressError::BadDistance { dist: 4, at: 0 },
-            DecompressError::LengthMismatch { expected: 1, got: 2 },
+            DecompressError::LengthMismatch {
+                expected: 1,
+                got: 2,
+            },
             DecompressError::VarintOverflow,
         ] {
             assert!(!e.to_string().is_empty());

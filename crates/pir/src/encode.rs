@@ -174,7 +174,12 @@ fn put_inst(buf: &mut Vec<u8>, inst: &Inst) {
             put_varu(buf, u64::from(lhs.0));
             put_vari(buf, *imm);
         }
-        Inst::Load { dst, base, offset, locality } => {
+        Inst::Load {
+            dst,
+            base,
+            offset,
+            locality,
+        } => {
             buf.push(3);
             put_varu(buf, u64::from(dst.0));
             put_varu(buf, u64::from(base.0));
@@ -221,20 +226,36 @@ fn binop_from_u8(v: u8) -> Result<BinOp, DecodeError> {
     BinOp::ALL
         .get(v as usize)
         .copied()
-        .ok_or(DecodeError::BadTag { what: "binop", value: v })
+        .ok_or(DecodeError::BadTag {
+            what: "binop",
+            value: v,
+        })
 }
 
 fn read_inst(r: &mut Reader<'_>) -> Result<Inst, DecodeError> {
     let tag = r.u8()?;
     Ok(match tag {
-        0 => Inst::Const { dst: r.reg()?, value: r.vari()? },
+        0 => Inst::Const {
+            dst: r.reg()?,
+            value: r.vari()?,
+        },
         1 => {
             let op = binop_from_u8(r.u8()?)?;
-            Inst::Bin { op, dst: r.reg()?, lhs: r.reg()?, rhs: r.reg()? }
+            Inst::Bin {
+                op,
+                dst: r.reg()?,
+                lhs: r.reg()?,
+                rhs: r.reg()?,
+            }
         }
         2 => {
             let op = binop_from_u8(r.u8()?)?;
-            Inst::BinImm { op, dst: r.reg()?, lhs: r.reg()?, imm: r.vari()? }
+            Inst::BinImm {
+                op,
+                dst: r.reg()?,
+                lhs: r.reg()?,
+                imm: r.vari()?,
+            }
         }
         3 => {
             let dst = r.reg()?;
@@ -243,17 +264,39 @@ fn read_inst(r: &mut Reader<'_>) -> Result<Inst, DecodeError> {
             let locality = match r.u8()? {
                 0 => Locality::Normal,
                 1 => Locality::NonTemporal,
-                v => return Err(DecodeError::BadTag { what: "locality", value: v }),
+                v => {
+                    return Err(DecodeError::BadTag {
+                        what: "locality",
+                        value: v,
+                    })
+                }
             };
-            Inst::Load { dst, base, offset, locality }
+            Inst::Load {
+                dst,
+                base,
+                offset,
+                locality,
+            }
         }
-        4 => Inst::Store { base: r.reg()?, offset: r.vari()?, src: r.reg()? },
-        5 => Inst::GlobalAddr { dst: r.reg()?, global: GlobalId(r.varu()? as u32) },
+        4 => Inst::Store {
+            base: r.reg()?,
+            offset: r.vari()?,
+            src: r.reg()?,
+        },
+        5 => Inst::GlobalAddr {
+            dst: r.reg()?,
+            global: GlobalId(r.varu()? as u32),
+        },
         6 => {
             let dst = match r.u8()? {
                 0 => None,
                 1 => Some(r.reg()?),
-                v => return Err(DecodeError::BadTag { what: "call-dst", value: v }),
+                v => {
+                    return Err(DecodeError::BadTag {
+                        what: "call-dst",
+                        value: v,
+                    })
+                }
             };
             let callee = FuncId(r.varu()? as u32);
             let n = r.varu()? as usize;
@@ -263,10 +306,18 @@ fn read_inst(r: &mut Reader<'_>) -> Result<Inst, DecodeError> {
             }
             Inst::Call { dst, callee, args }
         }
-        7 => Inst::Report { channel: r.u8()?, src: r.reg()? },
+        7 => Inst::Report {
+            channel: r.u8()?,
+            src: r.reg()?,
+        },
         8 => Inst::Nop,
         9 => Inst::Wait,
-        v => return Err(DecodeError::BadTag { what: "inst", value: v }),
+        v => {
+            return Err(DecodeError::BadTag {
+                what: "inst",
+                value: v,
+            })
+        }
     })
 }
 
@@ -276,7 +327,11 @@ fn put_term(buf: &mut Vec<u8>, term: &Term) {
             buf.push(0);
             put_varu(buf, u64::from(t.0));
         }
-        Term::CondBr { cond, then_bb, else_bb } => {
+        Term::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             buf.push(1);
             put_varu(buf, u64::from(cond.0));
             put_varu(buf, u64::from(then_bb.0));
@@ -301,7 +356,12 @@ fn read_term(r: &mut Reader<'_>) -> Result<Term, DecodeError> {
         },
         2 => Term::Ret(Some(r.reg()?)),
         3 => Term::Ret(None),
-        v => return Err(DecodeError::BadTag { what: "term", value: v }),
+        v => {
+            return Err(DecodeError::BadTag {
+                what: "term",
+                value: v,
+            })
+        }
     })
 }
 
@@ -388,7 +448,12 @@ pub fn decode_module(data: &[u8]) -> Result<Module, DecodeError> {
                 }
                 module.add_global_full(Global::with_words(gname, words));
             }
-            v => return Err(DecodeError::BadTag { what: "global-init", value: v }),
+            v => {
+                return Err(DecodeError::BadTag {
+                    what: "global-init",
+                    value: v,
+                })
+            }
         }
     }
     let nfuncs = r.varu()? as usize;
@@ -495,7 +560,10 @@ mod tests {
     fn truncation_rejected() {
         let bytes = encode_module(&rich_module());
         for cut in [5, bytes.len() / 2, bytes.len() - 1] {
-            assert!(decode_module(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+            assert!(
+                decode_module(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
         }
     }
 
@@ -538,7 +606,10 @@ mod tests {
             DecodeError::UnexpectedEof,
             DecodeError::BadMagic,
             DecodeError::BadVersion(3),
-            DecodeError::BadTag { what: "inst", value: 200 },
+            DecodeError::BadTag {
+                what: "inst",
+                value: 200,
+            },
             DecodeError::VarintOverflow,
             DecodeError::BadUtf8,
             DecodeError::TrailingBytes(4),

@@ -106,14 +106,26 @@ mod tests {
         assert_eq!(BlockId(1).to_string(), "bb1");
         assert_eq!(GlobalId(2).to_string(), "g2");
         assert_eq!(Reg(7).to_string(), "r7");
-        let site = LoadSiteId { func: FuncId(1), block: BlockId(2), index: 3 };
+        let site = LoadSiteId {
+            func: FuncId(1),
+            block: BlockId(2),
+            index: 3,
+        };
         assert_eq!(site.to_string(), "@1:bb2:3");
     }
 
     #[test]
     fn ordering_is_lexicographic_for_sites() {
-        let a = LoadSiteId { func: FuncId(0), block: BlockId(5), index: 9 };
-        let b = LoadSiteId { func: FuncId(1), block: BlockId(0), index: 0 };
+        let a = LoadSiteId {
+            func: FuncId(0),
+            block: BlockId(5),
+            index: 9,
+        };
+        let b = LoadSiteId {
+            func: FuncId(1),
+            block: BlockId(0),
+            index: 0,
+        };
         assert!(a < b);
     }
 

@@ -151,12 +151,27 @@ pub enum Inst {
     /// `dst = value`
     Const { dst: Reg, value: i64 },
     /// `dst = lhs <op> rhs`
-    Bin { op: BinOp, dst: Reg, lhs: Reg, rhs: Reg },
+    Bin {
+        op: BinOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Reg,
+    },
     /// `dst = lhs <op> imm`
-    BinImm { op: BinOp, dst: Reg, lhs: Reg, imm: i64 },
+    BinImm {
+        op: BinOp,
+        dst: Reg,
+        lhs: Reg,
+        imm: i64,
+    },
     /// `dst = mem[base + offset]` (8-byte load) with a temporal-locality
     /// hint. The `(base, offset)` pair addresses the process data segment.
-    Load { dst: Reg, base: Reg, offset: i64, locality: Locality },
+    Load {
+        dst: Reg,
+        base: Reg,
+        offset: i64,
+        locality: Locality,
+    },
     /// `mem[base + offset] = src` (8-byte store).
     Store { base: Reg, offset: i64, src: Reg },
     /// `dst = &global` — materializes the runtime address of a global.
@@ -165,7 +180,11 @@ pub enum Inst {
     /// `r0..rN`; on return the callee's `r0` is copied into `dst` if
     /// present. In a protean binary this edge may be *virtualized* (routed
     /// through the Edge Virtualization Table).
-    Call { dst: Option<Reg>, callee: FuncId, args: Vec<Reg> },
+    Call {
+        dst: Option<Reg>,
+        callee: FuncId,
+        args: Vec<Reg>,
+    },
     /// Publishes an application-level metric sample (e.g. queries served)
     /// on a small integer channel; the simulated OS accumulates these.
     /// Models the paper's "application-specific reporting interfaces".
@@ -196,6 +215,41 @@ impl Inst {
             Inst::Store { .. } | Inst::Report { .. } | Inst::Nop | Inst::Wait => None,
         }
     }
+
+    /// Calls `f` on every register this instruction *reads*, in operand
+    /// order. The single traversal every analysis and lint pass shares.
+    pub fn for_each_use(&self, mut f: impl FnMut(Reg)) {
+        match self {
+            Inst::Bin { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            Inst::BinImm { lhs, .. } => f(*lhs),
+            Inst::Load { base, .. } => f(*base),
+            Inst::Store { base, src, .. } => {
+                f(*base);
+                f(*src);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    f(*a);
+                }
+            }
+            Inst::Report { src, .. } => f(*src),
+            Inst::Const { .. } | Inst::GlobalAddr { .. } | Inst::Nop | Inst::Wait => {}
+        }
+    }
+
+    /// True if the instruction has no side effect beyond writing `dst`:
+    /// removing it is invisible to memory, the cache hierarchy, other
+    /// functions, and the OS. Loads are *not* pure here — their cache
+    /// effects are exactly what PC3D's transformations manipulate.
+    pub fn is_pure(&self) -> bool {
+        matches!(
+            self,
+            Inst::Const { .. } | Inst::Bin { .. } | Inst::BinImm { .. } | Inst::GlobalAddr { .. }
+        )
+    }
 }
 
 /// A basic-block terminator.
@@ -205,7 +259,11 @@ pub enum Term {
     /// Unconditional branch.
     Br(BlockId),
     /// Conditional branch: to `then_bb` if `cond != 0`, else to `else_bb`.
-    CondBr { cond: Reg, then_bb: BlockId, else_bb: BlockId },
+    CondBr {
+        cond: Reg,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
     /// Function return with optional value (copied to the caller).
     Ret(Option<Reg>),
 }
@@ -215,8 +273,19 @@ impl Term {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Term::Br(t) => vec![*t],
-            Term::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Term::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Term::Ret(_) => Vec::new(),
+        }
+    }
+
+    /// Calls `f` on every register this terminator reads.
+    pub fn for_each_use(&self, mut f: impl FnMut(Reg)) {
+        match self {
+            Term::CondBr { cond, .. } => f(*cond),
+            Term::Ret(Some(r)) => f(*r),
+            Term::Br(_) | Term::Ret(None) => {}
         }
     }
 }
@@ -263,7 +332,11 @@ mod tests {
     #[test]
     fn term_successors() {
         assert_eq!(Term::Br(BlockId(2)).successors(), vec![BlockId(2)]);
-        let c = Term::CondBr { cond: Reg(0), then_bb: BlockId(1), else_bb: BlockId(2) };
+        let c = Term::CondBr {
+            cond: Reg(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
         assert_eq!(c.successors(), vec![BlockId(1), BlockId(2)]);
         assert!(Term::Ret(None).successors().is_empty());
     }
@@ -278,10 +351,18 @@ mod tests {
         };
         assert!(load.is_load());
         assert_eq!(load.dst(), Some(Reg(4)));
-        let store = Inst::Store { base: Reg(1), offset: 0, src: Reg(2) };
+        let store = Inst::Store {
+            base: Reg(1),
+            offset: 0,
+            src: Reg(2),
+        };
         assert!(!store.is_load());
         assert_eq!(store.dst(), None);
-        let call = Inst::Call { dst: None, callee: FuncId(0), args: vec![] };
+        let call = Inst::Call {
+            dst: None,
+            callee: FuncId(0),
+            args: vec![],
+        };
         assert_eq!(call.dst(), None);
     }
 
@@ -289,7 +370,11 @@ mod tests {
     fn all_binops_have_unique_mnemonics() {
         let mut seen = std::collections::HashSet::new();
         for op in BinOp::ALL {
-            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+            assert!(
+                seen.insert(op.mnemonic()),
+                "duplicate mnemonic {}",
+                op.mnemonic()
+            );
         }
         assert_eq!(seen.len(), 16);
     }

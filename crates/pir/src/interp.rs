@@ -108,7 +108,13 @@ pub fn run(
         let f = module.function(func);
         let mut regs = vec![0i64; f.reg_count().max(f.params()) as usize];
         regs[..args.len()].copy_from_slice(args);
-        Frame { regs, func, block: 0, index: 0, ret_dst }
+        Frame {
+            regs,
+            func,
+            block: 0,
+            index: 0,
+            ret_dst,
+        }
     };
 
     let mut stack = vec![new_frame(entry, &[], None)];
@@ -135,7 +141,9 @@ pub fn run(
                 Inst::BinImm { op, dst, lhs, imm } => {
                     frame.regs[dst.index()] = op.eval(frame.regs[lhs.index()], *imm);
                 }
-                Inst::Load { dst, base, offset, .. } => {
+                Inst::Load {
+                    dst, base, offset, ..
+                } => {
                     let addr = frame.regs[base.index()].wrapping_add(*offset) as u64;
                     if addr.checked_add(8).is_none_or(|e| e > data_size as u64) {
                         return Err(InterpError::Fault { addr });
@@ -165,8 +173,7 @@ pub fn run(
                     break 'outer;
                 }
                 Inst::Call { dst, callee, args } => {
-                    let vals: Vec<i64> =
-                        args.iter().map(|r| frame.regs[r.index()]).collect();
+                    let vals: Vec<i64> = args.iter().map(|r| frame.regs[r.index()]).collect();
                     let (callee, dst) = (*callee, *dst);
                     stack.push(new_frame(callee, &vals, dst));
                     continue 'outer;
@@ -181,7 +188,11 @@ pub fn run(
                 frame.block = t.index();
                 frame.index = 0;
             }
-            Term::CondBr { cond, then_bb, else_bb } => {
+            Term::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 frame.block = if frame.regs[cond.index()] != 0 {
                     then_bb.index()
                 } else {
@@ -201,7 +212,12 @@ pub fn run(
             }
         }
     }
-    Ok(InterpResult { data, steps, reports, parked })
+    Ok(InterpResult {
+        data,
+        steps,
+        reports,
+        parked,
+    })
 }
 
 #[cfg(test)]
@@ -269,7 +285,10 @@ mod tests {
         let (addrs, size) = layout(&m);
         let res = run(&m, &addrs, size, 10_000).unwrap();
         let at = addrs[0] as usize;
-        assert_eq!(i64::from_le_bytes(res.data[at..at + 8].try_into().unwrap()), 42);
+        assert_eq!(
+            i64::from_le_bytes(res.data[at..at + 8].try_into().unwrap()),
+            42
+        );
     }
 
     #[test]
@@ -282,7 +301,10 @@ mod tests {
         b.br(h);
         let f = m.add_function(b.finish());
         m.set_entry(f);
-        assert_eq!(run(&m, &[], 64, 1_000), Err(InterpError::StepBudgetExceeded));
+        assert_eq!(
+            run(&m, &[], 64, 1_000),
+            Err(InterpError::StepBudgetExceeded)
+        );
     }
 
     #[test]
@@ -294,7 +316,10 @@ mod tests {
         b.ret(None);
         let f = m.add_function(b.finish());
         m.set_entry(f);
-        assert!(matches!(run(&m, &[], 64, 1_000), Err(InterpError::Fault { .. })));
+        assert!(matches!(
+            run(&m, &[], 64, 1_000),
+            Err(InterpError::Fault { .. })
+        ));
     }
 
     #[test]

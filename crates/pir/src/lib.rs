@@ -13,6 +13,10 @@
 //! * the IR data model ([`Module`], [`Function`], [`Block`], [`Inst`]),
 //! * an ergonomic [`builder::FunctionBuilder`],
 //! * a structural [`verify`](verify::verify_module) pass,
+//! * CFG construction, dominators, and a generic worklist dataflow engine
+//!   ([`dataflow`]) with reaching-definitions, liveness, and
+//!   definite-assignment instances,
+//! * a diagnostic lint layer ([`lint`]) over those analyses,
 //! * dominator-based natural-loop analysis ([`loops`]) used by PC3D's
 //!   "innermost loops only" search heuristic,
 //! * load-site enumeration ([`analysis`]) — the unit of PC3D's variant
@@ -46,10 +50,12 @@
 pub mod analysis;
 pub mod builder;
 pub mod compress;
+pub mod dataflow;
 pub mod encode;
 pub mod ids;
 pub mod inst;
 pub mod interp;
+pub mod lint;
 pub mod loops;
 pub mod module;
 pub mod print;

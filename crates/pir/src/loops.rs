@@ -3,11 +3,15 @@
 //! PC3D's "Only Innermost Loops" heuristic (Section IV-C of the paper)
 //! needs, for every load, the loop nesting depth of its block, and per
 //! function the maximum depth. The paper gets this "leveraging the
-//! program's IR"; we compute it from first principles: reverse-postorder
-//! dominators (Cooper–Harvey–Kennedy), back edges, and natural loop bodies.
+//! program's IR"; we compute it from first principles on top of the shared
+//! [`dataflow`](crate::dataflow) CFG: reverse-postorder dominators
+//! (Cooper–Harvey–Kennedy), back edges, and natural loop bodies.
 
+use crate::dataflow::Cfg;
 use crate::ids::BlockId;
 use crate::module::Function;
+
+pub use crate::dataflow::{dominators, Dominators};
 
 /// Loop-nesting information for one function.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,159 +43,27 @@ impl LoopInfo {
     }
 }
 
-/// Computes successor and predecessor lists for a function's CFG.
-fn cfg(func: &Function) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
-    let n = func.block_count();
-    let mut succ = vec![Vec::new(); n];
-    let mut pred = vec![Vec::new(); n];
-    for (i, block) in func.blocks().iter().enumerate() {
-        for s in block.term.successors() {
-            succ[i].push(s.index());
-            pred[s.index()].push(i);
-        }
-    }
-    (succ, pred)
-}
-
-/// Reverse postorder over blocks reachable from entry.
-fn reverse_postorder(succ: &[Vec<usize>]) -> Vec<usize> {
-    let n = succ.len();
-    let mut visited = vec![false; n];
-    let mut post = Vec::with_capacity(n);
-    // Iterative DFS with an explicit stack of (node, next-child-index).
-    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
-    visited[0] = true;
-    while let Some(&mut (node, ref mut child)) = stack.last_mut() {
-        if *child < succ[node].len() {
-            let next = succ[node][*child];
-            *child += 1;
-            if !visited[next] {
-                visited[next] = true;
-                stack.push((next, 0));
-            }
-        } else {
-            post.push(node);
-            stack.pop();
-        }
-    }
-    post.reverse();
-    post
-}
-
-/// Computes immediate dominators using the Cooper–Harvey–Kennedy iterative
-/// algorithm. Returns `idom[b]` for reachable blocks; unreachable blocks
-/// get `usize::MAX`.
-fn immediate_dominators(succ: &[Vec<usize>], pred: &[Vec<usize>]) -> Vec<usize> {
-    let n = succ.len();
-    let rpo = reverse_postorder(succ);
-    let mut rpo_index = vec![usize::MAX; n];
-    for (i, &b) in rpo.iter().enumerate() {
-        rpo_index[b] = i;
-    }
-    let mut idom = vec![usize::MAX; n];
-    idom[0] = 0;
-    let intersect = |idom: &[usize], rpo_index: &[usize], mut a: usize, mut b: usize| {
-        while a != b {
-            while rpo_index[a] > rpo_index[b] {
-                a = idom[a];
-            }
-            while rpo_index[b] > rpo_index[a] {
-                b = idom[b];
-            }
-        }
-        a
-    };
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for &b in rpo.iter().skip(1) {
-            let mut new_idom = usize::MAX;
-            for &p in &pred[b] {
-                if idom[p] == usize::MAX {
-                    continue; // predecessor not yet processed / unreachable
-                }
-                new_idom = if new_idom == usize::MAX {
-                    p
-                } else {
-                    intersect(&idom, &rpo_index, p, new_idom)
-                };
-            }
-            if new_idom != usize::MAX && idom[b] != new_idom {
-                idom[b] = new_idom;
-                changed = true;
-            }
-        }
-    }
-    idom
-}
-
-/// Returns true if `a` dominates `b` (reflexive).
-fn dominates(idom: &[usize], a: usize, mut b: usize) -> bool {
-    if idom[b] == usize::MAX {
-        return false;
-    }
-    loop {
-        if a == b {
-            return true;
-        }
-        if b == 0 {
-            return false;
-        }
-        b = idom[b];
-    }
-}
-
-/// The dominator tree of a function's CFG.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Dominators {
-    idom: Vec<usize>,
-}
-
-impl Dominators {
-    /// The immediate dominator of `block`, or `None` for the entry block
-    /// and unreachable blocks.
-    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
-        let b = block.index();
-        if b == 0 || self.idom.get(b).copied().unwrap_or(usize::MAX) == usize::MAX {
-            None
-        } else {
-            Some(BlockId(self.idom[b] as u32))
-        }
-    }
-
-    /// True if `a` dominates `b` (reflexively). Unreachable blocks are
-    /// dominated by nothing and dominate nothing (except themselves being
-    /// false too, by convention).
-    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
-        dominates(&self.idom, a.index(), b.index())
-    }
-
-    /// True if `block` is reachable from the entry.
-    pub fn is_reachable(&self, block: BlockId) -> bool {
-        self.idom.get(block.index()).copied().unwrap_or(usize::MAX) != usize::MAX
-    }
-}
-
-/// Computes the dominator tree for a function.
-pub fn dominators(func: &Function) -> Dominators {
-    if func.block_count() == 0 {
-        return Dominators { idom: Vec::new() };
-    }
-    let (succ, pred) = cfg(func);
-    Dominators { idom: immediate_dominators(&succ, &pred) }
-}
-
 /// Computes natural-loop nesting depths for a function.
 ///
 /// Blocks unreachable from the entry have depth 0 and are never loop
 /// headers.
 pub fn analyze(func: &Function) -> LoopInfo {
+    let cfg = Cfg::new(func);
+    analyze_in(func, &cfg)
+}
+
+/// [`analyze`] with a caller-supplied CFG (avoids rebuilding it when the
+/// caller already has one).
+pub fn analyze_in(func: &Function, cfg: &Cfg) -> LoopInfo {
     let n = func.block_count();
     if n == 0 {
-        return LoopInfo { depth: Vec::new(), headers: Vec::new(), max_depth: 0 };
+        return LoopInfo {
+            depth: Vec::new(),
+            headers: Vec::new(),
+            max_depth: 0,
+        };
     }
-    let (succ, pred) = cfg(func);
-    let idom = immediate_dominators(&succ, &pred);
+    let dom = Dominators::compute(cfg);
     let mut depth = vec![0u32; n];
     let mut headers = Vec::new();
 
@@ -200,30 +72,32 @@ pub fn analyze(func: &Function) -> LoopInfo {
     // u -> h (h dominates u), of the nodes reaching u without passing h.
     let mut header_done = vec![false; n];
     for u in 0..n {
-        if idom[u] == usize::MAX {
+        let ub = BlockId(u as u32);
+        if !dom.is_reachable(ub) {
             continue;
         }
-        for &h in &succ[u] {
-            if !dominates(&idom, h, u) || header_done[h] {
+        for &h in cfg.succs(ub) {
+            if !dom.dominates(h, ub) || header_done[h.index()] {
                 continue;
             }
-            header_done[h] = true;
-            headers.push(BlockId(h as u32));
+            header_done[h.index()] = true;
+            headers.push(h);
             let mut in_loop = vec![false; n];
-            in_loop[h] = true;
-            let mut stack: Vec<usize> = Vec::new();
+            in_loop[h.index()] = true;
+            let mut stack: Vec<BlockId> = Vec::new();
             for v in 0..n {
-                if idom[v] != usize::MAX && succ[v].contains(&h) && dominates(&idom, h, v) {
-                    stack.push(v);
+                let vb = BlockId(v as u32);
+                if dom.is_reachable(vb) && cfg.succs(vb).contains(&h) && dom.dominates(h, vb) {
+                    stack.push(vb);
                 }
             }
             while let Some(x) = stack.pop() {
-                if in_loop[x] {
+                if in_loop[x.index()] {
                     continue;
                 }
-                in_loop[x] = true;
-                for &p in &pred[x] {
-                    if !in_loop[p] {
+                in_loop[x.index()] = true;
+                for &p in cfg.preds(x) {
+                    if !in_loop[p.index()] {
                         stack.push(p);
                     }
                 }
@@ -236,7 +110,11 @@ pub fn analyze(func: &Function) -> LoopInfo {
         }
     }
     let max_depth = depth.iter().copied().max().unwrap_or(0);
-    LoopInfo { depth, headers, max_depth }
+    LoopInfo {
+        depth,
+        headers,
+        max_depth,
+    }
 }
 
 #[cfg(test)]
@@ -288,7 +166,11 @@ mod tests {
         assert_eq!(info.headers().len(), 2);
         // The inner body must be at depth 2; count blocks at each depth.
         let d2 = info.depths().iter().filter(|&&d| d == 2).count();
-        assert!(d2 >= 2, "inner header+body should be depth 2, depths={:?}", info.depths());
+        assert!(
+            d2 >= 2,
+            "inner header+body should be depth 2, depths={:?}",
+            info.depths()
+        );
     }
 
     #[test]
@@ -327,7 +209,10 @@ mod tests {
         use crate::inst::Term;
         use crate::module::{Block, Function};
         // bb0: ret; bb1 (unreachable): br bb1 (self loop, but unreachable)
-        let blocks = vec![Block::new(Term::Ret(None)), Block::new(Term::Br(BlockId(1)))];
+        let blocks = vec![
+            Block::new(Term::Ret(None)),
+            Block::new(Term::Br(BlockId(1))),
+        ];
         let f = Function::from_parts("f", 0, 0, blocks);
         let info = analyze(&f);
         assert_eq!(info.depth(BlockId(1)), 0);
@@ -351,7 +236,10 @@ mod tests {
         }
         assert!(dom.dominates(BlockId(1), BlockId(2)));
         assert!(dom.dominates(BlockId(1), BlockId(3)));
-        assert!(!dom.dominates(BlockId(2), BlockId(3)), "body does not dominate exit");
+        assert!(
+            !dom.dominates(BlockId(2), BlockId(3)),
+            "body does not dominate exit"
+        );
         assert_eq!(dom.idom(BlockId(0)), None);
         assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
     }
@@ -362,13 +250,21 @@ mod tests {
         use crate::module::{Block, Function};
         use crate::Reg;
         // bb0 -> {bb1, bb2} -> bb3
-        let b0 = Block::new(Term::CondBr { cond: Reg(0), then_bb: BlockId(1), else_bb: BlockId(2) });
+        let b0 = Block::new(Term::CondBr {
+            cond: Reg(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        });
         let b1 = Block::new(Term::Br(BlockId(3)));
         let b2 = Block::new(Term::Br(BlockId(3)));
         let b3 = Block::new(Term::Ret(None));
         let f = Function::from_parts("d", 0, 1, vec![b0, b1, b2, b3]);
         let dom = dominators(&f);
-        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)), "join dominated by the fork");
+        assert_eq!(
+            dom.idom(BlockId(3)),
+            Some(BlockId(0)),
+            "join dominated by the fork"
+        );
         assert!(!dom.dominates(BlockId(1), BlockId(3)));
         assert!(!dom.dominates(BlockId(2), BlockId(3)));
     }
@@ -380,9 +276,15 @@ mod tests {
         use crate::Reg;
         // bb0: br bb1; bb1: condbr r0 -> bb1 | bb2; bb2: ret
         let b0 = Block::new(Term::Br(BlockId(1)));
-        let mut b1 =
-            Block::new(Term::CondBr { cond: Reg(0), then_bb: BlockId(1), else_bb: BlockId(2) });
-        b1.insts.push(Inst::Const { dst: Reg(0), value: 0 });
+        let mut b1 = Block::new(Term::CondBr {
+            cond: Reg(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        });
+        b1.insts.push(Inst::Const {
+            dst: Reg(0),
+            value: 0,
+        });
         let b2 = Block::new(Term::Ret(None));
         let f = Function::from_parts("f", 0, 1, vec![b0, b1, b2]);
         let info = analyze(&f);

@@ -23,13 +23,21 @@ pub struct Global {
 impl Global {
     /// Creates a zero-initialized global of `size` bytes.
     pub fn new(name: impl Into<String>, size: u64) -> Self {
-        Global { name: name.into(), size, init: GlobalInit::Zero }
+        Global {
+            name: name.into(),
+            size,
+            init: GlobalInit::Zero,
+        }
     }
 
     /// Creates a global initialized with the given 64-bit words.
     pub fn with_words(name: impl Into<String>, words: Vec<i64>) -> Self {
         let size = (words.len() as u64) * 8;
-        Global { name: name.into(), size, init: GlobalInit::Words(words) }
+        Global {
+            name: name.into(),
+            size,
+            init: GlobalInit::Words(words),
+        }
     }
 
     /// The global's symbolic name.
@@ -60,7 +68,10 @@ pub struct Block {
 impl Block {
     /// Creates a block ending in the given terminator.
     pub fn new(term: Term) -> Self {
-        Block { insts: Vec::new(), term }
+        Block {
+            insts: Vec::new(),
+            term,
+        }
     }
 }
 
@@ -82,7 +93,12 @@ impl Function {
         reg_count: u32,
         blocks: Vec<Block>,
     ) -> Self {
-        Function { name: name.into(), params, reg_count, blocks }
+        Function {
+            name: name.into(),
+            params,
+            reg_count,
+            blocks,
+        }
     }
 
     /// The function's symbolic name.
@@ -166,7 +182,12 @@ pub struct Module {
 impl Module {
     /// Creates an empty module.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), functions: Vec::new(), globals: Vec::new(), entry: None }
+        Module {
+            name: name.into(),
+            functions: Vec::new(),
+            globals: Vec::new(),
+            entry: None,
+        }
     }
 
     /// The module name.
@@ -224,7 +245,10 @@ impl Module {
 
     /// Finds a function by name.
     pub fn function_by_name(&self, name: &str) -> Option<FuncId> {
-        self.functions.iter().position(|f| f.name() == name).map(|i| FuncId(i as u32))
+        self.functions
+            .iter()
+            .position(|f| f.name() == name)
+            .map(|i| FuncId(i as u32))
     }
 
     /// All globals, indexable by [`GlobalId`].
@@ -261,8 +285,16 @@ mod tests {
 
     fn leaf(name: &str) -> Function {
         let mut b = Block::new(Term::Ret(None));
-        b.insts.push(Inst::Const { dst: Reg(0), value: 1 });
-        b.insts.push(Inst::Load { dst: Reg(1), base: Reg(0), offset: 0, locality: Locality::Normal });
+        b.insts.push(Inst::Const {
+            dst: Reg(0),
+            value: 1,
+        });
+        b.insts.push(Inst::Load {
+            dst: Reg(1),
+            base: Reg(0),
+            offset: 0,
+            locality: Locality::Normal,
+        });
         Function::from_parts(name, 0, 2, vec![b])
     }
 

@@ -15,8 +15,17 @@ impl fmt::Display for Inst {
             Inst::BinImm { op, dst, lhs, imm } => {
                 write!(f, "{dst} = {} {lhs}, #{imm}", op.mnemonic())
             }
-            Inst::Load { dst, base, offset, locality } => {
-                let hint = if locality.is_non_temporal() { ".nt" } else { "" };
+            Inst::Load {
+                dst,
+                base,
+                offset,
+                locality,
+            } => {
+                let hint = if locality.is_non_temporal() {
+                    ".nt"
+                } else {
+                    ""
+                };
                 write!(f, "{dst} = load{hint} [{base}{offset:+}]")
             }
             Inst::Store { base, offset, src } => {
@@ -48,7 +57,11 @@ impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Term::Br(t) => write!(f, "br {t}"),
-            Term::CondBr { cond, then_bb, else_bb } => {
+            Term::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 write!(f, "br {cond} ? {then_bb} : {else_bb}")
             }
             Term::Ret(Some(r)) => write!(f, "ret {r}"),
@@ -59,7 +72,13 @@ impl fmt::Display for Term {
 
 impl fmt::Display for Function {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "func {}({} params, {} regs) {{", self.name(), self.params(), self.reg_count())?;
+        writeln!(
+            f,
+            "func {}({} params, {} regs) {{",
+            self.name(),
+            self.params(),
+            self.reg_count()
+        )?;
         for (i, block) in self.blocks().iter().enumerate() {
             writeln!(f, "bb{i}:")?;
             for inst in &block.insts {
@@ -78,8 +97,11 @@ impl fmt::Display for Module {
             writeln!(f, "  global g{i} `{}` [{} bytes]", g.name(), g.size())?;
         }
         for (i, func) in self.functions().iter().enumerate() {
-            let entry =
-                if self.entry() == Some(crate::FuncId(i as u32)) { " (entry)" } else { "" };
+            let entry = if self.entry() == Some(crate::FuncId(i as u32)) {
+                " (entry)"
+            } else {
+                ""
+            };
             writeln!(f, "  ; @{i}{entry}")?;
             for line in func.to_string().lines() {
                 writeln!(f, "  {line}")?;

@@ -2,11 +2,19 @@
 //!
 //! A verified module can be lowered by `pcc` and executed by the machine
 //! without bounds panics: every block target, register, global, and callee
-//! reference is checked here.
+//! reference is checked here, along with CFG-level structure (no
+//! unreachable blocks, consistent return kinds, no value captured from a
+//! void callee).
+//!
+//! Verification collects **every** violation into a [`VerifyReport`] so a
+//! corrupted module produced by an online transformation can be diagnosed
+//! in one pass; [`verify_first`] is a convenience shim for callers that
+//! only care about the first error.
 
 use std::error::Error;
 use std::fmt;
 
+use crate::dataflow::Cfg;
 use crate::ids::{BlockId, FuncId, Reg};
 use crate::inst::{Inst, Term};
 use crate::module::{Function, Module};
@@ -23,15 +31,42 @@ pub enum VerifyError {
     /// A function has no blocks.
     EmptyFunction { func: String },
     /// A register operand is out of the function's register range.
-    BadReg { func: String, block: BlockId, reg: Reg },
+    BadReg {
+        func: String,
+        block: BlockId,
+        reg: Reg,
+    },
     /// A branch targets a nonexistent block.
-    BadBlockTarget { func: String, block: BlockId, target: BlockId },
+    BadBlockTarget {
+        func: String,
+        block: BlockId,
+        target: BlockId,
+    },
     /// A call references a nonexistent function.
     BadCallee { func: String, callee: FuncId },
     /// A call passes the wrong number of arguments.
-    BadArity { func: String, callee: FuncId, expected: u32, got: u32 },
+    BadArity {
+        func: String,
+        callee: FuncId,
+        expected: u32,
+        got: u32,
+    },
     /// A `GlobalAddr` references a nonexistent global.
     BadGlobal { func: String, index: u32 },
+    /// A block cannot be reached from the function entry. Legal to
+    /// execute (it never runs) but always a transformation bug, so the
+    /// verifier rejects it.
+    UnreachableBlock { func: String, block: BlockId },
+    /// A function mixes `ret <reg>` and bare `ret`, so callers cannot
+    /// know whether a value is produced.
+    InconsistentReturn { func: String, block: BlockId },
+    /// A call captures a result from a callee that only ever returns
+    /// void.
+    VoidValueCapture {
+        func: String,
+        block: BlockId,
+        callee: FuncId,
+    },
     /// The module entry function is missing or invalid.
     BadEntry,
 }
@@ -40,31 +75,71 @@ impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifyError::TooManyRegs { func, regs } => {
-                write!(f, "function `{func}` uses {regs} registers, exceeding {MAX_REGS}")
+                write!(
+                    f,
+                    "function `{func}` uses {regs} registers, exceeding {MAX_REGS}"
+                )
             }
             VerifyError::TooManyParams { func, params } => {
-                write!(f, "function `{func}` declares {params} params, exceeding {MAX_PARAMS}")
+                write!(
+                    f,
+                    "function `{func}` declares {params} params, exceeding {MAX_PARAMS}"
+                )
             }
             VerifyError::EmptyFunction { func } => {
                 write!(f, "function `{func}` has no blocks")
             }
             VerifyError::BadReg { func, block, reg } => {
-                write!(f, "function `{func}` {block} references out-of-range register {reg}")
+                write!(
+                    f,
+                    "function `{func}` {block} references out-of-range register {reg}"
+                )
             }
-            VerifyError::BadBlockTarget { func, block, target } => {
-                write!(f, "function `{func}` {block} branches to nonexistent {target}")
+            VerifyError::BadBlockTarget {
+                func,
+                block,
+                target,
+            } => {
+                write!(
+                    f,
+                    "function `{func}` {block} branches to nonexistent {target}"
+                )
             }
             VerifyError::BadCallee { func, callee } => {
                 write!(f, "function `{func}` calls nonexistent function {callee}")
             }
-            VerifyError::BadArity { func, callee, expected, got } => {
+            VerifyError::BadArity {
+                func,
+                callee,
+                expected,
+                got,
+            } => {
                 write!(
                     f,
                     "function `{func}` calls {callee} with {got} args, expected {expected}"
                 )
             }
             VerifyError::BadGlobal { func, index } => {
-                write!(f, "function `{func}` references nonexistent global g{index}")
+                write!(
+                    f,
+                    "function `{func}` references nonexistent global g{index}"
+                )
+            }
+            VerifyError::UnreachableBlock { func, block } => {
+                write!(f, "function `{func}` {block} is unreachable from the entry")
+            }
+            VerifyError::InconsistentReturn { func, block } => {
+                write!(f, "function `{func}` {block} mixes value and void returns")
+            }
+            VerifyError::VoidValueCapture {
+                func,
+                block,
+                callee,
+            } => {
+                write!(
+                    f,
+                    "function `{func}` {block} captures a value from void callee {callee}"
+                )
             }
             VerifyError::BadEntry => write!(f, "module entry function is missing or invalid"),
         }
@@ -73,124 +148,224 @@ impl fmt::Display for VerifyError {
 
 impl Error for VerifyError {}
 
-/// Verifies a single function against the module context.
+/// Every structural violation found in one verification pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyReport {
+    errors: Vec<VerifyError>,
+}
+
+impl VerifyReport {
+    /// All violations, in discovery order (function order, then block
+    /// order within a function, module-level checks last).
+    pub fn errors(&self) -> &[VerifyError] {
+        &self.errors
+    }
+
+    /// Number of violations.
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// True if no violation was recorded (such a report is never returned
+    /// from the `verify_*` entry points, which yield `Ok(())` instead).
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// The first violation, by discovery order.
+    pub fn first(&self) -> Option<&VerifyError> {
+        self.errors.first()
+    }
+
+    /// Consumes the report, yielding the violations.
+    pub fn into_errors(self) -> Vec<VerifyError> {
+        self.errors
+    }
+
+    fn into_result(self) -> Result<(), VerifyReport> {
+        if self.errors.is_empty() {
+            Ok(())
+        } else {
+            Err(self)
+        }
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} structural error(s)", self.errors.len())?;
+        for e in &self.errors {
+            write!(f, "\n  - {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for VerifyReport {}
+
+impl From<VerifyError> for VerifyReport {
+    fn from(e: VerifyError) -> Self {
+        VerifyReport { errors: vec![e] }
+    }
+}
+
+/// The return convention a function exhibits, derived from its `ret`
+/// terminators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum RetKind {
+    /// No `ret` at all (e.g. a server main loop that only `wait`s).
+    Diverges,
+    /// Only bare `ret`.
+    Void,
+    /// Only `ret <reg>`.
+    Value,
+    /// Both kinds appear — itself a verification error.
+    Mixed,
+}
+
+fn ret_kind(func: &Function) -> RetKind {
+    let (mut value, mut void) = (false, false);
+    for block in func.blocks() {
+        match block.term {
+            Term::Ret(Some(_)) => value = true,
+            Term::Ret(None) => void = true,
+            _ => {}
+        }
+    }
+    match (value, void) {
+        (true, true) => RetKind::Mixed,
+        (true, false) => RetKind::Value,
+        (false, true) => RetKind::Void,
+        (false, false) => RetKind::Diverges,
+    }
+}
+
+/// Verifies a single function against the module context, collecting all
+/// violations.
 ///
 /// `func_arities[i]` is the parameter count of function `i`;
-/// `global_count` is the number of globals in the module.
+/// `global_count` is the number of globals in the module. Module-level
+/// checks (entry designation, void-value capture) live in
+/// [`verify_module`].
 ///
 /// # Errors
 ///
-/// Returns the first structural violation found.
+/// Returns every structural violation found, in block order.
 pub fn verify_function_in(
     func: &Function,
     func_arities: &[u32],
     global_count: u32,
-) -> Result<(), VerifyError> {
+) -> Result<(), VerifyReport> {
+    let mut errors = Vec::new();
+    collect_function_errors(func, func_arities, global_count, &mut errors);
+    VerifyReport { errors }.into_result()
+}
+
+fn collect_function_errors(
+    func: &Function,
+    func_arities: &[u32],
+    global_count: u32,
+    errors: &mut Vec<VerifyError>,
+) {
     let name = func.name().to_string();
     if func.reg_count() > MAX_REGS {
-        return Err(VerifyError::TooManyRegs { func: name, regs: func.reg_count() });
+        errors.push(VerifyError::TooManyRegs {
+            func: name.clone(),
+            regs: func.reg_count(),
+        });
     }
     if func.params() > MAX_PARAMS {
-        return Err(VerifyError::TooManyParams { func: name, params: func.params() });
+        errors.push(VerifyError::TooManyParams {
+            func: name.clone(),
+            params: func.params(),
+        });
     }
     if func.blocks().is_empty() {
-        return Err(VerifyError::EmptyFunction { func: name });
+        errors.push(VerifyError::EmptyFunction { func: name });
+        return; // nothing below applies to an empty function
     }
     let nblocks = func.block_count() as u32;
-    let check_reg = |r: Reg, block: BlockId| -> Result<(), VerifyError> {
+    let check_reg = |errors: &mut Vec<VerifyError>, r: Reg, block: BlockId| {
         if r.0 >= func.reg_count() {
-            Err(VerifyError::BadReg { func: func.name().to_string(), block, reg: r })
-        } else {
-            Ok(())
+            errors.push(VerifyError::BadReg {
+                func: func.name().to_string(),
+                block,
+                reg: r,
+            });
         }
     };
+    let mut ret_seen: Option<bool> = None; // Some(has_value) of first ret
     for (bi, block) in func.blocks().iter().enumerate() {
         let bid = BlockId(bi as u32);
         for inst in &block.insts {
+            inst.for_each_use(|r| check_reg(errors, r, bid));
+            if let Some(d) = inst.dst() {
+                check_reg(errors, d, bid);
+            }
             match inst {
-                Inst::Const { dst, .. } => check_reg(*dst, bid)?,
-                Inst::Bin { dst, lhs, rhs, .. } => {
-                    check_reg(*dst, bid)?;
-                    check_reg(*lhs, bid)?;
-                    check_reg(*rhs, bid)?;
+                Inst::GlobalAddr { global, .. } if global.0 >= global_count => {
+                    errors.push(VerifyError::BadGlobal {
+                        func: func.name().to_string(),
+                        index: global.0,
+                    });
                 }
-                Inst::BinImm { dst, lhs, .. } => {
-                    check_reg(*dst, bid)?;
-                    check_reg(*lhs, bid)?;
-                }
-                Inst::Load { dst, base, .. } => {
-                    check_reg(*dst, bid)?;
-                    check_reg(*base, bid)?;
-                }
-                Inst::Store { base, src, .. } => {
-                    check_reg(*base, bid)?;
-                    check_reg(*src, bid)?;
-                }
-                Inst::GlobalAddr { dst, global } => {
-                    check_reg(*dst, bid)?;
-                    if global.0 >= global_count {
-                        return Err(VerifyError::BadGlobal {
-                            func: func.name().to_string(),
-                            index: global.0,
-                        });
-                    }
-                }
-                Inst::Call { dst, callee, args } => {
-                    if let Some(d) = dst {
-                        check_reg(*d, bid)?;
-                    }
-                    for a in args {
-                        check_reg(*a, bid)?;
-                    }
-                    let Some(&arity) = func_arities.get(callee.index()) else {
-                        return Err(VerifyError::BadCallee {
-                            func: func.name().to_string(),
-                            callee: *callee,
-                        });
-                    };
-                    if arity != args.len() as u32 {
-                        return Err(VerifyError::BadArity {
+                Inst::Call { callee, args, .. } => match func_arities.get(callee.index()) {
+                    None => errors.push(VerifyError::BadCallee {
+                        func: func.name().to_string(),
+                        callee: *callee,
+                    }),
+                    Some(&arity) if arity != args.len() as u32 => {
+                        errors.push(VerifyError::BadArity {
                             func: func.name().to_string(),
                             callee: *callee,
                             expected: arity,
                             got: args.len() as u32,
                         });
                     }
-                }
-                Inst::Report { src, .. } => check_reg(*src, bid)?,
-                Inst::Nop | Inst::Wait => {}
+                    Some(_) => {}
+                },
+                _ => {}
             }
         }
-        match &block.term {
-            Term::Br(t) => {
-                if t.0 >= nblocks {
-                    return Err(VerifyError::BadBlockTarget {
-                        func: name,
+        block.term.for_each_use(|r| check_reg(errors, r, bid));
+        for t in block.term.successors() {
+            if t.0 >= nblocks {
+                errors.push(VerifyError::BadBlockTarget {
+                    func: func.name().to_string(),
+                    block: bid,
+                    target: t,
+                });
+            }
+        }
+        if let Term::Ret(v) = &block.term {
+            let has_value = v.is_some();
+            match ret_seen {
+                None => ret_seen = Some(has_value),
+                Some(prev) if prev != has_value => {
+                    errors.push(VerifyError::InconsistentReturn {
+                        func: func.name().to_string(),
                         block: bid,
-                        target: *t,
                     });
                 }
-            }
-            Term::CondBr { cond, then_bb, else_bb } => {
-                check_reg(*cond, bid)?;
-                for t in [then_bb, else_bb] {
-                    if t.0 >= nblocks {
-                        return Err(VerifyError::BadBlockTarget {
-                            func: name,
-                            block: bid,
-                            target: *t,
-                        });
-                    }
-                }
-            }
-            Term::Ret(v) => {
-                if let Some(r) = v {
-                    check_reg(*r, bid)?;
-                }
+                Some(_) => {}
             }
         }
     }
-    Ok(())
+    // Reachability needs in-range block targets; skip it if any were bad
+    // (Cfg::new would index out of bounds).
+    let targets_ok = func
+        .blocks()
+        .iter()
+        .all(|b| b.term.successors().iter().all(|t| t.0 < nblocks));
+    if targets_ok {
+        let cfg = Cfg::new(func);
+        for block in cfg.unreachable_blocks() {
+            errors.push(VerifyError::UnreachableBlock {
+                func: func.name().to_string(),
+                block,
+            });
+        }
+    }
 }
 
 /// Verifies a function in isolation, treating it as function 0 of a module
@@ -198,35 +373,77 @@ pub fn verify_function_in(
 ///
 /// # Errors
 ///
-/// Returns the first structural violation found.
+/// Returns every structural violation found.
 pub fn verify_function(
     func: &Function,
     func_count: u32,
     global_count: u32,
-) -> Result<(), VerifyError> {
+) -> Result<(), VerifyReport> {
     let arities = vec![func.params(); func_count as usize];
     verify_function_in(func, &arities, global_count)
 }
 
-/// Verifies every function of a module plus the entry designation.
+/// Verifies every function of a module, cross-function conventions, and
+/// the entry designation, collecting all violations.
 ///
 /// # Errors
 ///
-/// Returns the first structural violation found.
-pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+/// Returns every structural violation found, function by function, with
+/// module-level errors last.
+pub fn verify_module(module: &Module) -> Result<(), VerifyReport> {
     let arities: Vec<u32> = module.functions().iter().map(|f| f.params()).collect();
+    let ret_kinds: Vec<RetKind> = module.functions().iter().map(ret_kind).collect();
+    let mut errors = Vec::new();
     for func in module.functions() {
-        verify_function_in(func, &arities, module.globals().len() as u32)?;
+        collect_function_errors(func, &arities, module.globals().len() as u32, &mut errors);
+    }
+    // Cross-function: a call may capture a value only from a callee that
+    // can actually produce one (calls to diverging callees never return,
+    // so their dst is unobservable and allowed).
+    for func in module.functions() {
+        for (bi, block) in func.blocks().iter().enumerate() {
+            for inst in &block.insts {
+                if let Inst::Call {
+                    dst: Some(_),
+                    callee,
+                    ..
+                } = inst
+                {
+                    if ret_kinds.get(callee.index()) == Some(&RetKind::Void) {
+                        errors.push(VerifyError::VoidValueCapture {
+                            func: func.name().to_string(),
+                            block: BlockId(bi as u32),
+                            callee: *callee,
+                        });
+                    }
+                }
+            }
+        }
     }
     match module.entry() {
         Some(e) if e.index() < module.functions().len() => {
             if module.function(e).params() != 0 {
-                return Err(VerifyError::BadEntry);
+                errors.push(VerifyError::BadEntry);
             }
-            Ok(())
         }
-        _ => Err(VerifyError::BadEntry),
+        _ => errors.push(VerifyError::BadEntry),
     }
+    VerifyReport { errors }.into_result()
+}
+
+/// First-error shim over [`verify_module`], for callers that only need a
+/// pass/fail signal with one representative diagnostic.
+///
+/// # Errors
+///
+/// Returns the first structural violation found.
+pub fn verify_first(module: &Module) -> Result<(), VerifyError> {
+    verify_module(module).map_err(|r| {
+        r.into_errors()
+            .into_iter()
+            .next()
+            .expect("non-empty report")
+    })
 }
 
 #[cfg(test)]
@@ -249,9 +466,14 @@ mod tests {
         m
     }
 
+    fn first_error(m: &Module) -> VerifyError {
+        verify_first(m).unwrap_err()
+    }
+
     #[test]
     fn good_module_verifies() {
         assert!(verify_module(&ok_module()).is_ok());
+        assert!(verify_first(&ok_module()).is_ok());
     }
 
     #[test]
@@ -260,7 +482,7 @@ mod tests {
         let mut b = FunctionBuilder::new("main", 0);
         b.ret(None);
         m.add_function(b.finish());
-        assert_eq!(verify_module(&m), Err(VerifyError::BadEntry));
+        assert_eq!(first_error(&m), VerifyError::BadEntry);
     }
 
     #[test]
@@ -270,7 +492,7 @@ mod tests {
         b.ret(None);
         let f = m.add_function(b.finish());
         m.set_entry(f);
-        assert_eq!(verify_module(&m), Err(VerifyError::BadEntry));
+        assert_eq!(first_error(&m), VerifyError::BadEntry);
     }
 
     #[test]
@@ -281,7 +503,10 @@ mod tests {
         b.ret(None);
         let f = m.add_function(b.finish());
         m.set_entry(f);
-        assert!(matches!(verify_module(&m), Err(VerifyError::BadGlobal { index: 3, .. })));
+        assert!(matches!(
+            first_error(&m),
+            VerifyError::BadGlobal { index: 3, .. }
+        ));
     }
 
     #[test]
@@ -292,7 +517,7 @@ mod tests {
         b.ret(None);
         let f = m.add_function(b.finish());
         m.set_entry(f);
-        assert!(matches!(verify_module(&m), Err(VerifyError::BadCallee { .. })));
+        assert!(matches!(first_error(&m), VerifyError::BadCallee { .. }));
     }
 
     #[test]
@@ -308,8 +533,12 @@ mod tests {
         let f = m.add_function(b.finish());
         m.set_entry(f);
         assert!(matches!(
-            verify_module(&m),
-            Err(VerifyError::BadArity { expected: 2, got: 1, .. })
+            first_error(&m),
+            VerifyError::BadArity {
+                expected: 2,
+                got: 1,
+                ..
+            }
         ));
     }
 
@@ -318,9 +547,10 @@ mod tests {
         use crate::inst::Term;
         let blocks = vec![Block::new(Term::Br(crate::BlockId(5)))];
         let f = crate::Function::from_parts("f", 0, 0, blocks);
+        let report = verify_function(&f, 1, 0).unwrap_err();
         assert!(matches!(
-            verify_function(&f, 1, 0),
-            Err(VerifyError::BadBlockTarget { .. })
+            report.first(),
+            Some(VerifyError::BadBlockTarget { .. })
         ));
     }
 
@@ -328,9 +558,13 @@ mod tests {
     fn bad_reg_rejected() {
         use crate::inst::{Inst, Term};
         let mut blk = Block::new(Term::Ret(None));
-        blk.insts.push(Inst::Const { dst: Reg(10), value: 0 });
+        blk.insts.push(Inst::Const {
+            dst: Reg(10),
+            value: 0,
+        });
         let f = crate::Function::from_parts("f", 0, 2, vec![blk]);
-        assert!(matches!(verify_function(&f, 1, 0), Err(VerifyError::BadReg { .. })));
+        let report = verify_function(&f, 1, 0).unwrap_err();
+        assert!(matches!(report.first(), Some(VerifyError::BadReg { .. })));
     }
 
     #[test]
@@ -341,7 +575,119 @@ mod tests {
             MAX_REGS + 1,
             vec![Block::new(crate::inst::Term::Ret(None))],
         );
-        assert!(matches!(verify_function(&f, 1, 0), Err(VerifyError::TooManyRegs { .. })));
+        let report = verify_function(&f, 1, 0).unwrap_err();
+        assert!(matches!(
+            report.first(),
+            Some(VerifyError::TooManyRegs { .. })
+        ));
+    }
+
+    #[test]
+    fn all_errors_are_collected() {
+        use crate::inst::{Inst, Term};
+        // One block with two distinct violations: an out-of-range register
+        // and a bad branch target, plus an unreachable second block.
+        let mut b0 = Block::new(Term::Br(crate::BlockId(7)));
+        b0.insts.push(Inst::Const {
+            dst: Reg(50),
+            value: 1,
+        });
+        let b1 = Block::new(Term::Ret(None));
+        let f = crate::Function::from_parts("f", 0, 2, vec![b0, b1]);
+        let report = verify_function(&f, 1, 0).unwrap_err();
+        assert!(report.len() >= 2, "expected multiple errors, got {report}");
+        let kinds: Vec<_> = report.errors().iter().collect();
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, VerifyError::BadReg { .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, VerifyError::BadBlockTarget { .. })));
+    }
+
+    #[test]
+    fn unreachable_block_rejected() {
+        use crate::inst::Term;
+        // bb0: ret; bb1: ret (orphan)
+        let blocks = vec![Block::new(Term::Ret(None)), Block::new(Term::Ret(None))];
+        let f = crate::Function::from_parts("f", 0, 0, blocks);
+        let report = verify_function(&f, 1, 0).unwrap_err();
+        assert!(matches!(
+            report.first(),
+            Some(VerifyError::UnreachableBlock {
+                block: BlockId(1),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn mixed_returns_rejected() {
+        use crate::inst::{Inst, Term};
+        // bb0: condbr r0 -> bb1 | bb2; bb1: ret r0; bb2: ret
+        let mut b0 = Block::new(Term::CondBr {
+            cond: Reg(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        });
+        b0.insts.push(Inst::Const {
+            dst: Reg(0),
+            value: 1,
+        });
+        let b1 = Block::new(Term::Ret(Some(Reg(0))));
+        let b2 = Block::new(Term::Ret(None));
+        let f = crate::Function::from_parts("f", 0, 1, vec![b0, b1, b2]);
+        let report = verify_function(&f, 1, 0).unwrap_err();
+        assert!(matches!(
+            report.first(),
+            Some(VerifyError::InconsistentReturn { .. })
+        ));
+    }
+
+    #[test]
+    fn void_value_capture_rejected() {
+        let mut m = Module::new("m");
+        let mut v = FunctionBuilder::new("void_leaf", 0);
+        v.ret(None);
+        let leaf = m.add_function(v.finish());
+        let mut b = FunctionBuilder::new("main", 0);
+        let _captured = b.call(leaf, &[]); // captures from a void callee
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        assert!(matches!(
+            first_error(&m),
+            VerifyError::VoidValueCapture { .. }
+        ));
+    }
+
+    #[test]
+    fn diverging_callee_capture_allowed() {
+        use crate::inst::Term;
+        let mut m = Module::new("m");
+        // A callee that never returns (self-loop): capturing its "result"
+        // is unobservable and accepted.
+        let spin =
+            crate::Function::from_parts("spin", 0, 0, vec![Block::new(Term::Br(BlockId(0)))]);
+        let spin_id = m.add_function(spin);
+        let mut b = FunctionBuilder::new("main", 0);
+        let _x = b.call(spin_id, &[]);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        assert!(verify_module(&m).is_ok(), "{:?}", verify_module(&m));
+    }
+
+    #[test]
+    fn report_display_lists_each_error() {
+        let mut m = Module::new("n");
+        let mut b = FunctionBuilder::new("main", 0);
+        b.ret(None);
+        m.add_function(b.finish());
+        let report = verify_module(&m).unwrap_err();
+        let text = report.to_string();
+        assert!(text.contains("1 structural error"));
+        assert!(text.contains("entry function"));
     }
 
     #[test]
@@ -349,7 +695,23 @@ mod tests {
         let errs: Vec<VerifyError> = vec![
             VerifyError::BadEntry,
             VerifyError::EmptyFunction { func: "f".into() },
-            VerifyError::TooManyRegs { func: "f".into(), regs: 999 },
+            VerifyError::TooManyRegs {
+                func: "f".into(),
+                regs: 999,
+            },
+            VerifyError::UnreachableBlock {
+                func: "f".into(),
+                block: BlockId(3),
+            },
+            VerifyError::InconsistentReturn {
+                func: "f".into(),
+                block: BlockId(1),
+            },
+            VerifyError::VoidValueCapture {
+                func: "f".into(),
+                block: BlockId(0),
+                callee: FuncId(2),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

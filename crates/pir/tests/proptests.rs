@@ -15,22 +15,39 @@ fn arb_inst(nregs: u32, nglobals: u32) -> impl Strategy<Value = Inst> {
     let op = (0usize..BinOp::ALL.len()).prop_map(|i| BinOp::ALL[i]);
     prop_oneof![
         (reg(), any::<i64>()).prop_map(|(dst, value)| Inst::Const { dst, value }),
-        (op.clone(), reg(), reg(), reg())
-            .prop_map(|(op, dst, lhs, rhs)| Inst::Bin { op, dst, lhs, rhs }),
-        (op, reg(), reg(), any::<i64>())
-            .prop_map(|(op, dst, lhs, imm)| Inst::BinImm { op, dst, lhs, imm }),
+        (op.clone(), reg(), reg(), reg()).prop_map(|(op, dst, lhs, rhs)| Inst::Bin {
+            op,
+            dst,
+            lhs,
+            rhs
+        }),
+        (op, reg(), reg(), any::<i64>()).prop_map(|(op, dst, lhs, imm)| Inst::BinImm {
+            op,
+            dst,
+            lhs,
+            imm
+        }),
         (reg(), reg(), -1024i64..1024, any::<bool>()).prop_map(|(dst, base, offset, nt)| {
             Inst::Load {
                 dst,
                 base,
                 offset,
-                locality: if nt { Locality::NonTemporal } else { Locality::Normal },
+                locality: if nt {
+                    Locality::NonTemporal
+                } else {
+                    Locality::Normal
+                },
             }
         }),
-        (reg(), -1024i64..1024, reg())
-            .prop_map(|(base, offset, src)| Inst::Store { base, offset, src }),
-        (reg(), 0..nglobals)
-            .prop_map(|(dst, g)| Inst::GlobalAddr { dst, global: pir::GlobalId(g) }),
+        (reg(), -1024i64..1024, reg()).prop_map(|(base, offset, src)| Inst::Store {
+            base,
+            offset,
+            src
+        }),
+        (reg(), 0..nglobals).prop_map(|(dst, g)| Inst::GlobalAddr {
+            dst,
+            global: pir::GlobalId(g)
+        }),
         (any::<u8>(), reg()).prop_map(|(channel, src)| Inst::Report { channel, src }),
         Just(Inst::Nop),
     ]

@@ -19,7 +19,10 @@ impl Default for CompileCostModel {
     /// Calibrated so a mid-sized (~100 instruction) function costs about
     /// 5 ms at the default time base of 1M cycles/second.
     fn default() -> Self {
-        CompileCostModel { base_cycles: 1_500, per_inst_cycles: 35 }
+        CompileCostModel {
+            base_cycles: 1_500,
+            per_inst_cycles: 35,
+        }
     }
 }
 
@@ -31,7 +34,10 @@ impl CompileCostModel {
 
     /// A free cost model (for tests isolating other effects).
     pub fn free() -> Self {
-        CompileCostModel { base_cycles: 0, per_inst_cycles: 0 }
+        CompileCostModel {
+            base_cycles: 0,
+            per_inst_cycles: 0,
+        }
     }
 }
 
@@ -43,7 +49,10 @@ mod tests {
     fn default_hits_5ms_scale() {
         let m = CompileCostModel::default();
         let c = m.cost(100);
-        assert!((3_000..8_000).contains(&c), "~100-inst function should cost ~5k cycles, got {c}");
+        assert!(
+            (3_000..8_000).contains(&c),
+            "~100-inst function should cost ~5k cycles, got {c}"
+        );
     }
 
     #[test]

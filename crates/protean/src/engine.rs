@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn custom_engines_drive_the_runtime() {
-        let img = Compiler::new(Options::protean()).compile(&host()).unwrap().image;
+        let img = Compiler::new(Options::protean())
+            .compile(&host())
+            .unwrap()
+            .image;
         let mut os = Os::new(OsConfig::small());
         let pid = os.spawn(&img, 0);
         let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
@@ -119,12 +122,18 @@ mod tests {
         assert_eq!(engine.name(), "one-shot");
         drive(&mut os, &mut rt, &mut engine, 1_000, 300_000);
         assert!(engine.fired);
-        assert!(os.counters(pid).nt_prefetches > 0, "the dispatched variant must run");
+        assert!(
+            os.counters(pid).nt_prefetches > 0,
+            "the dispatched variant must run"
+        );
     }
 
     #[test]
     fn stress_engine_is_a_decision_engine() {
-        let img = Compiler::new(Options::protean()).compile(&host()).unwrap().image;
+        let img = Compiler::new(Options::protean())
+            .compile(&host())
+            .unwrap()
+            .image;
         let mut os = Os::new(OsConfig::small());
         let pid = os.spawn(&img, 0);
         let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();

@@ -21,6 +21,11 @@
 //!   atomic 8-byte write. Compilation cycles are charged to the runtime's
 //!   core through the OS ([`CompileCostModel`]), making the overhead
 //!   experiments of Figures 5-7 meaningful.
+//! * **Variant safety** ([`safety`]): before any EVT write, the dispatcher
+//!   statically vets the variant against the baseline recovered from the
+//!   process image — a legal variant differs only in load locality bits —
+//!   and refuses anything else with
+//!   [`DispatchError::UnsafeVariant`](runtime::DispatchError).
 //! * **Monitoring** ([`monitor`]): introspection (PC sampling → hot
 //!   functions; HPM windows → IPC/BPC) and extrospection (co-runner HPM
 //!   and application-level metrics).
@@ -36,6 +41,7 @@ pub mod engine;
 pub mod monitor;
 pub mod phase;
 pub mod runtime;
+pub mod safety;
 pub mod stress;
 pub mod systems;
 
@@ -44,4 +50,5 @@ pub use engine::{drive, DecisionEngine};
 pub use monitor::{ExtMonitor, HostMonitor, WindowStats};
 pub use phase::{PhaseChange, PhaseDetector};
 pub use runtime::{AttachError, DispatchError, Runtime, RuntimeConfig, VariantRecord};
+pub use safety::check_variant;
 pub use stress::StressEngine;

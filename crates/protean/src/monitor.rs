@@ -131,8 +131,7 @@ impl HostMonitor {
         if total <= 0.0 {
             return Vec::new();
         }
-        let mut v: Vec<(FuncId, f64)> =
-            self.weights.iter().map(|(f, w)| (*f, w / total)).collect();
+        let mut v: Vec<(FuncId, f64)> = self.weights.iter().map(|(f, w)| (*f, w / total)).collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         v
     }
@@ -194,7 +193,10 @@ impl ExtMonitor {
     /// Peeks at stats since the last window boundary without closing the
     /// window.
     pub fn peek(&self, os: &Os) -> WindowStats {
-        let seconds = os.config().machine.cycles_to_seconds(os.now() - self.last_time);
+        let seconds = os
+            .config()
+            .machine
+            .cycles_to_seconds(os.now() - self.last_time);
         window_stats(
             os.counters(self.pid) - self.last_counters,
             seconds,
@@ -264,7 +266,10 @@ mod tests {
         let hot = mon.hot_funcs();
         assert!(!hot.is_empty());
         let hot_id = rt.module().function_by_name("hot").unwrap();
-        assert_eq!(hot[0].0, hot_id, "hot loop should dominate samples: {hot:?}");
+        assert_eq!(
+            hot[0].0, hot_id,
+            "hot loop should dominate samples: {hot:?}"
+        );
         assert!(hot[0].1 > 0.5);
         assert!(mon.active_funcs().contains(&hot_id));
     }

@@ -39,7 +39,12 @@ impl PhaseDetector {
     /// Creates a detector. Typical thresholds: `rate_threshold` 0.25,
     /// `hot_set_threshold` 0.5.
     pub fn new(rate_threshold: f64, hot_set_threshold: f64) -> Self {
-        PhaseDetector { rate_threshold, hot_set_threshold, prev_rate: None, prev_hot: Vec::new() }
+        PhaseDetector {
+            rate_threshold,
+            hot_set_threshold,
+            prev_rate: None,
+            prev_hot: Vec::new(),
+        }
     }
 
     /// Observes a window using the IPS metric (external programs, whose
@@ -122,7 +127,12 @@ mod tests {
     use super::*;
 
     fn w(ips: f64) -> WindowStats {
-        WindowStats { ips, bps: ips / 10.0, app_rate: ips / 100.0, ..Default::default() }
+        WindowStats {
+            ips,
+            bps: ips / 10.0,
+            app_rate: ips / 100.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -172,7 +182,11 @@ mod tests {
         let a = [FuncId(0), FuncId(1), FuncId(2)];
         let b = [FuncId(0), FuncId(1), FuncId(3)];
         let _ = d.observe_hot_set(&a);
-        assert_eq!(d.observe_hot_set(&b), PhaseChange::Stable, "jaccard 0.5 >= threshold");
+        assert_eq!(
+            d.observe_hot_set(&b),
+            PhaseChange::Stable,
+            "jaccard 0.5 >= threshold"
+        );
     }
 
     #[test]

@@ -5,8 +5,9 @@ use std::error::Error;
 use std::fmt;
 
 use pcc::annex::MetaError;
-use pcc::{compile_function_variant, EmbeddedMeta, NtAssignment};
-use pir::{FuncId, Module};
+use pcc::lower::{lower_function, LowerCtx};
+use pcc::{EmbeddedMeta, NtAssignment};
+use pir::{FuncId, Function, Module};
 use simos::{Os, Pid};
 use visa::MetaDesc;
 
@@ -25,7 +26,10 @@ pub struct RuntimeConfig {
 impl RuntimeConfig {
     /// Runtime on a dedicated core with default costs.
     pub fn on_core(core: usize) -> Self {
-        RuntimeConfig { core, cost: CompileCostModel::default() }
+        RuntimeConfig {
+            core,
+            cost: CompileCostModel::default(),
+        }
     }
 }
 
@@ -64,13 +68,29 @@ pub enum DispatchError {
     /// The function's call edges were not virtualized by the static
     /// compiler, so the runtime has no hook to redirect it.
     NotVirtualized(FuncId),
+    /// The variant failed the static safety gate
+    /// ([`check_variant`](crate::safety::check_variant)): it is not the
+    /// baseline function with only load locality bits changed, so
+    /// patching the EVT could corrupt the running host.
+    UnsafeVariant {
+        /// The function the rejected variant targets.
+        func: FuncId,
+        /// Which safety property the variant violated.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DispatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DispatchError::NotVirtualized(f_) => {
-                write!(f, "function {f_} has no EVT slot; its edges are not virtualized")
+                write!(
+                    f,
+                    "function {f_} has no EVT slot; its edges are not virtualized"
+                )
+            }
+            DispatchError::UnsafeVariant { func, detail } => {
+                write!(f, "refusing to dispatch unsafe variant of {func}: {detail}")
             }
         }
     }
@@ -85,7 +105,11 @@ pub struct VariantRecord {
     pub func: FuncId,
     /// The non-temporal assignment baked into it.
     pub nt: NtAssignment,
-    /// Code-cache address of the variant's first instruction.
+    /// The variant's IR — what the safety gate vets against the baseline
+    /// before any dispatch.
+    pub ir: Function,
+    /// Code-cache address of the variant's first instruction (0 with
+    /// `len == 0` for bodies the gate refused to lower).
     pub addr: u32,
     /// Length in instructions.
     pub len: u32,
@@ -103,10 +127,15 @@ pub struct Runtime {
     /// Memoization: identical (func, nt) requests reuse the cached
     /// variant instead of recompiling.
     by_key: HashMap<(FuncId, Vec<pir::LoadSiteId>), usize>,
+    /// Memoized safety verdicts per variant index: `None` means safe,
+    /// `Some(detail)` records why the variant must never be dispatched.
+    safety_verdicts: HashMap<usize, Option<String>>,
     /// Cumulative cycles of compilation work charged.
     compile_cycles: u64,
     /// Number of compilations performed (cache misses).
     compilations: u64,
+    /// Number of dispatch attempts refused by the safety gate.
+    rejected_dispatches: u64,
 }
 
 impl Runtime {
@@ -131,8 +160,10 @@ impl Runtime {
             desc,
             variants: Vec::new(),
             by_key: HashMap::new(),
+            safety_verdicts: HashMap::new(),
             compile_cycles: 0,
             compilations: 0,
+            rejected_dispatches: 0,
         })
     }
 
@@ -180,6 +211,11 @@ impl Runtime {
     /// Number of distinct variant compilations performed.
     pub fn compilations(&self) -> u64 {
         self.compilations
+    }
+
+    /// Number of dispatch attempts the safety gate refused.
+    pub fn rejected_dispatches(&self) -> u64 {
+        self.rejected_dispatches
     }
 
     /// All compiled variants.
@@ -231,27 +267,134 @@ impl Runtime {
         if self.meta.link.func_evt_slot[func.index()].is_none() {
             return Err(DispatchError::NotVirtualized(func));
         }
+        let ir = nt.apply_to(self.meta.module.function(func), func);
+        let idx = self.lower_and_record(os, func, nt.clone(), ir);
+        Ok(idx)
+    }
+
+    /// Installs a caller-provided variant body for `func` — the path an
+    /// external (potentially buggy or compromised) variant producer would
+    /// take, and the trust boundary [`dispatch`](Runtime::dispatch)
+    /// defends. The body is vetted immediately: safe bodies are lowered
+    /// into the code cache like any compiled variant, while unsafe bodies
+    /// are recorded with an empty code range so a later dispatch can be
+    /// refused with the cached verdict (lowering corrupt IR is not
+    /// meaningful).
+    ///
+    /// Returns the new variant index.
+    ///
+    /// # Errors
+    ///
+    /// [`DispatchError::NotVirtualized`] if the function has no EVT slot.
+    pub fn install_variant_ir(
+        &mut self,
+        os: &mut Os,
+        func: FuncId,
+        ir: Function,
+    ) -> Result<usize, DispatchError> {
+        if self.meta.link.func_evt_slot[func.index()].is_none() {
+            return Err(DispatchError::NotVirtualized(func));
+        }
+        let verdict = self.vet(func, &ir);
+        let idx = if verdict.is_none() {
+            self.lower_and_record(os, func, NtAssignment::none(), ir)
+        } else {
+            self.variants.push(VariantRecord {
+                func,
+                nt: NtAssignment::none(),
+                ir,
+                addr: 0,
+                len: 0,
+            });
+            self.variants.len() - 1
+        };
+        self.safety_verdicts.insert(idx, verdict);
+        Ok(idx)
+    }
+
+    /// Lowers `ir` into the code cache, charges the cost, and records the
+    /// variant. The caller has already confirmed the EVT slot exists.
+    fn lower_and_record(
+        &mut self,
+        os: &mut Os,
+        func: FuncId,
+        nt: NtAssignment,
+        ir: Function,
+    ) -> usize {
         let base = os.text_len(self.pid);
-        let ops = compile_function_variant(&self.meta.module, func, nt, &self.meta.link, base);
+        let ctx = LowerCtx {
+            module: &self.meta.module,
+            link: &self.meta.link,
+            virtualize: true,
+        };
+        let ops = lower_function(&ir, &ctx, base);
         let cost = self.config.cost.cost(ops.len());
         os.charge_runtime(self.config.core, cost);
         self.compile_cycles += cost;
         self.compilations += 1;
         let addr = os.append_text(self.pid, &ops);
         debug_assert_eq!(addr, base);
-        let record =
-            VariantRecord { func, nt: nt.clone(), addr, len: ops.len() as u32 };
-        self.variants.push(record);
-        Ok(self.variants.len() - 1)
+        self.variants.push(VariantRecord {
+            func,
+            nt,
+            ir,
+            addr,
+            len: ops.len() as u32,
+        });
+        self.variants.len() - 1
+    }
+
+    /// Runs the static safety gate on a candidate body for `func`.
+    fn vet(&self, func: FuncId, ir: &Function) -> Option<String> {
+        let arities: Vec<u32> = self
+            .meta
+            .module
+            .functions()
+            .iter()
+            .map(|f| f.params())
+            .collect();
+        let globals = self.meta.module.globals().len() as u32;
+        crate::safety::check_variant(self.meta.module.function(func), ir, &arities, globals).err()
+    }
+
+    /// The cached safety verdict for a variant, computing it on first use.
+    fn verdict(&mut self, variant: usize) -> Option<String> {
+        if let Some(v) = self.safety_verdicts.get(&variant) {
+            return v.clone();
+        }
+        let rec = &self.variants[variant];
+        let verdict = self.vet(rec.func, &rec.ir);
+        self.safety_verdicts.insert(variant, verdict.clone());
+        verdict
     }
 
     /// Dispatches a previously compiled variant: one atomic 8-byte EVT
     /// write redirecting every virtualized edge into the function.
     ///
+    /// The first dispatch of each variant runs the static safety gate
+    /// ([`safety::check_variant`](crate::safety::check_variant)) against
+    /// the baseline recovered from the process image; the verdict is
+    /// memoized, so re-dispatching stays a single EVT write (the paper's
+    /// near-free property).
+    ///
+    /// # Errors
+    ///
+    /// [`DispatchError::UnsafeVariant`] if the variant is not the
+    /// baseline function with only load locality bits changed. The EVT is
+    /// left untouched and the rejection is counted in
+    /// [`rejected_dispatches`](Runtime::rejected_dispatches).
+    ///
     /// # Panics
     ///
     /// Panics if `variant` is out of range.
-    pub fn dispatch(&mut self, os: &mut Os, variant: usize) {
+    pub fn dispatch(&mut self, os: &mut Os, variant: usize) -> Result<(), DispatchError> {
+        if let Some(detail) = self.verdict(variant) {
+            self.rejected_dispatches += 1;
+            return Err(DispatchError::UnsafeVariant {
+                func: self.variants[variant].func,
+                detail,
+            });
+        }
         let rec = &self.variants[variant];
         let cell = self
             .meta
@@ -259,6 +402,7 @@ impl Runtime {
             .evt_cell(rec.func)
             .expect("compiled variants always have EVT slots");
         os.write_u64(self.pid, cell, u64::from(rec.addr));
+        Ok(())
     }
 
     /// Compiles (or reuses) and dispatches in one step. Returns the
@@ -266,7 +410,9 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// [`DispatchError::NotVirtualized`] if the function has no EVT slot.
+    /// [`DispatchError::NotVirtualized`] if the function has no EVT slot;
+    /// [`DispatchError::UnsafeVariant`] if the safety gate refuses the
+    /// variant.
     pub fn transform(
         &mut self,
         os: &mut Os,
@@ -274,7 +420,7 @@ impl Runtime {
         nt: &NtAssignment,
     ) -> Result<usize, DispatchError> {
         let idx = self.compile_variant(os, func, nt)?;
-        self.dispatch(os, idx);
+        self.dispatch(os, idx)?;
         Ok(idx)
     }
 
@@ -368,7 +514,11 @@ mod tests {
         let (_, _, rt) = setup(8);
         assert_eq!(rt.module().name(), "host");
         assert_eq!(rt.module().functions().len(), 2);
-        assert_eq!(rt.virtualized_funcs().len(), 1, "worker is multi-block and called");
+        assert_eq!(
+            rt.virtualized_funcs().len(),
+            1,
+            "worker is multi-block and called"
+        );
     }
 
     #[test]
@@ -424,9 +574,7 @@ mod tests {
     fn restore_reverts_to_original_code() {
         let (mut os, pid, mut rt) = setup(8);
         let worker = rt.module().function_by_name("worker").unwrap();
-        let nt = NtAssignment::all(
-            pir::load_sites(rt.module()).iter().map(|s| s.site),
-        );
+        let nt = NtAssignment::all(pir::load_sites(rt.module()).iter().map(|s| s.site));
         rt.transform(&mut os, worker, &nt).unwrap();
         rt.restore(&mut os, worker).unwrap();
         let original = rt.link().func_addrs[worker.index()];
@@ -448,9 +596,7 @@ mod tests {
         assert_eq!(v1, v2);
         assert_eq!(rt.compilations(), 1);
         let mut nt2 = NtAssignment::none();
-        nt2.extend(
-            pir::load_sites(rt.module()).iter().map(|s| s.site).take(1),
-        );
+        nt2.extend(pir::load_sites(rt.module()).iter().map(|s| s.site).take(1));
         let v3 = rt.compile_variant(&mut os, worker, &nt2).unwrap();
         assert_ne!(v1, v3);
         assert_eq!(rt.compilations(), 2);
@@ -460,7 +606,8 @@ mod tests {
     fn compile_charges_runtime_core() {
         let (mut os, _, mut rt) = setup(8);
         let worker = rt.module().function_by_name("worker").unwrap();
-        rt.compile_variant(&mut os, worker, &NtAssignment::none()).unwrap();
+        rt.compile_variant(&mut os, worker, &NtAssignment::none())
+            .unwrap();
         assert!(rt.compile_cycles() > 0);
         os.advance(1_000_000);
         assert_eq!(os.runtime_consumed(1), rt.compile_cycles());
@@ -470,9 +617,62 @@ mod tests {
     fn unvirtualized_function_rejected() {
         let (mut os, _, mut rt) = setup(8);
         let main = rt.module().function_by_name("main").unwrap();
-        let err = rt.transform(&mut os, main, &NtAssignment::none()).unwrap_err();
+        let err = rt
+            .transform(&mut os, main, &NtAssignment::none())
+            .unwrap_err();
         assert!(matches!(err, DispatchError::NotVirtualized(_)));
         assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn corrupted_variant_is_refused_at_dispatch() {
+        let (mut os, _, mut rt) = setup(8);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        // A "variant" whose arithmetic was tampered with.
+        let mut bad = rt.module().function(worker).clone();
+        for block in bad.blocks_mut() {
+            for inst in &mut block.insts {
+                if let pir::Inst::BinImm { imm, .. } = inst {
+                    *imm += 8;
+                }
+            }
+        }
+        let idx = rt.install_variant_ir(&mut os, worker, bad).unwrap();
+        let err = rt.dispatch(&mut os, idx).unwrap_err();
+        assert!(matches!(err, DispatchError::UnsafeVariant { func, .. } if func == worker));
+        assert_eq!(rt.rejected_dispatches(), 1);
+        // Repeated attempts keep failing (memoized verdict) and counting.
+        assert!(rt.dispatch(&mut os, idx).is_err());
+        assert_eq!(rt.rejected_dispatches(), 2);
+    }
+
+    #[test]
+    fn rejected_dispatch_leaves_the_evt_untouched() {
+        let (mut os, _, mut rt) = setup(8);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        let before = rt.current_target(&os, worker);
+        let mut bad = rt.module().function(worker).clone();
+        bad.blocks_mut()[0].insts.push(pir::Inst::Nop);
+        let idx = rt.install_variant_ir(&mut os, worker, bad).unwrap();
+        assert!(rt.dispatch(&mut os, idx).is_err());
+        assert_eq!(rt.current_target(&os, worker), before);
+    }
+
+    #[test]
+    fn installed_locality_variant_passes_the_gate() {
+        let (mut os, pid, mut rt) = setup(8);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        let sites: Vec<_> = pir::load_sites(rt.module())
+            .iter()
+            .map(|s| s.site)
+            .filter(|s| s.func == worker)
+            .collect();
+        let ir = NtAssignment::all(sites).apply_to(rt.module().function(worker), worker);
+        let idx = rt.install_variant_ir(&mut os, worker, ir).unwrap();
+        rt.dispatch(&mut os, idx).unwrap();
+        assert_eq!(rt.rejected_dispatches(), 0);
+        let image_len = os.proc(pid).image_text_len();
+        assert!(rt.current_target(&os, worker).unwrap() >= image_len);
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Static safety gate for runtime-dispatched variants.
+//!
+//! Dispatching rewires every virtualized call edge of a live function
+//! with one EVT write, so a bug in a variant producer becomes arbitrary
+//! misbehavior in the host process the instant that write lands. Before
+//! the EVT is patched, the runtime statically compares the variant's IR
+//! against the baseline function recovered from the process image. A
+//! legal protean variant differs from its baseline *only* in load
+//! locality bits (Section IV-B's bit vectors M = ⟨M1 … MN⟩), which gives
+//! the gate a precise contract to enforce:
+//!
+//! 1. the signature (parameter count) is unchanged,
+//! 2. the variant still passes the [`pir::verify`] structural checks,
+//! 3. the variant introduces no possibly-undefined register reads that
+//!    the baseline did not have ([`pir::dataflow::maybe_undef_uses`]),
+//! 4. the call-site sequence — the function's outgoing call graph,
+//!    modulo which edges are virtualized — is unchanged, and
+//! 5. every instruction and terminator is identical to the baseline's,
+//!    except that loads may differ in their [`pir::Locality`] bit.
+//!
+//! The checks run cheapest-analysis-first so a rejection names the most
+//! specific property violated, not just "bodies differ".
+
+use pir::{dataflow, verify, FuncId, Function, Inst};
+
+/// Checks that `variant` is a safe replacement for `baseline`.
+///
+/// `arities` and `globals` describe the surrounding module (callee
+/// parameter counts, global count) exactly as
+/// [`pir::verify::verify_function_in`] expects them.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated property.
+pub fn check_variant(
+    baseline: &Function,
+    variant: &Function,
+    arities: &[u32],
+    globals: u32,
+) -> Result<(), String> {
+    if variant.params() != baseline.params() {
+        return Err(format!(
+            "signature changed: baseline takes {} parameter(s), variant takes {}",
+            baseline.params(),
+            variant.params()
+        ));
+    }
+    if let Err(report) = verify::verify_function_in(variant, arities, globals) {
+        return Err(format!("variant fails structural verification: {report}"));
+    }
+    if dataflow::maybe_undef_uses(baseline).is_empty() {
+        if let Some(u) = dataflow::maybe_undef_uses(variant).first() {
+            return Err(format!(
+                "variant reads {} in {} without a prior assignment on every path; \
+                 the baseline has no such read",
+                u.reg, u.block
+            ));
+        }
+    }
+    if call_sites(variant) != call_sites(baseline) {
+        return Err(
+            "call-site sequence changed: the variant's outgoing call graph \
+                    does not match the baseline's"
+                .to_string(),
+        );
+    }
+    same_modulo_locality(baseline, variant)
+}
+
+/// The function's outgoing call edges in program order: `(callee, arity)`
+/// per call site. Virtualization does not appear at the IR level, so this
+/// is exactly "the call graph modulo virtualized edges".
+fn call_sites(func: &Function) -> Vec<(FuncId, usize)> {
+    let mut sites = Vec::new();
+    for block in func.blocks() {
+        for inst in &block.insts {
+            if let Inst::Call { callee, args, .. } = inst {
+                sites.push((*callee, args.len()));
+            }
+        }
+    }
+    sites
+}
+
+/// Two loads are interchangeable if they differ only in locality.
+fn loads_match(a: &Inst, b: &Inst) -> bool {
+    match (a, b) {
+        (
+            Inst::Load {
+                dst: da,
+                base: ba,
+                offset: oa,
+                ..
+            },
+            Inst::Load {
+                dst: db,
+                base: bb,
+                offset: ob,
+                ..
+            },
+        ) => da == db && ba == bb && oa == ob,
+        _ => a == b,
+    }
+}
+
+fn same_modulo_locality(baseline: &Function, variant: &Function) -> Result<(), String> {
+    if variant.block_count() != baseline.block_count() {
+        return Err(format!(
+            "block count changed: baseline has {}, variant has {}",
+            baseline.block_count(),
+            variant.block_count()
+        ));
+    }
+    for (bi, (bb, vb)) in baseline.blocks().iter().zip(variant.blocks()).enumerate() {
+        if vb.insts.len() != bb.insts.len() {
+            return Err(format!(
+                "bb{bi} changed length: baseline has {} instruction(s), variant has {}",
+                bb.insts.len(),
+                vb.insts.len()
+            ));
+        }
+        for (ii, (binst, vinst)) in bb.insts.iter().zip(&vb.insts).enumerate() {
+            if !loads_match(binst, vinst) {
+                return Err(format!(
+                    "bb{bi}[{ii}] differs from the baseline beyond a load locality bit"
+                ));
+            }
+        }
+        if vb.term != bb.term {
+            return Err(format!("bb{bi}'s terminator differs from the baseline"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcc::NtAssignment;
+    use pir::{BinOp, FunctionBuilder, Locality, Module, Reg, Term};
+
+    /// A two-function module: a multi-block worker streaming over `buf`
+    /// plus a tiny leaf the worker calls.
+    fn module() -> Module {
+        let mut m = Module::new("m");
+        let buf = m.add_global("buf", 1 << 12);
+        let mut leaf = FunctionBuilder::new("leaf", 1);
+        let p = leaf.param(0);
+        let d = leaf.mul_imm(p, 2);
+        leaf.ret(Some(d));
+        let leaf_id = m.add_function(leaf.finish());
+        let mut decoy = FunctionBuilder::new("decoy", 1);
+        let p = decoy.param(0);
+        decoy.ret(Some(p));
+        m.add_function(decoy.finish());
+        let mut w = FunctionBuilder::new("worker", 0);
+        let base = w.global_addr(buf);
+        w.counted_loop(0, 8, 1, |b, i| {
+            let off = b.shl_imm(i, 3);
+            let a = b.add(base, off);
+            let v = b.load(a, 0, Locality::Normal);
+            let _ = b.call(leaf_id, &[v]);
+        });
+        w.ret(None);
+        let wid = m.add_function(w.finish());
+        m.set_entry(wid);
+        m
+    }
+
+    fn parts(m: &Module) -> (Vec<u32>, u32) {
+        (
+            m.functions().iter().map(|f| f.params()).collect(),
+            m.globals().len() as u32,
+        )
+    }
+
+    fn worker(m: &Module) -> &Function {
+        m.function(m.function_by_name("worker").unwrap())
+    }
+
+    #[test]
+    fn identity_and_locality_variants_pass() {
+        let m = module();
+        let (arities, globals) = parts(&m);
+        let fid = m.function_by_name("worker").unwrap();
+        let base = worker(&m);
+        assert_eq!(check_variant(base, base, &arities, globals), Ok(()));
+        let sites: Vec<_> = pir::load_sites(&m)
+            .iter()
+            .map(|s| s.site)
+            .filter(|s| s.func == fid)
+            .collect();
+        assert!(!sites.is_empty());
+        let nt = NtAssignment::all(sites);
+        let hinted = nt.apply_to(base, fid);
+        assert_eq!(check_variant(base, &hinted, &arities, globals), Ok(()));
+    }
+
+    #[test]
+    fn changed_arithmetic_is_rejected() {
+        let m = module();
+        let (arities, globals) = parts(&m);
+        let mut bad = worker(&m).clone();
+        for block in bad.blocks_mut() {
+            for inst in &mut block.insts {
+                if let Inst::BinImm { imm, .. } = inst {
+                    *imm += 1;
+                    let err = check_variant(worker(&m), &bad, &arities, globals).unwrap_err();
+                    assert!(err.contains("beyond a load locality bit"), "{err}");
+                    return;
+                }
+            }
+        }
+        panic!("worker has a BinImm");
+    }
+
+    #[test]
+    fn redirected_call_is_rejected() {
+        let m = module();
+        let (arities, globals) = parts(&m);
+        let mut bad = worker(&m).clone();
+        // Same arity as `leaf`, so structural verification still passes
+        // and only the call-graph comparison can catch the redirection.
+        let decoy = m.function_by_name("decoy").unwrap();
+        for block in bad.blocks_mut() {
+            for inst in &mut block.insts {
+                if let Inst::Call { callee, .. } = inst {
+                    *callee = decoy;
+                    let err = check_variant(worker(&m), &bad, &arities, globals).unwrap_err();
+                    assert!(err.contains("call-site sequence"), "{err}");
+                    return;
+                }
+            }
+        }
+        panic!("worker has a call");
+    }
+
+    #[test]
+    fn structural_breakage_is_rejected() {
+        let m = module();
+        let (arities, globals) = parts(&m);
+        let mut bad = worker(&m).clone();
+        for block in bad.blocks_mut() {
+            for inst in &mut block.insts {
+                if let Inst::Load { base, .. } = inst {
+                    *base = Reg(pir::MAX_REGS + 5);
+                    let err = check_variant(worker(&m), &bad, &arities, globals).unwrap_err();
+                    assert!(err.contains("structural verification"), "{err}");
+                    return;
+                }
+            }
+        }
+        panic!("worker has a load");
+    }
+
+    #[test]
+    fn introduced_undef_read_is_rejected() {
+        let m = module();
+        let (arities, globals) = parts(&m);
+        let mut bad = worker(&m).clone();
+        // Give the variant one more register than the baseline ever
+        // writes, and read it: shape-wise a tiny change, but the dataflow
+        // gate sees the maybe-undefined use first.
+        let fresh = Reg(bad.reg_count());
+        bad.set_reg_count(bad.reg_count() + 1);
+        for block in bad.blocks_mut() {
+            for inst in &mut block.insts {
+                if let Inst::Bin {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } = inst
+                {
+                    *rhs = fresh;
+                    let err = check_variant(worker(&m), &bad, &arities, globals).unwrap_err();
+                    assert!(err.contains("without a prior assignment"), "{err}");
+                    return;
+                }
+            }
+        }
+        panic!("worker has an add");
+    }
+
+    #[test]
+    fn changed_terminator_is_rejected() {
+        let m = module();
+        let (arities, globals) = parts(&m);
+        let mut bad = worker(&m).clone();
+        // Retarget the entry branch to the exit block: still verifies
+        // (blocks stay reachable via the loop back-edge is lost, but the
+        // gate flags the terminator before reachability matters).
+        let last = pir::BlockId(bad.block_count() as u32 - 1);
+        bad.blocks_mut()[0].term = Term::Br(last);
+        let err = check_variant(worker(&m), &bad, &arities, globals).unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn changed_signature_is_rejected() {
+        let m = module();
+        let (arities, globals) = parts(&m);
+        let base = worker(&m);
+        let bad = Function::from_parts(
+            base.name(),
+            base.params() + 1,
+            base.reg_count().max(base.params() + 1),
+            base.blocks().to_vec(),
+        );
+        let err = check_variant(base, &bad, &arities, globals).unwrap_err();
+        assert!(err.contains("signature"), "{err}");
+    }
+}

@@ -64,8 +64,9 @@ impl StressEngine {
             // with no semantic change.
             let nt = NtAssignment::none();
             if let Ok(idx) = rt.compile_fresh(os, func, &nt) {
-                rt.dispatch(os, idx);
-                self.recompiles += 1;
+                if rt.dispatch(os, idx).is_ok() {
+                    self.recompiles += 1;
+                }
             }
         }
     }
@@ -118,7 +119,11 @@ mod tests {
             os.advance(10_000);
             eng.step(&mut os, &mut rt);
         }
-        assert!((95..=105).contains(&eng.recompiles()), "got {}", eng.recompiles());
+        assert!(
+            (95..=105).contains(&eng.recompiles()),
+            "got {}",
+            eng.recompiles()
+        );
     }
 
     #[test]

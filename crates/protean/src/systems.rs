@@ -98,7 +98,10 @@ mod tests {
     use super::*;
 
     fn find(name: &str) -> SystemDescriptor {
-        *SYSTEMS.iter().find(|s| s.name == name).expect("system listed")
+        *SYSTEMS
+            .iter()
+            .find(|s| s.name == name)
+            .expect("system listed")
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Integration test for the dispatch safety gate: a full
+//! compile → spawn → attach → install → dispatch cycle in which the
+//! runtime must refuse deliberately corrupted variants while accepting
+//! every legal (locality-only) one.
+
+use pcc::{Compiler, NtAssignment, Options};
+use pir::{FuncId, FunctionBuilder, Inst, Locality, Module, Reg};
+use protean::{DispatchError, Runtime, RuntimeConfig};
+use simos::{Os, OsConfig, Pid};
+
+/// An entry loop driving a multi-block worker that streams a buffer and
+/// calls a small helper — enough structure for every corruption class.
+fn host_module() -> Module {
+    let mut m = Module::new("host");
+    let buf = m.add_global("buf", 1 << 13);
+    let mut h = FunctionBuilder::new("helper", 1);
+    let p = h.param(0);
+    let next = h.new_block();
+    h.br(next);
+    h.switch_to(next);
+    let d = h.mul_imm(p, 3);
+    h.ret(Some(d));
+    let hid = m.add_function(h.finish());
+    // Same arity as `helper`: a call redirected here still verifies, so
+    // only the call-graph comparison can refuse it.
+    let mut decoy = FunctionBuilder::new("decoy", 1);
+    let p = decoy.param(0);
+    decoy.ret(Some(p));
+    m.add_function(decoy.finish());
+    let mut w = FunctionBuilder::new("worker", 0);
+    let base = w.global_addr(buf);
+    w.counted_loop(0, 32, 1, |b, i| {
+        let off = b.shl_imm(i, 3);
+        let a = b.add(base, off);
+        let v = b.load(a, 0, Locality::Normal);
+        let _ = b.call(hid, &[v]);
+    });
+    w.ret(None);
+    let wid = m.add_function(w.finish());
+    let mut main = FunctionBuilder::new("main", 0);
+    let header = main.new_block();
+    main.br(header);
+    main.switch_to(header);
+    main.call_void(wid, &[]);
+    main.br(header);
+    let mid = m.add_function(main.finish());
+    m.set_entry(mid);
+    m
+}
+
+fn setup() -> (Os, Pid, Runtime, FuncId) {
+    let out = Compiler::new(Options::protean())
+        .compile(&host_module())
+        .unwrap();
+    let mut os = Os::new(OsConfig::small());
+    let pid = os.spawn(&out.image, 0);
+    let rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+    let worker = rt.module().function_by_name("worker").unwrap();
+    (os, pid, rt, worker)
+}
+
+/// Installs `ir` as a variant of `func` and asserts dispatch refuses it.
+fn assert_refused(os: &mut Os, rt: &mut Runtime, func: FuncId, ir: pir::Function) -> String {
+    let rejected_before = rt.rejected_dispatches();
+    let target_before = rt.current_target(os, func);
+    let idx = rt
+        .install_variant_ir(os, func, ir)
+        .expect("worker is virtualized");
+    let err = rt
+        .dispatch(os, idx)
+        .expect_err("corrupted variant must be refused");
+    let DispatchError::UnsafeVariant { func: f, detail } = err else {
+        panic!("expected UnsafeVariant, got {err}");
+    };
+    assert_eq!(f, func);
+    assert_eq!(rt.rejected_dispatches(), rejected_before + 1);
+    assert_eq!(
+        rt.current_target(os, func),
+        target_before,
+        "EVT must be untouched"
+    );
+    detail
+}
+
+#[test]
+fn tampered_arithmetic_is_refused() {
+    let (mut os, _, mut rt, worker) = setup();
+    let mut bad = rt.module().function(worker).clone();
+    let mut hit = false;
+    for block in bad.blocks_mut() {
+        for inst in &mut block.insts {
+            if let Inst::BinImm { imm, .. } = inst {
+                *imm ^= 1;
+                hit = true;
+            }
+        }
+    }
+    assert!(hit);
+    let detail = assert_refused(&mut os, &mut rt, worker, bad);
+    assert!(detail.contains("locality"), "{detail}");
+}
+
+#[test]
+fn redirected_call_is_refused() {
+    let (mut os, _, mut rt, worker) = setup();
+    let decoy = rt.module().function_by_name("decoy").unwrap();
+    let mut bad = rt.module().function(worker).clone();
+    let mut hit = false;
+    for block in bad.blocks_mut() {
+        for inst in &mut block.insts {
+            if let Inst::Call { callee, .. } = inst {
+                *callee = decoy; // reroute the helper call
+                hit = true;
+            }
+        }
+    }
+    assert!(hit);
+    let detail = assert_refused(&mut os, &mut rt, worker, bad);
+    assert!(detail.contains("call-site sequence"), "{detail}");
+}
+
+#[test]
+fn structurally_invalid_body_is_refused() {
+    let (mut os, _, mut rt, worker) = setup();
+    let mut bad = rt.module().function(worker).clone();
+    let mut hit = false;
+    for block in bad.blocks_mut() {
+        for inst in &mut block.insts {
+            if let Inst::Load { base, .. } = inst {
+                *base = Reg(pir::MAX_REGS + 1); // out of any register file
+                hit = true;
+            }
+        }
+    }
+    assert!(hit);
+    let detail = assert_refused(&mut os, &mut rt, worker, bad);
+    assert!(detail.contains("structural verification"), "{detail}");
+}
+
+#[test]
+fn injected_instruction_is_refused() {
+    let (mut os, _, mut rt, worker) = setup();
+    let mut bad = rt.module().function(worker).clone();
+    let reg = Reg(bad.params()); // any in-range register
+    bad.blocks_mut()[0].insts.push(Inst::Store {
+        base: reg,
+        offset: 0,
+        src: reg,
+    });
+    let detail = assert_refused(&mut os, &mut rt, worker, bad);
+    assert!(detail.contains("length"), "{detail}");
+}
+
+#[test]
+fn locality_only_variants_are_accepted_and_run() {
+    let (mut os, pid, mut rt, worker) = setup();
+    os.advance(50_000);
+    let sites: Vec<_> = pir::load_sites(rt.module())
+        .iter()
+        .map(|s| s.site)
+        .filter(|s| s.func == worker)
+        .collect();
+    assert!(!sites.is_empty());
+    let ir = NtAssignment::all(sites).apply_to(rt.module().function(worker), worker);
+    let idx = rt.install_variant_ir(&mut os, worker, ir).unwrap();
+    rt.dispatch(&mut os, idx)
+        .expect("locality-only variant is safe");
+    assert_eq!(rt.rejected_dispatches(), 0);
+    // The redirected program keeps running and starts issuing NT
+    // prefetches from the code cache.
+    let nt_before = os.counters(pid).nt_prefetches;
+    os.advance(300_000);
+    assert!(os.counters(pid).nt_prefetches > nt_before);
+}
+
+#[test]
+fn compiled_variants_always_pass_their_own_gate() {
+    let (mut os, _, mut rt, worker) = setup();
+    let sites: Vec<_> = pir::load_sites(rt.module())
+        .iter()
+        .map(|s| s.site)
+        .filter(|s| s.func == worker)
+        .collect();
+    for take in 0..=sites.len() {
+        let nt: NtAssignment = sites.iter().copied().take(take).collect();
+        let idx = rt.compile_variant(&mut os, worker, &nt).unwrap();
+        rt.dispatch(&mut os, idx)
+            .expect("runtime-compiled variants are safe");
+    }
+    assert_eq!(rt.rejected_dispatches(), 0);
+}

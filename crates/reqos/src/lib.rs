@@ -255,8 +255,14 @@ mod tests {
         let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
         let host_m = catalog::build(host_name, llc).unwrap();
         let ext_m = catalog::build(ext_name, llc).unwrap();
-        let host_img = Compiler::new(Options::protean()).compile(&host_m).unwrap().image;
-        let ext_img = Compiler::new(Options::plain()).compile(&ext_m).unwrap().image;
+        let host_img = Compiler::new(Options::protean())
+            .compile(&host_m)
+            .unwrap()
+            .image;
+        let ext_img = Compiler::new(Options::plain())
+            .compile(&ext_m)
+            .unwrap()
+            .image;
         let mut os = Os::new(cfg);
         let ext = os.spawn(&ext_img, 0);
         let host = os.spawn(&host_img, 1);
@@ -270,7 +276,10 @@ mod tests {
             &mut os,
             host,
             ext,
-            ReqosConfig { qos_target: 0.95, ..Default::default() },
+            ReqosConfig {
+                qos_target: 0.95,
+                ..Default::default()
+            },
         );
         ctl.run_for(&mut os, 30.0);
         let qos = ctl.mean_qos(8);
@@ -279,7 +288,11 @@ mod tests {
             "ReQoS should hold QoS near target, got {qos:.3} (nap {:.2})",
             ctl.nap()
         );
-        assert!(ctl.nap() > 0.05, "a contentious host should be napped, nap={}", ctl.nap());
+        assert!(
+            ctl.nap() > 0.05,
+            "a contentious host should be napped, nap={}",
+            ctl.nap()
+        );
     }
 
     #[test]
@@ -291,10 +304,17 @@ mod tests {
             &mut os,
             host,
             ext,
-            ReqosConfig { qos_target: 0.90, ..Default::default() },
+            ReqosConfig {
+                qos_target: 0.90,
+                ..Default::default()
+            },
         );
         ctl.run_for(&mut os, 12.0);
-        assert!(ctl.nap() < 0.6, "benign pairing should not be heavily napped: {}", ctl.nap());
+        assert!(
+            ctl.nap() < 0.6,
+            "benign pairing should not be heavily napped: {}",
+            ctl.nap()
+        );
     }
 
     #[test]

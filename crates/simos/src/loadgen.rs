@@ -17,7 +17,9 @@ pub struct LoadSchedule {
 impl LoadSchedule {
     /// A constant offered load.
     pub fn constant(qps: f64) -> Self {
-        LoadSchedule { steps: vec![(0.0, qps)] }
+        LoadSchedule {
+            steps: vec![(0.0, qps)],
+        }
     }
 
     /// A step schedule from `(start_second, qps)` pairs.
@@ -38,7 +40,11 @@ impl LoadSchedule {
     /// duration: high load, low load, then high again.
     pub fn fig16_shape(duration_secs: f64, high_qps: f64, low_qps: f64) -> Self {
         let third = duration_secs / 3.0;
-        LoadSchedule::steps(vec![(0.0, high_qps), (third, low_qps), (2.0 * third, high_qps)])
+        LoadSchedule::steps(vec![
+            (0.0, high_qps),
+            (third, low_qps),
+            (2.0 * third, high_qps),
+        ])
     }
 
     /// Offered QPS at time `t` seconds.

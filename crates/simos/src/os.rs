@@ -24,21 +24,32 @@ pub struct OsConfig {
 impl Default for OsConfig {
     fn default() -> Self {
         let machine = MachineConfig::default();
-        OsConfig { machine, quantum: 1_000, nap_period: 100_000 }
+        OsConfig {
+            machine,
+            quantum: 1_000,
+            nap_period: 100_000,
+        }
     }
 }
 
 impl OsConfig {
     /// Small configuration for unit tests.
     pub fn small() -> Self {
-        OsConfig { machine: MachineConfig::small(), quantum: 500, nap_period: 50_000 }
+        OsConfig {
+            machine: MachineConfig::small(),
+            quantum: 500,
+            nap_period: 50_000,
+        }
     }
 
     /// The standard experiment configuration: the paper's topology with
     /// capacities scaled to the simulated time base (see
     /// [`MachineConfig::scaled`]).
     pub fn scaled() -> Self {
-        OsConfig { machine: MachineConfig::scaled(), ..OsConfig::default() }
+        OsConfig {
+            machine: MachineConfig::scaled(),
+            ..OsConfig::default()
+        }
     }
 }
 
@@ -130,10 +141,7 @@ impl Os {
     pub fn spawn_with_bt(&mut self, image: &Image, core: usize, bt: BtConfig) -> Pid {
         let pid = self.spawn(image, core);
         let i = self.idx(pid);
-        let ctx = std::mem::replace(
-            &mut self.procs[i].ctx,
-            machine::ExecContext::new(0, 0, 0),
-        );
+        let ctx = std::mem::replace(&mut self.procs[i].ctx, machine::ExecContext::new(0, 0, 0));
         self.procs[i].ctx = ctx.with_binary_translation(bt);
         pid
     }
@@ -211,14 +219,20 @@ impl Os {
         samples.sort_unstable();
         let pick = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
-        Some(LatencyStats { p50: pick(0.5), p99: pick(0.99), mean, count: samples.len() })
+        Some(LatencyStats {
+            p50: pick(0.5),
+            p99: pick(0.99),
+            mean,
+            count: samples.len(),
+        })
     }
 
     /// Shared-LLC lines currently owned by `pid`.
     pub fn llc_occupancy(&self, pid: Pid) -> usize {
         let space = u64::from(pid.0);
         let shift = 40 - self.config.machine.line_bytes.trailing_zeros();
-        self.mem.llc_occupancy_where(move |line| (line >> shift) == space)
+        self.mem
+            .llc_occupancy_where(move |line| (line >> shift) == space)
     }
 
     /// Reads `len` bytes of process data memory (shared-memory mapping).
@@ -331,13 +345,19 @@ impl Os {
                 // same-core compiler halves the host instead of starving
                 // it, as on a real OS.
                 if self.runtime_pending[core] > 0 {
-                    let cap = if self.core_proc[core].is_some() { q / 2 } else { q };
+                    let cap = if self.core_proc[core].is_some() {
+                        q / 2
+                    } else {
+                        q
+                    };
                     let used = self.runtime_pending[core].min(cap);
                     self.runtime_pending[core] -= used;
                     self.runtime_consumed[core] += used;
                     budget -= used;
                 }
-                let Some(pid) = self.core_proc[core] else { continue };
+                let Some(pid) = self.core_proc[core] else {
+                    continue;
+                };
                 let i = pid.index() - 1;
                 // Split borrows: process vs memory system.
                 let (procs, mem) = (&mut self.procs, &mut self.mem);
@@ -415,7 +435,8 @@ impl Os {
                             if p.latency_samples.len() >= 1024 {
                                 p.latency_samples.pop_front();
                             }
-                            p.latency_samples.push_back(self.now.saturating_sub(arrived));
+                            p.latency_samples
+                                .push_back(self.now.saturating_sub(arrived));
                         }
                     }
                     if budget == 0 || !matches!(res.stop, exec::StopReason::Waiting) {
@@ -445,13 +466,36 @@ mod tests {
     fn spinner(name: &str, lines: i64) -> Image {
         let text = vec![
             // r0 = addr cursor, r1 = limit
-            Op::Movi { dst: PReg(0), imm: 64 },
-            Op::Movi { dst: PReg(1), imm: 64 + lines * 64 },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 64,
+            },
+            Op::Movi {
+                dst: PReg(1),
+                imm: 64 + lines * 64,
+            },
             // loop:
-            Op::Load { dst: PReg(2), base: PReg(0), offset: 0 },
-            Op::AluImm { op: pir::BinOp::Add, dst: PReg(0), a: PReg(0), imm: 64 },
-            Op::Alu { op: pir::BinOp::Lt, dst: PReg(3), a: PReg(0), b: PReg(1) },
-            Op::Bnz { cond: PReg(3), target: 2 },
+            Op::Load {
+                dst: PReg(2),
+                base: PReg(0),
+                offset: 0,
+            },
+            Op::AluImm {
+                op: pir::BinOp::Add,
+                dst: PReg(0),
+                a: PReg(0),
+                imm: 64,
+            },
+            Op::Alu {
+                op: pir::BinOp::Lt,
+                dst: PReg(3),
+                a: PReg(0),
+                b: PReg(1),
+            },
+            Op::Bnz {
+                cond: PReg(3),
+                target: 2,
+            },
             Op::Jmp { target: 0 },
         ];
         Image {
@@ -459,7 +503,12 @@ mod tests {
             entry: 0,
             text,
             data: vec![0u8; (64 + lines * 64 + 64) as usize],
-            funcs: vec![FuncSym { name: "main".into(), func: FuncId(0), start: 0, len: 7 }],
+            funcs: vec![FuncSym {
+                name: "main".into(),
+                func: FuncId(0),
+                start: 0,
+                len: 7,
+            }],
             globals: vec![],
             evt: vec![],
             meta: None,
@@ -471,13 +520,39 @@ mod tests {
         let text = vec![
             // loop: wait; r0 = 64; inner: load; add; lt; bnz; report; jmp
             Op::Wait,
-            Op::Movi { dst: PReg(0), imm: 64 },
-            Op::Load { dst: PReg(1), base: PReg(0), offset: 0 },
-            Op::AluImm { op: pir::BinOp::Add, dst: PReg(0), a: PReg(0), imm: 64 },
-            Op::AluImm { op: pir::BinOp::Lt, dst: PReg(2), a: PReg(0), imm: 64 * 32 },
-            Op::Bnz { cond: PReg(2), target: 2 },
-            Op::Movi { dst: PReg(3), imm: 1 },
-            Op::Report { channel: 0, src: PReg(3) },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 64,
+            },
+            Op::Load {
+                dst: PReg(1),
+                base: PReg(0),
+                offset: 0,
+            },
+            Op::AluImm {
+                op: pir::BinOp::Add,
+                dst: PReg(0),
+                a: PReg(0),
+                imm: 64,
+            },
+            Op::AluImm {
+                op: pir::BinOp::Lt,
+                dst: PReg(2),
+                a: PReg(0),
+                imm: 64 * 32,
+            },
+            Op::Bnz {
+                cond: PReg(2),
+                target: 2,
+            },
+            Op::Movi {
+                dst: PReg(3),
+                imm: 1,
+            },
+            Op::Report {
+                channel: 0,
+                src: PReg(3),
+            },
             Op::Jmp { target: 0 },
         ];
         Image {
@@ -485,7 +560,12 @@ mod tests {
             entry: 0,
             text,
             data: vec![0u8; 64 * 40],
-            funcs: vec![FuncSym { name: "serve".into(), func: FuncId(0), start: 0, len: 9 }],
+            funcs: vec![FuncSym {
+                name: "serve".into(),
+                func: FuncId(0),
+                start: 0,
+                len: 9,
+            }],
             globals: vec![],
             evt: vec![],
             meta: None,
@@ -517,8 +597,14 @@ mod tests {
         let tenth = progress(0.9);
         let ratio_half = half as f64 / full as f64;
         let ratio_tenth = tenth as f64 / full as f64;
-        assert!((ratio_half - 0.5).abs() < 0.1, "50% nap gave ratio {ratio_half}");
-        assert!((ratio_tenth - 0.1).abs() < 0.05, "90% nap gave ratio {ratio_tenth}");
+        assert!(
+            (ratio_half - 0.5).abs() < 0.1,
+            "50% nap gave ratio {ratio_half}"
+        );
+        assert!(
+            (ratio_tenth - 0.1).abs() < 0.05,
+            "90% nap gave ratio {ratio_tenth}"
+        );
     }
 
     #[test]
@@ -546,8 +632,14 @@ mod tests {
         };
         let low = served_at(5.0);
         let high = served_at(20.0);
-        assert!((low - 50).abs() <= 2, "5 qps * 10 s should serve ~50, got {low}");
-        assert!((high - 200).abs() <= 5, "20 qps * 10 s should serve ~200, got {high}");
+        assert!(
+            (low - 50).abs() <= 2,
+            "5 qps * 10 s should serve ~50, got {low}"
+        );
+        assert!(
+            (high - 200).abs() <= 5,
+            "20 qps * 10 s should serve ~200, got {high}"
+        );
     }
 
     #[test]
@@ -581,7 +673,10 @@ mod tests {
             (same as f64) < 0.6 * clean as f64,
             "same-core runtime work should steal cycles: {same} vs {clean}"
         );
-        assert_eq!(separate, clean, "separate-core runtime work must not perturb the host");
+        assert_eq!(
+            separate, clean,
+            "separate-core runtime work must not perturb the host"
+        );
     }
 
     #[test]

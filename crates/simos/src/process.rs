@@ -196,10 +196,25 @@ mod tests {
         Image {
             name: "t".into(),
             entry: 0,
-            text: vec![Op::Movi { dst: PReg(0), imm: 3 }, Op::Halt],
+            text: vec![
+                Op::Movi {
+                    dst: PReg(0),
+                    imm: 3,
+                },
+                Op::Halt,
+            ],
             data: vec![0u8; 128],
-            funcs: vec![FuncSym { name: "main".into(), func: FuncId(0), start: 0, len: 2 }],
-            globals: vec![GlobalSym { name: "g".into(), addr: 64, size: 8 }],
+            funcs: vec![FuncSym {
+                name: "main".into(),
+                func: FuncId(0),
+                start: 0,
+                len: 2,
+            }],
+            globals: vec![GlobalSym {
+                name: "g".into(),
+                addr: 64,
+                size: 8,
+            }],
             evt: vec![],
             meta: None,
         }

@@ -11,8 +11,16 @@ use visa::{FuncSym, Image, Op, PReg};
 /// An endless compute loop (1 branch per 3 instructions).
 fn spinner(name: &str) -> Image {
     let text = vec![
-        Op::Movi { dst: PReg(0), imm: 0 },
-        Op::AluImm { op: pir::BinOp::Add, dst: PReg(0), a: PReg(0), imm: 1 },
+        Op::Movi {
+            dst: PReg(0),
+            imm: 0,
+        },
+        Op::AluImm {
+            op: pir::BinOp::Add,
+            dst: PReg(0),
+            a: PReg(0),
+            imm: 1,
+        },
         Op::Jmp { target: 1 },
     ];
     Image {
@@ -20,7 +28,12 @@ fn spinner(name: &str) -> Image {
         entry: 0,
         text,
         data: vec![0u8; 256],
-        funcs: vec![FuncSym { name: "main".into(), func: FuncId(0), start: 0, len: 3 }],
+        funcs: vec![FuncSym {
+            name: "main".into(),
+            func: FuncId(0),
+            start: 0,
+            len: 3,
+        }],
         globals: vec![],
         evt: vec![],
         meta: None,
@@ -31,8 +44,14 @@ fn spinner(name: &str) -> Image {
 fn server(name: &str) -> Image {
     let text = vec![
         Op::Wait,
-        Op::Movi { dst: PReg(0), imm: 1 },
-        Op::Report { channel: 0, src: PReg(0) },
+        Op::Movi {
+            dst: PReg(0),
+            imm: 1,
+        },
+        Op::Report {
+            channel: 0,
+            src: PReg(0),
+        },
         Op::Jmp { target: 0 },
     ];
     Image {
@@ -40,7 +59,12 @@ fn server(name: &str) -> Image {
         entry: 0,
         text,
         data: vec![0u8; 256],
-        funcs: vec![FuncSym { name: "main".into(), func: FuncId(0), start: 0, len: 4 }],
+        funcs: vec![FuncSym {
+            name: "main".into(),
+            func: FuncId(0),
+            start: 0,
+            len: 4,
+        }],
         globals: vec![],
         evt: vec![],
         meta: None,
@@ -173,6 +197,10 @@ fn kill_then_reuse_core_is_clean() {
     let before_a = os.counters(a).instructions;
     os.advance(50_000);
     assert!(os.counters(b).instructions > before_b);
-    assert_eq!(os.counters(a).instructions, before_a, "killed process must stay dead");
+    assert_eq!(
+        os.counters(a).instructions,
+        before_a,
+        "killed process must stay dead"
+    );
     let _ = Pid(0);
 }

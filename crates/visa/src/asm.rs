@@ -46,7 +46,10 @@ impl fmt::Display for AsmError {
 impl Error for AsmError {}
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Strips comments (`;` or `//` to end of line) and surrounding space.
@@ -64,11 +67,17 @@ fn clean(line: &str) -> &str {
 
 fn parse_reg(tok: &str, line: usize) -> Result<PReg, AsmError> {
     let t = tok.trim().trim_end_matches(',');
-    let rest = t.strip_prefix('r').ok_or_else(|| err(line, format!("expected register, got `{t}`")))?;
-    let n: u16 =
-        rest.parse().map_err(|_| err(line, format!("bad register number in `{t}`")))?;
+    let rest = t
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("expected register, got `{t}`")))?;
+    let n: u16 = rest
+        .parse()
+        .map_err(|_| err(line, format!("bad register number in `{t}`")))?;
     if n >= crate::FRAME_REGS as u16 {
-        return Err(err(line, format!("register r{n} exceeds the frame register file")));
+        return Err(err(
+            line,
+            format!("register r{n} exceeds the frame register file"),
+        ));
     }
     Ok(PReg(n as u8))
 }
@@ -106,7 +115,10 @@ fn parse_target(tok: &str, line: usize) -> Result<Target, AsmError> {
             .map_err(|_| err(line, format!("bad hex target `{t}`")));
     }
     if t.chars().all(|c| c.is_ascii_digit()) && !t.is_empty() {
-        return t.parse().map(Target::Addr).map_err(|_| err(line, format!("bad target `{t}`")));
+        return t
+            .parse()
+            .map(Target::Addr)
+            .map_err(|_| err(line, format!("bad target `{t}`")));
     }
     if t.is_empty() {
         return Err(err(line, "missing branch target"));
@@ -139,8 +151,12 @@ fn parse_mem(tok: &str, line: usize) -> Result<(PReg, i64), AsmError> {
 /// `(r1, r2) -> r3` call suffix: args plus optional destination.
 fn parse_call_suffix(rest: &str, line: usize) -> Result<(Vec<PReg>, Option<PReg>), AsmError> {
     let rest = rest.trim();
-    let open = rest.find('(').ok_or_else(|| err(line, "call needs an argument list"))?;
-    let close = rest.find(')').ok_or_else(|| err(line, "unterminated argument list"))?;
+    let open = rest
+        .find('(')
+        .ok_or_else(|| err(line, "call needs an argument list"))?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| err(line, "unterminated argument list"))?;
     let args_str = &rest[open + 1..close];
     let mut args = Vec::new();
     for part in args_str.split(',') {
@@ -150,7 +166,10 @@ fn parse_call_suffix(rest: &str, line: usize) -> Result<(Vec<PReg>, Option<PReg>
         }
     }
     if args.len() > crate::MAX_ARGS {
-        return Err(err(line, format!("too many call arguments ({})", args.len())));
+        return Err(err(
+            line,
+            format!("too many call arguments ({})", args.len()),
+        ));
     }
     let tail = rest[close + 1..].trim();
     let dst = match tail.strip_prefix("->") {
@@ -196,7 +215,10 @@ pub fn assemble(source: &str) -> Result<Vec<Op>, AsmError> {
                 if head.is_empty() || head.contains(char::is_whitespace) {
                     return Err(err(line_no, format!("bad label `{head}`")));
                 }
-                if labels.insert(head.to_string(), pending.len() as u32).is_some() {
+                if labels
+                    .insert(head.to_string(), pending.len() as u32)
+                    .is_some()
+                {
                     return Err(err(line_no, format!("duplicate label `{head}`")));
                 }
             }
@@ -209,27 +231,42 @@ pub fn assemble(source: &str) -> Result<Vec<Op>, AsmError> {
             Some(i) => (&line[..i], line[i..].trim()),
             None => (line, ""),
         };
-        let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let ops: Vec<&str> = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
         let p = match mnemonic {
             "movi" => {
                 let [d, imm] = ops[..] else {
                     return Err(err(line_no, "movi needs `dst, #imm`"));
                 };
-                Pending::Done(Op::Movi { dst: parse_reg(d, line_no)?, imm: parse_imm(imm, line_no)? })
+                Pending::Done(Op::Movi {
+                    dst: parse_reg(d, line_no)?,
+                    imm: parse_imm(imm, line_no)?,
+                })
             }
             "ld" => {
                 let [d, mem] = ops[..] else {
                     return Err(err(line_no, "ld needs `dst, [base+off]`"));
                 };
                 let (base, offset) = parse_mem(mem, line_no)?;
-                Pending::Done(Op::Load { dst: parse_reg(d, line_no)?, base, offset })
+                Pending::Done(Op::Load {
+                    dst: parse_reg(d, line_no)?,
+                    base,
+                    offset,
+                })
             }
             "st" => {
                 let [mem, s] = ops[..] else {
                     return Err(err(line_no, "st needs `[base+off], src`"));
                 };
                 let (base, offset) = parse_mem(mem, line_no)?;
-                Pending::Done(Op::Store { base, offset, src: parse_reg(s, line_no)? })
+                Pending::Done(Op::Store {
+                    base,
+                    offset,
+                    src: parse_reg(s, line_no)?,
+                })
             }
             "prefetchnta" => {
                 let (base, offset) = parse_mem(rest, line_no)?;
@@ -255,7 +292,9 @@ pub fn assemble(source: &str) -> Result<Vec<Op>, AsmError> {
                 Pending::Call(target, args, dst)
             }
             "callv" => {
-                let open = rest.find("[evt+").ok_or_else(|| err(line_no, "callv needs `[evt+N]`"))?;
+                let open = rest
+                    .find("[evt+")
+                    .ok_or_else(|| err(line_no, "callv needs `[evt+N]`"))?;
                 let close = rest[open..]
                     .find(']')
                     .map(|i| open + i)
@@ -267,7 +306,11 @@ pub fn assemble(source: &str) -> Result<Vec<Op>, AsmError> {
                 Pending::Done(Op::CallVirt { slot, dst, args })
             }
             "ret" => {
-                let src = if rest.is_empty() { None } else { Some(parse_reg(rest, line_no)?) };
+                let src = if rest.is_empty() {
+                    None
+                } else {
+                    Some(parse_reg(rest, line_no)?)
+                };
                 Pending::Done(Op::Ret { src })
             }
             "report" => {
@@ -278,7 +321,10 @@ pub fn assemble(source: &str) -> Result<Vec<Op>, AsmError> {
                     .strip_prefix("ch")
                     .and_then(|x| x.parse().ok())
                     .ok_or_else(|| err(line_no, format!("bad channel `{ch}`")))?;
-                Pending::Done(Op::Report { channel, src: parse_reg(s, line_no)? })
+                Pending::Done(Op::Report {
+                    channel,
+                    src: parse_reg(s, line_no)?,
+                })
             }
             "wait" => Pending::Done(Op::Wait),
             "halt" => Pending::Done(Op::Halt),
@@ -322,12 +368,22 @@ pub fn assemble(source: &str) -> Result<Vec<Op>, AsmError> {
         .map(|(line, p)| {
             Ok(match p {
                 Pending::Done(op) => op,
-                Pending::Jmp(t) => Op::Jmp { target: resolve(t, line)? },
-                Pending::Bnz(c, t) => Op::Bnz { cond: c, target: resolve(t, line)? },
-                Pending::Bz(c, t) => Op::Bz { cond: c, target: resolve(t, line)? },
-                Pending::Call(t, args, dst) => {
-                    Op::Call { target: resolve(t, line)?, dst, args }
-                }
+                Pending::Jmp(t) => Op::Jmp {
+                    target: resolve(t, line)?,
+                },
+                Pending::Bnz(c, t) => Op::Bnz {
+                    cond: c,
+                    target: resolve(t, line)?,
+                },
+                Pending::Bz(c, t) => Op::Bz {
+                    cond: c,
+                    target: resolve(t, line)?,
+                },
+                Pending::Call(t, args, dst) => Op::Call {
+                    target: resolve(t, line)?,
+                    dst,
+                    args,
+                },
             })
         })
         .collect()
@@ -354,7 +410,13 @@ mod tests {
         )
         .expect("assemble");
         assert_eq!(ops.len(), 7);
-        assert_eq!(ops[4], Op::Bnz { cond: PReg(2), target: 6 });
+        assert_eq!(
+            ops[4],
+            Op::Bnz {
+                cond: PReg(2),
+                target: 6
+            }
+        );
         assert_eq!(ops[5], Op::Jmp { target: 0 });
         assert_eq!(ops[6], Op::Halt);
     }
@@ -362,18 +424,59 @@ mod tests {
     #[test]
     fn roundtrips_disassembly() {
         let ops = vec![
-            Op::Movi { dst: PReg(0), imm: -5 },
-            Op::AluImm { op: BinOp::Add, dst: PReg(1), a: PReg(0), imm: 100 },
-            Op::Alu { op: BinOp::Mul, dst: PReg(2), a: PReg(0), b: PReg(1) },
-            Op::Load { dst: PReg(3), base: PReg(2), offset: -8 },
-            Op::PrefetchNta { base: PReg(2), offset: 64 },
-            Op::Store { base: PReg(2), offset: 0, src: PReg(3) },
-            Op::Bnz { cond: PReg(3), target: 0 },
-            Op::Bz { cond: PReg(3), target: 1 },
+            Op::Movi {
+                dst: PReg(0),
+                imm: -5,
+            },
+            Op::AluImm {
+                op: BinOp::Add,
+                dst: PReg(1),
+                a: PReg(0),
+                imm: 100,
+            },
+            Op::Alu {
+                op: BinOp::Mul,
+                dst: PReg(2),
+                a: PReg(0),
+                b: PReg(1),
+            },
+            Op::Load {
+                dst: PReg(3),
+                base: PReg(2),
+                offset: -8,
+            },
+            Op::PrefetchNta {
+                base: PReg(2),
+                offset: 64,
+            },
+            Op::Store {
+                base: PReg(2),
+                offset: 0,
+                src: PReg(3),
+            },
+            Op::Bnz {
+                cond: PReg(3),
+                target: 0,
+            },
+            Op::Bz {
+                cond: PReg(3),
+                target: 1,
+            },
             Op::Jmp { target: 8 },
-            Op::CallVirt { slot: 4, dst: Some(PReg(4)), args: vec![PReg(0), PReg(1)] },
-            Op::Call { target: 0, dst: None, args: vec![] },
-            Op::Report { channel: 3, src: PReg(4) },
+            Op::CallVirt {
+                slot: 4,
+                dst: Some(PReg(4)),
+                args: vec![PReg(0), PReg(1)],
+            },
+            Op::Call {
+                target: 0,
+                dst: None,
+                args: vec![],
+            },
+            Op::Report {
+                channel: 3,
+                src: PReg(4),
+            },
             Op::Wait,
             Op::Ret { src: Some(PReg(4)) },
             Op::Halt,
@@ -387,11 +490,19 @@ mod tests {
     fn mem_operand_forms() {
         assert_eq!(
             assemble("ld r1, [r0]").unwrap(),
-            vec![Op::Load { dst: PReg(1), base: PReg(0), offset: 0 }]
+            vec![Op::Load {
+                dst: PReg(1),
+                base: PReg(0),
+                offset: 0
+            }]
         );
         assert_eq!(
             assemble("ld r1, [r0-16]").unwrap(),
-            vec![Op::Load { dst: PReg(1), base: PReg(0), offset: -16 }]
+            vec![Op::Load {
+                dst: PReg(1),
+                base: PReg(0),
+                offset: -16
+            }]
         );
     }
 
@@ -399,7 +510,11 @@ mod tests {
     fn call_forms() {
         assert_eq!(
             assemble("call 5 ()").unwrap(),
-            vec![Op::Call { target: 5, dst: None, args: vec![] }]
+            vec![Op::Call {
+                target: 5,
+                dst: None,
+                args: vec![]
+            }]
         );
         assert_eq!(
             assemble("call 0x10 (r1, r2) -> r3").unwrap(),
@@ -411,7 +526,11 @@ mod tests {
         );
         assert_eq!(
             assemble("f: call f ()").unwrap(),
-            vec![Op::Call { target: 0, dst: None, args: vec![] }]
+            vec![Op::Call {
+                target: 0,
+                dst: None,
+                args: vec![]
+            }]
         );
     }
 
@@ -430,9 +549,20 @@ mod tests {
     #[test]
     fn extreme_immediates_roundtrip() {
         let ops = vec![
-            Op::Movi { dst: PReg(0), imm: i64::MIN },
-            Op::Movi { dst: PReg(1), imm: i64::MAX },
-            Op::AluImm { op: BinOp::Add, dst: PReg(2), a: PReg(0), imm: i64::MIN },
+            Op::Movi {
+                dst: PReg(0),
+                imm: i64::MIN,
+            },
+            Op::Movi {
+                dst: PReg(1),
+                imm: i64::MAX,
+            },
+            Op::AluImm {
+                op: BinOp::Add,
+                dst: PReg(2),
+                a: PReg(0),
+                imm: i64::MIN,
+            },
         ];
         let text = disasm_ops(&ops, 0);
         assert_eq!(assemble(&text).unwrap(), ops);
@@ -443,5 +573,4 @@ mod tests {
         let e = assemble("movi r250, #1").unwrap_err();
         assert!(e.message.contains("exceeds"));
     }
-
 }

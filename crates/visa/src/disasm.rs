@@ -94,21 +94,48 @@ mod tests {
 
     #[test]
     fn op_display_forms() {
-        assert_eq!(Op::Movi { dst: PReg(0), imm: 3 }.to_string(), "movi   r0, #3");
         assert_eq!(
-            Op::Alu { op: BinOp::Add, dst: PReg(2), a: PReg(0), b: PReg(1) }.to_string(),
+            Op::Movi {
+                dst: PReg(0),
+                imm: 3
+            }
+            .to_string(),
+            "movi   r0, #3"
+        );
+        assert_eq!(
+            Op::Alu {
+                op: BinOp::Add,
+                dst: PReg(2),
+                a: PReg(0),
+                b: PReg(1)
+            }
+            .to_string(),
             "add    r2, r0, r1"
         );
         assert_eq!(
-            Op::Load { dst: PReg(1), base: PReg(0), offset: -8 }.to_string(),
+            Op::Load {
+                dst: PReg(1),
+                base: PReg(0),
+                offset: -8
+            }
+            .to_string(),
             "ld     r1, [r0-8]"
         );
         assert_eq!(
-            Op::PrefetchNta { base: PReg(3), offset: 16 }.to_string(),
+            Op::PrefetchNta {
+                base: PReg(3),
+                offset: 16
+            }
+            .to_string(),
             "prefetchnta [r3+16]"
         );
         assert_eq!(
-            Op::CallVirt { slot: 4, dst: Some(PReg(1)), args: vec![PReg(0)] }.to_string(),
+            Op::CallVirt {
+                slot: 4,
+                dst: Some(PReg(1)),
+                args: vec![PReg(0)]
+            }
+            .to_string(),
             "callv  [evt+4] (r0) -> r1"
         );
         assert_eq!(Op::Ret { src: None }.to_string(), "ret");
@@ -121,14 +148,27 @@ mod tests {
             name: "t".into(),
             entry: 0,
             text: vec![
-                Op::Movi { dst: PReg(0), imm: 1 },
+                Op::Movi {
+                    dst: PReg(0),
+                    imm: 1,
+                },
                 Op::Ret { src: Some(PReg(0)) },
                 Op::Halt,
             ],
             data: vec![0; 64],
             funcs: vec![
-                FuncSym { name: "one".into(), func: FuncId(0), start: 0, len: 2 },
-                FuncSym { name: "main".into(), func: FuncId(1), start: 2, len: 1 },
+                FuncSym {
+                    name: "one".into(),
+                    func: FuncId(0),
+                    start: 0,
+                    len: 2,
+                },
+                FuncSym {
+                    name: "main".into(),
+                    func: FuncId(1),
+                    start: 2,
+                    len: 1,
+                },
             ],
             globals: vec![],
             evt: vec![],

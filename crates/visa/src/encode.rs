@@ -82,7 +82,10 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn u8(&mut self) -> Result<u8, ImageDecodeError> {
-        let b = *self.data.get(self.pos).ok_or(ImageDecodeError::UnexpectedEof)?;
+        let b = *self
+            .data
+            .get(self.pos)
+            .ok_or(ImageDecodeError::UnexpectedEof)?;
         self.pos += 1;
         Ok(b)
     }
@@ -141,7 +144,10 @@ fn read_opt_preg(r: &mut Reader<'_>) -> Result<Option<PReg>, ImageDecodeError> {
     match r.u8()? {
         0 => Ok(None),
         1 => Ok(Some(r.preg()?)),
-        v => Err(ImageDecodeError::BadTag { what: "opt-reg", value: v }),
+        v => Err(ImageDecodeError::BadTag {
+            what: "opt-reg",
+            value: v,
+        }),
     }
 }
 
@@ -243,26 +249,58 @@ fn binop_from_u8(v: u8) -> Result<BinOp, ImageDecodeError> {
     BinOp::ALL
         .get(v as usize)
         .copied()
-        .ok_or(ImageDecodeError::BadTag { what: "aluop", value: v })
+        .ok_or(ImageDecodeError::BadTag {
+            what: "aluop",
+            value: v,
+        })
 }
 
 fn read_op(r: &mut Reader<'_>) -> Result<Op, ImageDecodeError> {
     let tag = r.u8()?;
     Ok(match tag {
-        0 => Op::Movi { dst: r.preg()?, imm: r.vari()? },
+        0 => Op::Movi {
+            dst: r.preg()?,
+            imm: r.vari()?,
+        },
         1 => {
             let op = binop_from_u8(r.u8()?)?;
-            Op::Alu { op, dst: r.preg()?, a: r.preg()?, b: r.preg()? }
+            Op::Alu {
+                op,
+                dst: r.preg()?,
+                a: r.preg()?,
+                b: r.preg()?,
+            }
         }
         2 => {
             let op = binop_from_u8(r.u8()?)?;
-            Op::AluImm { op, dst: r.preg()?, a: r.preg()?, imm: r.vari()? }
+            Op::AluImm {
+                op,
+                dst: r.preg()?,
+                a: r.preg()?,
+                imm: r.vari()?,
+            }
         }
-        3 => Op::Load { dst: r.preg()?, base: r.preg()?, offset: r.vari()? },
-        4 => Op::Store { base: r.preg()?, offset: r.vari()?, src: r.preg()? },
-        5 => Op::PrefetchNta { base: r.preg()?, offset: r.vari()? },
-        6 => Op::Jmp { target: r.varu()? as u32 },
-        7 => Op::Bnz { cond: r.preg()?, target: r.varu()? as u32 },
+        3 => Op::Load {
+            dst: r.preg()?,
+            base: r.preg()?,
+            offset: r.vari()?,
+        },
+        4 => Op::Store {
+            base: r.preg()?,
+            offset: r.vari()?,
+            src: r.preg()?,
+        },
+        5 => Op::PrefetchNta {
+            base: r.preg()?,
+            offset: r.vari()?,
+        },
+        6 => Op::Jmp {
+            target: r.varu()? as u32,
+        },
+        7 => Op::Bnz {
+            cond: r.preg()?,
+            target: r.varu()? as u32,
+        },
         8 => Op::Call {
             target: r.varu()? as u32,
             dst: read_opt_preg(r)?,
@@ -273,12 +311,25 @@ fn read_op(r: &mut Reader<'_>) -> Result<Op, ImageDecodeError> {
             dst: read_opt_preg(r)?,
             args: read_args(r)?,
         },
-        10 => Op::Ret { src: read_opt_preg(r)? },
-        11 => Op::Report { channel: r.u8()?, src: r.preg()? },
+        10 => Op::Ret {
+            src: read_opt_preg(r)?,
+        },
+        11 => Op::Report {
+            channel: r.u8()?,
+            src: r.preg()?,
+        },
         12 => Op::Wait,
         13 => Op::Halt,
-        14 => Op::Bz { cond: r.preg()?, target: r.varu()? as u32 },
-        v => return Err(ImageDecodeError::BadTag { what: "op", value: v }),
+        14 => Op::Bz {
+            cond: r.preg()?,
+            target: r.varu()? as u32,
+        },
+        v => {
+            return Err(ImageDecodeError::BadTag {
+                what: "op",
+                value: v,
+            })
+        }
     })
 }
 
@@ -364,7 +415,11 @@ pub fn decode_image(data: &[u8]) -> Result<Image, ImageDecodeError> {
     let nglobals = r.varu()? as usize;
     let mut globals = Vec::with_capacity(nglobals.min(1 << 16));
     for _ in 0..nglobals {
-        globals.push(GlobalSym { name: r.str()?, addr: r.varu()?, size: r.varu()? });
+        globals.push(GlobalSym {
+            name: r.str()?,
+            addr: r.varu()?,
+            size: r.varu()?,
+        });
     }
     let nevt = r.varu()? as usize;
     let mut evt = Vec::with_capacity(nevt.min(1 << 16));
@@ -383,12 +438,26 @@ pub fn decode_image(data: &[u8]) -> Result<Image, ImageDecodeError> {
             ir_addr: r.varu()?,
             ir_len: r.varu()?,
         }),
-        v => return Err(ImageDecodeError::BadTag { what: "meta", value: v }),
+        v => {
+            return Err(ImageDecodeError::BadTag {
+                what: "meta",
+                value: v,
+            })
+        }
     };
     if r.pos != data.len() {
         return Err(ImageDecodeError::TrailingBytes(data.len() - r.pos));
     }
-    Ok(Image { name, entry, text, data: seg, funcs, globals, evt, meta })
+    Ok(Image {
+        name,
+        entry,
+        text,
+        data: seg,
+        funcs,
+        globals,
+        evt,
+        meta,
+    })
 }
 
 #[cfg(test)]
@@ -397,33 +466,92 @@ mod tests {
 
     fn sample_image() -> Image {
         let text = vec![
-            Op::Movi { dst: PReg(0), imm: -5 },
-            Op::AluImm { op: BinOp::Add, dst: PReg(1), a: PReg(0), imm: 100 },
-            Op::Alu { op: BinOp::Mul, dst: PReg(2), a: PReg(0), b: PReg(1) },
-            Op::Load { dst: PReg(3), base: PReg(2), offset: -8 },
-            Op::PrefetchNta { base: PReg(2), offset: 64 },
-            Op::Store { base: PReg(2), offset: 0, src: PReg(3) },
-            Op::Bnz { cond: PReg(3), target: 0 },
-            Op::Bz { cond: PReg(3), target: 1 },
+            Op::Movi {
+                dst: PReg(0),
+                imm: -5,
+            },
+            Op::AluImm {
+                op: BinOp::Add,
+                dst: PReg(1),
+                a: PReg(0),
+                imm: 100,
+            },
+            Op::Alu {
+                op: BinOp::Mul,
+                dst: PReg(2),
+                a: PReg(0),
+                b: PReg(1),
+            },
+            Op::Load {
+                dst: PReg(3),
+                base: PReg(2),
+                offset: -8,
+            },
+            Op::PrefetchNta {
+                base: PReg(2),
+                offset: 64,
+            },
+            Op::Store {
+                base: PReg(2),
+                offset: 0,
+                src: PReg(3),
+            },
+            Op::Bnz {
+                cond: PReg(3),
+                target: 0,
+            },
+            Op::Bz {
+                cond: PReg(3),
+                target: 1,
+            },
             Op::Jmp { target: 8 },
-            Op::CallVirt { slot: 0, dst: Some(PReg(4)), args: vec![PReg(0), PReg(1)] },
-            Op::Call { target: 0, dst: None, args: vec![] },
-            Op::Report { channel: 3, src: PReg(4) },
+            Op::CallVirt {
+                slot: 0,
+                dst: Some(PReg(4)),
+                args: vec![PReg(0), PReg(1)],
+            },
+            Op::Call {
+                target: 0,
+                dst: None,
+                args: vec![],
+            },
+            Op::Report {
+                channel: 3,
+                src: PReg(4),
+            },
             Op::Wait,
             Op::Ret { src: Some(PReg(4)) },
             Op::Halt,
         ];
         let mut data = vec![0u8; 128];
-        let meta = MetaDesc { evt_base: 40, evt_len: 1, ir_addr: 64, ir_len: 10 };
+        let meta = MetaDesc {
+            evt_base: 40,
+            evt_len: 1,
+            ir_addr: 64,
+            ir_len: 10,
+        };
         meta.write_root(&mut data);
         Image {
             name: "sample".into(),
             entry: 0,
             text,
             data,
-            funcs: vec![FuncSym { name: "main".into(), func: FuncId(0), start: 0, len: 14 }],
-            globals: vec![GlobalSym { name: "g".into(), addr: 48, size: 16 }],
-            evt: vec![EvtEntry { slot: 0, callee: FuncId(0), original_target: 0 }],
+            funcs: vec![FuncSym {
+                name: "main".into(),
+                func: FuncId(0),
+                start: 0,
+                len: 14,
+            }],
+            globals: vec![GlobalSym {
+                name: "g".into(),
+                addr: 48,
+                size: 16,
+            }],
+            evt: vec![EvtEntry {
+                slot: 0,
+                callee: FuncId(0),
+                original_target: 0,
+            }],
             meta: Some(meta),
         }
     }
@@ -471,7 +599,10 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = encode_image(&sample_image());
         bytes.push(7);
-        assert_eq!(decode_image(&bytes), Err(ImageDecodeError::TrailingBytes(1)));
+        assert_eq!(
+            decode_image(&bytes),
+            Err(ImageDecodeError::TrailingBytes(1))
+        );
     }
 
     #[test]
@@ -497,7 +628,10 @@ mod tests {
             ImageDecodeError::UnexpectedEof,
             ImageDecodeError::BadMagic,
             ImageDecodeError::BadVersion(9),
-            ImageDecodeError::BadTag { what: "op", value: 200 },
+            ImageDecodeError::BadTag {
+                what: "op",
+                value: 200,
+            },
             ImageDecodeError::VarintOverflow,
             ImageDecodeError::BadUtf8,
             ImageDecodeError::TrailingBytes(2),

@@ -165,7 +165,10 @@ impl fmt::Display for ImageError {
             ImageError::BadEvtRegion => write!(f, "EVT region outside data segment"),
             ImageError::BadIrRegion => write!(f, "IR blob region outside data segment"),
             ImageError::EvtInitMismatch { slot } => {
-                write!(f, "EVT slot {slot} initial value differs from original target")
+                write!(
+                    f,
+                    "EVT slot {slot} initial value differs from original target"
+                )
             }
         }
     }
@@ -253,7 +256,10 @@ impl Image {
                 | Op::Call { target, .. }
                     if *target >= tl =>
                 {
-                    return Err(ImageError::BadTarget { at, target: *target });
+                    return Err(ImageError::BadTarget {
+                        at,
+                        target: *target,
+                    });
                 }
                 Op::CallVirt { slot, .. } if *slot as usize >= self.evt.len() => {
                     return Err(ImageError::BadEvtSlot { at, slot: *slot });
@@ -263,7 +269,9 @@ impl Image {
         }
         for f in &self.funcs {
             if f.start + f.len > tl {
-                return Err(ImageError::BadFuncSym { name: f.name.clone() });
+                return Err(ImageError::BadFuncSym {
+                    name: f.name.clone(),
+                });
             }
         }
         if self.funcs.windows(2).any(|w| w[0].start > w[1].start) {
@@ -271,7 +279,9 @@ impl Image {
         }
         for g in &self.globals {
             if g.addr < META_ROOT_SIZE || g.addr + g.size > self.data.len() as u64 {
-                return Err(ImageError::BadGlobalSym { name: g.name.clone() });
+                return Err(ImageError::BadGlobalSym {
+                    name: g.name.clone(),
+                });
             }
         }
         if let Some(meta) = &self.meta {
@@ -284,9 +294,8 @@ impl Image {
             }
             for e in &self.evt {
                 let cell = (meta.evt_base + 8 * u64::from(e.slot)) as usize;
-                let val = u64::from_le_bytes(
-                    self.data[cell..cell + 8].try_into().expect("8 bytes"),
-                );
+                let val =
+                    u64::from_le_bytes(self.data[cell..cell + 8].try_into().expect("8 bytes"));
                 if val != u64::from(e.original_target) {
                     return Err(ImageError::EvtInitMismatch { slot: e.slot });
                 }
@@ -307,13 +316,25 @@ mod tests {
     fn tiny_image() -> Image {
         // f0 at 0..2: Movi; Ret. entry at 2: Call f0; Halt.
         let text = vec![
-            Op::Movi { dst: PReg(0), imm: 7 },
+            Op::Movi {
+                dst: PReg(0),
+                imm: 7,
+            },
             Op::Ret { src: Some(PReg(0)) },
-            Op::Call { target: 0, dst: Some(PReg(0)), args: vec![] },
+            Op::Call {
+                target: 0,
+                dst: Some(PReg(0)),
+                args: vec![],
+            },
             Op::Halt,
         ];
         let mut data = vec![0u8; 256];
-        let meta = MetaDesc { evt_base: 64, evt_len: 1, ir_addr: 128, ir_len: 16 };
+        let meta = MetaDesc {
+            evt_base: 64,
+            evt_len: 1,
+            ir_addr: 128,
+            ir_len: 16,
+        };
         meta.write_root(&mut data);
         // EVT slot 0 initial value = 0 (f0's start), already zero.
         Image {
@@ -322,11 +343,29 @@ mod tests {
             text,
             data,
             funcs: vec![
-                FuncSym { name: "f0".into(), func: FuncId(0), start: 0, len: 2 },
-                FuncSym { name: "main".into(), func: FuncId(1), start: 2, len: 2 },
+                FuncSym {
+                    name: "f0".into(),
+                    func: FuncId(0),
+                    start: 0,
+                    len: 2,
+                },
+                FuncSym {
+                    name: "main".into(),
+                    func: FuncId(1),
+                    start: 2,
+                    len: 2,
+                },
             ],
-            globals: vec![GlobalSym { name: "g".into(), addr: 48, size: 8 }],
-            evt: vec![EvtEntry { slot: 0, callee: FuncId(0), original_target: 0 }],
+            globals: vec![GlobalSym {
+                name: "g".into(),
+                addr: 48,
+                size: 8,
+            }],
+            evt: vec![EvtEntry {
+                slot: 0,
+                callee: FuncId(0),
+                original_target: 0,
+            }],
             meta: Some(meta),
         }
     }
@@ -349,7 +388,12 @@ mod tests {
     #[test]
     fn meta_root_roundtrip() {
         let mut data = vec![0u8; 64];
-        let meta = MetaDesc { evt_base: 0x40, evt_len: 9, ir_addr: 0x100, ir_len: 77 };
+        let meta = MetaDesc {
+            evt_base: 0x40,
+            evt_len: 9,
+            ir_addr: 0x100,
+            ir_len: 77,
+        };
         meta.write_root(&mut data);
         assert_eq!(MetaDesc::read_root(&data), Some(meta));
     }
@@ -364,14 +408,22 @@ mod tests {
     #[test]
     fn validate_rejects_bad_target() {
         let mut img = tiny_image();
-        img.text[2] = Op::Call { target: 99, dst: None, args: vec![] };
+        img.text[2] = Op::Call {
+            target: 99,
+            dst: None,
+            args: vec![],
+        };
         assert!(matches!(img.validate(), Err(ImageError::BadTarget { .. })));
     }
 
     #[test]
     fn validate_rejects_bad_evt_slot() {
         let mut img = tiny_image();
-        img.text[2] = Op::CallVirt { slot: 5, dst: None, args: vec![] };
+        img.text[2] = Op::CallVirt {
+            slot: 5,
+            dst: None,
+            args: vec![],
+        };
         assert!(matches!(img.validate(), Err(ImageError::BadEvtSlot { .. })));
     }
 
@@ -387,14 +439,20 @@ mod tests {
         let mut img = tiny_image();
         let cell = 64usize;
         img.data[cell..cell + 8].copy_from_slice(&5u64.to_le_bytes());
-        assert!(matches!(img.validate(), Err(ImageError::EvtInitMismatch { slot: 0 })));
+        assert!(matches!(
+            img.validate(),
+            Err(ImageError::EvtInitMismatch { slot: 0 })
+        ));
     }
 
     #[test]
     fn validate_rejects_global_overlapping_meta_root() {
         let mut img = tiny_image();
         img.globals[0].addr = 8; // inside the meta root header
-        assert!(matches!(img.validate(), Err(ImageError::BadGlobalSym { .. })));
+        assert!(matches!(
+            img.validate(),
+            Err(ImageError::BadGlobalSym { .. })
+        ));
     }
 
     #[test]

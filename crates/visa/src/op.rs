@@ -30,9 +30,19 @@ pub enum Op {
     /// `dst = imm`
     Movi { dst: PReg, imm: i64 },
     /// `dst = a <op> b`
-    Alu { op: BinOp, dst: PReg, a: PReg, b: PReg },
+    Alu {
+        op: BinOp,
+        dst: PReg,
+        a: PReg,
+        b: PReg,
+    },
     /// `dst = a <op> imm`
-    AluImm { op: BinOp, dst: PReg, a: PReg, imm: i64 },
+    AluImm {
+        op: BinOp,
+        dst: PReg,
+        a: PReg,
+        imm: i64,
+    },
     /// `dst = mem[base + offset]` (8 bytes, through the cache hierarchy).
     Load { dst: PReg, base: PReg, offset: i64 },
     /// `mem[base + offset] = src` (8 bytes, write-allocate).
@@ -50,11 +60,19 @@ pub enum Op {
     /// Direct call: pushes a fresh register window, copies `args` into the
     /// callee's `r0..rN`; on return the callee's return value lands in
     /// `dst` (if any).
-    Call { target: u32, dst: Option<PReg>, args: Vec<PReg> },
+    Call {
+        target: u32,
+        dst: Option<PReg>,
+        args: Vec<PReg>,
+    },
     /// Virtualized call through Edge Virtualization Table slot `slot`: the
     /// target address is read (as a cached 8-byte memory access) from the
     /// EVT, so the protean runtime can redirect this edge atomically.
-    CallVirt { slot: u32, dst: Option<PReg>, args: Vec<PReg> },
+    CallVirt {
+        slot: u32,
+        dst: Option<PReg>,
+        args: Vec<PReg>,
+    },
     /// Return, optionally passing `src` back to the caller's `dst`.
     Ret { src: Option<PReg> },
     /// Publish an application metric sample on `channel`.
@@ -97,23 +115,69 @@ mod tests {
     #[test]
     fn branch_classification() {
         assert!(Op::Jmp { target: 0 }.is_branch());
-        assert!(Op::Bnz { cond: PReg(0), target: 0 }.is_branch());
-        assert!(Op::Bz { cond: PReg(0), target: 0 }.is_branch());
-        assert!(Op::Call { target: 0, dst: None, args: vec![] }.is_branch());
-        assert!(Op::CallVirt { slot: 0, dst: None, args: vec![] }.is_branch());
+        assert!(Op::Bnz {
+            cond: PReg(0),
+            target: 0
+        }
+        .is_branch());
+        assert!(Op::Bz {
+            cond: PReg(0),
+            target: 0
+        }
+        .is_branch());
+        assert!(Op::Call {
+            target: 0,
+            dst: None,
+            args: vec![]
+        }
+        .is_branch());
+        assert!(Op::CallVirt {
+            slot: 0,
+            dst: None,
+            args: vec![]
+        }
+        .is_branch());
         assert!(Op::Ret { src: None }.is_branch());
-        assert!(!Op::Movi { dst: PReg(0), imm: 0 }.is_branch());
-        assert!(!Op::Load { dst: PReg(0), base: PReg(0), offset: 0 }.is_branch());
+        assert!(!Op::Movi {
+            dst: PReg(0),
+            imm: 0
+        }
+        .is_branch());
+        assert!(!Op::Load {
+            dst: PReg(0),
+            base: PReg(0),
+            offset: 0
+        }
+        .is_branch());
         assert!(!Op::Wait.is_branch());
     }
 
     #[test]
     fn memory_classification() {
-        assert!(Op::Load { dst: PReg(0), base: PReg(0), offset: 0 }.is_memory());
-        assert!(Op::Store { base: PReg(0), offset: 0, src: PReg(0) }.is_memory());
-        assert!(Op::PrefetchNta { base: PReg(0), offset: 0 }.is_memory());
+        assert!(Op::Load {
+            dst: PReg(0),
+            base: PReg(0),
+            offset: 0
+        }
+        .is_memory());
+        assert!(Op::Store {
+            base: PReg(0),
+            offset: 0,
+            src: PReg(0)
+        }
+        .is_memory());
+        assert!(Op::PrefetchNta {
+            base: PReg(0),
+            offset: 0
+        }
+        .is_memory());
         // CallVirt reads its EVT slot from memory.
-        assert!(Op::CallVirt { slot: 0, dst: None, args: vec![] }.is_memory());
+        assert!(Op::CallVirt {
+            slot: 0,
+            dst: None,
+            args: vec![]
+        }
+        .is_memory());
         assert!(!Op::Jmp { target: 0 }.is_memory());
         assert!(!Op::Halt.is_memory());
     }

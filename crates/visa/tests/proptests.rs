@@ -23,7 +23,12 @@ fn arb_asmable_op() -> impl Strategy<Value = Op> {
     let binop = (0usize..16).prop_map(|i| BinOp::ALL[i]);
     prop_oneof![
         (arb_frame_preg(), any::<i64>()).prop_map(|(dst, imm)| Op::Movi { dst, imm }),
-        (binop.clone(), arb_frame_preg(), arb_frame_preg(), arb_frame_preg())
+        (
+            binop.clone(),
+            arb_frame_preg(),
+            arb_frame_preg(),
+            arb_frame_preg()
+        )
             .prop_map(|(op, dst, a, b)| Op::Alu { op, dst, a, b }),
         (binop, arb_frame_preg(), arb_frame_preg(), any::<i64>())
             .prop_map(|(op, dst, a, imm)| Op::AluImm { op, dst, a, imm }),
@@ -36,9 +41,17 @@ fn arb_asmable_op() -> impl Strategy<Value = Op> {
         any::<u32>().prop_map(|target| Op::Jmp { target }),
         (arb_frame_preg(), any::<u32>()).prop_map(|(cond, target)| Op::Bnz { cond, target }),
         (arb_frame_preg(), any::<u32>()).prop_map(|(cond, target)| Op::Bz { cond, target }),
-        (any::<u32>(), option::of(arb_frame_preg()), vec(arb_frame_preg(), 0..8))
+        (
+            any::<u32>(),
+            option::of(arb_frame_preg()),
+            vec(arb_frame_preg(), 0..8)
+        )
             .prop_map(|(target, dst, args)| Op::Call { target, dst, args }),
-        (any::<u32>(), option::of(arb_frame_preg()), vec(arb_frame_preg(), 0..8))
+        (
+            any::<u32>(),
+            option::of(arb_frame_preg()),
+            vec(arb_frame_preg(), 0..8)
+        )
             .prop_map(|(slot, dst, args)| Op::CallVirt { slot, dst, args }),
         option::of(arb_frame_preg()).prop_map(|src| Op::Ret { src }),
         (any::<u8>(), arb_frame_preg()).prop_map(|(channel, src)| Op::Report { channel, src }),
@@ -51,14 +64,28 @@ fn arb_op() -> impl Strategy<Value = Op> {
     let binop = (0usize..16).prop_map(|i| BinOp::ALL[i]);
     prop_oneof![
         (arb_preg(), any::<i64>()).prop_map(|(dst, imm)| Op::Movi { dst, imm }),
-        (binop.clone(), arb_preg(), arb_preg(), arb_preg())
-            .prop_map(|(op, dst, a, b)| Op::Alu { op, dst, a, b }),
-        (binop, arb_preg(), arb_preg(), any::<i64>())
-            .prop_map(|(op, dst, a, imm)| Op::AluImm { op, dst, a, imm }),
-        (arb_preg(), arb_preg(), any::<i64>())
-            .prop_map(|(dst, base, offset)| Op::Load { dst, base, offset }),
-        (arb_preg(), any::<i64>(), arb_preg())
-            .prop_map(|(base, offset, src)| Op::Store { base, offset, src }),
+        (binop.clone(), arb_preg(), arb_preg(), arb_preg()).prop_map(|(op, dst, a, b)| Op::Alu {
+            op,
+            dst,
+            a,
+            b
+        }),
+        (binop, arb_preg(), arb_preg(), any::<i64>()).prop_map(|(op, dst, a, imm)| Op::AluImm {
+            op,
+            dst,
+            a,
+            imm
+        }),
+        (arb_preg(), arb_preg(), any::<i64>()).prop_map(|(dst, base, offset)| Op::Load {
+            dst,
+            base,
+            offset
+        }),
+        (arb_preg(), any::<i64>(), arb_preg()).prop_map(|(base, offset, src)| Op::Store {
+            base,
+            offset,
+            src
+        }),
         (arb_preg(), any::<i64>()).prop_map(|(base, offset)| Op::PrefetchNta { base, offset }),
         any::<u32>().prop_map(|target| Op::Jmp { target }),
         (arb_preg(), any::<u32>()).prop_map(|(cond, target)| Op::Bnz { cond, target }),
@@ -78,14 +105,22 @@ fn arb_image() -> impl Strategy<Value = Image> {
     (
         vec(arb_op(), 0..100),
         vec(any::<u8>(), 64..512),
-        vec(("[a-z]{1,8}", any::<u32>(), any::<u32>(), any::<u32>()), 0..8),
+        vec(
+            ("[a-z]{1,8}", any::<u32>(), any::<u32>(), any::<u32>()),
+            0..8,
+        ),
         vec(("[a-z]{1,8}", any::<u64>(), any::<u64>()), 0..8),
         any::<bool>(),
     )
         .prop_map(|(text, data, funcs, globals, with_meta)| {
             let funcs = funcs
                 .into_iter()
-                .map(|(name, f, start, len)| FuncSym { name, func: FuncId(f), start, len })
+                .map(|(name, f, start, len)| FuncSym {
+                    name,
+                    func: FuncId(f),
+                    start,
+                    len,
+                })
                 .collect::<Vec<_>>();
             let globals = globals
                 .into_iter()
@@ -98,7 +133,11 @@ fn arb_image() -> impl Strategy<Value = Image> {
                 data,
                 funcs,
                 globals,
-                evt: vec![EvtEntry { slot: 0, callee: FuncId(0), original_target: 3 }],
+                evt: vec![EvtEntry {
+                    slot: 0,
+                    callee: FuncId(0),
+                    original_target: 3,
+                }],
                 meta: with_meta.then_some(MetaDesc {
                     evt_base: 64,
                     evt_len: 1,

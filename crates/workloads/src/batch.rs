@@ -347,8 +347,9 @@ pub fn build_batch(spec: &BatchSpec, llc_lines: u64) -> Module {
             )
         })
         .collect();
-    let warm: Vec<FuncId> =
-        (0..spec.warm_funcs).map(|i| build_warm_func(&mut m, spec, i, scratch, 64 * 64)).collect();
+    let warm: Vec<FuncId> = (0..spec.warm_funcs)
+        .map(|i| build_warm_func(&mut m, spec, i, scratch, 64 * 64))
+        .collect();
     if let Some(per) = spec.cold_loads.checked_div(spec.cold_funcs) {
         let rem = spec.cold_loads % spec.cold_funcs;
         for i in 0..spec.cold_funcs {
@@ -471,7 +472,11 @@ mod tests {
     #[test]
     fn chase_permutation_is_a_single_cycle() {
         let m = build_batch(&spec(), 2048);
-        let pos = m.globals().iter().position(|g| g.name() == "chase").unwrap();
+        let pos = m
+            .globals()
+            .iter()
+            .position(|g| g.name() == "chase")
+            .unwrap();
         let chase = m.global(pir::GlobalId(pos as u32));
         let pir::GlobalInit::Words(words) = chase.init() else {
             panic!("chase must have word init")

@@ -38,45 +38,164 @@ pub struct Workload {
 /// Every application appearing in the evaluation (Table II).
 pub const CATALOG: &[Workload] = &[
     // Host (batch) applications of Figures 7-16.
-    Workload { name: "blockie", kind: WorkloadKind::Batch, suite: "SmashBench" },
-    Workload { name: "bst", kind: WorkloadKind::Batch, suite: "SmashBench" },
-    Workload { name: "er-naive", kind: WorkloadKind::Batch, suite: "SmashBench" },
-    Workload { name: "sledge", kind: WorkloadKind::Batch, suite: "SmashBench" },
-    Workload { name: "bzip2", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "milc", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "soplex", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "libquantum", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "lbm", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "sphinx3", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
+    Workload {
+        name: "blockie",
+        kind: WorkloadKind::Batch,
+        suite: "SmashBench",
+    },
+    Workload {
+        name: "bst",
+        kind: WorkloadKind::Batch,
+        suite: "SmashBench",
+    },
+    Workload {
+        name: "er-naive",
+        kind: WorkloadKind::Batch,
+        suite: "SmashBench",
+    },
+    Workload {
+        name: "sledge",
+        kind: WorkloadKind::Batch,
+        suite: "SmashBench",
+    },
+    Workload {
+        name: "bzip2",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "milc",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "soplex",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "libquantum",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "lbm",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "sphinx3",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
     // Latency-sensitive webservices (CloudSuite).
-    Workload { name: "web-search", kind: WorkloadKind::Server, suite: "CloudSuite" },
-    Workload { name: "media-streaming", kind: WorkloadKind::Server, suite: "CloudSuite" },
-    Workload { name: "graph-analytics", kind: WorkloadKind::Server, suite: "CloudSuite" },
+    Workload {
+        name: "web-search",
+        kind: WorkloadKind::Server,
+        suite: "CloudSuite",
+    },
+    Workload {
+        name: "media-streaming",
+        kind: WorkloadKind::Server,
+        suite: "CloudSuite",
+    },
+    Workload {
+        name: "graph-analytics",
+        kind: WorkloadKind::Server,
+        suite: "CloudSuite",
+    },
     // Additional external (high-priority) co-runners of Figure 15 /
     // Table II's right column.
-    Workload { name: "mcf", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "omnetpp", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "xalancbmk", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "streamcluster", kind: WorkloadKind::Batch, suite: "PARSEC" },
+    Workload {
+        name: "mcf",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "omnetpp",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "xalancbmk",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "streamcluster",
+        kind: WorkloadKind::Batch,
+        suite: "PARSEC",
+    },
     // Remaining SPEC CPU2006 applications of the overhead studies
     // (Figures 4-6); behaviour classes chosen per application.
-    Workload { name: "gcc", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "namd", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "gobmk", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "dealII", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "povray", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "hmmer", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "sjeng", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "h264ref", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
-    Workload { name: "astar", kind: WorkloadKind::Batch, suite: "SPEC CPU2006" },
+    Workload {
+        name: "gcc",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "namd",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "gobmk",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "dealII",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "povray",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "hmmer",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "sjeng",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "h264ref",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
+    Workload {
+        name: "astar",
+        kind: WorkloadKind::Batch,
+        suite: "SPEC CPU2006",
+    },
 ];
 
 /// The SPEC CPU2006 applications of the overhead studies (Figures 4-6),
 /// in the paper's x-axis order.
 pub fn spec_overhead_names() -> [&'static str; 18] {
     [
-        "bzip2", "gcc", "mcf", "milc", "namd", "gobmk", "dealII", "soplex", "povray",
-        "hmmer", "sjeng", "libquantum", "h264ref", "lbm", "omnetpp", "astar", "sphinx3",
+        "bzip2",
+        "gcc",
+        "mcf",
+        "milc",
+        "namd",
+        "gobmk",
+        "dealII",
+        "soplex",
+        "povray",
+        "hmmer",
+        "sjeng",
+        "libquantum",
+        "h264ref",
+        "lbm",
+        "omnetpp",
+        "astar",
+        "sphinx3",
         "xalancbmk",
     ]
 }
@@ -84,8 +203,18 @@ pub fn spec_overhead_names() -> [&'static str; 18] {
 /// The ten host (batch) applications of Figures 7-15, in the paper's
 /// x-axis order.
 pub fn batch_names() -> [&'static str; 10] {
-    ["blockie", "bst", "er-naive", "sledge", "bzip2", "milc", "soplex", "libquantum", "lbm",
-     "sphinx3"]
+    [
+        "blockie",
+        "bst",
+        "er-naive",
+        "sledge",
+        "bzip2",
+        "milc",
+        "soplex",
+        "libquantum",
+        "lbm",
+        "sphinx3",
+    ]
 }
 
 /// The three latency-sensitive webservices.
@@ -520,7 +649,10 @@ mod tests {
             let spec = batch_spec(name).expect("batch spec");
             // + cursor and resident-base loads per hot function
             let total = spec.total_loads() + 2 * spec.hot_funcs;
-            assert_eq!(total, expected, "{name}: spec gives {total}, Figure 8 says {expected}");
+            assert_eq!(
+                total, expected,
+                "{name}: spec gives {total}, Figure 8 says {expected}"
+            );
             // And the generated module agrees.
             let m = build(name, 512).unwrap();
             assert_eq!(m.load_count(), expected, "{name} module load count");

@@ -40,7 +40,5 @@ pub mod catalog;
 pub mod server;
 
 pub use batch::{build_batch, BatchSpec};
-pub use catalog::{
-    batch_names, by_name, ls_names, Workload, WorkloadKind, CATALOG,
-};
+pub use catalog::{batch_names, by_name, ls_names, Workload, WorkloadKind, CATALOG};
 pub use server::{build_server, ServerSpec};

@@ -179,7 +179,10 @@ mod tests {
         os.set_load(pid, LoadSchedule::constant(10.0));
         os.advance_seconds(5.0);
         let served = os.app_metric(pid, 0);
-        assert!((45..=55).contains(&served), "10 qps x 5 s should serve ~50, got {served}");
+        assert!(
+            (45..=55).contains(&served),
+            "10 qps x 5 s should serve ~50, got {served}"
+        );
     }
 
     #[test]

@@ -13,7 +13,10 @@ use simos::{LoadSchedule, Os, OsConfig};
 use workloads::catalog;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = OsConfig { machine: machine::MachineConfig::scaled(), ..OsConfig::default() };
+    let cfg = OsConfig {
+        machine: machine::MachineConfig::scaled(),
+        ..OsConfig::default()
+    };
     let llc_lines = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
 
     // Build both applications from the catalog.
@@ -28,8 +31,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     os.set_load(ws, LoadSchedule::constant(80.0));
 
     let rt = Runtime::attach(&os, lq, RuntimeConfig::on_core(2))?;
-    let mut ctl =
-        Pc3d::new(&mut os, rt, ws, Pc3dConfig { qos_target: 0.95, ..Default::default() });
+    let mut ctl = Pc3d::new(
+        &mut os,
+        rt,
+        ws,
+        Pc3dConfig {
+            qos_target: 0.95,
+            ..Default::default()
+        },
+    );
 
     println!("time   batch BPS   ws QoS   nap   hints  state");
     for _ in 0..24 {

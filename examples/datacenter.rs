@@ -13,7 +13,10 @@ use simos::{LoadSchedule, Os, OsConfig};
 use workloads::catalog;
 
 fn measure_pair(batch: &str, ls: &str, qps: f64, secs: f64) -> PairMeasurement {
-    let cfg = OsConfig { machine: machine::MachineConfig::scaled(), ..OsConfig::default() };
+    let cfg = OsConfig {
+        machine: machine::MachineConfig::scaled(),
+        ..OsConfig::default()
+    };
     let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
     let ls_img = Compiler::new(Options::plain())
         .compile(&catalog::build(ls, llc).expect("ls"))
@@ -39,8 +42,15 @@ fn measure_pair(batch: &str, ls: &str, qps: f64, secs: f64) -> PairMeasurement {
     let batch_pid = os.spawn(&batch_img, 1);
     os.set_load(ls_pid, LoadSchedule::constant(qps));
     let rt = Runtime::attach(&os, batch_pid, RuntimeConfig::on_core(2)).expect("attach");
-    let mut ctl =
-        Pc3d::new(&mut os, rt, ls_pid, Pc3dConfig { qos_target: 0.95, ..Default::default() });
+    let mut ctl = Pc3d::new(
+        &mut os,
+        rt,
+        ls_pid,
+        Pc3dConfig {
+            qos_target: 0.95,
+            ..Default::default()
+        },
+    );
     ctl.run_for(&mut os, secs * 0.7);
     let t0 = os.now();
     let b0 = os.counters(batch_pid);
@@ -58,7 +68,10 @@ fn measure_pair(batch: &str, ls: &str, qps: f64, secs: f64) -> PairMeasurement {
 fn main() {
     let mix = mix_by_name("WL1").expect("mix exists");
     let ls = "web-search";
-    println!("measuring {ls} + {:?} under PC3D at a 95% QoS target...", mix.batch_apps);
+    println!(
+        "measuring {ls} + {:?} under PC3D at a 95% QoS target...",
+        mix.batch_apps
+    );
     let qps = 60.0;
     let pairs: Vec<PairMeasurement> = mix
         .batch_apps
@@ -78,7 +91,10 @@ fn main() {
     let result = analyze(10_000.0, 4, &pairs, PowerModel::default());
     println!("\n10k-machine cluster, equal batch throughput:");
     println!("  PC3D co-location:  {:>7.0} servers", result.servers_pc3d);
-    println!("  no co-location:    {:>7.0} servers", result.servers_no_colo);
+    println!(
+        "  no co-location:    {:>7.0} servers",
+        result.servers_no_colo
+    );
     println!(
         "  energy efficiency: {:.2}x in PC3D's favour ({:.0} kW vs {:.0} kW)",
         result.efficiency_ratio,

@@ -95,8 +95,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{name} ({:.0}%)", share * 100.0)
             })
             .collect();
-        let set: Vec<pir::FuncId> =
-            hot.iter().filter(|(_, s)| *s > 0.2).map(|(f, _)| *f).collect();
+        let set: Vec<pir::FuncId> = hot
+            .iter()
+            .filter(|(_, s)| *s > 0.2)
+            .map(|(f, _)| *f)
+            .collect();
         let rate = detector.observe_bps(&stats);
         let hotset = detector.observe_hot_set(&set);
         let verdict = match (rate, hotset) {
@@ -105,7 +108,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (PhaseChange::RateShift, _) => "RATE SHIFT",
             _ => "change",
         };
-        println!("{w:>6}     {:<36} {:.3}   {verdict}", hot_str.join(", "), stats.bpc);
+        println!(
+            "{w:>6}     {:<36} {:.3}   {verdict}",
+            hot_str.join(", "),
+            stats.bpc
+        );
     }
     Ok(())
 }

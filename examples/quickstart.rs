@@ -91,7 +91,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let pid = os.spawn(&image, 0);
     // A cache-resident victim on another core shows the pollution effect.
-    let victim_img = Compiler::new(Options::plain()).compile(&build_victim())?.image;
+    let victim_img = Compiler::new(Options::plain())
+        .compile(&build_victim())?
+        .image;
     let victim = os.spawn(&victim_img, 1);
     os.advance_seconds(2.0);
 
@@ -115,7 +117,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Hot-swap: compile a fully non-temporal variant of the worker into
     // the code cache and redirect the EVT with one atomic write.
-    let worker = rt.module().function_by_name("stream_pass").expect("worker exists");
+    let worker = rt
+        .module()
+        .function_by_name("stream_pass")
+        .expect("worker exists");
     let nt = NtAssignment::all(pir::load_sites(rt.module()).iter().map(|s| s.site));
     rt.transform(&mut os, worker, &nt)?;
     println!(

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_mutation-3a1b15db5b86c2ac.d: tests/analysis_mutation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_mutation-3a1b15db5b86c2ac.rmeta: tests/analysis_mutation.rs Cargo.toml
+
+tests/analysis_mutation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

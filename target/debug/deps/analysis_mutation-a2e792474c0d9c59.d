@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_mutation-a2e792474c0d9c59.d: tests/analysis_mutation.rs
+
+/root/repo/target/debug/deps/analysis_mutation-a2e792474c0d9c59: tests/analysis_mutation.rs
+
+tests/analysis_mutation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-77ffdb506d3f8520.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-77ffdb506d3f8520.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-77ffdb506d3f8520.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

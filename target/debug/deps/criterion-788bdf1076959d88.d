@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-788bdf1076959d88.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-788bdf1076959d88: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datacenter-0423ebe1008b72a9.d: crates/datacenter/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatacenter-0423ebe1008b72a9.rmeta: crates/datacenter/src/lib.rs Cargo.toml
+
+crates/datacenter/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

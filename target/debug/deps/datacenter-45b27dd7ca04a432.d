@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datacenter-45b27dd7ca04a432.d: crates/datacenter/src/lib.rs
+
+/root/repo/target/debug/deps/datacenter-45b27dd7ca04a432: crates/datacenter/src/lib.rs
+
+crates/datacenter/src/lib.rs:

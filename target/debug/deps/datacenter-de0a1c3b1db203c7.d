@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/datacenter-de0a1c3b1db203c7.d: crates/datacenter/src/lib.rs
+
+/root/repo/target/debug/deps/libdatacenter-de0a1c3b1db203c7.rlib: crates/datacenter/src/lib.rs
+
+/root/repo/target/debug/deps/libdatacenter-de0a1c3b1db203c7.rmeta: crates/datacenter/src/lib.rs
+
+crates/datacenter/src/lib.rs:

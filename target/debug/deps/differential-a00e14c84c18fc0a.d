@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-a00e14c84c18fc0a.d: crates/pcc/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-a00e14c84c18fc0a: crates/pcc/tests/differential.rs
+
+crates/pcc/tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-bf1e2614f86924a5.d: crates/pcc/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-bf1e2614f86924a5.rmeta: crates/pcc/tests/differential.rs Cargo.toml
+
+crates/pcc/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-76e09b5f53c9cb8e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-76e09b5f53c9cb8e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_variants-cea0b6181bf19f79.d: crates/bench/benches/fig02_variants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_variants-cea0b6181bf19f79.rmeta: crates/bench/benches/fig02_variants.rs Cargo.toml
+
+crates/bench/benches/fig02_variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

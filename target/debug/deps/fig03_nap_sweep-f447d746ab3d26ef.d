@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_nap_sweep-f447d746ab3d26ef.d: crates/bench/benches/fig03_nap_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_nap_sweep-f447d746ab3d26ef.rmeta: crates/bench/benches/fig03_nap_sweep.rs Cargo.toml
+
+crates/bench/benches/fig03_nap_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_overhead-4f018257b5c12ecd.d: crates/bench/benches/fig04_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_overhead-4f018257b5c12ecd.rmeta: crates/bench/benches/fig04_overhead.rs Cargo.toml
+
+crates/bench/benches/fig04_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_stress_separate-46ae80a8dc31c0a6.d: crates/bench/benches/fig05_stress_separate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_stress_separate-46ae80a8dc31c0a6.rmeta: crates/bench/benches/fig05_stress_separate.rs Cargo.toml
+
+crates/bench/benches/fig05_stress_separate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

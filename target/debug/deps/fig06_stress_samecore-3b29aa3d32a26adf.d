@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_stress_samecore-3b29aa3d32a26adf.d: crates/bench/benches/fig06_stress_samecore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_stress_samecore-3b29aa3d32a26adf.rmeta: crates/bench/benches/fig06_stress_samecore.rs Cargo.toml
+
+crates/bench/benches/fig06_stress_samecore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

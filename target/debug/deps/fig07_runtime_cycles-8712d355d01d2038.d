@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_runtime_cycles-8712d355d01d2038.d: crates/bench/benches/fig07_runtime_cycles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_runtime_cycles-8712d355d01d2038.rmeta: crates/bench/benches/fig07_runtime_cycles.rs Cargo.toml
+
+crates/bench/benches/fig07_runtime_cycles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

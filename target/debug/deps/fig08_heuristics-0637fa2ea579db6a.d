@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_heuristics-0637fa2ea579db6a.d: crates/bench/benches/fig08_heuristics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_heuristics-0637fa2ea579db6a.rmeta: crates/bench/benches/fig08_heuristics.rs Cargo.toml
+
+crates/bench/benches/fig08_heuristics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

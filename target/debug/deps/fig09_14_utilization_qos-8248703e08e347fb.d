@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig09_14_utilization_qos-8248703e08e347fb.d: crates/bench/benches/fig09_14_utilization_qos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig09_14_utilization_qos-8248703e08e347fb.rmeta: crates/bench/benches/fig09_14_utilization_qos.rs Cargo.toml
+
+crates/bench/benches/fig09_14_utilization_qos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_vs_reqos-a0fc7ee8c827a7c0.d: crates/bench/benches/fig15_vs_reqos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_vs_reqos-a0fc7ee8c827a7c0.rmeta: crates/bench/benches/fig15_vs_reqos.rs Cargo.toml
+
+crates/bench/benches/fig15_vs_reqos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

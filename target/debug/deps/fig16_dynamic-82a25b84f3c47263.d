@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_dynamic-82a25b84f3c47263.d: crates/bench/benches/fig16_dynamic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_dynamic-82a25b84f3c47263.rmeta: crates/bench/benches/fig16_dynamic.rs Cargo.toml
+
+crates/bench/benches/fig16_dynamic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

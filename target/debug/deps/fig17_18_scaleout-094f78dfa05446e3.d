@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_18_scaleout-094f78dfa05446e3.d: crates/bench/benches/fig17_18_scaleout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_18_scaleout-094f78dfa05446e3.rmeta: crates/bench/benches/fig17_18_scaleout.rs Cargo.toml
+
+crates/bench/benches/fig17_18_scaleout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

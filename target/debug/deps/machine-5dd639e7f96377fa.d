@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/machine-5dd639e7f96377fa.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/config.rs crates/machine/src/counters.rs crates/machine/src/exec.rs crates/machine/src/hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachine-5dd639e7f96377fa.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/config.rs crates/machine/src/counters.rs crates/machine/src/exec.rs crates/machine/src/hierarchy.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/config.rs:
+crates/machine/src/counters.rs:
+crates/machine/src/exec.rs:
+crates/machine/src/hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

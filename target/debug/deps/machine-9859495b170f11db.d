@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/machine-9859495b170f11db.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/config.rs crates/machine/src/counters.rs crates/machine/src/exec.rs crates/machine/src/hierarchy.rs
+
+/root/repo/target/debug/deps/machine-9859495b170f11db: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/config.rs crates/machine/src/counters.rs crates/machine/src/exec.rs crates/machine/src/hierarchy.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/config.rs:
+crates/machine/src/counters.rs:
+crates/machine/src/exec.rs:
+crates/machine/src/hierarchy.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/machine-a1cef51b44490ae3.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/config.rs crates/machine/src/counters.rs crates/machine/src/exec.rs crates/machine/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libmachine-a1cef51b44490ae3.rlib: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/config.rs crates/machine/src/counters.rs crates/machine/src/exec.rs crates/machine/src/hierarchy.rs
+
+/root/repo/target/debug/deps/libmachine-a1cef51b44490ae3.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/config.rs crates/machine/src/counters.rs crates/machine/src/exec.rs crates/machine/src/hierarchy.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/config.rs:
+crates/machine/src/counters.rs:
+crates/machine/src/exec.rs:
+crates/machine/src/hierarchy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/opt_proptests-175dc51fa7b685f8.d: crates/pcc/tests/opt_proptests.rs
+
+/root/repo/target/debug/deps/opt_proptests-175dc51fa7b685f8: crates/pcc/tests/opt_proptests.rs
+
+crates/pcc/tests/opt_proptests.rs:

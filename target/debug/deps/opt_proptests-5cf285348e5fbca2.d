@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/opt_proptests-5cf285348e5fbca2.d: crates/pcc/tests/opt_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopt_proptests-5cf285348e5fbca2.rmeta: crates/pcc/tests/opt_proptests.rs Cargo.toml
+
+crates/pcc/tests/opt_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

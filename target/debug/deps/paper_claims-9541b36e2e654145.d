@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-9541b36e2e654145.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-9541b36e2e654145: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pc3d-124a6fde56308487.d: crates/pc3d/src/lib.rs crates/pc3d/src/bisect.rs crates/pc3d/src/controller.rs crates/pc3d/src/heuristics.rs
+
+/root/repo/target/debug/deps/pc3d-124a6fde56308487: crates/pc3d/src/lib.rs crates/pc3d/src/bisect.rs crates/pc3d/src/controller.rs crates/pc3d/src/heuristics.rs
+
+crates/pc3d/src/lib.rs:
+crates/pc3d/src/bisect.rs:
+crates/pc3d/src/controller.rs:
+crates/pc3d/src/heuristics.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pc3d-b15839677cfbcb76.d: crates/pc3d/src/lib.rs crates/pc3d/src/bisect.rs crates/pc3d/src/controller.rs crates/pc3d/src/heuristics.rs
+
+/root/repo/target/debug/deps/libpc3d-b15839677cfbcb76.rlib: crates/pc3d/src/lib.rs crates/pc3d/src/bisect.rs crates/pc3d/src/controller.rs crates/pc3d/src/heuristics.rs
+
+/root/repo/target/debug/deps/libpc3d-b15839677cfbcb76.rmeta: crates/pc3d/src/lib.rs crates/pc3d/src/bisect.rs crates/pc3d/src/controller.rs crates/pc3d/src/heuristics.rs
+
+crates/pc3d/src/lib.rs:
+crates/pc3d/src/bisect.rs:
+crates/pc3d/src/controller.rs:
+crates/pc3d/src/heuristics.rs:

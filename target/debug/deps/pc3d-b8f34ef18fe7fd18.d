@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pc3d-b8f34ef18fe7fd18.d: crates/pc3d/src/lib.rs crates/pc3d/src/bisect.rs crates/pc3d/src/controller.rs crates/pc3d/src/heuristics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpc3d-b8f34ef18fe7fd18.rmeta: crates/pc3d/src/lib.rs crates/pc3d/src/bisect.rs crates/pc3d/src/controller.rs crates/pc3d/src/heuristics.rs Cargo.toml
+
+crates/pc3d/src/lib.rs:
+crates/pc3d/src/bisect.rs:
+crates/pc3d/src/controller.rs:
+crates/pc3d/src/heuristics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pcc-0fbfd11ad94e59d8.d: crates/pcc/src/lib.rs crates/pcc/src/annex.rs crates/pcc/src/compile.rs crates/pcc/src/inline.rs crates/pcc/src/invariants.rs crates/pcc/src/layout.rs crates/pcc/src/lower.rs crates/pcc/src/nt.rs crates/pcc/src/opt.rs crates/pcc/src/virtualize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcc-0fbfd11ad94e59d8.rmeta: crates/pcc/src/lib.rs crates/pcc/src/annex.rs crates/pcc/src/compile.rs crates/pcc/src/inline.rs crates/pcc/src/invariants.rs crates/pcc/src/layout.rs crates/pcc/src/lower.rs crates/pcc/src/nt.rs crates/pcc/src/opt.rs crates/pcc/src/virtualize.rs Cargo.toml
+
+crates/pcc/src/lib.rs:
+crates/pcc/src/annex.rs:
+crates/pcc/src/compile.rs:
+crates/pcc/src/inline.rs:
+crates/pcc/src/invariants.rs:
+crates/pcc/src/layout.rs:
+crates/pcc/src/lower.rs:
+crates/pcc/src/nt.rs:
+crates/pcc/src/opt.rs:
+crates/pcc/src/virtualize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

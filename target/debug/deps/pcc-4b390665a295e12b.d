@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pcc-4b390665a295e12b.d: crates/pcc/src/lib.rs crates/pcc/src/annex.rs crates/pcc/src/compile.rs crates/pcc/src/inline.rs crates/pcc/src/invariants.rs crates/pcc/src/layout.rs crates/pcc/src/lower.rs crates/pcc/src/nt.rs crates/pcc/src/opt.rs crates/pcc/src/virtualize.rs
+
+/root/repo/target/debug/deps/libpcc-4b390665a295e12b.rlib: crates/pcc/src/lib.rs crates/pcc/src/annex.rs crates/pcc/src/compile.rs crates/pcc/src/inline.rs crates/pcc/src/invariants.rs crates/pcc/src/layout.rs crates/pcc/src/lower.rs crates/pcc/src/nt.rs crates/pcc/src/opt.rs crates/pcc/src/virtualize.rs
+
+/root/repo/target/debug/deps/libpcc-4b390665a295e12b.rmeta: crates/pcc/src/lib.rs crates/pcc/src/annex.rs crates/pcc/src/compile.rs crates/pcc/src/inline.rs crates/pcc/src/invariants.rs crates/pcc/src/layout.rs crates/pcc/src/lower.rs crates/pcc/src/nt.rs crates/pcc/src/opt.rs crates/pcc/src/virtualize.rs
+
+crates/pcc/src/lib.rs:
+crates/pcc/src/annex.rs:
+crates/pcc/src/compile.rs:
+crates/pcc/src/inline.rs:
+crates/pcc/src/invariants.rs:
+crates/pcc/src/layout.rs:
+crates/pcc/src/lower.rs:
+crates/pcc/src/nt.rs:
+crates/pcc/src/opt.rs:
+crates/pcc/src/virtualize.rs:

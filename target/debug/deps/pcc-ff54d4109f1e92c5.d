@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pcc-ff54d4109f1e92c5.d: crates/pcc/src/lib.rs crates/pcc/src/annex.rs crates/pcc/src/compile.rs crates/pcc/src/inline.rs crates/pcc/src/invariants.rs crates/pcc/src/layout.rs crates/pcc/src/lower.rs crates/pcc/src/nt.rs crates/pcc/src/opt.rs crates/pcc/src/virtualize.rs
+
+/root/repo/target/debug/deps/libpcc-ff54d4109f1e92c5.rlib: crates/pcc/src/lib.rs crates/pcc/src/annex.rs crates/pcc/src/compile.rs crates/pcc/src/inline.rs crates/pcc/src/invariants.rs crates/pcc/src/layout.rs crates/pcc/src/lower.rs crates/pcc/src/nt.rs crates/pcc/src/opt.rs crates/pcc/src/virtualize.rs
+
+/root/repo/target/debug/deps/libpcc-ff54d4109f1e92c5.rmeta: crates/pcc/src/lib.rs crates/pcc/src/annex.rs crates/pcc/src/compile.rs crates/pcc/src/inline.rs crates/pcc/src/invariants.rs crates/pcc/src/layout.rs crates/pcc/src/lower.rs crates/pcc/src/nt.rs crates/pcc/src/opt.rs crates/pcc/src/virtualize.rs
+
+crates/pcc/src/lib.rs:
+crates/pcc/src/annex.rs:
+crates/pcc/src/compile.rs:
+crates/pcc/src/inline.rs:
+crates/pcc/src/invariants.rs:
+crates/pcc/src/layout.rs:
+crates/pcc/src/lower.rs:
+crates/pcc/src/nt.rs:
+crates/pcc/src/opt.rs:
+crates/pcc/src/virtualize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-20c2505c93965778.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-20c2505c93965778: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

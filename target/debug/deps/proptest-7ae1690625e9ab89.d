@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-7ae1690625e9ab89.d: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7ae1690625e9ab89.rlib: crates/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7ae1690625e9ab89.rmeta: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

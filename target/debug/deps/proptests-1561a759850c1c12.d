@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1561a759850c1c12.d: crates/pir/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1561a759850c1c12: crates/pir/tests/proptests.rs
+
+crates/pir/tests/proptests.rs:

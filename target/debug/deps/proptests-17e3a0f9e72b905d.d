@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-17e3a0f9e72b905d.d: crates/simos/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-17e3a0f9e72b905d.rmeta: crates/simos/tests/proptests.rs Cargo.toml
+
+crates/simos/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-73398ee3f4fb3e4e.d: crates/machine/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-73398ee3f4fb3e4e: crates/machine/tests/proptests.rs
+
+crates/machine/tests/proptests.rs:

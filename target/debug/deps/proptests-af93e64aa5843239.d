@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-af93e64aa5843239.d: crates/pir/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-af93e64aa5843239.rmeta: crates/pir/tests/proptests.rs Cargo.toml
+
+crates/pir/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-be68e960adb7fea3.d: crates/visa/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-be68e960adb7fea3.rmeta: crates/visa/tests/proptests.rs Cargo.toml
+
+crates/visa/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

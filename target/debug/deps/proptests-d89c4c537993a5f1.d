@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d89c4c537993a5f1.d: crates/visa/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d89c4c537993a5f1: crates/visa/tests/proptests.rs
+
+crates/visa/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f1f74e848ea99032.d: crates/simos/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f1f74e848ea99032: crates/simos/tests/proptests.rs
+
+crates/simos/tests/proptests.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/protean-06cbcfd8c56e483c.d: crates/protean/src/lib.rs crates/protean/src/cost.rs crates/protean/src/engine.rs crates/protean/src/monitor.rs crates/protean/src/phase.rs crates/protean/src/runtime.rs crates/protean/src/safety.rs crates/protean/src/stress.rs crates/protean/src/systems.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotean-06cbcfd8c56e483c.rmeta: crates/protean/src/lib.rs crates/protean/src/cost.rs crates/protean/src/engine.rs crates/protean/src/monitor.rs crates/protean/src/phase.rs crates/protean/src/runtime.rs crates/protean/src/safety.rs crates/protean/src/stress.rs crates/protean/src/systems.rs Cargo.toml
+
+crates/protean/src/lib.rs:
+crates/protean/src/cost.rs:
+crates/protean/src/engine.rs:
+crates/protean/src/monitor.rs:
+crates/protean/src/phase.rs:
+crates/protean/src/runtime.rs:
+crates/protean/src/safety.rs:
+crates/protean/src/stress.rs:
+crates/protean/src/systems.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

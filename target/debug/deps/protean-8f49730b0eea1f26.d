@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/protean-8f49730b0eea1f26.d: crates/protean/src/lib.rs crates/protean/src/cost.rs crates/protean/src/engine.rs crates/protean/src/monitor.rs crates/protean/src/phase.rs crates/protean/src/runtime.rs crates/protean/src/safety.rs crates/protean/src/stress.rs crates/protean/src/systems.rs
+
+/root/repo/target/debug/deps/protean-8f49730b0eea1f26: crates/protean/src/lib.rs crates/protean/src/cost.rs crates/protean/src/engine.rs crates/protean/src/monitor.rs crates/protean/src/phase.rs crates/protean/src/runtime.rs crates/protean/src/safety.rs crates/protean/src/stress.rs crates/protean/src/systems.rs
+
+crates/protean/src/lib.rs:
+crates/protean/src/cost.rs:
+crates/protean/src/engine.rs:
+crates/protean/src/monitor.rs:
+crates/protean/src/phase.rs:
+crates/protean/src/runtime.rs:
+crates/protean/src/safety.rs:
+crates/protean/src/stress.rs:
+crates/protean/src/systems.rs:

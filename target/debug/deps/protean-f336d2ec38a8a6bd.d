@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/protean-f336d2ec38a8a6bd.d: crates/protean/src/lib.rs crates/protean/src/cost.rs crates/protean/src/engine.rs crates/protean/src/monitor.rs crates/protean/src/phase.rs crates/protean/src/runtime.rs crates/protean/src/safety.rs crates/protean/src/stress.rs crates/protean/src/systems.rs
+
+/root/repo/target/debug/deps/libprotean-f336d2ec38a8a6bd.rlib: crates/protean/src/lib.rs crates/protean/src/cost.rs crates/protean/src/engine.rs crates/protean/src/monitor.rs crates/protean/src/phase.rs crates/protean/src/runtime.rs crates/protean/src/safety.rs crates/protean/src/stress.rs crates/protean/src/systems.rs
+
+/root/repo/target/debug/deps/libprotean-f336d2ec38a8a6bd.rmeta: crates/protean/src/lib.rs crates/protean/src/cost.rs crates/protean/src/engine.rs crates/protean/src/monitor.rs crates/protean/src/phase.rs crates/protean/src/runtime.rs crates/protean/src/safety.rs crates/protean/src/stress.rs crates/protean/src/systems.rs
+
+crates/protean/src/lib.rs:
+crates/protean/src/cost.rs:
+crates/protean/src/engine.rs:
+crates/protean/src/monitor.rs:
+crates/protean/src/phase.rs:
+crates/protean/src/runtime.rs:
+crates/protean/src/safety.rs:
+crates/protean/src/stress.rs:
+crates/protean/src/systems.rs:

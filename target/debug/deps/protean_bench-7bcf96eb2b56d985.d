@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protean_bench-7bcf96eb2b56d985.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/protean_bench-7bcf96eb2b56d985: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

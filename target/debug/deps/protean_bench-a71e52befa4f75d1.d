@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/protean_bench-a71e52befa4f75d1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprotean_bench-a71e52befa4f75d1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libprotean_bench-a71e52befa4f75d1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protean_bench-dfe4be71f696261f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotean_bench-dfe4be71f696261f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protean_repro-4e6609518ecc8822.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotean_repro-4e6609518ecc8822.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protean_repro-8db4b039c5c8469d.d: src/lib.rs
+
+/root/repo/target/debug/deps/protean_repro-8db4b039c5c8469d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/protean_repro-e3e04adce8f78cae.d: src/lib.rs
+
+/root/repo/target/debug/deps/libprotean_repro-e3e04adce8f78cae.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libprotean_repro-e3e04adce8f78cae.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qos_pipeline-609966c4be4bfc8d.d: tests/qos_pipeline.rs
+
+/root/repo/target/debug/deps/qos_pipeline-609966c4be4bfc8d: tests/qos_pipeline.rs
+
+tests/qos_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qos_pipeline-d07429ccddb2f4bc.d: tests/qos_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqos_pipeline-d07429ccddb2f4bc.rmeta: tests/qos_pipeline.rs Cargo.toml
+
+tests/qos_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

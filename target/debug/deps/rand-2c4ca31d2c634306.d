@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-2c4ca31d2c634306.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2c4ca31d2c634306.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2c4ca31d2c634306.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-2c5d5936f53264db.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-2c5d5936f53264db: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reqos-551561a5aa0d9817.d: crates/reqos/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreqos-551561a5aa0d9817.rmeta: crates/reqos/src/lib.rs Cargo.toml
+
+crates/reqos/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

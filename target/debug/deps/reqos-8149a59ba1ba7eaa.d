@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reqos-8149a59ba1ba7eaa.d: crates/reqos/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreqos-8149a59ba1ba7eaa.rmeta: crates/reqos/src/lib.rs Cargo.toml
+
+crates/reqos/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reqos-9db219e22797d23f.d: crates/reqos/src/lib.rs
+
+/root/repo/target/debug/deps/reqos-9db219e22797d23f: crates/reqos/src/lib.rs
+
+crates/reqos/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/reqos-bb783c6696d498df.d: crates/reqos/src/lib.rs
+
+/root/repo/target/debug/deps/libreqos-bb783c6696d498df.rlib: crates/reqos/src/lib.rs
+
+/root/repo/target/debug/deps/libreqos-bb783c6696d498df.rmeta: crates/reqos/src/lib.rs
+
+crates/reqos/src/lib.rs:

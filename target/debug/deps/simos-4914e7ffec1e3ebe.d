@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simos-4914e7ffec1e3ebe.d: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs
+
+/root/repo/target/debug/deps/libsimos-4914e7ffec1e3ebe.rlib: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs
+
+/root/repo/target/debug/deps/libsimos-4914e7ffec1e3ebe.rmeta: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs
+
+crates/simos/src/lib.rs:
+crates/simos/src/loadgen.rs:
+crates/simos/src/os.rs:
+crates/simos/src/process.rs:

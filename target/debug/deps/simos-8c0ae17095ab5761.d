@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simos-8c0ae17095ab5761.d: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimos-8c0ae17095ab5761.rmeta: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs Cargo.toml
+
+crates/simos/src/lib.rs:
+crates/simos/src/loadgen.rs:
+crates/simos/src/os.rs:
+crates/simos/src/process.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/simos-ed3dd5b80a29d8ce.d: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs
+
+/root/repo/target/debug/deps/simos-ed3dd5b80a29d8ce: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs
+
+crates/simos/src/lib.rs:
+crates/simos/src/loadgen.rs:
+crates/simos/src/os.rs:
+crates/simos/src/process.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/simos-ee9ee67286971177.d: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimos-ee9ee67286971177.rmeta: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs Cargo.toml
+
+crates/simos/src/lib.rs:
+crates/simos/src/loadgen.rs:
+crates/simos/src/os.rs:
+crates/simos/src/process.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

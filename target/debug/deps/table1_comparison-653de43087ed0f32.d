@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_comparison-653de43087ed0f32.d: crates/bench/benches/table1_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_comparison-653de43087ed0f32.rmeta: crates/bench/benches/table1_comparison.rs Cargo.toml
+
+crates/bench/benches/table1_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

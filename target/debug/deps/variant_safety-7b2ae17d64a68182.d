@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/variant_safety-7b2ae17d64a68182.d: crates/protean/tests/variant_safety.rs
+
+/root/repo/target/debug/deps/variant_safety-7b2ae17d64a68182: crates/protean/tests/variant_safety.rs
+
+crates/protean/tests/variant_safety.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/variant_safety-8ab9ba8d1adb13ea.d: crates/protean/tests/variant_safety.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvariant_safety-8ab9ba8d1adb13ea.rmeta: crates/protean/tests/variant_safety.rs Cargo.toml
+
+crates/protean/tests/variant_safety.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

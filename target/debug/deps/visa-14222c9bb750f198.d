@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/visa-14222c9bb750f198.d: crates/visa/src/lib.rs crates/visa/src/asm.rs crates/visa/src/disasm.rs crates/visa/src/encode.rs crates/visa/src/image.rs crates/visa/src/op.rs
+
+/root/repo/target/debug/deps/libvisa-14222c9bb750f198.rlib: crates/visa/src/lib.rs crates/visa/src/asm.rs crates/visa/src/disasm.rs crates/visa/src/encode.rs crates/visa/src/image.rs crates/visa/src/op.rs
+
+/root/repo/target/debug/deps/libvisa-14222c9bb750f198.rmeta: crates/visa/src/lib.rs crates/visa/src/asm.rs crates/visa/src/disasm.rs crates/visa/src/encode.rs crates/visa/src/image.rs crates/visa/src/op.rs
+
+crates/visa/src/lib.rs:
+crates/visa/src/asm.rs:
+crates/visa/src/disasm.rs:
+crates/visa/src/encode.rs:
+crates/visa/src/image.rs:
+crates/visa/src/op.rs:

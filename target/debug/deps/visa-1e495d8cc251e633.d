@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/visa-1e495d8cc251e633.d: crates/visa/src/lib.rs crates/visa/src/asm.rs crates/visa/src/disasm.rs crates/visa/src/encode.rs crates/visa/src/image.rs crates/visa/src/op.rs
+
+/root/repo/target/debug/deps/visa-1e495d8cc251e633: crates/visa/src/lib.rs crates/visa/src/asm.rs crates/visa/src/disasm.rs crates/visa/src/encode.rs crates/visa/src/image.rs crates/visa/src/op.rs
+
+crates/visa/src/lib.rs:
+crates/visa/src/asm.rs:
+crates/visa/src/disasm.rs:
+crates/visa/src/encode.rs:
+crates/visa/src/image.rs:
+crates/visa/src/op.rs:

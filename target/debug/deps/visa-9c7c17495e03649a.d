@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/visa-9c7c17495e03649a.d: crates/visa/src/lib.rs crates/visa/src/asm.rs crates/visa/src/disasm.rs crates/visa/src/encode.rs crates/visa/src/image.rs crates/visa/src/op.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvisa-9c7c17495e03649a.rmeta: crates/visa/src/lib.rs crates/visa/src/asm.rs crates/visa/src/disasm.rs crates/visa/src/encode.rs crates/visa/src/image.rs crates/visa/src/op.rs Cargo.toml
+
+crates/visa/src/lib.rs:
+crates/visa/src/asm.rs:
+crates/visa/src/disasm.rs:
+crates/visa/src/encode.rs:
+crates/visa/src/image.rs:
+crates/visa/src/op.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_classes-15c338e27b840c6e.d: tests/workload_classes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_classes-15c338e27b840c6e.rmeta: tests/workload_classes.rs Cargo.toml
+
+tests/workload_classes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

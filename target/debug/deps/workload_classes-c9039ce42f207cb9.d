@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_classes-c9039ce42f207cb9.d: tests/workload_classes.rs
+
+/root/repo/target/debug/deps/workload_classes-c9039ce42f207cb9: tests/workload_classes.rs
+
+tests/workload_classes.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/workloads-02dcb05b3e7a7e41.d: crates/workloads/src/lib.rs crates/workloads/src/batch.rs crates/workloads/src/catalog.rs crates/workloads/src/server.rs
+
+/root/repo/target/debug/deps/workloads-02dcb05b3e7a7e41: crates/workloads/src/lib.rs crates/workloads/src/batch.rs crates/workloads/src/catalog.rs crates/workloads/src/server.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/batch.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/server.rs:

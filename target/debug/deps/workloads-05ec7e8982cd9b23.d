@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/workloads-05ec7e8982cd9b23.d: crates/workloads/src/lib.rs crates/workloads/src/batch.rs crates/workloads/src/catalog.rs crates/workloads/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-05ec7e8982cd9b23.rmeta: crates/workloads/src/lib.rs crates/workloads/src/batch.rs crates/workloads/src/catalog.rs crates/workloads/src/server.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/batch.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workloads-cc8d1e2646626408.d: crates/workloads/src/lib.rs crates/workloads/src/batch.rs crates/workloads/src/catalog.rs crates/workloads/src/server.rs
+
+/root/repo/target/debug/deps/libworkloads-cc8d1e2646626408.rlib: crates/workloads/src/lib.rs crates/workloads/src/batch.rs crates/workloads/src/catalog.rs crates/workloads/src/server.rs
+
+/root/repo/target/debug/deps/libworkloads-cc8d1e2646626408.rmeta: crates/workloads/src/lib.rs crates/workloads/src/batch.rs crates/workloads/src/catalog.rs crates/workloads/src/server.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/batch.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/server.rs:

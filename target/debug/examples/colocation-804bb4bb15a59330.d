@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colocation-804bb4bb15a59330.d: examples/colocation.rs
+
+/root/repo/target/debug/examples/colocation-804bb4bb15a59330: examples/colocation.rs
+
+examples/colocation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/colocation-8611131f221d503b.d: examples/colocation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcolocation-8611131f221d503b.rmeta: examples/colocation.rs Cargo.toml
+
+examples/colocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/datacenter-16d58e34ed66d851.d: examples/datacenter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdatacenter-16d58e34ed66d851.rmeta: examples/datacenter.rs Cargo.toml
+
+examples/datacenter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/datacenter-44d321fea8975f4d.d: examples/datacenter.rs
+
+/root/repo/target/debug/examples/datacenter-44d321fea8975f4d: examples/datacenter.rs
+
+examples/datacenter.rs:

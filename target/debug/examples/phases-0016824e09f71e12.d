@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phases-0016824e09f71e12.d: examples/phases.rs
+
+/root/repo/target/debug/examples/phases-0016824e09f71e12: examples/phases.rs
+
+examples/phases.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/phases-856b3100c8167afd.d: examples/phases.rs Cargo.toml
+
+/root/repo/target/debug/examples/libphases-856b3100c8167afd.rmeta: examples/phases.rs Cargo.toml
+
+examples/phases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f5cef537bd2a886d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f5cef537bd2a886d: examples/quickstart.rs
+
+examples/quickstart.rs:

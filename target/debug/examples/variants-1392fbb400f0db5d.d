@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/variants-1392fbb400f0db5d.d: examples/variants.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvariants-1392fbb400f0db5d.rmeta: examples/variants.rs Cargo.toml
+
+examples/variants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

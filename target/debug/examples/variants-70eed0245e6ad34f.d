@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/variants-70eed0245e6ad34f.d: examples/variants.rs
+
+/root/repo/target/debug/examples/variants-70eed0245e6ad34f: examples/variants.rs
+
+examples/variants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-a93e8422175653aa.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-a93e8422175653aa: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-33a35d0f56324981.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-33a35d0f56324981.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-33a35d0f56324981.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

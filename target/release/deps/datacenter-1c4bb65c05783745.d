@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/datacenter-1c4bb65c05783745.d: crates/datacenter/src/lib.rs
+
+/root/repo/target/release/deps/libdatacenter-1c4bb65c05783745.rlib: crates/datacenter/src/lib.rs
+
+/root/repo/target/release/deps/libdatacenter-1c4bb65c05783745.rmeta: crates/datacenter/src/lib.rs
+
+crates/datacenter/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/datacenter-8125ec5fef0df010.d: crates/datacenter/src/lib.rs
+
+/root/repo/target/release/deps/datacenter-8125ec5fef0df010: crates/datacenter/src/lib.rs
+
+crates/datacenter/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_variants-af9c70784cf10b60.d: crates/bench/benches/fig02_variants.rs
+
+/root/repo/target/release/deps/fig02_variants-af9c70784cf10b60: crates/bench/benches/fig02_variants.rs
+
+crates/bench/benches/fig02_variants.rs:

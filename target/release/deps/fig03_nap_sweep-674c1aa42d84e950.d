@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_nap_sweep-674c1aa42d84e950.d: crates/bench/benches/fig03_nap_sweep.rs
+
+/root/repo/target/release/deps/fig03_nap_sweep-674c1aa42d84e950: crates/bench/benches/fig03_nap_sweep.rs
+
+crates/bench/benches/fig03_nap_sweep.rs:

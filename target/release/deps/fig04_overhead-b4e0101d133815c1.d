@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_overhead-b4e0101d133815c1.d: crates/bench/benches/fig04_overhead.rs
+
+/root/repo/target/release/deps/fig04_overhead-b4e0101d133815c1: crates/bench/benches/fig04_overhead.rs
+
+crates/bench/benches/fig04_overhead.rs:

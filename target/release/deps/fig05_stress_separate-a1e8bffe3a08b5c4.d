@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_stress_separate-a1e8bffe3a08b5c4.d: crates/bench/benches/fig05_stress_separate.rs
+
+/root/repo/target/release/deps/fig05_stress_separate-a1e8bffe3a08b5c4: crates/bench/benches/fig05_stress_separate.rs
+
+crates/bench/benches/fig05_stress_separate.rs:

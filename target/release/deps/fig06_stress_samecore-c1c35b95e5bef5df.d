@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_stress_samecore-c1c35b95e5bef5df.d: crates/bench/benches/fig06_stress_samecore.rs
+
+/root/repo/target/release/deps/fig06_stress_samecore-c1c35b95e5bef5df: crates/bench/benches/fig06_stress_samecore.rs
+
+crates/bench/benches/fig06_stress_samecore.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_runtime_cycles-153d57bc0cb9f11f.d: crates/bench/benches/fig07_runtime_cycles.rs
+
+/root/repo/target/release/deps/fig07_runtime_cycles-153d57bc0cb9f11f: crates/bench/benches/fig07_runtime_cycles.rs
+
+crates/bench/benches/fig07_runtime_cycles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_heuristics-55d7f85a8ce10b34.d: crates/bench/benches/fig08_heuristics.rs
+
+/root/repo/target/release/deps/fig08_heuristics-55d7f85a8ce10b34: crates/bench/benches/fig08_heuristics.rs
+
+crates/bench/benches/fig08_heuristics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_14_utilization_qos-5aaa23a58de30142.d: crates/bench/benches/fig09_14_utilization_qos.rs
+
+/root/repo/target/release/deps/fig09_14_utilization_qos-5aaa23a58de30142: crates/bench/benches/fig09_14_utilization_qos.rs
+
+crates/bench/benches/fig09_14_utilization_qos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_vs_reqos-117e4778a63a5c6a.d: crates/bench/benches/fig15_vs_reqos.rs
+
+/root/repo/target/release/deps/fig15_vs_reqos-117e4778a63a5c6a: crates/bench/benches/fig15_vs_reqos.rs
+
+crates/bench/benches/fig15_vs_reqos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_dynamic-ad1a547797dff787.d: crates/bench/benches/fig16_dynamic.rs
+
+/root/repo/target/release/deps/fig16_dynamic-ad1a547797dff787: crates/bench/benches/fig16_dynamic.rs
+
+crates/bench/benches/fig16_dynamic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_18_scaleout-a1d3ae4ac3ce6fa1.d: crates/bench/benches/fig17_18_scaleout.rs
+
+/root/repo/target/release/deps/fig17_18_scaleout-a1d3ae4ac3ce6fa1: crates/bench/benches/fig17_18_scaleout.rs
+
+crates/bench/benches/fig17_18_scaleout.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/machine-db7b8b78ba968385.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/config.rs crates/machine/src/counters.rs crates/machine/src/exec.rs crates/machine/src/hierarchy.rs
+
+/root/repo/target/release/deps/machine-db7b8b78ba968385: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/config.rs crates/machine/src/counters.rs crates/machine/src/exec.rs crates/machine/src/hierarchy.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/config.rs:
+crates/machine/src/counters.rs:
+crates/machine/src/exec.rs:
+crates/machine/src/hierarchy.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/machine-f8d531dfed5394c2.d: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/config.rs crates/machine/src/counters.rs crates/machine/src/exec.rs crates/machine/src/hierarchy.rs
+
+/root/repo/target/release/deps/libmachine-f8d531dfed5394c2.rlib: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/config.rs crates/machine/src/counters.rs crates/machine/src/exec.rs crates/machine/src/hierarchy.rs
+
+/root/repo/target/release/deps/libmachine-f8d531dfed5394c2.rmeta: crates/machine/src/lib.rs crates/machine/src/cache.rs crates/machine/src/config.rs crates/machine/src/counters.rs crates/machine/src/exec.rs crates/machine/src/hierarchy.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/cache.rs:
+crates/machine/src/config.rs:
+crates/machine/src/counters.rs:
+crates/machine/src/exec.rs:
+crates/machine/src/hierarchy.rs:

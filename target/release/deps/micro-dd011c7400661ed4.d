@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-dd011c7400661ed4.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-dd011c7400661ed4: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

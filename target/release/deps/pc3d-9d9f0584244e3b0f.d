@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pc3d-9d9f0584244e3b0f.d: crates/pc3d/src/lib.rs crates/pc3d/src/bisect.rs crates/pc3d/src/controller.rs crates/pc3d/src/heuristics.rs
+
+/root/repo/target/release/deps/pc3d-9d9f0584244e3b0f: crates/pc3d/src/lib.rs crates/pc3d/src/bisect.rs crates/pc3d/src/controller.rs crates/pc3d/src/heuristics.rs
+
+crates/pc3d/src/lib.rs:
+crates/pc3d/src/bisect.rs:
+crates/pc3d/src/controller.rs:
+crates/pc3d/src/heuristics.rs:

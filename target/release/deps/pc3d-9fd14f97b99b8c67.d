@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pc3d-9fd14f97b99b8c67.d: crates/pc3d/src/lib.rs crates/pc3d/src/bisect.rs crates/pc3d/src/controller.rs crates/pc3d/src/heuristics.rs
+
+/root/repo/target/release/deps/libpc3d-9fd14f97b99b8c67.rlib: crates/pc3d/src/lib.rs crates/pc3d/src/bisect.rs crates/pc3d/src/controller.rs crates/pc3d/src/heuristics.rs
+
+/root/repo/target/release/deps/libpc3d-9fd14f97b99b8c67.rmeta: crates/pc3d/src/lib.rs crates/pc3d/src/bisect.rs crates/pc3d/src/controller.rs crates/pc3d/src/heuristics.rs
+
+crates/pc3d/src/lib.rs:
+crates/pc3d/src/bisect.rs:
+crates/pc3d/src/controller.rs:
+crates/pc3d/src/heuristics.rs:

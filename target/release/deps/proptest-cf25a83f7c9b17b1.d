@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-cf25a83f7c9b17b1.d: crates/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-cf25a83f7c9b17b1: crates/proptest/src/lib.rs
+
+crates/proptest/src/lib.rs:

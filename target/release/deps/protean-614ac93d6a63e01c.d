@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/protean-614ac93d6a63e01c.d: crates/protean/src/lib.rs crates/protean/src/cost.rs crates/protean/src/engine.rs crates/protean/src/monitor.rs crates/protean/src/phase.rs crates/protean/src/runtime.rs crates/protean/src/safety.rs crates/protean/src/stress.rs crates/protean/src/systems.rs
+
+/root/repo/target/release/deps/libprotean-614ac93d6a63e01c.rlib: crates/protean/src/lib.rs crates/protean/src/cost.rs crates/protean/src/engine.rs crates/protean/src/monitor.rs crates/protean/src/phase.rs crates/protean/src/runtime.rs crates/protean/src/safety.rs crates/protean/src/stress.rs crates/protean/src/systems.rs
+
+/root/repo/target/release/deps/libprotean-614ac93d6a63e01c.rmeta: crates/protean/src/lib.rs crates/protean/src/cost.rs crates/protean/src/engine.rs crates/protean/src/monitor.rs crates/protean/src/phase.rs crates/protean/src/runtime.rs crates/protean/src/safety.rs crates/protean/src/stress.rs crates/protean/src/systems.rs
+
+crates/protean/src/lib.rs:
+crates/protean/src/cost.rs:
+crates/protean/src/engine.rs:
+crates/protean/src/monitor.rs:
+crates/protean/src/phase.rs:
+crates/protean/src/runtime.rs:
+crates/protean/src/safety.rs:
+crates/protean/src/stress.rs:
+crates/protean/src/systems.rs:

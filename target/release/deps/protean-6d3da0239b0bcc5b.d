@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/protean-6d3da0239b0bcc5b.d: crates/protean/src/lib.rs crates/protean/src/cost.rs crates/protean/src/engine.rs crates/protean/src/monitor.rs crates/protean/src/phase.rs crates/protean/src/runtime.rs crates/protean/src/safety.rs crates/protean/src/stress.rs crates/protean/src/systems.rs
+
+/root/repo/target/release/deps/protean-6d3da0239b0bcc5b: crates/protean/src/lib.rs crates/protean/src/cost.rs crates/protean/src/engine.rs crates/protean/src/monitor.rs crates/protean/src/phase.rs crates/protean/src/runtime.rs crates/protean/src/safety.rs crates/protean/src/stress.rs crates/protean/src/systems.rs
+
+crates/protean/src/lib.rs:
+crates/protean/src/cost.rs:
+crates/protean/src/engine.rs:
+crates/protean/src/monitor.rs:
+crates/protean/src/phase.rs:
+crates/protean/src/runtime.rs:
+crates/protean/src/safety.rs:
+crates/protean/src/stress.rs:
+crates/protean/src/systems.rs:

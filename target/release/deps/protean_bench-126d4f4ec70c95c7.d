@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protean_bench-126d4f4ec70c95c7.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/protean_bench-126d4f4ec70c95c7: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/protean_bench-ba6f937d59123859.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libprotean_bench-ba6f937d59123859.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libprotean_bench-ba6f937d59123859.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protean_repro-c12b8e92f9b1b00e.d: src/lib.rs
+
+/root/repo/target/release/deps/protean_repro-c12b8e92f9b1b00e: src/lib.rs
+
+src/lib.rs:

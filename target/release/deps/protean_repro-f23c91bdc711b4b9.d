@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/protean_repro-f23c91bdc711b4b9.d: src/lib.rs
+
+/root/repo/target/release/deps/libprotean_repro-f23c91bdc711b4b9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libprotean_repro-f23c91bdc711b4b9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/reqos-50bcd3315a2757ee.d: crates/reqos/src/lib.rs
+
+/root/repo/target/release/deps/libreqos-50bcd3315a2757ee.rlib: crates/reqos/src/lib.rs
+
+/root/repo/target/release/deps/libreqos-50bcd3315a2757ee.rmeta: crates/reqos/src/lib.rs
+
+crates/reqos/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reqos-5aa850a7c4277358.d: crates/reqos/src/lib.rs
+
+/root/repo/target/release/deps/reqos-5aa850a7c4277358: crates/reqos/src/lib.rs
+
+crates/reqos/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/simos-06fa2f1c8c323802.d: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs
+
+/root/repo/target/release/deps/simos-06fa2f1c8c323802: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs
+
+crates/simos/src/lib.rs:
+crates/simos/src/loadgen.rs:
+crates/simos/src/os.rs:
+crates/simos/src/process.rs:

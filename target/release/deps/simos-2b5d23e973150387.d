@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/simos-2b5d23e973150387.d: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs
+
+/root/repo/target/release/deps/libsimos-2b5d23e973150387.rlib: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs
+
+/root/repo/target/release/deps/libsimos-2b5d23e973150387.rmeta: crates/simos/src/lib.rs crates/simos/src/loadgen.rs crates/simos/src/os.rs crates/simos/src/process.rs
+
+crates/simos/src/lib.rs:
+crates/simos/src/loadgen.rs:
+crates/simos/src/os.rs:
+crates/simos/src/process.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_comparison-343ba14f77a4649f.d: crates/bench/benches/table1_comparison.rs
+
+/root/repo/target/release/deps/table1_comparison-343ba14f77a4649f: crates/bench/benches/table1_comparison.rs
+
+crates/bench/benches/table1_comparison.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/visa-c79dc2d03e05af0e.d: crates/visa/src/lib.rs crates/visa/src/asm.rs crates/visa/src/disasm.rs crates/visa/src/encode.rs crates/visa/src/image.rs crates/visa/src/op.rs
+
+/root/repo/target/release/deps/libvisa-c79dc2d03e05af0e.rlib: crates/visa/src/lib.rs crates/visa/src/asm.rs crates/visa/src/disasm.rs crates/visa/src/encode.rs crates/visa/src/image.rs crates/visa/src/op.rs
+
+/root/repo/target/release/deps/libvisa-c79dc2d03e05af0e.rmeta: crates/visa/src/lib.rs crates/visa/src/asm.rs crates/visa/src/disasm.rs crates/visa/src/encode.rs crates/visa/src/image.rs crates/visa/src/op.rs
+
+crates/visa/src/lib.rs:
+crates/visa/src/asm.rs:
+crates/visa/src/disasm.rs:
+crates/visa/src/encode.rs:
+crates/visa/src/image.rs:
+crates/visa/src/op.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/visa-f8e04357c47b9b2b.d: crates/visa/src/lib.rs crates/visa/src/asm.rs crates/visa/src/disasm.rs crates/visa/src/encode.rs crates/visa/src/image.rs crates/visa/src/op.rs
+
+/root/repo/target/release/deps/visa-f8e04357c47b9b2b: crates/visa/src/lib.rs crates/visa/src/asm.rs crates/visa/src/disasm.rs crates/visa/src/encode.rs crates/visa/src/image.rs crates/visa/src/op.rs
+
+crates/visa/src/lib.rs:
+crates/visa/src/asm.rs:
+crates/visa/src/disasm.rs:
+crates/visa/src/encode.rs:
+crates/visa/src/image.rs:
+crates/visa/src/op.rs:

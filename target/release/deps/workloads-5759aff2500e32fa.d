@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/workloads-5759aff2500e32fa.d: crates/workloads/src/lib.rs crates/workloads/src/batch.rs crates/workloads/src/catalog.rs crates/workloads/src/server.rs
+
+/root/repo/target/release/deps/libworkloads-5759aff2500e32fa.rlib: crates/workloads/src/lib.rs crates/workloads/src/batch.rs crates/workloads/src/catalog.rs crates/workloads/src/server.rs
+
+/root/repo/target/release/deps/libworkloads-5759aff2500e32fa.rmeta: crates/workloads/src/lib.rs crates/workloads/src/batch.rs crates/workloads/src/catalog.rs crates/workloads/src/server.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/batch.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/server.rs:

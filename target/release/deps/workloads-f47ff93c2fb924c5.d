@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/workloads-f47ff93c2fb924c5.d: crates/workloads/src/lib.rs crates/workloads/src/batch.rs crates/workloads/src/catalog.rs crates/workloads/src/server.rs
+
+/root/repo/target/release/deps/workloads-f47ff93c2fb924c5: crates/workloads/src/lib.rs crates/workloads/src/batch.rs crates/workloads/src/catalog.rs crates/workloads/src/server.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/batch.rs:
+crates/workloads/src/catalog.rs:
+crates/workloads/src/server.rs:

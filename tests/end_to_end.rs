@@ -14,7 +14,9 @@ fn checksum_program() -> Module {
     let mut m = Module::new("checksum");
     let data = m.add_global_full(pir::Global::with_words(
         "data",
-        (0..512).map(|i| (i * 2654435761u64 as i64) ^ 0x5bd1e995).collect(),
+        (0..512)
+            .map(|i| (i * 2654435761u64 as i64) ^ 0x5bd1e995)
+            .collect(),
     ));
     let out = m.add_global("out", 64);
 
@@ -112,7 +114,10 @@ fn transformed_variant_preserves_semantics() {
     assert!(matches!(os.status(pid), machine::ExecStatus::Halted));
     let (c1, c2) = checksum_of(&os, pid, &image);
     assert_eq!(c1, c2, "the NT variant must compute the same checksum");
-    assert!(os.counters(pid).nt_prefetches > 0, "the variant must actually have run");
+    assert!(
+        os.counters(pid).nt_prefetches > 0,
+        "the variant must actually have run"
+    );
 }
 
 #[test]
@@ -139,8 +144,18 @@ fn image_byte_roundtrip_runs_identically() {
 fn edge_policies_are_semantically_equivalent() {
     let m = checksum_program();
     let mut results = Vec::new();
-    for policy in [EdgePolicy::Never, EdgePolicy::MultiBlockCallees, EdgePolicy::AllCalls] {
-        let opts = Options { protean: true, edge_policy: policy, embed_ir: true, optimize: false };
+    for policy in [
+        EdgePolicy::Never,
+        EdgePolicy::MultiBlockCallees,
+        EdgePolicy::AllCalls,
+    ] {
+        let opts = Options {
+            protean: true,
+            edge_policy: policy,
+            embed_ir: true,
+            optimize: false,
+            ..Options::protean()
+        };
         let image = Compiler::new(opts).compile(&m).unwrap().image;
         let (os, pid) = run_to_halt(&image);
         results.push(checksum_of(&os, pid, &image));
@@ -156,7 +171,10 @@ fn simulation_is_deterministic() {
         let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
         let host = workloads::catalog::build("milc", llc).unwrap();
         let ext = workloads::catalog::build("web-search", llc).unwrap();
-        let host_img = Compiler::new(Options::protean()).compile(&host).unwrap().image;
+        let host_img = Compiler::new(Options::protean())
+            .compile(&host)
+            .unwrap()
+            .image;
         let ext_img = Compiler::new(Options::plain()).compile(&ext).unwrap().image;
         let mut os = Os::new(cfg);
         let e = os.spawn(&ext_img, 0);

@@ -10,7 +10,10 @@ use simos::{Os, OsConfig};
 use workloads::catalog;
 
 fn scaled_os() -> OsConfig {
-    OsConfig { machine: machine::MachineConfig::scaled(), ..OsConfig::default() }
+    OsConfig {
+        machine: machine::MachineConfig::scaled(),
+        ..OsConfig::default()
+    }
 }
 
 fn solo_ips(image: &visa::Image, secs: f64) -> f64 {
@@ -41,8 +44,14 @@ fn claim_edge_virtualization_costs_under_one_percent() {
         sum += slowdown;
     }
     let mean = sum / names.len() as f64;
-    assert!(mean < 1.01, "edge virtualization must average <1%, got {mean:.4}x");
-    assert!(worst < 1.03, "no app should pay more than ~2-3%, worst {worst:.4}x");
+    assert!(
+        mean < 1.01,
+        "edge virtualization must average <1%, got {mean:.4}x"
+    );
+    assert!(
+        worst < 1.03,
+        "no app should pay more than ~2-3%, worst {worst:.4}x"
+    );
 }
 
 /// Figure 4: the binary-translation baseline pays real overhead where
@@ -98,7 +107,10 @@ fn claim_stress_recompilation_on_separate_core_is_free() {
             os.advance_seconds(0.005);
             engine.step(&mut os, &mut rt);
         }
-        assert!(engine.recompiles() > 500, "the stress engine must be firing continuously");
+        assert!(
+            engine.recompiles() > 500,
+            "the stress engine must be firing continuously"
+        );
         mon.end_window(&os).ips
     };
     let slowdown = native / stressed;
@@ -117,8 +129,14 @@ fn claim_nt_hints_remove_streaming_pressure() {
     let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
     let host_m = catalog::build("libquantum", llc).unwrap();
     let ext_m = catalog::build("er-naive", llc).unwrap();
-    let host_img = Compiler::new(Options::protean()).compile(&host_m).unwrap().image;
-    let ext_img = Compiler::new(Options::plain()).compile(&ext_m).unwrap().image;
+    let host_img = Compiler::new(Options::protean())
+        .compile(&host_m)
+        .unwrap()
+        .image;
+    let ext_img = Compiler::new(Options::plain())
+        .compile(&ext_m)
+        .unwrap()
+        .image;
     let ext_solo = solo_ips(&ext_img, 3.0);
     let host_solo = {
         let mut os = Os::new(scaled_os());
@@ -135,7 +153,10 @@ fn claim_nt_hints_remove_streaming_pressure() {
         if hints {
             let mut rt = Runtime::attach(&os, host, RuntimeConfig::on_core(2)).unwrap();
             let nt = NtAssignment::all(
-                pir::load_sites(rt.module()).iter().filter(|s| s.at_max_depth()).map(|s| s.site),
+                pir::load_sites(rt.module())
+                    .iter()
+                    .filter(|s| s.at_max_depth())
+                    .map(|s| s.site),
             );
             for func in rt.virtualized_funcs() {
                 let sub: NtAssignment = nt.sites_in(func).into_iter().collect();
@@ -148,11 +169,17 @@ fn claim_nt_hints_remove_streaming_pressure() {
         let mut em = ExtMonitor::new(&os, ext);
         let mut hm = ExtMonitor::new(&os, host);
         os.advance_seconds(3.0);
-        (em.end_window(&os).ips / ext_solo, hm.end_window(&os).bps / host_solo)
+        (
+            em.end_window(&os).ips / ext_solo,
+            hm.end_window(&os).bps / host_solo,
+        )
     };
     let (qos_plain, _) = run(false);
     let (qos_nt, host_nt) = run(true);
-    assert!(qos_plain < 0.97, "unhinted libquantum must hurt er-naive, qos {qos_plain:.3}");
+    assert!(
+        qos_plain < 0.97,
+        "unhinted libquantum must hurt er-naive, qos {qos_plain:.3}"
+    );
     assert!(qos_nt > 0.98, "hinted libquantum must not, qos {qos_nt:.3}");
     assert!(
         host_nt > 0.95,
@@ -172,7 +199,10 @@ fn claim_protean_binaries_are_standalone() {
     let mut os = Os::new(cfg);
     let pid = os.spawn(&img, 0);
     os.advance_seconds(2.0);
-    assert!(os.counters(pid).instructions > 10_000, "runs fine with no runtime");
+    assert!(
+        os.counters(pid).instructions > 10_000,
+        "runs fine with no runtime"
+    );
     // A runtime can attach at any later moment and immediately transform.
     let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
     let func = rt.virtualized_funcs()[0];
@@ -202,5 +232,8 @@ fn claim_monitoring_is_cheap() {
     }
     os.advance_seconds(0.5);
     let frac = os.runtime_consumed_total() as f64 / os.server_cycles() as f64;
-    assert!(frac < 0.005, "PC sampling must cost <0.5% of server cycles, got {frac:.4}");
+    assert!(
+        frac < 0.005,
+        "PC sampling must cost <0.5% of server cycles, got {frac:.4}"
+    );
 }

@@ -8,7 +8,10 @@ use reqos::{ReqosConfig, ReqosController};
 use simos::{LoadSchedule, Os, OsConfig, Pid};
 
 fn scaled_os() -> OsConfig {
-    OsConfig { machine: machine::MachineConfig::scaled(), ..OsConfig::default() }
+    OsConfig {
+        machine: machine::MachineConfig::scaled(),
+        ..OsConfig::default()
+    }
 }
 
 fn spawn_pair(batch: &str, ext: &str, qps: Option<f64>) -> (Os, Pid, Pid) {
@@ -55,7 +58,15 @@ fn pc3d_protects_web_search_from_libquantum() {
     let qps = 80.0;
     let (mut os, ws, lq) = spawn_pair("libquantum", "web-search", Some(qps));
     let rt = Runtime::attach(&os, lq, RuntimeConfig::on_core(2)).unwrap();
-    let mut ctl = Pc3d::new(&mut os, rt, ws, Pc3dConfig { qos_target: 0.95, ..Default::default() });
+    let mut ctl = Pc3d::new(
+        &mut os,
+        rt,
+        ws,
+        Pc3dConfig {
+            qos_target: 0.95,
+            ..Default::default()
+        },
+    );
     ctl.run_for(&mut os, 90.0);
     // Measure the converged tail.
     let mut ext_mon = ExtMonitor::new(&os, ws);
@@ -64,8 +75,14 @@ fn pc3d_protects_web_search_from_libquantum() {
     let w = ext_mon.end_window(&os);
     let h = host_mon.end_window(&os);
     let qos = true_qos(w.ips, "web-search", Some(qps), 15.0);
-    assert!(qos > 0.90, "web-search must be protected, true QoS {qos:.3}");
-    assert!(ctl.hints() > 0, "libquantum should carry NT hints at convergence");
+    assert!(
+        qos > 0.90,
+        "web-search must be protected, true QoS {qos:.3}"
+    );
+    assert!(
+        ctl.hints() > 0,
+        "libquantum should carry NT hints at convergence"
+    );
     assert!(h.bps > 0.0);
 }
 
@@ -75,8 +92,15 @@ fn pc3d_beats_reqos_on_streaming_host_at_tight_target() {
     let measure_pc3d = || {
         let (mut os, ws, lq) = spawn_pair("libquantum", "web-search", Some(qps));
         let rt = Runtime::attach(&os, lq, RuntimeConfig::on_core(2)).unwrap();
-        let mut ctl =
-            Pc3d::new(&mut os, rt, ws, Pc3dConfig { qos_target: 0.95, ..Default::default() });
+        let mut ctl = Pc3d::new(
+            &mut os,
+            rt,
+            ws,
+            Pc3dConfig {
+                qos_target: 0.95,
+                ..Default::default()
+            },
+        );
         ctl.run_for(&mut os, 90.0);
         let mut host_mon = ExtMonitor::new(&os, lq);
         ctl.run_for(&mut os, 30.0);
@@ -88,7 +112,10 @@ fn pc3d_beats_reqos_on_streaming_host_at_tight_target() {
             &mut os,
             lq,
             ws,
-            ReqosConfig { qos_target: 0.95, ..Default::default() },
+            ReqosConfig {
+                qos_target: 0.95,
+                ..Default::default()
+            },
         );
         ctl.run_for(&mut os, 90.0);
         let mut host_mon = ExtMonitor::new(&os, lq);
@@ -110,8 +137,15 @@ fn both_systems_meet_target_on_batch_external() {
         let (mut os, ext, host) = spawn_pair("sledge", "milc", None);
         let measured_ips = if use_pc3d {
             let rt = Runtime::attach(&os, host, RuntimeConfig::on_core(2)).unwrap();
-            let mut ctl =
-                Pc3d::new(&mut os, rt, ext, Pc3dConfig { qos_target: 0.95, ..Default::default() });
+            let mut ctl = Pc3d::new(
+                &mut os,
+                rt,
+                ext,
+                Pc3dConfig {
+                    qos_target: 0.95,
+                    ..Default::default()
+                },
+            );
             ctl.run_for(&mut os, 60.0);
             let mut mon = ExtMonitor::new(&os, ext);
             ctl.run_for(&mut os, 20.0);
@@ -121,7 +155,10 @@ fn both_systems_meet_target_on_batch_external() {
                 &mut os,
                 host,
                 ext,
-                ReqosConfig { qos_target: 0.95, ..Default::default() },
+                ReqosConfig {
+                    qos_target: 0.95,
+                    ..Default::default()
+                },
             );
             ctl.run_for(&mut os, 60.0);
             let mut mon = ExtMonitor::new(&os, ext);
@@ -144,5 +181,9 @@ fn runtime_overhead_stays_under_one_percent() {
     let mut ctl = Pc3d::new(&mut os, rt, ext, Pc3dConfig::default());
     ctl.run_for(&mut os, 60.0);
     let frac = os.runtime_consumed_total() as f64 / os.server_cycles() as f64;
-    assert!(frac < 0.01, "PC3D runtime used {:.2}% of server cycles", frac * 100.0);
+    assert!(
+        frac < 0.01,
+        "PC3D runtime used {:.2}% of server cycles",
+        frac * 100.0
+    );
 }

@@ -8,7 +8,10 @@ use simos::{Os, OsConfig};
 use workloads::catalog;
 
 fn scaled_os() -> OsConfig {
-    OsConfig { machine: machine::MachineConfig::scaled(), ..OsConfig::default() }
+    OsConfig {
+        machine: machine::MachineConfig::scaled(),
+        ..OsConfig::default()
+    }
 }
 
 /// Unmanaged co-runner QoS: `victim`'s IPS when `aggressor` shares the
@@ -145,7 +148,10 @@ fn servers_degrade_under_contention_only_near_saturation() {
     let capacity = protean_repro_capacity();
     let low = qos_at(capacity * 0.15);
     let high = qos_at(capacity * 0.9);
-    assert!(low > 0.97, "at low load the server must keep up, got {low:.3}");
+    assert!(
+        low > 0.97,
+        "at low load the server must keep up, got {low:.3}"
+    );
     assert!(
         high < low - 0.05,
         "near saturation contention must cost throughput: high {high:.3} vs low {low:.3}"
