@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks for the substrate itself: cache-simulator
 //! throughput, interpreter speed, runtime-compiler latency, EVT patch
-//! latency, verifier/lint/dataflow analysis throughput, and IR
+//! latency, verifier/lint/dataflow analysis throughput, equivalence
+//! checker throughput (proved fast path vs refuted slow path), and IR
 //! codec/compressor throughput.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
@@ -153,6 +154,43 @@ fn bench_analysis(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_equiv(c: &mut Criterion) {
+    let llc = 98304;
+    let m = workloads::catalog::build("soplex", llc).expect("workload");
+    let insts: u64 = m.functions().iter().map(|f| f.inst_count() as u64).sum();
+    let mut optimized = m.clone();
+    pcc::optimize_module(&mut optimized);
+    // A miscompiled module: one constant nudged, which the checker must
+    // chase down to a concrete counterexample (the slow path: symbolic
+    // mismatch plus interpreter confirmation).
+    let mut corrupt = m.clone();
+    'outer: for func in corrupt.functions_mut() {
+        for block in func.blocks_mut() {
+            for inst in &mut block.insts {
+                if let pir::Inst::Const { value, .. } = inst {
+                    *value = value.wrapping_add(1);
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let opts = pir::equiv::EquivOptions::default();
+    let mut group = c.benchmark_group("equiv");
+    group.throughput(Throughput::Elements(insts));
+    group.bench_function("prove_identity_soplex", |b| {
+        b.iter(|| std::hint::black_box(pir::equiv::check_module(&m, &m, &opts).all_proved()))
+    });
+    group.bench_function("prove_optimized_soplex", |b| {
+        b.iter(|| {
+            std::hint::black_box(pir::equiv::check_module(&m, &optimized, &opts).all_proved())
+        })
+    });
+    group.bench_function("refute_corrupted_soplex", |b| {
+        b.iter(|| std::hint::black_box(pir::equiv::check_module(&m, &corrupt, &opts).all_proved()))
+    });
+    group.finish();
+}
+
 fn bench_codec(c: &mut Criterion) {
     let llc = 98304;
     let m = workloads::catalog::build("soplex", llc).expect("workload");
@@ -183,6 +221,7 @@ criterion_group!(
     bench_runtime_compiler,
     bench_evt_patch,
     bench_analysis,
+    bench_equiv,
     bench_codec
 );
 criterion_main!(benches);

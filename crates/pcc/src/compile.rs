@@ -32,6 +32,12 @@ pub struct Options {
     /// [`CompileError::InvariantViolation`] naming the stage that broke
     /// the module. Defaults to on in debug builds, off in release.
     pub check_invariants: bool,
+    /// Translation validation: prove every optimization stage's output
+    /// observationally equivalent to its input with [`pir::equiv`],
+    /// failing the compile with [`CompileError::TranslationRefuted`]
+    /// naming the offending stage. Stronger (and costlier) than
+    /// `check_invariants`; off by default.
+    pub validate_translations: bool,
 }
 
 impl Options {
@@ -43,6 +49,7 @@ impl Options {
             embed_ir: false,
             optimize: false,
             check_invariants: cfg!(debug_assertions),
+            validate_translations: false,
         }
     }
 
@@ -54,6 +61,7 @@ impl Options {
             embed_ir: true,
             optimize: false,
             check_invariants: cfg!(debug_assertions),
+            validate_translations: false,
         }
     }
 
@@ -67,6 +75,13 @@ impl Options {
     /// build profile.
     pub fn with_invariant_checks(mut self, on: bool) -> Self {
         self.check_invariants = on;
+        self
+    }
+
+    /// Enables (or disables) per-stage translation validation with
+    /// [`pir::equiv`].
+    pub fn with_translation_validation(mut self, on: bool) -> Self {
+        self.validate_translations = on;
         self
     }
 }
@@ -89,6 +104,17 @@ pub enum CompileError {
         /// Human-readable description of the breakage.
         detail: String,
     },
+    /// Translation validation could not prove a stage's output equivalent
+    /// to its input. The embedded [`pir::equiv::EquivReport`] names the
+    /// function, block pair, and first diverging event of every
+    /// non-proved function; refutations carry an interpreter-confirmed
+    /// counterexample trace.
+    TranslationRefuted {
+        /// The stage whose output failed validation.
+        stage: &'static str,
+        /// Per-function verdicts for the offending stage transition.
+        report: pir::equiv::EquivReport,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -98,6 +124,9 @@ impl fmt::Display for CompileError {
             CompileError::InvariantViolation { stage, detail } => {
                 write!(f, "stage `{stage}` broke a module invariant: {detail}")
             }
+            CompileError::TranslationRefuted { stage, report } => {
+                write!(f, "stage `{stage}` failed translation validation: {report}")
+            }
         }
     }
 }
@@ -106,7 +135,9 @@ impl Error for CompileError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CompileError::Verify(e) => Some(e),
-            CompileError::InvariantViolation { .. } => None,
+            CompileError::InvariantViolation { .. } | CompileError::TranslationRefuted { .. } => {
+                None
+            }
         }
     }
 }
@@ -155,7 +186,9 @@ impl Compiler {
         let optimized;
         let module = if opts.optimize {
             let mut m = module.clone();
-            if opts.check_invariants {
+            if opts.validate_translations {
+                crate::opt::optimize_module_validated(&mut m)?;
+            } else if opts.check_invariants {
                 crate::opt::optimize_module_checked(&mut m)?;
             } else {
                 crate::opt::optimize_module(&mut m);
@@ -313,13 +346,16 @@ pub fn compile_function_variant(
 }
 
 /// [`compile_function_variant`] with the inter-stage invariants checked
-/// on the NT-transformed function before lowering.
+/// and the NT transformation translation-validated before lowering: the
+/// transformed function must be equiv-proved against the baseline modulo
+/// load-locality flips (the one degree of freedom the NT rewrite has).
 ///
 /// # Errors
 ///
 /// Returns [`CompileError::InvariantViolation`] (stage `"nt-transform"`)
 /// if the transformed function no longer verifies or reads an unassigned
-/// register.
+/// register, and [`CompileError::TranslationRefuted`] if equivalence
+/// modulo NT hints cannot be proved.
 pub fn compile_function_variant_checked(
     module: &Module,
     fid: FuncId,
@@ -342,6 +378,22 @@ pub fn compile_function_variant_checked(
     let clean = pir::dataflow::maybe_undef_uses(module.function(fid)).is_empty();
     if clean {
         crate::invariants::InvariantChecker::strict().check_function(&variant, "nt-transform")?;
+    }
+    // Translation validation: the NT rewrite may only flip locality bits,
+    // so the variant must be equiv-proved (any number of NT flips is
+    // fine — that is the transformation).
+    let mut vmod = module.clone();
+    vmod.functions_mut()[fid.index()] = variant.clone();
+    let verdict =
+        pir::equiv::check_function_in(module, &vmod, fid, &pir::equiv::EquivOptions::default());
+    if !verdict.is_proved() {
+        return Err(CompileError::TranslationRefuted {
+            stage: "nt-transform",
+            report: pir::equiv::EquivReport::from_results(vec![(
+                module.function(fid).name().to_string(),
+                verdict,
+            )]),
+        });
     }
     let ctx = LowerCtx {
         module,

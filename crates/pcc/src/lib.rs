@@ -53,5 +53,8 @@ pub use compile::{
 };
 pub use inline::{inline_module, inline_module_checked, InlineConfig, InlineStats};
 pub use nt::NtAssignment;
-pub use opt::{optimize_function, optimize_module, optimize_module_checked, OptStats};
+pub use opt::{
+    optimize_function, optimize_module, optimize_module_checked, optimize_module_validated,
+    OptStats,
+};
 pub use virtualize::EdgePolicy;

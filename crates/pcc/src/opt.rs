@@ -445,6 +445,65 @@ pub fn optimize_module_checked(module: &mut Module) -> Result<OptStats, crate::C
     Ok(total)
 }
 
+/// [`optimize_module_checked`] plus per-stage translation validation: the
+/// module is snapshotted before each stage, and after the stage (and its
+/// invariant check) [`pir::equiv::check_module`] must *prove* the new
+/// module observationally equivalent to the snapshot. The scalar pipeline
+/// never touches load localities, so a proof "modulo NT flips" with a
+/// nonzero flip count is treated as a refutation too.
+///
+/// # Errors
+///
+/// Returns [`CompileError::InvariantViolation`](crate::CompileError) if a
+/// stage breaks a structural invariant, or
+/// [`CompileError::TranslationRefuted`](crate::CompileError) naming the
+/// first stage whose output could not be proved equivalent.
+pub fn optimize_module_validated(module: &mut Module) -> Result<OptStats, crate::CompileError> {
+    type Stage = (&'static str, fn(&mut Function) -> OptStats);
+    let checker = crate::invariants::InvariantChecker::for_module(module);
+    let equiv_opts = pir::equiv::EquivOptions::default();
+    let validate = |snapshot: &Module,
+                    module: &Module,
+                    stage: &'static str|
+     -> Result<(), crate::CompileError> {
+        let report = pir::equiv::check_module(snapshot, module, &equiv_opts);
+        if report.all_proved() && report.total_nt_flips().unwrap_or(0) == 0 {
+            Ok(())
+        } else {
+            Err(crate::CompileError::TranslationRefuted { stage, report })
+        }
+    };
+    let stages: [Stage; 3] = [
+        ("fold-constants", fold_constants),
+        ("propagate-copies", propagate_copies),
+        ("eliminate-dead-code", eliminate_dead_code),
+    ];
+    let mut total = OptStats::default();
+    for _ in 0..8 {
+        let mut round = OptStats::default();
+        for (name, stage) in stages {
+            let snapshot = module.clone();
+            for func in module.functions_mut() {
+                round.merge(stage(func));
+            }
+            checker.check(module, name)?;
+            validate(&snapshot, module, name)?;
+        }
+        let changed = round.changed();
+        total.merge(round);
+        if !changed {
+            break;
+        }
+    }
+    let snapshot = module.clone();
+    for func in module.functions_mut() {
+        total.merge(compact_registers(func));
+    }
+    checker.check(module, "compact-registers")?;
+    validate(&snapshot, module, "compact-registers")?;
+    Ok(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +645,83 @@ mod tests {
         assert!(pir::verify::verify_module(&optimized).is_ok());
         assert_eq!(run(&plain), run(&optimized));
         assert_eq!(run(&plain), 42 * 45);
+    }
+
+    #[test]
+    fn validated_pipeline_proves_every_stage() {
+        let mut m = pir::Module::new("sem");
+        let g = m.add_global("out", 64);
+        let gin = m.add_global_full(pir::Global::with_words(
+            "in",
+            (0..32).map(|i| (i * 3) as i64).collect(),
+        ));
+        let mut b = FunctionBuilder::new("main", 0);
+        let base = b.global_addr(gin);
+        let outa = b.global_addr(g);
+        let six = b.const_(6);
+        let seven = b.const_(7);
+        let xx = b.mul(six, seven);
+        let copy = b.add_imm(xx, 0);
+        let _dead = b.mul_imm(copy, 999);
+        let acc = b.const_(0);
+        b.counted_loop(0, 32, 1, |bl, i| {
+            let off = bl.shl_imm(i, 3);
+            let addr = bl.add(base, off);
+            let v = bl.load(addr, 0, pir::Locality::Normal);
+            let t = bl.mul(v, copy);
+            bl.add_into(acc, acc, t);
+        });
+        b.store(outa, 0, acc);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let original = m.clone();
+        let stats = optimize_module_validated(&mut m).expect("all stages prove");
+        assert!(stats.changed());
+        // End-to-end: the final module is also equivalent to the input.
+        let report = pir::equiv::check_module(&original, &m, &pir::equiv::EquivOptions::default());
+        assert!(report.all_proved(), "{report}");
+    }
+
+    #[test]
+    fn translation_refutation_names_stage_and_function() {
+        // Simulate a miscompiling stage: corrupt a constant and check the
+        // error a validated pipeline would surface.
+        let build = || {
+            let mut m = pir::Module::new("m");
+            let g = m.add_global("out", 64);
+            let mut b = FunctionBuilder::new("main", 0);
+            let base = b.global_addr(g);
+            let x = b.const_(21);
+            let y = b.mul_imm(x, 2);
+            b.store(base, 0, y);
+            b.ret(None);
+            let f = m.add_function(b.finish());
+            m.set_entry(f);
+            m
+        };
+        let baseline = build();
+        let mut corrupt = build();
+        for func in corrupt.functions_mut() {
+            for block in func.blocks_mut() {
+                for inst in &mut block.insts {
+                    if let Inst::Const { value, .. } = inst {
+                        *value += 1;
+                    }
+                }
+            }
+        }
+        let report =
+            pir::equiv::check_module(&baseline, &corrupt, &pir::equiv::EquivOptions::default());
+        assert!(!report.all_proved());
+        let err = crate::CompileError::TranslationRefuted {
+            stage: "fold-constants",
+            report,
+        };
+        let text = err.to_string();
+        assert!(text.contains("fold-constants"), "{text}");
+        assert!(text.contains("main"), "{text}");
+        assert!(text.contains("refuted"), "{text}");
     }
 
     #[test]

@@ -209,6 +209,31 @@ pub fn dominators(func: &Function) -> Dominators {
     Dominators::compute(&Cfg::new(func))
 }
 
+/// True if the reachable CFG is reducible: every retreating edge (an edge
+/// `u → v` where `v` precedes `u` in reverse postorder) is a dominator
+/// back edge (`v` dominates `u`). This is exact for DFS-derived
+/// orderings, and it is what the equivalence checker gates on — cut-point
+/// bisimulation only terminates soundly when every cycle has a unique
+/// header, so irreducible functions degrade to `Unknown`.
+pub fn is_reducible(cfg: &Cfg, doms: &Dominators) -> bool {
+    let n = cfg.block_count();
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in cfg.reverse_postorder().iter().enumerate() {
+        rpo_index[b.index()] = i;
+    }
+    for &u in cfg.reverse_postorder() {
+        for &v in cfg.succs(u) {
+            if !cfg.is_reachable(v) {
+                continue;
+            }
+            if rpo_index[v.index()] <= rpo_index[u.index()] && !doms.dominates(v, u) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 // ---------------------------------------------------------------------------
 // Bit sets
 // ---------------------------------------------------------------------------
@@ -972,6 +997,89 @@ mod tests {
         });
         let f = Function::from_parts("f", 0, 10, vec![b0, b1]);
         assert!(maybe_undef_uses(&f).is_empty());
+    }
+
+    #[test]
+    fn single_block_function_is_trivially_reducible() {
+        let f = Function::from_parts("f", 0, 0, vec![Block::new(Term::Ret(None))]);
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(cfg.reverse_postorder(), &[BlockId(0)]);
+        assert!(dom.dominates(BlockId(0), BlockId(0)));
+        assert_eq!(dom.idom(BlockId(0)), None);
+        assert!(is_reducible(&cfg, &dom));
+    }
+
+    #[test]
+    fn self_loop_is_reducible_and_self_dominating() {
+        // bb0 -> bb1, bb1 -> bb1 (self loop, no exit).
+        let blocks = vec![
+            Block::new(Term::Br(BlockId(1))),
+            Block::new(Term::Br(BlockId(1))),
+        ];
+        let f = Function::from_parts("f", 0, 0, blocks);
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(cfg.preds(BlockId(1)), &[BlockId(0), BlockId(1)]);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(1), BlockId(1)));
+        assert!(is_reducible(&cfg, &dom), "a self loop is a natural loop");
+    }
+
+    #[test]
+    fn unreachable_cycle_does_not_affect_reducibility() {
+        // bb0: ret; bb1 <-> bb2 form an unreachable cycle with two
+        // "headers" — irrelevant, since neither is reachable.
+        let blocks = vec![
+            Block::new(Term::Ret(None)),
+            Block::new(Term::Br(BlockId(2))),
+            Block::new(Term::Br(BlockId(1))),
+        ];
+        let f = Function::from_parts("f", 0, 0, blocks);
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(cfg.unreachable_blocks(), vec![BlockId(1), BlockId(2)]);
+        assert!(!dom.is_reachable(BlockId(1)));
+        assert!(!dom.dominates(BlockId(1), BlockId(2)));
+        assert!(!dom.dominates(BlockId(2), BlockId(1)));
+        assert!(is_reducible(&cfg, &dom));
+    }
+
+    #[test]
+    fn two_header_loop_is_irreducible() {
+        // bb0 branches into both bb1 and bb2; bb1 and bb2 form a cycle,
+        // so the cycle has two entry points and neither header dominates
+        // the other.
+        let blocks = vec![
+            Block::new(Term::CondBr {
+                cond: Reg(0),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2),
+            }),
+            Block::new(Term::Br(BlockId(2))),
+            Block::new(Term::Br(BlockId(1))),
+        ];
+        let f = Function::from_parts("f", 1, 1, blocks);
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert!(!dom.dominates(BlockId(1), BlockId(2)));
+        assert!(!dom.dominates(BlockId(2), BlockId(1)));
+        assert!(!is_reducible(&cfg, &dom));
+    }
+
+    #[test]
+    fn structured_builder_loops_are_reducible() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.counted_loop(0, 4, 1, |b, i| {
+            let _ = b.add_imm(i, 1);
+        });
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&cfg);
+        assert!(is_reducible(&cfg, &dom));
     }
 
     #[test]

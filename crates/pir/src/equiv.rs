@@ -1,0 +1,1457 @@
+//! Symbolic equivalence checking (translation validation).
+//!
+//! The protean runtime swaps a recompiled variant into a live process with
+//! one atomic EVT write, so "the compiler is probably right" is not an
+//! acceptable trust model: a miscompiled variant is a silent correctness
+//! failure at warehouse scale. This module *proves* a transformed
+//! [`Function`]/[`Module`] observationally equivalent to its baseline
+//! before anything is dispatched:
+//!
+//! * **Value numbering with normalization** ([`Sym`] terms, hash-consed):
+//!   constant folding, the identity rewrites `pcc`'s optimizer performs
+//!   (`x+0`, `x*1`, `x&0`, …), and commutative-operand canonicalization,
+//!   so syntactically different but value-identical computations meet at
+//!   one id.
+//! * **Block-level bisimulation seeded from the entry**: block *pairs* are
+//!   explored in lockstep; at each pair's first visit the live-in
+//!   registers of both sides are generalized to fresh *cut* symbols (one
+//!   per equality class), and revisits only check that the recorded
+//!   partition still holds — the classic cut-point argument, without
+//!   widening.
+//! * **A symbolic store buffer** with [`crate::effects`]-backed and
+//!   base+offset disjointness reasoning, so store-to-load forwarding and
+//!   provably separate accesses normalize while may-aliasing accesses
+//!   conservatively block.
+//! * **Observable events** (stores, calls, metric reports, `wait`) are
+//!   compared in order; load locality bits are *excluded* from events and
+//!   instead counted, yielding verdicts "proved modulo N non-temporal-hint
+//!   flips" — exactly the degree of freedom the paper's runtime exercises.
+//!
+//! Verdicts are deliberately three-valued ([`Verdict`]): `Proved`,
+//! `Refuted` (only when a differential [`crate::interp`] run *concretely
+//! demonstrates* diverging observables — a symbolic mismatch alone is not
+//! proof of inequivalence), or `Unknown` with a reason. Irreducible
+//! control flow, exhausted budgets, and unconfirmed mismatches all degrade
+//! to `Unknown`, never to a false `Proved`.
+//!
+//! [`check_function_in`]'s verdict is relative: it assumes every *other*
+//! function pair of the two modules is equivalent (the safety gate
+//! guarantees this by swapping exactly one function into a cloned module;
+//! recursion is handled coinductively by matching call events).
+//! [`check_module`] discharges the assumption by checking every pair.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+use crate::dataflow::{is_reducible, Cfg, Dominators, Liveness};
+use crate::effects::ModuleEffects;
+use crate::ids::{BlockId, FuncId, GlobalId};
+use crate::inst::{BinOp, Inst, Term};
+use crate::interp;
+use crate::module::{Function, Module};
+
+// ---------------------------------------------------------------------------
+// Options and verdicts
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for the equivalence checker.
+#[derive(Copy, Clone, Debug)]
+pub struct EquivOptions {
+    /// Maximum number of block pairs explored per function pair before the
+    /// checker gives up with `Unknown`.
+    pub max_pairs: usize,
+    /// Step budget for each differential interpreter run used to confirm a
+    /// candidate refutation.
+    pub confirm_steps: u64,
+    /// Whether candidate mismatches are confirmed by running both modules
+    /// in the interpreter. Without confirmation every mismatch degrades to
+    /// `Unknown` (sound, but produces no counterexample traces).
+    pub confirm_with_interp: bool,
+}
+
+impl Default for EquivOptions {
+    fn default() -> Self {
+        EquivOptions {
+            max_pairs: 4096,
+            confirm_steps: 500_000,
+            confirm_with_interp: true,
+        }
+    }
+}
+
+/// A concrete, interpreter-confirmed witness that two functions diverge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Name of the diverging function.
+    pub func: String,
+    /// Baseline-side block of the first symbolic divergence.
+    pub baseline_block: BlockId,
+    /// Variant-side block of the first symbolic divergence.
+    pub variant_block: BlockId,
+    /// Index of the first diverging observable event within the block
+    /// pair, when the divergence is event-level (otherwise the divergence
+    /// is in a terminator or register partition).
+    pub event: Option<usize>,
+    /// Rendered symbolic value/event computed by the baseline.
+    pub baseline_expr: String,
+    /// Rendered symbolic value/event computed by the variant.
+    pub variant_expr: String,
+    /// One-line description of what diverged.
+    pub detail: String,
+    /// How the concrete differential run diverged.
+    pub divergence: String,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {}(baseline)/{}(variant)",
+            self.func, self.baseline_block, self.variant_block
+        )?;
+        if let Some(i) = self.event {
+            write!(f, ", event {i}")?;
+        }
+        write!(
+            f,
+            ": {}; baseline computes {}, variant computes {}; concrete run: {}",
+            self.detail, self.baseline_expr, self.variant_expr, self.divergence
+        )
+    }
+}
+
+/// Outcome of checking one function pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Observationally equivalent. `nt_flips` counts load-locality bits
+    /// that differ along the proved paths; `None` means the two sides'
+    /// load structures differ (e.g. a dead load was eliminated), so flips
+    /// could not be counted.
+    Proved {
+        /// Number of non-temporal hint flips observed, if countable.
+        nt_flips: Option<usize>,
+    },
+    /// Concretely inequivalent, with an interpreter-confirmed witness.
+    Refuted(Box<Counterexample>),
+    /// Neither proved nor concretely refuted.
+    Unknown {
+        /// Why the checker gave up.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// True for any `Proved` verdict (any number of NT flips).
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Verdict::Proved { .. })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Proved { nt_flips: Some(0) } => write!(f, "proved"),
+            Verdict::Proved { nt_flips: Some(n) } => {
+                write!(f, "proved modulo {n} non-temporal hint flip(s)")
+            }
+            Verdict::Proved { nt_flips: None } => write!(f, "proved (load structure changed)"),
+            Verdict::Refuted(cex) => write!(f, "refuted: {cex}"),
+            Verdict::Unknown { reason } => write!(f, "unknown: {reason}"),
+        }
+    }
+}
+
+/// Per-function verdicts for a whole-module check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EquivReport {
+    results: Vec<(String, Verdict)>,
+}
+
+impl EquivReport {
+    /// Builds a report from explicit per-function results, for callers
+    /// that validate a single function pair rather than a whole module.
+    pub fn from_results(results: Vec<(String, Verdict)>) -> EquivReport {
+        EquivReport { results }
+    }
+
+    /// `(function name, verdict)` per function, in module order.
+    pub fn results(&self) -> &[(String, Verdict)] {
+        &self.results
+    }
+
+    /// True if every function pair was proved equivalent (modulo NT
+    /// hints).
+    pub fn all_proved(&self) -> bool {
+        self.results.iter().all(|(_, v)| v.is_proved())
+    }
+
+    /// Total NT-hint flips across all proved functions, if countable for
+    /// every function.
+    pub fn total_nt_flips(&self) -> Option<usize> {
+        let mut total = 0usize;
+        for (_, v) in &self.results {
+            match v {
+                Verdict::Proved { nt_flips: Some(n) } => total += n,
+                _ => return None,
+            }
+        }
+        Some(total)
+    }
+
+    /// The first refuted function, if any.
+    pub fn first_refutation(&self) -> Option<(&str, &Counterexample)> {
+        self.results.iter().find_map(|(name, v)| match v {
+            Verdict::Refuted(cex) => Some((name.as_str(), cex.as_ref())),
+            _ => None,
+        })
+    }
+
+    /// The first unknown function and its reason, if any.
+    pub fn first_unknown(&self) -> Option<(&str, &str)> {
+        self.results.iter().find_map(|(name, v)| match v {
+            Verdict::Unknown { reason } => Some((name.as_str(), reason.as_str())),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for EquivReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let proved = self.results.iter().filter(|(_, v)| v.is_proved()).count();
+        write!(f, "{proved}/{} function(s) proved", self.results.len())?;
+        for (name, v) in &self.results {
+            if !v.is_proved() {
+                write!(f, "\n  {name}: {v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value numbering
+// ---------------------------------------------------------------------------
+
+type VnId = u32;
+
+/// A hash-consed symbolic value.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Sym {
+    Const(i64),
+    /// A cut symbol: an arbitrary-but-equal value shared by all registers
+    /// of one equality class at a block-pair entry.
+    Cut(u32),
+    GlobalBase(GlobalId),
+    Bin(BinOp, VnId, VnId),
+    /// An 8-byte read of memory version `version` within symbolic era
+    /// `era` (eras separate block-pair segments; versions advance past
+    /// may-aliasing stores and memory-clobbering calls).
+    Load {
+        addr: VnId,
+        era: u32,
+        version: u32,
+    },
+    /// The return value of the `index`-th opaque call of a segment.
+    CallRet {
+        era: u32,
+        index: u32,
+        callee: FuncId,
+        args: Vec<VnId>,
+    },
+}
+
+fn commutative(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne
+    )
+}
+
+#[derive(Default)]
+struct Interner {
+    terms: Vec<Sym>,
+    map: HashMap<Sym, VnId>,
+    cuts: u32,
+    eras: u32,
+}
+
+/// Pseudo-base for absolute (integer-constant) addresses in
+/// [`Interner::addr_parts`].
+const ABS_BASE: VnId = VnId::MAX;
+
+impl Interner {
+    fn intern(&mut self, s: Sym) -> VnId {
+        if let Some(&id) = self.map.get(&s) {
+            return id;
+        }
+        let id = self.terms.len() as VnId;
+        self.terms.push(s.clone());
+        self.map.insert(s, id);
+        id
+    }
+
+    fn konst(&mut self, v: i64) -> VnId {
+        self.intern(Sym::Const(v))
+    }
+
+    fn cut(&mut self) -> VnId {
+        let i = self.cuts;
+        self.cuts += 1;
+        self.intern(Sym::Cut(i))
+    }
+
+    fn era(&mut self) -> u32 {
+        let e = self.eras;
+        self.eras += 1;
+        e
+    }
+
+    fn const_of(&self, vn: VnId) -> Option<i64> {
+        match self.terms[vn as usize] {
+            Sym::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Builds `a op b`, normalizing: constants fold via the ISA's own
+    /// [`BinOp::eval`], the optimizer's identity rewrites collapse, and
+    /// commutative operands are ordered canonically. Every rule is a true
+    /// identity of the wrapping/no-trap semantics.
+    fn bin(&mut self, op: BinOp, a: VnId, b: VnId) -> VnId {
+        if let (Some(x), Some(y)) = (self.const_of(a), self.const_of(b)) {
+            return self.konst(op.eval(x, y));
+        }
+        if let Some(c) = self.const_of(b) {
+            match (op, c) {
+                (BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr, 0) => {
+                    return a
+                }
+                (BinOp::Mul | BinOp::Div, 1) => return a,
+                (BinOp::Mul | BinOp::And, 0) => return self.konst(0),
+                (BinOp::Rem, 1) => return self.konst(0),
+                _ => {}
+            }
+        }
+        if let Some(c) = self.const_of(a) {
+            match (op, c) {
+                (BinOp::Add | BinOp::Or | BinOp::Xor, 0) => return b,
+                (BinOp::Mul, 1) => return b,
+                (BinOp::Mul | BinOp::And, 0) => return self.konst(0),
+                // 0/x and 0%x are 0 even for x == 0 (no-trap semantics),
+                // and 0 shifted by anything is 0.
+                (BinOp::Div | BinOp::Rem | BinOp::Shl | BinOp::Shr, 0) => return self.konst(0),
+                _ => {}
+            }
+        }
+        let (a, b) = if commutative(op) && b < a {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        self.intern(Sym::Bin(op, a, b))
+    }
+
+    /// Decomposes an address into `(symbolic base, constant byte offset)`,
+    /// peeling `± const` chains. Pure constants decompose against the
+    /// absolute pseudo-base.
+    fn addr_parts(&self, mut vn: VnId) -> (VnId, i64) {
+        let mut off: i64 = 0;
+        loop {
+            match &self.terms[vn as usize] {
+                Sym::Const(c) => return (ABS_BASE, off.wrapping_add(*c)),
+                Sym::Bin(BinOp::Add, a, b) => {
+                    if let Some(c) = self.const_of(*b) {
+                        off = off.wrapping_add(c);
+                        vn = *a;
+                    } else if let Some(c) = self.const_of(*a) {
+                        off = off.wrapping_add(c);
+                        vn = *b;
+                    } else {
+                        return (vn, off);
+                    }
+                }
+                Sym::Bin(BinOp::Sub, a, b) => {
+                    if let Some(c) = self.const_of(*b) {
+                        off = off.wrapping_sub(c);
+                        vn = *a;
+                    } else {
+                        return (vn, off);
+                    }
+                }
+                _ => return (vn, off),
+            }
+        }
+    }
+
+    /// True only when the two 8-byte accesses *provably* do not overlap:
+    /// same symbolic base, constant windows at distance ≥ 8. Distinct
+    /// symbolic bases are conservatively treated as may-aliasing (the gate
+    /// checks adversarial variants, so even cross-global disjointness is
+    /// not assumed).
+    fn provably_disjoint(&self, p: VnId, q: VnId) -> bool {
+        let (bp, op) = self.addr_parts(p);
+        let (bq, oq) = self.addr_parts(q);
+        bp == bq && op.abs_diff(oq) >= 8
+    }
+
+    fn render(&self, vn: VnId) -> String {
+        self.render_depth(vn, 8)
+    }
+
+    fn render_depth(&self, vn: VnId, depth: usize) -> String {
+        if depth == 0 {
+            return "…".to_string();
+        }
+        match &self.terms[vn as usize] {
+            Sym::Const(c) => format!("{c}"),
+            Sym::Cut(i) => format!("α{i}"),
+            Sym::GlobalBase(g) => format!("&{g}"),
+            Sym::Bin(op, a, b) => format!(
+                "({} {} {})",
+                self.render_depth(*a, depth - 1),
+                op.mnemonic(),
+                self.render_depth(*b, depth - 1)
+            ),
+            Sym::Load { addr, era, version } => format!(
+                "mem[{}]@e{era}.v{version}",
+                self.render_depth(*addr, depth - 1)
+            ),
+            Sym::CallRet { callee, index, .. } => format!("ret#{index} of call {callee}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment execution
+// ---------------------------------------------------------------------------
+
+/// An observable event emitted while symbolically executing one block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Event {
+    Store { addr: VnId, value: VnId },
+    Call { callee: FuncId, args: Vec<VnId> },
+    Report { channel: u8, value: VnId },
+    Wait,
+}
+
+/// How a block's execution continues.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Flow {
+    Ret(Option<VnId>),
+    Goto(BlockId),
+    Branch {
+        cond: VnId,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+    /// `wait` parks the process; nothing after it executes.
+    Park,
+}
+
+struct SideRun {
+    regs: Vec<VnId>,
+    events: Vec<Event>,
+    /// `(address, non-temporal?)` per executed load, in order.
+    loads: Vec<(VnId, bool)>,
+    flow: Flow,
+}
+
+/// Per-module context shared by all function pairs of one check.
+struct ModuleCx<'m> {
+    module: &'m Module,
+    effects: ModuleEffects,
+    /// Functions that are a single block of pure instructions (plus nops)
+    /// ending in `ret` — these are summarized transparently at call sites,
+    /// which is what makes inlining and DCE of pure calls provable.
+    pure_leaf: Vec<bool>,
+}
+
+impl<'m> ModuleCx<'m> {
+    fn new(module: &'m Module) -> ModuleCx<'m> {
+        let pure_leaf = module
+            .functions()
+            .iter()
+            .map(|f| {
+                f.block_count() == 1
+                    && matches!(f.blocks()[0].term, Term::Ret(_))
+                    && f.blocks()[0]
+                        .insts
+                        .iter()
+                        .all(|i| i.is_pure() || matches!(i, Inst::Nop))
+            })
+            .collect();
+        ModuleCx {
+            module,
+            effects: ModuleEffects::analyze(module),
+            pure_leaf,
+        }
+    }
+}
+
+/// Registers a function body may name, sized defensively.
+fn reg_table_size(func: &Function) -> usize {
+    let mut n = func.reg_count().max(func.params()) as usize;
+    for block in func.blocks() {
+        let mut bump = |r: crate::ids::Reg| n = n.max(r.index() + 1);
+        for inst in &block.insts {
+            if let Some(d) = inst.dst() {
+                bump(d);
+            }
+            inst.for_each_use(&mut bump);
+        }
+        block.term.for_each_use(&mut bump);
+    }
+    n
+}
+
+/// Evaluates a pure single-block callee symbolically on `args`.
+fn eval_pure_leaf(it: &mut Interner, callee: &Function, args: &[VnId]) -> Option<VnId> {
+    let zero = it.konst(0);
+    let mut regs = vec![zero; reg_table_size(callee)];
+    for (i, a) in args.iter().enumerate() {
+        if i < regs.len() {
+            regs[i] = *a;
+        }
+    }
+    let block = &callee.blocks()[0];
+    for inst in &block.insts {
+        match inst {
+            Inst::Const { dst, value } => regs[dst.index()] = it.konst(*value),
+            Inst::Bin { op, dst, lhs, rhs } => {
+                regs[dst.index()] = it.bin(*op, regs[lhs.index()], regs[rhs.index()]);
+            }
+            Inst::BinImm { op, dst, lhs, imm } => {
+                let c = it.konst(*imm);
+                regs[dst.index()] = it.bin(*op, regs[lhs.index()], c);
+            }
+            Inst::GlobalAddr { dst, global } => {
+                regs[dst.index()] = it.intern(Sym::GlobalBase(*global));
+            }
+            Inst::Nop => {}
+            _ => unreachable!("pure_leaf admits only pure instructions"),
+        }
+    }
+    match block.term {
+        Term::Ret(Some(r)) => Some(regs[r.index()]),
+        _ => None,
+    }
+}
+
+/// Symbolically executes one block with the given entry register state.
+fn run_segment(
+    cx: &ModuleCx<'_>,
+    it: &mut Interner,
+    func: &Function,
+    block: BlockId,
+    mut regs: Vec<VnId>,
+    era: u32,
+) -> SideRun {
+    // Store buffer: (addr, value, memory version right after the store).
+    let mut stores: Vec<(VnId, VnId, u32)> = Vec::new();
+    let mut version: u32 = 0;
+    // Memory version visible "below" the buffer (advanced past clobbering
+    // calls, which invalidate all forwarding).
+    let mut floor: u32 = 0;
+    let mut events = Vec::new();
+    let mut loads = Vec::new();
+    let mut ncalls: u32 = 0;
+    let mut parked = false;
+    let bb = func.block(block);
+    for inst in &bb.insts {
+        match inst {
+            Inst::Const { dst, value } => regs[dst.index()] = it.konst(*value),
+            Inst::Bin { op, dst, lhs, rhs } => {
+                regs[dst.index()] = it.bin(*op, regs[lhs.index()], regs[rhs.index()]);
+            }
+            Inst::BinImm { op, dst, lhs, imm } => {
+                let c = it.konst(*imm);
+                regs[dst.index()] = it.bin(*op, regs[lhs.index()], c);
+            }
+            Inst::GlobalAddr { dst, global } => {
+                regs[dst.index()] = it.intern(Sym::GlobalBase(*global));
+            }
+            Inst::Load {
+                dst,
+                base,
+                offset,
+                locality,
+            } => {
+                let off = it.konst(*offset);
+                let addr = it.bin(BinOp::Add, regs[base.index()], off);
+                loads.push((addr, locality.is_non_temporal()));
+                let mut val = None;
+                for &(sa, sv, ver) in stores.iter().rev() {
+                    if sa == addr {
+                        val = Some(sv); // exact forwarding
+                        break;
+                    }
+                    if !it.provably_disjoint(sa, addr) {
+                        // Blocked by a may-aliasing store: the load sees
+                        // memory as of that store's version.
+                        val = Some(it.intern(Sym::Load {
+                            addr,
+                            era,
+                            version: ver,
+                        }));
+                        break;
+                    }
+                }
+                regs[dst.index()] = val.unwrap_or_else(|| {
+                    it.intern(Sym::Load {
+                        addr,
+                        era,
+                        version: floor,
+                    })
+                });
+            }
+            Inst::Store { base, offset, src } => {
+                let off = it.konst(*offset);
+                let addr = it.bin(BinOp::Add, regs[base.index()], off);
+                let value = regs[src.index()];
+                events.push(Event::Store { addr, value });
+                version += 1;
+                stores.push((addr, value, version));
+            }
+            Inst::Call { dst, callee, args } => {
+                let argv: Vec<VnId> = args.iter().map(|r| regs[r.index()]).collect();
+                if cx.pure_leaf[callee.index()] {
+                    let ret = eval_pure_leaf(it, cx.module.function(*callee), &argv);
+                    if let (Some(d), Some(v)) = (dst, ret) {
+                        regs[d.index()] = v;
+                    }
+                } else {
+                    events.push(Event::Call {
+                        callee: *callee,
+                        args: argv.clone(),
+                    });
+                    let index = ncalls;
+                    ncalls += 1;
+                    if let Some(d) = dst {
+                        regs[d.index()] = it.intern(Sym::CallRet {
+                            era,
+                            index,
+                            callee: *callee,
+                            args: argv,
+                        });
+                    }
+                    if !cx.effects.writes_nothing(*callee) {
+                        // The callee may write memory: invalidate all
+                        // forwarding and advance the visible version.
+                        version += 1;
+                        floor = version;
+                        stores.clear();
+                    }
+                }
+            }
+            Inst::Report { channel, src } => events.push(Event::Report {
+                channel: *channel,
+                value: regs[src.index()],
+            }),
+            Inst::Nop => {}
+            Inst::Wait => {
+                events.push(Event::Wait);
+                parked = true;
+                break;
+            }
+        }
+    }
+    let flow = if parked {
+        Flow::Park
+    } else {
+        match &bb.term {
+            Term::Br(t) => Flow::Goto(*t),
+            Term::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let c = regs[cond.index()];
+                match it.const_of(c) {
+                    Some(v) => Flow::Goto(if v != 0 { *then_bb } else { *else_bb }),
+                    None => Flow::Branch {
+                        cond: c,
+                        then_bb: *then_bb,
+                        else_bb: *else_bb,
+                    },
+                }
+            }
+            Term::Ret(r) => Flow::Ret(r.map(|r| regs[r.index()])),
+        }
+    };
+    SideRun {
+        regs,
+        events,
+        loads,
+        flow,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bisimulation
+// ---------------------------------------------------------------------------
+
+/// A symbolic divergence that has not yet been concretely confirmed.
+struct Mismatch {
+    block_b: BlockId,
+    block_v: BlockId,
+    event: Option<usize>,
+    baseline_expr: String,
+    variant_expr: String,
+    detail: String,
+}
+
+enum Outcome {
+    Proved { nt_flips: Option<usize> },
+    Mismatch(Box<Mismatch>),
+    Unknown(String),
+}
+
+fn render_event(it: &Interner, e: Option<&Event>) -> String {
+    match e {
+        None => "(no event)".to_string(),
+        Some(Event::Store { addr, value }) => {
+            format!("store mem[{}] ← {}", it.render(*addr), it.render(*value))
+        }
+        Some(Event::Call { callee, args }) => {
+            let args: Vec<String> = args.iter().map(|a| it.render(*a)).collect();
+            format!("call {callee}({})", args.join(", "))
+        }
+        Some(Event::Report { channel, value }) => {
+            format!("report#{channel} {}", it.render(*value))
+        }
+        Some(Event::Wait) => "wait".to_string(),
+    }
+}
+
+/// Upper bound on partition-refinement restarts. Each restart strictly
+/// splits at least one equality class at one block pair, so realistic
+/// functions converge in a handful of rounds; the cap only guards
+/// pathological inputs (which then degrade to `Unknown`).
+const MAX_REFINEMENT_ROUNDS: usize = 128;
+
+/// One equality class of live-in registers at a block pair, each member
+/// tagged `(is_variant, reg index)`.
+type EqClass = Vec<(bool, usize)>;
+
+fn run_bisim(
+    cx_b: &ModuleCx<'_>,
+    cx_v: &ModuleCx<'_>,
+    fid: FuncId,
+    opts: &EquivOptions,
+) -> Outcome {
+    let fb = cx_b.module.function(fid);
+    let fv = cx_v.module.function(fid);
+    if fb.params() != fv.params() {
+        return Outcome::Unknown(format!(
+            "parameter count differs ({} vs {})",
+            fb.params(),
+            fv.params()
+        ));
+    }
+    let cfg_b = Cfg::new(fb);
+    let cfg_v = Cfg::new(fv);
+    let dom_b = Dominators::compute(&cfg_b);
+    let dom_v = Dominators::compute(&cfg_v);
+    if !is_reducible(&cfg_b, &dom_b) {
+        return Outcome::Unknown("baseline control flow is irreducible".to_string());
+    }
+    if !is_reducible(&cfg_v, &dom_v) {
+        return Outcome::Unknown("variant control flow is irreducible".to_string());
+    }
+    let lv_b = Liveness::new(fb);
+    let sol_b = lv_b.solve(&cfg_b);
+    let lv_v = Liveness::new(fv);
+    let sol_v = lv_v.solve(&cfg_v);
+
+    // Learned partition refinements, persisted across exploration rounds:
+    // per block pair, a color per live register. Registers with different
+    // colors must not share a cut symbol even when their incoming values
+    // coincide. Colors only ever split classes, and symbolic equalities
+    // shrink monotonically under splitting, so refinement terminates.
+    let mut learned: HashMap<(u32, u32), HashMap<(bool, usize), u32>> = HashMap::new();
+    let mut next_color: u32 = 0;
+
+    'rounds: for _round in 0..MAX_REFINEMENT_ROUNDS {
+        let mut it = Interner::default();
+        let zero = it.konst(0);
+        let mut regs_b = vec![zero; reg_table_size(fb)];
+        let mut regs_v = vec![zero; reg_table_size(fv)];
+        for p in 0..fb.params() as usize {
+            let c = it.cut();
+            regs_b[p] = c;
+            regs_v[p] = c;
+        }
+
+        // Recorded invariant per visited pair: equality classes (with ≥ 2
+        // members) over live-in registers, tagged (is_variant, reg index).
+        let mut visited: HashMap<(u32, u32), Vec<EqClass>> = HashMap::new();
+        let mut queue: VecDeque<(BlockId, BlockId, Vec<VnId>, Vec<VnId>)> = VecDeque::new();
+        queue.push_back((fb.entry(), fv.entry(), regs_b, regs_v));
+
+        let mut nt_flips = 0usize;
+        let mut flips_countable = true;
+        let mut processed = 0usize;
+
+        while let Some((tb, tv, rb, rv)) = queue.pop_front() {
+            let read = |is_v: bool, r: usize| if is_v { rv[r] } else { rb[r] };
+            if let Some(groups) = visited.get(&(tb.0, tv.0)) {
+                // Revisit: the incoming state must still satisfy the
+                // recorded partition. A broken group means the candidate
+                // invariant was too coarse (e.g. `acc` and `i` both start
+                // at 0 but evolve differently): split it by the values
+                // seen now and restart with the finer partition. Real
+                // divergences survive refinement and surface as explicit
+                // event/return/branch mismatches.
+                let mut refined = false;
+                for g in groups {
+                    let mut sub: BTreeMap<VnId, Vec<(bool, usize)>> = BTreeMap::new();
+                    for &(s, r) in g {
+                        sub.entry(read(s, r)).or_default().push((s, r));
+                    }
+                    if sub.len() > 1 {
+                        let colors = learned.entry((tb.0, tv.0)).or_default();
+                        for members in sub.values() {
+                            for &m in members {
+                                colors.insert(m, next_color);
+                            }
+                            next_color += 1;
+                        }
+                        refined = true;
+                    }
+                }
+                if refined {
+                    continue 'rounds;
+                }
+                continue;
+            }
+            processed += 1;
+            if processed > opts.max_pairs {
+                return Outcome::Unknown(format!(
+                    "block-pair budget exceeded ({} pairs)",
+                    opts.max_pairs
+                ));
+            }
+
+            // First visit: generalize. Group live-in registers of both
+            // sides by (current value, learned color); each class becomes
+            // one fresh cut symbol.
+            let colors = learned.get(&(tb.0, tv.0));
+            let color =
+                |m: (bool, usize)| colors.and_then(|c| c.get(&m)).copied().unwrap_or(u32::MAX);
+            let mut classes: BTreeMap<(VnId, u32), Vec<(bool, usize)>> = BTreeMap::new();
+            for r in lv_b.live_in(&sol_b, tb).iter() {
+                if r < rb.len() {
+                    let m = (false, r);
+                    classes.entry((rb[r], color(m))).or_default().push(m);
+                }
+            }
+            for r in lv_v.live_in(&sol_v, tv).iter() {
+                if r < rv.len() {
+                    let m = (true, r);
+                    classes.entry((rv[r], color(m))).or_default().push(m);
+                }
+            }
+            let mut gen_b = rb.clone();
+            let mut gen_v = rv.clone();
+            let mut groups = Vec::new();
+            for members in classes.into_values() {
+                let c = it.cut();
+                for &(is_v, r) in &members {
+                    if is_v {
+                        gen_v[r] = c;
+                    } else {
+                        gen_b[r] = c;
+                    }
+                }
+                if members.len() >= 2 {
+                    groups.push(members);
+                }
+            }
+            visited.insert((tb.0, tv.0), groups);
+
+            let era = it.era();
+            let run_b = run_segment(cx_b, &mut it, fb, tb, gen_b, era);
+            let run_v = run_segment(cx_v, &mut it, fv, tv, gen_v, era);
+
+            // Observable events must match pairwise.
+            let n = run_b.events.len().max(run_v.events.len());
+            for i in 0..n {
+                let (eb, ev) = (run_b.events.get(i), run_v.events.get(i));
+                if eb != ev {
+                    return Outcome::Mismatch(Box::new(Mismatch {
+                        block_b: tb,
+                        block_v: tv,
+                        event: Some(i),
+                        baseline_expr: render_event(&it, eb),
+                        variant_expr: render_event(&it, ev),
+                        detail: "observable event sequences diverge".to_string(),
+                    }));
+                }
+            }
+
+            // NT accounting: countable only while the load address
+            // sequences line up.
+            if flips_countable
+                && run_b.loads.len() == run_v.loads.len()
+                && run_b
+                    .loads
+                    .iter()
+                    .zip(&run_v.loads)
+                    .all(|((ab, _), (av, _))| ab == av)
+            {
+                nt_flips += run_b
+                    .loads
+                    .iter()
+                    .zip(&run_v.loads)
+                    .filter(|((_, nb), (_, nv))| nb != nv)
+                    .count();
+            } else {
+                flips_countable = false;
+            }
+
+            match (&run_b.flow, &run_v.flow) {
+                (Flow::Park, Flow::Park) => {}
+                (Flow::Ret(a), Flow::Ret(b)) => {
+                    if a != b {
+                        let expr = |v: &Option<VnId>| match v {
+                            Some(v) => it.render(*v),
+                            None => "(no value)".to_string(),
+                        };
+                        return Outcome::Mismatch(Box::new(Mismatch {
+                            block_b: tb,
+                            block_v: tv,
+                            event: None,
+                            baseline_expr: expr(a),
+                            variant_expr: expr(b),
+                            detail: "return values differ".to_string(),
+                        }));
+                    }
+                }
+                (Flow::Goto(x), Flow::Goto(y)) => {
+                    queue.push_back((*x, *y, run_b.regs, run_v.regs));
+                }
+                (
+                    Flow::Branch {
+                        cond: c1,
+                        then_bb: t1,
+                        else_bb: e1,
+                    },
+                    Flow::Branch {
+                        cond: c2,
+                        then_bb: t2,
+                        else_bb: e2,
+                    },
+                ) => {
+                    if c1 != c2 {
+                        return Outcome::Mismatch(Box::new(Mismatch {
+                            block_b: tb,
+                            block_v: tv,
+                            event: None,
+                            baseline_expr: it.render(*c1),
+                            variant_expr: it.render(*c2),
+                            detail: "branch conditions differ".to_string(),
+                        }));
+                    }
+                    queue.push_back((*t1, *t2, run_b.regs.clone(), run_v.regs.clone()));
+                    queue.push_back((*e1, *e2, run_b.regs, run_v.regs));
+                }
+                _ => {
+                    return Outcome::Mismatch(Box::new(Mismatch {
+                        block_b: tb,
+                        block_v: tv,
+                        event: None,
+                        baseline_expr: flow_kind(&run_b.flow).to_string(),
+                        variant_expr: flow_kind(&run_v.flow).to_string(),
+                        detail: "control-flow shapes differ".to_string(),
+                    }));
+                }
+            }
+        }
+        return Outcome::Proved {
+            nt_flips: flips_countable.then_some(nt_flips),
+        };
+    }
+    Outcome::Unknown(format!(
+        "partition refinement did not converge within {MAX_REFINEMENT_ROUNDS} rounds"
+    ))
+}
+
+fn flow_kind(f: &Flow) -> &'static str {
+    match f {
+        Flow::Ret(_) => "return",
+        Flow::Goto(_) => "unconditional branch",
+        Flow::Branch { .. } => "conditional branch",
+        Flow::Park => "wait",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concrete confirmation
+// ---------------------------------------------------------------------------
+
+/// A deterministic synthetic data layout matching what the interpreter
+/// tests use: 64-byte-aligned globals from address 64 upward.
+fn synthetic_layout(m: &Module) -> (Vec<u64>, usize) {
+    let mut addrs = Vec::new();
+    let mut cursor: u64 = 64;
+    for g in m.globals() {
+        addrs.push(cursor);
+        cursor += g.size().div_ceil(64).max(1) * 64;
+    }
+    (addrs, cursor as usize + 64)
+}
+
+fn observables_differ(a: &interp::InterpResult, b: &interp::InterpResult) -> Option<String> {
+    if a.parked != b.parked {
+        return Some(format!(
+            "baseline parked={}, variant parked={}",
+            a.parked, b.parked
+        ));
+    }
+    if a.reports != b.reports {
+        let i = a
+            .reports
+            .iter()
+            .zip(&b.reports)
+            .position(|(x, y)| x != y)
+            .unwrap_or_else(|| a.reports.len().min(b.reports.len()));
+        return Some(format!(
+            "report streams diverge at sample {i}: baseline {:?}, variant {:?}",
+            a.reports.get(i),
+            b.reports.get(i)
+        ));
+    }
+    if a.data != b.data {
+        let i = a
+            .data
+            .iter()
+            .zip(&b.data)
+            .position(|(x, y)| x != y)
+            .unwrap_or_else(|| a.data.len().min(b.data.len()));
+        return Some(format!("data segments diverge at byte {i}"));
+    }
+    None
+}
+
+/// Runs both whole modules in the interpreter on the synthetic layout and
+/// describes the first observable divergence, if one materializes within
+/// the step budget. Non-termination differences are unobservable here and
+/// never count as divergence.
+fn confirm_divergence(bm: &Module, vm: &Module, steps: u64) -> Option<String> {
+    bm.entry()?;
+    let (addrs, size) = synthetic_layout(bm);
+    let rb = interp::run(bm, &addrs, size, steps);
+    let rv = interp::run(vm, &addrs, size, steps);
+    use interp::InterpError::StepBudgetExceeded;
+    match (rb, rv) {
+        (Ok(a), Ok(b)) => observables_differ(&a, &b),
+        (Err(StepBudgetExceeded), _) | (_, Err(StepBudgetExceeded)) => None,
+        (Ok(_), Err(e)) => Some(format!("baseline completes but variant errors: {e:?}")),
+        (Err(e), Ok(_)) => Some(format!("variant completes but baseline errors: {e:?}")),
+        (Err(a), Err(b)) => {
+            if a == b {
+                None
+            } else {
+                Some(format!("baseline errors with {a:?}, variant with {b:?}"))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+fn check_function_cx(
+    cx_b: &ModuleCx<'_>,
+    cx_v: &ModuleCx<'_>,
+    fid: FuncId,
+    opts: &EquivOptions,
+) -> Verdict {
+    match run_bisim(cx_b, cx_v, fid, opts) {
+        Outcome::Proved { nt_flips } => Verdict::Proved { nt_flips },
+        Outcome::Unknown(reason) => Verdict::Unknown { reason },
+        Outcome::Mismatch(m) => {
+            if opts.confirm_with_interp {
+                if let Some(divergence) =
+                    confirm_divergence(cx_b.module, cx_v.module, opts.confirm_steps)
+                {
+                    return Verdict::Refuted(Box::new(Counterexample {
+                        func: cx_b.module.function(fid).name().to_string(),
+                        baseline_block: m.block_b,
+                        variant_block: m.block_v,
+                        event: m.event,
+                        baseline_expr: m.baseline_expr,
+                        variant_expr: m.variant_expr,
+                        detail: m.detail,
+                        divergence,
+                    }));
+                }
+            }
+            Verdict::Unknown {
+                reason: format!(
+                    "not proved: {} at {}/{} (baseline: {}, variant: {}; \
+                     no concrete divergence demonstrated)",
+                    m.detail, m.block_b, m.block_v, m.baseline_expr, m.variant_expr
+                ),
+            }
+        }
+    }
+}
+
+/// Checks one function pair with full module context: `fid` names the
+/// function in both `baseline` and `variant`. The verdict assumes all
+/// *other* function pairs of the two modules are equivalent — true by
+/// construction when `variant` is `baseline` with one function replaced
+/// (the safety gate's situation), and discharged by [`check_module`] when
+/// everything changed.
+pub fn check_function_in(
+    baseline: &Module,
+    variant: &Module,
+    fid: FuncId,
+    opts: &EquivOptions,
+) -> Verdict {
+    if fid.index() >= baseline.functions().len() || fid.index() >= variant.functions().len() {
+        return Verdict::Unknown {
+            reason: format!("no function {fid} in both modules"),
+        };
+    }
+    let cx_b = ModuleCx::new(baseline);
+    let cx_v = ModuleCx::new(variant);
+    check_function_cx(&cx_b, &cx_v, fid, opts)
+}
+
+/// Proves (or refutes, or gives up on) observational equivalence of two
+/// whole modules, function by function. Module-shape mismatches (function
+/// count, globals, entry) yield a single `Unknown` result under the
+/// pseudo-function name `<module>`.
+pub fn check_module(baseline: &Module, variant: &Module, opts: &EquivOptions) -> EquivReport {
+    if baseline.functions().len() != variant.functions().len()
+        || baseline.globals() != variant.globals()
+        || baseline.entry() != variant.entry()
+    {
+        return EquivReport {
+            results: vec![(
+                "<module>".to_string(),
+                Verdict::Unknown {
+                    reason: "module shapes differ (function count, globals, or entry)".to_string(),
+                },
+            )],
+        };
+    }
+    let cx_b = ModuleCx::new(baseline);
+    let cx_v = ModuleCx::new(variant);
+    let results = (0..baseline.functions().len())
+        .map(|i| {
+            let fid = FuncId(i as u32);
+            (
+                baseline.function(fid).name().to_string(),
+                check_function_cx(&cx_b, &cx_v, fid, opts),
+            )
+        })
+        .collect();
+    EquivReport { results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::ids::Reg;
+    use crate::inst::Locality;
+    use crate::module::Block;
+
+    /// `main` calls `work(3)`, reports the result, returns. Terminating,
+    /// so candidate mismatches can be concretely confirmed.
+    fn harness(work: Function) -> Module {
+        let mut m = Module::new("m");
+        let g = m.add_global("buf", 256);
+        let wid = m.add_function(work);
+        let mut main = FunctionBuilder::new("main", 0);
+        let c = main.const_(3);
+        let r = main.call(wid, &[c]);
+        main.report(0, r);
+        let base = main.global_addr(g);
+        main.store(base, 0, r);
+        main.ret(None);
+        let mid = m.add_function(main.finish());
+        m.set_entry(mid);
+        m
+    }
+
+    /// work(p) = p*2 + 1, streaming over a loop so there are blocks to
+    /// pair up.
+    fn work() -> Function {
+        let mut b = FunctionBuilder::new("work", 1);
+        let p = b.param(0);
+        let acc0 = b.mul_imm(p, 2);
+        let acc = b.accumulate_loop(0, 4, 1, acc0, |b, i, acc| {
+            b.add_into(acc, acc, i);
+        });
+        let r = b.add_imm(acc, 1);
+        b.ret(Some(r));
+        b.finish()
+    }
+
+    fn wid(m: &Module) -> FuncId {
+        m.function_by_name("work").unwrap()
+    }
+
+    #[test]
+    fn identical_function_is_proved_strictly() {
+        let m = harness(work());
+        let v = check_function_in(&m, &m, wid(&m), &EquivOptions::default());
+        assert_eq!(v, Verdict::Proved { nt_flips: Some(0) });
+    }
+
+    #[test]
+    fn folded_constants_and_copies_are_proved() {
+        // Baseline computes 2+3 through registers and a copy chain; the
+        // "optimized" variant returns the folded constant directly.
+        let mut b = FunctionBuilder::new("work", 1);
+        let x = b.const_(2);
+        let y = b.const_(3);
+        let s = b.add(x, y);
+        let copy = b.add_imm(s, 0); // the optimizer's copy idiom
+        let r = b.add(copy, b.param(0));
+        b.ret(Some(r));
+        let baseline = harness(b.finish());
+
+        let mut o = FunctionBuilder::new("work", 1);
+        let s = o.const_(5);
+        let r = o.add(s, o.param(0));
+        o.ret(Some(r));
+        let variant = harness(o.finish());
+
+        let v = check_function_in(
+            &baseline,
+            &variant,
+            wid(&baseline),
+            &EquivOptions::default(),
+        );
+        assert!(v.is_proved(), "{v}");
+    }
+
+    #[test]
+    fn nt_hint_flips_are_proved_and_counted() {
+        let mut m = Module::new("m");
+        let g = m.add_global("buf", 128);
+        let mut f = FunctionBuilder::new("work", 0);
+        let base = f.global_addr(g);
+        let a = f.load(base, 0, Locality::Normal);
+        let b2 = f.load(base, 8, Locality::Normal);
+        let s = f.add(a, b2);
+        f.ret(Some(s));
+        let fid = m.add_function(f.finish());
+        m.set_entry(fid);
+        let mut vm = m.clone();
+        for block in vm.functions_mut()[fid.index()].blocks_mut() {
+            for inst in &mut block.insts {
+                if let Inst::Load { locality, .. } = inst {
+                    *locality = Locality::NonTemporal;
+                }
+            }
+        }
+        let v = check_function_in(&m, &vm, fid, &EquivOptions::default());
+        assert_eq!(v, Verdict::Proved { nt_flips: Some(2) });
+    }
+
+    #[test]
+    fn corrupted_arithmetic_is_refuted_with_counterexample() {
+        let baseline = harness(work());
+        let mut corrupted = work();
+        for block in corrupted.blocks_mut() {
+            for inst in &mut block.insts {
+                if let Inst::BinImm {
+                    op: BinOp::Mul,
+                    imm,
+                    ..
+                } = inst
+                {
+                    *imm += 1; // p*2 becomes p*3: a corrupted constant fold
+                }
+            }
+        }
+        let variant = harness(corrupted);
+        let v = check_function_in(
+            &baseline,
+            &variant,
+            wid(&baseline),
+            &EquivOptions::default(),
+        );
+        match v {
+            Verdict::Refuted(cex) => {
+                assert_eq!(cex.func, "work");
+                assert!(!cex.divergence.is_empty());
+                let s = cex.to_string();
+                assert!(s.contains("work"), "{s}");
+            }
+            other => panic!("expected refutation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn register_renaming_is_proved() {
+        // The same body with all temporaries renumbered (register
+        // compaction's effect).
+        let baseline = harness(work());
+        let f = baseline.function(wid(&baseline));
+        let shift = 3u32;
+        let remap = |r: Reg| {
+            if r.index() < 1 {
+                r // param pinned
+            } else {
+                Reg(r.0 + shift)
+            }
+        };
+        let mut blocks = f.blocks().to_vec();
+        for b in &mut blocks {
+            for inst in &mut b.insts {
+                *inst = match inst.clone() {
+                    Inst::Const { dst, value } => Inst::Const {
+                        dst: remap(dst),
+                        value,
+                    },
+                    Inst::Bin { op, dst, lhs, rhs } => Inst::Bin {
+                        op,
+                        dst: remap(dst),
+                        lhs: remap(lhs),
+                        rhs: remap(rhs),
+                    },
+                    Inst::BinImm { op, dst, lhs, imm } => Inst::BinImm {
+                        op,
+                        dst: remap(dst),
+                        lhs: remap(lhs),
+                        imm,
+                    },
+                    other => other,
+                };
+            }
+            match &mut b.term {
+                Term::CondBr { cond, .. } => *cond = remap(*cond),
+                Term::Ret(Some(r)) => *r = remap(*r),
+                _ => {}
+            }
+        }
+        let renamed = Function::from_parts("work", 1, f.reg_count() + shift, blocks);
+        let mut vm = baseline.clone();
+        vm.functions_mut()[wid(&baseline).index()] = renamed;
+        let v = check_function_in(&baseline, &vm, wid(&baseline), &EquivOptions::default());
+        assert!(v.is_proved(), "{v}");
+    }
+
+    #[test]
+    fn store_forwarding_normalizes_across_disjoint_stores() {
+        let mut m = Module::new("m");
+        let g = m.add_global("buf", 128);
+        let mut f = FunctionBuilder::new("work", 1);
+        let p = f.param(0);
+        let base = f.global_addr(g);
+        f.store(base, 0, p);
+        let q = f.mul_imm(p, 7);
+        f.store(base, 8, q); // provably disjoint from offset 0
+        let back = f.load(base, 0, Locality::Normal);
+        f.ret(Some(back));
+        let fid = m.add_function(f.finish());
+        m.set_entry(fid);
+        // Variant returns the parameter directly: valid only if the
+        // checker forwards the first store past the disjoint second one.
+        let mut o = FunctionBuilder::new("work", 1);
+        let p = o.param(0);
+        let base = o.global_addr(g);
+        o.store(base, 0, p);
+        let q = o.mul_imm(p, 7);
+        o.store(base, 8, q);
+        o.ret(Some(p));
+        let mut vm = m.clone();
+        vm.functions_mut()[fid.index()] = o.finish();
+        let v = check_function_in(&m, &vm, fid, &EquivOptions::default());
+        assert!(v.is_proved(), "{v}");
+    }
+
+    #[test]
+    fn irreducible_control_flow_degrades_to_unknown() {
+        // Two-header loop: bb0 branches into both bb1 and bb2, which form
+        // a cycle — neither header dominates the other.
+        let irreducible = Function::from_parts(
+            "work",
+            1,
+            1,
+            vec![
+                Block::new(Term::CondBr {
+                    cond: Reg(0),
+                    then_bb: BlockId(1),
+                    else_bb: BlockId(2),
+                }),
+                Block::new(Term::Br(BlockId(2))),
+                Block::new(Term::Br(BlockId(1))),
+            ],
+        );
+        let mut m = Module::new("m");
+        let fid = m.add_function(irreducible);
+        let v = check_function_in(&m, &m, fid, &EquivOptions::default());
+        match v {
+            Verdict::Unknown { reason } => {
+                assert!(reason.contains("irreducible"), "{reason}")
+            }
+            other => panic!("irreducible CFG must never prove: {other}"),
+        }
+    }
+
+    #[test]
+    fn coincident_loop_entry_values_refine_instead_of_failing() {
+        // `acc` and `i` both enter the loop holding 0, so the first
+        // candidate invariant merges them into one cut class; the back
+        // edge breaks that class and the checker must refine the
+        // partition and re-prove, not give up.
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("work", 0);
+        let acc0 = b.const_(0);
+        let acc = b.accumulate_loop(0, 4, 1, acc0, |b, i, acc| {
+            b.add_into(acc, acc, i);
+        });
+        b.ret(Some(acc));
+        let fid = m.add_function(b.finish());
+        m.set_entry(fid);
+        let v = check_function_in(&m, &m, fid, &EquivOptions::default());
+        assert_eq!(v, Verdict::Proved { nt_flips: Some(0) });
+    }
+
+    #[test]
+    fn module_check_reports_per_function() {
+        let m = harness(work());
+        let report = check_module(&m, &m, &EquivOptions::default());
+        assert!(report.all_proved(), "{report}");
+        assert_eq!(report.results().len(), 2);
+        assert_eq!(report.total_nt_flips(), Some(0));
+        assert!(report.first_refutation().is_none());
+        assert!(report.first_unknown().is_none());
+        let shapes = Module::new("other");
+        let r2 = check_module(&m, &shapes, &EquivOptions::default());
+        assert!(!r2.all_proved());
+        assert!(r2.first_unknown().unwrap().1.contains("module shapes"));
+    }
+
+    #[test]
+    fn dead_code_elimination_is_proved() {
+        // Baseline has a dead pure computation; variant drops it.
+        let mut b = FunctionBuilder::new("work", 1);
+        let p = b.param(0);
+        let _dead = b.mul_imm(p, 99);
+        let r = b.add_imm(p, 4);
+        b.ret(Some(r));
+        let baseline = harness(b.finish());
+        let mut o = FunctionBuilder::new("work", 1);
+        let p = o.param(0);
+        let r = o.add_imm(p, 4);
+        o.ret(Some(r));
+        let variant = harness(o.finish());
+        let v = check_function_in(
+            &baseline,
+            &variant,
+            wid(&baseline),
+            &EquivOptions::default(),
+        );
+        assert!(v.is_proved(), "{v}");
+    }
+}

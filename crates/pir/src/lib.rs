@@ -16,6 +16,11 @@
 //! * CFG construction, dominators, and a generic worklist dataflow engine
 //!   ([`dataflow`]) with reaching-definitions, liveness, and
 //!   definite-assignment instances,
+//! * a conservative alias/memory-effects analysis ([`effects`]) with
+//!   points-to classes for globals and parameters,
+//! * a symbolic equivalence checker ([`equiv`]) — translation validation
+//!   for the online transformations, with "proved modulo NT hints"
+//!   verdicts and interpreter-confirmed counterexamples,
 //! * a diagnostic lint layer ([`lint`]) over those analyses,
 //! * dominator-based natural-loop analysis ([`loops`]) used by PC3D's
 //!   "innermost loops only" search heuristic,
@@ -51,7 +56,9 @@ pub mod analysis;
 pub mod builder;
 pub mod compress;
 pub mod dataflow;
+pub mod effects;
 pub mod encode;
+pub mod equiv;
 pub mod ids;
 pub mod inst;
 pub mod interp;
@@ -63,6 +70,10 @@ pub mod verify;
 
 pub use analysis::{load_sites, LoadSite};
 pub use builder::FunctionBuilder;
+pub use effects::{FuncEffects, ModuleEffects, PtClass, RegionSet};
+pub use equiv::{
+    check_function_in, check_module, Counterexample, EquivOptions, EquivReport, Verdict,
+};
 pub use ids::{BlockId, FuncId, GlobalId, LoadSiteId, Reg};
 pub use inst::{BinOp, Inst, Locality, Term};
 pub use module::{Block, Function, Global, GlobalInit, Module};

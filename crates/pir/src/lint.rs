@@ -14,6 +14,7 @@
 //! | `dead-store`               | warning | pure defs whose value no later read can observe |
 //! | `nt-outside-loop`          | warning | non-temporal load hints outside any natural loop, where the hint cannot pay for itself |
 //! | `never-virtualizable-call` | warning | call edges the default multi-block-callees edge policy never routes through the EVT, so PC3D cannot retarget them online |
+//! | `unknown-address-store`    | warning | stores through a base the [`effects`](crate::effects) points-to analysis cannot bound, which forces every downstream alias query conservative |
 //!
 //! The suite is cheap (one CFG + two dataflow solves per function) and is
 //! rerun by `pcc` between transformation stages when invariant checking
@@ -313,6 +314,41 @@ fn lint_never_virtualizable_calls(cx: &FuncCx<'_>, module: &Module, out: &mut Ve
     }
 }
 
+/// Flags stores whose base register has points-to class
+/// [`Unknown`](crate::effects::PtClass::Unknown): the effects analysis
+/// cannot bound what such a store touches, so it blocks store-to-load
+/// forwarding in the equivalence checker and widens every callee summary
+/// that inlines this function's effects. Usually the base was loaded from
+/// memory or returned by a call; routing the address through a parameter
+/// or `GlobalAddr` keeps the analysis precise.
+fn lint_unknown_address_stores(cx: &FuncCx<'_>, out: &mut Vec<Diagnostic>) {
+    let classes = crate::effects::reg_classes(cx.func);
+    for (bi, block) in cx.func.blocks().iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        if !cx.cfg.is_reachable(bid) {
+            continue;
+        }
+        for (ii, inst) in block.insts.iter().enumerate() {
+            let Inst::Store { base, .. } = inst else {
+                continue;
+            };
+            if classes.get(base.index()) == Some(&crate::effects::PtClass::Unknown) {
+                out.push(cx.diag(
+                    "unknown-address-store",
+                    Severity::Warning,
+                    Some(bid),
+                    Some(ii),
+                    format!(
+                        "store through {} whose address class is unknown; \
+                         alias analysis must assume it may touch any memory",
+                        base
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 /// Runs every lint pass over one function of `module`.
 pub fn lint_function(module: &Module, fid: FuncId) -> Vec<Diagnostic> {
     let func = module.function(fid);
@@ -327,6 +363,7 @@ pub fn lint_function(module: &Module, fid: FuncId) -> Vec<Diagnostic> {
     lint_dead_stores(&cx, &mut out);
     lint_nt_outside_loop(&cx, &mut out);
     lint_never_virtualizable_calls(&cx, module, &mut out);
+    lint_unknown_address_stores(&cx, &mut out);
     out
 }
 
@@ -502,6 +539,45 @@ mod tests {
         assert_eq!(hits.len(), 1);
         assert!(hits[0].message.contains("leaf"));
         assert_eq!(hits[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn store_through_loaded_pointer_warned() {
+        let mut m = Module::new("m");
+        let g = m.add_global("tbl", 64);
+        let mut b = FunctionBuilder::new("f", 1);
+        let base = b.global_addr(g);
+        let p = b.load(base, 0, Locality::Normal); // class unknown
+        b.store(p, 0, Reg(0));
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let report = lint_module(&m);
+        let hits: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.pass == "unknown-address-store")
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn store_through_global_or_param_not_warned() {
+        let mut m = Module::new("m");
+        let g = m.add_global("tbl", 64);
+        let mut b = FunctionBuilder::new("f", 1);
+        let base = b.global_addr(g);
+        b.store(base, 0, Reg(0));
+        b.store(Reg(0), 8, Reg(0)); // param-classed base
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let report = lint_module(&m);
+        assert!(!report
+            .diagnostics()
+            .iter()
+            .any(|d| d.pass == "unknown-address-store"));
     }
 
     #[test]

@@ -22,10 +22,14 @@
 //!   core through the OS ([`CompileCostModel`]), making the overhead
 //!   experiments of Figures 5-7 meaningful.
 //! * **Variant safety** ([`safety`]): before any EVT write, the dispatcher
-//!   statically vets the variant against the baseline recovered from the
-//!   process image — a legal variant differs only in load locality bits —
-//!   and refuses anything else with
-//!   [`DispatchError::UnsafeVariant`](runtime::DispatchError).
+//!   statically vets the variant against the module recovered from the
+//!   process image — a cheap syntactic tier admits locality-only variants
+//!   outright, and anything else must be proved equivalent modulo
+//!   non-temporal hints by the [`pir::equiv`] translation validator.
+//!   Unproved or refuted variants are refused with
+//!   [`DispatchError::UnsafeVariant`](runtime::DispatchError), and the
+//!   memoized verdicts plus refusal counters are exposed via
+//!   [`Runtime::gate_stats`](runtime::Runtime::gate_stats).
 //! * **Monitoring** ([`monitor`]): introspection (PC sampling → hot
 //!   functions; HPM windows → IPC/BPC) and extrospection (co-runner HPM
 //!   and application-level metrics).
@@ -47,8 +51,8 @@ pub mod systems;
 
 pub use cost::CompileCostModel;
 pub use engine::{drive, DecisionEngine};
-pub use monitor::{ExtMonitor, HostMonitor, WindowStats};
+pub use monitor::{ExtMonitor, HostMonitor, MonitorReport, WindowStats};
 pub use phase::{PhaseChange, PhaseDetector};
-pub use runtime::{AttachError, DispatchError, Runtime, RuntimeConfig, VariantRecord};
-pub use safety::check_variant;
+pub use runtime::{AttachError, DispatchError, GateStats, Runtime, RuntimeConfig, VariantRecord};
+pub use safety::{check_variant, vet_variant, VariantVerdict};
 pub use stress::StressEngine;

@@ -8,12 +8,13 @@
 //! hardware performance monitors and optional application-level metrics.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use machine::PerfCounters;
 use pir::FuncId;
 use simos::{Os, Pid};
 
-use crate::runtime::Runtime;
+use crate::runtime::{GateStats, Runtime};
 
 /// One monitoring window's derived statistics.
 #[derive(Copy, Clone, Debug, Default, PartialEq)]
@@ -144,9 +145,72 @@ impl HostMonitor {
         v
     }
 
+    /// Peeks at stats since the last window boundary without closing the
+    /// window.
+    pub fn peek(&self, os: &Os) -> WindowStats {
+        let seconds = os
+            .config()
+            .machine
+            .cycles_to_seconds(os.now() - self.last_time);
+        window_stats(
+            os.counters(self.pid) - self.last_counters,
+            seconds,
+            os.app_metric(self.pid, 0) - self.last_app,
+            os.config().machine.cycles_per_second,
+        )
+    }
+
+    /// One combined status report: the open window's rates, the
+    /// dispatch safety gate's counters, and the hottest functions. The
+    /// window is left open ([`peek`](HostMonitor::peek) semantics).
+    pub fn report(&self, os: &Os, rt: &Runtime) -> MonitorReport {
+        MonitorReport {
+            window: self.peek(os),
+            gate: rt.gate_stats(),
+            hot: self.hot_funcs(),
+        }
+    }
+
     /// The monitored process.
     pub fn pid(&self) -> Pid {
         self.pid
+    }
+}
+
+/// A combined runtime status snapshot: performance window, safety-gate
+/// counters, and PC-sample hotness — what an operator dashboard would
+/// scrape from the runtime.
+#[derive(Clone, Debug)]
+pub struct MonitorReport {
+    /// Rates since the last window boundary (window left open).
+    pub window: WindowStats,
+    /// The dispatch safety gate's cumulative counters.
+    pub gate: GateStats,
+    /// Hottest functions with their share of sample weight.
+    pub hot: Vec<(FuncId, f64)>,
+}
+
+impl fmt::Display for MonitorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "window: {:.2}s, {:.0} ips, ipc {:.3}, llc {:.2} mpki, busy {:.0}%",
+            self.window.seconds,
+            self.window.ips,
+            self.window.ipc,
+            self.window.llc_mpki,
+            self.window.busy * 100.0
+        )?;
+        writeln!(f, "{}", self.gate)?;
+        if self.hot.is_empty() {
+            write!(f, "hot: (no samples)")
+        } else {
+            write!(f, "hot:")?;
+            for (func, share) in &self.hot {
+                write!(f, " {func} {:.0}%", share * 100.0)?;
+            }
+            Ok(())
+        }
     }
 }
 
@@ -327,6 +391,51 @@ mod tests {
             let _ = mon.end_window(&os);
         }
         assert!(mon.hot_funcs().is_empty());
+    }
+
+    #[test]
+    fn host_peek_matches_window_without_closing_it() {
+        let out = Compiler::new(Options::protean()).compile(&host()).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let mut mon = HostMonitor::new(&os, pid, 1.0);
+        os.advance_seconds(0.25);
+        let peek = mon.peek(&os);
+        let w = mon.end_window(&os);
+        assert!(w.ips > 0.0);
+        assert!((peek.ips - w.ips).abs() / w.ips < 0.05);
+    }
+
+    #[test]
+    fn report_surfaces_gate_counters_and_hotness() {
+        let out = Compiler::new(Options::protean()).compile(&host()).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+        let mut mon = HostMonitor::new(&os, pid, 1.0);
+        for _ in 0..50 {
+            os.advance(997);
+            mon.sample(&os, &rt);
+        }
+        // One refused dispatch shows up in the report's gate counters.
+        let hot_id = rt.module().function_by_name("hot").unwrap();
+        let mut bad = rt.module().function(hot_id).clone();
+        bad.blocks_mut()[0].insts.push(pir::Inst::Store {
+            base: pir::Reg(0),
+            offset: 0,
+            src: pir::Reg(0),
+        });
+        let idx = rt.install_variant_ir(&mut os, hot_id, bad).unwrap();
+        assert!(rt.dispatch(&mut os, idx).is_err());
+        let report = mon.report(&os, &rt);
+        assert_eq!(report.gate.rejected_dispatches, 1);
+        assert_eq!(report.gate.unproved_dispatches, 1);
+        assert!(report.window.ips > 0.0);
+        assert!(report.hot.iter().any(|(f, _)| *f == hot_id));
+        let text = report.to_string();
+        assert!(text.contains("1 rejected"), "{text}");
+        assert!(text.contains("hot:"), "{text}");
+        assert!(text.contains("window:"), "{text}");
     }
 
     #[test]

@@ -12,6 +12,41 @@ use simos::{Os, Pid};
 use visa::MetaDesc;
 
 use crate::cost::CompileCostModel;
+use crate::safety::VariantVerdict;
+
+/// Aggregate counters of the dispatch safety gate.
+///
+/// Every dispatch consults a memoized [`VariantVerdict`]; the counters
+/// expose how often verdicts were reused (the near-free re-dispatch
+/// path) and how the gate split its refusals between "could not prove
+/// equivalence" and "proved inequivalent with a counterexample".
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct GateStats {
+    /// Dispatch attempts refused for any reason.
+    pub rejected_dispatches: u64,
+    /// Refusals where equivalence could not be established.
+    pub unproved_dispatches: u64,
+    /// Refusals backed by a concrete diverging counterexample.
+    pub refuted_dispatches: u64,
+    /// Dispatches that reused a memoized safety verdict.
+    pub verdict_cache_hits: u64,
+    /// Safety verdicts computed fresh.
+    pub verdict_cache_misses: u64,
+}
+
+impl fmt::Display for GateStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gate: {} rejected ({} unproved, {} refuted), verdict cache {} hit(s) / {} miss(es)",
+            self.rejected_dispatches,
+            self.unproved_dispatches,
+            self.refuted_dispatches,
+            self.verdict_cache_hits,
+            self.verdict_cache_misses
+        )
+    }
+}
 
 /// Runtime placement and cost configuration.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -69,9 +104,10 @@ pub enum DispatchError {
     /// compiler, so the runtime has no hook to redirect it.
     NotVirtualized(FuncId),
     /// The variant failed the static safety gate
-    /// ([`check_variant`](crate::safety::check_variant)): it is not the
-    /// baseline function with only load locality bits changed, so
-    /// patching the EVT could corrupt the running host.
+    /// ([`vet_variant`](crate::safety::vet_variant)): it could not be
+    /// proved equivalent to the baseline modulo non-temporal hints (or
+    /// was concretely refuted), so patching the EVT could corrupt the
+    /// running host.
     UnsafeVariant {
         /// The function the rejected variant targets.
         func: FuncId,
@@ -127,15 +163,15 @@ pub struct Runtime {
     /// Memoization: identical (func, nt) requests reuse the cached
     /// variant instead of recompiling.
     by_key: HashMap<(FuncId, Vec<pir::LoadSiteId>), usize>,
-    /// Memoized safety verdicts per variant index: `None` means safe,
-    /// `Some(detail)` records why the variant must never be dispatched.
-    safety_verdicts: HashMap<usize, Option<String>>,
+    /// Memoized safety verdicts per variant index; unsafe verdicts
+    /// record why the variant must never be dispatched.
+    safety_verdicts: HashMap<usize, VariantVerdict>,
     /// Cumulative cycles of compilation work charged.
     compile_cycles: u64,
     /// Number of compilations performed (cache misses).
     compilations: u64,
-    /// Number of dispatch attempts refused by the safety gate.
-    rejected_dispatches: u64,
+    /// Safety-gate counters.
+    gate: GateStats,
 }
 
 impl Runtime {
@@ -163,7 +199,7 @@ impl Runtime {
             safety_verdicts: HashMap::new(),
             compile_cycles: 0,
             compilations: 0,
-            rejected_dispatches: 0,
+            gate: GateStats::default(),
         })
     }
 
@@ -215,7 +251,24 @@ impl Runtime {
 
     /// Number of dispatch attempts the safety gate refused.
     pub fn rejected_dispatches(&self) -> u64 {
-        self.rejected_dispatches
+        self.gate.rejected_dispatches
+    }
+
+    /// Number of refused dispatches whose variant could not be proved
+    /// equivalent (but was not concretely refuted either).
+    pub fn unproved_dispatches(&self) -> u64 {
+        self.gate.unproved_dispatches
+    }
+
+    /// Number of refused dispatches whose variant was proved
+    /// *in*equivalent with a concrete counterexample.
+    pub fn refuted_dispatches(&self) -> u64 {
+        self.gate.refuted_dispatches
+    }
+
+    /// All safety-gate counters in one snapshot.
+    pub fn gate_stats(&self) -> GateStats {
+        self.gate
     }
 
     /// All compiled variants.
@@ -295,8 +348,9 @@ impl Runtime {
         if self.meta.link.func_evt_slot[func.index()].is_none() {
             return Err(DispatchError::NotVirtualized(func));
         }
+        self.gate.verdict_cache_misses += 1;
         let verdict = self.vet(func, &ir);
-        let idx = if verdict.is_none() {
+        let idx = if verdict.is_safe() {
             self.lower_and_record(os, func, NtAssignment::none(), ir)
         } else {
             self.variants.push(VariantRecord {
@@ -345,23 +399,17 @@ impl Runtime {
     }
 
     /// Runs the static safety gate on a candidate body for `func`.
-    fn vet(&self, func: FuncId, ir: &Function) -> Option<String> {
-        let arities: Vec<u32> = self
-            .meta
-            .module
-            .functions()
-            .iter()
-            .map(|f| f.params())
-            .collect();
-        let globals = self.meta.module.globals().len() as u32;
-        crate::safety::check_variant(self.meta.module.function(func), ir, &arities, globals).err()
+    fn vet(&self, func: FuncId, ir: &Function) -> VariantVerdict {
+        crate::safety::vet_variant(&self.meta.module, func, ir)
     }
 
     /// The cached safety verdict for a variant, computing it on first use.
-    fn verdict(&mut self, variant: usize) -> Option<String> {
+    fn verdict(&mut self, variant: usize) -> VariantVerdict {
         if let Some(v) = self.safety_verdicts.get(&variant) {
+            self.gate.verdict_cache_hits += 1;
             return v.clone();
         }
+        self.gate.verdict_cache_misses += 1;
         let rec = &self.variants[variant];
         let verdict = self.vet(rec.func, &rec.ir);
         self.safety_verdicts.insert(variant, verdict.clone());
@@ -372,28 +420,42 @@ impl Runtime {
     /// write redirecting every virtualized edge into the function.
     ///
     /// The first dispatch of each variant runs the static safety gate
-    /// ([`safety::check_variant`](crate::safety::check_variant)) against
-    /// the baseline recovered from the process image; the verdict is
+    /// ([`safety::vet_variant`](crate::safety::vet_variant)) against the
+    /// module recovered from the process image — the variant must be
+    /// equivalence-proved modulo non-temporal hints; the verdict is
     /// memoized, so re-dispatching stays a single EVT write (the paper's
     /// near-free property).
     ///
     /// # Errors
     ///
-    /// [`DispatchError::UnsafeVariant`] if the variant is not the
-    /// baseline function with only load locality bits changed. The EVT is
-    /// left untouched and the rejection is counted in
-    /// [`rejected_dispatches`](Runtime::rejected_dispatches).
+    /// [`DispatchError::UnsafeVariant`] if the variant could not be
+    /// proved equivalent. The EVT is left untouched and the rejection is
+    /// counted in [`rejected_dispatches`](Runtime::rejected_dispatches)
+    /// plus either [`unproved_dispatches`](Runtime::unproved_dispatches)
+    /// or [`refuted_dispatches`](Runtime::refuted_dispatches).
     ///
     /// # Panics
     ///
     /// Panics if `variant` is out of range.
     pub fn dispatch(&mut self, os: &mut Os, variant: usize) -> Result<(), DispatchError> {
-        if let Some(detail) = self.verdict(variant) {
-            self.rejected_dispatches += 1;
-            return Err(DispatchError::UnsafeVariant {
-                func: self.variants[variant].func,
-                detail,
-            });
+        match self.verdict(variant) {
+            VariantVerdict::Safe { .. } => {}
+            VariantVerdict::Unproved { detail } => {
+                self.gate.rejected_dispatches += 1;
+                self.gate.unproved_dispatches += 1;
+                return Err(DispatchError::UnsafeVariant {
+                    func: self.variants[variant].func,
+                    detail,
+                });
+            }
+            VariantVerdict::Refuted { detail } => {
+                self.gate.rejected_dispatches += 1;
+                self.gate.refuted_dispatches += 1;
+                return Err(DispatchError::UnsafeVariant {
+                    func: self.variants[variant].func,
+                    detail,
+                });
+            }
         }
         let rec = &self.variants[variant];
         let cell = self
@@ -652,10 +714,121 @@ mod tests {
         let worker = rt.module().function_by_name("worker").unwrap();
         let before = rt.current_target(&os, worker);
         let mut bad = rt.module().function(worker).clone();
-        bad.blocks_mut()[0].insts.push(pir::Inst::Nop);
+        // Inject a store the baseline never performs: not provable.
+        bad.blocks_mut()[0].insts.push(pir::Inst::Store {
+            base: pir::Reg(0),
+            offset: 0,
+            src: pir::Reg(0),
+        });
         let idx = rt.install_variant_ir(&mut os, worker, bad).unwrap();
         assert!(rt.dispatch(&mut os, idx).is_err());
         assert_eq!(rt.current_target(&os, worker), before);
+    }
+
+    #[test]
+    fn equivalent_but_syntactically_different_variant_is_proved_and_dispatched() {
+        let (mut os, pid, mut rt) = setup(8);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        // Nop padding fails the old locality-only comparison but is
+        // behaviorally identical; the equivalence tier admits it.
+        let mut padded = rt.module().function(worker).clone();
+        padded.blocks_mut()[0].insts.push(pir::Inst::Nop);
+        let idx = rt.install_variant_ir(&mut os, worker, padded).unwrap();
+        rt.dispatch(&mut os, idx)
+            .expect("proved-equivalent variant");
+        assert_eq!(rt.rejected_dispatches(), 0);
+        let image_len = os.proc(pid).image_text_len();
+        assert!(rt.current_target(&os, worker).unwrap() >= image_len);
+    }
+
+    /// A *terminating* host whose worker stores an observable result, so
+    /// the gate's equivalence checker can concretely confirm divergence.
+    fn observable_host() -> Module {
+        let mut m = Module::new("obs");
+        let out = m.add_global("out", 64);
+        let mut w = FunctionBuilder::new("worker", 0);
+        let base = w.global_addr(out);
+        let acc = w.const_(3);
+        w.counted_loop(0, 4, 1, |b, i| {
+            b.add_into(acc, acc, i);
+        });
+        let t = w.mul_imm(acc, 2);
+        w.store(base, 0, t);
+        w.ret(None);
+        let wid = m.add_function(w.finish());
+        let mut main = FunctionBuilder::new("main", 0);
+        main.call_void(wid, &[]);
+        main.ret(None);
+        let mid = m.add_function(main.finish());
+        m.set_entry(mid);
+        m
+    }
+
+    #[test]
+    fn refuted_variant_counts_separately_from_unproved() {
+        let out = Compiler::new(Options::protean())
+            .compile(&observable_host())
+            .unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+        let worker = rt.module().function_by_name("worker").unwrap();
+        let mut bad = rt.module().function(worker).clone();
+        let mut hit = false;
+        for block in bad.blocks_mut() {
+            for inst in &mut block.insts {
+                if let pir::Inst::BinImm {
+                    op: pir::BinOp::Mul,
+                    imm,
+                    ..
+                } = inst
+                {
+                    *imm = 3; // store 27 instead of 18
+                    hit = true;
+                }
+            }
+        }
+        assert!(hit, "worker keeps its multiply");
+        let idx = rt.install_variant_ir(&mut os, worker, bad).unwrap();
+        let err = rt.dispatch(&mut os, idx).unwrap_err();
+        let DispatchError::UnsafeVariant { detail, .. } = err else {
+            panic!("expected UnsafeVariant");
+        };
+        assert!(detail.contains("equivalence refuted"), "{detail}");
+        assert_eq!(rt.refuted_dispatches(), 1);
+        assert_eq!(rt.unproved_dispatches(), 0);
+        assert_eq!(rt.rejected_dispatches(), 1);
+    }
+
+    #[test]
+    fn gate_stats_expose_verdict_cache_and_refusal_split() {
+        let (mut os, _, mut rt) = setup(8);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        let mut bad = rt.module().function(worker).clone();
+        bad.blocks_mut()[0].insts.push(pir::Inst::Store {
+            base: pir::Reg(0),
+            offset: 0,
+            src: pir::Reg(0),
+        });
+        // Install vets once (miss); both dispatches reuse the verdict.
+        let idx = rt.install_variant_ir(&mut os, worker, bad).unwrap();
+        assert!(rt.dispatch(&mut os, idx).is_err());
+        assert!(rt.dispatch(&mut os, idx).is_err());
+        // A runtime-compiled variant is vetted on first dispatch only.
+        let good = rt
+            .compile_variant(&mut os, worker, &NtAssignment::none())
+            .unwrap();
+        rt.dispatch(&mut os, good).unwrap();
+        rt.dispatch(&mut os, good).unwrap();
+        let stats = rt.gate_stats();
+        assert_eq!(stats.rejected_dispatches, 2);
+        assert_eq!(stats.unproved_dispatches, 2);
+        assert_eq!(stats.refuted_dispatches, 0);
+        assert_eq!(stats.verdict_cache_misses, 2);
+        assert_eq!(stats.verdict_cache_hits, 3);
+        let text = stats.to_string();
+        assert!(text.contains("2 rejected"), "{text}");
+        assert!(text.contains("verdict cache"), "{text}");
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! against the baseline function recovered from the process image. A
 //! legal protean variant differs from its baseline *only* in load
 //! locality bits (Section IV-B's bit vectors M = ⟨M1 … MN⟩), which gives
-//! the gate a precise contract to enforce:
+//! the gate a precise contract to enforce. The gate is tiered,
+//! cheapest-analysis-first:
 //!
 //! 1. the signature (parameter count) is unchanged,
 //! 2. the variant still passes the [`pir::verify`] structural checks,
@@ -18,10 +19,150 @@
 //! 5. every instruction and terminator is identical to the baseline's,
 //!    except that loads may differ in their [`pir::Locality`] bit.
 //!
-//! The checks run cheapest-analysis-first so a rejection names the most
-//! specific property violated, not just "bodies differ".
+//! [`check_variant`] enforces exactly this syntactic contract and a
+//! rejection names the most specific property violated, not just
+//! "bodies differ". [`vet_variant`] — the gate the runtime actually
+//! dispatches through — upgrades the contract from "baseline body with
+//! only locality bits changed" to **equivalence-proved modulo
+//! non-temporal hints**: when the syntactic tier fails, the variant is
+//! handed to the [`pir::equiv`] translation validator against the whole
+//! recovered module, and only a [`Proved`](pir::equiv::Verdict::Proved)
+//! verdict (any number of NT-hint flips) admits it. Everything else is
+//! refused: [`VariantVerdict::Refuted`] carries the validator's concrete
+//! diverging counterexample, [`VariantVerdict::Unproved`] the reason the
+//! proof failed — the gate never dispatches on a mere absence of
+//! evidence.
 
-use pir::{dataflow, verify, FuncId, Function, Inst};
+use std::fmt;
+
+use pir::equiv::{self, EquivOptions};
+use pir::{dataflow, verify, FuncId, Function, Inst, Module};
+
+/// The safety gate's verdict on one candidate variant body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VariantVerdict {
+    /// The variant may be dispatched.
+    Safe {
+        /// `true` if the variant changes non-temporal hints relative to
+        /// the baseline (the paper's legal transformation space); `false`
+        /// means the proof found the bodies behaviorally identical with
+        /// the same hint assignment.
+        modulo_nt: bool,
+        /// `true` if the cheap syntactic tier ([`check_variant`])
+        /// sufficed; `false` means a symbolic equivalence proof was
+        /// required.
+        syntactic: bool,
+    },
+    /// Equivalence could not be established — refused conservatively.
+    Unproved {
+        /// The syntactic difference and why the proof attempt failed.
+        detail: String,
+    },
+    /// Proved *in*equivalent: the validator produced a concrete
+    /// diverging execution.
+    Refuted {
+        /// The syntactic difference plus the counterexample.
+        detail: String,
+    },
+}
+
+impl VariantVerdict {
+    /// Whether the variant may be dispatched.
+    pub fn is_safe(&self) -> bool {
+        matches!(self, VariantVerdict::Safe { .. })
+    }
+
+    /// The refusal reason, if any.
+    pub fn detail(&self) -> Option<&str> {
+        match self {
+            VariantVerdict::Safe { .. } => None,
+            VariantVerdict::Unproved { detail } | VariantVerdict::Refuted { detail } => {
+                Some(detail)
+            }
+        }
+    }
+}
+
+impl fmt::Display for VariantVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VariantVerdict::Safe {
+                modulo_nt,
+                syntactic,
+            } => {
+                let tier = if *syntactic {
+                    "syntactic"
+                } else {
+                    "equivalence proved"
+                };
+                if *modulo_nt {
+                    write!(f, "safe ({tier}, modulo non-temporal hints)")
+                } else {
+                    write!(f, "safe ({tier})")
+                }
+            }
+            VariantVerdict::Unproved { detail } => write!(f, "unproved: {detail}"),
+            VariantVerdict::Refuted { detail } => write!(f, "refuted: {detail}"),
+        }
+    }
+}
+
+/// Runs the full tiered gate on a candidate body for `func`.
+///
+/// The well-formedness tier (signature, structural verification, no new
+/// possibly-undefined reads) must pass outright — malformed IR is
+/// [`VariantVerdict::Unproved`] without any proof attempt. A variant that
+/// passes the syntactic locality-only comparison is
+/// [`VariantVerdict::Safe`] immediately (no symbolic work on the hot
+/// dispatch path). Otherwise the variant is spliced into a copy of the
+/// module and handed to [`pir::equiv::check_function_in`]; the verdict
+/// maps `Proved` → `Safe`, `Refuted` → `Refuted`, `Unknown` → `Unproved`.
+pub fn vet_variant(module: &Module, func: FuncId, variant: &Function) -> VariantVerdict {
+    let baseline = module.function(func);
+    let arities: Vec<u32> = module.functions().iter().map(|f| f.params()).collect();
+    let globals = module.globals().len() as u32;
+    if let Err(detail) = well_formed(baseline, variant, &arities, globals) {
+        return VariantVerdict::Unproved { detail };
+    }
+    match syntactic_delta(baseline, variant) {
+        Ok(()) => VariantVerdict::Safe {
+            modulo_nt: hints_differ(baseline, variant),
+            syntactic: true,
+        },
+        Err(syn_detail) => {
+            let mut vmod = module.clone();
+            vmod.functions_mut()[func.index()] = variant.clone();
+            match equiv::check_function_in(module, &vmod, func, &EquivOptions::default()) {
+                equiv::Verdict::Proved { nt_flips } => VariantVerdict::Safe {
+                    modulo_nt: !matches!(nt_flips, Some(0)),
+                    syntactic: false,
+                },
+                equiv::Verdict::Refuted(cex) => VariantVerdict::Refuted {
+                    detail: format!("{syn_detail}; equivalence refuted: {cex}"),
+                },
+                equiv::Verdict::Unknown { reason } => VariantVerdict::Unproved {
+                    detail: format!("{syn_detail}; equivalence not proved: {reason}"),
+                },
+            }
+        }
+    }
+}
+
+/// `true` if any load's locality hint differs between the two bodies.
+/// Only meaningful after [`syntactic_delta`] accepted the pair (shapes
+/// are then identical).
+fn hints_differ(baseline: &Function, variant: &Function) -> bool {
+    baseline
+        .blocks()
+        .iter()
+        .zip(variant.blocks())
+        .any(|(bb, vb)| {
+            bb.insts
+                .iter()
+                .zip(&vb.insts)
+                .any(|(b, v)| b != v && loads_match(b, v))
+        })
+}
 
 /// Checks that `variant` is a safe replacement for `baseline`.
 ///
@@ -33,6 +174,19 @@ use pir::{dataflow, verify, FuncId, Function, Inst};
 ///
 /// Returns a human-readable description of the first violated property.
 pub fn check_variant(
+    baseline: &Function,
+    variant: &Function,
+    arities: &[u32],
+    globals: u32,
+) -> Result<(), String> {
+    well_formed(baseline, variant, arities, globals)?;
+    syntactic_delta(baseline, variant)
+}
+
+/// The gate's well-formedness tier: signature, structural verification,
+/// and no introduced possibly-undefined reads. A failure here means the
+/// variant is not even a candidate for an equivalence proof.
+fn well_formed(
     baseline: &Function,
     variant: &Function,
     arities: &[u32],
@@ -57,6 +211,12 @@ pub fn check_variant(
             ));
         }
     }
+    Ok(())
+}
+
+/// The gate's syntactic tier: unchanged call-site sequence and bodies
+/// identical modulo load locality bits.
+fn syntactic_delta(baseline: &Function, variant: &Function) -> Result<(), String> {
     if call_sites(variant) != call_sites(baseline) {
         return Err(
             "call-site sequence changed: the variant's outgoing call graph \
@@ -293,6 +453,153 @@ mod tests {
         bad.blocks_mut()[0].term = Term::Br(last);
         let err = check_variant(worker(&m), &bad, &arities, globals).unwrap_err();
         assert!(!err.is_empty());
+    }
+
+    /// A terminating module whose worker's result is observable: it
+    /// stores a constant-derived value to a global and is the entry, so
+    /// the equivalence checker can concretely confirm divergences.
+    fn observable_module() -> Module {
+        let mut m = Module::new("obs");
+        let out = m.add_global("out", 64);
+        let mut w = FunctionBuilder::new("worker", 0);
+        let base = w.global_addr(out);
+        let x = w.const_(3);
+        let y = w.mul_imm(x, 2);
+        w.store(base, 0, y);
+        w.ret(None);
+        let wid = m.add_function(w.finish());
+        m.set_entry(wid);
+        m
+    }
+
+    #[test]
+    fn vet_accepts_locality_variants_on_the_syntactic_tier() {
+        let m = module();
+        let fid = m.function_by_name("worker").unwrap();
+        let base = worker(&m);
+        assert_eq!(
+            vet_variant(&m, fid, base),
+            VariantVerdict::Safe {
+                modulo_nt: false,
+                syntactic: true
+            }
+        );
+        let sites: Vec<_> = pir::load_sites(&m)
+            .iter()
+            .map(|s| s.site)
+            .filter(|s| s.func == fid)
+            .collect();
+        let hinted = NtAssignment::all(sites).apply_to(base, fid);
+        let v = vet_variant(&m, fid, &hinted);
+        assert_eq!(
+            v,
+            VariantVerdict::Safe {
+                modulo_nt: true,
+                syntactic: true
+            }
+        );
+        assert!(v.is_safe());
+        assert!(v.detail().is_none());
+        assert!(v.to_string().contains("non-temporal"), "{v}");
+    }
+
+    #[test]
+    fn vet_proves_nop_padding_beyond_the_syntactic_tier() {
+        let m = module();
+        let fid = m.function_by_name("worker").unwrap();
+        let mut padded = worker(&m).clone();
+        padded.blocks_mut()[0].insts.push(Inst::Nop);
+        // Syntactically illegal (length changed) …
+        let (arities, globals) = parts(&m);
+        assert!(check_variant(worker(&m), &padded, &arities, globals).is_err());
+        // … but behaviorally identical, so the proof tier admits it.
+        assert_eq!(
+            vet_variant(&m, fid, &padded),
+            VariantVerdict::Safe {
+                modulo_nt: false,
+                syntactic: false
+            }
+        );
+    }
+
+    #[test]
+    fn vet_refutes_observable_corruption_with_counterexample() {
+        let m = observable_module();
+        let fid = m.function_by_name("worker").unwrap();
+        let mut bad = m.function(fid).clone();
+        let mut hit = false;
+        for block in bad.blocks_mut() {
+            for inst in &mut block.insts {
+                if let Inst::Const { value, .. } = inst {
+                    *value += 1; // store 8 instead of 6
+                    hit = true;
+                }
+            }
+        }
+        assert!(hit);
+        let v = vet_variant(&m, fid, &bad);
+        let VariantVerdict::Refuted { detail } = v else {
+            panic!("expected Refuted, got {v}");
+        };
+        assert!(detail.contains("locality"), "{detail}");
+        assert!(detail.contains("equivalence refuted"), "{detail}");
+    }
+
+    #[test]
+    fn vet_is_conservative_when_divergence_cannot_be_confirmed() {
+        // The variant multiplies a *loaded* value differently; the loads
+        // read zero-initialized memory, so symbolic divergence exists but
+        // no concrete run distinguishes the two — the gate must answer
+        // Unproved, never Safe.
+        let mut m = Module::new("u");
+        let inp = m.add_global("in", 64);
+        let out = m.add_global("out", 64);
+        let mut w = FunctionBuilder::new("worker", 0);
+        let src = w.global_addr(inp);
+        let dst = w.global_addr(out);
+        let v = w.load(src, 0, Locality::Normal);
+        let y = w.mul_imm(v, 2);
+        w.store(dst, 0, y);
+        w.ret(None);
+        let wid = m.add_function(w.finish());
+        m.set_entry(wid);
+        let mut bad = m.function(wid).clone();
+        for block in bad.blocks_mut() {
+            for inst in &mut block.insts {
+                if let Inst::BinImm {
+                    op: BinOp::Mul,
+                    imm,
+                    ..
+                } = inst
+                {
+                    *imm = 3;
+                }
+            }
+        }
+        let verdict = vet_variant(&m, wid, &bad);
+        let VariantVerdict::Unproved { detail } = verdict else {
+            panic!("expected Unproved, got {verdict}");
+        };
+        assert!(detail.contains("equivalence not proved"), "{detail}");
+    }
+
+    #[test]
+    fn vet_reports_malformed_bodies_as_unproved() {
+        let m = module();
+        let fid = m.function_by_name("worker").unwrap();
+        let mut bad = worker(&m).clone();
+        for block in bad.blocks_mut() {
+            for inst in &mut block.insts {
+                if let Inst::Load { base, .. } = inst {
+                    *base = Reg(pir::MAX_REGS + 5);
+                }
+            }
+        }
+        let v = vet_variant(&m, fid, &bad);
+        let VariantVerdict::Unproved { detail } = v else {
+            panic!("expected Unproved, got {v}");
+        };
+        assert!(detail.contains("structural verification"), "{detail}");
     }
 
     #[test]

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equiv_fuzz-a33cdbb9a434a368.d: tests/equiv_fuzz.rs
+
+/root/repo/target/debug/deps/equiv_fuzz-a33cdbb9a434a368: tests/equiv_fuzz.rs
+
+tests/equiv_fuzz.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equiv_fuzz-b17ace024a4e551a.d: tests/equiv_fuzz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequiv_fuzz-b17ace024a4e551a.rmeta: tests/equiv_fuzz.rs Cargo.toml
+
+tests/equiv_fuzz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,13 +1,15 @@
-/root/repo/target/debug/deps/pir-6addd5fe1c40e139.d: crates/pir/src/lib.rs crates/pir/src/analysis.rs crates/pir/src/builder.rs crates/pir/src/compress.rs crates/pir/src/dataflow.rs crates/pir/src/encode.rs crates/pir/src/ids.rs crates/pir/src/inst.rs crates/pir/src/interp.rs crates/pir/src/lint.rs crates/pir/src/loops.rs crates/pir/src/module.rs crates/pir/src/print.rs crates/pir/src/verify.rs Cargo.toml
+/root/repo/target/debug/deps/pir-6addd5fe1c40e139.d: crates/pir/src/lib.rs crates/pir/src/analysis.rs crates/pir/src/builder.rs crates/pir/src/compress.rs crates/pir/src/dataflow.rs crates/pir/src/effects.rs crates/pir/src/encode.rs crates/pir/src/equiv.rs crates/pir/src/ids.rs crates/pir/src/inst.rs crates/pir/src/interp.rs crates/pir/src/lint.rs crates/pir/src/loops.rs crates/pir/src/module.rs crates/pir/src/print.rs crates/pir/src/verify.rs Cargo.toml
 
-/root/repo/target/debug/deps/libpir-6addd5fe1c40e139.rmeta: crates/pir/src/lib.rs crates/pir/src/analysis.rs crates/pir/src/builder.rs crates/pir/src/compress.rs crates/pir/src/dataflow.rs crates/pir/src/encode.rs crates/pir/src/ids.rs crates/pir/src/inst.rs crates/pir/src/interp.rs crates/pir/src/lint.rs crates/pir/src/loops.rs crates/pir/src/module.rs crates/pir/src/print.rs crates/pir/src/verify.rs Cargo.toml
+/root/repo/target/debug/deps/libpir-6addd5fe1c40e139.rmeta: crates/pir/src/lib.rs crates/pir/src/analysis.rs crates/pir/src/builder.rs crates/pir/src/compress.rs crates/pir/src/dataflow.rs crates/pir/src/effects.rs crates/pir/src/encode.rs crates/pir/src/equiv.rs crates/pir/src/ids.rs crates/pir/src/inst.rs crates/pir/src/interp.rs crates/pir/src/lint.rs crates/pir/src/loops.rs crates/pir/src/module.rs crates/pir/src/print.rs crates/pir/src/verify.rs Cargo.toml
 
 crates/pir/src/lib.rs:
 crates/pir/src/analysis.rs:
 crates/pir/src/builder.rs:
 crates/pir/src/compress.rs:
 crates/pir/src/dataflow.rs:
+crates/pir/src/effects.rs:
 crates/pir/src/encode.rs:
+crates/pir/src/equiv.rs:
 crates/pir/src/ids.rs:
 crates/pir/src/inst.rs:
 crates/pir/src/interp.rs:

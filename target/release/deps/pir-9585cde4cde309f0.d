@@ -1,15 +1,17 @@
-/root/repo/target/release/deps/pir-9585cde4cde309f0.d: crates/pir/src/lib.rs crates/pir/src/analysis.rs crates/pir/src/builder.rs crates/pir/src/compress.rs crates/pir/src/dataflow.rs crates/pir/src/encode.rs crates/pir/src/ids.rs crates/pir/src/inst.rs crates/pir/src/interp.rs crates/pir/src/lint.rs crates/pir/src/loops.rs crates/pir/src/module.rs crates/pir/src/print.rs crates/pir/src/verify.rs
+/root/repo/target/release/deps/pir-9585cde4cde309f0.d: crates/pir/src/lib.rs crates/pir/src/analysis.rs crates/pir/src/builder.rs crates/pir/src/compress.rs crates/pir/src/dataflow.rs crates/pir/src/effects.rs crates/pir/src/encode.rs crates/pir/src/equiv.rs crates/pir/src/ids.rs crates/pir/src/inst.rs crates/pir/src/interp.rs crates/pir/src/lint.rs crates/pir/src/loops.rs crates/pir/src/module.rs crates/pir/src/print.rs crates/pir/src/verify.rs
 
-/root/repo/target/release/deps/libpir-9585cde4cde309f0.rlib: crates/pir/src/lib.rs crates/pir/src/analysis.rs crates/pir/src/builder.rs crates/pir/src/compress.rs crates/pir/src/dataflow.rs crates/pir/src/encode.rs crates/pir/src/ids.rs crates/pir/src/inst.rs crates/pir/src/interp.rs crates/pir/src/lint.rs crates/pir/src/loops.rs crates/pir/src/module.rs crates/pir/src/print.rs crates/pir/src/verify.rs
+/root/repo/target/release/deps/libpir-9585cde4cde309f0.rlib: crates/pir/src/lib.rs crates/pir/src/analysis.rs crates/pir/src/builder.rs crates/pir/src/compress.rs crates/pir/src/dataflow.rs crates/pir/src/effects.rs crates/pir/src/encode.rs crates/pir/src/equiv.rs crates/pir/src/ids.rs crates/pir/src/inst.rs crates/pir/src/interp.rs crates/pir/src/lint.rs crates/pir/src/loops.rs crates/pir/src/module.rs crates/pir/src/print.rs crates/pir/src/verify.rs
 
-/root/repo/target/release/deps/libpir-9585cde4cde309f0.rmeta: crates/pir/src/lib.rs crates/pir/src/analysis.rs crates/pir/src/builder.rs crates/pir/src/compress.rs crates/pir/src/dataflow.rs crates/pir/src/encode.rs crates/pir/src/ids.rs crates/pir/src/inst.rs crates/pir/src/interp.rs crates/pir/src/lint.rs crates/pir/src/loops.rs crates/pir/src/module.rs crates/pir/src/print.rs crates/pir/src/verify.rs
+/root/repo/target/release/deps/libpir-9585cde4cde309f0.rmeta: crates/pir/src/lib.rs crates/pir/src/analysis.rs crates/pir/src/builder.rs crates/pir/src/compress.rs crates/pir/src/dataflow.rs crates/pir/src/effects.rs crates/pir/src/encode.rs crates/pir/src/equiv.rs crates/pir/src/ids.rs crates/pir/src/inst.rs crates/pir/src/interp.rs crates/pir/src/lint.rs crates/pir/src/loops.rs crates/pir/src/module.rs crates/pir/src/print.rs crates/pir/src/verify.rs
 
 crates/pir/src/lib.rs:
 crates/pir/src/analysis.rs:
 crates/pir/src/builder.rs:
 crates/pir/src/compress.rs:
 crates/pir/src/dataflow.rs:
+crates/pir/src/effects.rs:
 crates/pir/src/encode.rs:
+crates/pir/src/equiv.rs:
 crates/pir/src/ids.rs:
 crates/pir/src/inst.rs:
 crates/pir/src/interp.rs:
