@@ -104,15 +104,26 @@ pub enum CompileError {
         /// Human-readable description of the breakage.
         detail: String,
     },
-    /// Translation validation could not prove a stage's output equivalent
-    /// to its input. The embedded [`pir::equiv::EquivReport`] names the
-    /// function, block pair, and first diverging event of every
-    /// non-proved function; refutations carry an interpreter-confirmed
-    /// counterexample trace.
+    /// Translation validation *refuted* a stage's output: the embedded
+    /// [`pir::equiv::EquivReport`] carries an interpreter-confirmed
+    /// counterexample trace naming the function, block pair, and first
+    /// diverging event.
     TranslationRefuted {
         /// The stage whose output failed validation.
         stage: &'static str,
         /// Per-function verdicts for the offending stage transition.
+        report: pir::equiv::EquivReport,
+    },
+    /// Translation validation could not *prove* a stage's output
+    /// equivalent, without demonstrating a concrete divergence either
+    /// (irreducible control flow, exhausted budgets, unconfirmed
+    /// mismatches). The checked paths require provability, so this still
+    /// fails the compile — but the output may well be correct, and no
+    /// counterexample exists.
+    TranslationUnproved {
+        /// The stage whose output could not be proved.
+        stage: &'static str,
+        /// Per-function verdicts, including the `Unknown` reasons.
         report: pir::equiv::EquivReport,
     },
 }
@@ -127,6 +138,13 @@ impl fmt::Display for CompileError {
             CompileError::TranslationRefuted { stage, report } => {
                 write!(f, "stage `{stage}` failed translation validation: {report}")
             }
+            CompileError::TranslationUnproved { stage, report } => {
+                write!(
+                    f,
+                    "stage `{stage}` could not be proved equivalent \
+                     (no counterexample found either): {report}"
+                )
+            }
         }
     }
 }
@@ -135,9 +153,9 @@ impl Error for CompileError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CompileError::Verify(e) => Some(e),
-            CompileError::InvariantViolation { .. } | CompileError::TranslationRefuted { .. } => {
-                None
-            }
+            CompileError::InvariantViolation { .. }
+            | CompileError::TranslationRefuted { .. }
+            | CompileError::TranslationUnproved { .. } => None,
         }
     }
 }
@@ -345,17 +363,50 @@ pub fn compile_function_variant(
     lower_function(&variant, &ctx, base)
 }
 
+/// True when the two bodies are syntactically identical except for load
+/// locality bits — exactly the shape a correct NT transform produces.
+fn identical_modulo_locality(baseline: &pir::Function, variant: &pir::Function) -> bool {
+    use pir::Inst;
+    baseline.params() == variant.params()
+        && baseline.block_count() == variant.block_count()
+        && baseline.blocks().iter().zip(variant.blocks()).all(|(b, v)| {
+            b.term == v.term
+                && b.insts.len() == v.insts.len()
+                && b.insts.iter().zip(&v.insts).all(|(bi, vi)| match (bi, vi) {
+                    (
+                        Inst::Load {
+                            dst: da,
+                            base: ba,
+                            offset: oa,
+                            ..
+                        },
+                        Inst::Load {
+                            dst: db,
+                            base: bb,
+                            offset: ob,
+                            ..
+                        },
+                    ) => da == db && ba == bb && oa == ob,
+                    _ => bi == vi,
+                })
+        })
+}
+
 /// [`compile_function_variant`] with the inter-stage invariants checked
-/// and the NT transformation translation-validated before lowering: the
-/// transformed function must be equiv-proved against the baseline modulo
-/// load-locality flips (the one degree of freedom the NT rewrite has).
+/// and the NT transformation translation-validated before lowering. The
+/// NT rewrite is shape-preserving, so a variant that is syntactically
+/// identical to the baseline modulo load-locality bits is accepted
+/// outright; anything else must be equiv-proved against the baseline
+/// (any number of NT flips is fine — that is the transformation).
 ///
 /// # Errors
 ///
 /// Returns [`CompileError::InvariantViolation`] (stage `"nt-transform"`)
 /// if the transformed function no longer verifies or reads an unassigned
-/// register, and [`CompileError::TranslationRefuted`] if equivalence
-/// modulo NT hints cannot be proved.
+/// register, [`CompileError::TranslationRefuted`] if the prover produced
+/// a concrete counterexample, and [`CompileError::TranslationUnproved`]
+/// if equivalence could be neither proved nor refuted (the checked path
+/// requires provability).
 pub fn compile_function_variant_checked(
     module: &Module,
     fid: FuncId,
@@ -379,21 +430,35 @@ pub fn compile_function_variant_checked(
     if clean {
         crate::invariants::InvariantChecker::strict().check_function(&variant, "nt-transform")?;
     }
-    // Translation validation: the NT rewrite may only flip locality bits,
-    // so the variant must be equiv-proved (any number of NT flips is
-    // fine — that is the transformation).
-    let mut vmod = module.clone();
-    vmod.functions_mut()[fid.index()] = variant.clone();
-    let verdict =
-        pir::equiv::check_function_in(module, &vmod, fid, &pir::equiv::EquivOptions::default());
-    if !verdict.is_proved() {
-        return Err(CompileError::TranslationRefuted {
-            stage: "nt-transform",
-            report: pir::equiv::EquivReport::from_results(vec![(
+    // Translation validation, cheapest tier first: a locality-only delta
+    // is legal by definition; only an unexpected shape change (a buggy
+    // NtAssignment::apply_to) invokes the prover.
+    if !identical_modulo_locality(module.function(fid), &variant) {
+        let mut vmod = module.clone();
+        vmod.functions_mut()[fid.index()] = variant.clone();
+        let verdict =
+            pir::equiv::check_function_in(module, &vmod, fid, &pir::equiv::EquivOptions::default());
+        let wrap = |verdict| {
+            pir::equiv::EquivReport::from_results(vec![(
                 module.function(fid).name().to_string(),
                 verdict,
-            )]),
-        });
+            )])
+        };
+        match verdict {
+            pir::equiv::Verdict::Proved { .. } => {}
+            v @ pir::equiv::Verdict::Refuted(_) => {
+                return Err(CompileError::TranslationRefuted {
+                    stage: "nt-transform",
+                    report: wrap(v),
+                });
+            }
+            v @ pir::equiv::Verdict::Unknown { .. } => {
+                return Err(CompileError::TranslationUnproved {
+                    stage: "nt-transform",
+                    report: wrap(v),
+                });
+            }
+        }
     }
     let ctx = LowerCtx {
         module,

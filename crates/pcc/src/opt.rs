@@ -449,15 +449,18 @@ pub fn optimize_module_checked(module: &mut Module) -> Result<OptStats, crate::C
 /// module is snapshotted before each stage, and after the stage (and its
 /// invariant check) [`pir::equiv::check_module`] must *prove* the new
 /// module observationally equivalent to the snapshot. The scalar pipeline
-/// never touches load localities, so a proof "modulo NT flips" with a
-/// nonzero flip count is treated as a refutation too.
+/// never touches loads at all — DCE deliberately keeps them for their
+/// cache effects — so the proof must report *countably zero* NT flips:
+/// `Some(0)`, with `None` (load structure changed) failing validation.
 ///
 /// # Errors
 ///
 /// Returns [`CompileError::InvariantViolation`](crate::CompileError) if a
-/// stage breaks a structural invariant, or
-/// [`CompileError::TranslationRefuted`](crate::CompileError) naming the
-/// first stage whose output could not be proved equivalent.
+/// stage breaks a structural invariant,
+/// [`CompileError::TranslationRefuted`](crate::CompileError) if a stage's
+/// output was concretely refuted, or
+/// [`CompileError::TranslationUnproved`](crate::CompileError) if it could
+/// not be proved equivalent (no counterexample either).
 pub fn optimize_module_validated(module: &mut Module) -> Result<OptStats, crate::CompileError> {
     type Stage = (&'static str, fn(&mut Function) -> OptStats);
     let checker = crate::invariants::InvariantChecker::for_module(module);
@@ -467,10 +470,15 @@ pub fn optimize_module_validated(module: &mut Module) -> Result<OptStats, crate:
                     stage: &'static str|
      -> Result<(), crate::CompileError> {
         let report = pir::equiv::check_module(snapshot, module, &equiv_opts);
-        if report.all_proved() && report.total_nt_flips().unwrap_or(0) == 0 {
+        // Strictly `Some(0)`: a scalar stage that changed load structure
+        // (flips uncountable, `None`) or flipped a locality bit has left
+        // its lane even if the result is behaviorally equivalent.
+        if report.all_proved() && report.total_nt_flips() == Some(0) {
             Ok(())
-        } else {
+        } else if report.first_refutation().is_some() {
             Err(crate::CompileError::TranslationRefuted { stage, report })
+        } else {
+            Err(crate::CompileError::TranslationUnproved { stage, report })
         }
     };
     let stages: [Stage; 3] = [

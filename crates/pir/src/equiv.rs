@@ -26,6 +26,10 @@
 //!   compared in order; load locality bits are *excluded* from events and
 //!   instead counted, yielding verdicts "proved modulo N non-temporal-hint
 //!   flips" — exactly the degree of freedom the paper's runtime exercises.
+//!   `wait` is *not* terminal: the machine resumes after wake (`pc` is
+//!   advanced before parking), so symbolic execution continues past it,
+//!   with the park modeled as a full memory clobber (other processes run,
+//!   and may write anything, while this one is parked).
 //!
 //! Verdicts are deliberately three-valued ([`Verdict`]): `Proved`,
 //! `Refuted` (only when a differential [`crate::interp`] run *concretely
@@ -391,7 +395,11 @@ impl Interner {
     fn provably_disjoint(&self, p: VnId, q: VnId) -> bool {
         let (bp, op) = self.addr_parts(p);
         let (bq, oq) = self.addr_parts(q);
-        bp == bq && op.abs_diff(oq) >= 8
+        // Addresses wrap mod 2^64, so both *circular* distances must be
+        // ≥ 8: offsets near the i64 extremes (e.g. i64::MAX vs i64::MIN)
+        // are one byte apart, not 2^64 − 1.
+        let d = op.wrapping_sub(oq) as u64;
+        bp == bq && d >= 8 && d.wrapping_neg() >= 8
     }
 
     fn render(&self, vn: VnId) -> String {
@@ -444,8 +452,6 @@ enum Flow {
         then_bb: BlockId,
         else_bb: BlockId,
     },
-    /// `wait` parks the process; nothing after it executes.
-    Park,
 }
 
 struct SideRun {
@@ -555,7 +561,6 @@ fn run_segment(
     let mut events = Vec::new();
     let mut loads = Vec::new();
     let mut ncalls: u32 = 0;
-    let mut parked = false;
     let bb = func.block(block);
     for inst in &bb.insts {
         match inst {
@@ -649,34 +654,37 @@ fn run_segment(
             }),
             Inst::Nop => {}
             Inst::Wait => {
+                // The machine parks on `wait` with pc already advanced and
+                // *resumes at the next instruction* on wake; arbitrary
+                // other code runs while parked and may write any memory.
+                // Model that as an observable event plus a full clobber —
+                // registers are per-process and survive the park, but no
+                // store forwards across it — then keep executing.
                 events.push(Event::Wait);
-                parked = true;
-                break;
+                version += 1;
+                floor = version;
+                stores.clear();
             }
         }
     }
-    let flow = if parked {
-        Flow::Park
-    } else {
-        match &bb.term {
-            Term::Br(t) => Flow::Goto(*t),
-            Term::CondBr {
-                cond,
-                then_bb,
-                else_bb,
-            } => {
-                let c = regs[cond.index()];
-                match it.const_of(c) {
-                    Some(v) => Flow::Goto(if v != 0 { *then_bb } else { *else_bb }),
-                    None => Flow::Branch {
-                        cond: c,
-                        then_bb: *then_bb,
-                        else_bb: *else_bb,
-                    },
-                }
+    let flow = match &bb.term {
+        Term::Br(t) => Flow::Goto(*t),
+        Term::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
+            let c = regs[cond.index()];
+            match it.const_of(c) {
+                Some(v) => Flow::Goto(if v != 0 { *then_bb } else { *else_bb }),
+                None => Flow::Branch {
+                    cond: c,
+                    then_bb: *then_bb,
+                    else_bb: *else_bb,
+                },
             }
-            Term::Ret(r) => Flow::Ret(r.map(|r| regs[r.index()])),
         }
+        Term::Ret(r) => Flow::Ret(r.map(|r| regs[r.index()])),
     };
     SideRun {
         regs,
@@ -910,7 +918,6 @@ fn run_bisim(
             }
 
             match (&run_b.flow, &run_v.flow) {
-                (Flow::Park, Flow::Park) => {}
                 (Flow::Ret(a), Flow::Ret(b)) => {
                     if a != b {
                         let expr = |v: &Option<VnId>| match v {
@@ -981,7 +988,6 @@ fn flow_kind(f: &Flow) -> &'static str {
         Flow::Ret(_) => "return",
         Flow::Goto(_) => "unconditional branch",
         Flow::Branch { .. } => "conditional branch",
-        Flow::Park => "wait",
     }
 }
 
@@ -1367,6 +1373,100 @@ mod tests {
         vm.functions_mut()[fid.index()] = o.finish();
         let v = check_function_in(&m, &vm, fid, &EquivOptions::default());
         assert!(v.is_proved(), "{v}");
+    }
+
+    #[test]
+    fn wait_resume_is_verified_not_terminal() {
+        // The stock server workload is `loop { wait; serve(); }`: the
+        // machine resumes after wake, so the checker must keep verifying
+        // past the park. Identical sides prove strictly, including the
+        // post-wake load (clobbered identically on both sides).
+        let mut m = Module::new("m");
+        let g = m.add_global("mailbox", 64);
+        let mut b = FunctionBuilder::new("server", 0);
+        let base = b.global_addr(g);
+        let loop_bb = b.new_block();
+        b.br(loop_bb);
+        b.switch_to(loop_bb);
+        let c = b.const_(7);
+        b.store(base, 0, c);
+        b.wait();
+        let v = b.load(base, 0, Locality::Normal);
+        b.report(0, v);
+        b.br(loop_bb);
+        let fid = m.add_function(b.finish());
+        let v = check_function_in(&m, &m, fid, &EquivOptions::default());
+        assert_eq!(v, Verdict::Proved { nt_flips: Some(0) });
+    }
+
+    #[test]
+    fn post_wait_divergence_is_never_proved() {
+        // A variant corrupted *after* the first `wait` must not be
+        // admitted (a park-is-terminal checker would never look at it).
+        let build = |imm: i64| {
+            let mut m = Module::new("m");
+            let mut b = FunctionBuilder::new("server", 0);
+            b.wait();
+            let c = b.const_(imm);
+            b.report(0, c);
+            b.ret(None);
+            let fid = m.add_function(b.finish());
+            m.set_entry(fid);
+            m
+        };
+        let baseline = build(1);
+        let variant = build(2);
+        let fid = baseline.function_by_name("server").unwrap();
+        let v = check_function_in(&baseline, &variant, fid, &EquivOptions::default());
+        assert!(!v.is_proved(), "post-wait corruption admitted: {v}");
+    }
+
+    #[test]
+    fn store_forwarding_is_blocked_across_wait() {
+        // While parked, other processes may overwrite the mailbox, so a
+        // variant returning the pre-park stored value instead of the
+        // post-wake load is not equivalent.
+        let mut m = Module::new("m");
+        let g = m.add_global("mailbox", 64);
+        let mut b = FunctionBuilder::new("server", 0);
+        let base = b.global_addr(g);
+        let c = b.const_(7);
+        b.store(base, 0, c);
+        b.wait();
+        let v = b.load(base, 0, Locality::Normal);
+        b.ret(Some(v));
+        let fid = m.add_function(b.finish());
+        m.set_entry(fid);
+        let mut o = FunctionBuilder::new("server", 0);
+        let base = o.global_addr(g);
+        let c = o.const_(7);
+        o.store(base, 0, c);
+        o.wait();
+        o.ret(Some(c));
+        let mut vm = m.clone();
+        vm.functions_mut()[fid.index()] = o.finish();
+        let v = check_function_in(&m, &vm, fid, &EquivOptions::default());
+        assert!(!v.is_proved(), "forwarded a store across a park: {v}");
+    }
+
+    #[test]
+    fn extreme_offsets_are_not_provably_disjoint() {
+        // Addresses wrap mod 2^64: offsets i64::MAX and i64::MIN are one
+        // byte apart circularly, so their 8-byte windows overlap.
+        let mut it = Interner::default();
+        let base = it.cut();
+        let cmax = it.konst(i64::MAX);
+        let near_max = it.bin(BinOp::Add, base, cmax);
+        let cmin = it.konst(i64::MIN);
+        let near_min = it.bin(BinOp::Add, base, cmin);
+        assert!(!it.provably_disjoint(near_max, near_min));
+        // Ordinary distances still resolve: 8 apart is disjoint, 4 is not.
+        let c8 = it.konst(8);
+        let at8 = it.bin(BinOp::Add, base, c8);
+        assert!(it.provably_disjoint(base, at8));
+        let c4 = it.konst(4);
+        let at4 = it.bin(BinOp::Add, base, c4);
+        assert!(!it.provably_disjoint(base, at4));
     }
 
     #[test]
