@@ -82,17 +82,21 @@ impl Add for PerfCounters {
 impl Sub for PerfCounters {
     type Output = PerfCounters;
 
+    /// Windowed delta. Saturating: a perf read can come back perturbed
+    /// (see `simos::ObsFaults`), so a snapshot is not guaranteed to be
+    /// monotonically ≥ the previous one; a monitor computing a delta must
+    /// see an empty window, not an underflow panic.
     fn sub(self, rhs: PerfCounters) -> PerfCounters {
         PerfCounters {
-            cycles: self.cycles - rhs.cycles,
-            instructions: self.instructions - rhs.instructions,
-            branches: self.branches - rhs.branches,
-            l1_misses: self.l1_misses - rhs.l1_misses,
-            l2_misses: self.l2_misses - rhs.l2_misses,
-            llc_hits: self.llc_hits - rhs.llc_hits,
-            llc_misses: self.llc_misses - rhs.llc_misses,
-            nt_prefetches: self.nt_prefetches - rhs.nt_prefetches,
-            hw_prefetches: self.hw_prefetches - rhs.hw_prefetches,
+            cycles: self.cycles.saturating_sub(rhs.cycles),
+            instructions: self.instructions.saturating_sub(rhs.instructions),
+            branches: self.branches.saturating_sub(rhs.branches),
+            l1_misses: self.l1_misses.saturating_sub(rhs.l1_misses),
+            l2_misses: self.l2_misses.saturating_sub(rhs.l2_misses),
+            llc_hits: self.llc_hits.saturating_sub(rhs.llc_hits),
+            llc_misses: self.llc_misses.saturating_sub(rhs.llc_misses),
+            nt_prefetches: self.nt_prefetches.saturating_sub(rhs.nt_prefetches),
+            hw_prefetches: self.hw_prefetches.saturating_sub(rhs.hw_prefetches),
         }
     }
 }

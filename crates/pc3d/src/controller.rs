@@ -4,7 +4,10 @@
 
 use pcc::NtAssignment;
 use pir::FuncId;
-use protean::{ExtMonitor, HostMonitor, PhaseChange, PhaseDetector, Runtime};
+use protean::{
+    ExtMonitor, FaultPlan, HealthConfig, HealthMonitor, HealthState, HostMonitor, MonitorReport,
+    PhaseChange, PhaseDetector, Runtime,
+};
 use simos::{Os, Pid};
 
 use crate::bisect::NapBisection;
@@ -152,12 +155,29 @@ pub struct Pc3d {
     last_runtime_cycles: u64,
     last_window_end: u64,
     history: Vec<WindowRecord>,
+    /// Self-healing layer: every compile/dispatch routes through it, and
+    /// its degradation ladder overrides the controller's policy
+    /// (`Degraded`/`Detached` → nap-only, no new variants).
+    health: HealthMonitor,
 }
 
 impl Pc3d {
     /// Creates the controller around an attached protean [`Runtime`],
     /// protecting co-runner `ext`. Performs an initial flux measurement.
+    /// The self-healing layer runs with default thresholds
+    /// ([`with_health`](Pc3d::with_health) to customize).
     pub fn new(os: &mut Os, rt: Runtime, ext: Pid, config: Pc3dConfig) -> Self {
+        Pc3d::with_health(os, rt, ext, config, HealthConfig::default())
+    }
+
+    /// [`new`](Pc3d::new) with explicit self-healing thresholds.
+    pub fn with_health(
+        os: &mut Os,
+        rt: Runtime,
+        ext: Pid,
+        config: Pc3dConfig,
+        health: HealthConfig,
+    ) -> Self {
         let host = rt.pid();
         let mut ctl = Pc3d {
             config,
@@ -191,6 +211,7 @@ impl Pc3d {
             last_runtime_cycles: os.runtime_consumed_total(),
             last_window_end: os.now(),
             history: Vec::new(),
+            health: HealthMonitor::new(health),
         };
         ctl.flux(os);
         ctl.next_flux = os.now_seconds() + config.flux_period_secs;
@@ -211,6 +232,35 @@ impl Pc3d {
     /// The attached runtime (variant index, compile statistics).
     pub fn runtime(&self) -> &Runtime {
         &self.rt
+    }
+
+    /// The self-healing layer (degradation state, healing counters).
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// Arms a fault-injection plan on the runtime and the OS observation
+    /// surface (chaos testing).
+    pub fn inject_faults(&mut self, os: &mut Os, plan: FaultPlan) {
+        os.set_obs_faults(Some(plan.obs_faults()));
+        self.rt.set_fault_plan(plan);
+    }
+
+    /// Forces the `Detached` rung: every function restored to its
+    /// original code and the nap released. Until the ladder recovers, no
+    /// variants are compiled; subsequent windows still run nap-only
+    /// ReQoS control so the co-runner stays protected.
+    pub fn force_detach(&mut self, os: &mut Os) {
+        self.health.force_detach(os, &mut self.rt);
+        self.applied = NtAssignment::none();
+        self.nap = 0.0;
+        os.set_nap(self.host, 0.0);
+    }
+
+    /// One combined status report: window rates, gate counters, health
+    /// counters, hot functions.
+    pub fn report(&self, os: &Os) -> MonitorReport {
+        self.host_mon.report_with_health(os, &self.rt, &self.health)
     }
 
     /// Timeline records.
@@ -292,30 +342,74 @@ impl Pc3d {
     fn flux(&mut self, os: &mut Os) {
         os.set_frozen(self.host, true);
         os.advance_seconds(self.config.flux_duration_secs * 0.6);
-        let mut probe = ExtMonitor::new(os, self.ext);
-        let mut extra_probes: Vec<ExtMonitor> = self
+        // The solo rate is measured over the whole tail, as before — but
+        // HPM counter reads can be garbled (see `simos::ObsFaults`), and
+        // because garbling perturbs *cumulative* counts, one bad read can
+        // throw a windowed rate off by orders of magnitude and poison
+        // every subsequent QoS ratio. Three sub-probes over the same tail
+        // provide a median cross-check: a primary reading far outside the
+        // median's band is discarded in favor of the median (at most one
+        // sub-window shares a garbled read with the primary).
+        let sub_secs = self.config.flux_duration_secs * 0.4 / 3.0;
+        let mut full = ExtMonitor::new(os, self.ext);
+        let mut extra_full: Vec<ExtMonitor> = self
             .extra
             .iter()
             .map(|e| ExtMonitor::new(os, e.pid))
             .collect();
-        os.advance_seconds(self.config.flux_duration_secs * 0.4);
-        let w = probe.end_window(os);
+        let mut ips = [0.0f64; 3];
+        let mut extra_ips = vec![[0.0f64; 3]; self.extra.len()];
+        for k in 0..3 {
+            let mut probe = ExtMonitor::new(os, self.ext);
+            let mut extra_probes: Vec<ExtMonitor> = self
+                .extra
+                .iter()
+                .map(|e| ExtMonitor::new(os, e.pid))
+                .collect();
+            os.advance_seconds(sub_secs);
+            ips[k] = probe.end_window(os).ips;
+            for (slot, p) in extra_ips.iter_mut().zip(extra_probes.iter_mut()) {
+                slot[k] = p.end_window(os).ips;
+            }
+        }
+        let full_ips = full.end_window(os).ips;
+        let extra_full_ips: Vec<f64> = extra_full
+            .iter_mut()
+            .map(|p| p.end_window(os).ips)
+            .collect();
         os.set_frozen(self.host, false);
-        let ewma = self.config.solo_ewma;
-        if w.ips > 0.0 {
-            self.solo_ips = if self.solo_ips == 0.0 {
-                w.ips
+        fn median3(mut v: [f64; 3]) -> f64 {
+            v.sort_by(|a, b| a.total_cmp(b));
+            v[1]
+        }
+        fn robust(primary: f64, med: f64) -> f64 {
+            if med > 0.0 && !(med * 0.5..=med * 2.0).contains(&primary) {
+                med
             } else {
-                ewma * w.ips + (1.0 - ewma) * self.solo_ips
+                primary
+            }
+        }
+        let ewma = self.config.solo_ewma;
+        let w_ips = robust(full_ips, median3(ips));
+        if w_ips > 0.0 {
+            self.solo_ips = if self.solo_ips == 0.0 {
+                w_ips
+            } else {
+                ewma * w_ips + (1.0 - ewma) * self.solo_ips
             };
         }
-        for (e, p) in self.extra.iter_mut().zip(extra_probes.iter_mut()) {
-            let we = p.end_window(os);
-            if we.ips > 0.0 {
+        for ((e, sub), full_e) in self
+            .extra
+            .iter_mut()
+            .zip(extra_ips.iter())
+            .zip(extra_full_ips.iter())
+        {
+            let we_ips = robust(*full_e, median3(*sub));
+            if we_ips > 0.0 {
                 e.solo_ips = if e.solo_ips == 0.0 {
-                    we.ips
+                    we_ips
                 } else {
-                    ewma * we.ips + (1.0 - ewma) * e.solo_ips
+                    ewma * we_ips + (1.0 - ewma) * e.solo_ips
                 };
             }
             e.mon = ExtMonitor::new(os, e.pid);
@@ -417,12 +511,23 @@ impl Pc3d {
     /// variant cache), or restored to the original code when it carries
     /// no hints.
     fn apply_variant(&mut self, os: &mut Os, nt: &NtAssignment) {
+        if !self.health.allows_variants() {
+            // Degraded/Detached: nap-only — candidates run original code.
+            for func in self.candidate_funcs.clone() {
+                let _ = self.rt.restore(os, func);
+            }
+            self.applied = NtAssignment::none();
+            return;
+        }
         for func in self.candidate_funcs.clone() {
             let sub: NtAssignment = nt.sites_in(func).into_iter().collect();
             if sub.is_empty() {
                 let _ = self.rt.restore(os, func);
             } else {
-                let _ = self.rt.transform(os, func, &sub);
+                // Route through the health layer: faults are absorbed
+                // (retry/quarantine/ladder) and the function keeps its
+                // previous — ultimately original — code on failure.
+                let _ = self.health.transform(os, &mut self.rt, func, &sub);
             }
         }
         self.applied = nt.clone();
@@ -565,10 +670,46 @@ impl Pc3d {
     /// search or trim nap as needed.
     pub fn run_window(&mut self, os: &mut Os) {
         let (ext, host) = self.advance_window(os, self.config.window_secs);
-        let qos = self.qos(&ext).min(self.extra_qos_min);
+        // The 1.25 cap bounds the damage a garbled (inflated) counter
+        // read can do to the smoothed estimate; deflated reads are
+        // transient and the smoothing absorbs them.
+        let qos = self.qos(&ext).min(self.extra_qos_min).min(1.25);
         let a = self.config.qos_alpha;
         self.qos_smooth = a * qos + (1.0 - a) * self.qos_smooth;
         self.record(os, &ext, &host, false);
+
+        // Close the self-healing window: scrub installed variants, process
+        // compile retries, walk the degradation ladder's hysteresis. Any
+        // rung below Healthy overrides the search policy below.
+        let prev_health = self.health.state();
+        self.health.end_window(os, &mut self.rt);
+        if prev_health != HealthState::Healthy && self.health.state() == HealthState::Healthy {
+            // Recovered: the faulted-era search conclusions describe a
+            // world where variants were forbidden — start over.
+            self.applied = NtAssignment::none();
+            self.searched_this_phase = false;
+            self.qos_smooth = 1.0;
+        }
+        if self.health.state() != HealthState::Healthy {
+            // Degraded/Detached: nap-only ReQoS fallback. The process's
+            // code is untouched (installed variants were restored on the
+            // downward transition) but napping is an OS-scheduler
+            // facility, not a code transformation, so the co-runner is
+            // never protected worse than plain ReQoS. Keep measuring so
+            // hysteresis recovery can fire.
+            self.applied = NtAssignment::none();
+            let effective_target = self.config.qos_target - self.config.qos_epsilon;
+            if self.qos_smooth < effective_target {
+                let err = effective_target - self.qos_smooth;
+                self.set_nap(os, self.nap + self.config.gain_up * err);
+            } else if ext.busy < 0.35 {
+                self.set_nap(os, self.nap * 0.5 - 0.01);
+            } else {
+                let err = self.qos_smooth - effective_target;
+                self.set_nap(os, self.nap - self.config.gain_down * err);
+            }
+            return;
+        }
 
         // Co-phase detection: external progress/load shifts or host
         // hot-set shifts invalidate the current variant choice. The rate
@@ -861,6 +1002,67 @@ mod tests {
             qos > 0.85,
             "min-QoS across both co-runners should be held, got {qos:.3}"
         );
+    }
+
+    #[test]
+    fn forced_detach_goes_untouched_and_recovers_through_the_ladder() {
+        let (mut os, _h, ext, rt) = setup("libquantum", "mcf");
+        let mut ctl = Pc3d::new(&mut os, rt, ext, Pc3dConfig::default());
+        ctl.run_for(&mut os, 10.0);
+        ctl.force_detach(&mut os);
+        assert_eq!(ctl.health().state(), HealthState::Detached);
+        assert_eq!(ctl.nap(), 0.0);
+        assert_eq!(ctl.hints(), 0);
+        // A window while detached leaves the code untouched (the first
+        // clean windows are not enough to recover — hysteresis), though
+        // nap-only control keeps running.
+        ctl.run_window(&mut os);
+        assert_eq!(ctl.health().state(), HealthState::Detached);
+        assert_eq!(ctl.hints(), 0);
+        // Fault-free windows climb the ladder back to Healthy.
+        ctl.run_for(&mut os, 10.0);
+        assert_eq!(ctl.health().state(), HealthState::Healthy);
+        assert!(ctl.health().stats().recoveries >= 2);
+        let report = ctl.report(&os);
+        assert!(report.health.is_some(), "report carries healing counters");
+    }
+
+    #[test]
+    fn evt_faults_degrade_the_controller_to_nap_only() {
+        use protean::FaultKind;
+        let (mut os, _h, ext, rt) = setup("libquantum", "mcf");
+        let mut ctl = Pc3d::with_health(
+            &mut os,
+            rt,
+            ext,
+            // A high target guarantees a violation window → a search →
+            // dispatch attempts that hit the injected EVT faults.
+            Pc3dConfig {
+                qos_target: 0.98,
+                ..Pc3dConfig::default()
+            },
+            HealthConfig {
+                degrade_threshold: 2,
+                detach_threshold: 1_000,
+                // Never recover within the test: the ladder must hold.
+                recovery_windows: u32::MAX,
+                ..HealthConfig::default()
+            },
+        );
+        // Every EVT write is dropped: the first search's dispatches fault
+        // until the ladder drops to Degraded (nap-only).
+        ctl.inject_faults(
+            &mut os,
+            FaultPlan::seeded(5).with_rate(FaultKind::EvtWriteFail, 1.0),
+        );
+        ctl.run_for(&mut os, 60.0);
+        assert_eq!(ctl.health().state(), HealthState::Degraded);
+        assert_eq!(ctl.hints(), 0, "no variant survives dropped EVT writes");
+        assert!(ctl.health().stats().evt_write_failures >= 2);
+        // Nap-only control still runs: the co-runner is not abandoned.
+        let w = ctl.history().len();
+        let qos = ctl.mean_qos(w / 2);
+        assert!(qos > 0.7, "degraded mode still protects QoS, got {qos:.3}");
     }
 
     #[test]

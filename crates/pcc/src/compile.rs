@@ -369,27 +369,31 @@ fn identical_modulo_locality(baseline: &pir::Function, variant: &pir::Function) 
     use pir::Inst;
     baseline.params() == variant.params()
         && baseline.block_count() == variant.block_count()
-        && baseline.blocks().iter().zip(variant.blocks()).all(|(b, v)| {
-            b.term == v.term
-                && b.insts.len() == v.insts.len()
-                && b.insts.iter().zip(&v.insts).all(|(bi, vi)| match (bi, vi) {
-                    (
-                        Inst::Load {
-                            dst: da,
-                            base: ba,
-                            offset: oa,
-                            ..
-                        },
-                        Inst::Load {
-                            dst: db,
-                            base: bb,
-                            offset: ob,
-                            ..
-                        },
-                    ) => da == db && ba == bb && oa == ob,
-                    _ => bi == vi,
-                })
-        })
+        && baseline
+            .blocks()
+            .iter()
+            .zip(variant.blocks())
+            .all(|(b, v)| {
+                b.term == v.term
+                    && b.insts.len() == v.insts.len()
+                    && b.insts.iter().zip(&v.insts).all(|(bi, vi)| match (bi, vi) {
+                        (
+                            Inst::Load {
+                                dst: da,
+                                base: ba,
+                                offset: oa,
+                                ..
+                            },
+                            Inst::Load {
+                                dst: db,
+                                base: bb,
+                                offset: ob,
+                                ..
+                            },
+                        ) => da == db && ba == bb && oa == ob,
+                        _ => bi == vi,
+                    })
+            })
 }
 
 /// [`compile_function_variant`] with the inter-stage invariants checked

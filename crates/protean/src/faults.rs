@@ -1,0 +1,332 @@
+//! Deterministic, seeded fault injection.
+//!
+//! The paper's deployment claim — protean code is safe to run under a
+//! WSC's latency SLA because the original code keeps executing on any
+//! failure — is only testable if failures can actually happen. A
+//! [`FaultPlan`] is a seeded schedule of injectable faults threaded
+//! through the runtime's compile/dispatch hooks and the simulated OS's
+//! observation surface, so every chaos run is reproducible from its seed.
+//!
+//! Injection sites:
+//!
+//! * **Compilation** ([`FaultKind::CompileFail`],
+//!   [`FaultKind::CompileStall`]): a lowering attempt errors out, or the
+//!   compile thread stalls and the variant costs a multiple of its normal
+//!   compile cycles (tripping the [`health`](crate::health) watchdog).
+//! * **Dispatch** ([`FaultKind::EvtWriteFail`]): the atomic 8-byte EVT
+//!   write is dropped mid-dispatch, leaving the old target installed.
+//! * **Code cache** ([`FaultKind::CacheCorrupt`]): a variant's
+//!   instructions are garbled in place (injected by the chaos driver via
+//!   [`simos::Os::corrupt_text`], detected by per-variant checksums).
+//! * **Observation** ([`FaultKind::PcSampleDrop`],
+//!   [`FaultKind::PcSampleGarble`], [`FaultKind::CounterGarble`]):
+//!   PC samples and HPM counter reads come back missing or perturbed.
+//!   These are exported to the OS as a [`simos::ObsFaults`] config (the
+//!   OS cannot depend on this crate) via [`FaultPlan::obs_faults`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simos::ObsFaults;
+
+/// One category of injectable fault.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A variant compilation fails outright (lowering error).
+    CompileFail,
+    /// The compile thread stalls: the compilation succeeds but takes
+    /// [`FaultPlan::stall_factor`] times its normal cycle cost.
+    CompileStall,
+    /// The EVT write is dropped mid-dispatch; the old target stays.
+    EvtWriteFail,
+    /// A code-cache instruction is corrupted in place.
+    CacheCorrupt,
+    /// A PC sample is dropped (comes back as `u32::MAX`).
+    PcSampleDrop,
+    /// A PC sample is garbled to a random in-text address.
+    PcSampleGarble,
+    /// An HPM counter read is perturbed by up to ±25%.
+    CounterGarble,
+}
+
+impl FaultKind {
+    /// All injectable fault kinds.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::CompileFail,
+        FaultKind::CompileStall,
+        FaultKind::EvtWriteFail,
+        FaultKind::CacheCorrupt,
+        FaultKind::PcSampleDrop,
+        FaultKind::PcSampleGarble,
+        FaultKind::CounterGarble,
+    ];
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultKind::CompileFail => "compile-fail",
+            FaultKind::CompileStall => "compile-stall",
+            FaultKind::EvtWriteFail => "evt-write-fail",
+            FaultKind::CacheCorrupt => "cache-corrupt",
+            FaultKind::PcSampleDrop => "pc-sample-drop",
+            FaultKind::PcSampleGarble => "pc-sample-garble",
+            FaultKind::CounterGarble => "counter-garble",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One injected fault, recorded for post-mortem inspection.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Ordinal of this event in the plan's history (0-based).
+    pub ordinal: u64,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// A seeded schedule of faults.
+///
+/// Each injection site calls [`draw`](FaultPlan::draw) with its
+/// [`FaultKind`]; the plan rolls its deterministic generator against the
+/// configured per-kind rate and records what fired. Two plans built from
+/// the same seed and rates, driven by the same sequence of draws, inject
+/// the identical fault schedule — chaos tests replay exactly.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rng: StdRng,
+    rates: HashMap<FaultKind, f64>,
+    /// Multiplier applied to compile cost when a stall fires.
+    stall_factor: u64,
+    counts: HashMap<FaultKind, u64>,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with every rate zero — injects nothing until rates are set.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rng: StdRng::seed_from_u64(seed ^ 0xfa17_fa17_fa17_fa17),
+            rates: HashMap::new(),
+            stall_factor: 8,
+            counts: HashMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// A hostile preset exercising every injection site at once: 20%
+    /// compile failures and stalls, 20% EVT-write drops, 10% cache
+    /// corruption, plus dropped/garbled observations.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan::seeded(seed)
+            .with_rate(FaultKind::CompileFail, 0.2)
+            .with_rate(FaultKind::CompileStall, 0.2)
+            .with_rate(FaultKind::EvtWriteFail, 0.2)
+            .with_rate(FaultKind::CacheCorrupt, 0.1)
+            .with_rate(FaultKind::PcSampleDrop, 0.1)
+            .with_rate(FaultKind::PcSampleGarble, 0.05)
+            .with_rate(FaultKind::CounterGarble, 0.1)
+    }
+
+    /// Builder: sets the injection probability for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_rate(mut self, kind: FaultKind, rate: f64) -> Self {
+        self.set_rate(kind, rate);
+        self
+    }
+
+    /// Sets the injection probability for `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn set_rate(&mut self, kind: FaultKind, rate: f64) {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0,1]");
+        self.rates.insert(kind, rate);
+    }
+
+    /// Builder: sets the compile-stall cost multiplier.
+    pub fn with_stall_factor(mut self, factor: u64) -> Self {
+        self.stall_factor = factor.max(1);
+        self
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured injection probability for `kind` (0 if unset).
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        self.rates.get(&kind).copied().unwrap_or(0.0)
+    }
+
+    /// Cost multiplier applied when a [`FaultKind::CompileStall`] fires.
+    pub fn stall_factor(&self) -> u64 {
+        self.stall_factor
+    }
+
+    /// Rolls the plan at an injection site: returns true (and records the
+    /// event) if a fault of `kind` fires here.
+    pub fn draw(&mut self, kind: FaultKind) -> bool {
+        let rate = self.rate(kind);
+        if rate == 0.0 || !self.rng.gen_bool(rate) {
+            return false;
+        }
+        let ordinal = self.events.len() as u64;
+        *self.counts.entry(kind).or_insert(0) += 1;
+        self.events.push(FaultEvent { ordinal, kind });
+        true
+    }
+
+    /// A deterministic garble word, for sites that need random *content*
+    /// (which byte to flip, which address to write) and not just a yes/no.
+    pub fn garble_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// The observation-fault configuration this plan implies, for
+    /// [`simos::Os::set_obs_faults`]. The OS hashes `(seed, time, pid)`
+    /// statelessly, so these faults replay per seed too.
+    pub fn obs_faults(&self) -> ObsFaults {
+        ObsFaults {
+            seed: self.seed,
+            pc_drop: self.rate(FaultKind::PcSampleDrop),
+            pc_garble: self.rate(FaultKind::PcSampleGarble),
+            counter_garble: self.rate(FaultKind::CounterGarble),
+        }
+    }
+
+    /// How many faults of `kind` have fired.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total faults injected so far.
+    pub fn total_injected(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Every fault injected so far, in order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault plan (seed {}): {} injected",
+            self.seed,
+            self.events.len()
+        )?;
+        for kind in FaultKind::ALL {
+            let n = self.count(kind);
+            if n > 0 {
+                write!(f, ", {n} {kind}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_plan_never_fires() {
+        let mut plan = FaultPlan::seeded(1);
+        for _ in 0..1_000 {
+            for kind in FaultKind::ALL {
+                assert!(!plan.draw(kind));
+            }
+        }
+        assert_eq!(plan.total_injected(), 0);
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_schedule() {
+        let mut a = FaultPlan::chaos(42);
+        let mut b = FaultPlan::chaos(42);
+        let fires_a: Vec<bool> = (0..500)
+            .map(|i| a.draw(FaultKind::ALL[i % FaultKind::ALL.len()]))
+            .collect();
+        let fires_b: Vec<bool> = (0..500)
+            .map(|i| b.draw(FaultKind::ALL[i % FaultKind::ALL.len()]))
+            .collect();
+        assert_eq!(fires_a, fires_b);
+        assert_eq!(a.events(), b.events());
+        assert!(a.total_injected() > 0, "chaos preset should fire");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultPlan::chaos(1);
+        let mut b = FaultPlan::chaos(2);
+        let fires_a: Vec<bool> = (0..500).map(|_| a.draw(FaultKind::CompileFail)).collect();
+        let fires_b: Vec<bool> = (0..500).map(|_| b.draw(FaultKind::CompileFail)).collect();
+        assert_ne!(fires_a, fires_b);
+    }
+
+    #[test]
+    fn rates_are_respected_roughly() {
+        let mut plan = FaultPlan::seeded(7).with_rate(FaultKind::EvtWriteFail, 0.5);
+        let fired = (0..10_000)
+            .filter(|_| plan.draw(FaultKind::EvtWriteFail))
+            .count();
+        assert!((4_000..6_000).contains(&fired), "p=0.5 fired {fired}");
+        assert_eq!(plan.count(FaultKind::EvtWriteFail), fired as u64);
+        assert_eq!(plan.count(FaultKind::CompileFail), 0);
+    }
+
+    #[test]
+    fn events_record_kind_and_order() {
+        let mut plan = FaultPlan::seeded(3).with_rate(FaultKind::CacheCorrupt, 1.0);
+        assert!(plan.draw(FaultKind::CacheCorrupt));
+        assert!(plan.draw(FaultKind::CacheCorrupt));
+        let ev = plan.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].ordinal, 0);
+        assert_eq!(ev[1].ordinal, 1);
+        assert!(ev.iter().all(|e| e.kind == FaultKind::CacheCorrupt));
+    }
+
+    #[test]
+    fn obs_faults_mirror_observation_rates() {
+        let plan = FaultPlan::seeded(9)
+            .with_rate(FaultKind::PcSampleDrop, 0.25)
+            .with_rate(FaultKind::CounterGarble, 0.125);
+        let obs = plan.obs_faults();
+        assert_eq!(obs.seed, 9);
+        assert_eq!(obs.pc_drop, 0.25);
+        assert_eq!(obs.pc_garble, 0.0);
+        assert_eq!(obs.counter_garble, 0.125);
+    }
+
+    #[test]
+    fn display_summarizes_counts() {
+        let mut plan = FaultPlan::seeded(5).with_rate(FaultKind::CompileFail, 1.0);
+        plan.draw(FaultKind::CompileFail);
+        let text = plan.to_string();
+        assert!(text.contains("seed 5"), "{text}");
+        assert!(text.contains("1 compile-fail"), "{text}");
+    }
+
+    #[test]
+    fn invalid_rate_panics() {
+        let result = std::panic::catch_unwind(|| {
+            FaultPlan::seeded(0).with_rate(FaultKind::CompileFail, 1.5)
+        });
+        assert!(result.is_err());
+    }
+}

@@ -38,10 +38,19 @@
 //! * **Decision engines**: [`stress::StressEngine`] reproduces the
 //!   recompilation stress tests (Figures 5-6); PC3D (its own crate) is the
 //!   full contention-mitigation engine.
+//! * **Fault injection & self-healing** ([`faults`], [`health`]): a
+//!   seeded [`FaultPlan`] injects compile failures/stalls, EVT-write
+//!   drops, code-cache corruption, and garbled observations; the
+//!   [`HealthMonitor`] answers with quarantine, backoff retries, a
+//!   compile watchdog, checksum scrubbing, and the
+//!   `Healthy → Degraded → Detached` degradation ladder — on any failure
+//!   the original code keeps executing.
 //! * **[`systems`]**: the qualitative comparison matrix of Table I.
 
 pub mod cost;
 pub mod engine;
+pub mod faults;
+pub mod health;
 pub mod monitor;
 pub mod phase;
 pub mod runtime;
@@ -51,8 +60,10 @@ pub mod systems;
 
 pub use cost::CompileCostModel;
 pub use engine::{drive, DecisionEngine};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use health::{HealthConfig, HealthMonitor, HealthState, HealthStats};
 pub use monitor::{ExtMonitor, HostMonitor, MonitorReport, WindowStats};
 pub use phase::{PhaseChange, PhaseDetector};
 pub use runtime::{AttachError, DispatchError, GateStats, Runtime, RuntimeConfig, VariantRecord};
-pub use safety::{check_variant, vet_variant, VariantVerdict};
+pub use safety::{check_variant, code_checksum, vet_variant, VariantVerdict};
 pub use stress::StressEngine;

@@ -14,6 +14,8 @@ use machine::PerfCounters;
 use pir::FuncId;
 use simos::{Os, Pid};
 
+use crate::health::HealthMonitor;
+use crate::health::HealthStats;
 use crate::runtime::{GateStats, Runtime};
 
 /// One monitoring window's derived statistics.
@@ -167,7 +169,22 @@ impl HostMonitor {
         MonitorReport {
             window: self.peek(os),
             gate: rt.gate_stats(),
+            health: None,
             hot: self.hot_funcs(),
+        }
+    }
+
+    /// Like [`report`](HostMonitor::report), additionally surfacing the
+    /// self-healing layer's counters next to the gate's.
+    pub fn report_with_health(
+        &self,
+        os: &Os,
+        rt: &Runtime,
+        health: &HealthMonitor,
+    ) -> MonitorReport {
+        MonitorReport {
+            health: Some(health.stats()),
+            ..self.report(os, rt)
         }
     }
 
@@ -186,6 +203,10 @@ pub struct MonitorReport {
     pub window: WindowStats,
     /// The dispatch safety gate's cumulative counters.
     pub gate: GateStats,
+    /// The self-healing layer's cumulative counters, when the reporting
+    /// controller runs one
+    /// ([`report_with_health`](HostMonitor::report_with_health)).
+    pub health: Option<HealthStats>,
     /// Hottest functions with their share of sample weight.
     pub hot: Vec<(FuncId, f64)>,
 }
@@ -202,6 +223,9 @@ impl fmt::Display for MonitorReport {
             self.window.busy * 100.0
         )?;
         writeln!(f, "{}", self.gate)?;
+        if let Some(health) = &self.health {
+            writeln!(f, "{health}")?;
+        }
         if self.hot.is_empty() {
             write!(f, "hot: (no samples)")
         } else {
@@ -436,6 +460,34 @@ mod tests {
         assert!(text.contains("1 rejected"), "{text}");
         assert!(text.contains("hot:"), "{text}");
         assert!(text.contains("window:"), "{text}");
+    }
+
+    #[test]
+    fn report_with_health_surfaces_healing_counters() {
+        use crate::health::{HealthConfig, HealthMonitor};
+        let out = Compiler::new(Options::protean()).compile(&host()).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+        let mon = HostMonitor::new(&os, pid, 1.0);
+        let mut health = HealthMonitor::new(HealthConfig::default());
+        // A plain report carries no health section.
+        assert!(mon.report(&os, &rt).health.is_none());
+        // Inject an EVT-write fault so the health layer has something to
+        // count.
+        let hot_id = rt.module().function_by_name("hot").unwrap();
+        let idx = rt
+            .compile_variant(&mut os, hot_id, &pcc::NtAssignment::none())
+            .unwrap();
+        rt.set_fault_plan(
+            crate::FaultPlan::seeded(1).with_rate(crate::FaultKind::EvtWriteFail, 1.0),
+        );
+        assert!(!health.dispatch(&mut os, &mut rt, idx));
+        let report = mon.report_with_health(&os, &rt, &health);
+        assert_eq!(report.health.unwrap().evt_write_failures, 1);
+        let text = report.to_string();
+        assert!(text.contains("health:"), "{text}");
+        assert!(text.contains("1 EVT drop(s)"), "{text}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Attach, discovery, the EVT manager, and variant dispatch.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
@@ -12,6 +12,7 @@ use simos::{Os, Pid};
 use visa::MetaDesc;
 
 use crate::cost::CompileCostModel;
+use crate::faults::{FaultKind, FaultPlan};
 use crate::safety::VariantVerdict;
 
 /// Aggregate counters of the dispatch safety gate.
@@ -114,6 +115,37 @@ pub enum DispatchError {
         /// Which safety property the variant violated.
         detail: String,
     },
+    /// The variant is quarantined: it faulted repeatedly and the health
+    /// layer banned it from ever being dispatched again.
+    Quarantined {
+        /// The function the banned variant targets.
+        func: FuncId,
+        /// Index of the banned variant.
+        variant: usize,
+    },
+    /// The variant's code-cache bytes no longer match the checksum
+    /// recorded at compile time — the cache was corrupted after lowering.
+    /// The EVT is left untouched; the caller should restore + recompile.
+    CorruptCodeCache {
+        /// The function whose cached code is corrupt.
+        func: FuncId,
+        /// Index of the corrupt variant.
+        variant: usize,
+    },
+    /// Variant compilation failed (an injected
+    /// [`FaultKind::CompileFail`](crate::FaultKind::CompileFail)). The
+    /// cycles were burned but no code reached the cache.
+    CompileFailed {
+        /// The function whose compilation failed.
+        func: FuncId,
+    },
+    /// The atomic EVT write was dropped mid-dispatch (an injected
+    /// [`FaultKind::EvtWriteFail`](crate::FaultKind::EvtWriteFail)); the
+    /// previously installed target is still in effect.
+    EvtWriteFailed {
+        /// The function whose redirection was dropped.
+        func: FuncId,
+    },
 }
 
 impl fmt::Display for DispatchError {
@@ -127,6 +159,24 @@ impl fmt::Display for DispatchError {
             }
             DispatchError::UnsafeVariant { func, detail } => {
                 write!(f, "refusing to dispatch unsafe variant of {func}: {detail}")
+            }
+            DispatchError::Quarantined { func, variant } => {
+                write!(
+                    f,
+                    "variant {variant} of {func} is quarantined after repeated faults"
+                )
+            }
+            DispatchError::CorruptCodeCache { func, variant } => {
+                write!(
+                    f,
+                    "code-cache checksum mismatch for variant {variant} of {func}"
+                )
+            }
+            DispatchError::CompileFailed { func } => {
+                write!(f, "compilation of a variant of {func} failed")
+            }
+            DispatchError::EvtWriteFailed { func } => {
+                write!(f, "EVT write for {func} was dropped mid-dispatch")
             }
         }
     }
@@ -149,6 +199,11 @@ pub struct VariantRecord {
     pub addr: u32,
     /// Length in instructions.
     pub len: u32,
+    /// Checksum of the lowered instructions at compile time
+    /// ([`safety::code_checksum`](crate::safety::code_checksum)), verified
+    /// against process text before every dispatch. 0 for bodies that were
+    /// never lowered (`len == 0`).
+    pub checksum: u64,
 }
 
 /// The protean code runtime, attached to one host process.
@@ -172,6 +227,11 @@ pub struct Runtime {
     compilations: u64,
     /// Safety-gate counters.
     gate: GateStats,
+    /// Variants banned by the health layer after repeated faults; a
+    /// quarantined variant is refused at dispatch unconditionally.
+    quarantined: HashSet<usize>,
+    /// Active fault-injection plan, if any (chaos testing).
+    faults: Option<FaultPlan>,
 }
 
 impl Runtime {
@@ -200,7 +260,69 @@ impl Runtime {
             compile_cycles: 0,
             compilations: 0,
             gate: GateStats::default(),
+            quarantined: HashSet::new(),
+            faults: None,
         })
+    }
+
+    /// Arms a fault-injection plan: subsequent compiles and dispatches
+    /// roll against its rates. Replaces any existing plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Mutable access to the armed fault plan (for content draws).
+    pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.faults.as_mut()
+    }
+
+    /// Disarms and returns the fault plan.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
+    }
+
+    /// Bans `variant` from ever being dispatched again. Does *not* touch
+    /// the EVT — callers that may have it installed should also
+    /// [`restore`](Runtime::restore) the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variant` is out of range.
+    pub fn quarantine_variant(&mut self, variant: usize) {
+        assert!(variant < self.variants.len(), "no such variant {variant}");
+        self.quarantined.insert(variant);
+    }
+
+    /// Whether `variant` is quarantined.
+    pub fn is_quarantined(&self, variant: usize) -> bool {
+        self.quarantined.contains(&variant)
+    }
+
+    /// Indices of all quarantined variants, ascending.
+    pub fn quarantined_variants(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.quarantined.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Verifies a variant's code-cache bytes against the checksum recorded
+    /// at compile time. Vacuously true for never-lowered bodies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variant` is out of range.
+    pub fn verify_code(&self, os: &Os, variant: usize) -> bool {
+        let rec = &self.variants[variant];
+        if rec.len == 0 {
+            return true;
+        }
+        let ops = os.read_text(self.pid, rec.addr, rec.len);
+        crate::safety::code_checksum(ops) == rec.checksum
     }
 
     /// The host process.
@@ -321,8 +443,7 @@ impl Runtime {
             return Err(DispatchError::NotVirtualized(func));
         }
         let ir = nt.apply_to(self.meta.module.function(func), func);
-        let idx = self.lower_and_record(os, func, nt.clone(), ir);
-        Ok(idx)
+        self.lower_and_record(os, func, nt.clone(), ir)
     }
 
     /// Installs a caller-provided variant body for `func` — the path an
@@ -351,7 +472,7 @@ impl Runtime {
         self.gate.verdict_cache_misses += 1;
         let verdict = self.vet(func, &ir);
         let idx = if verdict.is_safe() {
-            self.lower_and_record(os, func, NtAssignment::none(), ir)
+            self.lower_and_record(os, func, NtAssignment::none(), ir)?
         } else {
             self.variants.push(VariantRecord {
                 func,
@@ -359,6 +480,7 @@ impl Runtime {
                 ir,
                 addr: 0,
                 len: 0,
+                checksum: 0,
             });
             self.variants.len() - 1
         };
@@ -368,13 +490,22 @@ impl Runtime {
 
     /// Lowers `ir` into the code cache, charges the cost, and records the
     /// variant. The caller has already confirmed the EVT slot exists.
+    ///
+    /// This is where compilation faults inject: an armed [`FaultPlan`]
+    /// may stall the compile (the cycles are charged at a multiple — the
+    /// watchdog's signal) or fail it outright (cycles burned, no code
+    /// cached).
+    ///
+    /// # Errors
+    ///
+    /// [`DispatchError::CompileFailed`] on an injected compile failure.
     fn lower_and_record(
         &mut self,
         os: &mut Os,
         func: FuncId,
         nt: NtAssignment,
         ir: Function,
-    ) -> usize {
+    ) -> Result<usize, DispatchError> {
         let base = os.text_len(self.pid);
         let ctx = LowerCtx {
             module: &self.meta.module,
@@ -382,9 +513,19 @@ impl Runtime {
             virtualize: true,
         };
         let ops = lower_function(&ir, &ctx, base);
-        let cost = self.config.cost.cost(ops.len());
+        let mut cost = self.config.cost.cost(ops.len());
+        let mut failed = false;
+        if let Some(plan) = &mut self.faults {
+            if plan.draw(FaultKind::CompileStall) {
+                cost = cost.saturating_mul(plan.stall_factor());
+            }
+            failed = plan.draw(FaultKind::CompileFail);
+        }
         os.charge_runtime(self.config.core, cost);
         self.compile_cycles += cost;
+        if failed {
+            return Err(DispatchError::CompileFailed { func });
+        }
         self.compilations += 1;
         let addr = os.append_text(self.pid, &ops);
         debug_assert_eq!(addr, base);
@@ -394,8 +535,9 @@ impl Runtime {
             ir,
             addr,
             len: ops.len() as u32,
+            checksum: crate::safety::code_checksum(&ops),
         });
-        self.variants.len() - 1
+        Ok(self.variants.len() - 1)
     }
 
     /// Runs the static safety gate on a candidate body for `func`.
@@ -426,18 +568,34 @@ impl Runtime {
     /// memoized, so re-dispatching stays a single EVT write (the paper's
     /// near-free property).
     ///
+    /// Guard order: quarantine → safety verdict → code-cache checksum →
+    /// (injected) EVT-write fault → the write itself. On *any* refusal
+    /// the EVT is left untouched, so the previously installed target —
+    /// ultimately the original code — keeps running: the paper's detach
+    /// guarantee, enforced per dispatch.
+    ///
     /// # Errors
     ///
-    /// [`DispatchError::UnsafeVariant`] if the variant could not be
-    /// proved equivalent. The EVT is left untouched and the rejection is
-    /// counted in [`rejected_dispatches`](Runtime::rejected_dispatches)
-    /// plus either [`unproved_dispatches`](Runtime::unproved_dispatches)
-    /// or [`refuted_dispatches`](Runtime::refuted_dispatches).
+    /// [`DispatchError::Quarantined`] if the health layer banned the
+    /// variant; [`DispatchError::UnsafeVariant`] if the variant could not
+    /// be proved equivalent (counted in
+    /// [`rejected_dispatches`](Runtime::rejected_dispatches) plus either
+    /// [`unproved_dispatches`](Runtime::unproved_dispatches) or
+    /// [`refuted_dispatches`](Runtime::refuted_dispatches));
+    /// [`DispatchError::CorruptCodeCache`] if the cached instructions fail
+    /// checksum verification; [`DispatchError::EvtWriteFailed`] if an
+    /// armed fault plan drops the EVT write.
     ///
     /// # Panics
     ///
     /// Panics if `variant` is out of range.
     pub fn dispatch(&mut self, os: &mut Os, variant: usize) -> Result<(), DispatchError> {
+        if self.quarantined.contains(&variant) {
+            return Err(DispatchError::Quarantined {
+                func: self.variants[variant].func,
+                variant,
+            });
+        }
         match self.verdict(variant) {
             VariantVerdict::Safe { .. } => {}
             VariantVerdict::Unproved { detail } => {
@@ -457,13 +615,25 @@ impl Runtime {
                 });
             }
         }
+        if !self.verify_code(os, variant) {
+            return Err(DispatchError::CorruptCodeCache {
+                func: self.variants[variant].func,
+                variant,
+            });
+        }
         let rec = &self.variants[variant];
+        let (func, addr) = (rec.func, rec.addr);
+        if let Some(plan) = &mut self.faults {
+            if plan.draw(FaultKind::EvtWriteFail) {
+                return Err(DispatchError::EvtWriteFailed { func });
+            }
+        }
         let cell = self
             .meta
             .link
-            .evt_cell(rec.func)
+            .evt_cell(func)
             .expect("compiled variants always have EVT slots");
-        os.write_u64(self.pid, cell, u64::from(rec.addr));
+        os.write_u64(self.pid, cell, u64::from(addr));
         Ok(())
     }
 
@@ -846,6 +1016,106 @@ mod tests {
         assert_eq!(rt.rejected_dispatches(), 0);
         let image_len = os.proc(pid).image_text_len();
         assert!(rt.current_target(&os, worker).unwrap() >= image_len);
+    }
+
+    #[test]
+    fn quarantined_variant_is_never_dispatched() {
+        let (mut os, _, mut rt) = setup(8);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        let idx = rt
+            .transform(&mut os, worker, &NtAssignment::none())
+            .unwrap();
+        rt.quarantine_variant(idx);
+        rt.restore(&mut os, worker).unwrap();
+        let original = rt.link().func_addrs[worker.index()];
+        let err = rt.dispatch(&mut os, idx).unwrap_err();
+        assert!(matches!(err, DispatchError::Quarantined { variant, .. } if variant == idx));
+        assert_eq!(rt.current_target(&os, worker), Some(original));
+        assert!(rt.is_quarantined(idx));
+        assert_eq!(rt.quarantined_variants(), vec![idx]);
+    }
+
+    #[test]
+    fn corrupted_code_cache_is_refused_by_checksum() {
+        let (mut os, pid, mut rt) = setup(8);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        let idx = rt
+            .transform(&mut os, worker, &NtAssignment::none())
+            .unwrap();
+        rt.restore(&mut os, worker).unwrap();
+        let before = rt.current_target(&os, worker);
+        assert!(rt.verify_code(&os, idx));
+        let addr = rt.variants()[idx].addr;
+        assert!(os.corrupt_text(pid, addr, 0xbad_c0de));
+        assert!(!rt.verify_code(&os, idx));
+        let err = rt.dispatch(&mut os, idx).unwrap_err();
+        assert!(matches!(err, DispatchError::CorruptCodeCache { variant, .. } if variant == idx));
+        assert_eq!(rt.current_target(&os, worker), before);
+    }
+
+    #[test]
+    fn injected_compile_failure_burns_cycles_but_caches_nothing() {
+        let (mut os, _, mut rt) = setup(8);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        rt.set_fault_plan(
+            crate::FaultPlan::seeded(11).with_rate(crate::FaultKind::CompileFail, 1.0),
+        );
+        let err = rt
+            .compile_variant(&mut os, worker, &NtAssignment::none())
+            .unwrap_err();
+        assert!(matches!(err, DispatchError::CompileFailed { func } if func == worker));
+        assert!(rt.compile_cycles() > 0, "a failed compile still costs");
+        assert_eq!(rt.compilations(), 0);
+        assert!(rt.variants().is_empty());
+        // Disarming the plan lets the same request through (no stale
+        // cache entry from the failed attempt).
+        rt.clear_fault_plan();
+        rt.compile_variant(&mut os, worker, &NtAssignment::none())
+            .unwrap();
+        assert_eq!(rt.compilations(), 1);
+    }
+
+    #[test]
+    fn injected_evt_write_failure_leaves_old_target() {
+        let (mut os, _, mut rt) = setup(8);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        let idx = rt
+            .compile_variant(&mut os, worker, &NtAssignment::none())
+            .unwrap();
+        let before = rt.current_target(&os, worker);
+        rt.set_fault_plan(
+            crate::FaultPlan::seeded(2).with_rate(crate::FaultKind::EvtWriteFail, 1.0),
+        );
+        let err = rt.dispatch(&mut os, idx).unwrap_err();
+        assert!(matches!(err, DispatchError::EvtWriteFailed { func } if func == worker));
+        assert_eq!(rt.current_target(&os, worker), before);
+        assert_eq!(
+            rt.fault_plan()
+                .unwrap()
+                .count(crate::FaultKind::EvtWriteFail),
+            1
+        );
+        rt.clear_fault_plan();
+        rt.dispatch(&mut os, idx).unwrap();
+    }
+
+    #[test]
+    fn injected_compile_stall_multiplies_cost() {
+        let (mut os_a, _, mut clean) = setup(8);
+        let (mut os_b, _, mut stalled) = setup(8);
+        let worker = clean.module().function_by_name("worker").unwrap();
+        clean
+            .compile_variant(&mut os_a, worker, &NtAssignment::none())
+            .unwrap();
+        stalled.set_fault_plan(
+            crate::FaultPlan::seeded(5)
+                .with_rate(crate::FaultKind::CompileStall, 1.0)
+                .with_stall_factor(8),
+        );
+        stalled
+            .compile_variant(&mut os_b, worker, &NtAssignment::none())
+            .unwrap();
+        assert_eq!(stalled.compile_cycles(), clean.compile_cycles() * 8);
     }
 
     #[test]

@@ -263,6 +263,18 @@ fn loads_match(a: &Inst, b: &Inst) -> bool {
     }
 }
 
+/// Checksum of a lowered code span, as recorded per variant at compile
+/// time and re-verified against process text before every dispatch
+/// ([`Runtime::dispatch`](crate::Runtime::dispatch)). A mismatch means
+/// the code cache was corrupted after lowering; the dispatch is refused
+/// and the self-healing layer restores + recompiles.
+pub fn code_checksum(ops: &[visa::Op]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    ops.hash(&mut h);
+    h.finish()
+}
+
 fn same_modulo_locality(baseline: &Function, variant: &Function) -> Result<(), String> {
     if variant.block_count() != baseline.block_count() {
         return Err(format!(
@@ -297,6 +309,27 @@ fn same_modulo_locality(baseline: &Function, variant: &Function) -> Result<(), S
 mod tests {
     use super::*;
     use pcc::NtAssignment;
+
+    #[test]
+    fn code_checksum_detects_single_op_changes() {
+        use visa::{Op, PReg};
+        let ops = vec![
+            Op::Movi {
+                dst: PReg(0),
+                imm: 1,
+            },
+            Op::Halt,
+        ];
+        let base = code_checksum(&ops);
+        assert_eq!(base, code_checksum(&ops.clone()), "deterministic");
+        let mut tampered = ops.clone();
+        tampered[0] = Op::Movi {
+            dst: PReg(0),
+            imm: 2,
+        };
+        assert_ne!(base, code_checksum(&tampered));
+        assert_ne!(base, code_checksum(&ops[..1]));
+    }
     use pir::{BinOp, FunctionBuilder, Locality, Module, Reg, Term};
 
     /// A two-function module: a multi-block worker streaming over `buf`

@@ -7,6 +7,13 @@
 //! interval and dispatches the fresh variant, exercising the entire
 //! compile → code-cache → EVT path and charging its cycles to the
 //! runtime's core.
+//!
+//! With [`StressEngine::with_faults`] the same engine doubles as a chaos
+//! test: a seeded [`FaultPlan`] is armed on the runtime (and the OS's
+//! observation surface), each firing may corrupt a code-cache variant
+//! in place, and every compile/dispatch routes through a
+//! [`HealthMonitor`] that quarantines, retries, and walks the
+//! degradation ladder.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -15,6 +22,8 @@ use pcc::NtAssignment;
 use pir::FuncId;
 use simos::Os;
 
+use crate::faults::{FaultKind, FaultPlan};
+use crate::health::{HealthConfig, HealthMonitor};
 use crate::runtime::Runtime;
 
 /// Periodic random-recompilation engine.
@@ -27,6 +36,8 @@ pub struct StressEngine {
     /// cache, as the stress test intends every trigger to do real work).
     round: u64,
     recompiles: u64,
+    /// Chaos mode: the self-healing layer every firing routes through.
+    health: Option<HealthMonitor>,
 }
 
 impl StressEngine {
@@ -40,12 +51,39 @@ impl StressEngine {
             targets: rt.virtualized_funcs(),
             round: 0,
             recompiles: 0,
+            health: None,
+        }
+    }
+
+    /// Creates a chaos-mode engine: arms `plan` on the runtime and the
+    /// OS's observation surface, and wraps every firing in a
+    /// [`HealthMonitor`] built from `health`. Each firing closes one
+    /// health monitoring window, so recovery hysteresis runs at the
+    /// stress interval.
+    pub fn with_faults(
+        os: &mut Os,
+        rt: &mut Runtime,
+        interval_cycles: u64,
+        seed: u64,
+        plan: FaultPlan,
+        health: HealthConfig,
+    ) -> Self {
+        os.set_obs_faults(Some(plan.obs_faults()));
+        rt.set_fault_plan(plan);
+        StressEngine {
+            health: Some(HealthMonitor::new(health)),
+            ..StressEngine::new(rt, interval_cycles, seed)
         }
     }
 
     /// Number of recompilations performed so far.
     pub fn recompiles(&self) -> u64 {
         self.recompiles
+    }
+
+    /// The chaos-mode health monitor, if this engine runs one.
+    pub fn health(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref()
     }
 
     /// Advances the engine to the OS's current time, firing any due
@@ -63,12 +101,53 @@ impl StressEngine {
             // it, exactly as the paper's stress test recompiles functions
             // with no semantic change.
             let nt = NtAssignment::none();
-            if let Ok(idx) = rt.compile_fresh(os, func, &nt) {
+            if self.health.is_some() {
+                self.chaos_fire(os, rt, func, &nt);
+            } else if let Ok(idx) = rt.compile_fresh(os, func, &nt) {
                 if rt.dispatch(os, idx).is_ok() {
                     self.recompiles += 1;
                 }
             }
         }
+    }
+
+    /// One chaos-mode firing: maybe corrupt the code cache (scrubbing in
+    /// the same tick, so corrupt installed code never executes), then a
+    /// health-routed fresh recompile + dispatch, then close the health
+    /// window.
+    fn chaos_fire(&mut self, os: &mut Os, rt: &mut Runtime, func: FuncId, nt: &NtAssignment) {
+        let health = self.health.as_mut().expect("chaos mode");
+        let garble = rt
+            .fault_plan_mut()
+            .and_then(|p| p.draw(FaultKind::CacheCorrupt).then(|| p.garble_u64()));
+        if let Some(garble) = garble {
+            // Never corrupt the span the host is executing *right now*:
+            // the scrub below restores the EVT before any further cycle
+            // runs, but an in-flight frame would still finish on the
+            // corrupt bytes (the OSR live-frame hazard). Real cache
+            // attackers don't extend this courtesy; the dispatch-time
+            // checksum still covers that case.
+            let live_pc = os.proc(rt.pid()).ctx().pc();
+            let lowered: Vec<(u32, u32)> = rt
+                .variants()
+                .iter()
+                .filter(|r| r.len > 0 && !(live_pc >= r.addr && live_pc < r.addr + r.len))
+                .map(|r| (r.addr, r.len))
+                .collect();
+            if !lowered.is_empty() {
+                let (addr, len) = lowered[self.rng.gen_range(0..lowered.len())];
+                os.corrupt_text(
+                    rt.pid(),
+                    addr + (garble % u64::from(len)) as u32,
+                    garble >> 8,
+                );
+                health.scrub(os, rt);
+            }
+        }
+        if health.transform_fresh(os, rt, func, nt).is_some() {
+            self.recompiles += 1;
+        }
+        health.end_window(os, rt);
     }
 }
 
@@ -147,6 +226,85 @@ mod tests {
             "separate-core stress should cost <5% in this regime, got {slowdown:.3}x"
         );
         assert!(os.runtime_consumed(1) > 0, "runtime work must be accounted");
+    }
+
+    #[test]
+    fn chaos_mode_keeps_the_host_alive_and_heals() {
+        let (mut os, pid, mut rt) = setup(1);
+        let mut eng = StressEngine::with_faults(
+            &mut os,
+            &mut rt,
+            10_000,
+            9,
+            FaultPlan::chaos(9),
+            crate::HealthConfig::default(),
+        );
+        for _ in 0..300 {
+            os.advance(10_000);
+            eng.step(&mut os, &mut rt);
+        }
+        assert!(
+            matches!(os.status(pid), machine::ExecStatus::Running),
+            "host must survive the chaos schedule"
+        );
+        // Meta-level check: disable the (garbled) observation surface and
+        // confirm the host made real progress underneath it.
+        os.set_obs_faults(None);
+        let before = os.counters(pid).instructions;
+        os.advance(100_000);
+        assert!(os.counters(pid).instructions > before, "host still runs");
+        assert!(
+            rt.fault_plan().unwrap().total_injected() > 0,
+            "the chaos preset must actually inject"
+        );
+        let health = eng.health().unwrap();
+        let stats = health.stats();
+        assert!(
+            stats.compile_failures + stats.evt_write_failures + stats.checksum_failures > 0,
+            "the health layer must have absorbed faults: {stats}"
+        );
+        // No quarantined variant's code is installed.
+        for idx in rt.quarantined_variants() {
+            let rec = &rt.variants()[idx];
+            assert_ne!(
+                rt.current_target(&os, rec.func),
+                Some(rec.addr),
+                "quarantined variant {idx} still installed"
+            );
+        }
+        // Whatever is installed verifies against its checksum.
+        for (idx, rec) in rt.variants().iter().enumerate() {
+            if rec.len > 0 && rt.current_target(&os, rec.func) == Some(rec.addr) {
+                assert!(rt.verify_code(&os, idx), "installed variant {idx} corrupt");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_mode_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let (mut os, pid, mut rt) = setup(1);
+            let mut eng = StressEngine::with_faults(
+                &mut os,
+                &mut rt,
+                10_000,
+                seed,
+                FaultPlan::chaos(seed),
+                crate::HealthConfig::default(),
+            );
+            for _ in 0..150 {
+                os.advance(10_000);
+                eng.step(&mut os, &mut rt);
+            }
+            (
+                eng.recompiles(),
+                eng.health().unwrap().stats(),
+                rt.fault_plan().unwrap().total_injected(),
+                os.counters(pid).instructions,
+            )
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3).2, run(4).2, "different seeds inject differently");
     }
 
     #[test]

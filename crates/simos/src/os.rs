@@ -3,7 +3,7 @@
 use machine::{
     exec, BtConfig, CostModel, ExecEnv, ExecStatus, MachineConfig, MemorySystem, PerfCounters,
 };
-use visa::{Image, Op};
+use visa::{Image, Op, PReg};
 
 use crate::loadgen::LoadSchedule;
 use crate::process::{Pid, Process};
@@ -53,6 +53,52 @@ impl OsConfig {
     }
 }
 
+/// Deterministic observation-fault injection: degrades the ptrace/perf
+/// surface the way a loaded production kernel does — samples that fail,
+/// samples that land on garbage addresses, and counter reads that come
+/// back perturbed. Process *execution* is never affected; only what the
+/// runtime observes. All faults are derived by hashing `(seed, now, pid)`,
+/// so a given seed reproduces the exact same fault schedule.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ObsFaults {
+    /// Seed for the per-read fault draws.
+    pub seed: u64,
+    /// Probability a PC sample is dropped (reads as an unmappable,
+    /// out-of-range address, like a failed `ptrace` peek).
+    pub pc_drop: f64,
+    /// Probability a PC sample is garbled to a random text address.
+    pub pc_garble: f64,
+    /// Probability a counter snapshot is perturbed (up to ±25% on the
+    /// instruction, branch, and LLC-miss counters).
+    pub counter_garble: f64,
+}
+
+impl ObsFaults {
+    /// No observation faults (all rates zero).
+    pub fn none(seed: u64) -> Self {
+        ObsFaults {
+            seed,
+            pc_drop: 0.0,
+            pc_garble: 0.0,
+            counter_garble: 0.0,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: the stateless hash behind every observation-
+/// fault draw.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps 64 hash bits to a unit-interval draw.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 /// Query-latency statistics for a latency-sensitive process.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct LatencyStats {
@@ -78,6 +124,8 @@ pub struct Os {
     runtime_pending: Vec<u64>,
     /// Total runtime-work cycles consumed per core.
     runtime_consumed: Vec<u64>,
+    /// Observation-fault injection, if enabled.
+    obs_faults: Option<ObsFaults>,
     now: u64,
 }
 
@@ -93,6 +141,7 @@ impl Os {
             core_proc: vec![None; cores],
             runtime_pending: vec![0; cores],
             runtime_consumed: vec![0; cores],
+            obs_faults: None,
             now: 0,
         }
     }
@@ -188,14 +237,64 @@ impl Os {
     // Observation surface (ptrace / perf)
     // ----------------------------------------------------------------
 
-    /// Samples the process's program counter (ptrace-style).
-    pub fn sample_pc(&self, pid: Pid) -> u32 {
-        self.proc(pid).ctx().pc()
+    /// Enables (or, with `None`, disables) deterministic observation
+    /// faults on the ptrace/perf surface. See [`ObsFaults`].
+    pub fn set_obs_faults(&mut self, faults: Option<ObsFaults>) {
+        self.obs_faults = faults;
     }
 
-    /// Reads the process's hardware performance counters.
+    /// The active observation-fault configuration, if any.
+    pub fn obs_faults(&self) -> Option<ObsFaults> {
+        self.obs_faults
+    }
+
+    /// One deterministic fault draw for the current `(now, pid, salt)`:
+    /// returns the unit-interval roll plus independent hash bits for
+    /// value garbling.
+    fn obs_roll(&self, faults: &ObsFaults, pid: Pid, salt: u64) -> (f64, u64) {
+        let h = splitmix(
+            faults.seed ^ self.now.wrapping_mul(0x9e37_79b9) ^ (u64::from(pid.0) << 48) ^ salt,
+        );
+        (unit(h), splitmix(h))
+    }
+
+    /// Samples the process's program counter (ptrace-style). Subject to
+    /// [`ObsFaults`]: a dropped sample reads as `u32::MAX` (an address no
+    /// symbolizer can map, like a failed ptrace peek), a garbled sample
+    /// lands on an arbitrary text address.
+    pub fn sample_pc(&self, pid: Pid) -> u32 {
+        let pc = self.proc(pid).ctx().pc();
+        let Some(f) = self.obs_faults else { return pc };
+        let (roll, bits) = self.obs_roll(&f, pid, 0x5a5a);
+        if roll < f.pc_drop {
+            return u32::MAX;
+        }
+        if roll < f.pc_drop + f.pc_garble {
+            let len = self.proc(pid).text.len().max(1) as u64;
+            return (bits % len) as u32;
+        }
+        pc
+    }
+
+    /// Reads the process's hardware performance counters. Subject to
+    /// [`ObsFaults`]: a garbled read perturbs the instruction, branch,
+    /// and LLC-miss counts by up to ±25% (the counters themselves keep
+    /// advancing truthfully — only this snapshot lies).
     pub fn counters(&self, pid: Pid) -> PerfCounters {
-        self.proc(pid).counters()
+        let mut c = self.proc(pid).counters();
+        let Some(f) = self.obs_faults else { return c };
+        let (roll, bits) = self.obs_roll(&f, pid, 0xc7c7);
+        if roll < f.counter_garble {
+            // Scale by a factor in [0.75, 1.25) derived from hash bits.
+            let scale = |v: u64, b: u64| {
+                let num = 768 + (b & 0x1ff); // [768, 1280) / 1024
+                (v as u128 * u128::from(num) / 1024) as u64
+            };
+            c.instructions = scale(c.instructions, bits);
+            c.branches = scale(c.branches, bits >> 9);
+            c.llc_misses = scale(c.llc_misses, bits >> 18);
+        }
+        c
     }
 
     /// Execution status of the process.
@@ -280,6 +379,37 @@ impl Os {
     /// Total text length (image + code cache) of a process.
     pub fn text_len(&self, pid: Pid) -> u32 {
         self.proc(pid).text.len() as u32
+    }
+
+    /// Reads `len` instructions of process text (the mapping a runtime
+    /// uses to checksum its code cache before dispatching into it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn read_text(&self, pid: Pid, addr: u32, len: u32) -> &[Op] {
+        &self.proc(pid).text[addr as usize..(addr + len) as usize]
+    }
+
+    /// Corrupts one instruction of process text — the fault-injection
+    /// analogue of a flipped byte in the (shared, writable) code-cache
+    /// mapping. The op at `addr` is replaced with a garbage immediate
+    /// load derived from `garble`. Returns `false` (and does nothing) if
+    /// `addr` is out of range.
+    ///
+    /// Intended for code-cache addresses (`addr >= image_text_len`);
+    /// corrupting image text models a far more severe fault and is
+    /// allowed but not something the self-healing layer can repair.
+    pub fn corrupt_text(&mut self, pid: Pid, addr: u32, garble: u64) -> bool {
+        let p = self.proc_mut(pid);
+        let Some(slot) = p.text.get_mut(addr as usize) else {
+            return false;
+        };
+        *slot = Op::Movi {
+            dst: PReg((garble % 8) as u8),
+            imm: (garble >> 3) as i64,
+        };
+        true
     }
 
     // ----------------------------------------------------------------
@@ -756,5 +886,79 @@ mod tests {
         let a = os.spawn(&spinner("a", 64), 0);
         os.advance(500_000);
         assert!(os.llc_occupancy(a) > 0);
+    }
+
+    #[test]
+    fn obs_faults_drop_and_garble_pc_samples_deterministically() {
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&spinner("a", 4), 0);
+        os.set_obs_faults(Some(ObsFaults {
+            seed: 7,
+            pc_drop: 0.5,
+            pc_garble: 0.0,
+            counter_garble: 0.0,
+        }));
+        let mut dropped = 0;
+        let mut samples = Vec::new();
+        for _ in 0..200 {
+            os.advance(997);
+            let pc = os.sample_pc(pid);
+            samples.push(pc);
+            if pc == u32::MAX {
+                dropped += 1;
+            } else {
+                assert!(pc < 7, "non-dropped samples stay in text: {pc}");
+            }
+        }
+        assert!(
+            (60..=140).contains(&dropped),
+            "~50% of samples should drop, got {dropped}/200"
+        );
+        // Same fault config at the same times reproduces the schedule.
+        assert_eq!(os.sample_pc(pid), os.sample_pc(pid));
+        // Disabling restores clean reads.
+        os.set_obs_faults(None);
+        assert!(os.sample_pc(pid) < 7);
+    }
+
+    #[test]
+    fn obs_faults_perturb_counter_reads_but_not_execution() {
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&spinner("a", 4), 0);
+        os.advance(200_000);
+        let clean = {
+            let mut clean_os_view = os.counters(pid);
+            os.set_obs_faults(Some(ObsFaults {
+                seed: 3,
+                pc_drop: 0.0,
+                pc_garble: 0.0,
+                counter_garble: 1.0,
+            }));
+            let garbled = os.counters(pid);
+            assert_ne!(
+                garbled.instructions, clean_os_view.instructions,
+                "an always-garbled read must differ"
+            );
+            // Perturbation is bounded to ±25%.
+            let ratio = garbled.instructions as f64 / clean_os_view.instructions as f64;
+            assert!((0.74..=1.26).contains(&ratio), "ratio {ratio}");
+            os.set_obs_faults(None);
+            clean_os_view = os.counters(pid);
+            clean_os_view
+        };
+        // The underlying counters kept their true values.
+        os.advance(1);
+        assert!(os.counters(pid).instructions >= clean.instructions);
+    }
+
+    #[test]
+    fn corrupt_text_mangles_one_op_in_bounds_only() {
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&spinner("a", 2), 0);
+        let base = os.append_text(pid, &[Op::Halt, Op::Halt]);
+        assert!(os.corrupt_text(pid, base + 1, 0xdead));
+        assert_eq!(os.read_text(pid, base, 2)[0], Op::Halt);
+        assert!(matches!(os.read_text(pid, base, 2)[1], Op::Movi { .. }));
+        assert!(!os.corrupt_text(pid, os.text_len(pid), 1));
     }
 }

@@ -141,6 +141,12 @@ impl Process {
         self.image_text_len
     }
 
+    /// The full text space (image plus appended code-cache variants) —
+    /// what a runtime checksums to detect code-cache corruption.
+    pub fn text(&self) -> &[Op] {
+        &self.text
+    }
+
     /// Current nap intensity in [0, 1].
     pub fn nap_intensity(&self) -> f64 {
         self.nap_intensity
