@@ -10,12 +10,16 @@
 //!    evaluation windows required.
 //! 5. **Hardware prefetching** — does a next-line prefetcher change the
 //!    effectiveness of software non-temporal hints?
+//!
+//! Independent configurations within each study fan out across
+//! `protean_bench::pool` workers (`PROTEAN_JOBS`); rows are printed from
+//! the merged results in input order, identical to a serial run.
 
 use machine::{MachineConfig, NtPolicy};
 use pc3d::{select_candidates_with, NapBisection};
 use pcc::{Compiler, EdgePolicy, NtAssignment, Options};
 use protean::{ExtMonitor, HostMonitor, Runtime, RuntimeConfig};
-use protean_bench::{experiment_os, llc_lines, Scale};
+use protean_bench::{experiment_os, llc_lines, pool, report, Scale};
 use simos::{Os, OsConfig};
 use workloads::catalog;
 
@@ -81,11 +85,12 @@ fn ablate_edge_policy(secs: f64) {
     let m = leafy_app();
     let plain = Compiler::new(Options::plain()).compile(&m).unwrap().image;
     let base_ips = ips_of(&plain, secs, &cfg);
-    for (name, policy) in [
+    let policies = [
         ("Never", EdgePolicy::Never),
         ("MultiBlockCallees", EdgePolicy::MultiBlockCallees),
         ("AllCalls", EdgePolicy::AllCalls),
-    ] {
+    ];
+    let rows = pool::map(&policies, |_, &(name, policy)| {
         let opts = Options {
             protean: true,
             edge_policy: policy,
@@ -95,7 +100,10 @@ fn ablate_edge_policy(secs: f64) {
         };
         let protean = Compiler::new(opts).compile(&m).unwrap().image;
         let slowdown = base_ips / ips_of(&protean, secs, &cfg);
-        println!("{name:<22}{:>12}{:>15.4}x", protean.evt.len(), slowdown);
+        (name, protean.evt.len(), slowdown)
+    });
+    for (name, slots, slowdown) in rows {
+        println!("{name:<22}{slots:>12}{slowdown:>15.4}x");
     }
     println!(
         "AllCalls virtualizes the per-iteration leaf call and pays for it on\n\
@@ -110,10 +118,11 @@ fn ablate_nt_policy(secs: f64) {
         "{:<12}{:>22}{:>22}",
         "policy", "co-runner QoS (hints)", "host slowdown (hints)"
     );
-    for (label, policy) in [
+    let policies = [
         ("Bypass", NtPolicy::Bypass),
         ("LruInsert", NtPolicy::LruInsert),
-    ] {
+    ];
+    let rows = pool::map(&policies, |_, &(label, policy)| {
         let mut machine = MachineConfig::scaled();
         machine.nt_policy = policy;
         let cfg = OsConfig {
@@ -166,6 +175,9 @@ fn ablate_nt_policy(secs: f64) {
         os.advance_seconds(secs);
         let qos = ext_mon.end_window(&os).ips / ext_solo;
         let host_ratio = host_mon.end_window(&os).bps / host_solo_bps;
+        (label, qos, host_ratio)
+    });
+    for (label, qos, host_ratio) in rows {
         println!(
             "{label:<12}{:>21.1}%{:>21.2}x",
             qos * 100.0,
@@ -282,7 +294,8 @@ fn ablate_prefetcher(secs: f64) {
         "{:<14}{:>22}{:>22}",
         "prefetcher", "co-runner QoS (hints)", "co-runner QoS (none)"
     );
-    for (label, enabled) in [("off", false), ("on (deg 2)", true)] {
+    let configs = [("off", false), ("on (deg 2)", true)];
+    let rows = pool::map(&configs, |_, &(label, enabled)| {
         let mut machine_cfg = MachineConfig::scaled();
         machine_cfg.prefetcher = machine::PrefetcherConfig { enabled, degree: 2 };
         let cfg = OsConfig {
@@ -326,6 +339,9 @@ fn ablate_prefetcher(secs: f64) {
             os.advance_seconds(secs);
             qos[i] = ext_mon.end_window(&os).ips / ext_solo;
         }
+        (label, qos)
+    });
+    for (label, qos) in rows {
         println!(
             "{label:<14}{:>21.1}%{:>21.1}%",
             qos[0] * 100.0,
@@ -342,9 +358,16 @@ fn ablate_prefetcher(secs: f64) {
 fn main() {
     let scale = Scale::from_env();
     let secs = scale.secs(3.0);
+    let t0 = std::time::Instant::now();
     ablate_edge_policy(secs);
     ablate_nt_policy(secs);
     ablate_heuristics();
     ablate_nap_search();
     ablate_prefetcher(secs);
+    report::record_harness(
+        "ablations",
+        t0.elapsed().as_millis() as u64,
+        pool::jobs(),
+        scale.name(),
+    );
 }

@@ -1,20 +1,38 @@
 //! Figures 9-11 (utilization) and 12-14 (QoS): each batch application
 //! co-located with each CloudSuite webservice under PC3D, at QoS targets
 //! of 90%, 95%, and 98%. Also prints Table II (the application roster).
+//!
+//! The full (webservice, batch, target) grid fans out across
+//! `protean_bench::pool` workers (`PROTEAN_JOBS`); results merge in input
+//! order, so the printed tables match a serial run exactly.
 
-use protean_bench::{run_pc3d_pair, Scale};
+use protean_bench::{pool, report, run_pc3d_pair, Scale};
 use workloads::catalog;
 
 fn main() {
     let scale = Scale::from_env();
     let secs = scale.secs(45.0);
     let targets = [0.90, 0.95, 0.98];
+    let t0 = std::time::Instant::now();
 
     protean_bench::header("Table II — applications used in datacenter experiments");
     for w in catalog::CATALOG.iter().take(17) {
         println!("  {:<18}{:<14}{:?}", w.name, w.suite, w.kind);
     }
 
+    let cells: Vec<(&str, &str, f64)> = catalog::ls_names()
+        .into_iter()
+        .flat_map(|ls| {
+            catalog::batch_names()
+                .into_iter()
+                .flat_map(move |batch| targets.into_iter().map(move |t| (ls, batch, t)))
+        })
+        .collect();
+    let results = pool::map(&cells, |_, &(ls, batch, target)| {
+        run_pc3d_pair(batch, ls, target, secs)
+    });
+
+    let mut next = results.iter();
     for ls in catalog::ls_names() {
         protean_bench::header(&format!(
             "Figures 9-11 / 12-14 — batch apps running with {ls} under PC3D"
@@ -27,8 +45,8 @@ fn main() {
         for batch in catalog::batch_names() {
             let mut utils = [0.0f64; 3];
             let mut qoses = [0.0f64; 3];
-            for (i, target) in targets.iter().enumerate() {
-                let r = run_pc3d_pair(batch, ls, *target, secs);
+            for i in 0..targets.len() {
+                let r = next.next().expect("one result per cell");
                 utils[i] = r.utilization;
                 qoses[i] = r.qos;
                 sums[i] += r.utilization;
@@ -59,5 +77,11 @@ fn main() {
          throughout (Figures 12-14). Expect the same ordering: utilization\n\
          falls as the QoS target tightens, and media-streaming is the most\n\
          contention-sensitive service."
+    );
+    report::record_harness(
+        "fig09_14_utilization_qos",
+        t0.elapsed().as_millis() as u64,
+        pool::jobs(),
+        scale.name(),
     );
 }

@@ -2,21 +2,46 @@
 //! required to run each (webservice, batch-mix) pairing with PC3D
 //! co-location vs no co-location at equal throughput, and the resulting
 //! energy-efficiency ratio under a linear power model.
+//!
+//! Every (webservice, mix, batch) cell is an independent simulation, so
+//! the grid fans out across `protean_bench::pool` workers
+//! (`PROTEAN_JOBS`); results are merged in input order, making the
+//! printed tables identical to a serial run.
 
 use datacenter::{analyze, PairMeasurement, PowerModel, LS_APPS, MIXES};
-use protean_bench::{run_pc3d_pair, Scale};
+use protean_bench::{pool, report, run_pc3d_pair, Scale};
 
 fn main() {
     let scale = Scale::from_env();
     let secs = scale.secs(40.0);
     let machines = 10_000.0;
     let cores = 4;
+    let t0 = std::time::Instant::now();
 
     protean_bench::header("Table III — workload mixes for scale-out analysis");
     println!("  LS   {:?}", LS_APPS);
     for m in MIXES {
         println!("  {}  {:?}", m.name, m.batch_apps);
     }
+
+    // Flatten the (ls, mix, batch) grid into one work list so the pool
+    // keeps every worker busy across mix boundaries.
+    let cells: Vec<(&str, &str)> = LS_APPS
+        .iter()
+        .flat_map(|&ls| {
+            MIXES
+                .iter()
+                .flat_map(move |mix| mix.batch_apps.iter().map(move |&batch| (ls, batch)))
+        })
+        .collect();
+    let measured = pool::map(&cells, |_, &(ls, batch)| {
+        let r = run_pc3d_pair(batch, ls, 0.95, secs);
+        PairMeasurement {
+            batch_utilization: r.utilization.min(1.0),
+            ls_core_util: r.ext_core_util.min(1.0),
+            batch_core_util: r.batch_core_util.min(1.0),
+        }
+    });
 
     protean_bench::header(
         "Figures 17-18 — servers required and energy efficiency (10k machines, 95% QoS)",
@@ -25,19 +50,13 @@ fn main() {
         "{:<32}{:>12}{:>14}{:>14}",
         "mix", "PC3D srv", "no-colo srv", "energy eff."
     );
+    let mut next = measured.iter();
     for ls in LS_APPS {
         for mix in MIXES {
             let pairs: Vec<PairMeasurement> = mix
                 .batch_apps
                 .iter()
-                .map(|batch| {
-                    let r = run_pc3d_pair(batch, ls, 0.95, secs);
-                    PairMeasurement {
-                        batch_utilization: r.utilization.min(1.0),
-                        ls_core_util: r.ext_core_util.min(1.0),
-                        batch_core_util: r.batch_core_util.min(1.0),
-                    }
-                })
+                .map(|_| *next.next().expect("one measurement per cell"))
                 .collect();
             let result = analyze(machines, cores, &pairs, PowerModel::default());
             println!(
@@ -52,5 +71,11 @@ fn main() {
     println!(
         "\nPaper: 3.5k-8k extra servers needed without co-location; PC3D improves\n\
          datacenter energy efficiency by 18-34% across the mixes."
+    );
+    report::record_harness(
+        "fig17_18_scaleout",
+        t0.elapsed().as_millis() as u64,
+        pool::jobs(),
+        scale.name(),
     );
 }

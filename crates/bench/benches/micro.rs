@@ -11,6 +11,7 @@ use machine::{
 };
 use pcc::{compile_function_variant, Compiler, NtAssignment, Options};
 use protean::{Runtime, RuntimeConfig};
+use protean_bench::report::{self, Json};
 use simos::{Os, OsConfig};
 
 fn bench_cache(c: &mut Criterion) {
@@ -70,6 +71,38 @@ fn bench_interpreter(c: &mut Criterion) {
         b.iter(|| os.advance(100_000));
     });
     group.finish();
+}
+
+/// Long-window interpreter throughput in M instr/s, the headline number
+/// for the fast-path work. Scaled by `PROTEAN_SCALE` (400M simulated
+/// cycles per window at the default scale) and written to
+/// `BENCH_interp.json` when `PROTEAN_BENCH_JSON` names a directory.
+fn bench_interp_throughput(_c: &mut Criterion) {
+    let scale = protean_bench::Scale::from_env();
+    let cycles = protean_bench::interp_cycles(scale);
+    let reps = if scale == protean_bench::Scale::Quick {
+        1
+    } else {
+        3
+    };
+    println!("interp-throughput ({cycles} simulated cycles per window, best of {reps})");
+    for workload in ["milc", "libquantum", "bst"] {
+        let m = protean_bench::interp_throughput(workload, cycles, reps);
+        println!(
+            "  {workload:<12} {:>8.1} M instr/s  ({} insts in {:.3}s)",
+            m.m_instr_per_s, m.insts, m.wall_secs
+        );
+        if let Some(dir) = protean_bench::report::report_dir() {
+            let entry = Json::obj([
+                ("m_instr_per_s", Json::F64(m.m_instr_per_s)),
+                ("insts", Json::U64(m.insts)),
+                ("cycles", Json::U64(m.cycles)),
+                ("wall_secs", Json::F64(m.wall_secs)),
+            ]);
+            report::update_json_map(&dir.join("BENCH_interp.json"), workload, &entry)
+                .expect("write BENCH_interp.json");
+        }
+    }
 }
 
 fn bench_runtime_compiler(c: &mut Criterion) {
@@ -218,6 +251,7 @@ criterion_group!(
     bench_cache,
     bench_hierarchy,
     bench_interpreter,
+    bench_interp_throughput,
     bench_runtime_compiler,
     bench_evt_patch,
     bench_analysis,

@@ -1,0 +1,94 @@
+//! CI regression gate for interpreter throughput.
+//!
+//! Raw M instr/s numbers are host-dependent, so the gate normalizes: it
+//! times a pure-arithmetic calibration loop on the same host and gates on
+//! `interpreter M instr/s / calibration M ops/s`. That ratio tracks how
+//! much work the interpreter does per unit of host compute and is stable
+//! across machines of different speeds (though not across radically
+//! different microarchitectures — the 20% margin absorbs that).
+//!
+//! Usage:
+//!   bench_gate            compare against the checked-in baseline;
+//!                         exit 1 on a >20% regression
+//!   bench_gate --update   rewrite the baseline from this host's numbers
+//!
+//! The baseline lives at `crates/bench/bench_baseline.json` (override
+//! with `PROTEAN_BENCH_BASELINE`). Workload and cycle budget follow
+//! `PROTEAN_SCALE` (quick/full); reports honor `PROTEAN_BENCH_JSON`.
+
+use protean_bench::report::{number_field, read_top_level, update_json_map, Json};
+use protean_bench::{host_calibration_mops, interp_cycles, interp_throughput, Scale};
+use std::path::PathBuf;
+
+/// Allowed loss of host-normalized throughput before the gate fails.
+const MAX_REGRESSION: f64 = 0.20;
+
+const WORKLOADS: &[&str] = &["milc", "libquantum"];
+
+fn baseline_path() -> PathBuf {
+    std::env::var_os("PROTEAN_BENCH_BASELINE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("bench_baseline.json"))
+}
+
+fn main() {
+    let update = std::env::args().any(|a| a == "--update");
+    let scale = Scale::from_env();
+    let cycles = interp_cycles(scale);
+    let baseline = baseline_path();
+
+    println!("bench_gate: calibrating host ...");
+    let cal = host_calibration_mops();
+    println!("  calibration loop: {cal:.1} M ops/s");
+
+    let mut failures = 0;
+    for &w in WORKLOADS {
+        let m = interp_throughput(w, cycles, 2);
+        let ratio = m.m_instr_per_s / cal;
+        println!(
+            "  {w:<12} {:>8.1} M instr/s over {} cycles ({} insts)  ratio {ratio:.4}",
+            m.m_instr_per_s, m.cycles, m.insts
+        );
+        if update {
+            let entry = Json::obj([
+                ("ratio", Json::F64(ratio)),
+                ("m_instr_per_s_on_update_host", Json::F64(m.m_instr_per_s)),
+                ("calibration_mops_on_update_host", Json::F64(cal)),
+            ]);
+            update_json_map(&baseline, w, &entry).expect("write baseline");
+            continue;
+        }
+        let Some(base) = read_top_level(&baseline, w).and_then(|v| number_field(&v, "ratio"))
+        else {
+            println!(
+                "  {w:<12} no baseline entry in {} — skipping",
+                baseline.display()
+            );
+            continue;
+        };
+        let floor = base * (1.0 - MAX_REGRESSION);
+        if ratio < floor {
+            println!(
+                "  {w:<12} REGRESSION: ratio {ratio:.4} < floor {floor:.4} (baseline {base:.4})"
+            );
+            failures += 1;
+        } else {
+            println!("  {w:<12} ok: ratio {ratio:.4} vs baseline {base:.4} (floor {floor:.4})");
+        }
+    }
+
+    if update {
+        println!("baseline updated at {}", baseline.display());
+    } else if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} workload(s) regressed more than {:.0}%",
+            MAX_REGRESSION * 100.0
+        );
+        std::process::exit(1);
+    } else {
+        println!(
+            "bench_gate: interpreter throughput within {:.0}% of baseline",
+            MAX_REGRESSION * 100.0
+        );
+    }
+}

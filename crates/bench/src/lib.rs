@@ -17,6 +17,9 @@ use simos::{LoadSchedule, Os, OsConfig, Pid};
 use visa::Image;
 use workloads::catalog;
 
+pub mod pool;
+pub mod report;
+
 /// Experiment duration scaling.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Scale {
@@ -38,6 +41,16 @@ impl Scale {
         }
     }
 
+    /// The name this scale is selected by in `PROTEAN_SCALE` (used when
+    /// labelling report entries).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Normal => "normal",
+            Scale::Full => "full",
+        }
+    }
+
     /// Multiplies a base duration by the scale factor.
     pub fn secs(self, base: f64) -> f64 {
         match self {
@@ -46,6 +59,86 @@ impl Scale {
             Scale::Full => base * 3.0,
         }
     }
+}
+
+/// One interpreter-throughput sample (see `benches/micro.rs` and the
+/// `bench_gate` CI binary).
+#[derive(Clone, Debug)]
+pub struct InterpMeasurement {
+    /// Catalog workload name.
+    pub workload: String,
+    /// Simulated cycles advanced in the timed window.
+    pub cycles: u64,
+    /// Instructions retired in the timed window (deterministic for a
+    /// given workload + cycle budget, so it doubles as a fidelity check).
+    pub insts: u64,
+    /// Host wall-clock seconds for the timed window.
+    pub wall_secs: f64,
+    /// Millions of simulated instructions per host second.
+    pub m_instr_per_s: f64,
+}
+
+/// Simulated-cycle budget for one interpreter-throughput window at this
+/// scale (400M cycles at `Normal`, matching the numbers recorded in
+/// `BENCH_interp.json`).
+pub fn interp_cycles(scale: Scale) -> u64 {
+    (scale.secs(400.0) * 1e6) as u64
+}
+
+/// Measures end-to-end interpreter throughput (the full `Os::advance`
+/// path: dispatch + memory hierarchy + scheduling) for a plain-compiled
+/// catalog workload. Runs `reps` timed windows after a warmup and keeps
+/// the fastest, which rejects host scheduling noise.
+pub fn interp_throughput(workload: &str, cycles: u64, reps: usize) -> InterpMeasurement {
+    let cfg = experiment_os();
+    let img = compile_plain(workload, &cfg);
+    let mut os = Os::new(cfg);
+    let pid = os.spawn(&img, 0);
+    os.advance(cycles / 8); // warm caches and the block cache
+    let mut best: Option<InterpMeasurement> = None;
+    for _ in 0..reps.max(1) {
+        let insts0 = os.counters(pid).instructions;
+        let t0 = std::time::Instant::now();
+        os.advance(cycles);
+        let wall = t0.elapsed().as_secs_f64();
+        let insts = os.counters(pid).instructions - insts0;
+        let m = InterpMeasurement {
+            workload: workload.to_string(),
+            cycles,
+            insts,
+            wall_secs: wall,
+            m_instr_per_s: insts as f64 / wall / 1e6,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| m.m_instr_per_s > b.m_instr_per_s)
+        {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+/// Measures a pure-arithmetic host calibration loop (millions of
+/// iterations per second). Interpreter throughput in M instr/s is
+/// host-dependent; `bench_gate` divides by this to get a host-normalized
+/// ratio it can compare against a checked-in baseline.
+pub fn host_calibration_mops() -> f64 {
+    // Best of three to reject scheduling noise, like `interp_throughput`.
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let iters = 200_000_000u64;
+        let mut acc = 0x9e3779b97f4a7c15u64;
+        let t0 = std::time::Instant::now();
+        for i in 0..iters {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i) ^ (acc >> 29);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        // Keep the loop from being optimized out.
+        assert_ne!(acc, 0, "calibration accumulator");
+        best = best.max(iters as f64 / wall / 1e6);
+    }
+    best
 }
 
 /// The standard experiment machine: the paper's 4-core topology with

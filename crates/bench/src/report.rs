@@ -1,0 +1,305 @@
+//! Machine-readable benchmark reports.
+//!
+//! Harnesses and the interpreter micro-benchmark emit their headline
+//! numbers as small JSON files (`BENCH_interp.json`, `BENCH_figures.json`)
+//! so results can be diffed across commits and consumed by the CI
+//! regression gate (`bench_gate`). Emission is **opt-in**: nothing is
+//! written unless `PROTEAN_BENCH_JSON` names a directory, so ordinary
+//! `cargo bench` runs stay side-effect free.
+//!
+//! The module carries its own minimal JSON value type and a top-level
+//! merge (read–modify–write keyed on the outermost object), because the
+//! workspace deliberately has no crates.io dependencies.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A JSON value. Objects use a `BTreeMap` so serialized output is stable
+/// (sorted keys) and diffs stay readable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A floating-point number, printed with enough digits to round-trip.
+    F64(f64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with sorted keys.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Convenience constructor for an object from `(key, value)` pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+fn escape(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(out, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(out, "\\\"")?,
+            '\\' => write!(out, "\\\\")?,
+            '\n' => write!(out, "\\n")?,
+            '\t' => write!(out, "\\t")?,
+            '\r' => write!(out, "\\r")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    write!(out, "\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::F64(x) if x.is_finite() => {
+                // Fixed-point with enough precision for throughput numbers;
+                // trims trailing zeros so diffs stay compact.
+                let s = format!("{x:.6}");
+                let s = s.trim_end_matches('0').trim_end_matches('.');
+                write!(f, "{s}")
+            }
+            Json::F64(_) => write!(f, "null"),
+            Json::U64(n) => write!(f, "{n}"),
+            Json::Str(s) => escape(s, f),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    escape(k, f)?;
+                    write!(f, ": {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Directory for report files, taken from `PROTEAN_BENCH_JSON`. `None`
+/// (the default) disables all report writes.
+pub fn report_dir() -> Option<PathBuf> {
+    std::env::var_os("PROTEAN_BENCH_JSON").map(PathBuf::from)
+}
+
+/// Merges `(key, value)` into the top-level object of the JSON file at
+/// `path`, creating the file (and parent directory) if needed. Existing
+/// keys other than `key` are preserved textually, so independent
+/// harnesses can update one file without parsing each other's entries.
+pub fn update_json_map(path: &Path, key: &str, value: &Json) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut entries = split_top_level(&existing);
+    entries.retain(|(k, _)| k != key);
+    entries.push((key.to_string(), value.to_string()));
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let key_json = Json::Str(k.clone()).to_string();
+        out.push_str(&format!("  {key_json}: {v}"));
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+/// Splits the top-level object of `text` into raw `(key, value-text)`
+/// pairs. Tolerant of whitespace and of a missing/empty file; values are
+/// kept as their original text. String-escape- and nesting-aware, so
+/// braces or commas inside nested values or strings don't confuse it.
+fn split_top_level(text: &str) -> Vec<(String, String)> {
+    let body = match (text.find('{'), text.rfind('}')) {
+        (Some(a), Some(b)) if a < b => &text[a + 1..b],
+        _ => return Vec::new(),
+    };
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut esc = false;
+    let mut start = 0usize;
+    let bytes = body.as_bytes();
+    let push = |start: usize, end: usize, entries: &mut Vec<(String, String)>| {
+        let item = body[start..end].trim();
+        if item.is_empty() {
+            return;
+        }
+        if let Some((k, v)) = split_entry(item) {
+            entries.push((k, v));
+        }
+    };
+    for (i, &b) in bytes.iter().enumerate() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => esc = true,
+            b'"' => in_str = !in_str,
+            b'{' | b'[' if !in_str => depth += 1,
+            b'}' | b']' if !in_str => depth = depth.saturating_sub(1),
+            b',' if !in_str && depth == 0 => {
+                push(start, i, &mut entries);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    push(start, body.len(), &mut entries);
+    entries
+}
+
+/// Splits one `"key": value` entry; returns the unescaped key and the raw
+/// value text.
+fn split_entry(item: &str) -> Option<(String, String)> {
+    let rest = item.strip_prefix('"')?;
+    let mut key = String::new();
+    let mut esc = false;
+    let mut end = None;
+    for (i, c) in rest.char_indices() {
+        if esc {
+            key.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                c => c,
+            });
+            esc = false;
+        } else if c == '\\' {
+            esc = true;
+        } else if c == '"' {
+            end = Some(i);
+            break;
+        } else {
+            key.push(c);
+        }
+    }
+    let after = &rest[end? + 1..];
+    let value = after.trim_start().strip_prefix(':')?.trim();
+    Some((key, value.to_string()))
+}
+
+/// Records one harness's wall-clock entry in `BENCH_figures.json` (under
+/// the report directory), keyed by harness name. No-op unless
+/// `PROTEAN_BENCH_JSON` is set; write failures warn rather than abort a
+/// finished harness run.
+pub fn record_harness(name: &str, wall_ms: u64, jobs: usize, scale: &str) {
+    let Some(dir) = report_dir() else {
+        return;
+    };
+    let entry = Json::obj([
+        ("wall_ms", Json::U64(wall_ms)),
+        ("jobs", Json::U64(jobs as u64)),
+        ("scale", Json::Str(scale.to_string())),
+    ]);
+    if let Err(e) = update_json_map(&dir.join("BENCH_figures.json"), name, &entry) {
+        eprintln!("warning: could not write BENCH_figures.json: {e}");
+    }
+}
+
+/// Reads the raw value text for `key` from the top-level object of the
+/// JSON file at `path`, if present.
+pub fn read_top_level(path: &Path, key: &str) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    split_top_level(&text)
+        .into_iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+/// Extracts the number stored at `"field": <number>` inside a flat JSON
+/// object's text (as returned by [`read_top_level`]). Good enough for the
+/// regression gate's baseline reads; not a general JSON parser.
+pub fn number_field(object_text: &str, field: &str) -> Option<f64> {
+    for (k, v) in split_top_level(object_text) {
+        if k == field {
+            return v.parse::<f64>().ok();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_escapes_and_sorts() {
+        let j = Json::obj([
+            ("b", Json::Str("quote \" slash \\ nl \n".into())),
+            ("a", Json::Arr(vec![Json::U64(1), Json::F64(2.5)])),
+        ]);
+        assert_eq!(
+            j.to_string(),
+            "{\"a\": [1, 2.5], \"b\": \"quote \\\" slash \\\\ nl \\n\"}"
+        );
+    }
+
+    #[test]
+    fn f64_formatting_trims_zeros() {
+        assert_eq!(Json::F64(52.7).to_string(), "52.7");
+        assert_eq!(Json::F64(45.0).to_string(), "45");
+        assert_eq!(Json::F64(0.123456789).to_string(), "0.123457");
+        assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn update_merges_without_touching_other_keys() {
+        let dir = std::env::temp_dir().join("protean_report_test");
+        let path = dir.join("merge.json");
+        let _ = std::fs::remove_file(&path);
+        update_json_map(&path, "one", &Json::obj([("ms", Json::U64(100))])).unwrap();
+        update_json_map(&path, "two", &Json::obj([("ms", Json::U64(200))])).unwrap();
+        update_json_map(&path, "one", &Json::obj([("ms", Json::U64(150))])).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entries = split_top_level(&text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(read_top_level(&path, "one").unwrap(), "{\"ms\": 150}");
+        assert_eq!(read_top_level(&path, "two").unwrap(), "{\"ms\": 200}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn splitter_survives_nested_values_and_tricky_strings() {
+        let text = r#"{
+          "a": {"inner": [1, 2, {"x": "br } ace, \" quote"}]},
+          "b, not a split": 7
+        }"#;
+        let entries = split_top_level(text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "a");
+        assert_eq!(entries[1], ("b, not a split".to_string(), "7".to_string()));
+        assert_eq!(number_field(&entries[0].1, "inner"), None);
+    }
+
+    #[test]
+    fn number_field_reads_flat_objects() {
+        let obj = r#"{"m_instr_per_s": 52.7, "insts": 20231340, "workload": "milc"}"#;
+        assert_eq!(number_field(obj, "m_instr_per_s"), Some(52.7));
+        assert_eq!(number_field(obj, "insts"), Some(20231340.0));
+        assert_eq!(number_field(obj, "workload"), None);
+        assert_eq!(number_field(obj, "missing"), None);
+    }
+}

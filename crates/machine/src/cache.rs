@@ -58,11 +58,18 @@ const INVALID: u64 = u64::MAX;
 pub struct Cache {
     sets: usize,
     ways: usize,
+    /// `sets - 1`, precomputed so indexing is a single mask.
+    set_mask: usize,
     /// `tags[set * ways + way]`: line address or `INVALID`.
     tags: Vec<u64>,
     /// Monotonic per-entry timestamps implementing true LRU.
     stamps: Vec<u64>,
     tick: u64,
+    /// MRU short-circuit: the line and slot of the last hit. The slot is
+    /// re-verified against `tags` on use, so intervening fills and
+    /// invalidations can never fake a hit.
+    last_line: u64,
+    last_slot: usize,
     stats: CacheStats,
 }
 
@@ -78,29 +85,43 @@ impl Cache {
         Cache {
             sets: config.sets,
             ways: config.ways,
+            set_mask: config.sets - 1,
             tags: vec![INVALID; config.sets * config.ways],
             stamps: vec![0; config.sets * config.ways],
             tick: 0,
+            last_line: INVALID,
+            last_slot: 0,
             stats: CacheStats::default(),
         }
     }
 
     #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line as usize) & (self.sets - 1)
+        (line as usize) & self.set_mask
     }
 
     /// Looks up a line; on hit promotes it to MRU. Returns whether it hit.
+    #[inline]
     pub fn lookup(&mut self, line: u64) -> bool {
-        let set = self.set_of(line);
-        let base = set * self.ways;
         self.tick += 1;
-        for way in 0..self.ways {
-            if self.tags[base + way] == line {
-                self.stamps[base + way] = self.tick;
-                self.stats.hits += 1;
-                return true;
-            }
+        // MRU short-circuit: repeated hits on the same line (the common
+        // case for L1 under straight-line code) skip the way scan. The
+        // re-stamp keeps true-LRU state exactly as the scan would.
+        if line == self.last_line && self.tags[self.last_slot] == line {
+            self.stamps[self.last_slot] = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        let base = self.set_of(line) * self.ways;
+        // Slice scan: one bounds check for the whole set, and a shape the
+        // compiler can vectorize for wide (LLC) sets.
+        let tags = &self.tags[base..base + self.ways];
+        if let Some(way) = tags.iter().position(|&t| t == line) {
+            self.stamps[base + way] = self.tick;
+            self.stats.hits += 1;
+            self.last_line = line;
+            self.last_slot = base + way;
+            return true;
         }
         self.stats.misses += 1;
         false
@@ -108,9 +129,8 @@ impl Cache {
 
     /// Checks presence without updating LRU state or statistics.
     pub fn probe(&self, line: u64) -> bool {
-        let set = self.set_of(line);
-        let base = set * self.ways;
-        (0..self.ways).any(|way| self.tags[base + way] == line)
+        let base = self.set_of(line) * self.ways;
+        self.tags[base..base + self.ways].contains(&line)
     }
 
     /// Fills a line at the given insertion position, returning the evicted
@@ -119,8 +139,7 @@ impl Cache {
     /// Filling a line that is already present only adjusts its LRU
     /// position.
     pub fn fill(&mut self, line: u64, pos: InsertPos) -> Option<u64> {
-        let set = self.set_of(line);
-        let base = set * self.ways;
+        let base = self.set_of(line) * self.ways;
         self.tick += 1;
         self.stats.fills += 1;
         let stamp = match pos {
@@ -128,29 +147,41 @@ impl Cache {
             // LRU insert: older than everything currently in the set.
             InsertPos::Lru => 0,
         };
-        // Already present? Re-stamp only.
-        for way in 0..self.ways {
-            if self.tags[base + way] == line {
-                self.stamps[base + way] = stamp;
-                return None;
-            }
-        }
-        // Choose victim: invalid way first, else smallest stamp.
+        // One pass over the set: detect an already-present line, remember
+        // the first invalid way, and track the smallest stamp among valid
+        // ways. The victim choice matches the two-pass formulation exactly
+        // (any invalid way beats every valid one).
+        let mut invalid_way = usize::MAX;
         let mut victim = 0;
         let mut best = u64::MAX;
-        for way in 0..self.ways {
-            if self.tags[base + way] == INVALID {
-                victim = way;
-                break;
+        let tags = &self.tags[base..base + self.ways];
+        let stamps = &self.stamps[base..base + self.ways];
+        for (way, (&tag, &when)) in tags.iter().zip(stamps).enumerate() {
+            if tag == line {
+                // Already present: re-stamp only.
+                self.stamps[base + way] = stamp;
+                self.last_line = line;
+                self.last_slot = base + way;
+                return None;
             }
-            if self.stamps[base + way] < best {
-                best = self.stamps[base + way];
+            if tag == INVALID {
+                if invalid_way == usize::MAX {
+                    invalid_way = way;
+                }
+            } else if when < best {
+                best = when;
                 victim = way;
             }
         }
-        let evicted = self.tags[base + victim];
-        self.tags[base + victim] = line;
-        self.stamps[base + victim] = stamp;
+        if invalid_way != usize::MAX {
+            victim = invalid_way;
+        }
+        let slot = base + victim;
+        let evicted = self.tags[slot];
+        self.tags[slot] = line;
+        self.stamps[slot] = stamp;
+        self.last_line = line;
+        self.last_slot = slot;
         if evicted == INVALID {
             None
         } else {
@@ -251,6 +282,39 @@ mod tests {
             "the LRU-inserted line must be evicted first"
         );
         assert!(c.probe(0));
+    }
+
+    #[test]
+    fn mru_short_circuit_never_fakes_a_hit() {
+        let mut c = tiny();
+        c.fill(10, InsertPos::Mru);
+        assert!(c.lookup(10)); // primes the MRU slot
+        assert!(c.lookup(10)); // fast path
+                               // Invalidate the remembered line: the fast path must re-verify.
+        c.invalidate(10);
+        assert!(!c.lookup(10));
+        // Evict by filling the set (lines 10, 0, 2 share set 0): a hit on
+        // the *replacement* line in the same slot must not leak line 10.
+        c.fill(0, InsertPos::Mru);
+        c.fill(2, InsertPos::Mru);
+        assert!(!c.lookup(10));
+        assert!(c.lookup(0));
+        assert!(c.lookup(0));
+        assert_eq!(c.stats().hits, 4);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn mru_short_circuit_keeps_lru_order_exact() {
+        let mut c = tiny();
+        // Set 0 holds lines 0 and 2; repeated fast-path hits on 0 must
+        // keep re-stamping it so 2 stays the LRU victim.
+        c.fill(0, InsertPos::Mru);
+        c.fill(2, InsertPos::Mru);
+        for _ in 0..3 {
+            assert!(c.lookup(0));
+        }
+        assert_eq!(c.fill(4, InsertPos::Mru), Some(2));
     }
 
     #[test]

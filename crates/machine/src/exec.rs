@@ -7,6 +7,26 @@
 //! protean runtime patch a process's EVT or append to its code cache while
 //! the process is between quanta — exactly the asynchrony the paper's
 //! mechanism relies on.
+//!
+//! # Block dispatch
+//!
+//! The interpreter executes *decoded basic blocks*, not single ops: a
+//! [`BlockCache`] (owned by the caller, alongside text) maps every entry
+//! PC to the length of the straight-line run starting there, ending at the
+//! first control-flow op. Straight-line execution then pays one bounds
+//! check per block instead of per instruction (the per-instruction budget
+//! gate stays, so quantum boundaries are identical to pre-block dispatch),
+//! and the hot counters (`instructions`, `branches`, `cycles`) accumulate
+//! in locals that are flushed once per [`run`] call.
+//!
+//! Cached blocks are `(entry, len)` ranges into `text`, never copies of
+//! the ops, so a stale range can misjudge a block *boundary* but can never
+//! execute stale *instructions* — every slot is read from live text.
+//! Callers still must bump [`ExecEnv::text_gen`] whenever they mutate text
+//! (code-cache append, corruption): the cache discards all ranges decoded
+//! under another generation, restoring optimal block shapes. EVT patches
+//! need no invalidation at all, because `CallVirt` reads its target cell
+//! from data memory on every dispatch.
 
 use std::collections::HashSet;
 
@@ -16,6 +36,10 @@ use crate::config::{BtConfig, CostModel};
 use crate::counters::PerfCounters;
 use crate::hierarchy::{AccessKind, MemorySystem};
 use crate::phys_addr;
+
+/// Longest straight-line run decoded as one block. Bounds the decode
+/// cost of cold code.
+const MAX_BLOCK_OPS: usize = 64;
 
 /// Why a [`run`] call stopped.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -46,11 +70,77 @@ pub enum ExecStatus {
 /// Result of one [`run`] call.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RunResult {
-    /// Cycles actually consumed (may slightly exceed the budget when the
-    /// final instruction stalls).
+    /// Cycles actually consumed. The budget is checked before every
+    /// instruction (same semantics as pre-block dispatch), so the
+    /// overshoot is bounded by one instruction's cost.
     pub cycles: u64,
     /// Why execution stopped.
     pub stop: StopReason,
+}
+
+/// Decoded-block cache for one text space.
+///
+/// Maps entry PC → length of the basic block starting there (straight-line
+/// ops plus the terminating control-flow op, capped at [`MAX_BLOCK_OPS`]).
+/// Entries are ranges into the caller's text, decoded lazily on first
+/// dispatch and discarded wholesale when the text generation moves.
+#[derive(Clone, Debug, Default)]
+pub struct BlockCache {
+    /// Generation of the text the current entries were decoded against.
+    gen: u64,
+    /// Block length keyed by entry PC; 0 = not yet decoded.
+    len_at: Vec<u32>,
+}
+
+impl BlockCache {
+    /// An empty cache; decodes lazily on first use.
+    pub fn new() -> Self {
+        BlockCache::default()
+    }
+
+    /// Aligns the cache with `text_len` ops at generation `gen`, dropping
+    /// every entry if either moved. A length change without a generation
+    /// bump is treated as a mutation too, so a forgotten bump degrades to
+    /// a full re-decode rather than stale block shapes.
+    fn sync(&mut self, text_len: usize, gen: u64) {
+        if gen != self.gen || self.len_at.len() != text_len {
+            self.len_at.clear();
+            self.len_at.resize(text_len, 0);
+            self.gen = gen;
+        }
+    }
+
+    /// Length of the block entered at `pc`, decoding it if unseen.
+    /// `None` when `pc` is outside text.
+    #[inline]
+    fn block_len(&mut self, pc: u32, text: &[Op]) -> Option<u32> {
+        let start = pc as usize;
+        let cached = *self.len_at.get(start)?;
+        if cached != 0 {
+            return Some(cached);
+        }
+        let cap = text.len().min(start + MAX_BLOCK_OPS);
+        let mut i = start;
+        while i < cap {
+            let straight = matches!(
+                text[i],
+                Op::Movi { .. }
+                    | Op::Alu { .. }
+                    | Op::AluImm { .. }
+                    | Op::Load { .. }
+                    | Op::Store { .. }
+                    | Op::PrefetchNta { .. }
+                    | Op::Report { .. }
+            );
+            i += 1;
+            if !straight {
+                break;
+            }
+        }
+        let len = (i - start) as u32;
+        self.len_at[start] = len;
+        Some(len)
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -60,13 +150,23 @@ struct Frame {
     ret_dst: Option<PReg>,
 }
 
+/// Translation-cache targets below this bound live in a dense bitset (one
+/// bit per text address); rarer far targets (garbage indirect branches)
+/// spill to a hash set so a wild `CallVirt` cannot force a huge
+/// allocation.
+const BT_DENSE_LIMIT: u32 = 1 << 22;
+
 /// Binary-translation execution mode (the DynamoRIO-style baseline of
 /// Figure 4). When attached to a context, every first-executed basic
 /// block pays a translation cost and every branch pays dispatch overhead.
 #[derive(Clone, Debug)]
 pub struct BtState {
     config: BtConfig,
-    translated: HashSet<u32>,
+    /// Dense seen-target bitset over text addresses below
+    /// [`BT_DENSE_LIMIT`], grown on demand.
+    translated: Vec<u64>,
+    /// Spillover for targets at or above [`BT_DENSE_LIMIT`].
+    translated_far: HashSet<u32>,
     inst_counter: u8,
     /// Total extra cycles charged so far (for reporting).
     pub overhead_cycles: u64,
@@ -77,9 +177,27 @@ impl BtState {
     pub fn new(config: BtConfig) -> Self {
         BtState {
             config,
-            translated: HashSet::new(),
+            translated: Vec::new(),
+            translated_far: HashSet::new(),
             inst_counter: 0,
             overhead_cycles: 0,
+        }
+    }
+
+    /// Records `target` as translated; true if it was new.
+    #[inline]
+    fn mark_translated(&mut self, target: u32) -> bool {
+        if target < BT_DENSE_LIMIT {
+            let word = (target >> 6) as usize;
+            if word >= self.translated.len() {
+                self.translated.resize(word + 1, 0);
+            }
+            let mask = 1u64 << (target & 63);
+            let fresh = self.translated[word] & mask == 0;
+            self.translated[word] |= mask;
+            fresh
+        } else {
+            self.translated_far.insert(target)
         }
     }
 
@@ -91,7 +209,7 @@ impl BtState {
         } else {
             self.config.branch_dispatch
         };
-        if self.translated.insert(target) {
+        if self.mark_translated(target) {
             cost += self.config.translate_block;
         }
         self.overhead_cycles += cost;
@@ -117,6 +235,9 @@ pub struct ExecContext {
     pc: u32,
     regs: Vec<i64>,
     frames: Vec<Frame>,
+    /// Register-window base of the innermost frame, cached so register
+    /// accesses skip the `frames.last()` indirection on the hot path.
+    base: usize,
     status: ExecStatus,
     space: u16,
     evt_base: u64,
@@ -136,6 +257,7 @@ impl ExecContext {
             pc: entry,
             regs: Vec::with_capacity(FRAME_REGS * 16),
             frames: Vec::with_capacity(16),
+            base: 0,
             status: ExecStatus::Running,
             space,
             evt_base,
@@ -152,7 +274,7 @@ impl ExecContext {
     /// before timing starts, as when DynamoRIO takes over a process).
     pub fn with_binary_translation(mut self, config: BtConfig) -> Self {
         let mut bt = BtState::new(config);
-        bt.translated.insert(self.pc);
+        bt.mark_translated(self.pc);
         self.bt = Some(bt);
         self
     }
@@ -211,18 +333,18 @@ impl ExecContext {
             ret_pc,
             ret_dst,
         });
+        self.base = base;
         self.pc = target;
     }
 
     #[inline]
     fn reg(&self, r: PReg) -> i64 {
-        self.regs[self.frames.last().expect("live frame").base + r.index()]
+        self.regs[self.base + r.index()]
     }
 
     #[inline]
     fn set_reg(&mut self, r: PReg, v: i64) {
-        let base = self.frames.last().expect("live frame").base;
-        self.regs[base + r.index()] = v;
+        self.regs[self.base + r.index()] = v;
     }
 }
 
@@ -230,6 +352,14 @@ impl ExecContext {
 pub struct ExecEnv<'a> {
     /// Program text: loaded image plus any appended code-cache variants.
     pub text: &'a [Op],
+    /// Monotonic generation of `text`. Callers bump it on every text
+    /// mutation (code-cache append, corruption); `blocks` entries decoded
+    /// under a different generation are discarded. EVT patches are data
+    /// writes and need no bump.
+    pub text_gen: u64,
+    /// Decoded-block cache for `text`, owned by the caller and reused
+    /// across quanta.
+    pub blocks: &'a mut BlockCache,
     /// The process data segment.
     pub data: &'a mut [u8],
     /// The machine's cache hierarchy.
@@ -254,13 +384,22 @@ fn in_bounds(addr: u64, len: usize) -> bool {
     addr.checked_add(8).is_some_and(|end| end <= len as u64)
 }
 
+/// The PC after the op at `op_pc`, or `None` when the increment would
+/// leave u32 — the caller faults instead of wrapping to address 0.
+#[inline]
+fn checked_next_pc(op_pc: usize) -> Option<u32> {
+    u32::try_from(op_pc as u64 + 1).ok()
+}
+
 /// Runs `ctx` for up to `budget` cycles, returning how many cycles were
 /// consumed and why execution stopped.
 ///
 /// Memory accesses outside the data segment fault the context rather than
 /// panicking, so buggy generated programs surface as [`StopReason::Faulted`].
+/// PC arithmetic that would wrap past `u32::MAX` (fall-through or return
+/// address past the end of a 4Gi-op text, an EVT target wider than u32)
+/// faults the same way instead of silently wrapping or truncating.
 pub fn run(ctx: &mut ExecContext, env: &mut ExecEnv<'_>, budget: u64) -> RunResult {
-    let mut used: u64 = 0;
     if ctx.status != ExecStatus::Running {
         let stop = match ctx.status {
             ExecStatus::Waiting => StopReason::Waiting,
@@ -269,216 +408,309 @@ pub fn run(ctx: &mut ExecContext, env: &mut ExecEnv<'_>, budget: u64) -> RunResu
         };
         return RunResult { cycles: 0, stop };
     }
-    while used < budget {
-        let Some(op) = env.text.get(ctx.pc as usize) else {
-            let bad = u64::from(ctx.pc);
-            let stop = fault(ctx, bad);
-            return RunResult { cycles: used, stop };
+    // Monomorphize over BT mode once per quantum: the common no-BT path
+    // carries no per-instruction translation-tax checks at all.
+    if ctx.bt.is_some() {
+        run_impl::<true>(ctx, env, budget)
+    } else {
+        run_impl::<false>(ctx, env, budget)
+    }
+}
+
+fn run_impl<const BT: bool>(
+    ctx: &mut ExecContext,
+    env: &mut ExecEnv<'_>,
+    budget: u64,
+) -> RunResult {
+    let text = env.text;
+    env.blocks.sync(text.len(), env.text_gen);
+    let costs = env.costs;
+    let data_len = env.data.len();
+    // Hot counters accumulate in locals and flush once on exit.
+    let mut used: u64 = 0;
+    let mut insts: u64 = 0;
+    let mut branches: u64 = 0;
+    let mut pc = ctx.pc;
+    let stop = 'dispatch: loop {
+        if used >= budget {
+            break StopReason::BudgetExhausted;
+        }
+        let Some(len) = env.blocks.block_len(pc, text) else {
+            break fault(ctx, u64::from(pc));
         };
-        env.counters.instructions += 1;
-        let mut cost;
-        let mut next_pc = ctx.pc + 1;
-        let bt_inst_tax = match &mut ctx.bt {
-            Some(bt) => bt.charge_inst(),
-            None => 0,
-        };
-        match op {
-            Op::Movi { dst, imm } => {
-                cost = env.costs.alu;
-                ctx.set_reg(*dst, *imm);
+        let start = pc as usize;
+        let ops = &text[start..start + len as usize];
+        let mut i = 0usize;
+        // The decoded range is straight-line ops plus one terminator, but
+        // every arm below is self-contained: a block shape that went stale
+        // under in-place mutation still executes the live ops correctly.
+        while i < ops.len() {
+            let op = &ops[i];
+            // The budget gate is per instruction, exactly as pre-block
+            // dispatch: quantum boundaries land on the same instruction,
+            // so schedule-sensitive simulations are unchanged. The compare
+            // is predictable and costs far less than it preserves.
+            if used >= budget {
+                pc = (start + i) as u32;
+                break 'dispatch StopReason::BudgetExhausted;
             }
-            Op::Alu { op, dst, a, b } => {
-                cost = env.costs.alu;
-                let v = op.eval(ctx.reg(*a), ctx.reg(*b));
-                ctx.set_reg(*dst, v);
-            }
-            Op::AluImm { op, dst, a, imm } => {
-                cost = env.costs.alu;
-                let v = op.eval(ctx.reg(*a), *imm);
-                ctx.set_reg(*dst, v);
-            }
-            Op::Load { dst, base, offset } => {
-                cost = env.costs.alu;
-                let addr = ctx.reg(*base).wrapping_add(*offset) as u64;
-                if !in_bounds(addr, env.data.len()) {
-                    let stop = fault(ctx, addr);
-                    return RunResult { cycles: used, stop };
+            insts += 1;
+            let bt_inst_tax = if BT {
+                ctx.bt.as_mut().expect("BT mode").charge_inst()
+            } else {
+                0
+            };
+            match op {
+                Op::Movi { dst, imm } => {
+                    used += costs.alu + bt_inst_tax;
+                    ctx.set_reg(*dst, *imm);
                 }
-                cost += env.mem.access(
-                    env.core,
-                    phys_addr(ctx.space, addr),
-                    AccessKind::Load,
-                    env.counters,
-                );
-                let a = addr as usize;
-                let v = i64::from_le_bytes(env.data[a..a + 8].try_into().expect("8 bytes"));
-                ctx.set_reg(*dst, v);
-            }
-            Op::Store { base, offset, src } => {
-                cost = env.costs.alu;
-                let addr = ctx.reg(*base).wrapping_add(*offset) as u64;
-                if !in_bounds(addr, env.data.len()) {
-                    let stop = fault(ctx, addr);
-                    return RunResult { cycles: used, stop };
+                Op::Alu { op, dst, a, b } => {
+                    used += costs.alu + bt_inst_tax;
+                    let v = op.eval(ctx.reg(*a), ctx.reg(*b));
+                    ctx.set_reg(*dst, v);
                 }
-                cost += env.mem.access(
-                    env.core,
-                    phys_addr(ctx.space, addr),
-                    AccessKind::Store,
-                    env.counters,
-                );
-                let v = ctx.reg(*src);
-                let a = addr as usize;
-                env.data[a..a + 8].copy_from_slice(&v.to_le_bytes());
-            }
-            Op::PrefetchNta { base, offset } => {
-                cost = env.costs.prefetch;
-                let addr = ctx.reg(*base).wrapping_add(*offset) as u64;
-                // Prefetches to invalid addresses are silently dropped, as
-                // on real hardware.
-                if in_bounds(addr, env.data.len()) {
+                Op::AluImm { op, dst, a, imm } => {
+                    used += costs.alu + bt_inst_tax;
+                    let v = op.eval(ctx.reg(*a), *imm);
+                    ctx.set_reg(*dst, v);
+                }
+                Op::Load { dst, base, offset } => {
+                    let addr = ctx.reg(*base).wrapping_add(*offset) as u64;
+                    if !in_bounds(addr, data_len) {
+                        pc = (start + i) as u32;
+                        break 'dispatch fault(ctx, addr);
+                    }
+                    used += costs.alu
+                        + bt_inst_tax
+                        + env.mem.access(
+                            env.core,
+                            phys_addr(ctx.space, addr),
+                            AccessKind::Load,
+                            env.counters,
+                        );
+                    let a = addr as usize;
+                    let v = i64::from_le_bytes(env.data[a..a + 8].try_into().expect("8 bytes"));
+                    ctx.set_reg(*dst, v);
+                }
+                Op::Store { base, offset, src } => {
+                    let addr = ctx.reg(*base).wrapping_add(*offset) as u64;
+                    if !in_bounds(addr, data_len) {
+                        pc = (start + i) as u32;
+                        break 'dispatch fault(ctx, addr);
+                    }
+                    used += costs.alu
+                        + bt_inst_tax
+                        + env.mem.access(
+                            env.core,
+                            phys_addr(ctx.space, addr),
+                            AccessKind::Store,
+                            env.counters,
+                        );
+                    let v = ctx.reg(*src);
+                    let a = addr as usize;
+                    env.data[a..a + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                Op::PrefetchNta { base, offset } => {
+                    let addr = ctx.reg(*base).wrapping_add(*offset) as u64;
+                    used += costs.prefetch + bt_inst_tax;
+                    // Prefetches to invalid addresses are silently dropped,
+                    // as on real hardware.
+                    if in_bounds(addr, data_len) {
+                        used += env.mem.access(
+                            env.core,
+                            phys_addr(ctx.space, addr),
+                            AccessKind::NonTemporalPrefetch,
+                            env.counters,
+                        );
+                    }
+                }
+                Op::Jmp { target } => {
+                    branches += 1;
+                    let mut cost = costs.branch;
+                    if BT {
+                        cost += ctx
+                            .bt
+                            .as_mut()
+                            .expect("BT mode")
+                            .charge_branch(*target, false);
+                    }
+                    used += cost + bt_inst_tax;
+                    pc = *target;
+                    continue 'dispatch;
+                }
+                Op::Bnz { cond, target } => {
+                    branches += 1;
+                    let mut cost = costs.branch;
+                    if ctx.reg(*cond) != 0 {
+                        if BT {
+                            cost += ctx
+                                .bt
+                                .as_mut()
+                                .expect("BT mode")
+                                .charge_branch(*target, false);
+                        }
+                        used += cost + bt_inst_tax;
+                        pc = *target;
+                        continue 'dispatch;
+                    }
+                    used += cost + bt_inst_tax;
+                }
+                Op::Bz { cond, target } => {
+                    branches += 1;
+                    let mut cost = costs.branch;
+                    if ctx.reg(*cond) == 0 {
+                        if BT {
+                            cost += ctx
+                                .bt
+                                .as_mut()
+                                .expect("BT mode")
+                                .charge_branch(*target, false);
+                        }
+                        used += cost + bt_inst_tax;
+                        pc = *target;
+                        continue 'dispatch;
+                    }
+                    used += cost + bt_inst_tax;
+                }
+                Op::Call { target, dst, args } => {
+                    branches += 1;
+                    let mut cost = costs.call;
+                    if BT {
+                        cost += ctx
+                            .bt
+                            .as_mut()
+                            .expect("BT mode")
+                            .charge_branch(*target, false);
+                    }
+                    let mut vals = [0i64; visa::MAX_ARGS];
+                    for (k, a) in args.iter().enumerate() {
+                        vals[k] = ctx.reg(*a);
+                    }
+                    let Some(ret_pc) = checked_next_pc(start + i) else {
+                        pc = (start + i) as u32;
+                        break 'dispatch fault(ctx, start as u64 + i as u64 + 1);
+                    };
+                    ctx.push_frame(*target, ret_pc, *dst, &vals[..args.len()]);
+                    used += cost + bt_inst_tax;
+                    pc = *target;
+                    continue 'dispatch;
+                }
+                Op::CallVirt { slot, dst, args } => {
+                    branches += 1;
+                    let mut cost = costs.call + costs.indirect_penalty;
+                    let cell = ctx
+                        .evt_base
+                        .wrapping_add(8u64.wrapping_mul(u64::from(*slot)));
+                    if !in_bounds(cell, data_len) {
+                        pc = (start + i) as u32;
+                        break 'dispatch fault(ctx, cell);
+                    }
+                    // The EVT read is an ordinary cached memory access; this
+                    // is where the (tiny) cost of edge virtualization lives.
                     cost += env.mem.access(
                         env.core,
-                        phys_addr(ctx.space, addr),
-                        AccessKind::NonTemporalPrefetch,
+                        phys_addr(ctx.space, cell),
+                        AccessKind::Load,
                         env.counters,
                     );
-                }
-            }
-            Op::Jmp { target } => {
-                cost = env.costs.branch;
-                env.counters.branches += 1;
-                if let Some(bt) = &mut ctx.bt {
-                    cost += bt.charge_branch(*target, false);
-                }
-                next_pc = *target;
-            }
-            Op::Bnz { cond, target } => {
-                cost = env.costs.branch;
-                env.counters.branches += 1;
-                if ctx.reg(*cond) != 0 {
-                    if let Some(bt) = &mut ctx.bt {
-                        cost += bt.charge_branch(*target, false);
-                    }
-                    next_pc = *target;
-                }
-            }
-            Op::Bz { cond, target } => {
-                cost = env.costs.branch;
-                env.counters.branches += 1;
-                if ctx.reg(*cond) == 0 {
-                    if let Some(bt) = &mut ctx.bt {
-                        cost += bt.charge_branch(*target, false);
-                    }
-                    next_pc = *target;
-                }
-            }
-            Op::Call { target, dst, args } => {
-                cost = env.costs.call;
-                env.counters.branches += 1;
-                if let Some(bt) = &mut ctx.bt {
-                    cost += bt.charge_branch(*target, false);
-                }
-                let mut vals = [0i64; visa::MAX_ARGS];
-                for (i, a) in args.iter().enumerate() {
-                    vals[i] = ctx.reg(*a);
-                }
-                let ret_pc = ctx.pc + 1;
-                ctx.push_frame(*target, ret_pc, *dst, &vals[..args.len()]);
-                next_pc = *target;
-            }
-            Op::CallVirt { slot, dst, args } => {
-                cost = env.costs.call + env.costs.indirect_penalty;
-                env.counters.branches += 1;
-                let cell = ctx
-                    .evt_base
-                    .wrapping_add(8u64.wrapping_mul(u64::from(*slot)));
-                if !in_bounds(cell, env.data.len()) {
-                    let stop = fault(ctx, cell);
-                    return RunResult { cycles: used, stop };
-                }
-                // The EVT read is an ordinary cached memory access; this
-                // is where the (tiny) cost of edge virtualization lives.
-                cost += env.mem.access(
-                    env.core,
-                    phys_addr(ctx.space, cell),
-                    AccessKind::Load,
-                    env.counters,
-                );
-                let c = cell as usize;
-                let target =
-                    u64::from_le_bytes(env.data[c..c + 8].try_into().expect("8 bytes")) as u32;
-                if let Some(bt) = &mut ctx.bt {
-                    cost += bt.charge_branch(target, true);
-                }
-                let mut vals = [0i64; visa::MAX_ARGS];
-                for (i, a) in args.iter().enumerate() {
-                    vals[i] = ctx.reg(*a);
-                }
-                let ret_pc = ctx.pc + 1;
-                ctx.push_frame(target, ret_pc, *dst, &vals[..args.len()]);
-                next_pc = target;
-            }
-            Op::Ret { src } => {
-                cost = env.costs.call;
-                env.counters.branches += 1;
-                let val = src.map(|r| ctx.reg(r));
-                let frame = ctx.frames.pop().expect("ret with live frame");
-                ctx.regs.truncate(frame.base);
-                if ctx.frames.is_empty() {
-                    // Returned from the entry frame: program finished.
-                    env.counters.cycles += cost;
-                    used += cost;
-                    ctx.status = ExecStatus::Halted;
-                    return RunResult {
-                        cycles: used,
-                        stop: StopReason::Halted,
+                    let c = cell as usize;
+                    let raw = u64::from_le_bytes(env.data[c..c + 8].try_into().expect("8 bytes"));
+                    let Ok(target) = u32::try_from(raw) else {
+                        // A corrupted EVT cell wider than the PC space
+                        // faults instead of silently truncating to a
+                        // plausible (and wrong) text address.
+                        pc = (start + i) as u32;
+                        break 'dispatch fault(ctx, raw);
                     };
+                    if BT {
+                        cost += ctx
+                            .bt
+                            .as_mut()
+                            .expect("BT mode")
+                            .charge_branch(target, true);
+                    }
+                    let mut vals = [0i64; visa::MAX_ARGS];
+                    for (k, a) in args.iter().enumerate() {
+                        vals[k] = ctx.reg(*a);
+                    }
+                    let Some(ret_pc) = checked_next_pc(start + i) else {
+                        pc = (start + i) as u32;
+                        break 'dispatch fault(ctx, start as u64 + i as u64 + 1);
+                    };
+                    ctx.push_frame(target, ret_pc, *dst, &vals[..args.len()]);
+                    used += cost + bt_inst_tax;
+                    pc = target;
+                    continue 'dispatch;
                 }
-                if let Some(bt) = &mut ctx.bt {
-                    cost += bt.charge_branch(frame.ret_pc, true);
+                Op::Ret { src } => {
+                    branches += 1;
+                    let mut cost = costs.call;
+                    let val = src.map(|r| ctx.reg(r));
+                    let frame = ctx.frames.pop().expect("ret with live frame");
+                    ctx.regs.truncate(frame.base);
+                    if ctx.frames.is_empty() {
+                        // Returned from the entry frame: program finished.
+                        ctx.base = 0;
+                        used += cost;
+                        pc = (start + i) as u32;
+                        ctx.status = ExecStatus::Halted;
+                        break 'dispatch StopReason::Halted;
+                    }
+                    ctx.base = ctx.frames.last().expect("caller frame").base;
+                    if BT {
+                        cost += ctx
+                            .bt
+                            .as_mut()
+                            .expect("BT mode")
+                            .charge_branch(frame.ret_pc, true);
+                    }
+                    if let (Some(dst), Some(v)) = (frame.ret_dst, val) {
+                        ctx.set_reg(dst, v);
+                    }
+                    used += cost + bt_inst_tax;
+                    pc = frame.ret_pc;
+                    continue 'dispatch;
                 }
-                if let (Some(dst), Some(v)) = (frame.ret_dst, val) {
-                    ctx.set_reg(dst, v);
+                Op::Report { channel, src } => {
+                    used += costs.alu + bt_inst_tax;
+                    let v = ctx.reg(*src);
+                    ctx.reports.push((*channel, v));
                 }
-                next_pc = frame.ret_pc;
+                Op::Wait => {
+                    used += costs.alu;
+                    let Some(next) = checked_next_pc(start + i) else {
+                        pc = (start + i) as u32;
+                        break 'dispatch fault(ctx, start as u64 + i as u64 + 1);
+                    };
+                    pc = next;
+                    ctx.status = ExecStatus::Waiting;
+                    break 'dispatch StopReason::Waiting;
+                }
+                Op::Halt => {
+                    used += costs.alu;
+                    pc = (start + i) as u32;
+                    ctx.status = ExecStatus::Halted;
+                    break 'dispatch StopReason::Halted;
+                }
             }
-            Op::Report { channel, src } => {
-                cost = env.costs.alu;
-                let v = ctx.reg(*src);
-                ctx.reports.push((*channel, v));
-            }
-            Op::Wait => {
-                cost = env.costs.alu;
-                env.counters.cycles += cost;
-                used += cost;
-                ctx.pc = next_pc;
-                ctx.status = ExecStatus::Waiting;
-                return RunResult {
-                    cycles: used,
-                    stop: StopReason::Waiting,
-                };
-            }
-            Op::Halt => {
-                cost = env.costs.alu;
-                env.counters.cycles += cost;
-                used += cost;
-                ctx.status = ExecStatus::Halted;
-                return RunResult {
-                    cycles: used,
-                    stop: StopReason::Halted,
-                };
+            i += 1;
+        }
+        // Fall through past the block's end to the next sequential block.
+        let next = start as u64 + u64::from(len);
+        match u32::try_from(next) {
+            Ok(next_pc) => pc = next_pc,
+            Err(_) => {
+                pc = (start + len as usize - 1) as u32;
+                break fault(ctx, next);
             }
         }
-        cost += bt_inst_tax;
-        env.counters.cycles += cost;
-        used += cost;
-        ctx.pc = next_pc;
-    }
-    RunResult {
-        cycles: used,
-        stop: StopReason::BudgetExhausted,
-    }
+    };
+    ctx.pc = pc;
+    env.counters.instructions += insts;
+    env.counters.branches += branches;
+    env.counters.cycles += used;
+    RunResult { cycles: used, stop }
 }
 
 #[cfg(test)]
@@ -487,12 +719,13 @@ mod tests {
     use crate::config::MachineConfig;
     use pir::BinOp;
 
-    fn env_parts() -> (MemorySystem, Vec<u8>, PerfCounters) {
+    fn env_parts() -> (MemorySystem, Vec<u8>, PerfCounters, BlockCache) {
         let cfg = MachineConfig::small();
         (
             MemorySystem::new(&cfg),
             vec![0u8; 4096],
             PerfCounters::default(),
+            BlockCache::new(),
         )
     }
 
@@ -500,9 +733,12 @@ mod tests {
         let cfg = MachineConfig::small();
         let mut mem = MemorySystem::new(&cfg);
         let mut counters = PerfCounters::default();
+        let mut blocks = BlockCache::new();
         let mut ctx = ExecContext::new(0, 1, evt_base);
         let mut env = ExecEnv {
             text,
+            text_gen: 0,
+            blocks: &mut blocks,
             data,
             mem: &mut mem,
             core: 0,
@@ -611,12 +847,12 @@ mod tests {
             Op::Halt,
         ];
         let mut data = vec![0u8; 4096];
-        let cfg = MachineConfig::small();
-        let mut mem = MemorySystem::new(&cfg);
-        let mut counters = PerfCounters::default();
+        let (mut mem, _, mut counters, mut blocks) = env_parts();
         let mut ctx = ExecContext::new(2, 1, 0);
         let mut env = ExecEnv {
             text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
             data: &mut data,
             mem: &mut mem,
             core: 0,
@@ -660,12 +896,12 @@ mod tests {
             Op::Halt,
         ];
         let mut data = vec![0u8; 4096];
-        let cfg = MachineConfig::small();
-        let mut mem = MemorySystem::new(&cfg);
-        let mut counters = PerfCounters::default();
+        let (mut mem, _, mut counters, mut blocks) = env_parts();
         let mut ctx = ExecContext::new(3, 1, 0);
         let mut env = ExecEnv {
             text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
             data: &mut data,
             mem: &mut mem,
             core: 0,
@@ -689,10 +925,12 @@ mod tests {
     fn loop_respects_budget() {
         // Infinite loop; ensure budget exhaustion returns control.
         let text = vec![Op::Jmp { target: 0 }];
-        let (mut mem, mut data, mut counters) = env_parts();
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
         let mut ctx = ExecContext::new(0, 1, 0);
         let mut env = ExecEnv {
             text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
             data: &mut data,
             mem: &mut mem,
             core: 0,
@@ -704,6 +942,42 @@ mod tests {
         assert!(res.cycles >= 1000);
         assert!(ctx.is_running());
         assert_eq!(counters.branches, counters.instructions);
+    }
+
+    #[test]
+    fn budget_overshoot_is_bounded_by_one_instruction() {
+        // A long straight-line run: the per-instruction budget gate must
+        // stop within one instruction's cost of the budget.
+        let mut text = vec![
+            Op::Movi {
+                dst: PReg(0),
+                imm: 1,
+            };
+            4 * MAX_BLOCK_OPS
+        ];
+        text.push(Op::Jmp { target: 0 });
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+        let mut ctx = ExecContext::new(0, 1, 0);
+        let mut env = ExecEnv {
+            text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let budget = 1_000;
+        let max_inst_cost = env.costs.branch.max(env.costs.alu);
+        let res = run(&mut ctx, &mut env, budget);
+        assert_eq!(res.stop, StopReason::BudgetExhausted);
+        assert!(res.cycles >= budget);
+        assert!(
+            res.cycles <= budget + max_inst_cost,
+            "overshoot too large: {} vs budget {budget}",
+            res.cycles
+        );
     }
 
     #[test]
@@ -720,10 +994,12 @@ mod tests {
             },
             Op::Halt,
         ];
-        let (mut mem, mut data, mut counters) = env_parts();
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
         let mut ctx = ExecContext::new(0, 1, 0);
         let mut env = ExecEnv {
             text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
             data: &mut data,
             mem: &mut mem,
             core: 0,
@@ -756,10 +1032,12 @@ mod tests {
             },
             Op::Halt,
         ];
-        let (mut mem, mut data, mut counters) = env_parts();
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
         let mut ctx = ExecContext::new(0, 1, 0);
         let mut env = ExecEnv {
             text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
             data: &mut data,
             mem: &mut mem,
             core: 0,
@@ -774,10 +1052,12 @@ mod tests {
     #[test]
     fn pc_past_text_faults() {
         let text = vec![Op::Jmp { target: 7 }];
-        let (mut mem, mut data, mut counters) = env_parts();
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
         let mut ctx = ExecContext::new(0, 1, 0);
         let mut env = ExecEnv {
             text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
             data: &mut data,
             mem: &mut mem,
             core: 0,
@@ -786,6 +1066,83 @@ mod tests {
         };
         let res = run(&mut ctx, &mut env, 1000);
         assert_eq!(res.stop, StopReason::Faulted);
+    }
+
+    #[test]
+    fn any_encodable_register_is_valid() {
+        // PReg is a byte and the frame holds 256 slots, so even registers
+        // the compiler never allocates (240..=255) must read and write a
+        // real slot instead of panicking the simulator.
+        let text = vec![
+            Op::Movi {
+                dst: PReg(255),
+                imm: 7,
+            },
+            Op::Alu {
+                op: BinOp::Add,
+                dst: PReg(254),
+                a: PReg(255),
+                b: PReg(240),
+            },
+            Op::Store {
+                base: PReg(2),
+                offset: 64,
+                src: PReg(254),
+            },
+            Op::Halt,
+        ];
+        let mut data = vec![0u8; 4096];
+        let (ctx, _) = run_to_end(&text, &mut data, 0);
+        assert_eq!(ctx.status(), ExecStatus::Halted);
+        assert_eq!(i64::from_le_bytes(data[64..72].try_into().unwrap()), 7);
+    }
+
+    #[test]
+    fn next_pc_overflow_is_a_fault_not_a_wrap() {
+        // The guard itself: a return address or fall-through past
+        // u32::MAX must refuse to wrap to text address 0.
+        assert_eq!(checked_next_pc(10), Some(11));
+        assert_eq!(checked_next_pc(u32::MAX as usize - 1), Some(u32::MAX));
+        assert_eq!(checked_next_pc(u32::MAX as usize), None);
+    }
+
+    #[test]
+    fn callvirt_target_wider_than_u32_faults_instead_of_truncating() {
+        // EVT slot holds (1 << 32) | 1: truncation would "call" the valid
+        // text address 1 and silently run the wrong code.
+        let text = vec![
+            Op::Movi {
+                dst: PReg(0),
+                imm: 0,
+            },
+            Op::Halt,
+            // main at 2:
+            Op::CallVirt {
+                slot: 0,
+                dst: None,
+                args: vec![],
+            },
+            Op::Halt,
+        ];
+        let evt_base = 64u64;
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+        let bad = (1u64 << 32) | 1;
+        data[64..72].copy_from_slice(&bad.to_le_bytes());
+        let mut ctx = ExecContext::new(2, 1, evt_base);
+        let mut env = ExecEnv {
+            text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1000);
+        assert_eq!(res.stop, StopReason::Faulted);
+        assert_eq!(ctx.status(), ExecStatus::Faulted(bad));
+        assert_eq!(ctx.pc(), 2, "fault reported at the CallVirt itself");
     }
 
     #[test]
@@ -831,11 +1188,13 @@ mod tests {
             Op::Halt,
         ];
         let evt_base = 64u64;
-        let (mut mem, mut data, mut counters) = env_parts();
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
         data[64..72].copy_from_slice(&0u64.to_le_bytes()); // slot 0 -> variant A
         let mut ctx = ExecContext::new(4, 1, evt_base);
         let mut env = ExecEnv {
             text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
             data: &mut data,
             mem: &mut mem,
             core: 0,
@@ -845,7 +1204,8 @@ mod tests {
         let res = run(&mut ctx, &mut env, 1_000_000);
         assert_eq!(res.stop, StopReason::Waiting);
         // "EVT manager" patches the slot with a single 8-byte write while
-        // the program is parked.
+        // the program is parked. No text mutation, so no generation bump:
+        // the decoded blocks stay valid and the redirect must still land.
         env.data[64..72].copy_from_slice(&2u64.to_le_bytes());
         ctx.wake();
         let res2 = run(&mut ctx, &mut env, 1_000_000);
@@ -858,6 +1218,118 @@ mod tests {
             i64::from_le_bytes(env.data[520..528].try_into().unwrap()),
             2
         );
+    }
+
+    #[test]
+    fn text_mutation_with_gen_bump_executes_fresh_code() {
+        // A loop whose body block is decoded on the first run, then
+        // patched in place (as `corrupt_text` / a code-cache write would)
+        // while the context is parked. After the generation bump the next
+        // pass must execute the new op, not any stale decoding.
+        let mut text = vec![
+            Op::Movi {
+                dst: PReg(3),
+                imm: 5,
+            },
+            Op::Store {
+                base: PReg(2),
+                offset: 64,
+                src: PReg(3),
+            },
+            Op::Wait,
+            Op::Jmp { target: 0 },
+        ];
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+        let mut ctx = ExecContext::new(0, 1, 0);
+        {
+            let mut env = ExecEnv {
+                text: &text,
+                text_gen: 0,
+                blocks: &mut blocks,
+                data: &mut data,
+                mem: &mut mem,
+                core: 0,
+                counters: &mut counters,
+                costs: CostModel::default(),
+            };
+            let res = run(&mut ctx, &mut env, 1_000_000);
+            assert_eq!(res.stop, StopReason::Waiting);
+        }
+        assert_eq!(i64::from_le_bytes(data[64..72].try_into().unwrap()), 5);
+        // In-place patch of the already-decoded block, plus the bump.
+        text[0] = Op::Movi {
+            dst: PReg(3),
+            imm: 9,
+        };
+        ctx.wake();
+        let mut env = ExecEnv {
+            text: &text,
+            text_gen: 1,
+            blocks: &mut blocks,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1_000_000);
+        assert_eq!(res.stop, StopReason::Waiting);
+        assert_eq!(i64::from_le_bytes(env.data[64..72].try_into().unwrap()), 9);
+    }
+
+    #[test]
+    fn text_append_is_visible_even_without_gen_bump() {
+        // Appends change text length; the cache resyncs on the length
+        // mismatch alone, so a caller that forgot the bump still cannot
+        // run off the old end.
+        let mut text = vec![
+            Op::Movi {
+                dst: PReg(0),
+                imm: 1,
+            },
+            Op::Wait,
+            Op::Jmp { target: 3 },
+        ];
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+        let mut ctx = ExecContext::new(0, 1, 0);
+        {
+            let mut env = ExecEnv {
+                text: &text,
+                text_gen: 0,
+                blocks: &mut blocks,
+                data: &mut data,
+                mem: &mut mem,
+                core: 0,
+                counters: &mut counters,
+                costs: CostModel::default(),
+            };
+            assert_eq!(run(&mut ctx, &mut env, 1_000_000).stop, StopReason::Waiting);
+        }
+        // Code-cache append: a variant at addr 3 that proves it ran.
+        text.push(Op::Movi {
+            dst: PReg(1),
+            imm: 42,
+        });
+        text.push(Op::Store {
+            base: PReg(2),
+            offset: 72,
+            src: PReg(1),
+        });
+        text.push(Op::Halt);
+        ctx.wake();
+        let mut env = ExecEnv {
+            text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1_000_000);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(i64::from_le_bytes(env.data[72..80].try_into().unwrap()), 42);
     }
 
     #[test]
@@ -883,13 +1355,15 @@ mod tests {
             Op::Halt,
         ];
         let time = |bt: bool| {
-            let (mut mem, mut data, mut counters) = env_parts();
+            let (mut mem, mut data, mut counters, mut blocks) = env_parts();
             let mut ctx = ExecContext::new(0, 1, 0);
             if bt {
                 ctx = ctx.with_binary_translation(BtConfig::default());
             }
             let mut env = ExecEnv {
                 text: &text,
+                text_gen: 0,
+                blocks: &mut blocks,
                 data: &mut data,
                 mem: &mut mem,
                 core: 0,
@@ -906,6 +1380,20 @@ mod tests {
         let oh = overhead.unwrap();
         assert!(oh > 0);
         assert_eq!(translated, plain + oh);
+    }
+
+    #[test]
+    fn bt_translation_cache_spills_far_targets() {
+        // Targets beyond the dense bitset limit still deduplicate, and the
+        // dense part never grows to cover them.
+        let mut bt = BtState::new(BtConfig::default());
+        let far = BT_DENSE_LIMIT + 123;
+        assert!(bt.mark_translated(far));
+        assert!(!bt.mark_translated(far));
+        assert!(bt.mark_translated(7));
+        assert!(!bt.mark_translated(7));
+        assert!(bt.translated.len() <= 1, "near target stays dense");
+        assert_eq!(bt.translated_far.len(), 1);
     }
 
     #[test]

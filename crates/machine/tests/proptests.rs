@@ -134,8 +134,11 @@ proptest! {
         let mut counters = PerfCounters::default();
         let mut ctx = ExecContext::new(0, 1, 0);
         let mut data = vec![0u8; 4096];
+        let mut blocks = machine::BlockCache::new();
         let mut env = ExecEnv {
             text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
             data: &mut data,
             mem: &mut mem,
             core: 0,
@@ -160,9 +163,12 @@ proptest! {
         let mut ctx = ExecContext::new(0, 1, 0);
         let mut data = vec![0u8; 4096];
         let mut prev = counters;
+        let mut blocks = machine::BlockCache::new();
         for _ in 0..steps {
             let mut env = ExecEnv {
                 text: &text,
+                text_gen: 0,
+                blocks: &mut blocks,
                 data: &mut data,
                 mem: &mut mem,
                 core: 0,

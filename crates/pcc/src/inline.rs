@@ -224,8 +224,11 @@ mod tests {
         let mut counters = PerfCounters::default();
         let mut ctx = ExecContext::new(img.entry, 1, 0);
         let mut data = img.data.clone();
+        let mut blocks = machine::BlockCache::new();
         let mut env = ExecEnv {
             text: &img.text,
+            text_gen: 0,
+            blocks: &mut blocks,
             data: &mut data,
             mem: &mut mem,
             core: 0,

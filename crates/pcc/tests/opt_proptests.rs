@@ -98,8 +98,11 @@ fn run(m: &Module, opts: Options) -> i64 {
     let mut counters = PerfCounters::default();
     let mut ctx = ExecContext::new(img.entry, 1, img.meta.map_or(0, |d| d.evt_base));
     let mut data = img.data.clone();
+    let mut blocks = machine::BlockCache::new();
     let mut env = ExecEnv {
         text: &img.text,
+        text_gen: 0,
+        blocks: &mut blocks,
         data: &mut data,
         mem: &mut mem,
         core: 0,

@@ -373,6 +373,7 @@ impl Os {
         let p = self.proc_mut(pid);
         let base = p.text.len() as u32;
         p.text.extend_from_slice(ops);
+        p.text_gen += 1;
         base
     }
 
@@ -409,6 +410,7 @@ impl Os {
             dst: PReg((garble % 8) as u8),
             imm: (garble >> 3) as i64,
         };
+        p.text_gen += 1;
         true
     }
 
@@ -547,6 +549,8 @@ impl Os {
                     }
                     let mut env = ExecEnv {
                         text: &p.text,
+                        text_gen: p.text_gen,
+                        blocks: &mut p.blocks,
                         data: &mut p.data,
                         mem,
                         core,

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use machine::{ExecContext, PerfCounters};
+use machine::{BlockCache, ExecContext, PerfCounters};
 use visa::{FuncSym, GlobalSym, Image, MetaDesc, Op};
 
 use crate::loadgen::LoadSchedule;
@@ -35,6 +35,11 @@ pub struct Process {
     image_text_len: u32,
     /// The data segment (meta root, globals, EVT, IR blob).
     pub(crate) data: Vec<u8>,
+    /// Generation of `text`; bumped on every append or corruption so the
+    /// interpreter's decoded-block cache discards stale block shapes.
+    pub(crate) text_gen: u64,
+    /// Decoded-block cache for `text`, reused across quanta.
+    pub(crate) blocks: BlockCache,
     pub(crate) ctx: ExecContext,
     pub(crate) counters: PerfCounters,
     funcs: Vec<FuncSym>,
@@ -77,6 +82,8 @@ impl Process {
             text: image.text.clone(),
             image_text_len: image.text_len(),
             data: image.data.clone(),
+            text_gen: 0,
+            blocks: BlockCache::new(),
             ctx: ExecContext::new(image.entry, pid.0, evt_base),
             counters: PerfCounters::default(),
             funcs: image.funcs.clone(),

@@ -42,7 +42,13 @@ pub use image::{
 pub use op::{Op, PReg};
 
 /// Number of registers in each activation frame's private register file.
-pub const FRAME_REGS: usize = 240;
+///
+/// Sized to the full range of a [`PReg`] byte so that *any* encodable
+/// register operand addresses a valid slot: the interpreter's hot path
+/// needs no per-access range check, and hand-built text with registers
+/// above `pir::MAX_REGS` (which the compiler never emits) reads zeros
+/// instead of panicking the simulator.
+pub const FRAME_REGS: usize = 256;
 
 /// Maximum call arguments (mirrors [`pir::MAX_PARAMS`]).
 pub const MAX_ARGS: usize = pir::MAX_PARAMS as usize;

@@ -12,7 +12,10 @@
 //!   output is bit-identical to a run that never attached at all.
 //!
 //! Seeds come from `PROTEAN_CHAOS_SEEDS` (comma-separated); CI pins a
-//! fixed three-seed matrix, local runs default to one seed.
+//! fixed three-seed matrix, local runs default to one seed. Each seed's
+//! run is independent, so the matrices fan out across
+//! `protean_bench::pool` workers; results merge in seed order, and any
+//! per-seed failure still fails the test.
 
 use pc3d::{Pc3d, Pc3dConfig};
 use pcc::{Compiler, NtAssignment, Options};
@@ -96,7 +99,8 @@ fn chaos_qos_is_never_worse_than_clean_nap_only() {
     base.run_for(&mut os2, 15.0);
     let base_qos = true_tail_ips(&os2, ext2, mark) / solo_ips;
 
-    for seed in chaos_seeds() {
+    let seeds = chaos_seeds();
+    let chaos_qoses = protean_bench::pool::map(&seeds, |_, &seed| {
         // PC3D under the full chaos schedule: compile failures/stalls,
         // EVT drops, cache corruption, garbled observations.
         let (mut os, _h, ext, rt) = spawn_pair("libquantum", "mcf");
@@ -105,8 +109,9 @@ fn chaos_qos_is_never_worse_than_clean_nap_only() {
         ctl.run_for(&mut os, 45.0);
         let mark = tail_mark(&os, ext);
         ctl.run_for(&mut os, 15.0);
-        let chaos_qos = true_tail_ips(&os, ext, mark) / solo_ips;
-
+        true_tail_ips(&os, ext, mark) / solo_ips
+    });
+    for (seed, chaos_qos) in seeds.iter().zip(chaos_qoses) {
         assert!(
             chaos_qos >= base_qos - 0.05,
             "seed {seed}: chaos PC3D true QoS {chaos_qos:.3} fell more than \
@@ -145,7 +150,8 @@ fn streaming_host() -> Module {
 
 #[test]
 fn quarantined_variants_are_never_redispatched() {
-    for seed in chaos_seeds() {
+    let seeds = chaos_seeds();
+    protean_bench::pool::map(&seeds, |_, &seed| {
         let out = Compiler::new(Options::protean())
             .compile(&streaming_host())
             .unwrap();
@@ -194,7 +200,7 @@ fn quarantined_variants_are_never_redispatched() {
             matches!(os.status(pid), machine::ExecStatus::Running),
             "seed {seed}: host must survive"
         );
-    }
+    });
 }
 
 // ---------------------------------------------------------------------

@@ -240,8 +240,11 @@ fn assembled_text_programs_execute() {
     let mut counters = PerfCounters::default();
     let mut ctx = ExecContext::new(0, 1, 0);
     let mut data = vec![0u8; 512];
+    let mut blocks = machine::BlockCache::new();
     let mut env = ExecEnv {
         text: &ops,
+        text_gen: 0,
+        blocks: &mut blocks,
         data: &mut data,
         mem: &mut mem,
         core: 0,

@@ -13,7 +13,11 @@
 //!   diverge. `Unknown` makes no claim and is exempt.
 //!
 //! Mutations are drawn from a seeded generator so CI is reproducible;
-//! set `PROTEAN_EQUIV_FUZZ_SEED` to explore a different stream.
+//! set `PROTEAN_EQUIV_FUZZ_SEED` to explore a different stream. Each
+//! corpus program owns an RNG stream derived from (seed, corpus index),
+//! so programs are independent work items: the corpus fans out across
+//! `protean_bench::pool` workers and the mutants tested are identical at
+//! any worker count.
 
 use pir::equiv::{check_module, EquivOptions, Verdict};
 use pir::{interp, Inst, Locality, Module};
@@ -54,6 +58,12 @@ fn fuzz_seed() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xC0DE_2014)
+}
+
+/// A per-program RNG stream: deterministic for a given base seed and
+/// corpus position regardless of which pool worker runs the program.
+fn program_rng(base: u64, index: usize) -> StdRng {
+    StdRng::seed_from_u64(base ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// The full corpus. Non-terminating entries still get full symbolic
@@ -147,7 +157,7 @@ fn optimized_catalog_programs_prove_and_match_the_interpreter() {
         corpus.iter().any(|(_, m)| observe(m).is_ok()),
         "at least one corpus program must terminate under the interpreter"
     );
-    for (name, m) in &corpus {
+    protean_bench::pool::map(&corpus, |_, (name, m)| {
         let mut optimized = m.clone();
         pcc::optimize_module(&mut optimized);
         let report = check_module(m, &optimized, &EquivOptions::default());
@@ -157,28 +167,29 @@ fn optimized_catalog_programs_prove_and_match_the_interpreter() {
             observe(&optimized),
             "{name}: optimizer changed observables"
         );
-    }
+    });
 }
 
 #[test]
 fn validated_pipeline_proves_every_stage_on_catalog_programs() {
-    for (name, m) in &corpus() {
+    protean_bench::pool::map(&corpus(), |_, (name, m)| {
         let mut opt = m.clone();
         let stats =
             pcc::optimize_module_validated(&mut opt).unwrap_or_else(|e| panic!("{name}: {e}"));
         let _ = stats;
         let report = check_module(m, &opt, &EquivOptions::default());
         assert!(report.all_proved(), "{name}: {report}");
-    }
+    });
 }
 
 #[test]
 fn seeded_mutations_never_produce_unsound_verdicts() {
     let corpus = corpus();
     assert!(!corpus.is_empty());
-    let mut rng = StdRng::seed_from_u64(fuzz_seed());
-    let mut exercised = 0u32;
-    for (name, m) in &corpus {
+    let seed = fuzz_seed();
+    let per_program = protean_bench::pool::map(&corpus, |idx, (name, m)| {
+        let mut rng = program_rng(seed, idx);
+        let mut exercised = 0u32;
         for _ in 0..12 {
             let mut mutant = m.clone();
             let Some(what) = mutate(&mut mutant, &mut rng) else {
@@ -192,7 +203,9 @@ fn seeded_mutations_never_produce_unsound_verdicts() {
             cross_check(name, &what, m, &mutant);
             exercised += 1;
         }
-    }
+        exercised
+    });
+    let exercised: u32 = per_program.iter().sum();
     assert!(exercised >= 8, "only {exercised} mutants exercised");
 }
 
@@ -200,8 +213,9 @@ fn seeded_mutations_never_produce_unsound_verdicts() {
 fn locality_flips_are_proved_modulo_nt_and_observably_neutral() {
     let corpus = corpus();
     assert!(!corpus.is_empty());
-    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x5eed);
-    for (name, m) in &corpus {
+    let seed = fuzz_seed() ^ 0x5eed;
+    protean_bench::pool::map(&corpus, |idx, (name, m)| {
+        let mut rng = program_rng(seed, idx);
         let mut mutant = m.clone();
         let mut flips = 0usize;
         for func in mutant.functions_mut() {
@@ -220,7 +234,7 @@ fn locality_flips_are_proved_modulo_nt_and_observably_neutral() {
             }
         }
         if flips == 0 {
-            continue;
+            return;
         }
         let report = check_module(m, &mutant, &EquivOptions::default());
         assert!(report.all_proved(), "{name}: {report}");
@@ -234,5 +248,5 @@ fn locality_flips_are_proved_modulo_nt_and_observably_neutral() {
             observe(&mutant),
             "{name}: hints changed semantics"
         );
-    }
+    });
 }

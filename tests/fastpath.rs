@@ -1,0 +1,136 @@
+//! Regression tests for the interpreter fast path and the experiment
+//! fan-out pool.
+//!
+//! The block-dispatch cache in `machine::exec` indexes decoded basic
+//! blocks into the live text section; online transformation appends
+//! variants and rewrites EVT slots *while blocks are cached*. These tests
+//! drive that exact hazard end-to-end: a program halting under a
+//! recompilation storm must produce output bit-identical to an untouched
+//! run. The pool tests pin the other contract this PR leans on: a
+//! parallel experiment sweep returns exactly what the serial sweep does.
+
+use pcc::{Compiler, Options};
+use pir::{FunctionBuilder, Locality, Module};
+use protean::{Runtime, RuntimeConfig, StressEngine};
+use simos::{Os, OsConfig, Pid};
+
+/// Terminating program with observable output: repeated calls to a
+/// worker that folds a buffer and stores per-call results.
+fn observable_program() -> Module {
+    let mut m = Module::new("observable");
+    let data = m.add_global_full(pir::Global::with_words(
+        "data",
+        (0..256)
+            .map(|i| (i * 2654435761u64 as i64) ^ 0x9e3779b9)
+            .collect(),
+    ));
+    let out = m.add_global("out", 2048);
+    let mut w = FunctionBuilder::new("worker", 1);
+    let k = w.param(0);
+    let base = w.global_addr(data);
+    let ob = w.global_addr(out);
+    let acc = w.const_(0x5bd1_e995);
+    let acc = w.accumulate_loop(0, 256, 1, acc, |b, i, acc| {
+        let off = b.shl_imm(i, 3);
+        let a = b.add(base, off);
+        let v = b.load(a, 0, Locality::Normal);
+        let x = b.bin(pir::BinOp::Xor, acc, v);
+        let y = b.mul_imm(x, 0x100_0000_01b3);
+        b.add_into(acc, y, k);
+    });
+    let slot = w.and_imm(k, 0xff);
+    let off = w.shl_imm(slot, 3);
+    let addr = w.add(ob, off);
+    w.store(addr, 0, acc);
+    w.ret(None);
+    let wid = m.add_function(w.finish());
+    let mut main_fn = FunctionBuilder::new("main", 0);
+    main_fn.counted_loop(0, 200, 1, |b, i| {
+        b.call_void(wid, &[i]);
+    });
+    main_fn.ret(None);
+    let mid = m.add_function(main_fn.finish());
+    m.set_entry(mid);
+    m
+}
+
+fn data_snapshot(os: &Os, pid: Pid) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for g in os.proc(pid).globals() {
+        bytes.extend_from_slice(os.read_mem(pid, g.addr, g.size as usize));
+    }
+    bytes
+}
+
+/// Live patching under the block cache: a stress engine recompiling and
+/// dispatching fresh identity variants every few thousand cycles grows
+/// the text section and rewrites EVT targets while the interpreter holds
+/// cached block shapes. The run must halt with output bit-identical to a
+/// never-attached run — i.e. the cache must never execute stale code.
+#[test]
+fn block_cache_survives_live_patch_storm() {
+    let image = Compiler::new(Options::protean())
+        .compile(&observable_program())
+        .unwrap()
+        .image;
+
+    // Baseline: never attached.
+    let mut os_a = Os::new(OsConfig::small());
+    let pid_a = os_a.spawn(&image, 0);
+    for _ in 0..10_000 {
+        os_a.advance(100_000);
+        if matches!(os_a.status(pid_a), machine::ExecStatus::Halted) {
+            break;
+        }
+    }
+    assert!(matches!(os_a.status(pid_a), machine::ExecStatus::Halted));
+    let baseline = data_snapshot(&os_a, pid_a);
+
+    // Storm run: recompile a random virtualized function every 3k cycles,
+    // stepping the OS in small quanta so dispatches land at many distinct
+    // interpreter states (mid-block, at block entry, inside the worker).
+    let mut os = Os::new(OsConfig::small());
+    let pid = os.spawn(&image, 0);
+    let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+    let mut eng = StressEngine::new(&rt, 3_000, 0xfa57);
+    let mut steps = 0u64;
+    while !matches!(os.status(pid), machine::ExecStatus::Halted) {
+        os.advance(1_000);
+        eng.step(&mut os, &mut rt);
+        steps += 1;
+        assert!(steps < 5_000_000, "storm run did not halt");
+    }
+    assert!(
+        eng.recompiles() > 50,
+        "storm must actually patch: {} recompiles",
+        eng.recompiles()
+    );
+    assert_eq!(
+        data_snapshot(&os, pid),
+        baseline,
+        "live patching must never let the block cache execute stale code"
+    );
+}
+
+/// A whole simulated experiment per work item returns bit-identical
+/// results at any worker count: the property the parallel figure
+/// harnesses rely on.
+#[test]
+fn pool_experiments_are_bit_identical_serial_vs_parallel() {
+    let seeds: Vec<u64> = vec![1, 7, 23, 42];
+    let experiment = |_: usize, &seed: &u64| {
+        let cfg = OsConfig::small();
+        let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+        let m = workloads::catalog::build("bst", llc).unwrap();
+        let img = Compiler::new(Options::plain()).compile(&m).unwrap().image;
+        let mut os = Os::new(cfg);
+        let pid = os.spawn(&img, 0);
+        os.advance(200_000 + (seed % 5) * 50_000);
+        let c = os.counters(pid);
+        (c.instructions, c.cycles, c.llc_misses)
+    };
+    let serial = protean_bench::pool::map_with(1, &seeds, experiment);
+    let parallel = protean_bench::pool::map_with(4, &seeds, experiment);
+    assert_eq!(serial, parallel);
+    assert!(serial.iter().all(|&(i, _, _)| i > 0));
+}
