@@ -81,7 +81,7 @@ pub struct RunResult {
 /// Decoded-block cache for one text space.
 ///
 /// Maps entry PC → length of the basic block starting there (straight-line
-/// ops plus the terminating control-flow op, capped at [`MAX_BLOCK_OPS`]).
+/// ops plus the terminating control-flow op, capped at `MAX_BLOCK_OPS`).
 /// Entries are ranges into the caller's text, decoded lazily on first
 /// dispatch and discarded wholesale when the text generation moves.
 #[derive(Clone, Debug, Default)]

@@ -5,8 +5,8 @@
 use pcc::NtAssignment;
 use pir::FuncId;
 use protean::{
-    ExtMonitor, FaultPlan, HealthConfig, HealthMonitor, HealthState, HostMonitor, MonitorReport,
-    PhaseChange, PhaseDetector, Runtime,
+    EventKind, ExtMonitor, FaultPlan, HealthConfig, HealthMonitor, HealthState, HostMonitor,
+    MonitorReport, PhaseChange, PhaseDetector, Runtime, Subsystem,
 };
 use simos::{Os, Pid};
 
@@ -179,6 +179,11 @@ impl Pc3d {
         health: HealthConfig,
     ) -> Self {
         let host = rt.pid();
+        // A tracer armed via `PROTEAN_TRACE` should also see the
+        // kernel's side of the story (PC-sample / HPM delivery).
+        if rt.tracer().is_enabled() && !os.obs_trace_enabled() {
+            os.set_obs_trace(Some(protean::trace::DEFAULT_RING_CAP));
+        }
         let mut ctl = Pc3d {
             config,
             host_mon: HostMonitor::new(os, host, 0.5),
@@ -261,6 +266,38 @@ impl Pc3d {
     /// counters, hot functions.
     pub fn report(&self, os: &Os) -> MonitorReport {
         self.host_mon.report_with_health(os, &self.rt, &self.health)
+    }
+
+    /// One merged metrics snapshot across the runtime (`compile.*`,
+    /// `gate.*`, `dispatch.*`, `pc3d.*`) and the health layer
+    /// (`health.*`).
+    pub fn metrics_snapshot(&self) -> protean::Snapshot {
+        self.rt
+            .metrics()
+            .snapshot()
+            .merge(self.health.metrics().snapshot())
+    }
+
+    /// Exports the merged runtime + kernel trace under the directory
+    /// named by `PROTEAN_TRACE` (see
+    /// [`Runtime::export_trace`](protean::Runtime::export_trace)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from writing the trace files.
+    pub fn export_trace(
+        &self,
+        os: &Os,
+        name: &str,
+    ) -> std::io::Result<Option<protean::TraceFiles>> {
+        self.rt.export_trace(os, name)
+    }
+
+    /// Emits a controller-stream trace event at the current cycle.
+    fn emit(&mut self, os: &Os, kind: EventKind) {
+        self.rt
+            .tracer_mut()
+            .emit(os.now(), Subsystem::Controller, kind);
     }
 
     /// Timeline records.
@@ -435,7 +472,8 @@ impl Pc3d {
             (self.config.sample_cost_secs * os.config().machine.cycles_per_second as f64) as u64;
         while os.now_seconds() < end {
             os.advance_seconds(self.config.sample_period_secs);
-            self.host_mon.sample(os, &self.rt);
+            let pc = self.host_mon.sample(os, &self.rt);
+            self.rt.note_pc_sample(os.now(), pc);
             os.charge_runtime(self.rt.config().core, sample_cost.max(1));
         }
         let ext = self.ext_mon.end_window(os);
@@ -534,7 +572,15 @@ impl Pc3d {
     }
 
     fn set_nap(&mut self, os: &mut Os, nap: f64) {
-        self.nap = nap.clamp(0.0, 0.99);
+        let new = nap.clamp(0.0, 0.99);
+        let permille = (new * 1000.0).round() as u64;
+        if permille != (self.nap * 1000.0).round() as u64 {
+            self.emit(os, EventKind::NapSet { permille });
+            self.rt
+                .metrics_mut()
+                .set_gauge("pc3d.nap_permille", permille as f64);
+        }
+        self.nap = new;
         os.set_nap(self.host, self.nap);
     }
 
@@ -592,10 +638,17 @@ impl Pc3d {
         let (sites, report) = select_candidates(&self.rt, &self.host_mon, self.config.max_sites);
         self.last_report = Some(report);
         self.searches += 1;
+        self.emit(
+            os,
+            EventKind::SearchStart {
+                sites: sites.len() as u64,
+            },
+        );
         let mut funcs: Vec<FuncId> = sites.iter().map(|s| s.func).collect();
         funcs.sort();
         funcs.dedup();
         self.candidate_funcs = funcs;
+        let mut evals: u64 = 0;
         if sites.is_empty() {
             // Nothing transformable: pure nap fallback.
             let (nap0, _) = self.variant_eval(os, &NtAssignment::none(), 0.0, 1.0);
@@ -603,6 +656,7 @@ impl Pc3d {
             self.searched_nap = nap0;
             self.searched_this_phase = true;
             self.last_search_end = os.now_seconds();
+            self.emit(os, EventKind::SearchEnd { flips: 0, evals: 1 });
             return;
         }
 
@@ -612,6 +666,7 @@ impl Pc3d {
         // variant 1 the least (lower bound).
         let (nap0, r0) = self.variant_eval(os, &zero, 0.0, 1.0);
         let (nap1, r1) = self.variant_eval(os, &one, 0.0, 1.0);
+        evals += 2;
         let mut nap_ub = nap0.max(nap1);
         let nap_lb = nap1.min(nap0);
 
@@ -635,7 +690,16 @@ impl Pc3d {
             }
             m.flip(*site); // revoke this site's hint
             let (nap_m, r_m) = self.variant_eval(os, &m, nap_lb, nap_ub);
-            if r_best * margin < r_m {
+            evals += 1;
+            let accepted = r_best * margin < r_m;
+            self.emit(
+                os,
+                EventKind::SearchStep {
+                    func: u64::from(site.func.0),
+                    accepted,
+                },
+            );
+            if accepted {
                 r_best = r_m;
                 best = m.clone();
                 best_nap = nap_m;
@@ -651,6 +715,13 @@ impl Pc3d {
         self.searched_nap = best_nap;
         self.searched_this_phase = true;
         self.last_search_end = os.now_seconds();
+        self.emit(
+            os,
+            EventKind::SearchEnd {
+                flips: best.len() as u64,
+                evals,
+            },
+        );
         // Backoff: if this search did not improve on the previous best,
         // wait longer before trying again.
         if r_best > self.last_best_bps * 1.05 {
@@ -676,6 +747,13 @@ impl Pc3d {
         let qos = self.qos(&ext).min(self.extra_qos_min).min(1.25);
         let a = self.config.qos_alpha;
         self.qos_smooth = a * qos + (1.0 - a) * self.qos_smooth;
+        let slack = ((qos - self.config.qos_target) * 1000.0).max(0.0) as u64;
+        self.rt
+            .metrics_mut()
+            .record("pc3d.qos_window_slack_permille", slack);
+        if qos < self.config.qos_target - self.config.qos_epsilon {
+            self.rt.metrics_mut().inc("pc3d.qos_window_violations");
+        }
         self.record(os, &ext, &host, false);
 
         // Close the self-healing window: scrub installed variants, process
@@ -763,9 +841,11 @@ impl Pc3d {
         {
             if ext_rate_change != PhaseChange::Stable {
                 self.resets_ext += 1;
+                self.emit(os, EventKind::PhaseChange { source: "external" });
             }
             if host_change != PhaseChange::Stable {
                 self.resets_host += 1;
+                self.emit(os, EventKind::PhaseChange { source: "host" });
             }
             // Revert to the original program and re-evaluate from scratch
             // (the paper reverts libquantum at the t=300 load drop).

@@ -7,7 +7,7 @@
 //! [`Function`]/[`Module`] observationally equivalent to its baseline
 //! before anything is dispatched:
 //!
-//! * **Value numbering with normalization** ([`Sym`] terms, hash-consed):
+//! * **Value numbering with normalization** (`Sym` terms, hash-consed):
 //!   constant folding, the identity rewrites `pcc`'s optimizer performs
 //!   (`x+0`, `x*1`, `x&0`, …), and commutative-operand canonicalization,
 //!   so syntactically different but value-identical computations meet at

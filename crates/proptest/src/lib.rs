@@ -303,7 +303,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Sizes accepted by [`vec`].
+    /// Sizes accepted by [`vec()`].
     pub trait SizeRange {
         /// Draws a length.
         fn pick(&self, rng: &mut TestRng) -> usize;

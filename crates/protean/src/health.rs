@@ -36,7 +36,9 @@ use pcc::NtAssignment;
 use pir::FuncId;
 use simos::Os;
 
+use crate::metrics::Registry;
 use crate::runtime::{DispatchError, Runtime};
+use crate::trace::{EventKind, Subsystem};
 
 /// Rung of the degradation ladder.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -51,13 +53,20 @@ pub enum HealthState {
     Detached,
 }
 
-impl fmt::Display for HealthState {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl HealthState {
+    /// Stable lowercase name, used in `ladder-transition` trace events.
+    pub fn name(self) -> &'static str {
+        match self {
             HealthState::Healthy => "healthy",
             HealthState::Degraded => "degraded",
             HealthState::Detached => "detached",
-        })
+        }
+    }
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -100,8 +109,8 @@ impl Default for HealthConfig {
     }
 }
 
-/// Cumulative counters of the self-healing layer, the [`GateStats`]
-/// (crate::GateStats) analogue for fault handling.
+/// Cumulative counters of the self-healing layer, the
+/// [`GateStats`](crate::GateStats) analogue for fault handling.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct HealthStats {
     /// Compilations that failed (injected or real).
@@ -178,7 +187,9 @@ struct RetryState {
 pub struct HealthMonitor {
     config: HealthConfig,
     state: HealthState,
-    stats: HealthStats,
+    /// Uniform metric surface (`health.*` counters); the legacy
+    /// [`HealthStats`] accessor is a thin read of it.
+    metrics: Registry,
     /// Fault count per variant index (drives quarantine).
     variant_faults: HashMap<usize, u32>,
     /// Decaying fault score (drives the ladder).
@@ -197,7 +208,7 @@ impl HealthMonitor {
         HealthMonitor {
             config,
             state: HealthState::Healthy,
-            stats: HealthStats::default(),
+            metrics: Registry::new(),
             variant_faults: HashMap::new(),
             fault_score: 0,
             faults_this_window: 0,
@@ -211,9 +222,35 @@ impl HealthMonitor {
         self.state
     }
 
-    /// Cumulative counters.
+    /// Cumulative counters — a thin adapter over the
+    /// [`metrics`](HealthMonitor::metrics) registry's `health.*`
+    /// counters, kept for API compatibility.
     pub fn stats(&self) -> HealthStats {
-        self.stats
+        HealthStats {
+            compile_failures: self.metrics.counter("health.compile_failures"),
+            compile_retries: self.metrics.counter("health.compile_retries"),
+            compile_gave_up: self.metrics.counter("health.compile_gave_up"),
+            watchdog_trips: self.metrics.counter("health.watchdog_trips"),
+            checksum_failures: self.metrics.counter("health.checksum_failures"),
+            cache_repairs: self.metrics.counter("health.cache_repairs"),
+            evt_write_failures: self.metrics.counter("health.evt_write_failures"),
+            quarantines: self.metrics.counter("health.quarantines"),
+            rejected_quarantined: self.metrics.counter("health.rejected_quarantined"),
+            degradations: self.metrics.counter("health.degradations"),
+            detaches: self.metrics.counter("health.detaches"),
+            recoveries: self.metrics.counter("health.recoveries"),
+        }
+    }
+
+    /// The health layer's metric registry (`health.*` counters).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Emits a health-track trace event through the runtime's tracer,
+    /// keeping one globally ordered stream across subsystems.
+    fn emit(&self, os: &Os, rt: &mut Runtime, kind: EventKind) {
+        rt.tracer_mut().emit(os.now(), Subsystem::Health, kind);
     }
 
     /// The configured thresholds.
@@ -290,15 +327,23 @@ impl HealthMonitor {
         };
         let charged = rt.compile_cycles() - before;
         if charged > self.config.watchdog_deadline_cycles {
-            self.stats.watchdog_trips += 1;
+            self.metrics.inc("health.watchdog_trips");
+            self.emit(
+                os,
+                rt,
+                EventKind::WatchdogTrip {
+                    func: u64::from(func.0),
+                    cycles: charged,
+                },
+            );
             self.note_fault(os, rt);
         }
         match result {
             Ok(idx) => Some(idx),
             Err(DispatchError::CompileFailed { .. }) => {
-                self.stats.compile_failures += 1;
+                self.metrics.inc("health.compile_failures");
                 self.note_fault(os, rt);
-                self.schedule_retry(os, func, nt.clone(), 0, dispatch);
+                self.schedule_retry(os, rt, func, nt.clone(), 0, dispatch);
                 None
             }
             Err(_) => None,
@@ -315,18 +360,18 @@ impl HealthMonitor {
         match rt.dispatch(os, variant) {
             Ok(()) => true,
             Err(DispatchError::Quarantined { .. }) => {
-                self.stats.rejected_quarantined += 1;
+                self.metrics.inc("health.rejected_quarantined");
                 false
             }
             Err(DispatchError::CorruptCodeCache { func, .. }) => {
-                self.stats.checksum_failures += 1;
+                self.metrics.inc("health.checksum_failures");
                 let _ = rt.restore(os, func);
                 self.note_variant_fault(os, rt, variant);
                 self.note_fault(os, rt);
                 self.repair(os, rt, variant)
             }
             Err(DispatchError::EvtWriteFailed { .. }) => {
-                self.stats.evt_write_failures += 1;
+                self.metrics.inc("health.evt_write_failures");
                 self.note_variant_fault(os, rt, variant);
                 self.note_fault(os, rt);
                 false
@@ -354,13 +399,21 @@ impl HealthMonitor {
         };
         match rt.compile_fresh(os, func, &nt) {
             Ok(fresh) => {
-                self.stats.cache_repairs += 1;
+                self.metrics.inc("health.cache_repairs");
+                self.emit(
+                    os,
+                    rt,
+                    EventKind::CacheRepair {
+                        variant: variant as u64,
+                        fresh: true,
+                    },
+                );
                 rt.dispatch(os, fresh).is_ok()
             }
             Err(DispatchError::CompileFailed { .. }) => {
-                self.stats.compile_failures += 1;
+                self.metrics.inc("health.compile_failures");
                 self.note_fault(os, rt);
-                self.schedule_retry(os, func, nt, 0, true);
+                self.schedule_retry(os, rt, func, nt, 0, true);
                 false
             }
             Err(_) => false,
@@ -376,7 +429,15 @@ impl HealthMonitor {
             rt.quarantine_variant(variant);
             let func = rt.variants()[variant].func;
             let _ = rt.restore(os, func);
-            self.stats.quarantines += 1;
+            self.metrics.inc("health.quarantines");
+            self.emit(
+                os,
+                rt,
+                EventKind::Quarantine {
+                    func: u64::from(func.0),
+                    variant: variant as u64,
+                },
+            );
         }
     }
 
@@ -392,7 +453,15 @@ impl HealthMonitor {
             && self.state == HealthState::Healthy
         {
             self.state = HealthState::Degraded;
-            self.stats.degradations += 1;
+            self.metrics.inc("health.degradations");
+            self.emit(
+                os,
+                rt,
+                EventKind::LadderTransition {
+                    from: HealthState::Healthy.name(),
+                    to: HealthState::Degraded.name(),
+                },
+            );
             // Conservative: degraded means nap-only, so installed
             // variants come out too.
             rt.restore_all(os);
@@ -409,8 +478,17 @@ impl HealthMonitor {
     }
 
     fn detach(&mut self, os: &mut Os, rt: &mut Runtime) {
+        let from = self.state;
         self.state = HealthState::Detached;
-        self.stats.detaches += 1;
+        self.metrics.inc("health.detaches");
+        self.emit(
+            os,
+            rt,
+            EventKind::LadderTransition {
+                from: from.name(),
+                to: HealthState::Detached.name(),
+            },
+        );
         // Recovery hysteresis starts over from the detach, not from
         // whatever clean streak preceded it.
         self.clean_windows = 0;
@@ -421,24 +499,42 @@ impl HealthMonitor {
     fn schedule_retry(
         &mut self,
         os: &Os,
+        rt: &mut Runtime,
         func: FuncId,
         nt: NtAssignment,
         attempts: u32,
         dispatch: bool,
     ) {
         if attempts >= self.config.max_compile_retries {
-            self.stats.compile_gave_up += 1;
+            self.metrics.inc("health.compile_gave_up");
+            self.emit(
+                os,
+                rt,
+                EventKind::RetryGaveUp {
+                    func: u64::from(func.0),
+                },
+            );
             return;
         }
         let backoff = self
             .config
             .backoff_base_cycles
             .saturating_mul(self.config.backoff_factor.saturating_pow(attempts));
+        let next_try = os.now().saturating_add(backoff);
+        self.emit(
+            os,
+            rt,
+            EventKind::RetryScheduled {
+                func: u64::from(func.0),
+                attempts: u64::from(attempts),
+                due_cycle: next_try,
+            },
+        );
         self.retries.push_back(RetryState {
             func,
             nt,
             attempts,
-            next_try: os.now().saturating_add(backoff),
+            next_try,
             dispatch,
         });
     }
@@ -466,7 +562,7 @@ impl HealthMonitor {
             due
         };
         for r in due {
-            self.stats.compile_retries += 1;
+            self.metrics.inc("health.compile_retries");
             match rt.compile_variant(os, r.func, &r.nt) {
                 Ok(idx) => {
                     if r.dispatch {
@@ -474,9 +570,9 @@ impl HealthMonitor {
                     }
                 }
                 Err(DispatchError::CompileFailed { .. }) => {
-                    self.stats.compile_failures += 1;
+                    self.metrics.inc("health.compile_failures");
                     self.note_fault(os, rt);
-                    self.schedule_retry(os, r.func, r.nt, r.attempts + 1, r.dispatch);
+                    self.schedule_retry(os, rt, r.func, r.nt, r.attempts + 1, r.dispatch);
                     if !self.allows_variants() {
                         return;
                     }
@@ -503,7 +599,14 @@ impl HealthMonitor {
             if rt.verify_code(os, idx) {
                 continue;
             }
-            self.stats.checksum_failures += 1;
+            self.metrics.inc("health.checksum_failures");
+            self.emit(
+                os,
+                rt,
+                EventKind::ScrubCorruption {
+                    variant: idx as u64,
+                },
+            );
             let func = rt.variants()[idx].func;
             let _ = rt.restore(os, func);
             self.note_variant_fault(os, rt, idx);
@@ -526,11 +629,20 @@ impl HealthMonitor {
             if self.clean_windows >= self.config.recovery_windows
                 && self.state != HealthState::Healthy
             {
+                let from = self.state;
                 self.state = match self.state {
                     HealthState::Detached => HealthState::Degraded,
                     _ => HealthState::Healthy,
                 };
-                self.stats.recoveries += 1;
+                self.metrics.inc("health.recoveries");
+                self.emit(
+                    os,
+                    rt,
+                    EventKind::LadderTransition {
+                        from: from.name(),
+                        to: self.state.name(),
+                    },
+                );
                 self.fault_score = 0;
                 self.clean_windows = 0;
             }

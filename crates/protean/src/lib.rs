@@ -45,25 +45,37 @@
 //!   compile watchdog, checksum scrubbing, and the
 //!   `Healthy → Degraded → Detached` degradation ladder — on any failure
 //!   the original code keeps executing.
+//! * **Observability** ([`trace`], [`metrics`]): every decision point
+//!   above emits a cycle-stamped [`trace::TraceEvent`] into per-subsystem
+//!   ring buffers (drop-oldest, counted), exportable as Chrome-trace JSON
+//!   or flat JSONL via [`Runtime::export_trace`](runtime::Runtime::export_trace)
+//!   / the `PROTEAN_TRACE` env hook; a [`metrics::Registry`] of counters,
+//!   gauges, and histograms backs the legacy `GateStats`/`HealthStats`
+//!   adapters with one uniform surface. No wall clock anywhere — traces
+//!   from same-seed runs are bit-identical.
 //! * **[`systems`]**: the qualitative comparison matrix of Table I.
 
 pub mod cost;
 pub mod engine;
 pub mod faults;
 pub mod health;
+pub mod metrics;
 pub mod monitor;
 pub mod phase;
 pub mod runtime;
 pub mod safety;
 pub mod stress;
 pub mod systems;
+pub mod trace;
 
 pub use cost::CompileCostModel;
 pub use engine::{drive, DecisionEngine};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use health::{HealthConfig, HealthMonitor, HealthState, HealthStats};
+pub use metrics::{Histogram, HistogramSummary, Registry, Snapshot};
 pub use monitor::{ExtMonitor, HostMonitor, MonitorReport, WindowStats};
 pub use phase::{PhaseChange, PhaseDetector};
 pub use runtime::{AttachError, DispatchError, GateStats, Runtime, RuntimeConfig, VariantRecord};
 pub use safety::{check_variant, code_checksum, vet_variant, VariantVerdict};
 pub use stress::StressEngine;
+pub use trace::{EventKind, Subsystem, TraceEvent, TraceFiles, Tracer};

@@ -94,13 +94,16 @@ impl HostMonitor {
     }
 
     /// Takes one PC sample and attributes it to a function (through the
-    /// runtime's resolver, which also knows the code cache).
-    pub fn sample(&mut self, os: &Os, rt: &Runtime) {
+    /// runtime's resolver, which also knows the code cache). Returns the
+    /// raw sampled PC so callers can feed dispatch bookkeeping
+    /// ([`Runtime::note_pc_sample`]).
+    pub fn sample(&mut self, os: &Os, rt: &Runtime) -> u32 {
         let pc = os.sample_pc(self.pid);
         if let Some(func) = rt.resolve_pc(os, pc) {
             *self.weights.entry(func).or_insert(0.0) += 1.0;
             self.window_samples += 1;
         }
+        pc
     }
 
     /// Ends the current window: returns derived stats and decays the
@@ -170,21 +173,25 @@ impl HostMonitor {
             window: self.peek(os),
             gate: rt.gate_stats(),
             health: None,
+            metrics: rt.metrics().snapshot(),
             hot: self.hot_funcs(),
         }
     }
 
     /// Like [`report`](HostMonitor::report), additionally surfacing the
-    /// self-healing layer's counters next to the gate's.
+    /// self-healing layer's counters next to the gate's (and folding its
+    /// `health.*` metrics into the report's merged snapshot).
     pub fn report_with_health(
         &self,
         os: &Os,
         rt: &Runtime,
         health: &HealthMonitor,
     ) -> MonitorReport {
+        let base = self.report(os, rt);
         MonitorReport {
             health: Some(health.stats()),
-            ..self.report(os, rt)
+            metrics: base.metrics.clone().merge(health.metrics().snapshot()),
+            ..base
         }
     }
 
@@ -207,6 +214,10 @@ pub struct MonitorReport {
     /// controller runs one
     /// ([`report_with_health`](HostMonitor::report_with_health)).
     pub health: Option<HealthStats>,
+    /// The merged metric snapshot behind the legacy counter structs —
+    /// every `compile.*`/`gate.*`/`dispatch.*` (and, with health,
+    /// `health.*`) counter, gauge, and histogram by name.
+    pub metrics: crate::metrics::Snapshot,
     /// Hottest functions with their share of sample weight.
     pub hot: Vec<(FuncId, f64)>,
 }

@@ -3,6 +3,7 @@
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use std::io;
 
 use pcc::annex::MetaError;
 use pcc::lower::{lower_function, LowerCtx};
@@ -13,7 +14,9 @@ use visa::MetaDesc;
 
 use crate::cost::CompileCostModel;
 use crate::faults::{FaultKind, FaultPlan};
+use crate::metrics::Registry;
 use crate::safety::VariantVerdict;
+use crate::trace::{self, EventKind, Subsystem, TraceFiles, Tracer};
 
 /// Aggregate counters of the dispatch safety gate.
 ///
@@ -133,14 +136,14 @@ pub enum DispatchError {
         variant: usize,
     },
     /// Variant compilation failed (an injected
-    /// [`FaultKind::CompileFail`](crate::FaultKind::CompileFail)). The
+    /// [`FaultKind::CompileFail`]). The
     /// cycles were burned but no code reached the cache.
     CompileFailed {
         /// The function whose compilation failed.
         func: FuncId,
     },
     /// The atomic EVT write was dropped mid-dispatch (an injected
-    /// [`FaultKind::EvtWriteFail`](crate::FaultKind::EvtWriteFail)); the
+    /// [`FaultKind::EvtWriteFail`]); the
     /// previously installed target is still in effect.
     EvtWriteFailed {
         /// The function whose redirection was dropped.
@@ -221,12 +224,14 @@ pub struct Runtime {
     /// Memoized safety verdicts per variant index; unsafe verdicts
     /// record why the variant must never be dispatched.
     safety_verdicts: HashMap<usize, VariantVerdict>,
-    /// Cumulative cycles of compilation work charged.
-    compile_cycles: u64,
-    /// Number of compilations performed (cache misses).
-    compilations: u64,
-    /// Safety-gate counters.
-    gate: GateStats,
+    /// Uniform metric surface (`compile.*`, `gate.*`, `dispatch.*`); the
+    /// legacy [`GateStats`]/cycle accessors are thin reads of it.
+    metrics: Registry,
+    /// Structured event sink for every runtime decision point.
+    tracer: Tracer,
+    /// Variants dispatched but not yet observed executing, by variant
+    /// index → EVT-write cycle (feeds `dispatch.first_exec_lag_cycles`).
+    pending_first_exec: HashMap<usize, u64>,
     /// Variants banned by the health layer after repeated faults; a
     /// quarantined variant is refused at dispatch unconditionally.
     quarantined: HashSet<usize>,
@@ -249,7 +254,7 @@ impl Runtime {
         let desc = MetaDesc::read_root(header).ok_or(AttachError::NotProtean)?;
         let blob = os.read_mem(pid, desc.ir_addr, desc.ir_len as usize);
         let meta = EmbeddedMeta::from_blob(blob).map_err(AttachError::Meta)?;
-        Ok(Runtime {
+        let mut rt = Runtime {
             pid,
             config,
             meta,
@@ -257,12 +262,22 @@ impl Runtime {
             variants: Vec::new(),
             by_key: HashMap::new(),
             safety_verdicts: HashMap::new(),
-            compile_cycles: 0,
-            compilations: 0,
-            gate: GateStats::default(),
+            metrics: Registry::new(),
+            tracer: Tracer::from_env(),
+            pending_first_exec: HashMap::new(),
             quarantined: HashSet::new(),
             faults: None,
-        })
+        };
+        let funcs = rt.virtualized_funcs().len() as u64;
+        rt.tracer.emit(
+            os.now(),
+            Subsystem::Runtime,
+            EventKind::Attach {
+                pid: u64::from(pid.0),
+                funcs,
+            },
+        );
+        Ok(rt)
     }
 
     /// Arms a fault-injection plan: subsequent compiles and dispatches
@@ -363,34 +378,128 @@ impl Runtime {
 
     /// Total compilation cycles charged so far.
     pub fn compile_cycles(&self) -> u64 {
-        self.compile_cycles
+        self.metrics.counter("compile.cycles")
     }
 
     /// Number of distinct variant compilations performed.
     pub fn compilations(&self) -> u64 {
-        self.compilations
+        self.metrics.counter("compile.count")
     }
 
     /// Number of dispatch attempts the safety gate refused.
     pub fn rejected_dispatches(&self) -> u64 {
-        self.gate.rejected_dispatches
+        self.metrics.counter("gate.rejected_dispatches")
     }
 
     /// Number of refused dispatches whose variant could not be proved
     /// equivalent (but was not concretely refuted either).
     pub fn unproved_dispatches(&self) -> u64 {
-        self.gate.unproved_dispatches
+        self.metrics.counter("gate.unproved_dispatches")
     }
 
     /// Number of refused dispatches whose variant was proved
     /// *in*equivalent with a concrete counterexample.
     pub fn refuted_dispatches(&self) -> u64 {
-        self.gate.refuted_dispatches
+        self.metrics.counter("gate.refuted_dispatches")
     }
 
-    /// All safety-gate counters in one snapshot.
+    /// All safety-gate counters in one snapshot — a thin adapter over the
+    /// [`metrics`](Runtime::metrics) registry's `gate.*` counters, kept
+    /// for API compatibility.
     pub fn gate_stats(&self) -> GateStats {
-        self.gate
+        GateStats {
+            rejected_dispatches: self.metrics.counter("gate.rejected_dispatches"),
+            unproved_dispatches: self.metrics.counter("gate.unproved_dispatches"),
+            refuted_dispatches: self.metrics.counter("gate.refuted_dispatches"),
+            verdict_cache_hits: self.metrics.counter("gate.verdict_cache_hits"),
+            verdict_cache_misses: self.metrics.counter("gate.verdict_cache_misses"),
+        }
+    }
+
+    /// The runtime's metric registry (`compile.*`, `gate.*`, `dispatch.*`
+    /// counters and histograms).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Mutable registry access — how cooperating layers (PC3D) record
+    /// their own `pc3d.*` metrics into the runtime's namespace.
+    pub fn metrics_mut(&mut self) -> &mut Registry {
+        &mut self.metrics
+    }
+
+    /// The runtime's structured-event tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer access — how cooperating layers (health, PC3D)
+    /// emit onto the shared event stream with a global sequence order.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Renders the buffered event stream (plus the kernel's observation
+    /// events recorded by `os`) as Chrome-trace JSON.
+    pub fn chrome_trace(&self, os: &Os) -> String {
+        self.tracer.chrome_json(&os.obs_trace_events())
+    }
+
+    /// Renders the buffered event stream (plus the kernel's observation
+    /// events recorded by `os`) as flat JSONL, one event per line.
+    pub fn trace_jsonl(&self, os: &Os) -> String {
+        self.tracer.jsonl(&os.obs_trace_events())
+    }
+
+    /// Exports both trace formats under the directory named by the
+    /// `PROTEAN_TRACE` environment variable as `<name>.trace.json` +
+    /// `<name>.jsonl`. Returns `Ok(None)` without touching the
+    /// filesystem when the variable is unset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating the directory or
+    /// writing either file.
+    pub fn export_trace(&self, os: &Os, name: &str) -> io::Result<Option<TraceFiles>> {
+        let Some(dir) = trace::trace_env_dir() else {
+            return Ok(None);
+        };
+        trace::write_trace_files(&dir, name, &self.chrome_trace(os), &self.trace_jsonl(os))
+            .map(Some)
+    }
+
+    /// Folds a PC sample into dispatch bookkeeping: the first sample
+    /// landing inside a freshly dispatched variant records the
+    /// dispatch-to-first-execution lag (`dispatch.first_exec_lag_cycles`)
+    /// and emits a `first-exec` event. Samples elsewhere are free.
+    pub fn note_pc_sample(&mut self, now: u64, pc: u32) {
+        if self.pending_first_exec.is_empty() {
+            return;
+        }
+        let hit = self
+            .variants
+            .iter()
+            .enumerate()
+            .find(|(i, v)| {
+                self.pending_first_exec.contains_key(i)
+                    && v.len > 0
+                    && pc >= v.addr
+                    && pc < v.addr + v.len
+            })
+            .map(|(i, _)| i);
+        if let Some(idx) = hit {
+            let dispatched = self.pending_first_exec.remove(&idx).unwrap_or(now);
+            let lag = now.saturating_sub(dispatched);
+            self.metrics.record("dispatch.first_exec_lag_cycles", lag);
+            self.tracer.emit(
+                now,
+                Subsystem::Runtime,
+                EventKind::FirstExec {
+                    variant: idx as u64,
+                    lag_cycles: lag,
+                },
+            );
+        }
     }
 
     /// All compiled variants.
@@ -469,7 +578,7 @@ impl Runtime {
         if self.meta.link.func_evt_slot[func.index()].is_none() {
             return Err(DispatchError::NotVirtualized(func));
         }
-        self.gate.verdict_cache_misses += 1;
+        self.metrics.inc("gate.verdict_cache_misses");
         let verdict = self.vet(func, &ir);
         let idx = if verdict.is_safe() {
             self.lower_and_record(os, func, NtAssignment::none(), ir)?
@@ -484,6 +593,16 @@ impl Runtime {
             });
             self.variants.len() - 1
         };
+        self.tracer.emit(
+            os.now(),
+            Subsystem::Gate,
+            EventKind::GateVerdict {
+                func: u64::from(func.0),
+                variant: idx as u64,
+                verdict: verdict_name(&verdict),
+                cached: false,
+            },
+        );
         self.safety_verdicts.insert(idx, verdict);
         Ok(idx)
     }
@@ -506,6 +625,13 @@ impl Runtime {
         nt: NtAssignment,
         ir: Function,
     ) -> Result<usize, DispatchError> {
+        self.tracer.emit(
+            os.now(),
+            Subsystem::Runtime,
+            EventKind::CompileStart {
+                func: u64::from(func.0),
+            },
+        );
         let base = os.text_len(self.pid);
         let ctx = LowerCtx {
             module: &self.meta.module,
@@ -522,11 +648,21 @@ impl Runtime {
             failed = plan.draw(FaultKind::CompileFail);
         }
         os.charge_runtime(self.config.core, cost);
-        self.compile_cycles += cost;
+        self.metrics.add("compile.cycles", cost);
         if failed {
+            self.metrics.inc("compile.failed_count");
+            self.tracer.emit(
+                os.now(),
+                Subsystem::Runtime,
+                EventKind::CompileFail {
+                    func: u64::from(func.0),
+                    cycles: cost,
+                },
+            );
             return Err(DispatchError::CompileFailed { func });
         }
-        self.compilations += 1;
+        self.metrics.inc("compile.count");
+        self.metrics.record("compile.latency_cycles", cost);
         let addr = os.append_text(self.pid, &ops);
         debug_assert_eq!(addr, base);
         self.variants.push(VariantRecord {
@@ -537,7 +673,18 @@ impl Runtime {
             len: ops.len() as u32,
             checksum: crate::safety::code_checksum(&ops),
         });
-        Ok(self.variants.len() - 1)
+        let idx = self.variants.len() - 1;
+        self.tracer.emit(
+            os.now(),
+            Subsystem::Runtime,
+            EventKind::CompileFinish {
+                func: u64::from(func.0),
+                variant: idx as u64,
+                cycles: cost,
+                ops: self.variants[idx].len as u64,
+            },
+        );
+        Ok(idx)
     }
 
     /// Runs the static safety gate on a candidate body for `func`.
@@ -546,14 +693,36 @@ impl Runtime {
     }
 
     /// The cached safety verdict for a variant, computing it on first use.
-    fn verdict(&mut self, variant: usize) -> VariantVerdict {
+    fn verdict(&mut self, now: u64, variant: usize) -> VariantVerdict {
+        let func = self.variants[variant].func;
         if let Some(v) = self.safety_verdicts.get(&variant) {
-            self.gate.verdict_cache_hits += 1;
-            return v.clone();
+            self.metrics.inc("gate.verdict_cache_hits");
+            let v = v.clone();
+            self.tracer.emit(
+                now,
+                Subsystem::Gate,
+                EventKind::GateVerdict {
+                    func: u64::from(func.0),
+                    variant: variant as u64,
+                    verdict: verdict_name(&v),
+                    cached: true,
+                },
+            );
+            return v;
         }
-        self.gate.verdict_cache_misses += 1;
+        self.metrics.inc("gate.verdict_cache_misses");
         let rec = &self.variants[variant];
         let verdict = self.vet(rec.func, &rec.ir);
+        self.tracer.emit(
+            now,
+            Subsystem::Gate,
+            EventKind::GateVerdict {
+                func: u64::from(func.0),
+                variant: variant as u64,
+                verdict: verdict_name(&verdict),
+                cached: false,
+            },
+        );
         self.safety_verdicts.insert(variant, verdict.clone());
         verdict
     }
@@ -590,41 +759,42 @@ impl Runtime {
     ///
     /// Panics if `variant` is out of range.
     pub fn dispatch(&mut self, os: &mut Os, variant: usize) -> Result<(), DispatchError> {
+        let now = os.now();
+        let func = self.variants[variant].func;
         if self.quarantined.contains(&variant) {
-            return Err(DispatchError::Quarantined {
-                func: self.variants[variant].func,
-                variant,
-            });
+            self.emit_refused(now, func, variant, "quarantined");
+            return Err(DispatchError::Quarantined { func, variant });
         }
-        match self.verdict(variant) {
+        match self.verdict(now, variant) {
             VariantVerdict::Safe { .. } => {}
             VariantVerdict::Unproved { detail } => {
-                self.gate.rejected_dispatches += 1;
-                self.gate.unproved_dispatches += 1;
-                return Err(DispatchError::UnsafeVariant {
-                    func: self.variants[variant].func,
-                    detail,
-                });
+                self.metrics.inc("gate.rejected_dispatches");
+                self.metrics.inc("gate.unproved_dispatches");
+                self.emit_refused(now, func, variant, "unproved");
+                return Err(DispatchError::UnsafeVariant { func, detail });
             }
             VariantVerdict::Refuted { detail } => {
-                self.gate.rejected_dispatches += 1;
-                self.gate.refuted_dispatches += 1;
-                return Err(DispatchError::UnsafeVariant {
-                    func: self.variants[variant].func,
-                    detail,
-                });
+                self.metrics.inc("gate.rejected_dispatches");
+                self.metrics.inc("gate.refuted_dispatches");
+                self.emit_refused(now, func, variant, "refuted");
+                return Err(DispatchError::UnsafeVariant { func, detail });
             }
         }
         if !self.verify_code(os, variant) {
-            return Err(DispatchError::CorruptCodeCache {
-                func: self.variants[variant].func,
-                variant,
-            });
+            self.emit_refused(now, func, variant, "corrupt-code-cache");
+            return Err(DispatchError::CorruptCodeCache { func, variant });
         }
-        let rec = &self.variants[variant];
-        let (func, addr) = (rec.func, rec.addr);
+        let addr = self.variants[variant].addr;
         if let Some(plan) = &mut self.faults {
             if plan.draw(FaultKind::EvtWriteFail) {
+                self.tracer.emit(
+                    now,
+                    Subsystem::Runtime,
+                    EventKind::EvtWriteDropped {
+                        func: u64::from(func.0),
+                        variant: variant as u64,
+                    },
+                );
                 return Err(DispatchError::EvtWriteFailed { func });
             }
         }
@@ -634,7 +804,31 @@ impl Runtime {
             .evt_cell(func)
             .expect("compiled variants always have EVT slots");
         os.write_u64(self.pid, cell, u64::from(addr));
+        self.metrics.inc("dispatch.count");
+        self.pending_first_exec.entry(variant).or_insert(now);
+        self.tracer.emit(
+            now,
+            Subsystem::Runtime,
+            EventKind::EvtWrite {
+                func: u64::from(func.0),
+                variant: variant as u64,
+                addr: u64::from(addr),
+            },
+        );
         Ok(())
+    }
+
+    /// Emits a `dispatch-refused` event on the gate track.
+    fn emit_refused(&mut self, now: u64, func: FuncId, variant: usize, reason: &'static str) {
+        self.tracer.emit(
+            now,
+            Subsystem::Gate,
+            EventKind::DispatchRefused {
+                func: u64::from(func.0),
+                variant: variant as u64,
+                reason,
+            },
+        );
     }
 
     /// Compiles (or reuses) and dispatches in one step. Returns the
@@ -670,11 +864,20 @@ impl Runtime {
             .ok_or(DispatchError::NotVirtualized(func))?;
         let original = self.meta.link.func_addrs[func.index()];
         os.write_u64(self.pid, cell, u64::from(original));
+        self.tracer.emit(
+            os.now(),
+            Subsystem::Runtime,
+            EventKind::Restore {
+                func: u64::from(func.0),
+            },
+        );
         Ok(())
     }
 
     /// Restores every virtualized function to its original code.
     pub fn restore_all(&mut self, os: &mut Os) {
+        self.tracer
+            .emit(os.now(), Subsystem::Runtime, EventKind::RestoreAll);
         for func in self.virtualized_funcs() {
             let _ = self.restore(os, func);
         }
@@ -697,6 +900,15 @@ impl Runtime {
             .iter()
             .find(|v| pc >= v.addr && pc < v.addr + v.len)
             .map(|v| v.func)
+    }
+}
+
+/// Stable lowercase verdict name used in `gate-verdict` trace events.
+fn verdict_name(v: &VariantVerdict) -> &'static str {
+    match v {
+        VariantVerdict::Safe { .. } => "safe",
+        VariantVerdict::Unproved { .. } => "unproved",
+        VariantVerdict::Refuted { .. } => "refuted",
     }
 }
 

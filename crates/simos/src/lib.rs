@@ -50,7 +50,7 @@ pub mod os;
 pub mod process;
 
 pub use loadgen::LoadSchedule;
-pub use os::{LatencyStats, ObsFaults, Os, OsConfig};
+pub use os::{LatencyStats, ObsEvent, ObsEventKind, ObsFaults, Os, OsConfig};
 pub use process::{Pid, Process};
 
 /// Number of application-metric channels each process exposes.

@@ -1,5 +1,8 @@
 //! The OS kernel: scheduling, time, and the runtime's control surface.
 
+use std::cell::RefCell;
+use std::collections::VecDeque;
+
 use machine::{
     exec, BtConfig, CostModel, ExecEnv, ExecStatus, MachineConfig, MemorySystem, PerfCounters,
 };
@@ -85,6 +88,91 @@ impl ObsFaults {
     }
 }
 
+/// Outcome of one kernel-side observation delivery (a ptrace-style PC
+/// sample or an HPM counter read), as recorded by the kernel trace ring.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ObsEventKind {
+    /// A PC sample delivered truthfully.
+    PcSample,
+    /// A PC sample dropped (failed ptrace peek; reads as `u32::MAX`).
+    PcSampleDropped,
+    /// A PC sample garbled to an arbitrary text address.
+    PcSampleGarbled,
+    /// A counter snapshot delivered truthfully.
+    CounterRead,
+    /// A counter snapshot perturbed by [`ObsFaults`].
+    CounterGarbled,
+}
+
+impl ObsEventKind {
+    /// Stable kebab-case name (used by trace exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsEventKind::PcSample => "pc-sample",
+            ObsEventKind::PcSampleDropped => "pc-sample-dropped",
+            ObsEventKind::PcSampleGarbled => "pc-sample-garbled",
+            ObsEventKind::CounterRead => "counter-read",
+            ObsEventKind::CounterGarbled => "counter-garbled",
+        }
+    }
+}
+
+/// One kernel-side observation event: what the ptrace/perf surface
+/// delivered to whoever asked, stamped with the simulated cycle (never a
+/// wall clock, so same-seed runs record bit-identical streams).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// Simulated cycle at which the observation was served.
+    pub cycle: u64,
+    /// Monotone sequence number within the kernel ring (orders events
+    /// that share a cycle).
+    pub seq: u64,
+    /// The observed process.
+    pub pid: Pid,
+    /// What was delivered.
+    pub kind: ObsEventKind,
+}
+
+/// Fixed-capacity ring of kernel observation events. Overflow drops the
+/// *oldest* event and bumps the drop counter, so surviving events stay in
+/// emission order.
+#[derive(Clone, Debug)]
+struct ObsTrace {
+    events: VecDeque<ObsEvent>,
+    cap: usize,
+    dropped: u64,
+    next_seq: u64,
+}
+
+impl ObsTrace {
+    fn new(cap: usize) -> Self {
+        ObsTrace {
+            events: VecDeque::with_capacity(cap.min(4096)),
+            cap,
+            dropped: 0,
+            next_seq: 0,
+        }
+    }
+
+    fn record(&mut self, cycle: u64, pid: Pid, kind: ObsEventKind) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ObsEvent {
+            cycle,
+            seq: self.next_seq,
+            pid,
+            kind,
+        });
+        self.next_seq += 1;
+    }
+}
+
 /// SplitMix64 finalizer: the stateless hash behind every observation-
 /// fault draw.
 fn splitmix(mut z: u64) -> u64 {
@@ -126,6 +214,11 @@ pub struct Os {
     runtime_consumed: Vec<u64>,
     /// Observation-fault injection, if enabled.
     obs_faults: Option<ObsFaults>,
+    /// Kernel-side observation trace ring, if enabled. `RefCell` because
+    /// the observation surface ([`sample_pc`](Os::sample_pc),
+    /// [`counters`](Os::counters)) is `&self` — recording a delivery must
+    /// not change what any caller can do with the OS.
+    obs_trace: RefCell<Option<ObsTrace>>,
     now: u64,
 }
 
@@ -142,6 +235,7 @@ impl Os {
             runtime_pending: vec![0; cores],
             runtime_consumed: vec![0; cores],
             obs_faults: None,
+            obs_trace: RefCell::new(None),
             now: 0,
         }
     }
@@ -248,6 +342,41 @@ impl Os {
         self.obs_faults
     }
 
+    /// Enables the kernel observation trace with a ring of `capacity`
+    /// events (or disables and clears it with `None`). Every subsequent
+    /// PC sample and counter read records its delivery outcome,
+    /// cycle-stamped; the ring drops its *oldest* events on overflow and
+    /// counts the drops ([`obs_trace_dropped`](Os::obs_trace_dropped)).
+    pub fn set_obs_trace(&mut self, capacity: Option<usize>) {
+        *self.obs_trace.borrow_mut() = capacity.map(ObsTrace::new);
+    }
+
+    /// Whether the kernel observation trace is recording.
+    pub fn obs_trace_enabled(&self) -> bool {
+        self.obs_trace.borrow().is_some()
+    }
+
+    /// The surviving kernel observation events, oldest first.
+    pub fn obs_trace_events(&self) -> Vec<ObsEvent> {
+        self.obs_trace
+            .borrow()
+            .as_ref()
+            .map(|t| t.events.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// How many kernel observation events overflowed the ring.
+    pub fn obs_trace_dropped(&self) -> u64 {
+        self.obs_trace.borrow().as_ref().map_or(0, |t| t.dropped)
+    }
+
+    /// Records one observation delivery into the kernel ring, if enabled.
+    fn obs_record(&self, pid: Pid, kind: ObsEventKind) {
+        if let Some(t) = self.obs_trace.borrow_mut().as_mut() {
+            t.record(self.now, pid, kind);
+        }
+    }
+
     /// One deterministic fault draw for the current `(now, pid, salt)`:
     /// returns the unit-interval roll plus independent hash bits for
     /// value garbling.
@@ -264,15 +393,21 @@ impl Os {
     /// lands on an arbitrary text address.
     pub fn sample_pc(&self, pid: Pid) -> u32 {
         let pc = self.proc(pid).ctx().pc();
-        let Some(f) = self.obs_faults else { return pc };
+        let Some(f) = self.obs_faults else {
+            self.obs_record(pid, ObsEventKind::PcSample);
+            return pc;
+        };
         let (roll, bits) = self.obs_roll(&f, pid, 0x5a5a);
         if roll < f.pc_drop {
+            self.obs_record(pid, ObsEventKind::PcSampleDropped);
             return u32::MAX;
         }
         if roll < f.pc_drop + f.pc_garble {
+            self.obs_record(pid, ObsEventKind::PcSampleGarbled);
             let len = self.proc(pid).text.len().max(1) as u64;
             return (bits % len) as u32;
         }
+        self.obs_record(pid, ObsEventKind::PcSample);
         pc
     }
 
@@ -282,9 +417,13 @@ impl Os {
     /// advancing truthfully — only this snapshot lies).
     pub fn counters(&self, pid: Pid) -> PerfCounters {
         let mut c = self.proc(pid).counters();
-        let Some(f) = self.obs_faults else { return c };
+        let Some(f) = self.obs_faults else {
+            self.obs_record(pid, ObsEventKind::CounterRead);
+            return c;
+        };
         let (roll, bits) = self.obs_roll(&f, pid, 0xc7c7);
         if roll < f.counter_garble {
+            self.obs_record(pid, ObsEventKind::CounterGarbled);
             // Scale by a factor in [0.75, 1.25) derived from hash bits.
             let scale = |v: u64, b: u64| {
                 let num = 768 + (b & 0x1ff); // [768, 1280) / 1024
@@ -293,6 +432,8 @@ impl Os {
             c.instructions = scale(c.instructions, bits);
             c.branches = scale(c.branches, bits >> 9);
             c.llc_misses = scale(c.llc_misses, bits >> 18);
+        } else {
+            self.obs_record(pid, ObsEventKind::CounterRead);
         }
         c
     }

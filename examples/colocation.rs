@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lq = os.spawn(&batch_img, 1);
     os.set_load(ws, LoadSchedule::constant(80.0));
 
-    let rt = Runtime::attach(&os, lq, RuntimeConfig::on_core(2))?;
+    let mut rt = Runtime::attach(&os, lq, RuntimeConfig::on_core(2))?;
+    // Trace every controller decision (normally armed by setting
+    // `PROTEAN_TRACE`; forced on for the demo).
+    rt.tracer_mut().set_enabled(true);
     let mut ctl = Pc3d::new(
         &mut os,
         rt,
@@ -70,6 +73,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             rep.max_depth_loads,
             (rep.reduction()) as u64
         );
+    }
+
+    // Controller-stream excerpt: searches, nap moves, and phase resets as
+    // the structured trace recorded them (cycle-stamped, deterministic).
+    let events = ctl
+        .runtime()
+        .tracer()
+        .events(protean::Subsystem::Controller);
+    println!(
+        "\ncontroller trace excerpt (last 8 of {} events):",
+        events.len()
+    );
+    for e in events.iter().rev().take(8).rev() {
+        println!("  cycle {:>13}  {}", e.cycle, e.kind.name());
+    }
+    println!("\nmerged metrics:\n{}", ctl.metrics_snapshot());
+    // With `PROTEAN_TRACE=<dir>` set, write the full Chrome-trace export.
+    if let Some(files) = ctl.export_trace(&os, "colocation")? {
+        println!("full trace exported to {}", files.chrome.display());
     }
     Ok(())
 }

@@ -70,6 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut os = Os::new(OsConfig::small());
     let pid = os.spawn(&out.image, 0);
     let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1))?;
+    // Record every healing decision on the structured trace (normally
+    // armed by setting `PROTEAN_TRACE`; forced on for the demo).
+    rt.tracer_mut().set_enabled(true);
     // One checksum strike quarantines and degrades; two clean windows
     // climb back up a rung.
     let mut health = HealthMonitor::new(HealthConfig {
@@ -128,5 +131,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         health.state()
     );
     println!("{}", health.stats());
+
+    // The same story, as the structured event stream saw it: every
+    // dispatch, corruption, quarantine, and ladder move, cycle-stamped.
+    let jsonl = rt.trace_jsonl(&os);
+    let lines: Vec<&str> = jsonl.lines().collect();
+    println!("\ntrace excerpt (last 10 of {} events):", lines.len());
+    for line in lines.iter().rev().take(10).rev() {
+        println!("  {line}");
+    }
+    // With `PROTEAN_TRACE=<dir>` set, also write the full export
+    // (Chrome-trace JSON + JSONL) for chrome://tracing / Perfetto.
+    if let Some(files) = rt.export_trace(&os, "faults")? {
+        println!("full trace exported to {}", files.chrome.display());
+    }
     Ok(())
 }

@@ -109,6 +109,10 @@ fn chaos_qos_is_never_worse_than_clean_nap_only() {
         ctl.run_for(&mut os, 45.0);
         let mark = tail_mark(&os, ext);
         ctl.run_for(&mut os, 15.0);
+        // With `PROTEAN_TRACE` set (CI), export this seed's full event
+        // stream; the workflow uploads it as an artifact on failure.
+        ctl.export_trace(&os, &format!("chaos_qos_seed{seed}"))
+            .expect("trace export must not fail");
         true_tail_ips(&os, ext, mark) / solo_ips
     });
     for (seed, chaos_qos) in seeds.iter().zip(chaos_qoses) {
@@ -387,6 +391,8 @@ fn faults_degrade_the_controller_within_one_window() {
     }
     assert!(faulted, "the search must have attempted a dispatch");
     assert_eq!(ctl.hints(), 0, "no variant survives dropped EVT writes");
+    ctl.export_trace(&os, "chaos_degrade_window")
+        .expect("trace export must not fail");
 }
 
 // ---------------------------------------------------------------------
