@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks for the substrate itself: cache-simulator
 //! throughput, interpreter speed, runtime-compiler latency, EVT patch
-//! latency, verifier/lint/dataflow analysis throughput, equivalence
+//! latency, verifier/lint/dataflow/abstract-interpretation throughput,
+//! equivalence
 //! checker throughput (proved fast path vs refuted slow path), and IR
 //! codec/compressor throughput.
 
@@ -187,6 +188,57 @@ fn bench_analysis(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_absint(c: &mut Criterion) {
+    let llc = 98304;
+    let m = workloads::catalog::build("soplex", llc).expect("workload");
+    let insts: u64 = m.functions().iter().map(|f| f.inst_count() as u64).sum();
+    let mut group = c.benchmark_group("absint");
+    group.throughput(Throughput::Elements(insts));
+    group.bench_function("analyze_soplex", |b| {
+        b.iter(|| {
+            for f in m.functions() {
+                std::hint::black_box(pir::absint::analyze_function(f).reg_table_size());
+            }
+        })
+    });
+    group.bench_function("certify_osr_soplex", |b| {
+        b.iter(|| std::hint::black_box(pir::absint::certify_module(&m).len()))
+    });
+    group.bench_function("analyze_cached_soplex", |b| {
+        b.iter(|| std::hint::black_box(pir::absint::analyze_function_cached(&m, pir::FuncId(0))))
+    });
+    group.finish();
+    // Headline analysis throughput plus certified OSR-point counts for the
+    // CI trend file.
+    if let Some(dir) = report::report_dir() {
+        for workload in ["soplex", "sphinx3", "web-search"] {
+            let m = workloads::catalog::build(workload, llc).expect("workload");
+            let insts: u64 = m.functions().iter().map(|f| f.inst_count() as u64).sum();
+            let reps = 16u32;
+            let t0 = std::time::Instant::now();
+            for _ in 0..reps {
+                for f in m.functions() {
+                    std::hint::black_box(pir::absint::analyze_function(f).reg_table_size());
+                }
+            }
+            let wall = t0.elapsed().as_secs_f64();
+            let certified = pir::absint::certify_module(&m)
+                .iter()
+                .filter(|d| d.certificate().is_some())
+                .count() as u64;
+            let m_insts_per_s = (insts * u64::from(reps)) as f64 / wall / 1e6;
+            let entry = Json::obj([
+                ("m_insts_per_s", Json::F64(m_insts_per_s)),
+                ("insts", Json::U64(insts)),
+                ("certified_osr_points", Json::U64(certified)),
+                ("wall_secs", Json::F64(wall)),
+            ]);
+            report::update_json_map(&dir.join("BENCH_absint.json"), workload, &entry)
+                .expect("write BENCH_absint.json");
+        }
+    }
+}
+
 fn bench_equiv(c: &mut Criterion) {
     let llc = 98304;
     let m = workloads::catalog::build("soplex", llc).expect("workload");
@@ -255,6 +307,7 @@ criterion_group!(
     bench_runtime_compiler,
     bench_evt_patch,
     bench_analysis,
+    bench_absint,
     bench_equiv,
     bench_codec
 );

@@ -11,9 +11,10 @@
 use std::error::Error;
 use std::fmt;
 
+use pir::absint::{OsrCertificate, OsrLiveSlot};
 use pir::compress::{compress, decompress, DecompressError};
 use pir::encode::{decode_module, encode_module, DecodeError};
-use pir::Module;
+use pir::{BlockId, FuncId, GlobalId, Interval, Module, PtClass, Reg};
 
 /// Static link facts the runtime compiler needs to lower a function
 /// variant against the original image.
@@ -43,6 +44,12 @@ pub struct EmbeddedMeta {
     pub module: Module,
     /// Link facts for relinking variants.
     pub link: LinkInfo,
+    /// OSR-point certificates for every certified loop header
+    /// ([`pir::absint::certify_module`] output, certificates only). The
+    /// future OSR runtime (ROADMAP item 3) reads these to decide where a
+    /// running frame may migrate into a variant. Empty when the module was
+    /// compiled without protean support or by an older `pcc`.
+    pub osr: Vec<OsrCertificate>,
 }
 
 /// Failure to decode an embedded metadata blob.
@@ -88,6 +95,17 @@ fn put_varu(buf: &mut Vec<u8>, mut v: u64) {
     }
 }
 
+/// Zigzag-folds a signed value so small magnitudes (of either sign)
+/// stay short under the varint coding. Interval bounds are often exact
+/// small constants or `i64::MIN`/`MAX` sentinels; both shapes code well.
+fn zigzag(v: i64) -> u64 {
+    (v.wrapping_shl(1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
 fn read_varu(data: &[u8], pos: &mut usize) -> Option<u64> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
@@ -128,6 +146,30 @@ impl EmbeddedMeta {
             put_varu(&mut raw, *a);
         }
         put_varu(&mut raw, self.link.evt_base);
+        put_varu(&mut raw, self.osr.len() as u64);
+        for cert in &self.osr {
+            put_varu(&mut raw, u64::from(cert.func.0));
+            put_varu(&mut raw, u64::from(cert.header.0));
+            put_varu(&mut raw, u64::from(cert.loop_depth));
+            put_varu(&mut raw, cert.live.len() as u64);
+            for slot in &cert.live {
+                put_varu(&mut raw, u64::from(slot.reg.0));
+                put_varu(&mut raw, zigzag(slot.range.lo));
+                put_varu(&mut raw, zigzag(slot.range.hi));
+                match slot.class {
+                    PtClass::NotAddr => put_varu(&mut raw, 0),
+                    PtClass::Unknown => put_varu(&mut raw, 1),
+                    PtClass::Global(g) => {
+                        put_varu(&mut raw, 2);
+                        put_varu(&mut raw, u64::from(g.0));
+                    }
+                    PtClass::Param(p) => {
+                        put_varu(&mut raw, 3);
+                        put_varu(&mut raw, u64::from(p));
+                    }
+                }
+            }
+        }
         compress(&raw)
     }
 
@@ -167,6 +209,67 @@ impl EmbeddedMeta {
             global_addrs.push(read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?);
         }
         let evt_base = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+        // Blobs written before the OSR section simply end here; treat them
+        // as carrying no certificates rather than rejecting them.
+        let mut osr = Vec::new();
+        if pos != raw.len() {
+            let ncerts = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+            for _ in 0..ncerts {
+                let func = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                if func as usize >= module.functions().len() {
+                    return Err(MetaError::BadAnnex);
+                }
+                let func = FuncId(func as u32);
+                let header = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                if header as usize >= module.function(func).blocks().len() {
+                    return Err(MetaError::BadAnnex);
+                }
+                let loop_depth = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)? as u32;
+                let nlive = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                let mut live = Vec::new();
+                for _ in 0..nlive {
+                    let reg = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                    if reg as usize >= module.function(func).reg_count() as usize {
+                        return Err(MetaError::BadAnnex);
+                    }
+                    let lo = unzigzag(read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?);
+                    let hi = unzigzag(read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?);
+                    if lo > hi {
+                        return Err(MetaError::BadAnnex);
+                    }
+                    let class = match read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)? {
+                        0 => PtClass::NotAddr,
+                        1 => PtClass::Unknown,
+                        2 => {
+                            let g = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                            if g as usize >= module.globals().len() {
+                                return Err(MetaError::BadAnnex);
+                            }
+                            PtClass::Global(GlobalId(g as u32))
+                        }
+                        3 => {
+                            let p = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                            if p >= u64::from(module.function(func).params()) {
+                                return Err(MetaError::BadAnnex);
+                            }
+                            PtClass::Param(p as u32)
+                        }
+                        _ => return Err(MetaError::BadAnnex),
+                    };
+                    live.push(OsrLiveSlot {
+                        reg: Reg(reg as u32),
+                        range: Interval { lo, hi },
+                        class,
+                    });
+                }
+                osr.push(OsrCertificate {
+                    func,
+                    header: BlockId(header as u32),
+                    loop_depth,
+                    live,
+                });
+            }
+        }
         if pos != raw.len() {
             return Err(MetaError::BadAnnex);
         }
@@ -178,6 +281,7 @@ impl EmbeddedMeta {
                 global_addrs,
                 evt_base,
             },
+            osr,
         })
     }
 }
@@ -191,7 +295,7 @@ mod tests {
         let mut m = Module::new("s");
         m.add_global("a", 64);
         m.add_global("b", 8);
-        let mut f = FunctionBuilder::new("f", 0);
+        let mut f = FunctionBuilder::new("f", 1);
         f.ret(None);
         m.add_function(f.finish());
         let mut g = FunctionBuilder::new("g", 0);
@@ -201,6 +305,44 @@ mod tests {
         g.ret(None);
         let gid = m.add_function(g.finish());
         m.set_entry(gid);
+        // Exercise every slot-class tag and both interval shapes.
+        let osr = vec![
+            OsrCertificate {
+                func: FuncId(0),
+                header: BlockId(0),
+                loop_depth: 1,
+                live: vec![OsrLiveSlot {
+                    reg: Reg(0),
+                    range: Interval { lo: -3, hi: 3 },
+                    class: PtClass::Param(0),
+                }],
+            },
+            OsrCertificate {
+                func: FuncId(1),
+                header: BlockId(1),
+                loop_depth: 1,
+                live: vec![
+                    OsrLiveSlot {
+                        reg: Reg(0),
+                        range: Interval { lo: 0, hi: 4 },
+                        class: PtClass::NotAddr,
+                    },
+                    OsrLiveSlot {
+                        reg: Reg(1),
+                        range: Interval::TOP,
+                        class: PtClass::Global(GlobalId(1)),
+                    },
+                    OsrLiveSlot {
+                        reg: Reg(2),
+                        range: Interval {
+                            lo: i64::MIN,
+                            hi: 0,
+                        },
+                        class: PtClass::Unknown,
+                    },
+                ],
+            },
+        ];
         EmbeddedMeta {
             module: m,
             link: LinkInfo {
@@ -209,6 +351,7 @@ mod tests {
                 global_addrs: vec![64, 128],
                 evt_base: 192,
             },
+            osr,
         }
     }
 
@@ -254,5 +397,65 @@ mod tests {
     #[test]
     fn error_display_nonempty() {
         assert!(!MetaError::BadAnnex.to_string().is_empty());
+    }
+
+    #[test]
+    fn pre_osr_blob_still_decodes() {
+        // A blob written by a pcc predating the OSR section ends right
+        // after evt_base. Reconstruct that wire format by hand and check
+        // it decodes to an empty certificate list.
+        let meta = sample();
+        let module_bytes = pir::encode::encode_module(&meta.module);
+        let mut raw = Vec::new();
+        put_varu(&mut raw, module_bytes.len() as u64);
+        raw.extend_from_slice(&module_bytes);
+        put_varu(&mut raw, meta.link.func_addrs.len() as u64);
+        for a in &meta.link.func_addrs {
+            put_varu(&mut raw, u64::from(*a));
+        }
+        for s in &meta.link.func_evt_slot {
+            put_varu(&mut raw, s.map_or(0, |slot| u64::from(slot) + 1));
+        }
+        put_varu(&mut raw, meta.link.global_addrs.len() as u64);
+        for a in &meta.link.global_addrs {
+            put_varu(&mut raw, *a);
+        }
+        put_varu(&mut raw, meta.link.evt_base);
+        let blob = pir::compress::compress(&raw);
+        let back = EmbeddedMeta::from_blob(&blob).expect("old blob decodes");
+        assert_eq!(back.module, meta.module);
+        assert_eq!(back.link, meta.link);
+        assert!(back.osr.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_certificate_rejected() {
+        for bad in [
+            |m: &mut EmbeddedMeta| m.osr[0].func = FuncId(9),
+            |m: &mut EmbeddedMeta| m.osr[0].header = BlockId(9),
+            |m: &mut EmbeddedMeta| m.osr[0].live[0].reg = Reg(200),
+            |m: &mut EmbeddedMeta| m.osr[0].live[0].class = PtClass::Global(GlobalId(7)),
+            |m: &mut EmbeddedMeta| m.osr[0].live[0].class = PtClass::Param(3),
+            |m: &mut EmbeddedMeta| m.osr[0].live[0].range = Interval { lo: 5, hi: -5 },
+        ] {
+            let mut meta = sample();
+            bad(&mut meta);
+            assert_eq!(
+                EmbeddedMeta::from_blob(&meta.to_blob()),
+                Err(MetaError::BadAnnex)
+            );
+        }
+    }
+
+    #[test]
+    fn real_certificates_roundtrip() {
+        let mut meta = sample();
+        meta.osr = pir::absint::certify_module(&meta.module)
+            .into_iter()
+            .filter_map(|d| d.certificate().cloned())
+            .collect();
+        assert!(!meta.osr.is_empty(), "counted loop should certify");
+        let back = EmbeddedMeta::from_blob(&meta.to_blob()).expect("decode");
+        assert_eq!(back, meta);
     }
 }

@@ -245,14 +245,26 @@ impl Compiler {
             evt_base: prelim.evt_base,
         };
         let (blob, meta) = if opts.protean && opts.embed_ir {
+            // Certified OSR anchors ride along with the IR so the future
+            // OSR runtime (ROADMAP item 3) never re-derives them online.
+            let osr = pir::absint::certify_module(module)
+                .into_iter()
+                .filter_map(|d| d.certificate().cloned())
+                .collect();
             let meta = EmbeddedMeta {
                 module: module.clone(),
                 link: link.clone(),
+                osr,
             };
             (meta.to_blob(), Some(meta))
         } else {
             (Vec::new(), None)
         };
+        if opts.check_invariants {
+            if let Some(meta) = &meta {
+                crate::invariants::check_osr_certificates(module, &meta.osr, "osr-certify")?;
+            }
+        }
         let lay = layout::compute(module, evt_len, blob.len() as u64);
         debug_assert_eq!(lay.global_addrs, prelim.global_addrs);
         debug_assert_eq!(lay.evt_base, prelim.evt_base);
@@ -541,6 +553,15 @@ mod tests {
         let meta = EmbeddedMeta::from_blob(blob).expect("embedded meta decodes");
         assert_eq!(meta.module, program());
         assert_eq!(Some(&meta), out.meta.as_ref());
+        // OSR anchors ride along and survive the wire format: the counted
+        // loop in `main` certifies, and the embedded set is exactly what
+        // the analysis derives.
+        let expected: Vec<_> = pir::absint::certify_module(&meta.module)
+            .into_iter()
+            .filter_map(|d| d.certificate().cloned())
+            .collect();
+        assert!(!expected.is_empty(), "main's loop should certify");
+        assert_eq!(meta.osr, expected);
     }
 
     #[test]

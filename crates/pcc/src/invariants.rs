@@ -117,6 +117,38 @@ pub fn check_module(module: &Module, stage: &'static str) -> Result<(), CompileE
     InvariantChecker::strict().check(module, stage)
 }
 
+/// Checks that embedded OSR certificates are exactly the ones
+/// [`pir::absint::certify_module`] derives for `module`. The analysis is
+/// deterministic, so any mismatch means the metadata is stale or
+/// fabricated — and a stale anchor would let the future OSR runtime
+/// migrate a frame on a wrong live-state map.
+///
+/// # Errors
+///
+/// Returns [`CompileError::InvariantViolation`] naming the stage.
+pub fn check_osr_certificates(
+    module: &Module,
+    certs: &[pir::absint::OsrCertificate],
+    stage: &'static str,
+) -> Result<(), CompileError> {
+    let expected: Vec<pir::absint::OsrCertificate> = pir::absint::certify_module(module)
+        .into_iter()
+        .filter_map(|d| d.certificate().cloned())
+        .collect();
+    if certs != expected.as_slice() {
+        return Err(CompileError::InvariantViolation {
+            stage,
+            detail: format!(
+                "embedded OSR certificates disagree with analysis \
+                 ({} embedded, {} derived)",
+                certs.len(),
+                expected.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +219,29 @@ mod tests {
     fn clean_baseline_enforces_the_assignment_check() {
         let checker = InvariantChecker::for_module(&ok_module());
         assert!(checker.check(&undef_read_module(), "stage").is_err());
+    }
+
+    #[test]
+    fn osr_certificates_must_match_the_analysis() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", 0);
+        b.counted_loop(0, 8, 1, |b, i| {
+            let _ = b.add_imm(i, 1);
+        });
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let mut certs: Vec<_> = pir::absint::certify_module(&m)
+            .into_iter()
+            .filter_map(|d| d.certificate().cloned())
+            .collect();
+        assert!(!certs.is_empty());
+        assert!(check_osr_certificates(&m, &certs, "osr-certify").is_ok());
+        // Tampered live-state map: caught.
+        certs[0].live.clear();
+        let err = check_osr_certificates(&m, &certs, "osr-certify").unwrap_err();
+        assert!(err.to_string().contains("OSR"), "{err}");
+        // Dropped certificate: caught.
+        assert!(check_osr_certificates(&m, &[], "osr-certify").is_err());
     }
 }

@@ -46,7 +46,9 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
+use crate::absint::{self, Interval};
 use crate::dataflow::{is_reducible, Cfg, Dominators, Liveness};
 use crate::effects::ModuleEffects;
 use crate::ids::{BlockId, FuncId, GlobalId};
@@ -71,6 +73,13 @@ pub struct EquivOptions {
     /// in the interpreter. Without confirmation every mismatch degrades to
     /// `Unknown` (sound, but produces no counterexample traces).
     pub confirm_with_interp: bool,
+    /// Whether the store buffer may additionally discharge aliasing
+    /// queries with [`crate::absint`] interval facts: accesses proven
+    /// in-bounds of distinct globals, or of the same global at interval
+    /// distance ≥ 8, are disjoint even when their symbolic bases differ.
+    /// On by default; turning it off recovers the purely syntactic
+    /// base+offset rule (useful for A/B precision measurements).
+    pub interval_alias: bool,
 }
 
 impl Default for EquivOptions {
@@ -79,8 +88,21 @@ impl Default for EquivOptions {
             max_pairs: 4096,
             confirm_steps: 500_000,
             confirm_with_interp: true,
+            interval_alias: true,
         }
     }
+}
+
+std::thread_local! {
+    static INTERVAL_FACTS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// This thread's cumulative count of aliasing queries discharged by the
+/// interval disjointness rule (queries the syntactic base+offset rule
+/// alone could not resolve). The safety gate surfaces deltas of this as
+/// the `gate.absint_disjoint_facts` metric.
+pub fn interval_disjoint_facts() -> u64 {
+    INTERVAL_FACTS.with(|c| c.get())
 }
 
 /// A concrete, interpreter-confirmed witness that two functions diverge.
@@ -277,6 +299,19 @@ struct Interner {
     map: HashMap<Sym, VnId>,
     cuts: u32,
     eras: u32,
+    /// Interval invariant per cut symbol, parallel to cut indices. Cuts
+    /// minted by [`Interner::cut`] are unconstrained (⊤); the bisimulation
+    /// seeds tighter ranges from [`crate::absint`] block states via
+    /// [`Interner::cut_ranged`].
+    cut_ranges: Vec<Interval>,
+    /// Byte sizes of the modules' globals, indexed by [`GlobalId`]. Empty
+    /// when the two sides' global tables differ, which disables the
+    /// interval disjointness rule (it reasons about object footprints).
+    global_sizes: Vec<u64>,
+    /// Gate for the interval disjointness rule ([`EquivOptions::interval_alias`]).
+    interval_alias: bool,
+    range_memo: HashMap<VnId, Interval>,
+    gpart_memo: HashMap<VnId, Option<(GlobalId, Interval)>>,
 }
 
 /// Pseudo-base for absolute (integer-constant) addresses in
@@ -299,8 +334,17 @@ impl Interner {
     }
 
     fn cut(&mut self) -> VnId {
+        self.cut_ranged(Interval::TOP)
+    }
+
+    /// A fresh cut symbol carrying an interval invariant: every concrete
+    /// value the symbol stands for is known (by the caller's soundness
+    /// argument — here, abstract interpretation of both sides) to lie in
+    /// `range`.
+    fn cut_ranged(&mut self, range: Interval) -> VnId {
         let i = self.cuts;
         self.cuts += 1;
+        self.cut_ranges.push(range);
         self.intern(Sym::Cut(i))
     }
 
@@ -387,19 +431,133 @@ impl Interner {
         }
     }
 
-    /// True only when the two 8-byte accesses *provably* do not overlap:
-    /// same symbolic base, constant windows at distance ≥ 8. Distinct
-    /// symbolic bases are conservatively treated as may-aliasing (the gate
-    /// checks adversarial variants, so even cross-global disjointness is
-    /// not assumed).
-    fn provably_disjoint(&self, p: VnId, q: VnId) -> bool {
+    /// Sound interval bound on every concrete value `vn` can take, from
+    /// constant leaves, the cut symbols' seeded invariants, and
+    /// [`Interval::apply`] over operators. Memoized; terms past the depth
+    /// cap degrade to ⊤.
+    fn sym_range(&mut self, vn: VnId) -> Interval {
+        self.sym_range_depth(vn, 64)
+    }
+
+    fn sym_range_depth(&mut self, vn: VnId, depth: usize) -> Interval {
+        if let Some(&r) = self.range_memo.get(&vn) {
+            return r;
+        }
+        if depth == 0 {
+            return Interval::TOP;
+        }
+        let r = match self.terms[vn as usize].clone() {
+            Sym::Const(c) => Interval::exact(c),
+            Sym::Cut(i) => self
+                .cut_ranges
+                .get(i as usize)
+                .copied()
+                .unwrap_or(Interval::TOP),
+            Sym::Bin(op, a, b) => {
+                let ra = self.sym_range_depth(a, depth - 1);
+                let rb = self.sym_range_depth(b, depth - 1);
+                Interval::apply(op, ra, rb)
+            }
+            Sym::GlobalBase(_) | Sym::Load { .. } | Sym::CallRet { .. } => Interval::TOP,
+        };
+        self.range_memo.insert(vn, r);
+        r
+    }
+
+    /// Decomposes `vn` as "one global's base address plus a bounded
+    /// offset": returns `(g, r)` when the concrete value is always
+    /// `base(g) + o` (mod 2^64) for some `o ∈ r`. Expressions mixing two
+    /// global bases, or whose non-base part has a global hiding inside a
+    /// non-additive operator, return `None` (the hidden base makes the
+    /// residual range ⊤ anyway, so no unsound window is ever derived).
+    fn global_parts(&mut self, vn: VnId) -> Option<(GlobalId, Interval)> {
+        if let Some(r) = self.gpart_memo.get(&vn) {
+            return *r;
+        }
+        let out = match self.terms[vn as usize].clone() {
+            Sym::GlobalBase(g) => Some((g, Interval::exact(0))),
+            Sym::Bin(BinOp::Add, a, b) => match (self.global_parts(a), self.global_parts(b)) {
+                (Some((g, ra)), None) => {
+                    let rb = self.sym_range(b);
+                    Some((g, Interval::apply(BinOp::Add, ra, rb)))
+                }
+                (None, Some((g, rb))) => {
+                    let ra = self.sym_range(a);
+                    Some((g, Interval::apply(BinOp::Add, ra, rb)))
+                }
+                _ => None,
+            },
+            Sym::Bin(BinOp::Sub, a, b) => match (self.global_parts(a), self.global_parts(b)) {
+                (Some((g, ra)), None) => {
+                    let rb = self.sym_range(b);
+                    Some((g, Interval::apply(BinOp::Sub, ra, rb)))
+                }
+                _ => None,
+            },
+            _ => None,
+        };
+        self.gpart_memo.insert(vn, out);
+        out
+    }
+
+    /// True when the 8-byte access window `[base(g)+r.lo, base(g)+r.hi+8)`
+    /// provably stays inside global `g`'s footprint.
+    fn window_in_bounds(&self, g: GlobalId, r: Interval) -> bool {
+        let Some(&size) = self.global_sizes.get(g.index()) else {
+            return false;
+        };
+        let Ok(size) = i64::try_from(size) else {
+            return false;
+        };
+        size >= 8 && r.lo >= 0 && r.hi <= size - 8
+    }
+
+    /// True only when the two 8-byte accesses *provably* do not overlap.
+    ///
+    /// Two rules, each sufficient alone:
+    ///
+    /// * **Syntactic**: same symbolic base, constant windows at circular
+    ///   distance ≥ 8.
+    /// * **Interval** (gated by [`EquivOptions::interval_alias`]): both
+    ///   addresses decompose as `base(g) + bounded offset` with the whole
+    ///   window in-bounds of `g`. In-bounds accesses to *distinct* globals
+    ///   never overlap — every layout in the system (`pcc`'s placement,
+    ///   the interpreter harnesses' synthetic layout) gives each global a
+    ///   private footprint, and the interpreter rejects out-of-image
+    ///   accesses — and same-global windows at interval distance ≥ 8 are
+    ///   separate by arithmetic.
+    ///
+    /// Everything else conservatively may-alias (the gate checks
+    /// adversarial variants).
+    fn provably_disjoint(&mut self, p: VnId, q: VnId) -> bool {
         let (bp, op) = self.addr_parts(p);
         let (bq, oq) = self.addr_parts(q);
         // Addresses wrap mod 2^64, so both *circular* distances must be
         // ≥ 8: offsets near the i64 extremes (e.g. i64::MAX vs i64::MIN)
         // are one byte apart, not 2^64 − 1.
         let d = op.wrapping_sub(oq) as u64;
-        bp == bq && d >= 8 && d.wrapping_neg() >= 8
+        if bp == bq && d >= 8 && d.wrapping_neg() >= 8 {
+            return true;
+        }
+        if !self.interval_alias {
+            return false;
+        }
+        let Some((gp, rp)) = self.global_parts(p) else {
+            return false;
+        };
+        let Some((gq, rq)) = self.global_parts(q) else {
+            return false;
+        };
+        if !self.window_in_bounds(gp, rp) || !self.window_in_bounds(gq, rq) {
+            return false;
+        }
+        let disjoint = gp != gq
+            || rp.hi.checked_add(8).is_some_and(|e| e <= rq.lo)
+            || rq.hi.checked_add(8).is_some_and(|e| e <= rp.lo);
+        if disjoint {
+            INTERVAL_FACTS.with(|c| c.set(c.get() + 1));
+        }
+        disjoint
     }
 
     fn render(&self, vn: VnId) -> String {
@@ -465,7 +623,7 @@ struct SideRun {
 /// Per-module context shared by all function pairs of one check.
 struct ModuleCx<'m> {
     module: &'m Module,
-    effects: ModuleEffects,
+    effects: Arc<ModuleEffects>,
     /// Functions that are a single block of pure instructions (plus nops)
     /// ending in `ret` — these are summarized transparently at call sites,
     /// which is what makes inlining and DCE of pure calls provable.
@@ -488,7 +646,7 @@ impl<'m> ModuleCx<'m> {
             .collect();
         ModuleCx {
             module,
-            effects: ModuleEffects::analyze(module),
+            effects: crate::effects::analyze_cached(module),
             pure_leaf,
         }
     }
@@ -741,6 +899,20 @@ const MAX_REFINEMENT_ROUNDS: usize = 128;
 /// tagged `(is_variant, reg index)`.
 type EqClass = Vec<(bool, usize)>;
 
+/// The invariant recorded at a block pair's first visit, checked on every
+/// revisit.
+struct PairInvariant {
+    /// Equality classes (≥ 2 members) whose members were generalized to a
+    /// shared cut symbol.
+    groups: Vec<EqClass>,
+    /// Registers *pinned* to a context-independent symbol (a global base
+    /// address) instead of generalized: the invariant claims the register
+    /// holds exactly this value whenever execution reaches the pair.
+    /// Pinning preserves the base's identity for the store buffer's
+    /// disjointness rules across loop iterations.
+    pins: Vec<((bool, usize), VnId)>,
+}
+
 fn run_bisim(
     cx_b: &ModuleCx<'_>,
     cx_v: &ModuleCx<'_>,
@@ -778,9 +950,28 @@ fn run_bisim(
     // shrink monotonically under splitting, so refinement terminates.
     let mut learned: HashMap<(u32, u32), HashMap<(bool, usize), u32>> = HashMap::new();
     let mut next_color: u32 = 0;
+    // Registers whose pin was violated on some path: generalized to cuts
+    // (never re-pinned) in later rounds. Grows monotonically, so the
+    // restart argument below still terminates.
+    let mut pin_banned: HashMap<(u32, u32), std::collections::HashSet<(bool, usize)>> =
+        HashMap::new();
+
+    // Per-side abstract states (cached per module hash): sound interval
+    // invariants on every block's live-in registers, used to (a) seed cut
+    // symbols with ranges and (b) let the store buffer discharge aliasing
+    // queries the syntactic rule cannot.
+    let ab_b = absint::analyze_function_cached(cx_b.module, fid);
+    let ab_v = absint::analyze_function_cached(cx_v.module, fid);
+    let same_globals = cx_b.module.globals() == cx_v.module.globals();
 
     'rounds: for _round in 0..MAX_REFINEMENT_ROUNDS {
-        let mut it = Interner::default();
+        let mut it = Interner {
+            interval_alias: opts.interval_alias,
+            ..Interner::default()
+        };
+        if same_globals {
+            it.global_sizes = cx_b.module.globals().iter().map(|g| g.size()).collect();
+        }
         let zero = it.konst(0);
         let mut regs_b = vec![zero; reg_table_size(fb)];
         let mut regs_v = vec![zero; reg_table_size(fv)];
@@ -791,8 +982,9 @@ fn run_bisim(
         }
 
         // Recorded invariant per visited pair: equality classes (with ≥ 2
-        // members) over live-in registers, tagged (is_variant, reg index).
-        let mut visited: HashMap<(u32, u32), Vec<EqClass>> = HashMap::new();
+        // members) over live-in registers, tagged (is_variant, reg index),
+        // plus pinned context-independent values.
+        let mut visited: HashMap<(u32, u32), PairInvariant> = HashMap::new();
         let mut queue: VecDeque<(BlockId, BlockId, Vec<VnId>, Vec<VnId>)> = VecDeque::new();
         queue.push_back((fb.entry(), fv.entry(), regs_b, regs_v));
 
@@ -802,7 +994,7 @@ fn run_bisim(
 
         while let Some((tb, tv, rb, rv)) = queue.pop_front() {
             let read = |is_v: bool, r: usize| if is_v { rv[r] } else { rb[r] };
-            if let Some(groups) = visited.get(&(tb.0, tv.0)) {
+            if let Some(inv) = visited.get(&(tb.0, tv.0)) {
                 // Revisit: the incoming state must still satisfy the
                 // recorded partition. A broken group means the candidate
                 // invariant was too coarse (e.g. `acc` and `i` both start
@@ -811,7 +1003,16 @@ fn run_bisim(
                 // divergences survive refinement and surface as explicit
                 // event/return/branch mismatches.
                 let mut refined = false;
-                for g in groups {
+                for &(m, vn) in &inv.pins {
+                    if read(m.0, m.1) != vn {
+                        // The register does not always hold the pinned
+                        // value: ban the pin and restart, generalizing it
+                        // to a cut like everything else.
+                        pin_banned.entry((tb.0, tv.0)).or_default().insert(m);
+                        refined = true;
+                    }
+                }
+                for g in &inv.groups {
                     let mut sub: BTreeMap<VnId, Vec<(bool, usize)>> = BTreeMap::new();
                     for &(s, r) in g {
                         sub.entry(read(s, r)).or_default().push((s, r));
@@ -862,8 +1063,46 @@ fn run_bisim(
             let mut gen_b = rb.clone();
             let mut gen_v = rv.clone();
             let mut groups = Vec::new();
-            for members in classes.into_values() {
-                let c = it.cut();
+            let mut pins = Vec::new();
+            let st_b = ab_b.block_in(tb);
+            let st_v = ab_v.block_in(tv);
+            let banned = pin_banned.get(&(tb.0, tv.0));
+            for ((vn, _), members) in classes.into_iter() {
+                // A class holding a global base address is pinned rather
+                // than generalized: the symbol is context-independent and
+                // keeping it lets the store buffer separate accesses to
+                // distinct globals across loop iterations. Violations are
+                // caught at revisits and banned (see PairInvariant).
+                let pinnable = matches!(it.terms[vn as usize], Sym::GlobalBase(_))
+                    && members
+                        .iter()
+                        .all(|m| banned.is_none_or(|b| !b.contains(m)));
+                if pinnable {
+                    for &m in &members {
+                        pins.push((m, vn));
+                    }
+                    continue;
+                }
+                // All members provably hold one concrete value here, and
+                // each member's absint interval contains that value, so
+                // the meet does too. An empty meet means this pairing is
+                // concretely unreachable; ⊤ keeps it sound to explore.
+                let mut range = Interval::TOP;
+                for &(is_v, r) in &members {
+                    let side = if is_v { st_v } else { st_b };
+                    let ri = side
+                        .and_then(|s| s.get(r))
+                        .map(|v| v.range)
+                        .unwrap_or(Interval::TOP);
+                    range = match range.meet(ri) {
+                        Some(m) => m,
+                        None => {
+                            range = Interval::TOP;
+                            break;
+                        }
+                    };
+                }
+                let c = it.cut_ranged(range);
                 for &(is_v, r) in &members {
                     if is_v {
                         gen_v[r] = c;
@@ -875,7 +1114,7 @@ fn run_bisim(
                     groups.push(members);
                 }
             }
-            visited.insert((tb.0, tv.0), groups);
+            visited.insert((tb.0, tv.0), PairInvariant { groups, pins });
 
             let era = it.era();
             let run_b = run_segment(cx_b, &mut it, fb, tb, gen_b, era);
@@ -1467,6 +1706,136 @@ mod tests {
         let c4 = it.konst(4);
         let at4 = it.bin(BinOp::Add, base, c4);
         assert!(!it.provably_disjoint(base, at4));
+    }
+
+    #[test]
+    fn interval_rule_separates_bounded_windows() {
+        let mut it = Interner {
+            interval_alias: true,
+            global_sizes: vec![256, 64],
+            ..Interner::default()
+        };
+        let g0 = it.intern(Sym::GlobalBase(GlobalId(0)));
+        let g1 = it.intern(Sym::GlobalBase(GlobalId(1)));
+        // Dynamic index with a seeded range: g0 + i, i ∈ [0, 8].
+        let i = it.cut_ranged(Interval::new(0, 8));
+        let lo = it.bin(BinOp::Add, g0, i);
+        // Same global, far side: g0 + 128. Windows [0,16) and [128,136).
+        let c128 = it.konst(128);
+        let far = it.bin(BinOp::Add, g0, c128);
+        let before = interval_disjoint_facts();
+        assert!(it.provably_disjoint(lo, far));
+        assert!(interval_disjoint_facts() > before, "fact counter advanced");
+        // Same global, touching: g0 + 12 overlaps the [0,16) window.
+        let c12 = it.konst(12);
+        let near = it.bin(BinOp::Add, g0, c12);
+        assert!(!it.provably_disjoint(lo, near));
+        // Distinct globals, both in-bounds: disjoint objects.
+        let c0 = it.konst(0);
+        let other = it.bin(BinOp::Add, g1, c0);
+        assert!(it.provably_disjoint(lo, other));
+        // Out-of-bounds window on either side disables the rule.
+        let cbig = it.konst(300);
+        let oob = it.bin(BinOp::Add, g0, cbig);
+        assert!(!it.provably_disjoint(oob, other));
+        // With the gate off, only the syntactic rule remains.
+        it.interval_alias = false;
+        assert!(!it.provably_disjoint(lo, other));
+    }
+
+    #[test]
+    fn cross_global_reorder_proves_only_with_interval_facts() {
+        // Baseline stores to global `a`, then loads global `b`; the
+        // variant hoists the load above the store. Their symbolic bases
+        // differ, so the syntactic rule pins the load behind the store
+        // and the sides disagree — only the interval rule (distinct
+        // in-bounds globals are disjoint) closes the gap.
+        let build = |hoisted: bool| {
+            let mut m = Module::new("m");
+            let ga = m.add_global("a", 64);
+            let gb = m.add_global("b", 64);
+            let mut f = FunctionBuilder::new("work", 1);
+            let p = f.param(0);
+            let ba = f.global_addr(ga);
+            let bb = f.global_addr(gb);
+            if hoisted {
+                let v = f.load(bb, 0, Locality::Normal);
+                f.store(ba, 0, p);
+                let s = f.add(v, p);
+                f.ret(Some(s));
+            } else {
+                f.store(ba, 0, p);
+                let v = f.load(bb, 0, Locality::Normal);
+                let s = f.add(v, p);
+                f.ret(Some(s));
+            }
+            let fid = m.add_function(f.finish());
+            m.set_entry(fid);
+            m
+        };
+        let baseline = build(false);
+        let variant = build(true);
+        let fid = baseline.function_by_name("work").unwrap();
+        let v = check_function_in(&baseline, &variant, fid, &EquivOptions::default());
+        assert!(v.is_proved(), "interval facts should prove the hoist: {v}");
+        let classic = EquivOptions {
+            interval_alias: false,
+            ..EquivOptions::default()
+        };
+        let v = check_function_in(&baseline, &variant, fid, &classic);
+        assert!(
+            matches!(v, Verdict::Unknown { .. }),
+            "syntactic rule alone must stay conservative: {v}"
+        );
+    }
+
+    #[test]
+    fn absint_seeded_cuts_bound_loop_indices_across_blocks() {
+        // A loop writing buf[i] for i in [0, 8) while reading a fixed
+        // tail slot buf[448]: the index is a cut symbol at the header,
+        // but its absint-seeded range keeps the two windows apart, so a
+        // variant hoisting the tail load out of the store's shadow still
+        // proves. (Same global — only the seeded range can separate
+        // them.)
+        let build = |hoisted: bool| {
+            let mut m = Module::new("m");
+            let g = m.add_global("buf", 512);
+            let mut f = FunctionBuilder::new("work", 1);
+            let p = f.param(0);
+            let base = f.global_addr(g);
+            let acc0 = f.const_(0);
+            let acc = f.accumulate_loop(0, 8, 1, acc0, |f, i, acc| {
+                let off = f.shl_imm(i, 3);
+                let addr = f.add(base, off);
+                if hoisted {
+                    let tail = f.load(base, 448, Locality::Normal);
+                    f.store(addr, 0, p);
+                    f.add_into(acc, acc, tail);
+                } else {
+                    f.store(addr, 0, p);
+                    let tail = f.load(base, 448, Locality::Normal);
+                    f.add_into(acc, acc, tail);
+                }
+            });
+            f.ret(Some(acc));
+            let fid = m.add_function(f.finish());
+            m.set_entry(fid);
+            m
+        };
+        let baseline = build(false);
+        let variant = build(true);
+        let fid = baseline.function_by_name("work").unwrap();
+        let v = check_function_in(&baseline, &variant, fid, &EquivOptions::default());
+        assert!(v.is_proved(), "seeded cut ranges should prove: {v}");
+        let classic = EquivOptions {
+            interval_alias: false,
+            ..EquivOptions::default()
+        };
+        let v = check_function_in(&baseline, &variant, fid, &classic);
+        assert!(
+            matches!(v, Verdict::Unknown { .. }),
+            "without interval facts the store shadows the load: {v}"
+        );
     }
 
     #[test]

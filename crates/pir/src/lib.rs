@@ -18,6 +18,10 @@
 //!   definite-assignment instances,
 //! * a conservative alias/memory-effects analysis ([`effects`]) with
 //!   points-to classes for globals and parameters,
+//! * an abstract-interpretation engine ([`absint`]) — intervals, known
+//!   bits, and flow-sensitive points-to classes under one
+//!   widening/narrowing fixpoint — powering OSR-point certification and
+//!   the equivalence checker's alias precision,
 //! * a symbolic equivalence checker ([`equiv`]) — translation validation
 //!   for the online transformations, with "proved modulo NT hints"
 //!   verdicts and interpreter-confirmed counterexamples,
@@ -52,6 +56,7 @@
 //! assert!(pir::verify::verify_module(&module).is_ok());
 //! ```
 
+pub mod absint;
 pub mod analysis;
 pub mod builder;
 pub mod compress;
@@ -68,15 +73,21 @@ pub mod module;
 pub mod print;
 pub mod verify;
 
+pub use absint::{
+    certify_function, certify_module, AbsVal, FuncAbsint, Interval, KnownBits, OsrCertificate,
+    OsrDecision, OsrLiveSlot, OsrRefusal,
+};
 pub use analysis::{load_sites, LoadSite};
 pub use builder::FunctionBuilder;
-pub use effects::{FuncEffects, ModuleEffects, PtClass, RegionSet};
+pub use effects::{CacheStats, FuncEffects, ModuleEffects, PtClass, RegionSet};
 pub use equiv::{
-    check_function_in, check_module, Counterexample, EquivOptions, EquivReport, Verdict,
+    check_function_in, check_module, interval_disjoint_facts, Counterexample, EquivOptions,
+    EquivReport, Verdict,
 };
 pub use ids::{BlockId, FuncId, GlobalId, LoadSiteId, Reg};
 pub use inst::{BinOp, Inst, Locality, Term};
 pub use module::{Block, Function, Global, GlobalInit, Module};
+pub use print::{render_function, render_module, PrintOptions};
 
 /// Maximum number of virtual registers a single function may use.
 ///

@@ -15,6 +15,7 @@
 //! | `nt-outside-loop`          | warning | non-temporal load hints outside any natural loop, where the hint cannot pay for itself |
 //! | `never-virtualizable-call` | warning | call edges the default multi-block-callees edge policy never routes through the EVT, so PC3D cannot retarget them online |
 //! | `unknown-address-store`    | warning | stores through a base the [`effects`](crate::effects) points-to analysis cannot bound, which forces every downstream alias query conservative |
+//! | `likely-divergent-loop`    | warning | natural loops with no feasible exit (per the [`absint`](crate::absint) abstract states) and no observable effect — no store, report, call with effects, or `wait` — which spin forever without anyone noticing |
 //!
 //! The suite is cheap (one CFG + two dataflow solves per function) and is
 //! rerun by `pcc` between transformation stages when invariant checking
@@ -349,6 +350,68 @@ fn lint_unknown_address_stores(cx: &FuncCx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Flags natural loops that provably never exit *and* execute nothing
+/// observable. The exit check uses the [`crate::absint`] abstract states:
+/// an exit edge whose target block is proven unreachable is infeasible
+/// (a loop with no exit edge at all is vacuously inescapable). The effect
+/// check admits pure computation and loads but no store, metric report,
+/// `wait`, or call with observable effects — such a loop burns a core
+/// without ever telling anyone, which in a server binary is almost always
+/// a transformation bug rather than intent (intentional event loops park
+/// in `wait`).
+fn lint_likely_divergent_loops(cx: &FuncCx<'_>, module: &Module, out: &mut Vec<Diagnostic>) {
+    let info = loops::analyze_in(cx.func, &cx.cfg);
+    if info.headers().is_empty() {
+        return;
+    }
+    let dom = dataflow::Dominators::compute(&cx.cfg);
+    let absint = crate::absint::analyze_function_cached(module, cx.fid);
+    let fx = crate::effects::analyze_cached(module);
+    for &h in info.headers() {
+        if absint.block_in(h).is_none() {
+            continue; // the loop never runs; unreachable-block covers it
+        }
+        let members = loops::natural_loop(&cx.cfg, &dom, h);
+        let mut in_loop = vec![false; cx.func.block_count()];
+        for &b in &members {
+            in_loop[b.index()] = true;
+        }
+        let escapes = members.iter().any(|&b| {
+            cx.cfg
+                .succs(b)
+                .iter()
+                .any(|s| !in_loop[s.index()] && absint.block_in(*s).is_some())
+        });
+        if escapes {
+            continue;
+        }
+        let observable = members.iter().any(|&b| {
+            cx.func.block(b).insts.iter().any(|inst| match inst {
+                Inst::Store { .. } | Inst::Report { .. } | Inst::Wait => true,
+                Inst::Call { callee, .. } => {
+                    // Out-of-range callees are the verifier's problem;
+                    // treat them as observable to stay quiet here.
+                    module.functions().get(callee.index()).is_none() || !fx.observably_pure(*callee)
+                }
+                _ => false,
+            })
+        });
+        if observable {
+            continue;
+        }
+        out.push(cx.diag(
+            "likely-divergent-loop",
+            Severity::Warning,
+            Some(h),
+            None,
+            format!(
+                "loop headed at {h} has no feasible exit and no observable \
+                 effect (no store, report, or wait); it likely spins forever"
+            ),
+        ));
+    }
+}
+
 /// Runs every lint pass over one function of `module`.
 pub fn lint_function(module: &Module, fid: FuncId) -> Vec<Diagnostic> {
     let func = module.function(fid);
@@ -364,6 +427,7 @@ pub fn lint_function(module: &Module, fid: FuncId) -> Vec<Diagnostic> {
     lint_nt_outside_loop(&cx, &mut out);
     lint_never_virtualizable_calls(&cx, module, &mut out);
     lint_unknown_address_stores(&cx, &mut out);
+    lint_likely_divergent_loops(&cx, module, &mut out);
     out
 }
 
@@ -578,6 +642,78 @@ mod tests {
             .diagnostics()
             .iter()
             .any(|d| d.pass == "unknown-address-store"));
+    }
+
+    #[test]
+    fn effect_free_infinite_loop_warned() {
+        let mut m = Module::new("m");
+        let g = m.add_global("buf", 64);
+        let mut b = FunctionBuilder::new("spin", 0);
+        let base = b.global_addr(g);
+        let loop_bb = b.new_block();
+        b.br(loop_bb);
+        b.switch_to(loop_bb);
+        // Loads and arithmetic only: nothing observable, and no exit.
+        let v = b.load(base, 0, Locality::Normal);
+        let _ = b.add_imm(v, 1);
+        b.br(loop_bb);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let report = lint_module(&m);
+        let hits: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.pass == "likely-divergent-loop")
+            .collect();
+        assert_eq!(hits.len(), 1, "{report}");
+        assert_eq!(hits[0].block, Some(BlockId(1)));
+        assert_eq!(hits[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn server_loop_with_wait_not_flagged_divergent() {
+        let mut m = Module::new("m");
+        let g = m.add_global("mailbox", 64);
+        let mut b = FunctionBuilder::new("server", 0);
+        let base = b.global_addr(g);
+        let loop_bb = b.new_block();
+        b.br(loop_bb);
+        b.switch_to(loop_bb);
+        b.wait();
+        let v = b.load(base, 0, Locality::Normal);
+        b.report(0, v);
+        b.br(loop_bb);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let report = lint_module(&m);
+        assert!(
+            !report
+                .diagnostics()
+                .iter()
+                .any(|d| d.pass == "likely-divergent-loop"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn bounded_loop_with_feasible_exit_not_flagged_divergent() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", 0);
+        let acc0 = b.const_(0);
+        let acc = b.accumulate_loop(0, 8, 1, acc0, |b, i, acc| {
+            b.add_into(acc, acc, i);
+        });
+        b.ret(Some(acc));
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let report = lint_module(&m);
+        assert!(
+            !report
+                .diagnostics()
+                .iter()
+                .any(|d| d.pass == "likely-divergent-loop"),
+            "{report}"
+        );
     }
 
     #[test]

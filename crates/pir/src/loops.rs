@@ -43,6 +43,45 @@ impl LoopInfo {
     }
 }
 
+/// The blocks belonging to the (merged) natural loop of `header`.
+///
+/// The body is `header` plus, for every back edge `u -> header` with
+/// `header` dominating `u`, every node that reaches `u` without passing
+/// through `header`. Returns the member block ids in ascending order;
+/// empty when `header` heads no natural loop (no back edge targets it).
+pub fn natural_loop(cfg: &Cfg, dom: &Dominators, header: BlockId) -> Vec<BlockId> {
+    let n = cfg.block_count();
+    let mut in_loop = vec![false; n];
+    let mut stack: Vec<BlockId> = Vec::new();
+    for v in 0..n {
+        let vb = BlockId(v as u32);
+        if dom.is_reachable(vb) && cfg.succs(vb).contains(&header) && dom.dominates(header, vb) {
+            stack.push(vb);
+        }
+    }
+    if stack.is_empty() {
+        return Vec::new();
+    }
+    in_loop[header.index()] = true;
+    while let Some(x) = stack.pop() {
+        if in_loop[x.index()] {
+            continue;
+        }
+        in_loop[x.index()] = true;
+        for &p in cfg.preds(x) {
+            if !in_loop[p.index()] {
+                stack.push(p);
+            }
+        }
+    }
+    in_loop
+        .iter()
+        .enumerate()
+        .filter(|(_, inside)| **inside)
+        .map(|(b, _)| BlockId(b as u32))
+        .collect()
+}
+
 /// Computes natural-loop nesting depths for a function.
 ///
 /// Blocks unreachable from the entry have depth 0 and are never loop
@@ -217,6 +256,26 @@ mod tests {
         let info = analyze(&f);
         assert_eq!(info.depth(BlockId(1)), 0);
         assert!(info.headers().is_empty());
+    }
+
+    #[test]
+    fn natural_loop_membership_matches_depths() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.counted_loop(0, 10, 1, |b, i| {
+            let _ = b.add_imm(i, 1);
+        });
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        let dom = Dominators::compute(&cfg);
+        // header bb1 + body bb2; entry bb0 and exit bb3 stay outside.
+        assert_eq!(
+            natural_loop(&cfg, &dom, BlockId(1)),
+            [BlockId(1), BlockId(2)]
+        );
+        // A non-header block heads no loop.
+        assert!(natural_loop(&cfg, &dom, BlockId(0)).is_empty());
+        assert!(natural_loop(&cfg, &dom, BlockId(3)).is_empty());
     }
 
     #[test]

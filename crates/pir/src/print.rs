@@ -1,9 +1,109 @@
-//! Human-readable pretty-printing of PIR.
+//! Human-readable pretty-printing of PIR, with optional analysis
+//! annotations.
+//!
+//! The plain [`Display`](fmt::Display) impls render bare IR. The
+//! [`render_function`]/[`render_module`] entry points additionally
+//! interleave [`crate::absint`] facts as `;` comment lines when
+//! [`PrintOptions::absint`] is set, so OSR certificates and refusals can
+//! be debugged straight from dumped IR: each block is prefixed with the
+//! abstract state *on entry* (interval, escape class, and known bits when
+//! non-trivial) for every register the block mentions.
 
+use std::collections::BTreeSet;
 use std::fmt;
 
+use crate::absint::{self, AbsVal};
+use crate::ids::BlockId;
 use crate::inst::{Inst, Term};
 use crate::module::{Function, Module};
+
+/// Options for the annotated renderers.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PrintOptions {
+    /// Interleave [`crate::absint`] block-entry states as comments.
+    pub absint: bool,
+}
+
+/// Renders one function, honoring `opts`.
+pub fn render_function(func: &Function, opts: &PrintOptions) -> String {
+    if !opts.absint {
+        return func.to_string();
+    }
+    let facts = absint::analyze_function(func);
+    let mut out = format!(
+        "func {}({} params, {} regs) {{\n",
+        func.name(),
+        func.params(),
+        func.reg_count()
+    );
+    for (i, block) in func.blocks().iter().enumerate() {
+        out.push_str(&format!("bb{i}:\n"));
+        match facts.block_in(BlockId(i as u32)) {
+            None => out.push_str("    ; unreachable\n"),
+            Some(state) => {
+                let mut mentioned = BTreeSet::new();
+                for inst in &block.insts {
+                    if let Some(d) = inst.dst() {
+                        mentioned.insert(d.index());
+                    }
+                    inst.for_each_use(|r| {
+                        mentioned.insert(r.index());
+                    });
+                }
+                block.term.for_each_use(|r| {
+                    mentioned.insert(r.index());
+                });
+                for r in mentioned {
+                    let v = state.get(r).copied().unwrap_or_else(AbsVal::top);
+                    if v == AbsVal::top() {
+                        continue; // nothing known: stay quiet
+                    }
+                    let mut line = format!("    ; r{r}: {} {}", v.range, v.class);
+                    if !v.bits.is_top() {
+                        line.push(' ');
+                        line.push_str(&v.bits.to_string());
+                    }
+                    line.push('\n');
+                    out.push_str(&line);
+                }
+            }
+        }
+        for inst in &block.insts {
+            out.push_str(&format!("    {inst}\n"));
+        }
+        out.push_str(&format!("    {}\n", block.term));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a whole module, honoring `opts`.
+pub fn render_module(module: &Module, opts: &PrintOptions) -> String {
+    if !opts.absint {
+        return module.to_string();
+    }
+    let mut out = format!("module {} {{\n", module.name());
+    for (i, g) in module.globals().iter().enumerate() {
+        out.push_str(&format!(
+            "  global g{i} `{}` [{} bytes]\n",
+            g.name(),
+            g.size()
+        ));
+    }
+    for (i, func) in module.functions().iter().enumerate() {
+        let entry = if module.entry() == Some(crate::FuncId(i as u32)) {
+            " (entry)"
+        } else {
+            ""
+        };
+        out.push_str(&format!("  ; @{i}{entry}\n"));
+        for line in render_function(func, opts).lines() {
+            out.push_str(&format!("  {line}\n"));
+        }
+    }
+    out.push('}');
+    out
+}
 
 impl fmt::Display for Inst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -113,9 +213,60 @@ impl fmt::Display for Module {
 
 #[cfg(test)]
 mod tests {
+    use super::{render_function, render_module, PrintOptions};
     use crate::builder::FunctionBuilder;
     use crate::inst::Locality;
     use crate::module::Module;
+
+    #[test]
+    fn absint_annotations_render_behind_option() {
+        let mut m = Module::new("m");
+        let g = m.add_global("buf", 128);
+        let mut b = FunctionBuilder::new("f", 0);
+        let base = b.global_addr(g);
+        let v = b.const_(5);
+        let body = b.new_block();
+        b.br(body);
+        b.switch_to(body);
+        b.store(base, 0, v);
+        b.ret(None);
+        let dead = b.new_block();
+        b.switch_to(dead);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let func = m.function(f);
+
+        // Default options reproduce the bare Display output exactly.
+        assert_eq!(
+            render_function(func, &PrintOptions::default()),
+            func.to_string()
+        );
+
+        let opts = PrintOptions { absint: true };
+        let text = render_function(func, &opts);
+        // bb1 sees the facts established in bb0: a pinned global base and
+        // an exact constant.
+        assert!(
+            text.contains("; r0: [") && text.contains("&g0"),
+            "got: {text}"
+        );
+        assert!(text.contains("; r1: [5] int"), "got: {text}");
+        // The never-targeted block is called out rather than silently bare.
+        assert!(text.contains("; unreachable"), "got: {text}");
+        // The underlying instructions are all still present.
+        for line in func.to_string().lines() {
+            assert!(
+                text.contains(line.trim_end()),
+                "missing {line:?} in: {text}"
+            );
+        }
+
+        let module_text = render_module(&m, &opts);
+        assert!(module_text.contains("module m"));
+        assert!(module_text.contains("global g0 `buf` [128 bytes]"));
+        assert!(module_text.contains("; r1: [5] int"), "got: {module_text}");
+    }
 
     #[test]
     fn function_prints_all_parts() {

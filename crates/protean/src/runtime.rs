@@ -277,6 +277,17 @@ impl Runtime {
                 funcs,
             },
         );
+        // Surface the OSR anchors pcc embedded (ROADMAP item 3): the
+        // future OSR runtime consumes them; until then they are the
+        // attach-time measure of how migratable the module is.
+        let certified = rt.meta.osr.len() as u64;
+        rt.metrics
+            .set_gauge("gate.osr_certified_points", certified as f64);
+        rt.tracer.emit(
+            os.now(),
+            Subsystem::Gate,
+            EventKind::OsrPoints { certified },
+        );
         Ok(rt)
     }
 
@@ -353,6 +364,12 @@ impl Runtime {
     /// The recovered program IR.
     pub fn module(&self) -> &Module {
         &self.meta.module
+    }
+
+    /// The full decoded metadata bundle: IR, link annex, and the OSR
+    /// anchors `pcc` certified at compile time.
+    pub fn meta(&self) -> &EmbeddedMeta {
+        &self.meta
     }
 
     /// The recovered link facts.
@@ -579,7 +596,7 @@ impl Runtime {
             return Err(DispatchError::NotVirtualized(func));
         }
         self.metrics.inc("gate.verdict_cache_misses");
-        let verdict = self.vet(func, &ir);
+        let verdict = self.vet(os.now(), func, self.variants.len() as u64, &ir);
         let idx = if verdict.is_safe() {
             self.lower_and_record(os, func, NtAssignment::none(), ir)?
         } else {
@@ -687,9 +704,40 @@ impl Runtime {
         Ok(idx)
     }
 
-    /// Runs the static safety gate on a candidate body for `func`.
-    fn vet(&self, func: FuncId, ir: &Function) -> VariantVerdict {
-        crate::safety::vet_variant(&self.meta.module, func, ir)
+    /// Runs the static safety gate on a candidate body for `func`,
+    /// accounting for the abstract-interpretation work it triggers:
+    /// interval-based disjointness facts discharged and absint/effects
+    /// fixpoint-cache traffic are measured as deltas around the vet and
+    /// surfaced as `gate.absint_*`/`gate.effects_*` metrics plus one
+    /// [`EventKind::AbsintConsult`] event.
+    fn vet(&mut self, now: u64, func: FuncId, variant: u64, ir: &Function) -> VariantVerdict {
+        let facts0 = pir::interval_disjoint_facts();
+        let ab0 = pir::absint::cache_stats();
+        let fx0 = pir::effects::cache_stats();
+        let verdict = crate::safety::vet_variant(&self.meta.module, func, ir);
+        let facts = pir::interval_disjoint_facts() - facts0;
+        let ab1 = pir::absint::cache_stats();
+        let fx1 = pir::effects::cache_stats();
+        self.metrics.add("gate.absint_disjoint_facts", facts);
+        self.metrics
+            .add("gate.absint_cache_hits", ab1.hits - ab0.hits);
+        self.metrics
+            .add("gate.absint_cache_misses", ab1.misses - ab0.misses);
+        self.metrics
+            .add("gate.effects_cache_hits", fx1.hits - fx0.hits);
+        self.metrics
+            .add("gate.effects_cache_misses", fx1.misses - fx0.misses);
+        self.tracer.emit(
+            now,
+            Subsystem::Gate,
+            EventKind::AbsintConsult {
+                func: u64::from(func.0),
+                variant,
+                disjoint_facts: facts,
+                cache_hit: ab1.hits > ab0.hits,
+            },
+        );
+        verdict
     }
 
     /// The cached safety verdict for a variant, computing it on first use.
@@ -711,8 +759,8 @@ impl Runtime {
             return v;
         }
         self.metrics.inc("gate.verdict_cache_misses");
-        let rec = &self.variants[variant];
-        let verdict = self.vet(rec.func, &rec.ir);
+        let ir = self.variants[variant].ir.clone();
+        let verdict = self.vet(now, func, variant as u64, &ir);
         self.tracer.emit(
             now,
             Subsystem::Gate,
@@ -1211,6 +1259,36 @@ mod tests {
         let text = stats.to_string();
         assert!(text.contains("2 rejected"), "{text}");
         assert!(text.contains("verdict cache"), "{text}");
+    }
+
+    #[test]
+    fn vet_surfaces_absint_consultation_and_osr_points() {
+        let (mut os, _, mut rt) = setup(8);
+        // Attach published the embedded OSR anchor count as a gauge and
+        // an osr-points event.
+        let certified = rt.meta().osr.len() as f64;
+        assert_eq!(
+            rt.metrics().gauge("gate.osr_certified_points"),
+            Some(certified)
+        );
+        // The tracer is off by default outside PROTEAN_TRACE_DIR runs;
+        // record the vet path explicitly.
+        rt.tracer_mut().set_enabled(true);
+        // Vetting a variant consults the abstract interpreter: the
+        // effects/absint fixpoints are cache-counted and an
+        // absint-consult event carries the per-vet fact delta.
+        let worker = rt.module().function_by_name("worker").unwrap();
+        // A nop-padded body fails the syntactic tier, forcing the
+        // symbolic equivalence proof (which consults absint/effects).
+        let mut padded = rt.module().function(worker).clone();
+        padded.blocks_mut()[0].insts.insert(0, pir::Inst::Nop);
+        let good = rt.install_variant_ir(&mut os, worker, padded).unwrap();
+        rt.dispatch(&mut os, good).unwrap();
+        let consults = rt.metrics().counter("gate.effects_cache_hits")
+            + rt.metrics().counter("gate.effects_cache_misses");
+        assert!(consults > 0, "vet should touch the effects cache");
+        let jsonl = rt.trace_jsonl(&os);
+        assert!(jsonl.contains("absint-consult"), "{jsonl}");
     }
 
     #[test]

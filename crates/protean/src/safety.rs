@@ -32,6 +32,14 @@
 //! diverging counterexample, [`VariantVerdict::Unproved`] the reason the
 //! proof failed — the gate never dispatches on a mere absence of
 //! evidence.
+//!
+//! The symbolic tier is backed by the [`pir::absint`] abstract
+//! interpreter: interval and points-to facts bound symbolic addresses,
+//! letting the validator discharge memory-disjointness obligations
+//! (reordered or hoisted accesses to provably separate locations) that a
+//! purely syntactic alias rule would leave `Unknown`. The runtime
+//! surfaces that consultation as `gate.absint_*` metrics and
+//! `absint-consult` trace events.
 
 use std::fmt;
 

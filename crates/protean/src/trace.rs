@@ -256,6 +256,23 @@ pub enum EventKind {
         /// Evaluations performed.
         evals: u64,
     },
+    /// The safety gate consulted the abstract interpreter while vetting
+    /// a variant.
+    AbsintConsult {
+        /// Function index.
+        func: u64,
+        /// Variant index.
+        variant: u64,
+        /// Interval-based disjointness facts discharged during this vet.
+        disjoint_facts: u64,
+        /// Whether the per-function fixpoint came from the absint cache.
+        cache_hit: bool,
+    },
+    /// OSR-point certification summary for an attached module.
+    OsrPoints {
+        /// Loop headers that received a certificate.
+        certified: u64,
+    },
     /// Phase-change detection reset the controller.
     PhaseChange {
         /// Which signal moved: `external` or `host`.
@@ -289,6 +306,8 @@ impl EventKind {
             EventKind::SearchStart { .. } => "search-start",
             EventKind::SearchStep { .. } => "search-step",
             EventKind::SearchEnd { .. } => "search-end",
+            EventKind::AbsintConsult { .. } => "absint-consult",
+            EventKind::OsrPoints { .. } => "osr-points",
             EventKind::PhaseChange { .. } => "phase-change",
         }
     }
@@ -388,6 +407,20 @@ impl EventKind {
             }
             EventKind::SearchEnd { flips, evals } => {
                 vec![("flips", U64(flips)), ("evals", U64(evals))]
+            }
+            EventKind::AbsintConsult {
+                func,
+                variant,
+                disjoint_facts,
+                cache_hit,
+            } => vec![
+                ("func", U64(func)),
+                ("variant", U64(variant)),
+                ("disjoint_facts", U64(disjoint_facts)),
+                ("cache_hit", Bool(cache_hit)),
+            ],
+            EventKind::OsrPoints { certified } => {
+                vec![("certified", U64(certified))]
             }
             EventKind::PhaseChange { source } => {
                 vec![("source", Str(source))]
@@ -992,6 +1025,13 @@ mod tests {
                 flips: 2,
                 evals: 12,
             },
+            EventKind::AbsintConsult {
+                func: 1,
+                variant: 2,
+                disjoint_facts: 5,
+                cache_hit: true,
+            },
+            EventKind::OsrPoints { certified: 3 },
             EventKind::PhaseChange { source: "external" },
         ];
         let mut t = Tracer::new();

@@ -106,6 +106,11 @@ pub fn build_server(spec: &ServerSpec, llc_lines: u64) -> Module {
         });
     }
     s.store(stg, 0, x);
+    // Revalidate the cached index generation: servers snapshot the index's
+    // epoch word (its first line) into the state block once per query so a
+    // rebuilt index is noticed on the next request.
+    let epoch = s.load(idx, 0, Locality::Normal);
+    s.store(stg, 16, epoch);
     let one = s.const_(1);
     s.report(0, one);
     s.ret(None);

@@ -1,0 +1,617 @@
+//! Soundness fuzzing of the abstract-interpretation engine against the
+//! reference interpreter, over the full workload catalog.
+//!
+//! The absint contract is *containment*: at every program point, the
+//! concrete machine state of any execution must lie inside the abstract
+//! state the engine computed — every register value within its interval
+//! and known-bits fact. This harness replays catalog programs (and
+//! seeded mutants of them) through a checker that mirrors
+//! [`pir::interp`]'s semantics step for step, validating containment at
+//! every block entry and after every instruction via the public
+//! [`pir::absint::transfer_inst`]. A single inadmissible value is an
+//! unsoundness and fails the run.
+//!
+//! The harness also proves it can actually catch bugs: poisoning a
+//! recorded block state through the
+//! [`override_block_in`](pir::absint::FuncAbsint::override_block_in)
+//! testing hook must trip the checker.
+//!
+//! Mutations are drawn from a seeded generator so CI is reproducible;
+//! set `PROTEAN_ABSINT_FUZZ_SEED` to explore a different stream. On a
+//! containment failure, set `PROTEAN_ABSINT_DUMP` to a path to get the
+//! offending module rendered with absint annotations.
+
+use pir::absint::{self, AbsVal, FuncAbsint, OsrDecision};
+use pir::{BlockId, FuncId, GlobalInit, Inst, Locality, Module, Reg, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use workloads::catalog;
+
+const LLC_LINES: u64 = 4_096;
+const STEP_BUDGET: u64 = 400_000;
+
+/// The same synthetic 64-byte-aligned placement the equivalence fuzzer
+/// uses, so failures reproduce across harnesses.
+fn layout(m: &Module) -> (Vec<u64>, usize) {
+    let mut addrs = Vec::new();
+    let mut next = 64u64;
+    for g in m.globals() {
+        addrs.push(next);
+        next += g.size().div_ceil(64).max(1) * 64;
+    }
+    (addrs, next as usize + 64)
+}
+
+fn fuzz_seed() -> u64 {
+    std::env::var("PROTEAN_ABSINT_FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xAB51_2014)
+}
+
+/// A per-program RNG stream: deterministic for a given base seed and
+/// corpus position regardless of which pool worker runs the program.
+fn program_rng(base: u64, index: usize) -> StdRng {
+    StdRng::seed_from_u64(base ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Every buildable catalog workload — batch and server alike.
+fn corpus() -> Vec<(&'static str, Module)> {
+    catalog::CATALOG
+        .iter()
+        .filter_map(|w| catalog::build(w.name, LLC_LINES).map(|m| (w.name, m)))
+        .collect()
+}
+
+struct Frame {
+    regs: Vec<i64>,
+    /// Running abstract state, stepped by `transfer_inst` alongside the
+    /// concrete execution.
+    ab: Vec<AbsVal>,
+    func: FuncId,
+    block: usize,
+    index: usize,
+    ret_dst: Option<Reg>,
+}
+
+/// Checks containment of the concrete registers in the recorded abstract
+/// entry state of (`func`, `block`) and returns a working copy of it.
+fn enter_block(
+    facts: &FuncAbsint,
+    func: FuncId,
+    block: usize,
+    regs: &[i64],
+) -> Result<Vec<AbsVal>, String> {
+    let Some(state) = facts.block_in(BlockId(block as u32)) else {
+        return Err(format!(
+            "@{} bb{block}: concretely reached but abstractly unreachable",
+            func.index()
+        ));
+    };
+    for (r, v) in regs.iter().enumerate() {
+        if let Some(av) = state.get(r) {
+            if !av.admits(*v) {
+                return Err(format!(
+                    "@{} bb{block} entry: r{r} = {v} not admitted by {} {} {}",
+                    func.index(),
+                    av.range,
+                    av.bits,
+                    av.class
+                ));
+            }
+        }
+    }
+    Ok(state.to_vec())
+}
+
+/// Mirrors [`pir::interp::run`] exactly — same zero-init, budget,
+/// fault, wait, and call/return rules — while checking the abstract
+/// states on the side. Interpreter-level stops (faults, exhausted step
+/// budget) are clean results: containment held on the executed prefix.
+/// `Err` means the abstract interpretation was unsound.
+fn replay_check(
+    module: &Module,
+    facts: &[FuncAbsint],
+    global_addrs: &[u64],
+    data_size: usize,
+    max_steps: u64,
+) -> Result<(), String> {
+    let Some(entry) = module.entry() else {
+        return Ok(());
+    };
+    if global_addrs.len() != module.globals().len() {
+        return Ok(());
+    }
+    let mut data = vec![0u8; data_size];
+    for (g, addr) in module.globals().iter().zip(global_addrs) {
+        if addr + g.size() > data_size as u64 {
+            return Ok(()); // interp would report BadLayout
+        }
+        if let GlobalInit::Words(words) = g.init() {
+            let mut a = *addr as usize;
+            for w in words {
+                data[a..a + 8].copy_from_slice(&w.to_le_bytes());
+                a += 8;
+            }
+        }
+    }
+
+    let new_frame = |func: FuncId, args: &[i64], ret_dst: Option<Reg>| -> Result<Frame, String> {
+        let f = module.function(func);
+        let mut regs = vec![0i64; f.reg_count().max(f.params()) as usize];
+        regs[..args.len()].copy_from_slice(args);
+        let ab = enter_block(&facts[func.index()], func, 0, &regs)?;
+        Ok(Frame {
+            regs,
+            ab,
+            func,
+            block: 0,
+            index: 0,
+            ret_dst,
+        })
+    };
+
+    let mut stack = vec![new_frame(entry, &[], None)?];
+    let mut steps = 0u64;
+
+    'outer: while let Some(frame) = stack.last_mut() {
+        if steps >= max_steps {
+            return Ok(());
+        }
+        let func = module.function(frame.func);
+        let block = &func.blocks()[frame.block];
+        if frame.index < block.insts.len() {
+            let inst = &block.insts[frame.index];
+            frame.index += 1;
+            steps += 1;
+            // Step the abstract state first (it must cover every concrete
+            // outcome of the instruction), then the concrete one.
+            absint::transfer_inst(&mut frame.ab, inst);
+            match inst {
+                Inst::Const { dst, value } => frame.regs[dst.index()] = *value,
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    frame.regs[dst.index()] =
+                        op.eval(frame.regs[lhs.index()], frame.regs[rhs.index()]);
+                }
+                Inst::BinImm { op, dst, lhs, imm } => {
+                    frame.regs[dst.index()] = op.eval(frame.regs[lhs.index()], *imm);
+                }
+                Inst::Load {
+                    dst, base, offset, ..
+                } => {
+                    let addr = frame.regs[base.index()].wrapping_add(*offset) as u64;
+                    if addr.checked_add(8).is_none_or(|e| e > data_size as u64) {
+                        return Ok(()); // interp faults here
+                    }
+                    let a = addr as usize;
+                    frame.regs[dst.index()] =
+                        i64::from_le_bytes(data[a..a + 8].try_into().expect("8 bytes"));
+                }
+                Inst::Store { base, offset, src } => {
+                    let addr = frame.regs[base.index()].wrapping_add(*offset) as u64;
+                    if addr.checked_add(8).is_none_or(|e| e > data_size as u64) {
+                        return Ok(());
+                    }
+                    let v = frame.regs[src.index()];
+                    let a = addr as usize;
+                    data[a..a + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                Inst::GlobalAddr { dst, global } => {
+                    frame.regs[dst.index()] = global_addrs[global.index()] as i64;
+                }
+                Inst::Report { .. } | Inst::Nop => {}
+                Inst::Wait => break 'outer,
+                Inst::Call { dst, callee, args } => {
+                    let vals: Vec<i64> = args.iter().map(|r| frame.regs[r.index()]).collect();
+                    let (callee, dst) = (*callee, *dst);
+                    let callee_frame = new_frame(callee, &vals, dst)?;
+                    stack.push(callee_frame);
+                    continue 'outer;
+                }
+            }
+            // Containment after the instruction. Only `dst` changed, in
+            // both worlds, so checking it checks the whole frame.
+            if let Some(d) = inst.dst() {
+                let (v, av) = (frame.regs[d.index()], &frame.ab[d.index()]);
+                if !av.admits(v) {
+                    return Err(format!(
+                        "@{} bb{}[{}]: after `{inst}`, {d} = {v} not admitted by {} {} {}",
+                        frame.func.index(),
+                        frame.block,
+                        frame.index - 1,
+                        av.range,
+                        av.bits,
+                        av.class
+                    ));
+                }
+            }
+            continue 'outer;
+        }
+        steps += 1;
+        match &block.term {
+            Term::Br(t) => {
+                frame.block = t.index();
+                frame.index = 0;
+                frame.ab = enter_block(
+                    &facts[frame.func.index()],
+                    frame.func,
+                    frame.block,
+                    &frame.regs,
+                )?;
+            }
+            Term::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                frame.block = if frame.regs[cond.index()] != 0 {
+                    then_bb.index()
+                } else {
+                    else_bb.index()
+                };
+                frame.index = 0;
+                frame.ab = enter_block(
+                    &facts[frame.func.index()],
+                    frame.func,
+                    frame.block,
+                    &frame.regs,
+                )?;
+            }
+            Term::Ret(val) => {
+                let v = val.map(|r| frame.regs[r.index()]);
+                let ret_dst = frame.ret_dst;
+                stack.pop();
+                if let Some(caller) = stack.last_mut() {
+                    if let (Some(dst), Some(v)) = (ret_dst, v) {
+                        // The caller's abstract state already treated the
+                        // call result as ⊤ when the Call was stepped.
+                        caller.regs[dst.index()] = v;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Analyzes every function of `m` fresh (uncached, so tests can poison
+/// individual results).
+fn analyze_all(m: &Module) -> Vec<FuncAbsint> {
+    m.functions().iter().map(absint::analyze_function).collect()
+}
+
+/// Fails the test with `why`, first dumping annotated IR to
+/// `PROTEAN_ABSINT_DUMP` when set.
+fn fail_with_dump(name: &str, m: &Module, why: &str) -> ! {
+    if let Ok(path) = std::env::var("PROTEAN_ABSINT_DUMP") {
+        let opts = pir::PrintOptions { absint: true };
+        let _ = std::fs::write(&path, pir::render_module(m, &opts));
+        panic!("{name}: {why} (annotated IR dumped to {path})");
+    }
+    panic!("{name}: {why}");
+}
+
+/// One random semantics-affecting (or hint-only) edit — the same edit
+/// space as the equivalence fuzzer, so the two harnesses stress the
+/// analyses on comparable mutants.
+fn mutate(m: &mut Module, rng: &mut StdRng) -> Option<String> {
+    for _ in 0..16 {
+        let nfuncs = m.functions().len();
+        let fi = rng.gen_range(0..nfuncs);
+        let func = &mut m.functions_mut()[fi];
+        let bi = rng.gen_range(0..func.block_count());
+        let block = &mut func.blocks_mut()[bi];
+        if block.insts.is_empty() {
+            continue;
+        }
+        let ii = rng.gen_range(0..block.insts.len());
+        let delta = 1 + rng.gen_range(0i64..7);
+        let what = match &mut block.insts[ii] {
+            Inst::BinImm { imm, .. } => {
+                *imm = imm.wrapping_add(delta);
+                "BinImm imm changed"
+            }
+            Inst::Const { value, .. } => {
+                *value = value.wrapping_add(delta);
+                "Const value changed"
+            }
+            Inst::Store { offset, .. } => {
+                *offset += 8;
+                "Store offset shifted"
+            }
+            Inst::Load { locality, .. } => {
+                *locality = match locality {
+                    Locality::Normal => Locality::NonTemporal,
+                    Locality::NonTemporal => Locality::Normal,
+                };
+                "load locality flipped"
+            }
+            _ => continue,
+        };
+        return Some(format!("f{fi} bb{bi}[{ii}]: {what}"));
+    }
+    None
+}
+
+#[test]
+fn catalog_executions_stay_inside_abstract_states() {
+    let corpus = corpus();
+    assert!(corpus.len() >= 20, "catalog shrank to {}", corpus.len());
+    protean_bench::pool::map(&corpus, |_, (name, m)| {
+        let facts = analyze_all(m);
+        let (addrs, size) = layout(m);
+        if let Err(why) = replay_check(m, &facts, &addrs, size, STEP_BUDGET) {
+            fail_with_dump(name, m, &why);
+        }
+    });
+}
+
+#[test]
+fn seeded_mutants_stay_inside_abstract_states() {
+    let corpus = corpus();
+    assert!(!corpus.is_empty());
+    let seed = fuzz_seed();
+    let per_program = protean_bench::pool::map(&corpus, |idx, (name, m)| {
+        let mut rng = program_rng(seed, idx);
+        let mut exercised = 0u32;
+        for _ in 0..6 {
+            let mut mutant = m.clone();
+            let Some(what) = mutate(&mut mutant, &mut rng) else {
+                continue;
+            };
+            if pir::verify::verify_module(&mutant).is_err() {
+                continue;
+            }
+            let facts = analyze_all(&mutant);
+            let (addrs, size) = layout(&mutant);
+            if let Err(why) = replay_check(&mutant, &facts, &addrs, size, STEP_BUDGET) {
+                fail_with_dump(name, &mutant, &format!("{what}: {why}"));
+            }
+            exercised += 1;
+        }
+        exercised
+    });
+    let exercised: u32 = per_program.iter().sum();
+    assert!(exercised >= 20, "only {exercised} mutants exercised");
+}
+
+#[test]
+fn poisoned_block_state_is_caught_by_the_replay_checker() {
+    // A counted loop with a loaded accumulator: plenty of reachable
+    // blocks whose states matter.
+    let mut m = Module::new("poison");
+    let buf = m.add_global_full(pir::Global::with_words(
+        "buf",
+        (0..16).map(|i| i * 3).collect(),
+    ));
+    let out = m.add_global("out", 8);
+    let mut b = pir::FunctionBuilder::new("main", 0);
+    let base = b.global_addr(buf);
+    let o = b.global_addr(out);
+    let acc0 = b.const_(0);
+    let acc = b.accumulate_loop(0, 16, 1, acc0, |bl, i, acc| {
+        let off = bl.shl_imm(i, 3);
+        let a = bl.add(base, off);
+        let v = bl.load(a, 0, Locality::Normal);
+        bl.add_into(acc, acc, v);
+    });
+    b.store(o, 0, acc);
+    b.ret(None);
+    let f = m.add_function(b.finish());
+    m.set_entry(f);
+
+    let (addrs, size) = layout(&m);
+    let honest = analyze_all(&m);
+    assert_eq!(
+        replay_check(&m, &honest, &addrs, size, STEP_BUDGET),
+        Ok(()),
+        "honest analysis must pass"
+    );
+
+    // Poison every reachable non-entry block in turn with an absurdly
+    // tight state; the checker must flag each one.
+    let func = m.function(f);
+    let mut caught = 0u32;
+    for bi in 1..func.block_count() {
+        if honest[f.index()].block_in(BlockId(bi as u32)).is_none() {
+            continue;
+        }
+        let mut poisoned = analyze_all(&m);
+        let n = poisoned[f.index()].reg_table_size();
+        poisoned[f.index()].override_block_in(BlockId(bi as u32), vec![AbsVal::exact(-77); n]);
+        let res = replay_check(&m, &poisoned, &addrs, size, STEP_BUDGET);
+        assert!(res.is_err(), "poisoned bb{bi} slipped through");
+        caught += 1;
+    }
+    assert!(
+        caught >= 2,
+        "only {caught} blocks exercised the poison path"
+    );
+}
+
+/// Finds an adjacent store/load pair touching *distinct* globals (both
+/// accesses statically in bounds, registers independent) and returns a
+/// variant module with the two instructions swapped — a reorder that is
+/// only provably safe with interval/points-to alias facts. Base-pointer
+/// provenance comes from the flow-sensitive absint state, so bases
+/// hoisted into earlier blocks (the common catalog shape) qualify.
+fn cross_global_swap(m: &Module) -> Option<(FuncId, Module)> {
+    for (fi, func) in m.functions().iter().enumerate() {
+        let facts = absint::analyze_function(func);
+        for (bi, block) in func.blocks().iter().enumerate() {
+            let Some(entry) = facts.block_in(BlockId(bi as u32)) else {
+                continue;
+            };
+            let mut state = entry.to_vec();
+            for ii in 0..block.insts.len().saturating_sub(1) {
+                // `state` is the abstract frame *before* inst `ii`.
+                let pair = match (&block.insts[ii], &block.insts[ii + 1]) {
+                    (
+                        &Inst::Store {
+                            base: sb,
+                            offset: so,
+                            src,
+                        },
+                        &Inst::Load {
+                            dst,
+                            base: lb,
+                            offset: lo,
+                            ..
+                        },
+                    )
+                    | (
+                        &Inst::Load {
+                            dst,
+                            base: lb,
+                            offset: lo,
+                            ..
+                        },
+                        &Inst::Store {
+                            base: sb,
+                            offset: so,
+                            src,
+                        },
+                    ) if dst != sb && dst != src && dst != lb => Some((sb, so, lb, lo)),
+                    _ => None,
+                };
+                if let Some((sb, so, lb, lo)) = pair {
+                    use pir::PtClass;
+                    let (ca, cb) = (state[sb.index()].class, state[lb.index()].class);
+                    if let (PtClass::Global(ga), PtClass::Global(gb)) = (ca, cb) {
+                        let fits = |g: pir::GlobalId, off: i64| {
+                            let size = m.globals()[g.index()].size();
+                            size >= 8 && off >= 0 && (off as u64) + 8 <= size
+                        };
+                        if ga != gb && fits(ga, so) && fits(gb, lo) {
+                            let mut variant = m.clone();
+                            variant.functions_mut()[fi].blocks_mut()[bi]
+                                .insts
+                                .swap(ii, ii + 1);
+                            return Some((FuncId(fi as u32), variant));
+                        }
+                    }
+                }
+                absint::transfer_inst(&mut state, &block.insts[ii]);
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn interval_alias_facts_upgrade_gate_verdicts_on_the_catalog() {
+    use pir::equiv::{check_module, EquivOptions, Verdict};
+
+    let corpus = corpus();
+    let no_interval = EquivOptions {
+        interval_alias: false,
+        ..EquivOptions::default()
+    };
+    let mut upgraded = 0u32;
+    for (name, m) in &corpus {
+        let Some((fid, variant)) = cross_global_swap(m) else {
+            continue;
+        };
+        let old = check_module(m, &variant, &no_interval);
+        let new = check_module(m, &variant, &EquivOptions::default());
+        let fname = m.function(fid).name();
+        let verdict_of = |report: &pir::equiv::EquivReport| {
+            report
+                .results()
+                .iter()
+                .find(|(f, _)| f == fname)
+                .map(|(_, v)| v.clone())
+                .expect("checked function reported")
+        };
+        // The upgrade is strict: the reorder proves with interval facts…
+        let new_v = verdict_of(&new);
+        assert!(
+            matches!(new_v, Verdict::Proved { .. }),
+            "{name}: interval facts should prove the cross-global reorder, got {new_v}"
+        );
+        // …and the gate consumes it: the runtime's vet admits the variant.
+        let vetted = protean::safety::vet_variant(m, fid, variant.function(fid));
+        assert!(
+            vetted.is_safe(),
+            "{name}: gate refused a proved reorder: {vetted}"
+        );
+        // Precision never regresses: anything the old options decided is
+        // decided identically with interval facts on.
+        let old_v = verdict_of(&old);
+        match old_v {
+            Verdict::Unknown { .. } => upgraded += 1,
+            ref decided => assert_eq!(
+                std::mem::discriminant(decided),
+                std::mem::discriminant(&new_v),
+                "{name}: decided verdict changed"
+            ),
+        }
+    }
+    assert!(
+        upgraded >= 1,
+        "no catalog workload moved Unknown -> Proved under interval alias facts"
+    );
+}
+
+#[test]
+fn every_catalog_loop_header_gets_an_osr_decision() {
+    let corpus = corpus();
+    let mut headers = 0usize;
+    let mut decisions = 0usize;
+    let mut certified = 0usize;
+    for (name, m) in &corpus {
+        for func in m.functions() {
+            headers += pir::loops::analyze(func).headers().len();
+        }
+        let ds = absint::certify_module(m);
+        decisions += ds.len();
+        for d in &ds {
+            if matches!(d, OsrDecision::Certified(_)) {
+                certified += 1;
+            }
+        }
+        assert!(
+            ds.len()
+                == m.functions()
+                    .iter()
+                    .map(|f| pir::loops::analyze(f).headers().len())
+                    .sum::<usize>(),
+            "{name}: silent skips in OSR certification"
+        );
+    }
+    assert!(headers > 0, "catalog has no loops?");
+    assert_eq!(decisions, headers, "every header needs a typed decision");
+    // The acceptance bar is 70% coverage; decisions are at 100%, and a
+    // healthy share must be actual certificates, not just refusals.
+    assert!(
+        certified * 10 >= headers * 3,
+        "only {certified}/{headers} headers certified"
+    );
+}
+
+#[test]
+fn osr_certificates_roundtrip_through_compiled_output() {
+    let corpus = corpus();
+    let mut with_certs = 0u32;
+    for (name, m) in corpus.iter().take(6) {
+        let out = match pcc::Compiler::new(pcc::Options::protean()).compile(m) {
+            Ok(out) => out,
+            Err(e) => panic!("{name}: {e}"),
+        };
+        let meta = out.meta.as_ref().expect("protean output embeds meta");
+        let expected: Vec<_> = absint::certify_module(&meta.module)
+            .into_iter()
+            .filter_map(|d| d.certificate().cloned())
+            .collect();
+        assert_eq!(meta.osr, expected, "{name}: embedded set != derived set");
+        let back = pcc::EmbeddedMeta::from_blob(&meta.to_blob()).expect("blob decodes");
+        assert_eq!(
+            back.osr, meta.osr,
+            "{name}: wire roundtrip changed certificates"
+        );
+        if !meta.osr.is_empty() {
+            with_certs += 1;
+        }
+    }
+    assert!(with_certs >= 1, "no compiled workload carried OSR anchors");
+}
