@@ -276,6 +276,89 @@ fn bench_equiv(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_osr_transfer(c: &mut Criterion) {
+    let llc = 98304;
+    let m = workloads::catalog::build("soplex", llc).expect("workload");
+    let certs: Vec<pir::absint::OsrCertificate> = pir::absint::certify_module(&m)
+        .into_iter()
+        .filter_map(|d| d.certificate().cloned())
+        .collect();
+    // The gate's shape-changed path: transfer into the all-NT variant.
+    let mut nt = m.clone();
+    for func in nt.functions_mut() {
+        for block in func.blocks_mut() {
+            for inst in &mut block.insts {
+                if let pir::Inst::Load { locality, .. } = inst {
+                    *locality = pir::Locality::NonTemporal;
+                }
+            }
+        }
+    }
+    let opts = pir::equiv::EquivOptions::default();
+    let mut group = c.benchmark_group("osr_transfer");
+    group.throughput(Throughput::Elements(certs.len() as u64));
+    group.bench_function("prove_self_soplex", |b| {
+        b.iter(|| {
+            let proved = certs
+                .iter()
+                .filter(|cert| {
+                    pir::prove_osr_transfer(&m, &m, cert.func, cert, &opts)
+                        .recipe()
+                        .is_some()
+                })
+                .count();
+            std::hint::black_box(proved)
+        })
+    });
+    group.bench_function("prove_nt_variant_soplex", |b| {
+        b.iter(|| {
+            let proved = certs
+                .iter()
+                .filter(|cert| {
+                    pir::prove_osr_transfer(&m, &nt, cert.func, cert, &opts)
+                        .recipe()
+                        .is_some()
+                })
+                .count();
+            std::hint::black_box(proved)
+        })
+    });
+    group.finish();
+    // Per-workload transfer provability and proof throughput for the CI
+    // trend file: how many certified headers the runtime could actually
+    // switch mid-loop, and what a full re-proof sweep costs.
+    if let Some(dir) = report::report_dir() {
+        for workload in ["soplex", "sphinx3", "web-search"] {
+            let m = workloads::catalog::build(workload, llc).expect("workload");
+            let certs: Vec<pir::absint::OsrCertificate> = pir::absint::certify_module(&m)
+                .into_iter()
+                .filter_map(|d| d.certificate().cloned())
+                .collect();
+            let t0 = std::time::Instant::now();
+            let proved = certs
+                .iter()
+                .filter(|cert| {
+                    pir::prove_osr_transfer(&m, &m, cert.func, cert, &opts)
+                        .recipe()
+                        .is_some()
+                })
+                .count() as u64;
+            let wall = t0.elapsed().as_secs_f64();
+            let entry = Json::obj([
+                ("certified_headers", Json::U64(certs.len() as u64)),
+                ("proved_transfers", Json::U64(proved)),
+                (
+                    "proofs_per_s",
+                    Json::F64(certs.len() as f64 / wall.max(1e-9)),
+                ),
+                ("wall_secs", Json::F64(wall)),
+            ]);
+            report::update_json_map(&dir.join("BENCH_osr.json"), workload, &entry)
+                .expect("write BENCH_osr.json");
+        }
+    }
+}
+
 fn bench_codec(c: &mut Criterion) {
     let llc = 98304;
     let m = workloads::catalog::build("soplex", llc).expect("workload");
@@ -309,6 +392,7 @@ criterion_group!(
     bench_analysis,
     bench_absint,
     bench_equiv,
+    bench_osr_transfer,
     bench_codec
 );
 criterion_main!(benches);

@@ -14,7 +14,7 @@ use std::fmt;
 use pir::absint::{OsrCertificate, OsrLiveSlot};
 use pir::compress::{compress, decompress, DecompressError};
 use pir::encode::{decode_module, encode_module, DecodeError};
-use pir::{BlockId, FuncId, GlobalId, Interval, Module, PtClass, Reg};
+use pir::{BlockId, FuncId, GlobalId, Interval, Module, PtClass, Reg, TransferRecipe};
 
 /// Static link facts the runtime compiler needs to lower a function
 /// variant against the original image.
@@ -50,6 +50,12 @@ pub struct EmbeddedMeta {
     /// running frame may migrate into a variant. Empty when the module was
     /// compiled without protean support or by an older `pcc`.
     pub osr: Vec<OsrCertificate>,
+    /// Proved OSR transfer recipes ([`pir::prove_osr_transfer`] output),
+    /// one per certificate whose transfer the prover could close,
+    /// derived against the module itself (identity remap). The safety
+    /// gate revalidates them per variant; the runtime half of ROADMAP
+    /// item 3 consumes them verbatim. Empty for pre-transfer blobs.
+    pub osr_recipes: Vec<TransferRecipe>,
 }
 
 /// Failure to decode an embedded metadata blob.
@@ -170,6 +176,22 @@ impl EmbeddedMeta {
                 }
             }
         }
+        put_varu(&mut raw, self.osr_recipes.len() as u64);
+        for r in &self.osr_recipes {
+            put_varu(&mut raw, u64::from(r.func.0));
+            put_varu(&mut raw, u64::from(r.baseline_header.0));
+            put_varu(&mut raw, u64::from(r.variant_header.0));
+            put_varu(&mut raw, r.moves.len() as u64);
+            for (dst, src) in &r.moves {
+                put_varu(&mut raw, u64::from(dst.0));
+                put_varu(&mut raw, u64::from(src.0));
+            }
+            put_varu(&mut raw, r.consts.len() as u64);
+            for (dst, value) in &r.consts {
+                put_varu(&mut raw, u64::from(dst.0));
+                put_varu(&mut raw, zigzag(*value));
+            }
+        }
         compress(&raw)
     }
 
@@ -270,6 +292,54 @@ impl EmbeddedMeta {
                 });
             }
         }
+        // Likewise, blobs written before the transfer-recipe section end
+        // after the certificates.
+        let mut osr_recipes = Vec::new();
+        if pos != raw.len() {
+            let nrecipes = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+            for _ in 0..nrecipes {
+                let func = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                if func as usize >= module.functions().len() {
+                    return Err(MetaError::BadAnnex);
+                }
+                let func = FuncId(func as u32);
+                let f = module.function(func);
+                let nblocks = f.blocks().len() as u64;
+                let nregs = u64::from(f.reg_count().max(f.params()));
+                let baseline_header = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                let variant_header = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                if baseline_header >= nblocks || variant_header >= nblocks {
+                    return Err(MetaError::BadAnnex);
+                }
+                let nmoves = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                let mut moves = Vec::new();
+                for _ in 0..nmoves {
+                    let dst = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                    let src = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                    if dst >= nregs || src >= nregs {
+                        return Err(MetaError::BadAnnex);
+                    }
+                    moves.push((Reg(dst as u32), Reg(src as u32)));
+                }
+                let nconsts = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                let mut consts = Vec::new();
+                for _ in 0..nconsts {
+                    let dst = read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?;
+                    if dst >= nregs {
+                        return Err(MetaError::BadAnnex);
+                    }
+                    let value = unzigzag(read_varu(&raw, &mut pos).ok_or(MetaError::BadAnnex)?);
+                    consts.push((Reg(dst as u32), value));
+                }
+                osr_recipes.push(TransferRecipe {
+                    func,
+                    baseline_header: BlockId(baseline_header as u32),
+                    variant_header: BlockId(variant_header as u32),
+                    moves,
+                    consts,
+                });
+            }
+        }
         if pos != raw.len() {
             return Err(MetaError::BadAnnex);
         }
@@ -282,6 +352,7 @@ impl EmbeddedMeta {
                 evt_base,
             },
             osr,
+            osr_recipes,
         })
     }
 }
@@ -343,6 +414,13 @@ mod tests {
                 ],
             },
         ];
+        let osr_recipes = vec![TransferRecipe {
+            func: FuncId(1),
+            baseline_header: BlockId(1),
+            variant_header: BlockId(1),
+            moves: vec![(Reg(0), Reg(0)), (Reg(1), Reg(2))],
+            consts: vec![(Reg(2), -7)],
+        }];
         EmbeddedMeta {
             module: m,
             link: LinkInfo {
@@ -352,6 +430,7 @@ mod tests {
                 evt_base: 192,
             },
             osr,
+            osr_recipes,
         }
     }
 
@@ -426,6 +505,43 @@ mod tests {
         assert_eq!(back.module, meta.module);
         assert_eq!(back.link, meta.link);
         assert!(back.osr.is_empty());
+        assert!(back.osr_recipes.is_empty());
+    }
+
+    #[test]
+    fn pre_transfer_blob_still_decodes() {
+        // A blob from the certificate era (PR 6) ends right after the
+        // certs section, with no recipe section. Reconstruct it by
+        // encoding with no recipes and truncating the recipe count.
+        let mut meta = sample();
+        meta.osr_recipes.clear();
+        let blob = meta.to_blob();
+        let mut raw = pir::compress::decompress(&blob).expect("own blob");
+        assert_eq!(raw.last(), Some(&0), "empty recipe section is one 0 byte");
+        raw.pop();
+        let back =
+            EmbeddedMeta::from_blob(&pir::compress::compress(&raw)).expect("cert-era blob decodes");
+        assert_eq!(back.osr, meta.osr);
+        assert!(back.osr_recipes.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_recipe_rejected() {
+        for bad in [
+            |m: &mut EmbeddedMeta| m.osr_recipes[0].func = FuncId(9),
+            |m: &mut EmbeddedMeta| m.osr_recipes[0].baseline_header = BlockId(9),
+            |m: &mut EmbeddedMeta| m.osr_recipes[0].variant_header = BlockId(9),
+            |m: &mut EmbeddedMeta| m.osr_recipes[0].moves[0].0 = Reg(200),
+            |m: &mut EmbeddedMeta| m.osr_recipes[0].moves[0].1 = Reg(200),
+            |m: &mut EmbeddedMeta| m.osr_recipes[0].consts[0].0 = Reg(200),
+        ] {
+            let mut meta = sample();
+            bad(&mut meta);
+            assert_eq!(
+                EmbeddedMeta::from_blob(&meta.to_blob()),
+                Err(MetaError::BadAnnex)
+            );
+        }
     }
 
     #[test]

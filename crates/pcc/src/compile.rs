@@ -247,14 +247,33 @@ impl Compiler {
         let (blob, meta) = if opts.protean && opts.embed_ir {
             // Certified OSR anchors ride along with the IR so the future
             // OSR runtime (ROADMAP item 3) never re-derives them online.
-            let osr = pir::absint::certify_module(module)
+            let osr: Vec<pir::OsrCertificate> = pir::absint::certify_module(module)
                 .into_iter()
                 .filter_map(|d| d.certificate().cloned())
+                .collect();
+            // One proved transfer recipe per certificate the cut-point
+            // prover can close against the module itself (identity
+            // remap). Shape-identical NT variants inherit these verbatim
+            // at the gate; rewritten variants get re-proved there.
+            let osr_recipes = osr
+                .iter()
+                .filter_map(|cert| {
+                    pir::prove_osr_transfer(
+                        module,
+                        module,
+                        cert.func,
+                        cert,
+                        &pir::EquivOptions::default(),
+                    )
+                    .recipe()
+                    .cloned()
+                })
                 .collect();
             let meta = EmbeddedMeta {
                 module: module.clone(),
                 link: link.clone(),
                 osr,
+                osr_recipes,
             };
             (meta.to_blob(), Some(meta))
         } else {
@@ -263,6 +282,12 @@ impl Compiler {
         if opts.check_invariants {
             if let Some(meta) = &meta {
                 crate::invariants::check_osr_certificates(module, &meta.osr, "osr-certify")?;
+                crate::invariants::check_osr_transfer(
+                    module,
+                    &meta.osr,
+                    &meta.osr_recipes,
+                    "osr-transfer",
+                )?;
             }
         }
         let lay = layout::compute(module, evt_len, blob.len() as u64);

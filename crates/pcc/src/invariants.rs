@@ -149,6 +149,50 @@ pub fn check_osr_certificates(
     Ok(())
 }
 
+/// Checks that embedded OSR transfer recipes are exactly the ones
+/// [`pir::prove_osr_transfer`] re-derives and re-proves for `module`
+/// against the embedded certificates. Like the certificates, derivation
+/// is deterministic; a mismatch means stale or fabricated recipes —
+/// and a fabricated recipe would let the OSR runtime rebuild a frame
+/// from the wrong registers.
+///
+/// # Errors
+///
+/// Returns [`CompileError::InvariantViolation`] naming the stage.
+pub fn check_osr_transfer(
+    module: &Module,
+    certs: &[pir::absint::OsrCertificate],
+    recipes: &[pir::TransferRecipe],
+    stage: &'static str,
+) -> Result<(), CompileError> {
+    let expected: Vec<pir::TransferRecipe> = certs
+        .iter()
+        .filter_map(|cert| {
+            pir::prove_osr_transfer(
+                module,
+                module,
+                cert.func,
+                cert,
+                &pir::EquivOptions::default(),
+            )
+            .recipe()
+            .cloned()
+        })
+        .collect();
+    if recipes != expected.as_slice() {
+        return Err(CompileError::InvariantViolation {
+            stage,
+            detail: format!(
+                "embedded OSR transfer recipes disagree with re-proof \
+                 ({} embedded, {} derived)",
+                recipes.len(),
+                expected.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +287,42 @@ mod tests {
         assert!(err.to_string().contains("OSR"), "{err}");
         // Dropped certificate: caught.
         assert!(check_osr_certificates(&m, &[], "osr-certify").is_err());
+    }
+
+    #[test]
+    fn osr_recipes_must_match_the_reproof() {
+        let mut m = Module::new("m");
+        let g = m.add_global("buf", 64);
+        let mut b = FunctionBuilder::new("main", 0);
+        let base = b.global_addr(g);
+        b.counted_loop(0, 8, 1, |b, i| {
+            let off = b.shl_imm(i, 3);
+            let a = b.add(base, off);
+            b.store(a, 0, i);
+        });
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let certs: Vec<_> = pir::absint::certify_module(&m)
+            .into_iter()
+            .filter_map(|d| d.certificate().cloned())
+            .collect();
+        assert!(!certs.is_empty());
+        let mut recipes: Vec<_> = certs
+            .iter()
+            .filter_map(|c| {
+                pir::prove_osr_transfer(&m, &m, c.func, c, &pir::EquivOptions::default())
+                    .recipe()
+                    .cloned()
+            })
+            .collect();
+        assert!(!recipes.is_empty(), "the loop header should prove");
+        assert!(check_osr_transfer(&m, &certs, &recipes, "osr-transfer").is_ok());
+        // Tampered remap: caught.
+        recipes[0].moves.pop();
+        let err = check_osr_transfer(&m, &certs, &recipes, "osr-transfer").unwrap_err();
+        assert!(err.to_string().contains("recipes"), "{err}");
+        // Dropped recipe: caught.
+        assert!(check_osr_transfer(&m, &certs, &[], "osr-transfer").is_err());
     }
 }

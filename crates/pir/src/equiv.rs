@@ -51,7 +51,7 @@ use std::sync::Arc;
 use crate::absint::{self, Interval};
 use crate::dataflow::{is_reducible, Cfg, Dominators, Liveness};
 use crate::effects::ModuleEffects;
-use crate::ids::{BlockId, FuncId, GlobalId};
+use crate::ids::{BlockId, FuncId, GlobalId, Reg};
 use crate::inst::{BinOp, Inst, Term};
 use crate::interp;
 use crate::module::{Function, Module};
@@ -340,8 +340,13 @@ impl Interner {
     /// A fresh cut symbol carrying an interval invariant: every concrete
     /// value the symbol stands for is known (by the caller's soundness
     /// argument — here, abstract interpretation of both sides) to lie in
-    /// `range`.
+    /// `range`. A singleton range *is* its constant, so the value folds
+    /// and branches on it resolve — this is what lets OSR compensation
+    /// constants prove against baseline inline constants.
     fn cut_ranged(&mut self, range: Interval) -> VnId {
+        if range.lo == range.hi {
+            return self.konst(range.lo);
+        }
         let i = self.cuts;
         self.cuts += 1;
         self.cut_ranges.push(range);
@@ -913,11 +918,50 @@ struct PairInvariant {
     pins: Vec<((bool, usize), VnId)>,
 }
 
+/// Where a bisimulation starts.
+enum Start<'a> {
+    /// Function entry with shared parameter cuts — whole-function
+    /// translation validation (the original behavior).
+    Entry,
+    /// A matched pair of loop headers under an OSR transfer relation:
+    /// prove the *suffix* from the cut point equivalent, assuming the
+    /// state the transfer constructs. Sound only because every assumption
+    /// seeded here holds of the concrete transferred state: `moves` pairs
+    /// are equal by construction (the transfer copies them), `consts`
+    /// hold those constants by construction, uncovered variant registers
+    /// are zero by construction (the transfer zero-fills), and each
+    /// certificate range holds at every concrete header entry by the
+    /// certificate's own soundness.
+    Header {
+        /// Baseline-side cut point (the certified header).
+        baseline: BlockId,
+        /// Variant-side cut point.
+        variant: BlockId,
+        /// The absint certificate for the baseline header, whose ranges
+        /// seed the live symbols.
+        cert: &'a absint::OsrCertificate,
+        /// `(variant dst, baseline src)` — each pair shares one symbol.
+        moves: &'a [(Reg, Reg)],
+        /// `(variant dst, value)` compensation constants.
+        consts: &'a [(Reg, i64)],
+    },
+}
+
 fn run_bisim(
     cx_b: &ModuleCx<'_>,
     cx_v: &ModuleCx<'_>,
     fid: FuncId,
     opts: &EquivOptions,
+) -> Outcome {
+    run_bisim_from(cx_b, cx_v, fid, opts, &Start::Entry)
+}
+
+fn run_bisim_from(
+    cx_b: &ModuleCx<'_>,
+    cx_v: &ModuleCx<'_>,
+    fid: FuncId,
+    opts: &EquivOptions,
+    start: &Start<'_>,
 ) -> Outcome {
     let fb = cx_b.module.function(fid);
     let fv = cx_v.module.function(fid);
@@ -962,6 +1006,14 @@ fn run_bisim(
     // queries the syntactic rule cannot.
     let ab_b = absint::analyze_function_cached(cx_b.module, fid);
     let ab_v = absint::analyze_function_cached(cx_v.module, fid);
+    // In Header mode the variant's prefix never executes, so invariants
+    // absint derived from the variant's *entry* (e.g. "this register is
+    // always 4 here") do not hold of transferred states — a compensation
+    // constant may legitimately differ from what the prefix would have
+    // computed. Baseline facts stay valid: the baseline side of a
+    // transferred run is the genuine continuation of an entry-reachable
+    // execution. So only Entry mode may consult the variant's states.
+    let variant_absint_valid = matches!(start, Start::Entry);
     let same_globals = cx_b.module.globals() == cx_v.module.globals();
 
     'rounds: for _round in 0..MAX_REFINEMENT_ROUNDS {
@@ -975,18 +1027,64 @@ fn run_bisim(
         let zero = it.konst(0);
         let mut regs_b = vec![zero; reg_table_size(fb)];
         let mut regs_v = vec![zero; reg_table_size(fv)];
-        for p in 0..fb.params() as usize {
-            let c = it.cut();
-            regs_b[p] = c;
-            regs_v[p] = c;
-        }
 
         // Recorded invariant per visited pair: equality classes (with ≥ 2
         // members) over live-in registers, tagged (is_variant, reg index),
         // plus pinned context-independent values.
         let mut visited: HashMap<(u32, u32), PairInvariant> = HashMap::new();
         let mut queue: VecDeque<(BlockId, BlockId, Vec<VnId>, Vec<VnId>)> = VecDeque::new();
-        queue.push_back((fb.entry(), fv.entry(), regs_b, regs_v));
+        match start {
+            Start::Entry => {
+                for p in 0..fb.params() as usize {
+                    let c = it.cut();
+                    regs_b[p] = c;
+                    regs_v[p] = c;
+                }
+                queue.push_back((fb.entry(), fv.entry(), regs_b, regs_v));
+            }
+            Start::Header {
+                baseline,
+                variant,
+                cert,
+                moves,
+                consts,
+            } => {
+                // One symbol per certified live register, ranged by the
+                // certificate's invariant. Deliberately *not* pinned to
+                // global bases even for Global-class slots: the class
+                // says "points into g", not "is g's base", and a seeded
+                // pin — unlike entry-mode pins — would never be verified
+                // by the revisit discipline on the unexplored prefix.
+                let mut seeded: HashMap<usize, VnId> = HashMap::new();
+                for slot in &cert.live {
+                    let vn = it.cut_ranged(slot.range);
+                    if slot.reg.index() < regs_b.len() {
+                        regs_b[slot.reg.index()] = vn;
+                    }
+                    seeded.insert(slot.reg.index(), vn);
+                }
+                for &(dst, src) in *moves {
+                    // The transfer copies baseline src into variant dst,
+                    // so both hold the same symbol. An uncertified source
+                    // gets an unconstrained shared cut.
+                    let vn = *seeded
+                        .entry(src.index())
+                        .or_insert_with(|| it.cut_ranged(Interval::TOP));
+                    if src.index() < regs_b.len() {
+                        regs_b[src.index()] = vn;
+                    }
+                    if dst.index() < regs_v.len() {
+                        regs_v[dst.index()] = vn;
+                    }
+                }
+                for &(dst, value) in *consts {
+                    if dst.index() < regs_v.len() {
+                        regs_v[dst.index()] = it.konst(value);
+                    }
+                }
+                queue.push_back((*baseline, *variant, regs_b, regs_v));
+            }
+        }
 
         let mut nt_flips = 0usize;
         let mut flips_countable = true;
@@ -1065,7 +1163,11 @@ fn run_bisim(
             let mut groups = Vec::new();
             let mut pins = Vec::new();
             let st_b = ab_b.block_in(tb);
-            let st_v = ab_v.block_in(tv);
+            let st_v = if variant_absint_valid {
+                ab_v.block_in(tv)
+            } else {
+                None
+            };
             let banned = pin_banned.get(&(tb.0, tv.0));
             for ((vn, _), members) in classes.into_iter() {
                 // A class holding a global base address is pinned rather
@@ -1138,20 +1240,34 @@ fn run_bisim(
 
             // NT accounting: countable only while the load address
             // sequences line up.
-            if flips_countable
-                && run_b.loads.len() == run_v.loads.len()
+            if run_b.loads.len() == run_v.loads.len()
                 && run_b
                     .loads
                     .iter()
                     .zip(&run_v.loads)
                     .all(|((ab, _), (av, _))| ab == av)
             {
-                nt_flips += run_b
-                    .loads
-                    .iter()
-                    .zip(&run_v.loads)
-                    .filter(|((_, nb), (_, nv))| nb != nv)
-                    .count();
+                if flips_countable {
+                    nt_flips += run_b
+                        .loads
+                        .iter()
+                        .zip(&run_v.loads)
+                        .filter(|((_, nb), (_, nv))| nb != nv)
+                        .count();
+                }
+            } else if !variant_absint_valid {
+                // Header mode: the symbolic model has no fault semantics,
+                // so a Proved verdict with unmatched load addresses could
+                // hide a variant-only memory fault — a transferred seed
+                // (a bad compensation constant, a zero-filled pointer)
+                // feeding a load whose *value* is observably dead still
+                // faults concretely when the address leaves the data
+                // segment. Store addresses are already event-matched;
+                // loads are the one silent channel. Refuse to prove.
+                return Outcome::Unknown(format!(
+                    "load address sequences diverge at {tb}/{tv}; fault \
+                     equivalence across the transfer cannot be established"
+                ));
             } else {
                 flips_countable = false;
             }
@@ -1396,6 +1512,382 @@ pub fn check_module(baseline: &Module, variant: &Module, opts: &EquivOptions) ->
         })
         .collect();
     EquivReport { results }
+}
+
+// ---------------------------------------------------------------------------
+// OSR transfer proving
+// ---------------------------------------------------------------------------
+
+/// A validated prescription for moving a live frame from a baseline
+/// function into its variant at a loop header (on-stack replacement).
+///
+/// Transfer semantics (implemented concretely by
+/// [`crate::interp::run_with_transfer`] and assumed symbolically by the
+/// prover): the variant frame starts with a zero-initialized register
+/// file, `moves` copy baseline registers in, `consts` patch compensation
+/// constants, and execution resumes at `variant_header`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TransferRecipe {
+    /// The function being switched.
+    pub func: FuncId,
+    /// The certified baseline-side header (the cut point).
+    pub baseline_header: BlockId,
+    /// The matched variant-side header execution resumes at.
+    pub variant_header: BlockId,
+    /// `(variant dst, baseline src)` register copies.
+    pub moves: Vec<(Reg, Reg)>,
+    /// `(variant dst, value)` compensation constants.
+    pub consts: Vec<(Reg, i64)>,
+}
+
+impl fmt::Display for TransferRecipe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transfer {}@{} -> {} ({} move(s), {} const(s))",
+            self.func,
+            self.baseline_header,
+            self.variant_header,
+            self.moves.len(),
+            self.consts.len()
+        )
+    }
+}
+
+/// Why an OSR transfer could not be proved, typed so lints and the gate
+/// can report refusals without string matching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransferRefusal {
+    /// No header correspondence could be established.
+    Map(crate::osr_map::MapRefusal),
+    /// The headers matched, but not the one the certificate names.
+    HeaderUnmatched {
+        /// The certified header with no counterpart.
+        header: BlockId,
+    },
+    /// A register live at the baseline header is neither covered by the
+    /// certificate nor copied by the recipe, so no sound symbol can seed
+    /// it.
+    UncertifiedLive {
+        /// The uncovered live register.
+        reg: Reg,
+    },
+    /// The recipe or certificate references out-of-range functions,
+    /// blocks, or registers, or they disagree with each other.
+    Malformed {
+        /// What was out of range or inconsistent.
+        detail: String,
+    },
+    /// The cut-point bisimulation itself gave up (budget, irreducible
+    /// flow, or an unconfirmed mismatch).
+    Engine {
+        /// The engine's reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TransferRefusal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferRefusal::Map(r) => write!(f, "header map refused: {r}"),
+            TransferRefusal::HeaderUnmatched { header } => {
+                write!(f, "certified header {header} unmatched in the variant")
+            }
+            TransferRefusal::UncertifiedLive { reg } => {
+                write!(
+                    f,
+                    "live register {reg} not covered by certificate or recipe"
+                )
+            }
+            TransferRefusal::Malformed { detail } => write!(f, "malformed: {detail}"),
+            TransferRefusal::Engine { reason } => write!(f, "{reason}"),
+        }
+    }
+}
+
+/// Outcome of proving one OSR transfer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransferVerdict {
+    /// The transferred suffix is observationally equivalent (modulo NT
+    /// hints) to continuing in the baseline.
+    Proved {
+        /// The validated recipe.
+        recipe: TransferRecipe,
+        /// NT-hint flips along the proved suffix, if countable.
+        nt_flips: Option<usize>,
+    },
+    /// The transfer concretely diverges: an interpreter run that applies
+    /// the recipe mid-loop produces different observables than the
+    /// untransferred baseline.
+    Refuted(Box<Counterexample>),
+    /// Neither proved nor concretely refuted.
+    Unproved {
+        /// The typed refusal.
+        reason: TransferRefusal,
+    },
+}
+
+impl TransferVerdict {
+    /// True for any `Proved` verdict.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, TransferVerdict::Proved { .. })
+    }
+
+    /// The validated recipe, when proved.
+    pub fn recipe(&self) -> Option<&TransferRecipe> {
+        match self {
+            TransferVerdict::Proved { recipe, .. } => Some(recipe),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TransferVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferVerdict::Proved { recipe, .. } => write!(f, "proved: {recipe}"),
+            TransferVerdict::Refuted(cex) => write!(f, "refuted: {cex}"),
+            TransferVerdict::Unproved { reason } => write!(f, "unproved: {reason}"),
+        }
+    }
+}
+
+/// Runs the untransferred baseline and several transferred runs (varying
+/// which header entry fires the switch) through the interpreter on the
+/// synthetic layout, and describes the first observable divergence. The
+/// concrete analogue of [`confirm_divergence`] for cut-point proofs.
+fn confirm_osr_divergence(
+    bm: &Module,
+    vm: &Module,
+    recipe: &TransferRecipe,
+    steps: u64,
+) -> Option<String> {
+    bm.entry()?;
+    let (addrs, size) = synthetic_layout(bm);
+    let oracle = interp::run(bm, &addrs, size, steps);
+    use interp::InterpError::{BadTransfer, StepBudgetExceeded};
+    for hit in [1u64, 2, 3, 7] {
+        let spec = interp::OsrTransferSpec {
+            func: recipe.func,
+            from_block: recipe.baseline_header,
+            to_block: recipe.variant_header,
+            hit,
+            moves: &recipe.moves,
+            consts: &recipe.consts,
+        };
+        let transferred = interp::run_with_transfer(bm, vm, &spec, &addrs, size, steps);
+        match (&oracle, transferred) {
+            // An inapplicable spec is not evidence of divergence.
+            (_, Err(BadTransfer)) => return None,
+            (Err(StepBudgetExceeded), _) | (_, Err(StepBudgetExceeded)) => continue,
+            (Ok(a), Ok(t)) => {
+                if !t.transferred {
+                    // Hits only grow; later ones cannot fire either.
+                    break;
+                }
+                if let Some(d) = observables_differ(a, &t.result) {
+                    return Some(format!("transfer at header hit {hit}: {d}"));
+                }
+            }
+            (Ok(_), Err(e)) => {
+                return Some(format!(
+                    "baseline completes but transferred run errors: {e:?}"
+                ))
+            }
+            (Err(a), Ok(t)) => {
+                if t.transferred {
+                    return Some(format!(
+                        "transferred run completes but baseline errors: {a:?}"
+                    ));
+                }
+            }
+            (Err(a), Err(b)) => {
+                if *a != b {
+                    return Some(format!(
+                        "baseline errors with {a:?}, transferred run with {b:?}"
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Derives and validates an OSR transfer recipe for one certified loop
+/// header: matches the header into the variant ([`crate::osr_map`]),
+/// proposes the identity live-register remap, and proves the transferred
+/// suffix observationally equivalent (modulo NT hints) by cut-point
+/// simulation seeded from the certificate's invariants.
+///
+/// `cert` must be sound for `baseline` (the compiler re-derives embedded
+/// certificates via `pcc`'s `check_osr_certificates` before trusting
+/// them here); the prover consumes its ranges as axioms.
+pub fn prove_osr_transfer(
+    baseline: &Module,
+    variant: &Module,
+    fid: FuncId,
+    cert: &absint::OsrCertificate,
+    opts: &EquivOptions,
+) -> TransferVerdict {
+    if fid.index() >= baseline.functions().len() || fid.index() >= variant.functions().len() {
+        return TransferVerdict::Unproved {
+            reason: TransferRefusal::Malformed {
+                detail: format!("no function {fid} in both modules"),
+            },
+        };
+    }
+    let fb = baseline.function(fid);
+    let fv = variant.function(fid);
+    let map = match crate::osr_map::map_headers(fb, fv) {
+        Ok(m) => m,
+        Err(r) => {
+            return TransferVerdict::Unproved {
+                reason: TransferRefusal::Map(r),
+            }
+        }
+    };
+    let Some(pair) = map.pair_for(cert.header) else {
+        return TransferVerdict::Unproved {
+            reason: TransferRefusal::HeaderUnmatched {
+                header: cert.header,
+            },
+        };
+    };
+    let recipe = TransferRecipe {
+        func: fid,
+        baseline_header: cert.header,
+        variant_header: pair.variant,
+        moves: pair.live.iter().map(|&(b, v)| (v, b)).collect(),
+        consts: Vec::new(),
+    };
+    validate_osr_transfer(baseline, variant, fid, cert, &recipe, opts)
+}
+
+/// Proves (or refutes, or gives up on) one explicit recipe — the
+/// re-derivation entry point for recipes decoded from a binary's annex,
+/// and the honesty check for mutated recipes in the fuzz harness. Unlike
+/// [`prove_osr_transfer`] the recipe is taken as given, so compensation
+/// constants hand-synthesized by a caller are validated too.
+pub fn validate_osr_transfer(
+    baseline: &Module,
+    variant: &Module,
+    fid: FuncId,
+    cert: &absint::OsrCertificate,
+    recipe: &TransferRecipe,
+    opts: &EquivOptions,
+) -> TransferVerdict {
+    let malformed = |detail: String| TransferVerdict::Unproved {
+        reason: TransferRefusal::Malformed { detail },
+    };
+    if fid.index() >= baseline.functions().len() || fid.index() >= variant.functions().len() {
+        return malformed(format!("no function {fid} in both modules"));
+    }
+    if cert.func != fid || recipe.func != fid {
+        return malformed(format!(
+            "certificate is for {} and recipe for {}, expected {fid}",
+            cert.func, recipe.func
+        ));
+    }
+    if recipe.baseline_header != cert.header {
+        return malformed(format!(
+            "recipe anchors at {} but the certificate at {}",
+            recipe.baseline_header, cert.header
+        ));
+    }
+    let fb = baseline.function(fid);
+    let fv = variant.function(fid);
+    if recipe.baseline_header.index() >= fb.block_count()
+        || recipe.variant_header.index() >= fv.block_count()
+    {
+        return malformed("recipe header out of range".to_string());
+    }
+    let (nb, nv) = (reg_table_size(fb), reg_table_size(fv));
+    if recipe
+        .moves
+        .iter()
+        .any(|&(d, s)| d.index() >= nv || s.index() >= nb)
+        || recipe.consts.iter().any(|&(d, _)| d.index() >= nv)
+    {
+        return malformed("recipe register out of range".to_string());
+    }
+    // A register seeded by both a move and a compensation constant makes
+    // two contradictory claims about the transferred frame ("equals the
+    // baseline source" and "equals the constant"); the interpreter lets
+    // the constant win, so such a recipe is at best redundant and at
+    // worst smuggles a value past the move's equality. Reject outright.
+    if let Some(&(d, _)) = recipe
+        .consts
+        .iter()
+        .find(|&&(d, _)| recipe.moves.iter().any(|&(md, _)| md == d))
+    {
+        return malformed(format!("{d} is seeded by both a move and a constant"));
+    }
+    // Every register live into the cut point needs a sound seed symbol:
+    // from the certificate's invariant or a recipe move. Anything else
+    // would leave the symbolic seed claiming "equals zero" about a value
+    // the transfer does not control.
+    let cfg_b = Cfg::new(fb);
+    let lv_b = Liveness::new(fb);
+    let sol_b = lv_b.solve(&cfg_b);
+    let covered: std::collections::HashSet<usize> = cert
+        .live
+        .iter()
+        .map(|s| s.reg.index())
+        .chain(recipe.moves.iter().map(|&(_, s)| s.index()))
+        .collect();
+    for r in lv_b.live_in(&sol_b, cert.header).iter() {
+        if !covered.contains(&r) {
+            return TransferVerdict::Unproved {
+                reason: TransferRefusal::UncertifiedLive { reg: Reg(r as u32) },
+            };
+        }
+    }
+
+    let cx_b = ModuleCx::new(baseline);
+    let cx_v = ModuleCx::new(variant);
+    let start = Start::Header {
+        baseline: cert.header,
+        variant: recipe.variant_header,
+        cert,
+        moves: &recipe.moves,
+        consts: &recipe.consts,
+    };
+    match run_bisim_from(&cx_b, &cx_v, fid, opts, &start) {
+        Outcome::Proved { nt_flips } => TransferVerdict::Proved {
+            recipe: recipe.clone(),
+            nt_flips,
+        },
+        Outcome::Unknown(reason) => TransferVerdict::Unproved {
+            reason: TransferRefusal::Engine { reason },
+        },
+        Outcome::Mismatch(m) => {
+            if opts.confirm_with_interp {
+                if let Some(divergence) =
+                    confirm_osr_divergence(baseline, variant, recipe, opts.confirm_steps)
+                {
+                    return TransferVerdict::Refuted(Box::new(Counterexample {
+                        func: fb.name().to_string(),
+                        baseline_block: m.block_b,
+                        variant_block: m.block_v,
+                        event: m.event,
+                        baseline_expr: m.baseline_expr,
+                        variant_expr: m.variant_expr,
+                        detail: m.detail,
+                        divergence,
+                    }));
+                }
+            }
+            TransferVerdict::Unproved {
+                reason: TransferRefusal::Engine {
+                    reason: format!(
+                        "not proved: {} at {}/{} (baseline: {}, variant: {}; \
+                         no concrete divergence demonstrated)",
+                        m.detail, m.block_b, m.block_v, m.baseline_expr, m.variant_expr
+                    ),
+                },
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1922,5 +2414,238 @@ mod tests {
             &EquivOptions::default(),
         );
         assert!(v.is_proved(), "{v}");
+    }
+
+    // -----------------------------------------------------------------
+    // OSR transfer proving
+    // -----------------------------------------------------------------
+
+    /// A store-observable checksum loop over a global. Builder layout:
+    /// bb0 entry, bb1 header, bb2 body, bb3 exit.
+    fn osr_module() -> (Module, FuncId) {
+        let mut m = Module::new("m");
+        let data = m.add_global_full(crate::Global::with_words("d", vec![3, 5, 7, 11]));
+        let out = m.add_global("out", 8);
+        let mut b = FunctionBuilder::new("main", 0);
+        let base = b.global_addr(data);
+        let o = b.global_addr(out);
+        let acc0 = b.const_(0);
+        let acc = b.accumulate_loop(0, 4, 1, acc0, |bl, i, acc| {
+            let off = bl.shl_imm(i, 3);
+            let a = bl.add(base, off);
+            let v = bl.load(a, 0, Locality::Normal);
+            bl.add_into(acc, acc, v);
+        });
+        b.store(o, 0, acc);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        (m, f)
+    }
+
+    fn cert_for(m: &Module, fid: FuncId) -> crate::absint::OsrCertificate {
+        crate::absint::certify_function(m, fid)
+            .into_iter()
+            .find_map(|d| d.certificate().cloned())
+            .expect("header certifies")
+    }
+
+    #[test]
+    fn identity_transfer_on_self_is_proved() {
+        let (m, f) = osr_module();
+        let cert = cert_for(&m, f);
+        let v = prove_osr_transfer(&m, &m, f, &cert, &EquivOptions::default());
+        let TransferVerdict::Proved { recipe, nt_flips } = v else {
+            panic!("expected proved, got {v}");
+        };
+        assert_eq!(nt_flips, Some(0));
+        assert_eq!(recipe.func, f);
+        assert_eq!(recipe.baseline_header, cert.header);
+        assert_eq!(recipe.variant_header, cert.header);
+        assert!(recipe.consts.is_empty());
+        assert!(!recipe.moves.is_empty());
+        assert!(recipe.moves.iter().all(|(d, s)| d == s));
+    }
+
+    #[test]
+    fn nt_variant_transfer_proved_with_flips_counted() {
+        let (m, f) = osr_module();
+        let cert = cert_for(&m, f);
+        let mut v = m.clone();
+        for blk in v.functions_mut()[f.index()].blocks_mut() {
+            for inst in &mut blk.insts {
+                if let Inst::Load { locality, .. } = inst {
+                    *locality = Locality::NonTemporal;
+                }
+            }
+        }
+        let verdict = prove_osr_transfer(&m, &v, f, &cert, &EquivOptions::default());
+        let TransferVerdict::Proved { nt_flips, .. } = verdict else {
+            panic!("expected proved, got {verdict}");
+        };
+        assert_eq!(nt_flips, Some(1), "one flipped load along the suffix");
+    }
+
+    #[test]
+    fn corrupted_recipe_is_refuted_not_proved() {
+        let (m, f) = osr_module();
+        let cert = cert_for(&m, f);
+        let proved = prove_osr_transfer(&m, &m, f, &cert, &EquivOptions::default());
+        let mut recipe = proved.recipe().expect("proved").clone();
+        assert!(recipe.moves.len() > 1, "need moves to corrupt");
+        // Rotate the sources: every register receives some *other* live
+        // register's value at transfer.
+        let srcs: Vec<Reg> = recipe.moves.iter().map(|&(_, s)| s).collect();
+        let n = srcs.len();
+        for (i, mv) in recipe.moves.iter_mut().enumerate() {
+            mv.1 = srcs[(i + 1) % n];
+        }
+        let v = validate_osr_transfer(&m, &m, f, &cert, &recipe, &EquivOptions::default());
+        assert!(
+            matches!(v, TransferVerdict::Refuted(_)),
+            "corrupted recipe must be refuted, got {v}"
+        );
+    }
+
+    #[test]
+    fn setconst_compensation_proves_against_inline_constant() {
+        // The loop bound register holds the constant 4 at the header;
+        // replace its move with a SetConst compensation op and the proof
+        // must still close (via singleton-range cut folding).
+        let (m, f) = osr_module();
+        let cert = cert_for(&m, f);
+        let bound = cert
+            .live
+            .iter()
+            .find(|s| s.range.lo == 4 && s.range.hi == 4)
+            .expect("loop bound certified as [4,4]")
+            .reg;
+        let proved = prove_osr_transfer(&m, &m, f, &cert, &EquivOptions::default());
+        let mut recipe = proved.recipe().expect("proved").clone();
+        recipe.moves.retain(|&(d, _)| d != bound);
+        recipe.consts.push((bound, 4));
+        let v = validate_osr_transfer(&m, &m, f, &cert, &recipe, &EquivOptions::default());
+        assert!(v.is_proved(), "{v}");
+        // The wrong constant must not prove.
+        let mut wrong = recipe.clone();
+        wrong.consts[0].1 = 3;
+        let v = validate_osr_transfer(&m, &m, f, &cert, &wrong, &EquivOptions::default());
+        assert!(
+            matches!(v, TransferVerdict::Refuted(_)),
+            "wrong compensation constant must refute, got {v}"
+        );
+    }
+
+    #[test]
+    fn uncovered_live_register_is_refused() {
+        let (m, f) = osr_module();
+        let cert = cert_for(&m, f);
+        let hollow = crate::absint::OsrCertificate {
+            live: Vec::new(),
+            ..cert.clone()
+        };
+        let recipe = TransferRecipe {
+            func: f,
+            baseline_header: cert.header,
+            variant_header: cert.header,
+            moves: Vec::new(),
+            consts: Vec::new(),
+        };
+        let v = validate_osr_transfer(
+            &m,
+            &m,
+            f,
+            &cert_for(&m, f),
+            &recipe,
+            &EquivOptions::default(),
+        );
+        // With the real certificate the live set is covered even with no
+        // moves? No: moves are empty, but the certificate covers the
+        // seeds — the *variant* side then starts from zero and diverges,
+        // so this must not prove; with the hollow certificate the typed
+        // refusal fires first.
+        assert!(!v.is_proved(), "{v}");
+        let v = validate_osr_transfer(&m, &m, f, &hollow, &recipe, &EquivOptions::default());
+        assert_eq!(
+            match v {
+                TransferVerdict::Unproved {
+                    reason: TransferRefusal::UncertifiedLive { .. },
+                } => "uncertified",
+                _ => "other",
+            },
+            "uncertified"
+        );
+    }
+
+    #[test]
+    fn structural_divergence_yields_typed_map_refusal() {
+        let (m, f) = osr_module();
+        let cert = cert_for(&m, f);
+        // A variant with an extra loop: header counts differ.
+        let mut v = m.clone();
+        {
+            let func = &mut v.functions_mut()[f.index()];
+            let mut b = FunctionBuilder::new("main", 0);
+            b.counted_loop(0, 2, 1, |b, i| {
+                let _ = b.add_imm(i, 1);
+            });
+            b.counted_loop(0, 2, 1, |b, i| {
+                let _ = b.add_imm(i, 2);
+            });
+            b.ret(None);
+            *func = b.finish();
+        }
+        let verdict = prove_osr_transfer(&m, &v, f, &cert, &EquivOptions::default());
+        assert!(
+            matches!(
+                verdict,
+                TransferVerdict::Unproved {
+                    reason: TransferRefusal::Map(
+                        crate::osr_map::MapRefusal::HeaderCountMismatch { .. }
+                    )
+                }
+            ),
+            "{verdict}"
+        );
+    }
+
+    #[test]
+    fn malformed_recipes_are_typed_refusals() {
+        let (m, f) = osr_module();
+        let cert = cert_for(&m, f);
+        let good = prove_osr_transfer(&m, &m, f, &cert, &EquivOptions::default())
+            .recipe()
+            .expect("proved")
+            .clone();
+        let cases: Vec<TransferRecipe> = vec![
+            TransferRecipe {
+                func: FuncId(9),
+                ..good.clone()
+            },
+            TransferRecipe {
+                baseline_header: BlockId(9),
+                ..good.clone()
+            },
+            TransferRecipe {
+                variant_header: BlockId(99),
+                ..good.clone()
+            },
+            TransferRecipe {
+                moves: vec![(Reg(200), Reg(0))],
+                ..good.clone()
+            },
+        ];
+        for recipe in cases {
+            let v = validate_osr_transfer(&m, &m, f, &cert, &recipe, &EquivOptions::default());
+            assert!(
+                matches!(
+                    v,
+                    TransferVerdict::Unproved {
+                        reason: TransferRefusal::Malformed { .. }
+                    }
+                ),
+                "{recipe:?} -> {v}"
+            );
+        }
     }
 }

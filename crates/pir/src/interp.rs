@@ -33,6 +33,9 @@ pub enum InterpError {
     /// `global_addrs` does not cover the module's globals or overflows
     /// the data segment.
     BadLayout,
+    /// An OSR transfer spec references out-of-range blocks or registers
+    /// (see [`run_with_transfer`]).
+    BadTransfer,
 }
 
 impl fmt::Display for InterpError {
@@ -42,6 +45,7 @@ impl fmt::Display for InterpError {
             InterpError::Fault { addr } => write!(f, "memory fault at {addr:#x}"),
             InterpError::StepBudgetExceeded => write!(f, "step budget exceeded"),
             InterpError::BadLayout => write!(f, "global layout invalid for the data segment"),
+            InterpError::BadTransfer => write!(f, "OSR transfer spec out of range"),
         }
     }
 }
@@ -68,6 +72,44 @@ struct Frame {
     block: usize,
     index: usize,
     ret_dst: Option<Reg>,
+    /// `true` once this frame executes variant code (after an OSR
+    /// transfer). Frames created by a variant-side caller inherit it.
+    variant_side: bool,
+}
+
+/// Where and how [`run_with_transfer`] switches a live frame from the
+/// baseline module into the variant.
+///
+/// The transfer fires on the `hit`-th time (1-based) a baseline-side
+/// frame of `func` *enters* `from_block`; entries are counted globally
+/// across frames (recursion included). The transferred frame gets a
+/// fresh zero-initialized register file sized for the variant, then
+/// `moves` copy old values in and `consts` patch compensation values,
+/// and execution resumes at `to_block` on the variant side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OsrTransferSpec<'a> {
+    /// The function being switched.
+    pub func: FuncId,
+    /// Baseline-side loop header whose entries are counted.
+    pub from_block: crate::ids::BlockId,
+    /// Variant-side block execution resumes at.
+    pub to_block: crate::ids::BlockId,
+    /// Which entry into `from_block` triggers the transfer (1-based).
+    pub hit: u64,
+    /// `(variant dst, baseline src)` register copies.
+    pub moves: &'a [(Reg, Reg)],
+    /// `(variant dst, value)` compensation constants.
+    pub consts: &'a [(Reg, i64)],
+}
+
+/// Outcome of an OSR-transfer run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OsrRunResult {
+    /// The final observable state, as for [`run`].
+    pub result: InterpResult,
+    /// Whether the transfer actually fired (`false` if the program never
+    /// reached the `hit`-th header entry).
+    pub transferred: bool,
 }
 
 /// Interprets `module` from its entry function.
@@ -86,6 +128,67 @@ pub fn run(
     data_size: usize,
     max_steps: u64,
 ) -> Result<InterpResult, InterpError> {
+    run_inner(module, None, global_addrs, data_size, max_steps).map(|r| r.result)
+}
+
+/// Interprets `baseline` from its entry, switching mid-run into
+/// `variant` per `spec` — the concrete-execution oracle for OSR-transfer
+/// recipes (`pir::equiv::prove_osr_transfer`).
+///
+/// Both modules share `global_addrs` (so the variant must declare the
+/// same global table). Frames created after the transfer inherit the
+/// module of their caller.
+///
+/// # Errors
+///
+/// As [`run`], plus [`InterpError::BadTransfer`] when `spec` references
+/// out-of-range functions, blocks, or registers, or the modules' global
+/// tables disagree.
+pub fn run_with_transfer(
+    baseline: &Module,
+    variant: &Module,
+    spec: &OsrTransferSpec<'_>,
+    global_addrs: &[u64],
+    data_size: usize,
+    max_steps: u64,
+) -> Result<OsrRunResult, InterpError> {
+    if variant.globals().len() != baseline.globals().len()
+        || spec.func.index() >= baseline.functions().len()
+        || spec.func.index() >= variant.functions().len()
+        || spec.hit == 0
+    {
+        return Err(InterpError::BadTransfer);
+    }
+    let bf = baseline.function(spec.func);
+    let vf = variant.function(spec.func);
+    let src_regs = bf.reg_count().max(bf.params()) as usize;
+    let dst_regs = vf.reg_count().max(vf.params()) as usize;
+    if spec.from_block.index() >= bf.block_count()
+        || spec.to_block.index() >= vf.block_count()
+        || spec
+            .moves
+            .iter()
+            .any(|&(d, s)| d.index() >= dst_regs || s.index() >= src_regs)
+        || spec.consts.iter().any(|&(d, _)| d.index() >= dst_regs)
+    {
+        return Err(InterpError::BadTransfer);
+    }
+    run_inner(
+        baseline,
+        Some((variant, spec)),
+        global_addrs,
+        data_size,
+        max_steps,
+    )
+}
+
+fn run_inner(
+    module: &Module,
+    osr: Option<(&Module, &OsrTransferSpec<'_>)>,
+    global_addrs: &[u64],
+    data_size: usize,
+    max_steps: u64,
+) -> Result<OsrRunResult, InterpError> {
     let entry = module.entry().ok_or(InterpError::NoEntry)?;
     if global_addrs.len() != module.globals().len() {
         return Err(InterpError::BadLayout);
@@ -104,8 +207,12 @@ pub fn run(
         }
     }
 
-    let new_frame = |func: FuncId, args: &[i64], ret_dst: Option<Reg>| {
-        let f = module.function(func);
+    let module_for = |variant_side: bool| match osr {
+        Some((variant, _)) if variant_side => variant,
+        _ => module,
+    };
+    let new_frame = |func: FuncId, args: &[i64], ret_dst: Option<Reg>, variant_side: bool| {
+        let f = module_for(variant_side).function(func);
         let mut regs = vec![0i64; f.reg_count().max(f.params()) as usize];
         regs[..args.len()].copy_from_slice(args);
         Frame {
@@ -114,19 +221,50 @@ pub fn run(
             block: 0,
             index: 0,
             ret_dst,
+            variant_side,
         }
     };
 
-    let mut stack = vec![new_frame(entry, &[], None)];
+    let mut stack = vec![new_frame(entry, &[], None, false)];
     let mut steps = 0u64;
     let mut reports = Vec::new();
     let mut parked = false;
+    let mut header_hits = 0u64;
+    let mut transferred = false;
 
     'outer: while let Some(frame) = stack.last_mut() {
         if steps >= max_steps {
             return Err(InterpError::StepBudgetExceeded);
         }
-        let func = module.function(frame.func);
+        // OSR transfer: fires once, on the hit-th baseline-side entry
+        // into the watched header. `index == 0` holds for exactly one
+        // loop iteration per block entry, so each entry counts once.
+        if let Some((variant, spec)) = osr {
+            if !frame.variant_side
+                && frame.index == 0
+                && frame.func == spec.func
+                && frame.block == spec.from_block.index()
+            {
+                header_hits += 1;
+                if header_hits == spec.hit {
+                    let vf = variant.function(spec.func);
+                    let mut regs = vec![0i64; vf.reg_count().max(vf.params()) as usize];
+                    for &(dst, src) in spec.moves {
+                        regs[dst.index()] = frame.regs[src.index()];
+                    }
+                    for &(dst, value) in spec.consts {
+                        regs[dst.index()] = value;
+                    }
+                    frame.regs = regs;
+                    frame.variant_side = true;
+                    frame.block = spec.to_block.index();
+                    frame.index = 0;
+                    transferred = true;
+                    continue 'outer;
+                }
+            }
+        }
+        let func = module_for(frame.variant_side).function(frame.func);
         let block = &func.blocks()[frame.block];
         if frame.index < block.insts.len() {
             let inst = &block.insts[frame.index];
@@ -174,8 +312,8 @@ pub fn run(
                 }
                 Inst::Call { dst, callee, args } => {
                     let vals: Vec<i64> = args.iter().map(|r| frame.regs[r.index()]).collect();
-                    let (callee, dst) = (*callee, *dst);
-                    stack.push(new_frame(callee, &vals, dst));
+                    let (callee, dst, side) = (*callee, *dst, frame.variant_side);
+                    stack.push(new_frame(callee, &vals, dst, side));
                     continue 'outer;
                 }
             }
@@ -212,11 +350,14 @@ pub fn run(
             }
         }
     }
-    Ok(InterpResult {
-        data,
-        steps,
-        reports,
-        parked,
+    Ok(OsrRunResult {
+        result: InterpResult {
+            data,
+            steps,
+            reports,
+            parked,
+        },
+        transferred,
     })
 }
 
@@ -346,6 +487,146 @@ mod tests {
         m.set_entry(f);
         let r = run(&m, &[], 64, 1_000).unwrap();
         assert_eq!(r.reports, vec![(2, 9), (3, 9)]);
+    }
+
+    fn checksum_module() -> Module {
+        let mut m = Module::new("t");
+        let data = m.add_global_full(crate::Global::with_words("d", vec![3, 5, 7, 11]));
+        let out = m.add_global("out", 8);
+        let mut b = FunctionBuilder::new("main", 0);
+        let base = b.global_addr(data);
+        let o = b.global_addr(out);
+        let acc0 = b.const_(0);
+        let acc = b.accumulate_loop(0, 4, 1, acc0, |bl, i, acc| {
+            let off = bl.shl_imm(i, 3);
+            let a = bl.add(base, off);
+            let v = bl.load(a, 0, Locality::Normal);
+            bl.add_into(acc, acc, v);
+        });
+        b.store(o, 0, acc);
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        m
+    }
+
+    #[test]
+    fn identity_transfer_preserves_the_run() {
+        use crate::ids::BlockId;
+        let m = checksum_module();
+        let (addrs, size) = layout(&m);
+        let oracle = run(&m, &addrs, size, 10_000).unwrap();
+        let f = m.entry().unwrap();
+        let regs = m.function(f).reg_count();
+        let moves: Vec<(Reg, Reg)> = (0..regs).map(|r| (Reg(r), Reg(r))).collect();
+        for hit in 1..=4 {
+            let spec = OsrTransferSpec {
+                func: f,
+                from_block: BlockId(1),
+                to_block: BlockId(1),
+                hit,
+                moves: &moves,
+                consts: &[],
+            };
+            let r = run_with_transfer(&m, &m, &spec, &addrs, size, 10_000).unwrap();
+            assert!(r.transferred, "hit {hit} must fire");
+            assert_eq!(r.result.data, oracle.data, "hit {hit}");
+        }
+    }
+
+    #[test]
+    fn transfer_past_the_last_hit_never_fires() {
+        use crate::ids::BlockId;
+        let m = checksum_module();
+        let (addrs, size) = layout(&m);
+        let oracle = run(&m, &addrs, size, 10_000).unwrap();
+        let spec = OsrTransferSpec {
+            func: m.entry().unwrap(),
+            from_block: BlockId(1),
+            to_block: BlockId(1),
+            hit: 1_000,
+            moves: &[],
+            consts: &[],
+        };
+        let r = run_with_transfer(&m, &m, &spec, &addrs, size, 10_000).unwrap();
+        assert!(!r.transferred);
+        assert_eq!(r.result, oracle);
+    }
+
+    #[test]
+    fn corrupted_moves_change_the_observables() {
+        use crate::ids::BlockId;
+        let m = checksum_module();
+        let (addrs, size) = layout(&m);
+        let oracle = run(&m, &addrs, size, 10_000).unwrap();
+        // Drop the accumulator move: the transferred frame restarts the
+        // sum from zero, so the final checksum must differ.
+        let f = m.entry().unwrap();
+        let regs = m.function(f).reg_count();
+        let moves: Vec<(Reg, Reg)> = (0..regs)
+            .map(|r| (Reg(r), Reg(r)))
+            .filter(|&(d, _)| d != Reg(2))
+            .collect();
+        let spec = OsrTransferSpec {
+            func: f,
+            from_block: BlockId(1),
+            to_block: BlockId(1),
+            hit: 3,
+            moves: &moves,
+            consts: &[],
+        };
+        let r = run_with_transfer(&m, &m, &spec, &addrs, size, 10_000).unwrap();
+        assert!(r.transferred);
+        assert_ne!(r.result.data, oracle.data);
+    }
+
+    #[test]
+    fn out_of_range_transfer_specs_rejected() {
+        use crate::ids::BlockId;
+        let m = checksum_module();
+        let (addrs, size) = layout(&m);
+        let f = m.entry().unwrap();
+        let base = OsrTransferSpec {
+            func: f,
+            from_block: BlockId(1),
+            to_block: BlockId(1),
+            hit: 1,
+            moves: &[],
+            consts: &[],
+        };
+        let cases = [
+            OsrTransferSpec {
+                func: FuncId(99),
+                ..base.clone()
+            },
+            OsrTransferSpec {
+                from_block: BlockId(99),
+                ..base.clone()
+            },
+            OsrTransferSpec {
+                to_block: BlockId(99),
+                ..base.clone()
+            },
+            OsrTransferSpec {
+                hit: 0,
+                ..base.clone()
+            },
+            OsrTransferSpec {
+                moves: &[(Reg(200), Reg(0))],
+                ..base.clone()
+            },
+            OsrTransferSpec {
+                consts: &[(Reg(200), 1)],
+                ..base.clone()
+            },
+        ];
+        for spec in &cases {
+            assert_eq!(
+                run_with_transfer(&m, &m, spec, &addrs, size, 1_000),
+                Err(InterpError::BadTransfer),
+                "{spec:?}"
+            );
+        }
     }
 
     #[test]

@@ -24,7 +24,10 @@
 //!   the equivalence checker's alias precision,
 //! * a symbolic equivalence checker ([`equiv`]) — translation validation
 //!   for the online transformations, with "proved modulo NT hints"
-//!   verdicts and interpreter-confirmed counterexamples,
+//!   verdicts, interpreter-confirmed counterexamples, and a cut-point
+//!   simulation prover for OSR transfer recipes,
+//! * loop-header matching between baseline and variant ([`osr_map`]) —
+//!   the structural half of the OSR-transfer proof obligation,
 //! * a diagnostic lint layer ([`lint`]) over those analyses,
 //! * dominator-based natural-loop analysis ([`loops`]) used by PC3D's
 //!   "innermost loops only" search heuristic,
@@ -70,6 +73,7 @@ pub mod interp;
 pub mod lint;
 pub mod loops;
 pub mod module;
+pub mod osr_map;
 pub mod print;
 pub mod verify;
 
@@ -81,13 +85,17 @@ pub use analysis::{load_sites, LoadSite};
 pub use builder::FunctionBuilder;
 pub use effects::{CacheStats, FuncEffects, ModuleEffects, PtClass, RegionSet};
 pub use equiv::{
-    check_function_in, check_module, interval_disjoint_facts, Counterexample, EquivOptions,
-    EquivReport, Verdict,
+    check_function_in, check_module, interval_disjoint_facts, prove_osr_transfer,
+    validate_osr_transfer, Counterexample, EquivOptions, EquivReport, TransferRecipe,
+    TransferRefusal, TransferVerdict, Verdict,
 };
 pub use ids::{BlockId, FuncId, GlobalId, LoadSiteId, Reg};
 pub use inst::{BinOp, Inst, Locality, Term};
 pub use module::{Block, Function, Global, GlobalInit, Module};
-pub use print::{render_function, render_module, PrintOptions};
+pub use osr_map::{map_headers, HeaderPair, MapRefusal, OsrMap};
+pub use print::{
+    render_function, render_module, render_osr_certificate, render_transfer_recipe, PrintOptions,
+};
 
 /// Maximum number of virtual registers a single function may use.
 ///

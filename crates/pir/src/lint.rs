@@ -16,10 +16,11 @@
 //! | `never-virtualizable-call` | warning | call edges the default multi-block-callees edge policy never routes through the EVT, so PC3D cannot retarget them online |
 //! | `unknown-address-store`    | warning | stores through a base the [`effects`](crate::effects) points-to analysis cannot bound, which forces every downstream alias query conservative |
 //! | `likely-divergent-loop`    | warning | natural loops with no feasible exit (per the [`absint`](crate::absint) abstract states) and no observable effect — no store, report, call with effects, or `wait` — which spin forever without anyone noticing |
+//! | `osr-header-unprovable`    | warning | loop headers that carry an OSR certificate but whose live-state transfer the cut-point prover ([`equiv::prove_osr_transfer`](crate::equiv::prove_osr_transfer)) cannot certify even against the function itself — the runtime will never switch variants mid-loop there |
 //!
-//! The suite is cheap (one CFG + two dataflow solves per function) and is
-//! rerun by `pcc` between transformation stages when invariant checking
-//! is on.
+//! The suite is cheap (one CFG + two dataflow solves per function, plus
+//! one transfer proof per OSR-certified header) and can be rerun between
+//! transformation stages.
 
 use std::fmt;
 
@@ -412,6 +413,46 @@ fn lint_likely_divergent_loops(cx: &FuncCx<'_>, module: &Module, out: &mut Vec<D
     }
 }
 
+/// Flags OSR-certified loop headers the cut-point transfer prover cannot
+/// certify for the *identity* switch (function to itself). A certificate
+/// without a provable recipe is a dead anchor: the abstract interpreter
+/// vouched for the live state, but the runtime can never actually switch
+/// a variant in mid-loop there, so the hottest loops silently fall back
+/// to function-boundary dispatch. The refusal reason is typed
+/// ([`crate::equiv::TransferRefusal`]) and quoted verbatim.
+fn lint_osr_header_unprovable(cx: &FuncCx<'_>, module: &Module, out: &mut Vec<Diagnostic>) {
+    use crate::equiv::{self, TransferVerdict};
+    for dec in crate::absint::certify_function(module, cx.fid) {
+        let Some(cert) = dec.certificate() else {
+            continue;
+        };
+        let verdict = equiv::prove_osr_transfer(
+            module,
+            module,
+            cx.fid,
+            cert,
+            &equiv::EquivOptions::default(),
+        );
+        let why = match verdict {
+            TransferVerdict::Proved { .. } => continue,
+            TransferVerdict::Refuted(cex) => format!("self-transfer refuted: {cex}"),
+            TransferVerdict::Unproved { reason } => reason.to_string(),
+        };
+        out.push(cx.diag(
+            "osr-header-unprovable",
+            Severity::Warning,
+            Some(cert.header),
+            None,
+            format!(
+                "{} carries an OSR certificate but its live-state transfer \
+                 cannot be proved; mid-loop variant switching is unavailable \
+                 here ({why})",
+                cert.header
+            ),
+        ));
+    }
+}
+
 /// Runs every lint pass over one function of `module`.
 pub fn lint_function(module: &Module, fid: FuncId) -> Vec<Diagnostic> {
     let func = module.function(fid);
@@ -428,6 +469,7 @@ pub fn lint_function(module: &Module, fid: FuncId) -> Vec<Diagnostic> {
     lint_never_virtualizable_calls(&cx, module, &mut out);
     lint_unknown_address_stores(&cx, &mut out);
     lint_likely_divergent_loops(&cx, module, &mut out);
+    lint_osr_header_unprovable(&cx, module, &mut out);
     out
 }
 
@@ -713,6 +755,72 @@ mod tests {
                 .iter()
                 .any(|d| d.pass == "likely-divergent-loop"),
             "{report}"
+        );
+    }
+
+    #[test]
+    fn provable_osr_header_not_flagged() {
+        let mut m = Module::new("m");
+        let g = m.add_global("buf", 4096);
+        let mut b = FunctionBuilder::new("sum", 0);
+        let base = b.global_addr(g);
+        let acc0 = b.const_(0);
+        let acc = b.accumulate_loop(0, 64, 1, acc0, |b, i, acc| {
+            let off = b.shl_imm(i, 3);
+            let addr = b.add(base, off);
+            let v = b.load(addr, 0, Locality::Normal);
+            b.add_into(acc, acc, v);
+        });
+        b.ret(Some(acc));
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        // The loop certifies, and its identity transfer proves.
+        assert!(crate::absint::certify_module(&m)
+            .iter()
+            .any(|d| d.certificate().is_some()));
+        let report = lint_module(&m);
+        assert!(
+            !report
+                .diagnostics()
+                .iter()
+                .any(|d| d.pass == "osr-header-unprovable"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn unprovable_osr_header_warned() {
+        // A loop whose body is a block chain longer than the prover's
+        // pair budget: the header still certifies (the live state is
+        // tiny), but the simulation proof runs out of budget, leaving a
+        // certificate no transfer recipe can back.
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("big", 0);
+        b.counted_loop(0, 4, 1, |b, _i| {
+            for _ in 0..4200 {
+                let nb = b.new_block();
+                b.br(nb);
+                b.switch_to(nb);
+            }
+        });
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        assert!(crate::absint::certify_module(&m)
+            .iter()
+            .any(|d| d.certificate().is_some()));
+        let report = lint_module(&m);
+        let hits: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.pass == "osr-header-unprovable")
+            .collect();
+        assert_eq!(hits.len(), 1, "{report}");
+        assert_eq!(hits[0].severity, Severity::Warning);
+        assert!(
+            hits[0].message.contains("cannot be proved"),
+            "{}",
+            hits[0].message
         );
     }
 

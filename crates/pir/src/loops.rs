@@ -82,6 +82,19 @@ pub fn natural_loop(cfg: &Cfg, dom: &Dominators, header: BlockId) -> Vec<BlockId
         .collect()
 }
 
+/// The latch blocks of `header`: sources of back edges `u -> header`
+/// with `header` dominating `u`, ascending. Empty when `header` heads no
+/// natural loop. One fingerprint input for OSR header matching
+/// ([`crate::osr_map`]).
+pub fn latches(cfg: &Cfg, dom: &Dominators, header: BlockId) -> Vec<BlockId> {
+    (0..cfg.block_count())
+        .map(|v| BlockId(v as u32))
+        .filter(|&vb| {
+            dom.is_reachable(vb) && cfg.succs(vb).contains(&header) && dom.dominates(header, vb)
+        })
+        .collect()
+}
+
 /// Computes natural-loop nesting depths for a function.
 ///
 /// Blocks unreachable from the entry have depth 0 and are never loop

@@ -7,12 +7,18 @@
 //! [`PrintOptions::absint`] is set, so OSR certificates and refusals can
 //! be debugged straight from dumped IR: each block is prefixed with the
 //! abstract state *on entry* (interval, escape class, and known bits when
-//! non-trivial) for every register the block mentions.
+//! non-trivial) for every register the block mentions. With
+//! [`PrintOptions::osr`], [`render_module`] additionally prefixes each
+//! function with its OSR certificates ([`render_osr_certificate`]);
+//! proved transfer recipes render standalone via
+//! [`render_transfer_recipe`] since they come from the prover, not the
+//! module.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
-use crate::absint::{self, AbsVal};
+use crate::absint::{self, AbsVal, OsrCertificate};
+use crate::equiv::TransferRecipe;
 use crate::ids::BlockId;
 use crate::inst::{Inst, Term};
 use crate::module::{Function, Module};
@@ -22,6 +28,54 @@ use crate::module::{Function, Module};
 pub struct PrintOptions {
     /// Interleave [`crate::absint`] block-entry states as comments.
     pub absint: bool,
+    /// Prefix each function with its OSR certificates
+    /// ([`render_osr_certificate`]) as comments. Module-level only:
+    /// certification needs whole-module context, so
+    /// [`render_function`] ignores this flag.
+    pub osr: bool,
+}
+
+/// Renders one OSR certificate as a single `;` comment line — the form
+/// failure dumps and [`render_module`] interleave with the IR.
+pub fn render_osr_certificate(cert: &OsrCertificate) -> String {
+    let mut out = format!(
+        "; osr cert {}:{} depth {}:",
+        cert.func, cert.header, cert.loop_depth
+    );
+    if cert.live.is_empty() {
+        out.push_str(" (no live registers)");
+    }
+    for (i, slot) in cert.live.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(" {} {} {}", slot.reg, slot.range, slot.class));
+    }
+    out
+}
+
+/// Renders one proved transfer recipe as a single `;` comment line.
+pub fn render_transfer_recipe(recipe: &TransferRecipe) -> String {
+    let mut out = format!(
+        "; osr transfer {}:{} -> {}:",
+        recipe.func, recipe.baseline_header, recipe.variant_header
+    );
+    if recipe.moves.is_empty() && recipe.consts.is_empty() {
+        out.push_str(" (zero-fill only)");
+    }
+    for (i, (dst, src)) in recipe.moves.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(" {dst} <- {src}"));
+    }
+    for (dst, value) in &recipe.consts {
+        if !out.ends_with(':') {
+            out.push(',');
+        }
+        out.push_str(&format!(" {dst} <- #{value}"));
+    }
+    out
 }
 
 /// Renders one function, honoring `opts`.
@@ -79,7 +133,7 @@ pub fn render_function(func: &Function, opts: &PrintOptions) -> String {
 
 /// Renders a whole module, honoring `opts`.
 pub fn render_module(module: &Module, opts: &PrintOptions) -> String {
-    if !opts.absint {
+    if !opts.absint && !opts.osr {
         return module.to_string();
     }
     let mut out = format!("module {} {{\n", module.name());
@@ -91,12 +145,20 @@ pub fn render_module(module: &Module, opts: &PrintOptions) -> String {
         ));
     }
     for (i, func) in module.functions().iter().enumerate() {
-        let entry = if module.entry() == Some(crate::FuncId(i as u32)) {
+        let fid = crate::FuncId(i as u32);
+        let entry = if module.entry() == Some(fid) {
             " (entry)"
         } else {
             ""
         };
         out.push_str(&format!("  ; @{i}{entry}\n"));
+        if opts.osr {
+            for dec in absint::certify_function(module, fid) {
+                if let Some(cert) = dec.certificate() {
+                    out.push_str(&format!("  {}\n", render_osr_certificate(cert)));
+                }
+            }
+        }
         for line in render_function(func, opts).lines() {
             out.push_str(&format!("  {line}\n"));
         }
@@ -243,7 +305,10 @@ mod tests {
             func.to_string()
         );
 
-        let opts = PrintOptions { absint: true };
+        let opts = PrintOptions {
+            absint: true,
+            osr: true,
+        };
         let text = render_function(func, &opts);
         // bb1 sees the facts established in bb0: a pinned global base and
         // an exact constant.
@@ -266,6 +331,71 @@ mod tests {
         assert!(module_text.contains("module m"));
         assert!(module_text.contains("global g0 `buf` [128 bytes]"));
         assert!(module_text.contains("; r1: [5] int"), "got: {module_text}");
+    }
+
+    #[test]
+    fn osr_annotations_render_behind_option() {
+        use super::{render_osr_certificate, render_transfer_recipe};
+        let mut m = Module::new("m");
+        let g = m.add_global("buf", 1 << 10);
+        let mut b = FunctionBuilder::new("w", 0);
+        let base = b.global_addr(g);
+        b.counted_loop(0, 8, 1, |b, i| {
+            let off = b.shl_imm(i, 3);
+            let a = b.add(base, off);
+            b.store(a, 0, i);
+        });
+        b.ret(None);
+        let f = m.add_function(b.finish());
+        m.set_entry(f);
+        let certs: Vec<_> = crate::absint::certify_module(&m)
+            .into_iter()
+            .filter_map(|d| d.certificate().cloned())
+            .collect();
+        assert!(!certs.is_empty(), "the loop header should certify");
+
+        // Certificates appear as comments only behind the flag.
+        let bare = render_module(&m, &PrintOptions::default());
+        assert!(!bare.contains("osr cert"), "got: {bare}");
+        let osr_only = render_module(
+            &m,
+            &PrintOptions {
+                absint: false,
+                osr: true,
+            },
+        );
+        let cert_line = render_osr_certificate(&certs[0]);
+        assert!(osr_only.contains(&cert_line), "got: {osr_only}");
+        assert!(cert_line.contains("; osr cert"), "got: {cert_line}");
+        assert!(cert_line.contains(&certs[0].header.to_string()));
+
+        // Recipes render standalone (they come from the prover, not the
+        // module, so dumps append them next to the IR).
+        let verdict = crate::equiv::prove_osr_transfer(
+            &m,
+            &m,
+            certs[0].func,
+            &certs[0],
+            &crate::equiv::EquivOptions::default(),
+        );
+        let recipe = verdict.recipe().expect("self transfer proves");
+        let line = render_transfer_recipe(recipe);
+        assert!(line.starts_with("; osr transfer"), "got: {line}");
+        for (dst, _) in &recipe.moves {
+            assert!(line.contains(&dst.to_string()), "got: {line}");
+        }
+        let empty = crate::TransferRecipe {
+            func: recipe.func,
+            baseline_header: recipe.baseline_header,
+            variant_header: recipe.variant_header,
+            moves: vec![],
+            consts: vec![],
+        };
+        assert!(
+            render_transfer_recipe(&empty).contains("zero-fill only"),
+            "got: {}",
+            render_transfer_recipe(&empty)
+        );
     }
 
     #[test]

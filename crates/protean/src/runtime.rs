@@ -283,11 +283,25 @@ impl Runtime {
         let certified = rt.meta.osr.len() as u64;
         rt.metrics
             .set_gauge("gate.osr_certified_points", certified as f64);
+        rt.metrics.set_gauge(
+            "gate.osr_transfer_recipes",
+            rt.meta.osr_recipes.len() as f64,
+        );
         rt.tracer.emit(
             os.now(),
             Subsystem::Gate,
             EventKind::OsrPoints { certified },
         );
+        // Seed the analysis-cache gauges so a report taken before any
+        // vet still carries the `absint.*`/`effects.*` keys.
+        let ab = pir::absint::cache_stats();
+        let fx = pir::effects::cache_stats();
+        rt.metrics.set_gauge("absint.cache_hits", ab.hits as f64);
+        rt.metrics
+            .set_gauge("absint.cache_misses", ab.misses as f64);
+        rt.metrics.set_gauge("effects.cache_hits", fx.hits as f64);
+        rt.metrics
+            .set_gauge("effects.cache_misses", fx.misses as f64);
         Ok(rt)
     }
 
@@ -710,11 +724,44 @@ impl Runtime {
     /// fixpoint-cache traffic are measured as deltas around the vet and
     /// surfaced as `gate.absint_*`/`gate.effects_*` metrics plus one
     /// [`EventKind::AbsintConsult`] event.
+    ///
+    /// A body the gate admits is additionally vetted for *mid-loop*
+    /// switchability: every certified OSR header of the function is run
+    /// through the cut-point transfer prover
+    /// ([`safety::vet_osr_transfers`](crate::safety::vet_osr_transfers)),
+    /// and the split is surfaced as `gate.osr_transfer_*` counters plus
+    /// one [`EventKind::OsrTransfer`] event.
     fn vet(&mut self, now: u64, func: FuncId, variant: u64, ir: &Function) -> VariantVerdict {
         let facts0 = pir::interval_disjoint_facts();
         let ab0 = pir::absint::cache_stats();
         let fx0 = pir::effects::cache_stats();
         let verdict = crate::safety::vet_variant(&self.meta.module, func, ir);
+        if verdict.is_safe() && self.meta.osr.iter().any(|c| c.func == func) {
+            let summary = crate::safety::vet_osr_transfers(
+                &self.meta.module,
+                func,
+                ir,
+                &self.meta.osr,
+                &self.meta.osr_recipes,
+            );
+            self.metrics
+                .add("gate.osr_transfer_proved", summary.proved() as u64);
+            self.metrics
+                .add("gate.osr_transfer_refuted", summary.refuted as u64);
+            self.metrics
+                .add("gate.osr_transfer_unproved", summary.unproved as u64);
+            self.tracer.emit(
+                now,
+                Subsystem::Gate,
+                EventKind::OsrTransfer {
+                    func: u64::from(func.0),
+                    variant,
+                    proved: summary.proved() as u64,
+                    refuted: summary.refuted as u64,
+                    unproved: summary.unproved as u64,
+                },
+            );
+        }
         let facts = pir::interval_disjoint_facts() - facts0;
         let ab1 = pir::absint::cache_stats();
         let fx1 = pir::effects::cache_stats();
@@ -727,6 +774,16 @@ impl Runtime {
             .add("gate.effects_cache_hits", fx1.hits - fx0.hits);
         self.metrics
             .add("gate.effects_cache_misses", fx1.misses - fx0.misses);
+        // Absolute thread-local cache totals, mirrored as gauges so a
+        // MonitorReport snapshot shows the analysis caches' lifetime
+        // traffic, not just this runtime's deltas.
+        self.metrics.set_gauge("absint.cache_hits", ab1.hits as f64);
+        self.metrics
+            .set_gauge("absint.cache_misses", ab1.misses as f64);
+        self.metrics
+            .set_gauge("effects.cache_hits", fx1.hits as f64);
+        self.metrics
+            .set_gauge("effects.cache_misses", fx1.misses as f64);
         self.tracer.emit(
             now,
             Subsystem::Gate,
@@ -1289,6 +1346,45 @@ mod tests {
         assert!(consults > 0, "vet should touch the effects cache");
         let jsonl = rt.trace_jsonl(&os);
         assert!(jsonl.contains("absint-consult"), "{jsonl}");
+    }
+
+    #[test]
+    fn vet_surfaces_osr_transfer_provability() {
+        let (mut os, _, mut rt) = setup(8);
+        assert!(
+            !rt.meta().osr.is_empty(),
+            "the worker loop should carry an OSR certificate"
+        );
+        assert!(
+            !rt.meta().osr_recipes.is_empty(),
+            "pcc should embed self-transfer recipes"
+        );
+        assert_eq!(
+            rt.metrics().gauge("gate.osr_transfer_recipes"),
+            Some(rt.meta().osr_recipes.len() as f64)
+        );
+        rt.tracer_mut().set_enabled(true);
+        let worker = rt.module().function_by_name("worker").unwrap();
+        // A locality variant: shape-identical, so the embedded recipes
+        // are inherited and every certified header counts as proved.
+        let sites: Vec<_> = pir::load_sites(rt.module())
+            .iter()
+            .map(|s| s.site)
+            .filter(|s| s.func == worker)
+            .collect();
+        let ir = NtAssignment::all(sites).apply_to(rt.module().function(worker), worker);
+        let idx = rt.install_variant_ir(&mut os, worker, ir).unwrap();
+        rt.dispatch(&mut os, idx).unwrap();
+        let proved = rt.metrics().counter("gate.osr_transfer_proved");
+        assert!(proved > 0, "transfer into the locality variant proves");
+        assert_eq!(rt.metrics().counter("gate.osr_transfer_refuted"), 0);
+        // The analysis caches are mirrored as absolute gauges.
+        assert!(rt.metrics().gauge("absint.cache_hits").is_some());
+        assert!(rt.metrics().gauge("absint.cache_misses").is_some());
+        assert!(rt.metrics().gauge("effects.cache_hits").is_some());
+        assert!(rt.metrics().gauge("effects.cache_misses").is_some());
+        let jsonl = rt.trace_jsonl(&os);
+        assert!(jsonl.contains("osr-transfer"), "{jsonl}");
     }
 
     #[test]

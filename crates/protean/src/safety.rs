@@ -43,7 +43,8 @@
 
 use std::fmt;
 
-use pir::equiv::{self, EquivOptions};
+use pir::absint::OsrCertificate;
+use pir::equiv::{self, EquivOptions, TransferRecipe, TransferVerdict};
 use pir::{dataflow, verify, FuncId, Function, Inst, Module};
 
 /// The safety gate's verdict on one candidate variant body.
@@ -154,6 +155,104 @@ pub fn vet_variant(module: &Module, func: FuncId, variant: &Function) -> Variant
             }
         }
     }
+}
+
+/// Per-function OSR transfer provability, as established by
+/// [`vet_osr_transfers`]: for each certified loop header of the
+/// function, whether a mid-loop switch from the running baseline into
+/// the candidate variant carries a proved live-state recipe.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OsrTransferSummary {
+    /// Recipes proved valid for this baseline→variant pair, one per
+    /// transferable header.
+    pub recipes: Vec<TransferRecipe>,
+    /// Headers whose candidate recipe was concretely refuted — the
+    /// strongest possible evidence that switching there would corrupt
+    /// the live state.
+    pub refuted: usize,
+    /// Headers where the prover could neither prove nor refute a
+    /// transfer; the runtime must fall back to function-boundary
+    /// dispatch for them.
+    pub unproved: usize,
+    /// Human-readable reasons for each refuted/unproved header.
+    pub details: Vec<String>,
+}
+
+impl OsrTransferSummary {
+    /// Headers with a proved transfer recipe.
+    pub fn proved(&self) -> usize {
+        self.recipes.len()
+    }
+
+    /// Total certified headers considered.
+    pub fn total(&self) -> usize {
+        self.recipes.len() + self.refuted + self.unproved
+    }
+}
+
+/// Establishes, per certified loop header of `func`, whether execution
+/// can switch from the running baseline into `variant` *mid-loop* under
+/// a proved live-state transfer recipe (the cut-point simulation proof
+/// in [`pir::equiv::validate_osr_transfer`]).
+///
+/// Tiered like [`vet_variant`]:
+///
+/// 1. If the variant is shape-identical to the baseline modulo load
+///    locality bits, the compile-time self-transfer recipes embedded in
+///    the annex apply verbatim — block ids and registers coincide, and
+///    locality is semantically inert — so embedded recipes for the
+///    function's headers are inherited without symbolic work.
+/// 2. Otherwise each certificate is handed to the prover against the
+///    variant spliced into a copy of the module; only
+///    [`TransferVerdict::Proved`] yields a recipe.
+///
+/// Headers without a proved recipe are *not* an error: they only mean
+/// the runtime must wait for a function-boundary dispatch there.
+pub fn vet_osr_transfers(
+    module: &Module,
+    func: FuncId,
+    variant: &Function,
+    certs: &[OsrCertificate],
+    embedded: &[TransferRecipe],
+) -> OsrTransferSummary {
+    let mut summary = OsrTransferSummary::default();
+    let relevant: Vec<&OsrCertificate> = certs.iter().filter(|c| c.func == func).collect();
+    if relevant.is_empty() {
+        return summary;
+    }
+    let baseline = module.function(func);
+    let shape_identical = same_modulo_locality(baseline, variant).is_ok();
+    let mut vmod = None;
+    for cert in relevant {
+        if shape_identical {
+            if let Some(recipe) = embedded
+                .iter()
+                .find(|r| r.func == func && r.baseline_header == cert.header)
+            {
+                summary.recipes.push(recipe.clone());
+                continue;
+            }
+        }
+        let vmod = vmod.get_or_insert_with(|| {
+            let mut m = module.clone();
+            m.functions_mut()[func.index()] = variant.clone();
+            m
+        });
+        match pir::prove_osr_transfer(module, vmod, func, cert, &EquivOptions::default()) {
+            TransferVerdict::Proved { recipe, .. } => summary.recipes.push(recipe),
+            TransferVerdict::Refuted(cex) => {
+                summary.refuted += 1;
+                summary
+                    .details
+                    .push(format!("{}: refuted: {cex}", cert.header));
+            }
+            TransferVerdict::Unproved { reason } => {
+                summary.unproved += 1;
+                summary.details.push(format!("{}: {reason}", cert.header));
+            }
+        }
+    }
+    summary
 }
 
 /// `true` if any load's locality hint differs between the two bodies.
@@ -641,6 +740,86 @@ mod tests {
             panic!("expected Unproved, got {v}");
         };
         assert!(detail.contains("structural verification"), "{detail}");
+    }
+
+    /// A worker whose loop absint certifies: streaming loads folded into
+    /// an accumulator, stored observably after the loop.
+    fn osr_module() -> Module {
+        let mut m = Module::new("osr");
+        let buf = m.add_global("buf", 1 << 10);
+        let mut w = FunctionBuilder::new("worker", 0);
+        let base = w.global_addr(buf);
+        let acc = w.const_(0);
+        w.counted_loop(0, 8, 1, |b, i| {
+            let off = b.shl_imm(i, 3);
+            let a = b.add(base, off);
+            let v = b.load(a, 0, Locality::Normal);
+            b.add_into(acc, acc, v);
+        });
+        w.store(base, 0, acc);
+        w.ret(None);
+        let wid = m.add_function(w.finish());
+        m.set_entry(wid);
+        m
+    }
+
+    #[test]
+    fn locality_variants_inherit_embedded_transfer_recipes_verbatim() {
+        let m = osr_module();
+        let fid = m.function_by_name("worker").unwrap();
+        let certs: Vec<_> = pir::absint::certify_module(&m)
+            .into_iter()
+            .filter_map(|d| d.certificate().cloned())
+            .collect();
+        assert!(!certs.is_empty(), "the loop header should certify");
+        // The compile-time self-transfer recipes pcc would embed.
+        let embedded: Vec<_> = certs
+            .iter()
+            .filter_map(|c| {
+                pir::prove_osr_transfer(&m, &m, fid, c, &EquivOptions::default())
+                    .recipe()
+                    .cloned()
+            })
+            .collect();
+        assert_eq!(embedded.len(), certs.len());
+        let sites: Vec<_> = pir::load_sites(&m)
+            .iter()
+            .map(|s| s.site)
+            .filter(|s| s.func == fid)
+            .collect();
+        let hinted = NtAssignment::all(sites).apply_to(m.function(fid), fid);
+        let s = vet_osr_transfers(&m, fid, &hinted, &certs, &embedded);
+        assert_eq!(s.recipes, embedded, "shape-identical: inherited verbatim");
+        assert_eq!(s.refuted, 0);
+        assert_eq!(s.unproved, 0);
+        assert_eq!(s.proved(), s.total());
+    }
+
+    #[test]
+    fn shape_changed_variants_get_a_fresh_transfer_proof() {
+        let m = osr_module();
+        let fid = m.function_by_name("worker").unwrap();
+        let certs: Vec<_> = pir::absint::certify_module(&m)
+            .into_iter()
+            .filter_map(|d| d.certificate().cloned())
+            .collect();
+        assert!(!certs.is_empty());
+        // Nop padding breaks the shape tier; the prover must re-establish
+        // the transfer from scratch (no embedded recipes offered).
+        let mut padded = m.function(fid).clone();
+        padded.blocks_mut()[0].insts.push(Inst::Nop);
+        let s = vet_osr_transfers(&m, fid, &padded, &certs, &[]);
+        assert_eq!(s.proved(), certs.len(), "details: {:?}", s.details);
+        assert_eq!(s.refuted + s.unproved, 0);
+    }
+
+    #[test]
+    fn functions_without_certificates_yield_an_empty_transfer_summary() {
+        let m = osr_module();
+        let fid = m.function_by_name("worker").unwrap();
+        let s = vet_osr_transfers(&m, fid, m.function(fid), &[], &[]);
+        assert_eq!(s, OsrTransferSummary::default());
+        assert_eq!(s.total(), 0);
     }
 
     #[test]

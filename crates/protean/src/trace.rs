@@ -273,6 +273,21 @@ pub enum EventKind {
         /// Loop headers that received a certificate.
         certified: u64,
     },
+    /// OSR transfer provability summary for one vetted variant: how many
+    /// certified headers of the function could be switched mid-loop into
+    /// this variant under a proved live-state recipe.
+    OsrTransfer {
+        /// Function index.
+        func: u64,
+        /// Variant index.
+        variant: u64,
+        /// Headers with a proved transfer recipe.
+        proved: u64,
+        /// Headers whose candidate recipe was concretely refuted.
+        refuted: u64,
+        /// Headers where no recipe could be proved or refuted.
+        unproved: u64,
+    },
     /// Phase-change detection reset the controller.
     PhaseChange {
         /// Which signal moved: `external` or `host`.
@@ -308,6 +323,7 @@ impl EventKind {
             EventKind::SearchEnd { .. } => "search-end",
             EventKind::AbsintConsult { .. } => "absint-consult",
             EventKind::OsrPoints { .. } => "osr-points",
+            EventKind::OsrTransfer { .. } => "osr-transfer",
             EventKind::PhaseChange { .. } => "phase-change",
         }
     }
@@ -422,6 +438,19 @@ impl EventKind {
             EventKind::OsrPoints { certified } => {
                 vec![("certified", U64(certified))]
             }
+            EventKind::OsrTransfer {
+                func,
+                variant,
+                proved,
+                refuted,
+                unproved,
+            } => vec![
+                ("func", U64(func)),
+                ("variant", U64(variant)),
+                ("proved", U64(proved)),
+                ("refuted", U64(refuted)),
+                ("unproved", U64(unproved)),
+            ],
             EventKind::PhaseChange { source } => {
                 vec![("source", Str(source))]
             }
@@ -1032,6 +1061,13 @@ mod tests {
                 cache_hit: true,
             },
             EventKind::OsrPoints { certified: 3 },
+            EventKind::OsrTransfer {
+                func: 1,
+                variant: 2,
+                proved: 2,
+                refuted: 0,
+                unproved: 1,
+            },
             EventKind::PhaseChange { source: "external" },
         ];
         let mut t = Tracer::new();

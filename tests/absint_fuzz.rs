@@ -284,7 +284,10 @@ fn analyze_all(m: &Module) -> Vec<FuncAbsint> {
 /// `PROTEAN_ABSINT_DUMP` when set.
 fn fail_with_dump(name: &str, m: &Module, why: &str) -> ! {
     if let Ok(path) = std::env::var("PROTEAN_ABSINT_DUMP") {
-        let opts = pir::PrintOptions { absint: true };
+        let opts = pir::PrintOptions {
+            absint: true,
+            osr: true,
+        };
         let _ = std::fs::write(&path, pir::render_module(m, &opts));
         panic!("{name}: {why} (annotated IR dumped to {path})");
     }
