@@ -11,7 +11,7 @@ use machine::{
     AccessKind, Cache, CacheConfig, InsertPos, MachineConfig, MemorySystem, PerfCounters,
 };
 use pcc::{compile_function_variant, Compiler, NtAssignment, Options};
-use protean::{Runtime, RuntimeConfig};
+use protean::{HealthConfig, HealthMonitor, OsrConfig, OsrController, Runtime, RuntimeConfig};
 use protean_bench::report::{self, Json};
 use simos::{Os, OsConfig};
 
@@ -359,6 +359,105 @@ fn bench_osr_transfer(c: &mut Criterion) {
     }
 }
 
+/// The live OSR engine on the single-long-loop workload, measured in
+/// simulated cycles: park-to-resume transfer latency, and first-exec lag
+/// (dispatch decision to first variant instruction) for a mid-loop OSR
+/// switch vs the call-edge-only baseline that must wait out the rest of
+/// the call. Written to `BENCH_osr.json` under `long-loop-runtime`.
+fn bench_osr_runtime(_c: &mut Criterion) {
+    let scale = protean_bench::Scale::from_env();
+    let iters_per_call: i64 = if scale == protean_bench::Scale::Quick {
+        20_000
+    } else {
+        40_000
+    };
+    let rig = || {
+        let cfg = OsConfig::small();
+        let llc = cfg.machine.llc_bytes() / cfg.machine.line_bytes;
+        let m = workloads::build_long_loop_spec(
+            &workloads::LongLoopSpec {
+                iters_per_call,
+                ..workloads::LongLoopSpec::default()
+            },
+            llc,
+        );
+        let out = Compiler::new(Options::protean())
+            .compile(&m)
+            .expect("compile");
+        let mut os = Os::new(cfg);
+        let pid = os.spawn(&out.image, 0);
+        let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).expect("attach");
+        let spin = rt.module().function_by_name("spin").unwrap();
+        let nt: NtAssignment = pir::load_sites(rt.module())
+            .iter()
+            .map(|s| s.site)
+            .filter(|s| s.func == spin)
+            .collect();
+        let idx = rt.compile_variant(&mut os, spin, &nt).expect("variant");
+        os.advance(100_000);
+        (os, pid, rt, spin, idx)
+    };
+    let first_exec_lag = |os: &mut Os, pid, rt: &mut Runtime| -> u64 {
+        for _ in 0..200_000 {
+            os.advance(1_000);
+            let pc = os.proc(pid).ctx().pc();
+            rt.note_pc_sample(os.now(), pc);
+            if let Some(h) = rt.metrics().histogram("dispatch.first_exec_lag_cycles") {
+                if h.count() >= 1 {
+                    return h.max();
+                }
+            }
+        }
+        panic!("variant never observed executing");
+    };
+
+    // Live OSR: park at the certified header mid-call and transfer.
+    let (mut os, pid, mut rt, spin, idx) = rig();
+    let mut health = HealthMonitor::new(HealthConfig::default());
+    let mut ctl = OsrController::new(OsrConfig::default());
+    ctl.arm(&mut os, &mut rt, &mut health, spin, idx)
+        .expect("arm");
+    while rt.metrics().counter("osr.applied") == 0 {
+        os.advance(1_000);
+        if let Some(e) = ctl.tick(&mut os, &mut rt, &mut health) {
+            panic!("OSR failed: {e}");
+        }
+    }
+    let park_to_resume = rt
+        .metrics()
+        .histogram("osr.park_to_resume_cycles")
+        .map_or(0, |h| h.max());
+    let lag_osr = first_exec_lag(&mut os, pid, &mut rt);
+
+    // Call-edge only: the EVT write lands immediately, the effect waits
+    // for the current call to return.
+    let (mut os, pid, mut rt, _spin, idx) = rig();
+    rt.dispatch(&mut os, idx).expect("dispatch");
+    let lag_call_edge = first_exec_lag(&mut os, pid, &mut rt);
+
+    println!(
+        "osr-runtime (long-loop, {iters_per_call} iters/call): park-to-resume \
+         {park_to_resume} cycles; first-exec lag {lag_osr} (OSR) vs {lag_call_edge} (call-edge)"
+    );
+    assert!(
+        lag_osr < lag_call_edge,
+        "OSR must take effect before the loop exits"
+    );
+    if let Some(dir) = report::report_dir() {
+        let entry = Json::obj([
+            ("park_to_resume_cycles", Json::U64(park_to_resume)),
+            ("first_exec_lag_osr_cycles", Json::U64(lag_osr)),
+            ("first_exec_lag_call_edge_cycles", Json::U64(lag_call_edge)),
+            (
+                "lag_improvement",
+                Json::F64(lag_call_edge as f64 / lag_osr.max(1) as f64),
+            ),
+        ]);
+        report::update_json_map(&dir.join("BENCH_osr.json"), "long-loop-runtime", &entry)
+            .expect("write BENCH_osr.json");
+    }
+}
+
 fn bench_codec(c: &mut Criterion) {
     let llc = 98304;
     let m = workloads::catalog::build("soplex", llc).expect("workload");
@@ -393,6 +492,7 @@ criterion_group!(
     bench_absint,
     bench_equiv,
     bench_osr_transfer,
+    bench_osr_runtime,
     bench_codec
 );
 criterion_main!(benches);

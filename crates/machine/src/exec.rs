@@ -52,6 +52,10 @@ pub enum StopReason {
     Halted,
     /// The context performed an out-of-bounds memory or text access.
     Faulted,
+    /// The context reached an armed OSR park point (see
+    /// [`ExecContext::osr_arm`]) and stopped immediately before executing
+    /// the block at that PC.
+    OsrParked,
 }
 
 /// Liveness of an execution context.
@@ -65,6 +69,10 @@ pub enum ExecStatus {
     Halted,
     /// Dead after a memory fault at the contained data address.
     Faulted(u64),
+    /// Stopped at an armed OSR park point, awaiting a frame transfer
+    /// ([`ExecContext::osr_apply`] + [`ExecContext::osr_resume`]) or a
+    /// cancellation ([`ExecContext::osr_disarm`]).
+    OsrParked,
 }
 
 /// Result of one [`run`] call.
@@ -148,6 +156,15 @@ struct Frame {
     base: usize,
     ret_pc: u32,
     ret_dst: Option<PReg>,
+}
+
+/// An armed OSR park request: stop the context immediately before the
+/// `remaining`-th remaining entry into the block at `pc`.
+#[derive(Clone, Copy, Debug)]
+struct OsrPark {
+    pc: u32,
+    remaining: u64,
+    hits: u64,
 }
 
 /// Translation-cache targets below this bound live in a dense bitset (one
@@ -242,6 +259,7 @@ pub struct ExecContext {
     space: u16,
     evt_base: u64,
     bt: Option<BtState>,
+    osr: Option<OsrPark>,
     /// Application-metric samples published via [`Op::Report`], drained by
     /// the OS.
     pub reports: Vec<(u8, i64)>,
@@ -262,6 +280,7 @@ impl ExecContext {
             space,
             evt_base,
             bt: None,
+            osr: None,
             reports: Vec::new(),
         };
         ctx.push_frame(entry, 0, None, &[]);
@@ -315,6 +334,109 @@ impl ExecContext {
     /// Call depth (entry frame = 1).
     pub fn depth(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Arms an OSR park request: the context stops with
+    /// [`ExecStatus::OsrParked`] immediately *before* executing the
+    /// `hit`-th entry (1-based; 0 is treated as 1) into the block at
+    /// `pc`, counted from this call. Re-arming replaces any previous
+    /// request. Parking is precise: the block at `pc` has not started
+    /// executing when the context stops, so the register window is
+    /// exactly the block-entry state the OSR certificate describes.
+    pub fn osr_arm(&mut self, pc: u32, hit: u64) {
+        self.osr = Some(OsrPark {
+            pc,
+            remaining: hit.max(1),
+            hits: 0,
+        });
+    }
+
+    /// Cancels any armed park request. A context currently
+    /// [`ExecStatus::OsrParked`] resumes at the park PC (in the original
+    /// code, frame untouched) on the next run — cancellation is always
+    /// clean.
+    pub fn osr_disarm(&mut self) {
+        self.osr = None;
+        if self.status == ExecStatus::OsrParked {
+            self.status = ExecStatus::Running;
+        }
+    }
+
+    /// PC of the armed park request, if one is pending or parked.
+    pub fn osr_armed(&self) -> Option<u32> {
+        self.osr.map(|p| p.pc)
+    }
+
+    /// Entries into the armed PC observed since arming (the parking
+    /// entry included). 0 when nothing is armed.
+    pub fn osr_hits(&self) -> u64 {
+        self.osr.map_or(0, |p| p.hits)
+    }
+
+    /// True if the context is stopped at an OSR park point.
+    pub fn is_osr_parked(&self) -> bool {
+        self.status == ExecStatus::OsrParked
+    }
+
+    /// The innermost frame's register window (always [`FRAME_REGS`]
+    /// slots). Callers snapshot this before [`Self::osr_apply`] so a
+    /// detected misapply can restore the exact pre-transfer frame.
+    pub fn frame_regs(&self) -> &[i64] {
+        &self.regs[self.base..self.base + FRAME_REGS]
+    }
+
+    /// Rebuilds the innermost frame window from a transfer recipe, in
+    /// the interpreter's transfer order (`pir::interp::run_with_transfer`
+    /// is the reference semantics): zero-fill the whole window, then
+    /// `moves` copy `dst ← src` from the *old* window, then `consts`
+    /// patch immediates. Only legal while parked; the context stays
+    /// parked so the caller can verify the result before
+    /// [`Self::osr_resume`]. Returns false (frame untouched) if the
+    /// context is not parked.
+    pub fn osr_apply(&mut self, moves: &[(PReg, PReg)], consts: &[(PReg, i64)]) -> bool {
+        if self.status != ExecStatus::OsrParked {
+            return false;
+        }
+        let old: [i64; FRAME_REGS] = self.regs[self.base..self.base + FRAME_REGS]
+            .try_into()
+            .expect("frame window");
+        for r in &mut self.regs[self.base..self.base + FRAME_REGS] {
+            *r = 0;
+        }
+        for &(dst, src) in moves {
+            self.regs[self.base + dst.index()] = old[src.index()];
+        }
+        for &(dst, v) in consts {
+            self.regs[self.base + dst.index()] = v;
+        }
+        true
+    }
+
+    /// Overwrites the innermost frame window with a saved snapshot (the
+    /// deopt path after a detected misapply). Only legal while parked;
+    /// `window` must hold exactly [`FRAME_REGS`] values. Returns false
+    /// (frame untouched) otherwise.
+    pub fn osr_restore(&mut self, window: &[i64]) -> bool {
+        if self.status != ExecStatus::OsrParked || window.len() != FRAME_REGS {
+            return false;
+        }
+        self.regs[self.base..self.base + FRAME_REGS].copy_from_slice(window);
+        true
+    }
+
+    /// Resumes a parked context at `target` and disarms the request.
+    /// No text is mutated on this path, so the caller's block cache
+    /// generation contract is untouched — resuming needs no decode
+    /// invalidation, exactly like an EVT patch. Returns false if the
+    /// context is not parked.
+    pub fn osr_resume(&mut self, target: u32) -> bool {
+        if self.status != ExecStatus::OsrParked {
+            return false;
+        }
+        self.pc = target;
+        self.status = ExecStatus::Running;
+        self.osr = None;
+        true
     }
 
     fn push_frame(&mut self, target: u32, ret_pc: u32, ret_dst: Option<PReg>, args: &[i64]) {
@@ -404,6 +526,7 @@ pub fn run(ctx: &mut ExecContext, env: &mut ExecEnv<'_>, budget: u64) -> RunResu
         let stop = match ctx.status {
             ExecStatus::Waiting => StopReason::Waiting,
             ExecStatus::Faulted(_) => StopReason::Faulted,
+            ExecStatus::OsrParked => StopReason::OsrParked,
             _ => StopReason::Halted,
         };
         return RunResult { cycles: 0, stop };
@@ -435,9 +558,35 @@ fn run_impl<const BT: bool>(
         if used >= budget {
             break StopReason::BudgetExhausted;
         }
-        let Some(len) = env.blocks.block_len(pc, text) else {
+        // OSR park gate: fires at block entry, *after* the budget check
+        // (a quantum that ends exactly at the header has not counted the
+        // entry yet, so the next quantum counts it exactly once) and
+        // *before* any op of the block executes. Charges no cycles, so
+        // an unarmed context is bit-identical to a pre-OSR build.
+        if let Some(park) = ctx.osr.as_mut() {
+            if pc == park.pc {
+                park.hits += 1;
+                park.remaining -= 1;
+                if park.remaining == 0 {
+                    ctx.status = ExecStatus::OsrParked;
+                    break StopReason::OsrParked;
+                }
+            }
+        }
+        let Some(mut len) = env.blocks.block_len(pc, text) else {
             break fault(ctx, u64::from(pc));
         };
+        // An armed park PC acts as a block boundary: a header entered by
+        // fall-through may be fused into its predecessor's straight-line
+        // decoding, so clamp the run locally (the cache entry itself is
+        // untouched) to make the next loop-top entry land exactly on the
+        // park PC. Execution order, cycle charges, and quantum boundaries
+        // are identical either way — only the gate's visibility changes.
+        if let Some(park) = ctx.osr {
+            if park.pc > pc && u64::from(park.pc) < u64::from(pc) + u64::from(len) {
+                len = park.pc - pc;
+            }
+        }
         let start = pc as usize;
         let ops = &text[start..start + len as usize];
         let mut i = 0usize;
@@ -1016,6 +1165,196 @@ mod tests {
         ctx.wake();
         let res3 = run(&mut ctx, &mut env, 1000);
         assert_eq!(res3.stop, StopReason::Halted);
+    }
+
+    /// A counted loop: r0 counts up to 5, storing the count each
+    /// iteration; header (the count/branch block) at 1, body fall-through.
+    fn counted_loop_text() -> Vec<Op> {
+        vec![
+            Op::Movi {
+                dst: PReg(0),
+                imm: 0,
+            },
+            // header at 1:
+            Op::AluImm {
+                op: BinOp::Add,
+                dst: PReg(0),
+                a: PReg(0),
+                imm: 1,
+            },
+            Op::Store {
+                base: PReg(3),
+                offset: 64,
+                src: PReg(0),
+            },
+            Op::AluImm {
+                op: BinOp::Lt,
+                dst: PReg(1),
+                a: PReg(0),
+                imm: 5,
+            },
+            Op::Bnz {
+                cond: PReg(1),
+                target: 1,
+            },
+            Op::Halt,
+        ]
+    }
+
+    #[test]
+    fn osr_park_stops_at_exact_hit_with_block_entry_state() {
+        let text = counted_loop_text();
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+        let mut ctx = ExecContext::new(0, 1, 0);
+        // Park on the 3rd entry into the header: two full iterations have
+        // stored 1 and 2, and r0 == 2 at block entry (the increment of
+        // the 3rd iteration has not executed).
+        ctx.osr_arm(1, 3);
+        let mut env = ExecEnv {
+            text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1_000_000);
+        assert_eq!(res.stop, StopReason::OsrParked);
+        assert_eq!(ctx.status(), ExecStatus::OsrParked);
+        assert!(ctx.is_osr_parked());
+        assert_eq!(ctx.pc(), 1);
+        assert_eq!(ctx.osr_hits(), 3);
+        assert_eq!(ctx.frame_regs()[0], 2);
+        assert_eq!(i64::from_le_bytes(env.data[64..72].try_into().unwrap()), 2);
+        // A parked context consumes nothing.
+        let res2 = run(&mut ctx, &mut env, 1000);
+        assert_eq!(res2.cycles, 0);
+        assert_eq!(res2.stop, StopReason::OsrParked);
+    }
+
+    #[test]
+    fn osr_disarm_resumes_in_place_bit_identically() {
+        let text = counted_loop_text();
+        let run_with = |park: bool| {
+            let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+            let mut ctx = ExecContext::new(0, 1, 0);
+            if park {
+                ctx.osr_arm(1, 2);
+            }
+            let mut env = ExecEnv {
+                text: &text,
+                text_gen: 0,
+                blocks: &mut blocks,
+                data: &mut data,
+                mem: &mut mem,
+                core: 0,
+                counters: &mut counters,
+                costs: CostModel::default(),
+            };
+            let mut res = run(&mut ctx, &mut env, 1_000_000);
+            if res.stop == StopReason::OsrParked {
+                ctx.osr_disarm();
+                let more = run(&mut ctx, &mut env, 1_000_000);
+                res = RunResult {
+                    cycles: res.cycles + more.cycles,
+                    stop: more.stop,
+                };
+            }
+            (res, data, counters.instructions)
+        };
+        let (plain, plain_data, plain_insts) = run_with(false);
+        let (parked, parked_data, parked_insts) = run_with(true);
+        assert_eq!(plain.stop, StopReason::Halted);
+        assert_eq!(parked.stop, StopReason::Halted);
+        // Park + cancel charges nothing and perturbs nothing: identical
+        // cycles, instructions, and final memory.
+        assert_eq!(plain.cycles, parked.cycles);
+        assert_eq!(plain_insts, parked_insts);
+        assert_eq!(plain_data, parked_data);
+    }
+
+    #[test]
+    fn osr_apply_rebuilds_frame_in_transfer_order_and_resume_continues() {
+        let text = counted_loop_text();
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+        let mut ctx = ExecContext::new(0, 1, 0);
+        ctx.osr_arm(1, 4); // r0 == 3 at block entry
+        let mut env = ExecEnv {
+            text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        assert_eq!(
+            run(&mut ctx, &mut env, 1_000_000).stop,
+            StopReason::OsrParked
+        );
+        // Apply is refused while running (checked via a fresh context).
+        let mut fresh = ExecContext::new(0, 1, 0);
+        assert!(!fresh.osr_apply(&[], &[]));
+        assert!(!fresh.osr_restore(&[0; FRAME_REGS]));
+        assert!(!fresh.osr_resume(1));
+        // Transfer order: zero-fill, then moves from the OLD window, then
+        // consts. r2 ← old r0 (3), r0 ← old r0 (3), then const r0 = 4;
+        // a move reading a reg another move already wrote must still see
+        // the old value (r1 ← old r0, not the freshly-written r0).
+        let snapshot: Vec<i64> = ctx.frame_regs().to_vec();
+        assert!(ctx.osr_apply(
+            &[(PReg(2), PReg(0)), (PReg(0), PReg(0)), (PReg(1), PReg(0))],
+            &[(PReg(0), 4)],
+        ));
+        assert_eq!(ctx.frame_regs()[0], 4, "const patches after moves");
+        assert_eq!(ctx.frame_regs()[1], 3, "move reads the old window");
+        assert_eq!(ctx.frame_regs()[2], 3);
+        assert_eq!(ctx.frame_regs()[3], 0, "unmentioned regs zero-filled");
+        // Restore the pre-transfer frame (the misapply deopt path), then
+        // re-apply the real transfer and resume at the header: the loop
+        // continues from r0 == 3 as if never interrupted.
+        assert!(ctx.osr_restore(&snapshot));
+        assert_eq!(ctx.frame_regs()[0], 3);
+        assert!(ctx.osr_apply(&[(PReg(0), PReg(0))], &[]));
+        assert!(ctx.osr_resume(1));
+        assert_eq!(ctx.status(), ExecStatus::Running);
+        assert_eq!(ctx.osr_armed(), None);
+        let res = run(&mut ctx, &mut env, 1_000_000);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(i64::from_le_bytes(env.data[64..72].try_into().unwrap()), 5);
+    }
+
+    #[test]
+    fn osr_park_does_not_recount_on_quantum_boundary() {
+        // Drain the budget so quanta end at arbitrary points, including
+        // block entries: every header entry must be counted exactly once.
+        let text = counted_loop_text();
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+        let mut ctx = ExecContext::new(0, 1, 0);
+        ctx.osr_arm(1, 5);
+        let mut env = ExecEnv {
+            text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let mut stop = StopReason::BudgetExhausted;
+        for _ in 0..10_000 {
+            stop = run(&mut ctx, &mut env, 1).stop;
+            if stop != StopReason::BudgetExhausted {
+                break;
+            }
+        }
+        assert_eq!(stop, StopReason::OsrParked);
+        assert_eq!(ctx.osr_hits(), 5);
+        assert_eq!(ctx.frame_regs()[0], 4, "parked at entry of the 5th pass");
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub use compile::{
     Output,
 };
 pub use inline::{inline_module, inline_module_checked, InlineConfig, InlineStats};
+pub use lower::{block_offsets, lowered_size};
 pub use nt::NtAssignment;
 pub use opt::{
     optimize_function, optimize_module, optimize_module_checked, optimize_module_validated,

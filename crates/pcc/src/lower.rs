@@ -71,14 +71,34 @@ fn term_size(term: &Term, next: Option<pir::BlockId>) -> u32 {
 /// of the base address, so the static compiler can lay out all functions
 /// before lowering any.
 pub fn lowered_size(func: &Function) -> u32 {
+    let offsets = block_offsets(func);
     let nblocks = func.block_count();
-    let mut size = 0u32;
-    for (bi, block) in func.blocks().iter().enumerate() {
-        let next = (bi + 1 < nblocks).then(|| pir::BlockId(bi as u32 + 1));
-        size += block.insts.iter().map(inst_size).sum::<u32>();
-        size += term_size(&block.term, next);
+    match func.blocks().last() {
+        Some(block) => {
+            let last = offsets[nblocks - 1];
+            last + block.insts.iter().map(inst_size).sum::<u32>() + term_size(&block.term, None)
+        }
+        None => 0,
     }
-    size
+}
+
+/// Per-block start offsets of `func`'s lowered code, relative to the
+/// function's base address. Lowering is deterministic, so a runtime can
+/// recompute these from the embedded IR and resolve the text address of
+/// any block — in particular a certified OSR loop header — as
+/// `func_addr + block_offsets(func)[header.index()]`, for both the
+/// baseline image layout and a code-cache variant.
+pub fn block_offsets(func: &Function) -> Vec<u32> {
+    let nblocks = func.block_count();
+    let mut starts = Vec::with_capacity(nblocks);
+    let mut off = 0u32;
+    for (bi, block) in func.blocks().iter().enumerate() {
+        starts.push(off);
+        let next = (bi + 1 < nblocks).then(|| pir::BlockId(bi as u32 + 1));
+        off += block.insts.iter().map(inst_size).sum::<u32>();
+        off += term_size(&block.term, next);
+    }
+    starts
 }
 
 /// Lowers `func` at text address `base`, resolving calls and globals via
@@ -91,14 +111,8 @@ pub fn lowered_size(func: &Function) -> u32 {
 pub fn lower_function(func: &Function, ctx: &LowerCtx<'_>, base: u32) -> Vec<Op> {
     let nblocks = func.block_count();
     // Pass 1: block start offsets.
-    let mut starts = Vec::with_capacity(nblocks);
-    let mut off = 0u32;
-    for (bi, block) in func.blocks().iter().enumerate() {
-        starts.push(off);
-        let next = (bi + 1 < nblocks).then(|| pir::BlockId(bi as u32 + 1));
-        off += block.insts.iter().map(inst_size).sum::<u32>();
-        off += term_size(&block.term, next);
-    }
+    let starts = block_offsets(func);
+    let off = lowered_size(func);
     let target_of = |b: pir::BlockId| base + starts[b.index()];
 
     // Pass 2: emit.
@@ -383,6 +397,45 @@ mod tests {
                 _ => assert_eq!(a, b),
             }
         }
+    }
+
+    #[test]
+    fn block_offsets_match_branch_targets() {
+        // Every branch target the lowerer emits must equal the base plus
+        // the advertised block offset — the property the runtime's OSR
+        // header resolution depends on.
+        let mut b = FunctionBuilder::new("f", 0);
+        b.counted_loop(0, 4, 1, |b, i| {
+            let _ = b.add_imm(i, 1);
+        });
+        b.ret(None);
+        let f = b.finish();
+        let m = {
+            let mut m = Module::new("t");
+            m.add_function(f.clone());
+            m
+        };
+        let link = link_for(&m);
+        let ctx = LowerCtx {
+            module: &m,
+            link: &link,
+            virtualize: false,
+        };
+        let base = 300u32;
+        let ops = lower_function(&f, &ctx, base);
+        let offsets = block_offsets(&f);
+        assert_eq!(offsets.len(), f.block_count());
+        assert_eq!(offsets[0], 0);
+        let block_starts: Vec<u32> = offsets.iter().map(|o| base + o).collect();
+        for op in &ops {
+            if let Op::Jmp { target } | Op::Bnz { target, .. } | Op::Bz { target, .. } = op {
+                assert!(
+                    block_starts.contains(target),
+                    "branch target {target} is not a block start ({block_starts:?})"
+                );
+            }
+        }
+        assert_eq!(ops.len() as u32, lowered_size(&f));
     }
 
     #[test]

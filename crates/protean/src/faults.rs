@@ -23,6 +23,13 @@
 //!   PC samples and HPM counter reads come back missing or perturbed.
 //!   These are exported to the OS as a [`simos::ObsFaults`] config (the
 //!   OS cannot depend on this crate) via [`FaultPlan::obs_faults`].
+//! * **On-stack replacement** ([`FaultKind::OsrArmStall`],
+//!   [`FaultKind::RecipeCorrupt`], [`FaultKind::TransferMisapply`]): the
+//!   arming request never reaches the thread (window expires, clean
+//!   abandon), a cached transfer recipe is corrupted between arming and
+//!   apply (pre-apply checksum refuses), or a transfer lands as if at
+//!   the wrong header visit (post-apply verification rolls back). The
+//!   [`osr`](crate::osr) controller consumes these.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -49,11 +56,22 @@ pub enum FaultKind {
     PcSampleGarble,
     /// An HPM counter read is perturbed by up to ±25%.
     CounterGarble,
+    /// An OSR arming request stalls: the park never reaches the thread,
+    /// so the arming window expires and the controller must abandon
+    /// cleanly back to call-edge switching.
+    OsrArmStall,
+    /// A cached transfer recipe is corrupted between arming and apply;
+    /// the pre-apply checksum must catch it before any frame is touched.
+    RecipeCorrupt,
+    /// A transfer is applied as if at the wrong header visit: one
+    /// transferred register is perturbed, which post-apply verification
+    /// must detect and roll back.
+    TransferMisapply,
 }
 
 impl FaultKind {
     /// All injectable fault kinds.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 10] = [
         FaultKind::CompileFail,
         FaultKind::CompileStall,
         FaultKind::EvtWriteFail,
@@ -61,6 +79,9 @@ impl FaultKind {
         FaultKind::PcSampleDrop,
         FaultKind::PcSampleGarble,
         FaultKind::CounterGarble,
+        FaultKind::OsrArmStall,
+        FaultKind::RecipeCorrupt,
+        FaultKind::TransferMisapply,
     ];
 }
 
@@ -74,6 +95,9 @@ impl fmt::Display for FaultKind {
             FaultKind::PcSampleDrop => "pc-sample-drop",
             FaultKind::PcSampleGarble => "pc-sample-garble",
             FaultKind::CounterGarble => "counter-garble",
+            FaultKind::OsrArmStall => "osr-arm-stall",
+            FaultKind::RecipeCorrupt => "recipe-corrupt",
+            FaultKind::TransferMisapply => "transfer-misapply",
         };
         f.write_str(name)
     }
@@ -131,6 +155,9 @@ impl FaultPlan {
             .with_rate(FaultKind::PcSampleDrop, 0.1)
             .with_rate(FaultKind::PcSampleGarble, 0.05)
             .with_rate(FaultKind::CounterGarble, 0.1)
+            .with_rate(FaultKind::OsrArmStall, 0.2)
+            .with_rate(FaultKind::RecipeCorrupt, 0.1)
+            .with_rate(FaultKind::TransferMisapply, 0.1)
     }
 
     /// Builder: sets the injection probability for `kind`.

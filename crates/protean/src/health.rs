@@ -33,7 +33,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use pcc::NtAssignment;
-use pir::FuncId;
+use pir::{BlockId, FuncId};
 use simos::Os;
 
 use crate::metrics::Registry;
@@ -90,6 +90,9 @@ pub struct HealthConfig {
     pub detach_threshold: u32,
     /// Consecutive clean windows required to climb one rung back up.
     pub recovery_windows: u32,
+    /// Runtime OSR transfer failures a single (function, loop header)
+    /// pair may cause before that header is never OSR-targeted again.
+    pub osr_quarantine_threshold: u32,
 }
 
 impl Default for HealthConfig {
@@ -105,6 +108,7 @@ impl Default for HealthConfig {
             degrade_threshold: 4,
             detach_threshold: 12,
             recovery_windows: 3,
+            osr_quarantine_threshold: 3,
         }
     }
 }
@@ -137,6 +141,8 @@ pub struct HealthStats {
     pub detaches: u64,
     /// Rungs climbed back up after clean windows.
     pub recoveries: u64,
+    /// (function, loop header) pairs banned from further OSR transfers.
+    pub osr_quarantines: u64,
 }
 
 impl fmt::Display for HealthStats {
@@ -146,7 +152,8 @@ impl fmt::Display for HealthStats {
             "health: {} compile failure(s) ({} retried, {} abandoned), \
              {} watchdog trip(s), {} checksum failure(s) ({} repaired), \
              {} EVT drop(s), {} quarantined ({} refused), \
-             {} degradation(s), {} detach(es), {} recovery(ies)",
+             {} degradation(s), {} detach(es), {} recovery(ies), \
+             {} OSR header(s) quarantined",
             self.compile_failures,
             self.compile_retries,
             self.compile_gave_up,
@@ -158,7 +165,8 @@ impl fmt::Display for HealthStats {
             self.rejected_quarantined,
             self.degradations,
             self.detaches,
-            self.recoveries
+            self.recoveries,
+            self.osr_quarantines
         )
     }
 }
@@ -192,6 +200,9 @@ pub struct HealthMonitor {
     metrics: Registry,
     /// Fault count per variant index (drives quarantine).
     variant_faults: HashMap<usize, u32>,
+    /// Runtime OSR transfer fault count per (function, loop header);
+    /// drives per-header OSR quarantine.
+    osr_faults: HashMap<(FuncId, BlockId), u32>,
     /// Decaying fault score (drives the ladder).
     fault_score: u32,
     /// Faults observed in the current window.
@@ -210,6 +221,7 @@ impl HealthMonitor {
             state: HealthState::Healthy,
             metrics: Registry::new(),
             variant_faults: HashMap::new(),
+            osr_faults: HashMap::new(),
             fault_score: 0,
             faults_this_window: 0,
             clean_windows: 0,
@@ -239,6 +251,7 @@ impl HealthMonitor {
             degradations: self.metrics.counter("health.degradations"),
             detaches: self.metrics.counter("health.detaches"),
             recoveries: self.metrics.counter("health.recoveries"),
+            osr_quarantines: self.metrics.counter("health.osr_quarantines"),
         }
     }
 
@@ -262,6 +275,61 @@ impl HealthMonitor {
     /// `Healthy`; `Degraded` and `Detached` are nap-only).
     pub fn allows_variants(&self) -> bool {
         self.state == HealthState::Healthy
+    }
+
+    /// Whether live OSR transfers may be attempted at all. OSR is the
+    /// most invasive mechanism the runtime has — it rewrites a parked
+    /// frame — so any rung below `Healthy` forbids it outright.
+    pub fn allows_osr(&self) -> bool {
+        self.state == HealthState::Healthy
+    }
+
+    /// Whether `(func, header)` has crossed the OSR fault threshold and
+    /// is permanently banned from further OSR transfers. Function-level
+    /// (call-edge) dispatch is unaffected.
+    pub fn osr_quarantined(&self, func: FuncId, header: BlockId) -> bool {
+        self.osr_faults
+            .get(&(func, header))
+            .is_some_and(|&n| n >= self.config.osr_quarantine_threshold)
+    }
+
+    /// Runtime OSR transfer faults recorded against `(func, header)`.
+    pub fn osr_fault_count(&self, func: FuncId, header: BlockId) -> u32 {
+        self.osr_faults.get(&(func, header)).copied().unwrap_or(0)
+    }
+
+    /// Records a runtime OSR transfer failure attributed to
+    /// `(func, header)`; at
+    /// [`osr_quarantine_threshold`](HealthConfig::osr_quarantine_threshold)
+    /// the pair is quarantined — never OSR-targeted again — and the
+    /// ladder takes one fault. Returns whether the pair is now
+    /// quarantined.
+    pub fn note_osr_fault(
+        &mut self,
+        os: &mut Os,
+        rt: &mut Runtime,
+        func: FuncId,
+        header: BlockId,
+    ) -> bool {
+        let count = {
+            let c = self.osr_faults.entry((func, header)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        self.note_fault(os, rt);
+        if count == self.config.osr_quarantine_threshold {
+            self.metrics.inc("health.osr_quarantines");
+            self.emit(
+                os,
+                rt,
+                EventKind::OsrQuarantine {
+                    func: u64::from(func.0),
+                    header: u64::from(header.0),
+                    faults: u64::from(count),
+                },
+            );
+        }
+        count >= self.config.osr_quarantine_threshold
     }
 
     /// Compile requests currently waiting out their backoff.
@@ -895,6 +963,56 @@ mod tests {
         assert!(health
             .transform(&mut os, &mut rt, worker, &NtAssignment::none())
             .is_none());
+    }
+
+    #[test]
+    fn repeated_osr_faults_quarantine_the_header_not_the_function() {
+        let (mut os, _, mut rt) = setup();
+        let worker = rt.module().function_by_name("worker").unwrap();
+        let mut health = HealthMonitor::new(HealthConfig {
+            osr_quarantine_threshold: 2,
+            ..ladder_frozen()
+        });
+        let header = BlockId(1);
+        assert!(health.allows_osr());
+        assert!(!health.note_osr_fault(&mut os, &mut rt, worker, header));
+        assert!(
+            !health.osr_quarantined(worker, header),
+            "first fault tolerated"
+        );
+        assert!(health.note_osr_fault(&mut os, &mut rt, worker, header));
+        assert!(
+            health.osr_quarantined(worker, header),
+            "second fault quarantines"
+        );
+        assert_eq!(health.stats().osr_quarantines, 1);
+        assert_eq!(health.osr_fault_count(worker, header), 2);
+        // Only the faulting header is banned; other headers and
+        // function-level dispatch are untouched.
+        assert!(!health.osr_quarantined(worker, BlockId(2)));
+        assert!(health
+            .transform(&mut os, &mut rt, worker, &NtAssignment::none())
+            .is_some());
+        // Further faults past the threshold do not re-count.
+        assert!(health.note_osr_fault(&mut os, &mut rt, worker, header));
+        assert_eq!(health.stats().osr_quarantines, 1);
+    }
+
+    #[test]
+    fn osr_is_forbidden_on_any_rung_below_healthy() {
+        let (mut os, _, mut rt) = setup();
+        let mut health = HealthMonitor::new(HealthConfig {
+            degrade_threshold: 1,
+            detach_threshold: 2,
+            ..HealthConfig::default()
+        });
+        assert!(health.allows_osr());
+        health.note_fault(&mut os, &mut rt);
+        assert_eq!(health.state(), HealthState::Degraded);
+        assert!(!health.allows_osr());
+        health.note_fault(&mut os, &mut rt);
+        assert_eq!(health.state(), HealthState::Detached);
+        assert!(!health.allows_osr());
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod faults;
 pub mod health;
 pub mod metrics;
 pub mod monitor;
+pub mod osr;
 pub mod phase;
 pub mod runtime;
 pub mod safety;
@@ -74,6 +75,7 @@ pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use health::{HealthConfig, HealthMonitor, HealthState, HealthStats};
 pub use metrics::{Histogram, HistogramSummary, Registry, Snapshot};
 pub use monitor::{ExtMonitor, HostMonitor, MonitorReport, WindowStats};
+pub use osr::{OsrConfig, OsrController, OsrError};
 pub use phase::{PhaseChange, PhaseDetector};
 pub use runtime::{AttachError, DispatchError, GateStats, Runtime, RuntimeConfig, VariantRecord};
 pub use safety::{check_variant, code_checksum, vet_variant, VariantVerdict};

@@ -215,8 +215,12 @@ pub struct MonitorReport {
     /// ([`report_with_health`](HostMonitor::report_with_health)).
     pub health: Option<HealthStats>,
     /// The merged metric snapshot behind the legacy counter structs —
-    /// every `compile.*`/`gate.*`/`dispatch.*` (and, with health,
-    /// `health.*`) counter, gauge, and histogram by name.
+    /// every `compile.*`/`gate.*`/`dispatch.*`/`osr.*` (and, with
+    /// health, `health.*`) counter, gauge, and histogram by name. The
+    /// live OSR engine ([`crate::osr`]) records through the runtime's
+    /// registry, so its arm/apply/abandon/deopt counters and the
+    /// `osr.park_to_resume_cycles` and `dispatch.first_exec_lag_cycles`
+    /// histograms arrive here without extra plumbing.
     pub metrics: crate::metrics::Snapshot,
     /// Hottest functions with their share of sample weight.
     pub hot: Vec<(FuncId, f64)>,
@@ -236,6 +240,22 @@ impl fmt::Display for MonitorReport {
         writeln!(f, "{}", self.gate)?;
         if let Some(health) = &self.health {
             writeln!(f, "{health}")?;
+        }
+        let osr = |name: &str| self.metrics.counters.get(name).copied().unwrap_or(0);
+        if osr("osr.armed") > 0 {
+            write!(
+                f,
+                "osr: {} armed, {} applied, {} abandoned, {} deopt(s), {} quarantined",
+                osr("osr.armed"),
+                osr("osr.applied"),
+                osr("osr.abandoned"),
+                osr("osr.deopt"),
+                osr("osr.quarantined"),
+            )?;
+            if let Some(h) = self.metrics.histograms.get("osr.park_to_resume_cycles") {
+                write!(f, ", park-to-resume ~{:.0} cycles", h.mean)?;
+            }
+            writeln!(f)?;
         }
         if self.hot.is_empty() {
             write!(f, "hot: (no samples)")
@@ -499,6 +519,40 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("health:"), "{text}");
         assert!(text.contains("1 EVT drop(s)"), "{text}");
+    }
+
+    #[test]
+    fn report_surfaces_osr_engine_counters() {
+        use crate::health::{HealthConfig, HealthMonitor};
+        use crate::osr::{OsrConfig, OsrController};
+        let out = Compiler::new(Options::protean()).compile(&host()).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+        let mon = HostMonitor::new(&os, pid, 1.0);
+        let mut health = HealthMonitor::new(HealthConfig::default());
+        // Before the engine runs, the report carries no osr line.
+        assert!(!mon.report(&os, &rt).to_string().contains("osr:"));
+        let hot_id = rt.module().function_by_name("hot").unwrap();
+        let idx = rt
+            .compile_variant(&mut os, hot_id, &pcc::NtAssignment::none())
+            .unwrap();
+        // A zero-cycle arming window forces an immediate clean abandon —
+        // enough for the armed/abandoned counters to reach the report.
+        let mut ctl = OsrController::new(OsrConfig {
+            arm_window_cycles: 0,
+            stuck_samples: 1,
+            ..OsrConfig::default()
+        });
+        ctl.arm(&mut os, &mut rt, &mut health, hot_id, idx).unwrap();
+        os.advance(1);
+        let _ = ctl.tick(&mut os, &mut rt, &mut health);
+        let report = mon.report(&os, &rt);
+        assert_eq!(report.metrics.counters["osr.armed"], 1);
+        assert_eq!(report.metrics.counters["osr.abandoned"], 1);
+        let text = report.to_string();
+        assert!(text.contains("osr: 1 armed"), "{text}");
+        assert!(text.contains("1 abandoned"), "{text}");
     }
 
     #[test]

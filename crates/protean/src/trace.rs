@@ -288,6 +288,52 @@ pub enum EventKind {
         /// Headers where no recipe could be proved or refuted.
         unproved: u64,
     },
+    /// A live OSR transfer was applied: the parked frame was rewritten
+    /// under the proved recipe and the thread resumed at the variant's
+    /// matching loop header.
+    OsrApply {
+        /// Function index.
+        func: u64,
+        /// Variant index now executing mid-loop.
+        variant: u64,
+        /// Baseline block id of the certified header.
+        header: u64,
+        /// Cycles spent parked (park → resume).
+        park_cycles: u64,
+    },
+    /// An OSR-applied variant was deoptimized back to baseline code —
+    /// either a probation regression unwound via the inverse recipe, or a
+    /// misapplied transfer restored from its frame snapshot.
+    OsrDeopt {
+        /// Function index.
+        func: u64,
+        /// Variant index abandoned.
+        variant: u64,
+        /// Baseline block id of the header involved.
+        header: u64,
+        /// Why: `probation-regression`, `transfer-misapply`, or
+        /// `inverse-refused`.
+        reason: &'static str,
+    },
+    /// An armed OSR request was abandoned without touching the frame;
+    /// call-edge switching remains the fallback.
+    OsrAbandon {
+        /// Function index.
+        func: u64,
+        /// Why: `window-expired`, `arm-stall`, `recipe-corrupt`,
+        /// `header-mismatch`, `dispatch`, or `health`.
+        reason: &'static str,
+    },
+    /// A (function, header) pair crossed the OSR fault threshold and will
+    /// never be OSR-targeted again (function-level dispatch still works).
+    OsrQuarantine {
+        /// Function index.
+        func: u64,
+        /// Baseline block id of the quarantined header.
+        header: u64,
+        /// Runtime transfer faults accumulated against the pair.
+        faults: u64,
+    },
     /// Phase-change detection reset the controller.
     PhaseChange {
         /// Which signal moved: `external` or `host`.
@@ -324,6 +370,10 @@ impl EventKind {
             EventKind::AbsintConsult { .. } => "absint-consult",
             EventKind::OsrPoints { .. } => "osr-points",
             EventKind::OsrTransfer { .. } => "osr-transfer",
+            EventKind::OsrApply { .. } => "osr-apply",
+            EventKind::OsrDeopt { .. } => "osr-deopt",
+            EventKind::OsrAbandon { .. } => "osr-abandon",
+            EventKind::OsrQuarantine { .. } => "osr-quarantine",
             EventKind::PhaseChange { .. } => "phase-change",
         }
     }
@@ -450,6 +500,40 @@ impl EventKind {
                 ("proved", U64(proved)),
                 ("refuted", U64(refuted)),
                 ("unproved", U64(unproved)),
+            ],
+            EventKind::OsrApply {
+                func,
+                variant,
+                header,
+                park_cycles,
+            } => vec![
+                ("func", U64(func)),
+                ("variant", U64(variant)),
+                ("header", U64(header)),
+                ("park_cycles", U64(park_cycles)),
+            ],
+            EventKind::OsrDeopt {
+                func,
+                variant,
+                header,
+                reason,
+            } => vec![
+                ("func", U64(func)),
+                ("variant", U64(variant)),
+                ("header", U64(header)),
+                ("reason", Str(reason)),
+            ],
+            EventKind::OsrAbandon { func, reason } => {
+                vec![("func", U64(func)), ("reason", Str(reason))]
+            }
+            EventKind::OsrQuarantine {
+                func,
+                header,
+                faults,
+            } => vec![
+                ("func", U64(func)),
+                ("header", U64(header)),
+                ("faults", U64(faults)),
             ],
             EventKind::PhaseChange { source } => {
                 vec![("source", Str(source))]
@@ -1067,6 +1151,27 @@ mod tests {
                 proved: 2,
                 refuted: 0,
                 unproved: 1,
+            },
+            EventKind::OsrApply {
+                func: 1,
+                variant: 2,
+                header: 3,
+                park_cycles: 40,
+            },
+            EventKind::OsrDeopt {
+                func: 1,
+                variant: 2,
+                header: 3,
+                reason: "probation-regression",
+            },
+            EventKind::OsrAbandon {
+                func: 1,
+                reason: "window-expired",
+            },
+            EventKind::OsrQuarantine {
+                func: 1,
+                header: 3,
+                faults: 3,
             },
             EventKind::PhaseChange { source: "external" },
         ];

@@ -556,6 +556,83 @@ impl Os {
     }
 
     // ----------------------------------------------------------------
+    // OSR park/transfer surface
+    // ----------------------------------------------------------------
+
+    /// Arms an OSR park request on `pid`: the context stops with
+    /// [`ExecStatus::OsrParked`] immediately before the `hit`-th entry
+    /// (1-based) into the block at `pc`, counted from now. Parked
+    /// contexts idle in the scheduler (no cycles consumed, never woken
+    /// by arrivals) until resumed or disarmed.
+    pub fn osr_arm(&mut self, pid: Pid, pc: u32, hit: u64) {
+        self.proc_mut(pid).ctx.osr_arm(pc, hit);
+    }
+
+    /// Cancels a pending or parked OSR request; a parked context
+    /// resumes at the park PC with its frame untouched.
+    pub fn osr_disarm(&mut self, pid: Pid) {
+        let p = self.proc_mut(pid);
+        p.ctx.osr_disarm();
+        p.osr_parked_at = None;
+    }
+
+    /// PC of `pid`'s armed OSR request, if any.
+    pub fn osr_armed(&self, pid: Pid) -> Option<u32> {
+        self.proc(pid).ctx().osr_armed()
+    }
+
+    /// Entries into the armed park PC observed since arming.
+    pub fn osr_hits(&self, pid: Pid) -> u64 {
+        self.proc(pid).ctx().osr_hits()
+    }
+
+    /// True if `pid` is stopped at an OSR park point.
+    pub fn is_osr_parked(&self, pid: Pid) -> bool {
+        self.proc(pid).ctx().is_osr_parked()
+    }
+
+    /// Cycle at which `pid` parked, if it is currently parked (the
+    /// park-to-resume latency baseline).
+    pub fn osr_parked_since(&self, pid: Pid) -> Option<u64> {
+        self.proc(pid).osr_parked_at
+    }
+
+    /// The innermost frame's register window of a parked context (what
+    /// the runtime snapshots before a transfer so a detected misapply
+    /// can be rolled back exactly).
+    pub fn osr_frame(&self, pid: Pid) -> &[i64] {
+        self.proc(pid).ctx().frame_regs()
+    }
+
+    /// Applies a transfer recipe to `pid`'s parked frame: zero-fill,
+    /// then `moves` (`dst ← src` from the old window), then `consts` —
+    /// the interpreter's transfer order. The context stays parked for
+    /// post-apply verification. Returns false if not parked.
+    pub fn osr_apply(&mut self, pid: Pid, moves: &[(PReg, PReg)], consts: &[(PReg, i64)]) -> bool {
+        self.proc_mut(pid).ctx.osr_apply(moves, consts)
+    }
+
+    /// Overwrites `pid`'s parked frame window with a saved snapshot
+    /// (misapply rollback). Returns false if not parked or the snapshot
+    /// is not exactly one frame window.
+    pub fn osr_restore(&mut self, pid: Pid, window: &[i64]) -> bool {
+        self.proc_mut(pid).ctx.osr_restore(window)
+    }
+
+    /// Resumes a parked context at `target` and disarms the request.
+    /// This is a pure context operation — no text mutation, no
+    /// generation bump — so decoded blocks stay valid, exactly like an
+    /// EVT patch. Returns false if not parked.
+    pub fn osr_resume(&mut self, pid: Pid, target: u32) -> bool {
+        let p = self.proc_mut(pid);
+        let ok = p.ctx.osr_resume(target);
+        if ok {
+            p.osr_parked_at = None;
+        }
+        ok
+    }
+
+    // ----------------------------------------------------------------
     // Control surface
     // ----------------------------------------------------------------
 
@@ -673,6 +750,7 @@ impl Os {
                     continue;
                 }
                 // Run, waking a parked server while work is pending.
+                let budget0 = budget;
                 loop {
                     if !p.ctx.is_running() {
                         if p.ctx.status() == ExecStatus::Waiting {
@@ -703,6 +781,12 @@ impl Os {
                     // Drain application metrics.
                     for (ch, v) in p.ctx.reports.drain(..) {
                         p.metrics[ch as usize % crate::METRIC_CHANNELS] += v;
+                    }
+                    if matches!(res.stop, exec::StopReason::OsrParked) && p.osr_parked_at.is_none()
+                    {
+                        // Timestamp the park at the cycle it happened
+                        // (quantum start plus cycles consumed so far).
+                        p.osr_parked_at = Some(self.now + (budget0 - budget));
                     }
                     if matches!(res.stop, exec::StopReason::Waiting) {
                         // A query completed: record its sojourn time.

@@ -65,6 +65,9 @@ pub struct Process {
     pub(crate) metrics: [i64; METRIC_CHANNELS],
     /// Cycles this process was scheduled but idle (Waiting with no work).
     pub(crate) idle_cycles: u64,
+    /// Cycle at which the context entered `OsrParked`, for
+    /// park-to-resume latency accounting. Cleared on resume/disarm.
+    pub(crate) osr_parked_at: Option<u64>,
     /// Cycles lost to napping/freezing while otherwise runnable.
     pub(crate) napped_cycles: u64,
 }
@@ -99,6 +102,7 @@ impl Process {
             latency_samples: VecDeque::new(),
             metrics: [0; METRIC_CHANNELS],
             idle_cycles: 0,
+            osr_parked_at: None,
             napped_cycles: 0,
         }
     }

@@ -173,6 +173,14 @@ pub const CATALOG: &[Workload] = &[
         kind: WorkloadKind::Batch,
         suite: "SPEC CPU2006",
     },
+    // Synthetic structural worst case for call-edge dispatch (one
+    // enormous loop per call; see `longloop`) — the live-OSR engine's
+    // motivating workload, not part of any paper figure.
+    Workload {
+        name: "long-loop",
+        kind: WorkloadKind::Batch,
+        suite: "synthetic",
+    },
 ];
 
 /// The SPEC CPU2006 applications of the overhead studies (Figures 4-6),
@@ -607,6 +615,9 @@ pub fn by_name(name: &str) -> Option<Workload> {
 /// Builds the named workload's PIR module for a machine whose LLC holds
 /// `llc_lines` cache lines. Returns `None` for unknown names.
 pub fn build(name: &str, llc_lines: u64) -> Option<Module> {
+    if name == "long-loop" {
+        return Some(crate::longloop::build_long_loop(llc_lines));
+    }
     if let Some(spec) = batch_spec(name) {
         return Some(build_batch(&spec, llc_lines));
     }

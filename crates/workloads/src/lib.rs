@@ -37,8 +37,10 @@
 
 pub mod batch;
 pub mod catalog;
+pub mod longloop;
 pub mod server;
 
 pub use batch::{build_batch, BatchSpec};
 pub use catalog::{batch_names, by_name, ls_names, Workload, WorkloadKind, CATALOG};
+pub use longloop::{build_long_loop, build_long_loop_spec, LongLoopSpec};
 pub use server::{build_server, ServerSpec};

@@ -1,0 +1,189 @@
+//! The single-long-loop batch workload: the structural worst case for
+//! call-edge (EVT) dispatch, and the motivating workload for live OSR.
+//!
+//! Every batch benchmark in [`catalog`](crate::catalog) calls its hot
+//! functions many times per second, so an EVT write takes effect at the
+//! next call edge — milliseconds away. This workload inverts that: a
+//! worker function runs **one enormous streaming loop per call** and is
+//! called only a handful of times over an entire run. Between calls the
+//! EVT redirect is invisible; a dispatched variant sits idle until the
+//! current call finally returns. A runtime that can only switch at call
+//! edges is structurally blind here — exactly the gap the live-OSR
+//! engine (`protean::osr`) closes by parking the thread at the loop
+//! header mid-call and transferring it into the variant.
+//!
+//! The worker's loop is a plain counted loop over streaming loads, so
+//! `pir::absint::certify_module` certifies its header, `pcc` embeds the
+//! certificate + self-transfer recipe in the image annex, and any
+//! NT-hint variant (shape-identical modulo locality) inherits the proved
+//! recipe at the gate.
+
+use pir::{FuncId, FunctionBuilder, Locality, Module};
+
+/// Shape of the long-loop workload.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct LongLoopSpec {
+    /// Program name (image symbols, harness output).
+    pub name: &'static str,
+    /// Streaming load sites inside the single hot loop (all NT-hint
+    /// candidates).
+    pub stream_sites: usize,
+    /// ALU instructions of pure compute per iteration.
+    pub compute_per_iter: usize,
+    /// Loop iterations per worker call. The loop body is ~10-20
+    /// instructions per site, so one call spans `iters_per_call` x that
+    /// many cycles — size it to dwarf the sampling period.
+    pub iters_per_call: i64,
+    /// Streaming buffer size as a multiple of the LLC.
+    pub stream_mult: f64,
+}
+
+impl Default for LongLoopSpec {
+    fn default() -> Self {
+        LongLoopSpec {
+            name: "long-loop",
+            stream_sites: 4,
+            compute_per_iter: 4,
+            iters_per_call: 400_000,
+            stream_mult: 4.0,
+        }
+    }
+}
+
+/// Builds the long-loop workload described by `spec` for a machine whose
+/// LLC holds `llc_lines` cache lines.
+///
+/// The module has exactly two functions: `main`, which loops forever
+/// calling `spin`, and `spin`, the multi-block worker (virtualized under
+/// the default edge policy) whose body is the single certified streaming
+/// loop.
+pub fn build_long_loop_spec(spec: &LongLoopSpec, llc_lines: u64) -> Module {
+    let mut m = Module::new(spec.name);
+    let stream_bytes = ((spec.stream_mult * llc_lines as f64) as i64).max(16) * 64;
+    let stream = m.add_global("stream", stream_bytes as u64 + 64);
+    let cursor = m.add_global("cursor", 64);
+
+    // spin: one enormous streaming loop per call.
+    let mut b = FunctionBuilder::new("spin", 0);
+    let stm = b.global_addr(stream);
+    let curg = b.global_addr(cursor);
+    let cur = b.load(curg, 0, Locality::Normal);
+    let x = b.add_imm(cur, 12345);
+    let t0 = b.fresh();
+    let a0 = b.fresh();
+    let v0 = b.fresh();
+    b.counted_loop(0, spec.iters_per_call, 1, |b, i| {
+        for s in 0..spec.stream_sites {
+            b.bin_imm_into(pir::BinOp::Add, t0, cur, s as i64 * 64);
+            b.bin_imm_into(pir::BinOp::Rem, t0, t0, stream_bytes);
+            b.bin_into(pir::BinOp::Add, a0, stm, t0);
+            b.load_into(v0, a0, 0, Locality::Normal);
+        }
+        for k in 0..spec.compute_per_iter {
+            match k % 3 {
+                0 => b.bin_imm_into(pir::BinOp::Add, x, x, 0x9e37),
+                1 => b.bin_into(pir::BinOp::Xor, x, x, i),
+                _ => b.bin_imm_into(pir::BinOp::Mul, x, x, 0x100000001b3u64 as i64),
+            }
+        }
+        b.bin_imm_into(
+            pir::BinOp::Add,
+            cur,
+            cur,
+            64 * spec.stream_sites.max(1) as i64,
+        );
+        b.bin_imm_into(pir::BinOp::Rem, cur, cur, stream_bytes);
+    });
+    b.store(curg, 0, cur);
+    b.ret(None);
+    let spin: FuncId = m.add_function(b.finish());
+
+    // main: loop forever calling spin (each call lasts a long time; the
+    // call edge is exercised rarely, so call-edge dispatch *eventually*
+    // fires — the baseline the OSR engine is measured against).
+    let mut b = FunctionBuilder::new("main", 0);
+    let header = b.new_block();
+    b.br(header);
+    b.switch_to(header);
+    b.call_void(spin, &[]);
+    b.br(header);
+    let main_id = m.add_function(b.finish());
+    m.set_entry(main_id);
+    m
+}
+
+/// [`build_long_loop_spec`] with the default spec.
+pub fn build_long_loop(llc_lines: u64) -> Module {
+    build_long_loop_spec(&LongLoopSpec::default(), llc_lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pir::verify::verify_module;
+
+    #[test]
+    fn generated_module_verifies() {
+        let m = build_long_loop(1024);
+        assert!(verify_module(&m).is_ok());
+        assert_eq!(m.functions().len(), 2);
+    }
+
+    #[test]
+    fn spin_loop_header_certifies_and_self_proves() {
+        // The whole point of the workload: its one hot loop must carry an
+        // OSR certificate and a proved self-transfer recipe, or the live
+        // engine has nowhere to park.
+        let m = build_long_loop(512);
+        let spin = m.function_by_name("spin").unwrap();
+        let certs: Vec<pir::OsrCertificate> = pir::absint::certify_module(&m)
+            .into_iter()
+            .filter_map(|d| d.certificate().cloned())
+            .collect();
+        assert!(
+            certs.iter().any(|c| c.func == spin),
+            "spin's loop header must certify"
+        );
+        let cert = certs.iter().find(|c| c.func == spin).unwrap();
+        let verdict = pir::prove_osr_transfer(&m, &m, spin, cert, &pir::EquivOptions::default());
+        assert!(
+            verdict.recipe().is_some(),
+            "self-transfer at the certified header must prove: {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn spin_is_virtualized_and_long_running() {
+        use pcc::{Compiler, Options};
+        use simos::{Os, OsConfig};
+        let m = build_long_loop(512);
+        let out = Compiler::new(Options::protean()).compile(&m).unwrap();
+        let meta = out.meta.as_ref().expect("protean image embeds meta");
+        let spin = m.function_by_name("spin").unwrap();
+        assert!(
+            meta.link.evt_cell(spin).is_some(),
+            "multi-block spin must be edge-virtualized"
+        );
+        assert!(
+            meta.osr.iter().any(|c| c.func == spin),
+            "annex must embed spin's certificate"
+        );
+        assert!(
+            meta.osr_recipes.iter().any(|r| r.func == spin),
+            "annex must embed spin's proved self-recipe"
+        );
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        os.advance(500_000);
+        assert!(
+            matches!(os.status(pid), machine::ExecStatus::Running),
+            "long-loop must keep running, status {:?}",
+            os.status(pid)
+        );
+        // The defining property: 500k cycles is nowhere near one call's
+        // length, so not a single call edge has been crossed since main
+        // entered spin.
+        let c = os.counters(pid);
+        assert!(c.instructions > 10_000);
+    }
+}

@@ -145,5 +145,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(files) = rt.export_trace(&os, "faults")? {
         println!("full trace exported to {}", files.chrome.display());
     }
+
+    // Every injectable fault kind, enumerated from `FaultKind::ALL` so
+    // this listing can never fall behind new injection sites, with the
+    // rate the chaos preset drives it at.
+    println!(
+        "\ninjectable fault kinds ({}):",
+        protean::FaultKind::ALL.len()
+    );
+    let chaos = protean::FaultPlan::chaos(0);
+    for kind in protean::FaultKind::ALL {
+        println!(
+            "  {:<17} chaos rate {:.2}",
+            format!("{kind:?}"),
+            chaos.rate(kind)
+        );
+    }
     Ok(())
 }

@@ -22,8 +22,8 @@ use pcc::{Compiler, NtAssignment, Options};
 use pir::{FunctionBuilder, Locality, Module};
 use protean::runtime::DispatchError;
 use protean::{
-    FaultKind, FaultPlan, HealthConfig, HealthMonitor, HealthState, Runtime, RuntimeConfig,
-    StressEngine,
+    FaultKind, FaultPlan, HealthConfig, HealthMonitor, HealthState, OsrConfig, OsrController,
+    OsrError, Runtime, RuntimeConfig, StressEngine,
 };
 use reqos::{ReqosConfig, ReqosController};
 use simos::{Os, OsConfig, Pid};
@@ -396,6 +396,260 @@ fn faults_degrade_the_controller_within_one_window() {
 }
 
 // ---------------------------------------------------------------------
+// Live-OSR fault kinds: abandon, quarantine, rollback
+// ---------------------------------------------------------------------
+
+/// A protean host with a certified loop, its NT variant compiled, and an
+/// OSR controller + health monitor whose ladder thresholds are pushed far
+/// out so per-header OSR quarantine (threshold 3) is the first policy to
+/// trip.
+fn osr_rig(
+    module: &Module,
+) -> (
+    Os,
+    Pid,
+    Runtime,
+    HealthMonitor,
+    OsrController,
+    pir::FuncId,
+    usize,
+) {
+    let out = Compiler::new(Options::protean()).compile(module).unwrap();
+    let mut os = Os::new(OsConfig::small());
+    let pid = os.spawn(&out.image, 0);
+    let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+    let health = HealthMonitor::new(HealthConfig {
+        degrade_threshold: 1_000,
+        detach_threshold: 2_000,
+        ..HealthConfig::default()
+    });
+    let ctl = OsrController::new(OsrConfig {
+        arm_window_cycles: 20_000,
+        stuck_samples: 1,
+        ..OsrConfig::default()
+    });
+    let func = rt
+        .module()
+        .function_by_name("work")
+        .or_else(|| rt.module().function_by_name("spin"))
+        .unwrap();
+    let nt: NtAssignment = pir::load_sites(rt.module())
+        .iter()
+        .map(|s| s.site)
+        .filter(|s| s.func == func)
+        .collect();
+    let idx = rt.compile_variant(&mut os, func, &nt).unwrap();
+    (os, pid, rt, health, ctl, func, idx)
+}
+
+/// Drives ticks until the controller reports a failure or `applied`
+/// becomes nonzero; returns the failure if one occurred.
+fn drive_osr(
+    os: &mut Os,
+    rt: &mut Runtime,
+    health: &mut HealthMonitor,
+    ctl: &mut OsrController,
+) -> Option<OsrError> {
+    for _ in 0..200 {
+        os.advance(500);
+        if let Some(e) = ctl.tick(os, rt, health) {
+            return Some(e);
+        }
+        if rt.metrics().counter("osr.applied") > 0 {
+            return None;
+        }
+    }
+    panic!("OSR neither applied nor failed within the drive budget");
+}
+
+#[test]
+fn osr_arm_stall_abandons_cleanly_and_clean_retry_applies() {
+    let seeds = chaos_seeds();
+    protean_bench::pool::map(&seeds, |_, &seed| {
+        let (mut os, pid, mut rt, mut health, mut ctl, func, idx) = osr_rig(&streaming_host());
+        // Every arm request is dropped at the machine level: the bounded
+        // window must expire and the request abandon without touching the
+        // frame, the header, or the health ladder.
+        rt.set_fault_plan(FaultPlan::seeded(seed).with_rate(FaultKind::OsrArmStall, 1.0));
+        ctl.arm(&mut os, &mut rt, &mut health, func, idx)
+            .expect("arming must succeed");
+        let err = drive_osr(&mut os, &mut rt, &mut health, &mut ctl);
+        assert!(
+            matches!(err, Some(OsrError::WindowExpired { .. })),
+            "seed {seed}: stalled arm must expire its window, got {err:?}"
+        );
+        assert_eq!(ctl.phase_name(), "idle");
+        assert_eq!(rt.metrics().counter("osr.armed"), 1);
+        assert_eq!(rt.metrics().counter("osr.abandoned"), 1);
+        assert_eq!(rt.metrics().counter("osr.applied"), 0);
+        assert!(
+            !os.is_osr_parked(pid) && os.osr_armed(pid).is_none(),
+            "seed {seed}: abandon must leave no park request behind"
+        );
+        // An abandoned window is not a transfer failure: nothing counts
+        // toward quarantine, and a clean retry goes through.
+        rt.set_fault_plan(FaultPlan::seeded(seed));
+        ctl.arm(&mut os, &mut rt, &mut health, func, idx)
+            .expect("clean re-arm must succeed");
+        let err = drive_osr(&mut os, &mut rt, &mut health, &mut ctl);
+        assert_eq!(err, None, "seed {seed}: clean retry must apply");
+        assert_eq!(rt.metrics().counter("osr.applied"), 1);
+    });
+}
+
+#[test]
+fn osr_recipe_corruption_quarantines_the_header_finally() {
+    let seeds = chaos_seeds();
+    protean_bench::pool::map(&seeds, |_, &seed| {
+        let (mut os, pid, mut rt, mut health, mut ctl, func, idx) = osr_rig(&streaming_host());
+        rt.set_fault_plan(FaultPlan::seeded(seed).with_rate(FaultKind::RecipeCorrupt, 1.0));
+        let threshold = health.config().osr_quarantine_threshold;
+        let mut header = None;
+        for attempt in 1..=threshold {
+            ctl.arm(&mut os, &mut rt, &mut health, func, idx)
+                .expect("header not yet quarantined");
+            let err = drive_osr(&mut os, &mut rt, &mut health, &mut ctl);
+            let Some(OsrError::RecipeCorrupt { .. }) = err else {
+                panic!("seed {seed}: expected a checksum refusal, got {err:?}");
+            };
+            let h = *header.get_or_insert_with(|| {
+                rt.meta()
+                    .osr
+                    .iter()
+                    .find(|c| c.func == func)
+                    .map(|c| c.header)
+                    .unwrap()
+            });
+            assert_eq!(health.osr_fault_count(func, h), attempt);
+        }
+        let header = header.unwrap();
+        // Quarantine is final: the header is refused at arm time, never
+        // re-armed, and the counter records the trip exactly once.
+        assert!(health.osr_quarantined(func, header));
+        assert_eq!(rt.metrics().counter("osr.quarantined"), 1);
+        assert_eq!(rt.metrics().counter("osr.applied"), 0);
+        assert!(matches!(
+            ctl.arm(&mut os, &mut rt, &mut health, func, idx),
+            Err(OsrError::AllHeadersQuarantined { .. })
+        ));
+        assert!(
+            os.osr_armed(pid).is_none(),
+            "seed {seed}: a quarantined header must never be re-armed"
+        );
+        // Function-level (call-edge) dispatch is an independent mechanism
+        // and must keep working.
+        rt.set_fault_plan(FaultPlan::seeded(seed));
+        rt.dispatch(&mut os, idx)
+            .expect("call-edge dispatch survives OSR quarantine");
+        assert_eq!(
+            rt.current_target(&os, func),
+            Some(rt.variants()[idx].addr),
+            "seed {seed}: EVT must point at the variant"
+        );
+    });
+}
+
+/// Terminating single-loop program with observable output, for
+/// bit-identity checks across an OSR rollback: `spin` folds a streaming
+/// checksum over 2000 iterations and stores cursor + checksum.
+fn terminating_loop_program() -> Module {
+    let mut m = Module::new("osr-rollback");
+    let buf = m.add_global("buf", 1 << 12);
+    let cur_g = m.add_global("cursor", 64);
+    let mut b = FunctionBuilder::new("spin", 0);
+    let base = b.global_addr(buf);
+    let curg = b.global_addr(cur_g);
+    let cur = b.load(curg, 0, Locality::Normal);
+    let x = b.add_imm(cur, 777);
+    let t0 = b.fresh();
+    let a0 = b.fresh();
+    let v0 = b.fresh();
+    b.counted_loop(0, 2_000, 1, |b, i| {
+        b.bin_imm_into(pir::BinOp::Rem, t0, cur, 1 << 12);
+        b.bin_into(pir::BinOp::Add, a0, base, t0);
+        b.load_into(v0, a0, 0, Locality::Normal);
+        b.bin_into(pir::BinOp::Xor, x, x, v0);
+        b.bin_into(pir::BinOp::Xor, x, x, i);
+        b.bin_imm_into(pir::BinOp::Add, cur, cur, 64);
+    });
+    b.store(curg, 0, cur);
+    b.store(curg, 8, x);
+    b.ret(None);
+    let spin = m.add_function(b.finish());
+    let mut mb = FunctionBuilder::new("main", 0);
+    mb.call_void(spin, &[]);
+    mb.ret(None);
+    let mid = m.add_function(mb.finish());
+    m.set_entry(mid);
+    m
+}
+
+#[test]
+fn osr_transfer_misapply_rolls_back_bit_identically() {
+    // Ground truth: the program run to completion, never attached.
+    let module = terminating_loop_program();
+    let image = Compiler::new(Options::protean())
+        .compile(&module)
+        .unwrap()
+        .image;
+    let mut os_a = Os::new(OsConfig::small());
+    let pid_a = os_a.spawn(&image, 0);
+    run_to_halt(&mut os_a, pid_a);
+    let baseline = data_snapshot(&os_a, pid_a);
+
+    let seeds = chaos_seeds();
+    protean_bench::pool::map(&seeds, |_, &seed| {
+        let (mut os, pid, mut rt, mut health, mut ctl, func, idx) =
+            osr_rig(&terminating_loop_program());
+        rt.set_fault_plan(FaultPlan::seeded(seed).with_rate(FaultKind::TransferMisapply, 1.0));
+        ctl.arm(&mut os, &mut rt, &mut health, func, idx)
+            .expect("arming must succeed");
+        let err = drive_osr(&mut os, &mut rt, &mut health, &mut ctl);
+        assert!(
+            matches!(err, Some(OsrError::TransferMisapply { .. })),
+            "seed {seed}: the perturbed frame must fail read-back, got {err:?}"
+        );
+        // The rollback restored the snapshot, resumed in baseline code,
+        // and flipped the EVT back — the variant never executed.
+        assert_eq!(rt.metrics().counter("osr.deopt"), 1);
+        assert_eq!(rt.metrics().counter("osr.applied"), 0);
+        let original = rt.link().func_addrs[func.index()];
+        assert_eq!(
+            rt.current_target(&os, func),
+            Some(original),
+            "seed {seed}: rollback must restore the original EVT target"
+        );
+        run_to_halt(&mut os, pid);
+        assert_eq!(
+            data_snapshot(&os, pid),
+            baseline,
+            "seed {seed}: a rolled-back transfer must be observably absent"
+        );
+    });
+}
+
+// ---------------------------------------------------------------------
+// Fault-kind coverage: every kind is enumerable and drawable
+// ---------------------------------------------------------------------
+
+#[test]
+fn chaos_preset_covers_every_fault_kind() {
+    // Iterating `FaultKind::ALL` (instead of hardcoding the kind count)
+    // keeps this green as injection sites are added: a kind missing from
+    // the chaos preset would silently drop coverage.
+    for kind in FaultKind::ALL {
+        assert!(
+            FaultPlan::chaos(0).rate(kind) > 0.0,
+            "chaos preset must exercise {kind:?}"
+        );
+        let mut certain = FaultPlan::seeded(5).with_rate(kind, 1.0);
+        assert!(certain.draw(kind), "rate-1.0 {kind:?} must always draw");
+        let mut never = FaultPlan::seeded(5);
+        assert!(!never.draw(kind), "rate-0 {kind:?} must never draw");
+    }
+}
+
+// ---------------------------------------------------------------------
 // Error plumbing: every failure composes with `?`
 // ---------------------------------------------------------------------
 
@@ -404,6 +658,7 @@ fn runtime_errors_compose_as_std_errors() {
     fn assert_std_error<E: std::error::Error>() {}
     assert_std_error::<protean::AttachError>();
     assert_std_error::<DispatchError>();
+    assert_std_error::<OsrError>();
     assert_std_error::<pcc::CompileError>();
     assert_std_error::<pcc::annex::MetaError>();
 
@@ -437,5 +692,26 @@ fn runtime_errors_compose_as_std_errors() {
     assert!(
         err.to_string().contains("compilation"),
         "dispatch error must explain itself: {err}"
+    );
+
+    // An OSR refusal propagates the same way.
+    fn arm_while_disabled() -> Result<(), Box<dyn std::error::Error>> {
+        let out = Compiler::new(Options::protean()).compile(&streaming_host())?;
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1))?;
+        let work = rt.module().function_by_name("work").unwrap();
+        let mut health = HealthMonitor::new(HealthConfig::default());
+        let mut ctl = OsrController::new(OsrConfig {
+            enabled: false,
+            ..OsrConfig::default()
+        });
+        ctl.arm(&mut os, &mut rt, &mut health, work, 0)?;
+        Ok(())
+    }
+    let err = arm_while_disabled().expect_err("disabled controllers refuse to arm");
+    assert!(
+        err.to_string().contains("disabled"),
+        "OSR error must explain itself: {err}"
     );
 }
