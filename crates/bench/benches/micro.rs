@@ -59,19 +59,67 @@ fn bench_hierarchy(c: &mut Criterion) {
 }
 
 fn bench_interpreter(c: &mut Criterion) {
-    let llc = 98304;
-    let m = workloads::catalog::build("milc", llc).expect("workload");
-    let img = Compiler::new(Options::plain())
-        .compile(&m)
-        .expect("compile")
-        .image;
+    // The dispatch-path headline window, on the experiment machine (the
+    // config every real sweep runs; `OsConfig::default`'s paper-scale
+    // cache metadata only measures host cache misses on tag arrays).
+    // Decoded-tier mode (the default) is the tracked number; the
+    // `_fallback` sibling forces the always-decode path for the A/B.
+    let cfg = protean_bench::experiment_os();
+    let img = protean_bench::compile_plain("milc", &cfg);
     let mut group = c.benchmark_group("interpreter");
     group.bench_function("advance_100k_cycles", |b| {
-        let mut os = Os::new(OsConfig::default());
+        let mut os = Os::new(cfg.clone());
         os.spawn(&img, 0);
         b.iter(|| os.advance(100_000));
     });
+    group.bench_function("advance_100k_cycles_fallback", |b| {
+        let mut os = Os::new(cfg.clone());
+        let pid = os.spawn(&img, 0);
+        os.set_decode_fallback(pid, true);
+        b.iter(|| os.advance(100_000));
+    });
     group.finish();
+    // Same-session A/B: advance two identical processes (one per decode
+    // mode) in strictly alternating windows, so host frequency drift
+    // lands on both sides equally and cancels out of the ratio. Both
+    // simulations are bit-identical; only the host wall-clock differs.
+    let mk = |fallback: bool| {
+        let mut os = Os::new(cfg.clone());
+        let pid = os.spawn(&img, 0);
+        os.set_decode_fallback(pid, fallback);
+        for _ in 0..50 {
+            os.advance(100_000); // warm simulated caches + block cache
+        }
+        os
+    };
+    let mut os_dec = mk(false);
+    let mut os_fb = mk(true);
+    let windows = 1500u32;
+    let (mut wall_dec, mut wall_fb) = (0.0f64, 0.0f64);
+    for _ in 0..windows {
+        let t = std::time::Instant::now();
+        os_dec.advance(100_000);
+        wall_dec += t.elapsed().as_secs_f64();
+        let t = std::time::Instant::now();
+        os_fb.advance(100_000);
+        wall_fb += t.elapsed().as_secs_f64();
+    }
+    let dec_us = wall_dec * 1e6 / f64::from(windows);
+    let fb_us = wall_fb * 1e6 / f64::from(windows);
+    let speedup = fb_us / dec_us;
+    println!(
+        "interpreter/advance_100k_cycles A/B (same session, {windows} alternating windows): \
+         decoded {dec_us:.1} us vs fallback {fb_us:.1} us = {speedup:.2}x"
+    );
+    if let Some(dir) = protean_bench::report::report_dir() {
+        let entry = Json::obj([
+            ("decoded_us_per_window", Json::F64(dec_us)),
+            ("fallback_us_per_window", Json::F64(fb_us)),
+            ("speedup", Json::F64(speedup)),
+        ]);
+        report::update_json_map(&dir.join("BENCH_interp.json"), "advance_100k_ab", &entry)
+            .expect("write BENCH_interp.json");
+    }
 }
 
 /// Long-window interpreter throughput in M instr/s, the headline number
@@ -102,6 +150,49 @@ fn bench_interp_throughput(_c: &mut Criterion) {
             ]);
             report::update_json_map(&dir.join("BENCH_interp.json"), workload, &entry)
                 .expect("write BENCH_interp.json");
+        }
+    }
+}
+
+/// Decoded-tier A/B: the same throughput window with the decoded-block
+/// cache on vs the forced always-decode fallback. The ratio is the
+/// speedup the tier buys on this host; it lands in `BENCH_interp.json`
+/// under `decoded_tier@<workload>` so the trajectory survives later
+/// baseline raises.
+fn bench_decoded_tier(_c: &mut Criterion) {
+    let scale = protean_bench::Scale::from_env();
+    // A/B windows at a fraction of the headline budget: two runs per
+    // workload, and the ratio converges fast. Exactly one rep per mode:
+    // best-of-N could pick different (phase-shifted) windows for the two
+    // modes, which would break the retired-instruction identity check.
+    let cycles = protean_bench::interp_cycles(scale) / 4;
+    let reps = 1;
+    println!("interp-decoded-tier ({cycles} simulated cycles per window, best of {reps})");
+    for workload in ["milc", "libquantum", "bst"] {
+        let on = protean_bench::interp_throughput_mode(workload, cycles, reps, false);
+        let off = protean_bench::interp_throughput_mode(workload, cycles, reps, true);
+        assert_eq!(
+            on.insts, off.insts,
+            "decoded tier changed simulated results for {workload}"
+        );
+        let speedup = on.m_instr_per_s / off.m_instr_per_s;
+        println!(
+            "  {workload:<12} decoded {:>7.1} vs fallback {:>7.1} M instr/s  ({speedup:.2}x)",
+            on.m_instr_per_s, off.m_instr_per_s
+        );
+        if let Some(dir) = protean_bench::report::report_dir() {
+            let entry = Json::obj([
+                ("decoded_m_instr_per_s", Json::F64(on.m_instr_per_s)),
+                ("fallback_m_instr_per_s", Json::F64(off.m_instr_per_s)),
+                ("speedup", Json::F64(speedup)),
+                ("insts", Json::U64(on.insts)),
+            ]);
+            report::update_json_map(
+                &dir.join("BENCH_interp.json"),
+                &format!("decoded_tier@{workload}"),
+                &entry,
+            )
+            .expect("write BENCH_interp.json");
         }
     }
 }
@@ -486,6 +577,7 @@ criterion_group!(
     bench_hierarchy,
     bench_interpreter,
     bench_interp_throughput,
+    bench_decoded_tier,
     bench_runtime_compiler,
     bench_evt_patch,
     bench_analysis,

@@ -90,10 +90,25 @@ pub fn interp_cycles(scale: Scale) -> u64 {
 /// catalog workload. Runs `reps` timed windows after a warmup and keeps
 /// the fastest, which rejects host scheduling noise.
 pub fn interp_throughput(workload: &str, cycles: u64, reps: usize) -> InterpMeasurement {
+    interp_throughput_mode(workload, cycles, reps, false)
+}
+
+/// [`interp_throughput`] with an explicit decode mode: `fallback = true`
+/// forces the interpreter's always-decode path (no block caching, no
+/// superop fusion), the A-side of the decoded-tier A/B comparison.
+/// Simulated results are bit-identical in either mode; only the host
+/// wall-clock differs.
+pub fn interp_throughput_mode(
+    workload: &str,
+    cycles: u64,
+    reps: usize,
+    fallback: bool,
+) -> InterpMeasurement {
     let cfg = experiment_os();
     let img = compile_plain(workload, &cfg);
     let mut os = Os::new(cfg);
     let pid = os.spawn(&img, 0);
+    os.set_decode_fallback(pid, fallback);
     os.advance(cycles / 8); // warm caches and the block cache
     let mut best: Option<InterpMeasurement> = None;
     for _ in 0..reps.max(1) {
@@ -117,6 +132,44 @@ pub fn interp_throughput(workload: &str, cycles: u64, reps: usize) -> InterpMeas
         }
     }
     best.expect("at least one rep")
+}
+
+/// Workloads of the interp micro bench matrix (`interp_matrix` binary
+/// and the CI determinism cross-check).
+pub const MATRIX_WORKLOADS: &[&str] = &["milc", "libquantum", "bst"];
+
+/// Runs the (workload × decode-mode) interp matrix over the experiment
+/// pool and renders one deterministic CSV row per cell: simulated
+/// counters plus decode-cache stats, no wall-clock anywhere. Rows are
+/// bit-identical for any `PROTEAN_JOBS` (pool results come back in input
+/// order) and for either decode mode's simulated counters — CI diffs a
+/// one-worker run against an N-worker run to pin both properties.
+pub fn interp_matrix_rows(cycles: u64) -> Vec<String> {
+    let cells: Vec<(&str, bool)> = MATRIX_WORKLOADS
+        .iter()
+        .flat_map(|&w| [(w, false), (w, true)])
+        .collect();
+    pool::map(&cells, |_, &(workload, fallback)| {
+        let cfg = experiment_os();
+        let img = compile_plain(workload, &cfg);
+        let mut os = Os::new(cfg);
+        let pid = os.spawn(&img, 0);
+        os.set_decode_fallback(pid, fallback);
+        os.advance(cycles);
+        let c = os.counters(pid);
+        let d = os.decode_stats(pid);
+        format!(
+            "{workload},{mode},insts={},cycles={},branches={},llc_misses={},decoded_hits={},decoded_misses={},fused_ops={}",
+            c.instructions,
+            c.cycles,
+            c.branches,
+            c.llc_misses,
+            d.hits,
+            d.misses,
+            d.fused_ops,
+            mode = if fallback { "fallback" } else { "decoded" },
+        )
+    })
 }
 
 /// Measures a pure-arithmetic host calibration loop (millions of

@@ -50,24 +50,64 @@ impl CacheStats {
 
 const INVALID: u64 = u64::MAX;
 
+/// Replicates a byte into all eight lanes of a u64.
+const LANES: u64 = 0x0101_0101_0101_0101;
+/// High bit of each byte lane.
+const HIGH: u64 = 0x8080_8080_8080_8080;
+
+/// SWAR byte-equality: returns a mask with bit `0x80` set in every byte
+/// lane where `word` equals `target` (the classic zero-byte trick over
+/// `word ^ target`).
+#[inline]
+fn byte_eq_mask(word: u64, target: u64) -> u64 {
+    let x = word ^ target;
+    x.wrapping_sub(LANES) & !x & HIGH
+}
+
 /// One set-associative cache level, keyed by line address.
 ///
 /// The cache stores *line addresses* (byte address divided by line size);
 /// the hierarchy performs that division once.
+///
+/// The way scan is word-parallel: alongside the full tags, each way
+/// keeps an 8-bit *partial tag* (the address bits just above the set
+/// index) packed eight ways per u64. A lookup scans one u64 per eight
+/// ways with SWAR byte-equality and verifies the (rare) candidate lanes
+/// against the full tags, so partial collisions and padding lanes can
+/// never fake a hit.
+///
+/// All per-set state lives in one contiguous block of `meta` —
+/// `[partial words | tags row | stamps row]` — so one set visit touches
+/// one or two host cache lines instead of three scattered arrays. On the
+/// simulator's demand path the set visit is the unit of work, and the
+/// host-side locality of that block is what the layout buys.
 #[derive(Clone, Debug)]
 pub struct Cache {
     sets: usize,
     ways: usize,
     /// `sets - 1`, precomputed so indexing is a single mask.
     set_mask: usize,
-    /// `tags[set * ways + way]`: line address or `INVALID`.
-    tags: Vec<u64>,
-    /// Monotonic per-entry timestamps implementing true LRU.
-    stamps: Vec<u64>,
+    /// `log2(sets)`: partial tags are taken just above the set-index bits
+    /// so lines of one set differ in their partials as early as possible.
+    set_bits: u32,
+    /// u64 words of packed partial tags per set (`ways.div_ceil(8)`).
+    pwords: usize,
+    /// u64 words per set block: `pwords + 2 * ways`.
+    stride: usize,
+    /// Per-set metadata blocks. Set `s` occupies
+    /// `meta[s * stride .. (s + 1) * stride]`: first `pwords` words of
+    /// packed partial tags (0xFF per invalid or padding lane), then the
+    /// `ways` full tags (line address or `INVALID`), then the `ways` LRU
+    /// stamps. A tag at `meta[i]` has its stamp at `meta[i + ways]`.
+    meta: Vec<u64>,
+    /// Number of `INVALID` entries across all sets. Zero (the steady
+    /// state once every way has filled) lets fills skip the invalid-way
+    /// scan outright.
+    invalid_count: usize,
     tick: u64,
-    /// MRU short-circuit: the line and slot of the last hit. The slot is
-    /// re-verified against `tags` on use, so intervening fills and
-    /// invalidations can never fake a hit.
+    /// MRU short-circuit: the line and tag index of the last hit. The
+    /// slot is re-verified against the tag on use, so intervening fills
+    /// and invalidations can never fake a hit.
     last_line: u64,
     last_slot: usize,
     stats: CacheStats,
@@ -82,12 +122,26 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.sets.is_power_of_two(), "sets must be a power of two");
         assert!(config.ways > 0, "ways must be nonzero");
+        let pwords = config.ways.div_ceil(8);
+        let stride = pwords + 2 * config.ways;
+        let mut meta = vec![0u64; config.sets * stride];
+        for set in 0..config.sets {
+            let sb = set * stride;
+            // 0xFF in every partial lane: the partial of INVALID,
+            // including the padding lanes past `ways`.
+            meta[sb..sb + pwords].fill(u64::MAX);
+            meta[sb + pwords..sb + pwords + config.ways].fill(INVALID);
+            // Stamps stay zero.
+        }
         Cache {
             sets: config.sets,
             ways: config.ways,
             set_mask: config.sets - 1,
-            tags: vec![INVALID; config.sets * config.ways],
-            stamps: vec![0; config.sets * config.ways],
+            set_bits: config.sets.trailing_zeros(),
+            pwords,
+            stride,
+            meta,
+            invalid_count: config.sets * config.ways,
             tick: 0,
             last_line: INVALID,
             last_slot: 0,
@@ -100,6 +154,50 @@ impl Cache {
         (line as usize) & self.set_mask
     }
 
+    /// Index of the first *tag* word of `set` within `meta` (the set's
+    /// partial words sit at `tag_base - pwords`, its stamps at
+    /// `tag_base + ways`).
+    #[inline]
+    fn tag_base(&self, set: usize) -> usize {
+        set * self.stride + self.pwords
+    }
+
+    /// The 8-bit partial tag of a line: the bits just above the set index.
+    #[inline]
+    fn partial_of(&self, line: u64) -> u8 {
+        (line >> self.set_bits) as u8
+    }
+
+    /// Writes the partial tag for `(set, way)` to match `tag`.
+    #[inline]
+    fn store_partial(&mut self, set: usize, way: usize, tag: u64) {
+        let word = set * self.stride + way / 8;
+        let shift = (way % 8) * 8;
+        self.meta[word] &= !(0xFFu64 << shift);
+        self.meta[word] |= u64::from(self.partial_of(tag)) << shift;
+    }
+
+    /// Word-parallel way scan: the way holding `line` in `set`, if any.
+    /// Candidate lanes from the SWAR partial match are verified against
+    /// the full tags, so collisions and padding lanes never fake a hit.
+    #[inline]
+    fn find_way(&self, set: usize, line: u64) -> Option<usize> {
+        let sb = set * self.stride;
+        let base = sb + self.pwords;
+        let target = u64::from(self.partial_of(line)) * LANES;
+        for (w, &word) in self.meta[sb..sb + self.pwords].iter().enumerate() {
+            let mut m = byte_eq_mask(word, target);
+            while m != 0 {
+                let way = w * 8 + (m.trailing_zeros() as usize >> 3);
+                if way < self.ways && self.meta[base + way] == line {
+                    return Some(way);
+                }
+                m &= m - 1;
+            }
+        }
+        None
+    }
+
     /// Looks up a line; on hit promotes it to MRU. Returns whether it hit.
     #[inline]
     pub fn lookup(&mut self, line: u64) -> bool {
@@ -107,30 +205,127 @@ impl Cache {
         // MRU short-circuit: repeated hits on the same line (the common
         // case for L1 under straight-line code) skip the way scan. The
         // re-stamp keeps true-LRU state exactly as the scan would.
-        if line == self.last_line && self.tags[self.last_slot] == line {
-            self.stamps[self.last_slot] = self.tick;
+        if line == self.last_line && self.meta[self.last_slot] == line {
+            self.meta[self.last_slot + self.ways] = self.tick;
             self.stats.hits += 1;
             return true;
         }
-        let base = self.set_of(line) * self.ways;
-        // Slice scan: one bounds check for the whole set, and a shape the
-        // compiler can vectorize for wide (LLC) sets.
-        let tags = &self.tags[base..base + self.ways];
-        if let Some(way) = tags.iter().position(|&t| t == line) {
-            self.stamps[base + way] = self.tick;
+        let set = self.set_of(line);
+        // Word-parallel scan: one u64 of packed partial tags covers eight
+        // ways, so even a wide (LLC) set is a couple of word compares.
+        if let Some(way) = self.find_way(set, line) {
+            let slot = self.tag_base(set) + way;
+            self.meta[slot + self.ways] = self.tick;
             self.stats.hits += 1;
             self.last_line = line;
-            self.last_slot = base + way;
+            self.last_slot = slot;
             return true;
         }
         self.stats.misses += 1;
         false
     }
 
+    /// Fused miss-and-fill: exactly [`Self::lookup`] followed, on a miss,
+    /// by [`Self::fill`]`(line, pos)` — in one set visit instead of two.
+    /// Returns whether the lookup hit. Ticks, stamps, statistics, victim
+    /// choice, and the MRU slot all evolve bit-identically to the
+    /// unfused pair; only the duplicate way scan is gone. The hierarchy
+    /// uses this on its demand path, where every miss is followed by a
+    /// fill of the same line.
+    #[inline]
+    pub fn lookup_or_fill(&mut self, line: u64, pos: InsertPos) -> bool {
+        self.tick += 1;
+        if line == self.last_line && self.meta[self.last_slot] == line {
+            self.meta[self.last_slot + self.ways] = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        let set = self.set_of(line);
+        if let Some(way) = self.find_way(set, line) {
+            let slot = self.tag_base(set) + way;
+            self.meta[slot + self.ways] = self.tick;
+            self.stats.hits += 1;
+            self.last_line = line;
+            self.last_slot = slot;
+            return true;
+        }
+        self.stats.misses += 1;
+        // The fill half: a second tick (as the standalone call would
+        // take), then victim choice and write. `line` is known absent, so
+        // the present-line re-stamp case cannot arise.
+        self.tick += 1;
+        self.stats.fills += 1;
+        let stamp = match pos {
+            InsertPos::Mru => self.tick,
+            InsertPos::Lru => 0,
+        };
+        let base = self.tag_base(set);
+        let victim = self
+            .first_invalid_way(set)
+            .unwrap_or_else(|| self.lru_way(base));
+        let slot = base + victim;
+        let evicted = self.meta[slot];
+        self.meta[slot] = line;
+        self.store_partial(set, victim, line);
+        self.meta[slot + self.ways] = stamp;
+        self.last_line = line;
+        self.last_slot = slot;
+        if evicted != INVALID {
+            self.stats.evictions += 1;
+        } else {
+            self.invalid_count -= 1;
+        }
+        false
+    }
+
+    /// The LRU victim of the set whose tag row starts at `base`: the
+    /// lowest-indexed way with the smallest stamp, exactly as a linear
+    /// scan with a `<` comparison would pick it. The selects compile to
+    /// conditional moves — stamp orderings are effectively random, so a
+    /// data-dependent branch here would mispredict constantly.
+    #[inline]
+    fn lru_way(&self, base: usize) -> usize {
+        let stamps = &self.meta[base + self.ways..base + 2 * self.ways];
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for (way, &when) in stamps.iter().enumerate() {
+            let take = when < best;
+            victim = if take { way } else { victim };
+            best = if take { when } else { best };
+        }
+        victim
+    }
+
     /// Checks presence without updating LRU state or statistics.
     pub fn probe(&self, line: u64) -> bool {
-        let base = self.set_of(line) * self.ways;
-        self.tags[base..base + self.ways].contains(&line)
+        let base = self.tag_base(self.set_of(line));
+        self.meta[base..base + self.ways].contains(&line)
+    }
+
+    /// First way whose full tag is `INVALID`, found through the partial
+    /// words: invalid ways hold partial 0xFF, so only 0xFF lanes need a
+    /// full-tag verify (a valid line whose partial happens to be 0xFF is
+    /// rejected there). Scan order is ascending way index, so the choice
+    /// matches a linear scan of `tags` exactly.
+    #[inline]
+    fn first_invalid_way(&self, set: usize) -> Option<usize> {
+        if self.invalid_count == 0 {
+            // Steady state: every way everywhere is valid.
+            return None;
+        }
+        let sb = set * self.stride;
+        let base = sb + self.pwords;
+        for (w, &word) in self.meta[sb..sb + self.pwords].iter().enumerate() {
+            let mut m = byte_eq_mask(word, u64::MAX);
+            while m != 0 {
+                let way = w * 8 + (m.trailing_zeros() as usize >> 3);
+                if way < self.ways && self.meta[base + way] == INVALID {
+                    return Some(way);
+                }
+                m &= m - 1;
+            }
+        }
+        None
     }
 
     /// Fills a line at the given insertion position, returning the evicted
@@ -138,8 +333,17 @@ impl Cache {
     ///
     /// Filling a line that is already present only adjusts its LRU
     /// position.
+    ///
+    /// The scan never reads the full `tags` row: presence and invalid-way
+    /// detection go through the packed partials (full-tag verified per
+    /// candidate lane), and the LRU victim comes from `stamps` alone —
+    /// one hot partial word plus the stamp row instead of two full-width
+    /// rows. The victim choice is identical to the classic one-pass
+    /// tags+stamps formulation: first invalid way if any, else the
+    /// lowest-indexed way with the smallest stamp.
     pub fn fill(&mut self, line: u64, pos: InsertPos) -> Option<u64> {
-        let base = self.set_of(line) * self.ways;
+        let set = self.set_of(line);
+        let base = self.tag_base(set);
         self.tick += 1;
         self.stats.fills += 1;
         let stamp = match pos {
@@ -147,42 +351,25 @@ impl Cache {
             // LRU insert: older than everything currently in the set.
             InsertPos::Lru => 0,
         };
-        // One pass over the set: detect an already-present line, remember
-        // the first invalid way, and track the smallest stamp among valid
-        // ways. The victim choice matches the two-pass formulation exactly
-        // (any invalid way beats every valid one).
-        let mut invalid_way = usize::MAX;
-        let mut victim = 0;
-        let mut best = u64::MAX;
-        let tags = &self.tags[base..base + self.ways];
-        let stamps = &self.stamps[base..base + self.ways];
-        for (way, (&tag, &when)) in tags.iter().zip(stamps).enumerate() {
-            if tag == line {
-                // Already present: re-stamp only.
-                self.stamps[base + way] = stamp;
-                self.last_line = line;
-                self.last_slot = base + way;
-                return None;
-            }
-            if tag == INVALID {
-                if invalid_way == usize::MAX {
-                    invalid_way = way;
-                }
-            } else if when < best {
-                best = when;
-                victim = way;
-            }
+        if let Some(way) = self.find_way(set, line) {
+            // Already present: re-stamp only.
+            self.meta[base + way + self.ways] = stamp;
+            self.last_line = line;
+            self.last_slot = base + way;
+            return None;
         }
-        if invalid_way != usize::MAX {
-            victim = invalid_way;
-        }
+        let victim = self
+            .first_invalid_way(set)
+            .unwrap_or_else(|| self.lru_way(base));
         let slot = base + victim;
-        let evicted = self.tags[slot];
-        self.tags[slot] = line;
-        self.stamps[slot] = stamp;
+        let evicted = self.meta[slot];
+        self.meta[slot] = line;
+        self.store_partial(set, victim, line);
+        self.meta[slot + self.ways] = stamp;
         self.last_line = line;
         self.last_slot = slot;
         if evicted == INVALID {
+            self.invalid_count -= 1;
             None
         } else {
             self.stats.evictions += 1;
@@ -193,10 +380,12 @@ impl Cache {
     /// Invalidates a line if present; returns whether it was present.
     pub fn invalidate(&mut self, line: u64) -> bool {
         let set = self.set_of(line);
-        let base = set * self.ways;
+        let base = self.tag_base(set);
         for way in 0..self.ways {
-            if self.tags[base + way] == line {
-                self.tags[base + way] = INVALID;
+            if self.meta[base + way] == line {
+                self.meta[base + way] = INVALID;
+                self.store_partial(set, way, INVALID);
+                self.invalid_count += 1;
                 return true;
             }
         }
@@ -206,10 +395,15 @@ impl Cache {
     /// Counts valid lines whose address satisfies `pred` — used to measure
     /// per-process LLC occupancy (the quantity non-temporal hints reduce).
     pub fn occupancy_where(&self, pred: impl Fn(u64) -> bool) -> usize {
-        self.tags
-            .iter()
-            .filter(|&&t| t != INVALID && pred(t))
-            .count()
+        (0..self.sets)
+            .map(|set| {
+                let base = self.tag_base(set);
+                self.meta[base..base + self.ways]
+                    .iter()
+                    .filter(|&&t| t != INVALID && pred(t))
+                    .count()
+            })
+            .sum()
     }
 
     /// Total valid lines.
@@ -364,6 +558,66 @@ mod tests {
         assert!((c.stats().hit_rate() - 0.75).abs() < 1e-12);
         c.reset_stats();
         assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn partial_tag_collisions_verify_full_tags() {
+        // sets = 2 ⇒ partials are bits 1..9. Lines 2, 514, and 1026 all
+        // land in set 0 with partial 0x01 (resp. 2>>1 = 1, 514>>1 = 257,
+        // 1026>>1 = 513 — all 1 mod 256): the SWAR scan flags every lane,
+        // and only the full-tag verify may decide.
+        let mut c = Cache::new(CacheConfig {
+            sets: 2,
+            ways: 4,
+            hit_latency: 0,
+        });
+        c.fill(2, InsertPos::Mru);
+        c.fill(514, InsertPos::Mru);
+        assert!(c.lookup(2));
+        assert!(c.lookup(514));
+        assert!(!c.lookup(1026), "partial collision must not fake a hit");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn padding_lanes_never_fake_a_hit() {
+        // ways = 3 leaves five padding lanes per partial word holding
+        // 0xFF. Line 0x1FE sits in set 0 with partial 0xFF — it matches
+        // every padding lane and every invalid way, and must still miss.
+        let mut c = Cache::new(CacheConfig {
+            sets: 2,
+            ways: 3,
+            hit_latency: 0,
+        });
+        assert!(!c.lookup(0x1FE));
+        c.fill(0x1FE, InsertPos::Mru);
+        assert!(c.lookup(0x1FE));
+        // Fill the set; the 0xFF-partial line stays findable wherever the
+        // LRU put it, and an absent 0xFF-partial line still misses.
+        c.fill(2, InsertPos::Mru);
+        c.fill(4, InsertPos::Mru);
+        assert!(c.lookup(0x1FE));
+        assert!(!c.lookup(0x1FE + 512));
+    }
+
+    #[test]
+    fn wide_set_scan_finds_every_way() {
+        // 16 ways span two partial words; every resident line must be
+        // found regardless of which word its way lands in.
+        let mut c = Cache::new(CacheConfig {
+            sets: 2,
+            ways: 16,
+            hit_latency: 0,
+        });
+        let lines: Vec<u64> = (0..16u64).map(|i| i * 2).collect();
+        for &l in &lines {
+            c.fill(l, InsertPos::Mru);
+        }
+        for &l in &lines {
+            assert!(c.lookup(l), "line {l} lost in wide set");
+        }
+        assert_eq!(c.occupancy(), 16);
     }
 
     #[test]

@@ -8,25 +8,44 @@
 //! the process is between quanta — exactly the asynchrony the paper's
 //! mechanism relies on.
 //!
-//! # Block dispatch
+//! # Decoded-block dispatch
 //!
-//! The interpreter executes *decoded basic blocks*, not single ops: a
+//! The interpreter executes *pre-decoded basic blocks*, not single ops: a
 //! [`BlockCache`] (owned by the caller, alongside text) maps every entry
-//! PC to the length of the straight-line run starting there, ending at the
-//! first control-flow op. Straight-line execution then pays one bounds
-//! check per block instead of per instruction (the per-instruction budget
-//! gate stays, so quantum boundaries are identical to pre-block dispatch),
-//! and the hot counters (`instructions`, `branches`, `cycles`) accumulate
-//! in locals that are flushed once per [`run`] call.
+//! PC to a `Vec<DecodedOp>` decoded once on first dispatch. A decoded op
+//! is operand-resolved — register numbers extracted, immediates widened,
+//! call arguments copied out of the text op's heap `Vec` into an inline
+//! array — so replay never touches the `Op` encoding again. During decode,
+//! dominant adjacent pairs (compare+branch, load+ALU) are fused into
+//! superops, halving dispatch iterations on loop-shaped code. A fused pair
+//! still charges and budget-checks **per constituent instruction**, so
+//! quantum boundaries, instruction counts, PC samples, and OSR park points
+//! are bit-identical to unfused execution (the same preservation argument
+//! block dispatch makes for its per-instruction budget gate).
 //!
-//! Cached blocks are `(entry, len)` ranges into `text`, never copies of
-//! the ops, so a stale range can misjudge a block *boundary* but can never
-//! execute stale *instructions* — every slot is read from live text.
-//! Callers still must bump [`ExecEnv::text_gen`] whenever they mutate text
-//! (code-cache append, corruption): the cache discards all ranges decoded
-//! under another generation, restoring optimal block shapes. EVT patches
-//! need no invalidation at all, because `CallVirt` reads its target cell
-//! from data memory on every dispatch.
+//! Unlike the earlier range-based cache, decoded blocks are *copies* of
+//! the ops, so staleness would mean executing stale instructions — not
+//! merely misjudging a block boundary. The invalidation contract is
+//! therefore load-bearing: callers bump [`ExecEnv::text_gen`] on every
+//! text mutation (code-cache append, corruption), and [`BlockCache`]
+//! discards all decoded blocks when the generation *or the text length*
+//! moves. The length resync closes the append-without-bump window: a
+//! block whose shape changes because text grew past its old end can never
+//! replay its stale decoded vector, even if the caller forgot the bump.
+//! In-place mutation without a bump or length change remains a contract
+//! violation (every mutation site in `simos` bumps). EVT patches need no
+//! invalidation at all, because `CallVirt` reads its target cell from
+//! data memory on every dispatch.
+//!
+//! Retired decoded vectors are recycled through a pool across
+//! invalidations, so a recompilation storm (append + bump per variant)
+//! re-decodes into warm allocations instead of re-allocating per block.
+//!
+//! For differential testing, [`BlockCache::set_fallback`] forces an
+//! *always-decode* path: every dispatch decodes the block fresh, without
+//! caching and without fusion. The fallback exercises identical op
+//! semantics through the same replay loop, so a decoded-tier bug shows up
+//! as a bit-level divergence in `tests/fastpath.rs`'s A/B suites.
 
 use std::collections::HashSet;
 
@@ -79,25 +98,248 @@ pub enum ExecStatus {
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RunResult {
     /// Cycles actually consumed. The budget is checked before every
-    /// instruction (same semantics as pre-block dispatch), so the
+    /// instruction (fused superops included, per constituent), so the
     /// overshoot is bounded by one instruction's cost.
     pub cycles: u64,
     /// Why execution stopped.
     pub stop: StopReason,
 }
 
+/// Decode-cache effectiveness counters, cumulative for one
+/// [`BlockCache`]'s lifetime. Surfaced by the simulated OS per process
+/// and by `protean::metrics` as the `machine.decoded_*` counter group.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct DecodeStats {
+    /// Dispatches served from an already-decoded block.
+    pub hits: u64,
+    /// Blocks decoded (first dispatch, always-decode fallback, and OSR
+    /// park-clamped re-decodes).
+    pub misses: u64,
+    /// Wholesale discards of the decoded set (generation or text-length
+    /// resync that actually dropped blocks).
+    pub invalidations: u64,
+    /// Superops formed during decode (each replaces two text ops).
+    pub fused_ops: u64,
+}
+
+/// Call arguments resolved at decode time: the text op's heap `Vec` is
+/// copied into an inline array so replay is pointer-chase free.
+#[derive(Copy, Clone, Debug)]
+struct ArgList {
+    regs: [PReg; visa::MAX_ARGS],
+    len: u8,
+}
+
+impl ArgList {
+    fn new(args: &[PReg]) -> ArgList {
+        let mut regs = [PReg(0); visa::MAX_ARGS];
+        regs[..args.len()].copy_from_slice(args);
+        ArgList {
+            regs,
+            len: args.len() as u8,
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[PReg] {
+        &self.regs[..self.len as usize]
+    }
+}
+
+/// One operand-resolved instruction, plus the fused superops. Superop
+/// variants cover exactly two text ops and execute their constituents in
+/// original order with per-constituent cycle charging.
+#[derive(Copy, Clone, Debug)]
+enum DecodedOp {
+    Movi {
+        dst: PReg,
+        imm: i64,
+    },
+    Alu {
+        op: pir::BinOp,
+        dst: PReg,
+        a: PReg,
+        b: PReg,
+    },
+    AluImm {
+        op: pir::BinOp,
+        dst: PReg,
+        a: PReg,
+        imm: i64,
+    },
+    Load {
+        dst: PReg,
+        base: PReg,
+        offset: i64,
+    },
+    Store {
+        base: PReg,
+        offset: i64,
+        src: PReg,
+    },
+    PrefetchNta {
+        base: PReg,
+        offset: i64,
+    },
+    Jmp {
+        target: u32,
+    },
+    Bnz {
+        cond: PReg,
+        target: u32,
+    },
+    Bz {
+        cond: PReg,
+        target: u32,
+    },
+    Call {
+        target: u32,
+        dst: Option<PReg>,
+        args: ArgList,
+    },
+    CallVirt {
+        slot: u32,
+        dst: Option<PReg>,
+        args: ArgList,
+    },
+    Ret {
+        src: Option<PReg>,
+    },
+    Report {
+        channel: u8,
+        src: PReg,
+    },
+    Wait,
+    Halt,
+    /// `AluImm` (typically a loop-exit compare) fused with `Bnz`.
+    AluImmBnz {
+        op: pir::BinOp,
+        dst: PReg,
+        a: PReg,
+        imm: i64,
+        cond: PReg,
+        target: u32,
+    },
+    /// `AluImm` fused with `Bz`.
+    AluImmBz {
+        op: pir::BinOp,
+        dst: PReg,
+        a: PReg,
+        imm: i64,
+        cond: PReg,
+        target: u32,
+    },
+    /// Register-register `Alu` fused with `Bnz`.
+    AluBnz {
+        op: pir::BinOp,
+        dst: PReg,
+        a: PReg,
+        b: PReg,
+        cond: PReg,
+        target: u32,
+    },
+    /// Register-register `Alu` fused with `Bz`.
+    AluBz {
+        op: pir::BinOp,
+        dst: PReg,
+        a: PReg,
+        b: PReg,
+        cond: PReg,
+        target: u32,
+    },
+    /// `Load` fused with a following `AluImm` (pointer bump / strided
+    /// index update).
+    LoadAluImm {
+        ldst: PReg,
+        base: PReg,
+        offset: i64,
+        op: pir::BinOp,
+        dst: PReg,
+        a: PReg,
+        imm: i64,
+    },
+    /// `Load` fused with a following register-register `Alu`
+    /// (load + accumulate).
+    LoadAlu {
+        ldst: PReg,
+        base: PReg,
+        offset: i64,
+        op: pir::BinOp,
+        dst: PReg,
+        a: PReg,
+        b: PReg,
+    },
+    /// Two adjacent `Load`s (unrolled streaming reads — the dominant
+    /// adjacent pair in the array workloads).
+    LoadLoad {
+        dst1: PReg,
+        base1: PReg,
+        off1: i64,
+        dst2: PReg,
+        base2: PReg,
+        off2: i64,
+    },
+    /// Two adjacent `AluImm`s (index bump + address compute).
+    AluImmAluImm {
+        op1: pir::BinOp,
+        dst1: PReg,
+        a1: PReg,
+        imm1: i64,
+        op2: pir::BinOp,
+        dst2: PReg,
+        a2: PReg,
+        imm2: i64,
+    },
+    /// `AluImm` followed by a register-register `Alu`.
+    AluImmAlu {
+        op1: pir::BinOp,
+        dst1: PReg,
+        a1: PReg,
+        imm1: i64,
+        op2: pir::BinOp,
+        dst2: PReg,
+        a2: PReg,
+        b2: PReg,
+    },
+}
+
+/// One decoded block: the superop vector plus the number of *text* ops it
+/// covers (straight-line run + terminator; fusion makes `ops.len()`
+/// smaller than `text_len`).
+#[derive(Clone, Debug, Default)]
+struct DecodedBlock {
+    ops: Vec<DecodedOp>,
+    text_len: u32,
+}
+
+/// Handle marking the scratch (uncached) decode slot.
+const SCRATCH: u32 = u32::MAX;
+
 /// Decoded-block cache for one text space.
 ///
-/// Maps entry PC → length of the basic block starting there (straight-line
-/// ops plus the terminating control-flow op, capped at `MAX_BLOCK_OPS`).
-/// Entries are ranges into the caller's text, decoded lazily on first
-/// dispatch and discarded wholesale when the text generation moves.
+/// Maps entry PC → a pre-decoded op vector for the basic block starting
+/// there (straight-line ops plus the terminating control-flow op, capped
+/// at `MAX_BLOCK_OPS` text ops). Blocks are decoded lazily on first
+/// dispatch and discarded wholesale when the text generation or length
+/// moves; retired vectors are pooled for reuse across invalidations.
 #[derive(Clone, Debug, Default)]
 pub struct BlockCache {
     /// Generation of the text the current entries were decoded against.
     gen: u64,
-    /// Block length keyed by entry PC; 0 = not yet decoded.
-    len_at: Vec<u32>,
+    /// Decoded-block handle + 1 keyed by entry PC; 0 = not yet decoded.
+    idx_at: Vec<u32>,
+    /// Decoded blocks, indexed by handle.
+    blocks: Vec<DecodedBlock>,
+    /// Retired op vectors (capacity kept), reused by later decodes so a
+    /// patch storm re-decodes into warm allocations.
+    pool: Vec<Vec<DecodedOp>>,
+    /// Uncached decode slot for the always-decode fallback and for OSR
+    /// park-clamped dispatches.
+    scratch: DecodedBlock,
+    /// Forced always-decode mode: every dispatch decodes fresh, unfused
+    /// and uncached (differential-testing reference path).
+    fallback: bool,
+    stats: DecodeStats,
 }
 
 impl BlockCache {
@@ -106,48 +348,330 @@ impl BlockCache {
         BlockCache::default()
     }
 
+    /// Forces (or releases) the always-decode fallback path: no caching,
+    /// no fusion, every dispatch decodes the block fresh. Simulated
+    /// results are bit-identical in either mode; only wall-clock and the
+    /// [`DecodeStats`] mix change.
+    pub fn set_fallback(&mut self, on: bool) {
+        self.fallback = on;
+    }
+
+    /// True when the always-decode fallback is forced.
+    pub fn fallback(&self) -> bool {
+        self.fallback
+    }
+
+    /// Decode-cache effectiveness counters so far.
+    pub fn stats(&self) -> DecodeStats {
+        self.stats
+    }
+
     /// Aligns the cache with `text_len` ops at generation `gen`, dropping
-    /// every entry if either moved. A length change without a generation
-    /// bump is treated as a mutation too, so a forgotten bump degrades to
-    /// a full re-decode rather than stale block shapes.
+    /// every decoded block if either moved. A length change without a
+    /// generation bump is treated as a mutation too, so the append-resync
+    /// path can never replay a stale decoded vector.
     fn sync(&mut self, text_len: usize, gen: u64) {
-        if gen != self.gen || self.len_at.len() != text_len {
-            self.len_at.clear();
-            self.len_at.resize(text_len, 0);
+        if gen != self.gen || self.idx_at.len() != text_len {
+            if !self.blocks.is_empty() {
+                self.stats.invalidations += 1;
+            }
+            self.idx_at.clear();
+            self.idx_at.resize(text_len, 0);
+            for mut b in self.blocks.drain(..) {
+                b.ops.clear();
+                self.pool.push(b.ops);
+            }
             self.gen = gen;
         }
     }
 
-    /// Length of the block entered at `pc`, decoding it if unseen.
-    /// `None` when `pc` is outside text.
+    /// Resolves the decoded block entered at `pc`, decoding (with fusion)
+    /// and caching it if unseen. Returns `(handle, text_len)`; `None`
+    /// when `pc` is outside text.
     #[inline]
-    fn block_len(&mut self, pc: u32, text: &[Op]) -> Option<u32> {
+    fn ensure(&mut self, pc: u32, text: &[Op]) -> Option<(u32, u32)> {
         let start = pc as usize;
-        let cached = *self.len_at.get(start)?;
-        if cached != 0 {
-            return Some(cached);
+        let slot = *self.idx_at.get(start)?;
+        if slot != 0 {
+            self.stats.hits += 1;
+            let handle = slot - 1;
+            return Some((handle, self.blocks[handle as usize].text_len));
         }
-        let cap = text.len().min(start + MAX_BLOCK_OPS);
-        let mut i = start;
-        while i < cap {
-            let straight = matches!(
-                text[i],
-                Op::Movi { .. }
-                    | Op::Alu { .. }
-                    | Op::AluImm { .. }
-                    | Op::Load { .. }
-                    | Op::Store { .. }
-                    | Op::PrefetchNta { .. }
-                    | Op::Report { .. }
-            );
-            i += 1;
-            if !straight {
-                break;
+        self.stats.misses += 1;
+        let mut ops = self.pool.pop().unwrap_or_default();
+        let (text_len, fused) = decode_block(text, start, MAX_BLOCK_OPS, true, &mut ops);
+        self.stats.fused_ops += fused;
+        let handle = self.blocks.len() as u32;
+        self.blocks.push(DecodedBlock { ops, text_len });
+        self.idx_at[start] = handle + 1;
+        Some((handle, text_len))
+    }
+
+    /// Decodes the block at `pc` into the scratch slot: unfused, uncached,
+    /// covering at most `max_ops` text ops. Used by the always-decode
+    /// fallback and by OSR park-clamped dispatches (the clamp cuts at an
+    /// arbitrary text offset, which only a 1:1 decode can honor).
+    fn decode_scratch(&mut self, pc: u32, max_ops: usize, text: &[Op]) -> Option<(u32, u32)> {
+        let start = pc as usize;
+        if start >= text.len() {
+            return None;
+        }
+        self.stats.misses += 1;
+        let mut ops = std::mem::take(&mut self.scratch.ops);
+        let (text_len, _) = decode_block(text, start, max_ops, false, &mut ops);
+        self.scratch = DecodedBlock { ops, text_len };
+        Some((SCRATCH, text_len))
+    }
+
+    /// The op vector behind a handle returned by [`Self::ensure`] or
+    /// [`Self::decode_scratch`].
+    #[inline]
+    fn ops_of(&self, handle: u32) -> &[DecodedOp] {
+        if handle == SCRATCH {
+            &self.scratch.ops
+        } else {
+            &self.blocks[handle as usize].ops
+        }
+    }
+}
+
+/// True for ops that never redirect control flow (block non-terminators).
+#[inline]
+fn is_straight(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Movi { .. }
+            | Op::Alu { .. }
+            | Op::AluImm { .. }
+            | Op::Load { .. }
+            | Op::Store { .. }
+            | Op::PrefetchNta { .. }
+            | Op::Report { .. }
+    )
+}
+
+/// Decodes the basic block at `start` (straight-line run plus terminator,
+/// capped at `max_ops` text ops) into `out`, optionally fusing adjacent
+/// pairs. Returns the number of text ops covered and the superops formed.
+fn decode_block(
+    text: &[Op],
+    start: usize,
+    max_ops: usize,
+    fuse: bool,
+    out: &mut Vec<DecodedOp>,
+) -> (u32, u64) {
+    out.clear();
+    let cap = text.len().min(start.saturating_add(max_ops));
+    let mut end = start;
+    while end < cap {
+        let straight = is_straight(&text[end]);
+        end += 1;
+        if !straight {
+            break;
+        }
+    }
+    let mut fused = 0u64;
+    let mut i = start;
+    while i < end {
+        if fuse && i + 1 < end {
+            if let Some(sop) = fuse_pair(&text[i], &text[i + 1]) {
+                out.push(sop);
+                fused += 1;
+                i += 2;
+                continue;
             }
         }
-        let len = (i - start) as u32;
-        self.len_at[start] = len;
-        Some(len)
+        out.push(decode_one(&text[i]));
+        i += 1;
+    }
+    ((end - start) as u32, fused)
+}
+
+/// 1:1 decode of a single text op.
+fn decode_one(op: &Op) -> DecodedOp {
+    match op {
+        Op::Movi { dst, imm } => DecodedOp::Movi {
+            dst: *dst,
+            imm: *imm,
+        },
+        Op::Alu { op, dst, a, b } => DecodedOp::Alu {
+            op: *op,
+            dst: *dst,
+            a: *a,
+            b: *b,
+        },
+        Op::AluImm { op, dst, a, imm } => DecodedOp::AluImm {
+            op: *op,
+            dst: *dst,
+            a: *a,
+            imm: *imm,
+        },
+        Op::Load { dst, base, offset } => DecodedOp::Load {
+            dst: *dst,
+            base: *base,
+            offset: *offset,
+        },
+        Op::Store { base, offset, src } => DecodedOp::Store {
+            base: *base,
+            offset: *offset,
+            src: *src,
+        },
+        Op::PrefetchNta { base, offset } => DecodedOp::PrefetchNta {
+            base: *base,
+            offset: *offset,
+        },
+        Op::Jmp { target } => DecodedOp::Jmp { target: *target },
+        Op::Bnz { cond, target } => DecodedOp::Bnz {
+            cond: *cond,
+            target: *target,
+        },
+        Op::Bz { cond, target } => DecodedOp::Bz {
+            cond: *cond,
+            target: *target,
+        },
+        Op::Call { target, dst, args } => DecodedOp::Call {
+            target: *target,
+            dst: *dst,
+            args: ArgList::new(args),
+        },
+        Op::CallVirt { slot, dst, args } => DecodedOp::CallVirt {
+            slot: *slot,
+            dst: *dst,
+            args: ArgList::new(args),
+        },
+        Op::Ret { src } => DecodedOp::Ret { src: *src },
+        Op::Report { channel, src } => DecodedOp::Report {
+            channel: *channel,
+            src: *src,
+        },
+        Op::Wait => DecodedOp::Wait,
+        Op::Halt => DecodedOp::Halt,
+    }
+}
+
+/// Fuses the dominant adjacent pairs: compare+branch (`AluImm`/`Alu`
+/// followed by `Bnz`/`Bz`) and load+ALU (`Load` followed by
+/// `AluImm`/`Alu`). Any pair shape not listed decodes 1:1.
+fn fuse_pair(first: &Op, second: &Op) -> Option<DecodedOp> {
+    match (first, second) {
+        (Op::AluImm { op, dst, a, imm }, Op::Bnz { cond, target }) => Some(DecodedOp::AluImmBnz {
+            op: *op,
+            dst: *dst,
+            a: *a,
+            imm: *imm,
+            cond: *cond,
+            target: *target,
+        }),
+        (Op::AluImm { op, dst, a, imm }, Op::Bz { cond, target }) => Some(DecodedOp::AluImmBz {
+            op: *op,
+            dst: *dst,
+            a: *a,
+            imm: *imm,
+            cond: *cond,
+            target: *target,
+        }),
+        (Op::Alu { op, dst, a, b }, Op::Bnz { cond, target }) => Some(DecodedOp::AluBnz {
+            op: *op,
+            dst: *dst,
+            a: *a,
+            b: *b,
+            cond: *cond,
+            target: *target,
+        }),
+        (Op::Alu { op, dst, a, b }, Op::Bz { cond, target }) => Some(DecodedOp::AluBz {
+            op: *op,
+            dst: *dst,
+            a: *a,
+            b: *b,
+            cond: *cond,
+            target: *target,
+        }),
+        (
+            Op::Load { dst, base, offset },
+            Op::AluImm {
+                op,
+                dst: adst,
+                a,
+                imm,
+            },
+        ) => Some(DecodedOp::LoadAluImm {
+            ldst: *dst,
+            base: *base,
+            offset: *offset,
+            op: *op,
+            dst: *adst,
+            a: *a,
+            imm: *imm,
+        }),
+        (
+            Op::Load { dst, base, offset },
+            Op::Alu {
+                op,
+                dst: adst,
+                a,
+                b,
+            },
+        ) => Some(DecodedOp::LoadAlu {
+            ldst: *dst,
+            base: *base,
+            offset: *offset,
+            op: *op,
+            dst: *adst,
+            a: *a,
+            b: *b,
+        }),
+        (
+            Op::Load { dst, base, offset },
+            Op::Load {
+                dst: dst2,
+                base: base2,
+                offset: off2,
+            },
+        ) => Some(DecodedOp::LoadLoad {
+            dst1: *dst,
+            base1: *base,
+            off1: *offset,
+            dst2: *dst2,
+            base2: *base2,
+            off2: *off2,
+        }),
+        (
+            Op::AluImm { op, dst, a, imm },
+            Op::AluImm {
+                op: op2,
+                dst: dst2,
+                a: a2,
+                imm: imm2,
+            },
+        ) => Some(DecodedOp::AluImmAluImm {
+            op1: *op,
+            dst1: *dst,
+            a1: *a,
+            imm1: *imm,
+            op2: *op2,
+            dst2: *dst2,
+            a2: *a2,
+            imm2: *imm2,
+        }),
+        (
+            Op::AluImm { op, dst, a, imm },
+            Op::Alu {
+                op: op2,
+                dst: dst2,
+                a: a2,
+                b,
+            },
+        ) => Some(DecodedOp::AluImmAlu {
+            op1: *op,
+            dst1: *dst,
+            a1: *a,
+            imm1: *imm,
+            op2: *op2,
+            dst2: *dst2,
+            a2: *a2,
+            b2: *b,
+        }),
+        _ => None,
     }
 }
 
@@ -549,6 +1073,7 @@ fn run_impl<const BT: bool>(
     env.blocks.sync(text.len(), env.text_gen);
     let costs = env.costs;
     let data_len = env.data.len();
+    let fallback = env.blocks.fallback;
     // Hot counters accumulate in locals and flush once on exit.
     let mut used: u64 = 0;
     let mut insts: u64 = 0;
@@ -573,34 +1098,44 @@ fn run_impl<const BT: bool>(
                 }
             }
         }
-        let Some(mut len) = env.blocks.block_len(pc, text) else {
+        let resolved = if fallback {
+            env.blocks.decode_scratch(pc, MAX_BLOCK_OPS, text)
+        } else {
+            env.blocks.ensure(pc, text)
+        };
+        let Some((mut handle, mut tlen)) = resolved else {
             break fault(ctx, u64::from(pc));
         };
         // An armed park PC acts as a block boundary: a header entered by
         // fall-through may be fused into its predecessor's straight-line
-        // decoding, so clamp the run locally (the cache entry itself is
-        // untouched) to make the next loop-top entry land exactly on the
-        // park PC. Execution order, cycle charges, and quantum boundaries
-        // are identical either way — only the gate's visibility changes.
+        // decoding, so re-decode a clamped 1:1 run (the cached block is
+        // untouched — a superop may straddle the cut, which only an
+        // unfused decode can honor) to make the next loop-top entry land
+        // exactly on the park PC. Execution order, cycle charges, and
+        // quantum boundaries are identical either way — only the gate's
+        // visibility changes.
         if let Some(park) = ctx.osr {
-            if park.pc > pc && u64::from(park.pc) < u64::from(pc) + u64::from(len) {
-                len = park.pc - pc;
+            if park.pc > pc && u64::from(park.pc) < u64::from(pc) + u64::from(tlen) {
+                let clamped = env
+                    .blocks
+                    .decode_scratch(pc, (park.pc - pc) as usize, text)
+                    .expect("clamped block starts inside text");
+                handle = clamped.0;
+                tlen = clamped.1;
             }
         }
         let start = pc as usize;
-        let ops = &text[start..start + len as usize];
-        let mut i = 0usize;
-        // The decoded range is straight-line ops plus one terminator, but
-        // every arm below is self-contained: a block shape that went stale
-        // under in-place mutation still executes the live ops correctly.
-        while i < ops.len() {
-            let op = &ops[i];
-            // The budget gate is per instruction, exactly as pre-block
-            // dispatch: quantum boundaries land on the same instruction,
-            // so schedule-sensitive simulations are unchanged. The compare
-            // is predictable and costs far less than it preserves.
+        let ops = env.blocks.ops_of(handle);
+        // `tpc` is the text address of the op being executed; superops
+        // advance it past their first constituent inside the arm.
+        let mut tpc = start;
+        for dop in ops {
+            // The budget gate is per instruction, exactly as per-op
+            // dispatch (superop constituents included, below): quantum
+            // boundaries land on the same instruction, so
+            // schedule-sensitive simulations are unchanged.
             if used >= budget {
-                pc = (start + i) as u32;
+                pc = tpc as u32;
                 break 'dispatch StopReason::BudgetExhausted;
             }
             insts += 1;
@@ -609,25 +1144,25 @@ fn run_impl<const BT: bool>(
             } else {
                 0
             };
-            match op {
-                Op::Movi { dst, imm } => {
+            match *dop {
+                DecodedOp::Movi { dst, imm } => {
                     used += costs.alu + bt_inst_tax;
-                    ctx.set_reg(*dst, *imm);
+                    ctx.set_reg(dst, imm);
                 }
-                Op::Alu { op, dst, a, b } => {
+                DecodedOp::Alu { op, dst, a, b } => {
                     used += costs.alu + bt_inst_tax;
-                    let v = op.eval(ctx.reg(*a), ctx.reg(*b));
-                    ctx.set_reg(*dst, v);
+                    let v = op.eval(ctx.reg(a), ctx.reg(b));
+                    ctx.set_reg(dst, v);
                 }
-                Op::AluImm { op, dst, a, imm } => {
+                DecodedOp::AluImm { op, dst, a, imm } => {
                     used += costs.alu + bt_inst_tax;
-                    let v = op.eval(ctx.reg(*a), *imm);
-                    ctx.set_reg(*dst, v);
+                    let v = op.eval(ctx.reg(a), imm);
+                    ctx.set_reg(dst, v);
                 }
-                Op::Load { dst, base, offset } => {
-                    let addr = ctx.reg(*base).wrapping_add(*offset) as u64;
+                DecodedOp::Load { dst, base, offset } => {
+                    let addr = ctx.reg(base).wrapping_add(offset) as u64;
                     if !in_bounds(addr, data_len) {
-                        pc = (start + i) as u32;
+                        pc = tpc as u32;
                         break 'dispatch fault(ctx, addr);
                     }
                     used += costs.alu
@@ -640,12 +1175,12 @@ fn run_impl<const BT: bool>(
                         );
                     let a = addr as usize;
                     let v = i64::from_le_bytes(env.data[a..a + 8].try_into().expect("8 bytes"));
-                    ctx.set_reg(*dst, v);
+                    ctx.set_reg(dst, v);
                 }
-                Op::Store { base, offset, src } => {
-                    let addr = ctx.reg(*base).wrapping_add(*offset) as u64;
+                DecodedOp::Store { base, offset, src } => {
+                    let addr = ctx.reg(base).wrapping_add(offset) as u64;
                     if !in_bounds(addr, data_len) {
-                        pc = (start + i) as u32;
+                        pc = tpc as u32;
                         break 'dispatch fault(ctx, addr);
                     }
                     used += costs.alu
@@ -656,12 +1191,12 @@ fn run_impl<const BT: bool>(
                             AccessKind::Store,
                             env.counters,
                         );
-                    let v = ctx.reg(*src);
+                    let v = ctx.reg(src);
                     let a = addr as usize;
                     env.data[a..a + 8].copy_from_slice(&v.to_le_bytes());
                 }
-                Op::PrefetchNta { base, offset } => {
-                    let addr = ctx.reg(*base).wrapping_add(*offset) as u64;
+                DecodedOp::PrefetchNta { base, offset } => {
+                    let addr = ctx.reg(base).wrapping_add(offset) as u64;
                     used += costs.prefetch + bt_inst_tax;
                     // Prefetches to invalid addresses are silently dropped,
                     // as on real hardware.
@@ -674,7 +1209,7 @@ fn run_impl<const BT: bool>(
                         );
                     }
                 }
-                Op::Jmp { target } => {
+                DecodedOp::Jmp { target } => {
                     branches += 1;
                     let mut cost = costs.branch;
                     if BT {
@@ -682,47 +1217,47 @@ fn run_impl<const BT: bool>(
                             .bt
                             .as_mut()
                             .expect("BT mode")
-                            .charge_branch(*target, false);
+                            .charge_branch(target, false);
                     }
                     used += cost + bt_inst_tax;
-                    pc = *target;
+                    pc = target;
                     continue 'dispatch;
                 }
-                Op::Bnz { cond, target } => {
+                DecodedOp::Bnz { cond, target } => {
                     branches += 1;
                     let mut cost = costs.branch;
-                    if ctx.reg(*cond) != 0 {
+                    if ctx.reg(cond) != 0 {
                         if BT {
                             cost += ctx
                                 .bt
                                 .as_mut()
                                 .expect("BT mode")
-                                .charge_branch(*target, false);
+                                .charge_branch(target, false);
                         }
                         used += cost + bt_inst_tax;
-                        pc = *target;
+                        pc = target;
                         continue 'dispatch;
                     }
                     used += cost + bt_inst_tax;
                 }
-                Op::Bz { cond, target } => {
+                DecodedOp::Bz { cond, target } => {
                     branches += 1;
                     let mut cost = costs.branch;
-                    if ctx.reg(*cond) == 0 {
+                    if ctx.reg(cond) == 0 {
                         if BT {
                             cost += ctx
                                 .bt
                                 .as_mut()
                                 .expect("BT mode")
-                                .charge_branch(*target, false);
+                                .charge_branch(target, false);
                         }
                         used += cost + bt_inst_tax;
-                        pc = *target;
+                        pc = target;
                         continue 'dispatch;
                     }
                     used += cost + bt_inst_tax;
                 }
-                Op::Call { target, dst, args } => {
+                DecodedOp::Call { target, dst, args } => {
                     branches += 1;
                     let mut cost = costs.call;
                     if BT {
@@ -730,29 +1265,29 @@ fn run_impl<const BT: bool>(
                             .bt
                             .as_mut()
                             .expect("BT mode")
-                            .charge_branch(*target, false);
+                            .charge_branch(target, false);
                     }
                     let mut vals = [0i64; visa::MAX_ARGS];
-                    for (k, a) in args.iter().enumerate() {
+                    for (k, a) in args.as_slice().iter().enumerate() {
                         vals[k] = ctx.reg(*a);
                     }
-                    let Some(ret_pc) = checked_next_pc(start + i) else {
-                        pc = (start + i) as u32;
-                        break 'dispatch fault(ctx, start as u64 + i as u64 + 1);
+                    let Some(ret_pc) = checked_next_pc(tpc) else {
+                        pc = tpc as u32;
+                        break 'dispatch fault(ctx, tpc as u64 + 1);
                     };
-                    ctx.push_frame(*target, ret_pc, *dst, &vals[..args.len()]);
+                    ctx.push_frame(target, ret_pc, dst, &vals[..args.len as usize]);
                     used += cost + bt_inst_tax;
-                    pc = *target;
+                    pc = target;
                     continue 'dispatch;
                 }
-                Op::CallVirt { slot, dst, args } => {
+                DecodedOp::CallVirt { slot, dst, args } => {
                     branches += 1;
                     let mut cost = costs.call + costs.indirect_penalty;
                     let cell = ctx
                         .evt_base
-                        .wrapping_add(8u64.wrapping_mul(u64::from(*slot)));
+                        .wrapping_add(8u64.wrapping_mul(u64::from(slot)));
                     if !in_bounds(cell, data_len) {
-                        pc = (start + i) as u32;
+                        pc = tpc as u32;
                         break 'dispatch fault(ctx, cell);
                     }
                     // The EVT read is an ordinary cached memory access; this
@@ -769,7 +1304,7 @@ fn run_impl<const BT: bool>(
                         // A corrupted EVT cell wider than the PC space
                         // faults instead of silently truncating to a
                         // plausible (and wrong) text address.
-                        pc = (start + i) as u32;
+                        pc = tpc as u32;
                         break 'dispatch fault(ctx, raw);
                     };
                     if BT {
@@ -780,19 +1315,19 @@ fn run_impl<const BT: bool>(
                             .charge_branch(target, true);
                     }
                     let mut vals = [0i64; visa::MAX_ARGS];
-                    for (k, a) in args.iter().enumerate() {
+                    for (k, a) in args.as_slice().iter().enumerate() {
                         vals[k] = ctx.reg(*a);
                     }
-                    let Some(ret_pc) = checked_next_pc(start + i) else {
-                        pc = (start + i) as u32;
-                        break 'dispatch fault(ctx, start as u64 + i as u64 + 1);
+                    let Some(ret_pc) = checked_next_pc(tpc) else {
+                        pc = tpc as u32;
+                        break 'dispatch fault(ctx, tpc as u64 + 1);
                     };
-                    ctx.push_frame(target, ret_pc, *dst, &vals[..args.len()]);
+                    ctx.push_frame(target, ret_pc, dst, &vals[..args.len as usize]);
                     used += cost + bt_inst_tax;
                     pc = target;
                     continue 'dispatch;
                 }
-                Op::Ret { src } => {
+                DecodedOp::Ret { src } => {
                     branches += 1;
                     let mut cost = costs.call;
                     let val = src.map(|r| ctx.reg(r));
@@ -802,7 +1337,7 @@ fn run_impl<const BT: bool>(
                         // Returned from the entry frame: program finished.
                         ctx.base = 0;
                         used += cost;
-                        pc = (start + i) as u32;
+                        pc = tpc as u32;
                         ctx.status = ExecStatus::Halted;
                         break 'dispatch StopReason::Halted;
                     }
@@ -821,36 +1356,381 @@ fn run_impl<const BT: bool>(
                     pc = frame.ret_pc;
                     continue 'dispatch;
                 }
-                Op::Report { channel, src } => {
+                DecodedOp::Report { channel, src } => {
                     used += costs.alu + bt_inst_tax;
-                    let v = ctx.reg(*src);
-                    ctx.reports.push((*channel, v));
+                    let v = ctx.reg(src);
+                    ctx.reports.push((channel, v));
                 }
-                Op::Wait => {
+                DecodedOp::Wait => {
                     used += costs.alu;
-                    let Some(next) = checked_next_pc(start + i) else {
-                        pc = (start + i) as u32;
-                        break 'dispatch fault(ctx, start as u64 + i as u64 + 1);
+                    let Some(next) = checked_next_pc(tpc) else {
+                        pc = tpc as u32;
+                        break 'dispatch fault(ctx, tpc as u64 + 1);
                     };
                     pc = next;
                     ctx.status = ExecStatus::Waiting;
                     break 'dispatch StopReason::Waiting;
                 }
-                Op::Halt => {
+                DecodedOp::Halt => {
                     used += costs.alu;
-                    pc = (start + i) as u32;
+                    pc = tpc as u32;
                     ctx.status = ExecStatus::Halted;
                     break 'dispatch StopReason::Halted;
                 }
+                // Superops. Each constituent charges cycles, counts as an
+                // instruction, pays its own BT tax, and re-checks the
+                // budget exactly as the unfused pair would, so quantum
+                // boundaries and PC samples are bit-identical.
+                DecodedOp::AluImmBnz {
+                    op,
+                    dst,
+                    a,
+                    imm,
+                    cond,
+                    target,
+                } => {
+                    used += costs.alu + bt_inst_tax;
+                    let v = op.eval(ctx.reg(a), imm);
+                    ctx.set_reg(dst, v);
+                    if used >= budget {
+                        pc = (tpc + 1) as u32;
+                        break 'dispatch StopReason::BudgetExhausted;
+                    }
+                    insts += 1;
+                    let tax2 = if BT {
+                        ctx.bt.as_mut().expect("BT mode").charge_inst()
+                    } else {
+                        0
+                    };
+                    branches += 1;
+                    let mut cost = costs.branch;
+                    if ctx.reg(cond) != 0 {
+                        if BT {
+                            cost += ctx
+                                .bt
+                                .as_mut()
+                                .expect("BT mode")
+                                .charge_branch(target, false);
+                        }
+                        used += cost + tax2;
+                        pc = target;
+                        continue 'dispatch;
+                    }
+                    used += cost + tax2;
+                    tpc += 1;
+                }
+                DecodedOp::AluImmBz {
+                    op,
+                    dst,
+                    a,
+                    imm,
+                    cond,
+                    target,
+                } => {
+                    used += costs.alu + bt_inst_tax;
+                    let v = op.eval(ctx.reg(a), imm);
+                    ctx.set_reg(dst, v);
+                    if used >= budget {
+                        pc = (tpc + 1) as u32;
+                        break 'dispatch StopReason::BudgetExhausted;
+                    }
+                    insts += 1;
+                    let tax2 = if BT {
+                        ctx.bt.as_mut().expect("BT mode").charge_inst()
+                    } else {
+                        0
+                    };
+                    branches += 1;
+                    let mut cost = costs.branch;
+                    if ctx.reg(cond) == 0 {
+                        if BT {
+                            cost += ctx
+                                .bt
+                                .as_mut()
+                                .expect("BT mode")
+                                .charge_branch(target, false);
+                        }
+                        used += cost + tax2;
+                        pc = target;
+                        continue 'dispatch;
+                    }
+                    used += cost + tax2;
+                    tpc += 1;
+                }
+                DecodedOp::AluBnz {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    cond,
+                    target,
+                } => {
+                    used += costs.alu + bt_inst_tax;
+                    let v = op.eval(ctx.reg(a), ctx.reg(b));
+                    ctx.set_reg(dst, v);
+                    if used >= budget {
+                        pc = (tpc + 1) as u32;
+                        break 'dispatch StopReason::BudgetExhausted;
+                    }
+                    insts += 1;
+                    let tax2 = if BT {
+                        ctx.bt.as_mut().expect("BT mode").charge_inst()
+                    } else {
+                        0
+                    };
+                    branches += 1;
+                    let mut cost = costs.branch;
+                    if ctx.reg(cond) != 0 {
+                        if BT {
+                            cost += ctx
+                                .bt
+                                .as_mut()
+                                .expect("BT mode")
+                                .charge_branch(target, false);
+                        }
+                        used += cost + tax2;
+                        pc = target;
+                        continue 'dispatch;
+                    }
+                    used += cost + tax2;
+                    tpc += 1;
+                }
+                DecodedOp::AluBz {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    cond,
+                    target,
+                } => {
+                    used += costs.alu + bt_inst_tax;
+                    let v = op.eval(ctx.reg(a), ctx.reg(b));
+                    ctx.set_reg(dst, v);
+                    if used >= budget {
+                        pc = (tpc + 1) as u32;
+                        break 'dispatch StopReason::BudgetExhausted;
+                    }
+                    insts += 1;
+                    let tax2 = if BT {
+                        ctx.bt.as_mut().expect("BT mode").charge_inst()
+                    } else {
+                        0
+                    };
+                    branches += 1;
+                    let mut cost = costs.branch;
+                    if ctx.reg(cond) == 0 {
+                        if BT {
+                            cost += ctx
+                                .bt
+                                .as_mut()
+                                .expect("BT mode")
+                                .charge_branch(target, false);
+                        }
+                        used += cost + tax2;
+                        pc = target;
+                        continue 'dispatch;
+                    }
+                    used += cost + tax2;
+                    tpc += 1;
+                }
+                DecodedOp::LoadAluImm {
+                    ldst,
+                    base,
+                    offset,
+                    op,
+                    dst,
+                    a,
+                    imm,
+                } => {
+                    let addr = ctx.reg(base).wrapping_add(offset) as u64;
+                    if !in_bounds(addr, data_len) {
+                        pc = tpc as u32;
+                        break 'dispatch fault(ctx, addr);
+                    }
+                    used += costs.alu
+                        + bt_inst_tax
+                        + env.mem.access(
+                            env.core,
+                            phys_addr(ctx.space, addr),
+                            AccessKind::Load,
+                            env.counters,
+                        );
+                    let ad = addr as usize;
+                    let v = i64::from_le_bytes(env.data[ad..ad + 8].try_into().expect("8 bytes"));
+                    ctx.set_reg(ldst, v);
+                    if used >= budget {
+                        pc = (tpc + 1) as u32;
+                        break 'dispatch StopReason::BudgetExhausted;
+                    }
+                    insts += 1;
+                    let tax2 = if BT {
+                        ctx.bt.as_mut().expect("BT mode").charge_inst()
+                    } else {
+                        0
+                    };
+                    used += costs.alu + tax2;
+                    let v2 = op.eval(ctx.reg(a), imm);
+                    ctx.set_reg(dst, v2);
+                    tpc += 1;
+                }
+                DecodedOp::LoadAlu {
+                    ldst,
+                    base,
+                    offset,
+                    op,
+                    dst,
+                    a,
+                    b,
+                } => {
+                    let addr = ctx.reg(base).wrapping_add(offset) as u64;
+                    if !in_bounds(addr, data_len) {
+                        pc = tpc as u32;
+                        break 'dispatch fault(ctx, addr);
+                    }
+                    used += costs.alu
+                        + bt_inst_tax
+                        + env.mem.access(
+                            env.core,
+                            phys_addr(ctx.space, addr),
+                            AccessKind::Load,
+                            env.counters,
+                        );
+                    let ad = addr as usize;
+                    let v = i64::from_le_bytes(env.data[ad..ad + 8].try_into().expect("8 bytes"));
+                    ctx.set_reg(ldst, v);
+                    if used >= budget {
+                        pc = (tpc + 1) as u32;
+                        break 'dispatch StopReason::BudgetExhausted;
+                    }
+                    insts += 1;
+                    let tax2 = if BT {
+                        ctx.bt.as_mut().expect("BT mode").charge_inst()
+                    } else {
+                        0
+                    };
+                    used += costs.alu + tax2;
+                    let v2 = op.eval(ctx.reg(a), ctx.reg(b));
+                    ctx.set_reg(dst, v2);
+                    tpc += 1;
+                }
+                DecodedOp::LoadLoad {
+                    dst1,
+                    base1,
+                    off1,
+                    dst2,
+                    base2,
+                    off2,
+                } => {
+                    let addr = ctx.reg(base1).wrapping_add(off1) as u64;
+                    if !in_bounds(addr, data_len) {
+                        pc = tpc as u32;
+                        break 'dispatch fault(ctx, addr);
+                    }
+                    used += costs.alu
+                        + bt_inst_tax
+                        + env.mem.access(
+                            env.core,
+                            phys_addr(ctx.space, addr),
+                            AccessKind::Load,
+                            env.counters,
+                        );
+                    let ad = addr as usize;
+                    let v = i64::from_le_bytes(env.data[ad..ad + 8].try_into().expect("8 bytes"));
+                    ctx.set_reg(dst1, v);
+                    if used >= budget {
+                        pc = (tpc + 1) as u32;
+                        break 'dispatch StopReason::BudgetExhausted;
+                    }
+                    insts += 1;
+                    let tax2 = if BT {
+                        ctx.bt.as_mut().expect("BT mode").charge_inst()
+                    } else {
+                        0
+                    };
+                    let addr2 = ctx.reg(base2).wrapping_add(off2) as u64;
+                    if !in_bounds(addr2, data_len) {
+                        pc = (tpc + 1) as u32;
+                        break 'dispatch fault(ctx, addr2);
+                    }
+                    used += costs.alu
+                        + tax2
+                        + env.mem.access(
+                            env.core,
+                            phys_addr(ctx.space, addr2),
+                            AccessKind::Load,
+                            env.counters,
+                        );
+                    let ad2 = addr2 as usize;
+                    let v2 =
+                        i64::from_le_bytes(env.data[ad2..ad2 + 8].try_into().expect("8 bytes"));
+                    ctx.set_reg(dst2, v2);
+                    tpc += 1;
+                }
+                DecodedOp::AluImmAluImm {
+                    op1,
+                    dst1,
+                    a1,
+                    imm1,
+                    op2,
+                    dst2,
+                    a2,
+                    imm2,
+                } => {
+                    used += costs.alu + bt_inst_tax;
+                    let v = op1.eval(ctx.reg(a1), imm1);
+                    ctx.set_reg(dst1, v);
+                    if used >= budget {
+                        pc = (tpc + 1) as u32;
+                        break 'dispatch StopReason::BudgetExhausted;
+                    }
+                    insts += 1;
+                    let tax2 = if BT {
+                        ctx.bt.as_mut().expect("BT mode").charge_inst()
+                    } else {
+                        0
+                    };
+                    used += costs.alu + tax2;
+                    let v2 = op2.eval(ctx.reg(a2), imm2);
+                    ctx.set_reg(dst2, v2);
+                    tpc += 1;
+                }
+                DecodedOp::AluImmAlu {
+                    op1,
+                    dst1,
+                    a1,
+                    imm1,
+                    op2,
+                    dst2,
+                    a2,
+                    b2,
+                } => {
+                    used += costs.alu + bt_inst_tax;
+                    let v = op1.eval(ctx.reg(a1), imm1);
+                    ctx.set_reg(dst1, v);
+                    if used >= budget {
+                        pc = (tpc + 1) as u32;
+                        break 'dispatch StopReason::BudgetExhausted;
+                    }
+                    insts += 1;
+                    let tax2 = if BT {
+                        ctx.bt.as_mut().expect("BT mode").charge_inst()
+                    } else {
+                        0
+                    };
+                    used += costs.alu + tax2;
+                    let v2 = op2.eval(ctx.reg(a2), ctx.reg(b2));
+                    ctx.set_reg(dst2, v2);
+                    tpc += 1;
+                }
             }
-            i += 1;
+            tpc += 1;
         }
         // Fall through past the block's end to the next sequential block.
-        let next = start as u64 + u64::from(len);
+        let next = start as u64 + u64::from(tlen);
         match u32::try_from(next) {
             Ok(next_pc) => pc = next_pc,
             Err(_) => {
-                pc = (start + len as usize - 1) as u32;
+                pc = (start + tlen as usize - 1) as u32;
                 break fault(ctx, next);
             }
         }
@@ -1835,5 +2715,462 @@ mod tests {
         let (_, counters) = run_to_end(&text, &mut data, 0);
         assert_eq!(counters.llc_misses, 64);
         assert!(counters.cycles > 64 * 180);
+    }
+    /// A fusion-rich program exercising every superop shape: loop 1
+    /// pairs Load+Alu and AluImm+AluImm, loop 2 pairs Load+AluImm and
+    /// AluImm+Alu, loop 3 pairs Alu+Bnz, and the epilogue takes a fused
+    /// AluImm+Bz over a poison op it must skip, then issues an adjacent
+    /// Load+Load pair before the stores.
+    fn fused_shapes_text() -> Vec<Op> {
+        vec![
+            // 0:
+            Op::Movi {
+                dst: PReg(0),
+                imm: 0,
+            },
+            Op::Movi {
+                dst: PReg(7),
+                imm: 0,
+            },
+            // loop1 at 2: sum 16 lines into r5, bump r0 by a line.
+            Op::Load {
+                dst: PReg(1),
+                base: PReg(0),
+                offset: 0,
+            },
+            Op::Alu {
+                op: BinOp::Add,
+                dst: PReg(5),
+                a: PReg(5),
+                b: PReg(1),
+            },
+            Op::AluImm {
+                op: BinOp::Add,
+                dst: PReg(0),
+                a: PReg(0),
+                imm: 64,
+            },
+            Op::AluImm {
+                op: BinOp::Lt,
+                dst: PReg(2),
+                a: PReg(0),
+                imm: 1024,
+            },
+            Op::Bnz {
+                cond: PReg(2),
+                target: 2,
+            },
+            // 7: loop2 preamble, then 5 iterations of r4 += 3.
+            Op::Movi {
+                dst: PReg(6),
+                imm: 5,
+            },
+            // loop2 at 8:
+            Op::Load {
+                dst: PReg(1),
+                base: PReg(7),
+                offset: 0,
+            },
+            Op::AluImm {
+                op: BinOp::Add,
+                dst: PReg(4),
+                a: PReg(4),
+                imm: 3,
+            },
+            Op::AluImm {
+                op: BinOp::Sub,
+                dst: PReg(6),
+                a: PReg(6),
+                imm: 1,
+            },
+            Op::Alu {
+                op: BinOp::Eq,
+                dst: PReg(2),
+                a: PReg(6),
+                b: PReg(7),
+            },
+            Op::Bz {
+                cond: PReg(2),
+                target: 8,
+            },
+            // 13: loop3 preamble, count r6 from 3 to 0.
+            Op::Movi {
+                dst: PReg(8),
+                imm: 1,
+            },
+            Op::Movi {
+                dst: PReg(6),
+                imm: 3,
+            },
+            // loop3 at 15:
+            Op::Alu {
+                op: BinOp::Sub,
+                dst: PReg(6),
+                a: PReg(6),
+                b: PReg(8),
+            },
+            Op::Bnz {
+                cond: PReg(6),
+                target: 15,
+            },
+            // 17: fused compare+Bz skips the poison op.
+            Op::AluImm {
+                op: BinOp::Lt,
+                dst: PReg(2),
+                a: PReg(6),
+                imm: 0,
+            },
+            Op::Bz {
+                cond: PReg(2),
+                target: 20,
+            },
+            // 19: poison; executing it means a fused branch went wrong.
+            Op::Movi {
+                dst: PReg(5),
+                imm: -777,
+            },
+            // 20: epilogue; the adjacent loads fuse into a LoadLoad.
+            Op::Load {
+                dst: PReg(1),
+                base: PReg(7),
+                offset: 0,
+            },
+            Op::Load {
+                dst: PReg(3),
+                base: PReg(7),
+                offset: 8,
+            },
+            Op::Store {
+                base: PReg(7),
+                offset: 4096,
+                src: PReg(5),
+            },
+            Op::Store {
+                base: PReg(7),
+                offset: 4104,
+                src: PReg(4),
+            },
+            Op::Report {
+                channel: 1,
+                src: PReg(4),
+            },
+            Op::Halt,
+        ]
+    }
+
+    /// Runs `text` to completion in fixed-size quanta, optionally forcing
+    /// the always-decode fallback, and returns everything an observer can
+    /// see: the per-quantum (pc, cycles) trajectory, final counters,
+    /// final data image, reports, and status.
+    #[allow(clippy::type_complexity)]
+    fn run_quantized(
+        text: &[Op],
+        quantum: u64,
+        fallback: bool,
+    ) -> (
+        Vec<(u32, u64)>,
+        PerfCounters,
+        Vec<u8>,
+        Vec<(u8, i64)>,
+        ExecStatus,
+    ) {
+        let cfg = MachineConfig::small();
+        let mut mem = MemorySystem::new(&cfg);
+        let mut data = vec![0u8; 8192];
+        let mut counters = PerfCounters::default();
+        let mut blocks = BlockCache::new();
+        blocks.set_fallback(fallback);
+        let mut ctx = ExecContext::new(0, 1, 0);
+        let mut traj = Vec::new();
+        loop {
+            let mut env = ExecEnv {
+                text,
+                text_gen: 0,
+                blocks: &mut blocks,
+                data: &mut data,
+                mem: &mut mem,
+                core: 0,
+                counters: &mut counters,
+                costs: CostModel::default(),
+            };
+            let res = run(&mut ctx, &mut env, quantum);
+            traj.push((ctx.pc(), res.cycles));
+            if res.stop != StopReason::BudgetExhausted {
+                break;
+            }
+            assert!(traj.len() < 5_000_000, "program did not finish");
+        }
+        let reports = ctx.reports.clone();
+        (traj, counters, data, reports, ctx.status())
+    }
+
+    #[test]
+    fn decoded_and_fallback_are_bit_identical_across_quanta() {
+        let text = fused_shapes_text();
+        // Quantum 1 forces a boundary before every instruction, so every
+        // fused pair gets split mid-pair at least once; 7 lands the
+        // boundary at rotating offsets; the large quantum never splits.
+        for quantum in [1u64, 7, 1_000_000] {
+            let decoded = run_quantized(&text, quantum, false);
+            let fallback = run_quantized(&text, quantum, true);
+            assert_eq!(decoded, fallback, "quantum {quantum} diverged");
+            let (_, counters, data, reports, status) = decoded;
+            assert_eq!(status, ExecStatus::Halted);
+            // r5 untouched by the poison op, r4 == 5 iterations * 3.
+            assert_eq!(i64::from_le_bytes(data[4096..4104].try_into().unwrap()), 0);
+            assert_eq!(i64::from_le_bytes(data[4104..4112].try_into().unwrap()), 15);
+            assert_eq!(reports, vec![(1, 15)]);
+            assert!(counters.instructions > 0);
+        }
+    }
+
+    #[test]
+    fn decode_stats_track_hits_misses_and_fusion() {
+        let text = fused_shapes_text();
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+        data.resize(8192, 0);
+        let mut ctx = ExecContext::new(0, 1, 0);
+        let mut env = ExecEnv {
+            text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1_000_000);
+        assert_eq!(res.stop, StopReason::Halted);
+        let stats = blocks.stats();
+        // Eight distinct blocks are entered (0, 2, 7, 8, 13, 15, 17, 20);
+        // the poison block at 19 is never decoded. Superops: two each in
+        // the blocks at 0/2/7/8 (LoadAlu + AluImmAluImm, LoadAluImm +
+        // AluImmAlu), one each at 13/15/17, and the LoadLoad at 20.
+        assert_eq!(stats.misses, 8);
+        assert_eq!(stats.fused_ops, 12);
+        assert_eq!(stats.invalidations, 0);
+        // Every loop back-edge re-dispatch is a hit.
+        assert!(stats.hits > stats.misses);
+
+        // The fallback path never caches and never fuses.
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+        data.resize(8192, 0);
+        blocks.set_fallback(true);
+        let mut ctx = ExecContext::new(0, 1, 0);
+        let mut env = ExecEnv {
+            text: &text,
+            text_gen: 0,
+            blocks: &mut blocks,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1_000_000);
+        assert_eq!(res.stop, StopReason::Halted);
+        let stats = blocks.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.fused_ops, 0);
+        assert!(stats.misses > 8, "every dispatch should decode fresh");
+    }
+
+    #[test]
+    fn length_change_without_gen_bump_never_replays_stale_block() {
+        // Regression for the stale-shape window: the decoded tier copies
+        // ops out of text, so a length change with a forgotten generation
+        // bump must still invalidate. Decode against the short text, then
+        // present a longer text that also rewrites an op *in place* at
+        // the same generation; the stale decoded vector must not replay.
+        let short = vec![
+            Op::Movi {
+                dst: PReg(0),
+                imm: 5,
+            },
+            Op::Halt,
+        ];
+        let long = vec![
+            Op::Movi {
+                dst: PReg(0),
+                imm: 5,
+            },
+            // In-place change at index 1 (was Halt), plus appended ops.
+            Op::Movi {
+                dst: PReg(1),
+                imm: 9,
+            },
+            Op::Store {
+                base: PReg(2),
+                offset: 128,
+                src: PReg(1),
+            },
+            Op::Halt,
+        ];
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+        {
+            let mut ctx = ExecContext::new(0, 1, 0);
+            let mut env = ExecEnv {
+                text: &short,
+                text_gen: 0,
+                blocks: &mut blocks,
+                data: &mut data,
+                mem: &mut mem,
+                core: 0,
+                counters: &mut counters,
+                costs: CostModel::default(),
+            };
+            let res = run(&mut ctx, &mut env, 1_000_000);
+            assert_eq!(res.stop, StopReason::Halted);
+        }
+        assert_eq!(blocks.stats().misses, 1);
+        // Same generation, longer text: a fresh context must execute the
+        // new ops, not the stale [Movi, Halt] vector.
+        let mut ctx = ExecContext::new(0, 1, 0);
+        let mut env = ExecEnv {
+            text: &long,
+            text_gen: 0,
+            blocks: &mut blocks,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1_000_000);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(
+            i64::from_le_bytes(env.data[128..136].try_into().unwrap()),
+            9
+        );
+        assert_eq!(blocks.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn invalidation_recycles_decoded_vectors_through_pool() {
+        let text_a = counted_loop_text();
+        let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+        let mut ctx = ExecContext::new(0, 1, 0);
+        let mut env = ExecEnv {
+            text: &text_a,
+            text_gen: 0,
+            blocks: &mut blocks,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1_000_000);
+        assert_eq!(res.stop, StopReason::Halted);
+        let decoded_blocks = blocks.blocks.len();
+        assert!(decoded_blocks >= 2);
+        // Bump the generation: the decoded set drops, every retired
+        // vector lands in the pool, and the next decode drains it.
+        blocks.sync(text_a.len(), 1);
+        assert_eq!(blocks.blocks.len(), 0);
+        assert_eq!(blocks.pool.len(), decoded_blocks);
+        assert_eq!(blocks.stats().invalidations, 1);
+        let mut ctx = ExecContext::new(0, 1, 0);
+        let mut env = ExecEnv {
+            text: &text_a,
+            text_gen: 1,
+            blocks: &mut blocks,
+            data: &mut data,
+            mem: &mut mem,
+            core: 0,
+            counters: &mut counters,
+            costs: CostModel::default(),
+        };
+        let res = run(&mut ctx, &mut env, 1_000_000);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert!(
+            blocks.pool.len() < decoded_blocks,
+            "decode should reuse pooled vectors"
+        );
+    }
+
+    #[test]
+    fn osr_park_inside_fused_pair_is_bit_exact() {
+        // counted_loop_text's header block fuses its AluImm compare (pc 3)
+        // with the Bnz (pc 4). Parking at pc 4 cuts through the middle of
+        // that superop; the clamped dispatch must stop exactly there with
+        // the same state the unfused fallback produces.
+        let text = counted_loop_text();
+        let run_mode = |fallback: bool| {
+            let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+            blocks.set_fallback(fallback);
+            let mut ctx = ExecContext::new(0, 1, 0);
+            ctx.osr_arm(4, 2);
+            let mut env = ExecEnv {
+                text: &text,
+                text_gen: 0,
+                blocks: &mut blocks,
+                data: &mut data,
+                mem: &mut mem,
+                core: 0,
+                counters: &mut counters,
+                costs: CostModel::default(),
+            };
+            let res = run(&mut ctx, &mut env, 1_000_000);
+            assert_eq!(res.stop, StopReason::OsrParked);
+            assert_eq!(ctx.pc(), 4);
+            assert_eq!(ctx.osr_hits(), 2);
+            let parked_regs = ctx.frame_regs().to_vec();
+            ctx.osr_disarm();
+            let more = run(&mut ctx, &mut env, 1_000_000);
+            assert_eq!(more.stop, StopReason::Halted);
+            (res.cycles + more.cycles, parked_regs, data, counters)
+        };
+        let decoded = run_mode(false);
+        let fallback = run_mode(true);
+        assert_eq!(decoded, fallback);
+        // r0 == 2: two increments have run when the 2nd hit at pc 4 fires.
+        assert_eq!(decoded.1[0], 2);
+    }
+
+    #[test]
+    fn budget_boundary_lands_on_second_constituent_of_fused_pair() {
+        // Block of [AluImm Lt, Bnz, Halt]: the pair fuses, yet a budget
+        // of exactly one ALU cost must stop *between* the constituents
+        // with the PC on the Bnz — quantum boundaries are per
+        // instruction, never per superop.
+        let text = vec![
+            Op::AluImm {
+                op: BinOp::Lt,
+                dst: PReg(1),
+                a: PReg(0),
+                imm: 0,
+            },
+            Op::Bnz {
+                cond: PReg(1),
+                target: 0,
+            },
+            Op::Halt,
+        ];
+        for fallback in [false, true] {
+            let (mut mem, mut data, mut counters, mut blocks) = env_parts();
+            blocks.set_fallback(fallback);
+            let mut ctx = ExecContext::new(0, 1, 0);
+            let mut env = ExecEnv {
+                text: &text,
+                text_gen: 0,
+                blocks: &mut blocks,
+                data: &mut data,
+                mem: &mut mem,
+                core: 0,
+                counters: &mut counters,
+                costs: CostModel::default(),
+            };
+            let costs = CostModel::default();
+            let res = run(&mut ctx, &mut env, costs.alu);
+            assert_eq!(res.stop, StopReason::BudgetExhausted, "fallback {fallback}");
+            assert_eq!(res.cycles, costs.alu);
+            assert_eq!(ctx.pc(), 1, "PC must sit on the fused pair's branch");
+            assert_eq!(env.counters.instructions, 1);
+            let res2 = run(&mut ctx, &mut env, 1_000_000);
+            assert_eq!(res2.stop, StopReason::Halted);
+            assert_eq!(env.counters.instructions, 3);
+        }
     }
 }

@@ -75,6 +75,7 @@ impl MemorySystem {
     /// Performs an access from `core` to physical byte address `paddr`,
     /// updating `counters` and returning the stall cycles beyond the base
     /// instruction cost.
+    #[inline]
     pub fn access(
         &mut self,
         core: usize,
@@ -85,6 +86,15 @@ impl MemorySystem {
         let line = paddr >> self.line_shift;
         if let AccessKind::NonTemporalPrefetch = kind {
             counters.nt_prefetches += 1;
+        }
+        // Demand path with the prefetcher off (the default): every miss
+        // at a level is followed by a fill of the same line at that
+        // level, so each level's lookup and fill fuse into one set visit.
+        // Per-cache op sequences (ticks, stamps, stats, victim choices)
+        // are bit-identical to the unfused chain below — the caches share
+        // no state, so reordering *across* levels changes nothing.
+        if !self.prefetcher.enabled {
+            return self.access_fused(core, line, kind, counters);
         }
         if self.l1[core].lookup(line) {
             return 0;
@@ -122,6 +132,56 @@ impl MemorySystem {
             },
         }
         self.mem_latency
+    }
+
+    /// The fused demand path: one set visit per level via
+    /// [`Cache::lookup_or_fill`]. Only reachable with the hardware
+    /// prefetcher disabled, so the prefetch hook (which must observe
+    /// pre-fill state at the levels it probes) never interleaves here.
+    #[inline]
+    fn access_fused(
+        &mut self,
+        core: usize,
+        line: u64,
+        kind: AccessKind,
+        counters: &mut PerfCounters,
+    ) -> u64 {
+        // Every access kind fills L1 at MRU on a miss.
+        if self.l1[core].lookup_or_fill(line, InsertPos::Mru) {
+            return 0;
+        }
+        counters.l1_misses += 1;
+        match kind {
+            AccessKind::Load | AccessKind::Store => {
+                if self.l2[core].lookup_or_fill(line, InsertPos::Mru) {
+                    return self.l2_latency;
+                }
+                counters.l2_misses += 1;
+                if self.l3.lookup_or_fill(line, InsertPos::Mru) {
+                    counters.llc_hits += 1;
+                    return self.l3_latency;
+                }
+                counters.llc_misses += 1;
+                self.mem_latency
+            }
+            AccessKind::NonTemporalPrefetch => {
+                // NT accesses never fill L2, and fill the LLC only under
+                // the LRU-insert policy — plain lookups at those levels.
+                if self.l2[core].lookup(line) {
+                    return self.l2_latency;
+                }
+                counters.l2_misses += 1;
+                if self.l3.lookup(line) {
+                    counters.llc_hits += 1;
+                    return self.l3_latency;
+                }
+                counters.llc_misses += 1;
+                if let NtPolicy::LruInsert = self.nt_policy {
+                    self.l3.fill(line, InsertPos::Lru);
+                }
+                self.mem_latency
+            }
+        }
     }
 
     /// Number of LLC lines whose physical address satisfies `pred`

@@ -49,7 +49,9 @@ pub mod hierarchy;
 pub use cache::{Cache, CacheConfig, CacheStats, InsertPos};
 pub use config::{BtConfig, CostModel, MachineConfig, NtPolicy, PrefetcherConfig};
 pub use counters::PerfCounters;
-pub use exec::{BlockCache, BtState, ExecContext, ExecEnv, ExecStatus, RunResult, StopReason};
+pub use exec::{
+    BlockCache, BtState, DecodeStats, ExecContext, ExecEnv, ExecStatus, RunResult, StopReason,
+};
 pub use hierarchy::{AccessKind, MemorySystem};
 
 /// Composes a per-process physical address from a small address-space id

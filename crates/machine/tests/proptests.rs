@@ -68,6 +68,30 @@ proptest! {
     }
 
     #[test]
+    fn swar_lookup_agrees_with_scalar_probe(
+        ops in vec((any::<u64>(), arb_insert(), any::<bool>()), 0..2000),
+    ) {
+        // `probe` scans the full tags scalar-style; `lookup` goes through
+        // the SWAR partial-tag scan. They must agree on presence for
+        // every line, on every geometry (including non-multiple-of-8
+        // ways with padding lanes and >8-way multi-word sets).
+        for (sets, ways) in [(4usize, 3usize), (16, 4), (2, 12)] {
+            let mut c = Cache::new(CacheConfig { sets, ways, hit_latency: 0 });
+            for &(line, pos, inv) in &ops {
+                let present = c.probe(line);
+                prop_assert_eq!(c.lookup(line), present, "line {} in {}x{}", line, sets, ways);
+                if inv {
+                    prop_assert_eq!(c.invalidate(line), present);
+                    prop_assert!(!c.probe(line));
+                } else if !present {
+                    c.fill(line, pos);
+                    prop_assert!(c.probe(line));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn nt_bypass_never_fills_llc(addrs in vec(0u64..(1 << 20), 1..300)) {
         let mut cfg = MachineConfig::small();
         cfg.nt_policy = NtPolicy::Bypass;
@@ -146,6 +170,77 @@ proptest! {
             costs: CostModel::default(),
         };
         let _ = machine::exec::run(&mut ctx, &mut env, 200_000);
+    }
+
+    #[test]
+    fn decoded_tier_matches_fallback_on_arbitrary_code(
+        raw in vec((0u8..16, any::<u8>(), any::<u8>(), any::<u8>(), -64i64..64), 1..80),
+        quantum in prop_oneof![Just(1u64), Just(13), Just(100_000)],
+    ) {
+        // Differential property: the cached+fused decoded tier and the
+        // always-decode fallback must be bit-identical on arbitrary
+        // (often invalid) programs — same stop reasons, cycle counts,
+        // counters, final PC/status, and data image — at any quantum
+        // size, including one-cycle quanta that split every fused pair.
+        let text: Vec<Op> = raw
+            .iter()
+            .map(|(kind, a, b, c, imm)| {
+                let r = |x: &u8| PReg(x % 16);
+                match kind % 12 {
+                    0 => Op::Movi { dst: r(a), imm: *imm },
+                    1 => Op::Alu {
+                        op: pir::BinOp::ALL[(*b as usize) % 16],
+                        dst: r(a),
+                        a: r(b),
+                        b: r(c),
+                    },
+                    2 => Op::AluImm {
+                        op: pir::BinOp::ALL[(*b as usize) % 16],
+                        dst: r(a),
+                        a: r(c),
+                        imm: *imm,
+                    },
+                    3 => Op::Load { dst: r(a), base: r(b), offset: *imm },
+                    4 => Op::Store { base: r(a), offset: *imm, src: r(b) },
+                    5 => Op::PrefetchNta { base: r(a), offset: *imm },
+                    6 => Op::Jmp { target: u32::from(*c) },
+                    7 => Op::Bnz { cond: r(a), target: u32::from(*c) },
+                    8 => Op::Bz { cond: r(a), target: u32::from(*c) },
+                    9 => Op::Call { target: u32::from(*c), dst: Some(r(a)), args: vec![r(b)] },
+                    10 => Op::Ret { src: None },
+                    _ => Op::Halt,
+                }
+            })
+            .collect();
+        let run_mode = |fallback: bool| {
+            let cfg = MachineConfig::small();
+            let mut mem = MemorySystem::new(&cfg);
+            let mut counters = PerfCounters::default();
+            let mut ctx = ExecContext::new(0, 1, 0);
+            let mut data = vec![0u8; 4096];
+            let mut blocks = machine::BlockCache::new();
+            blocks.set_fallback(fallback);
+            let mut trail = Vec::new();
+            for _ in 0..200 {
+                let mut env = ExecEnv {
+                    text: &text,
+                    text_gen: 0,
+                    blocks: &mut blocks,
+                    data: &mut data,
+                    mem: &mut mem,
+                    core: 0,
+                    counters: &mut counters,
+                    costs: CostModel::default(),
+                };
+                let res = machine::exec::run(&mut ctx, &mut env, quantum);
+                trail.push((ctx.pc(), ctx.status(), res.cycles, res.stop));
+                if res.stop != machine::StopReason::BudgetExhausted {
+                    break;
+                }
+            }
+            (trail, counters, data)
+        };
+        prop_assert_eq!(run_mode(false), run_mode(true));
     }
 
     #[test]

@@ -169,11 +169,28 @@ impl HostMonitor {
     /// dispatch safety gate's counters, and the hottest functions. The
     /// window is left open ([`peek`](HostMonitor::peek) semantics).
     pub fn report(&self, os: &Os, rt: &Runtime) -> MonitorReport {
+        // Fold the interpreter's decode-cache effectiveness counters into
+        // the snapshot as the `machine.decoded_*` group, so dashboards
+        // see them next to the gate/OSR counters.
+        let mut metrics = rt.metrics().snapshot();
+        let d = os.decode_stats(self.pid);
+        metrics
+            .counters
+            .insert("machine.decoded_hits".to_string(), d.hits);
+        metrics
+            .counters
+            .insert("machine.decoded_misses".to_string(), d.misses);
+        metrics
+            .counters
+            .insert("machine.decoded_invalidations".to_string(), d.invalidations);
+        metrics
+            .counters
+            .insert("machine.decoded_fused_ops".to_string(), d.fused_ops);
         MonitorReport {
             window: self.peek(os),
             gate: rt.gate_stats(),
             health: None,
-            metrics: rt.metrics().snapshot(),
+            metrics,
             hot: self.hot_funcs(),
         }
     }
@@ -491,6 +508,26 @@ mod tests {
         assert!(text.contains("1 rejected"), "{text}");
         assert!(text.contains("hot:"), "{text}");
         assert!(text.contains("window:"), "{text}");
+    }
+
+    #[test]
+    fn report_surfaces_decode_cache_counters() {
+        let out = Compiler::new(Options::protean()).compile(&host()).unwrap();
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&out.image, 0);
+        let rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+        let mon = HostMonitor::new(&os, pid, 1.0);
+        os.advance(50_000);
+        let report = mon.report(&os, &rt);
+        let c = |name: &str| report.metrics.counters.get(name).copied().unwrap_or(0);
+        // The loop-heavy host program replays decoded blocks constantly
+        // and forms at least one fused superop.
+        assert!(c("machine.decoded_hits") > c("machine.decoded_misses"));
+        assert!(c("machine.decoded_misses") > 0);
+        assert!(c("machine.decoded_fused_ops") > 0);
+        let stats = os.decode_stats(pid);
+        assert_eq!(c("machine.decoded_hits"), stats.hits);
+        assert_eq!(c("machine.decoded_invalidations"), stats.invalidations);
     }
 
     #[test]

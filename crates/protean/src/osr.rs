@@ -36,6 +36,14 @@
 //! [`FaultKind::RecipeCorrupt`], and [`FaultKind::TransferMisapply`] to
 //! drive the abandon, refusal, and deopt paths respectively (see
 //! `tests/chaos.rs`).
+//!
+//! The interpreter's pre-decoded superblock tier is transparent to OSR:
+//! a park lands mid-block by clamping the decoded replay at the armed
+//! PC (the block is re-decoded to the cut point, never executed past
+//! it), and resume at the variant header re-enters through the ordinary
+//! block lookup, so a park/transfer/resume round-trip is bit-identical
+//! whether the decoded tier or the from-scratch fallback decoder is
+//! active (`tests/osr_live.rs` pins this).
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;

@@ -443,6 +443,23 @@ impl Os {
         self.proc(pid).ctx().status()
     }
 
+    /// Decoded-block cache effectiveness counters for a process. Unlike
+    /// [`counters`](Os::counters) these are simulator-internal (they
+    /// measure the interpreter, not the simulated machine), so
+    /// observation faults never garble them.
+    pub fn decode_stats(&self, pid: Pid) -> machine::DecodeStats {
+        self.proc(pid).decode_stats()
+    }
+
+    /// Forces (or releases) the interpreter's always-decode fallback for
+    /// one process: every dispatch re-decodes its block, uncached and
+    /// unfused. Simulated results are bit-identical in either mode —
+    /// this is the differential-testing reference path, not a semantic
+    /// switch.
+    pub fn set_decode_fallback(&mut self, pid: Pid, on: bool) {
+        self.proc_mut(pid).blocks.set_fallback(on);
+    }
+
     /// Cumulative application metric on `channel`.
     pub fn app_metric(&self, pid: Pid, channel: u8) -> i64 {
         self.proc(pid).metric(channel)
@@ -683,10 +700,19 @@ impl Os {
     /// quantum granularity.
     pub fn advance(&mut self, cycles: u64) {
         let end = self.now + cycles;
+        // The per-quantum wall-time window is only needed to integrate
+        // offered-load schedules; batch-only runs skip the conversions.
+        let any_load = self.procs.iter().any(|p| p.load.is_some());
         while self.now < end {
             let q = self.config.quantum.min(end - self.now);
-            let t0 = self.config.machine.cycles_to_seconds(self.now);
-            let t1 = self.config.machine.cycles_to_seconds(self.now + q);
+            let (t0, t1) = if any_load {
+                (
+                    self.config.machine.cycles_to_seconds(self.now),
+                    self.config.machine.cycles_to_seconds(self.now + q),
+                )
+            } else {
+                (0.0, 0.0)
+            };
             for core in 0..self.core_proc.len() {
                 let mut budget = q;
                 // Runtime work shares the core with the pinned process.

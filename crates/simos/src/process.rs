@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use machine::{BlockCache, ExecContext, PerfCounters};
+use machine::{BlockCache, DecodeStats, ExecContext, PerfCounters};
 use visa::{FuncSym, GlobalSym, Image, MetaDesc, Op};
 
 use crate::loadgen::LoadSchedule;
@@ -125,6 +125,13 @@ impl Process {
     /// Counter snapshot.
     pub fn counters(&self) -> PerfCounters {
         self.counters
+    }
+
+    /// Decoded-block cache effectiveness counters (the
+    /// `machine.decoded_*` group): dispatch hits/misses, wholesale
+    /// invalidations, and superops formed.
+    pub fn decode_stats(&self) -> DecodeStats {
+        self.blocks.stats()
     }
 
     /// The execution context (PC samples, status).

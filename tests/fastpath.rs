@@ -112,6 +112,113 @@ fn block_cache_survives_live_patch_storm() {
     );
 }
 
+/// Runs the full patch-storm scenario with observation tracing on, in
+/// the given decode mode, and returns everything an observer can see:
+/// final data image, counters, step count, recompile count, the trace
+/// JSONL, and the decode-cache stats.
+fn storm_run(fallback: bool) -> StormOutcome {
+    let image = Compiler::new(Options::protean())
+        .compile(&observable_program())
+        .unwrap()
+        .image;
+    let mut os = Os::new(OsConfig::small());
+    let pid = os.spawn(&image, 0);
+    os.set_obs_trace(Some(1 << 14));
+    os.set_decode_fallback(pid, fallback);
+    let mut rt = Runtime::attach(&os, pid, RuntimeConfig::on_core(1)).unwrap();
+    let mut eng = StressEngine::new(&rt, 3_000, 0xfa57);
+    let mut steps = 0u64;
+    while !matches!(os.status(pid), machine::ExecStatus::Halted) {
+        os.advance(1_000);
+        eng.step(&mut os, &mut rt);
+        steps += 1;
+        assert!(steps < 5_000_000, "storm run did not halt");
+    }
+    StormOutcome {
+        data: data_snapshot(&os, pid),
+        counters: os.proc(pid).counters(),
+        steps,
+        recompiles: eng.recompiles(),
+        trace: rt.trace_jsonl(&os),
+        decode: os.decode_stats(pid),
+    }
+}
+
+struct StormOutcome {
+    data: Vec<u8>,
+    counters: machine::PerfCounters,
+    steps: u64,
+    recompiles: u64,
+    trace: String,
+    decode: machine::DecodeStats,
+}
+
+/// The decoded tier under a recompilation storm must be bit-identical to
+/// the forced always-decode fallback: same output, same counters, same
+/// step count, same trace JSONL. Only the decode-cache stats may differ
+/// (that is the point of the tier).
+#[test]
+fn decoded_tier_patch_storm_is_bit_identical_to_fallback() {
+    let decoded = storm_run(false);
+    let fallback = storm_run(true);
+    assert_eq!(decoded.data, fallback.data, "output diverged");
+    assert_eq!(decoded.counters, fallback.counters, "counters diverged");
+    assert_eq!(decoded.steps, fallback.steps);
+    assert_eq!(decoded.recompiles, fallback.recompiles);
+    assert_eq!(decoded.trace, fallback.trace, "trace JSONL diverged");
+    // The decoded run must have exercised the tier for the comparison to
+    // mean anything: cache hits, superops, and storm-driven
+    // invalidations all nonzero; the fallback never caches.
+    assert!(decoded.decode.hits > decoded.decode.misses);
+    assert!(decoded.decode.fused_ops > 0);
+    assert!(decoded.decode.invalidations > 0, "storm must invalidate");
+    assert_eq!(fallback.decode.hits, 0);
+    assert_eq!(fallback.decode.fused_ops, 0);
+}
+
+/// Mid-block OSR park/resume through the decoded tier: arm parks at PCs
+/// sampled mid-run (typically strictly inside a decoded block, often on
+/// the second constituent of a fused pair), park, capture the frame,
+/// resume in place, and run to completion — all bit-identical between
+/// decoded and fallback modes.
+#[test]
+fn decoded_tier_osr_park_resume_matches_fallback() {
+    let run_mode = |fallback: bool| {
+        let image = Compiler::new(Options::protean())
+            .compile(&observable_program())
+            .unwrap()
+            .image;
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&image, 0);
+        os.set_decode_fallback(pid, fallback);
+        let mut parks = Vec::new();
+        for warmup in [10_000u64, 60_000] {
+            os.advance(warmup);
+            if matches!(os.status(pid), machine::ExecStatus::Halted) {
+                break;
+            }
+            let pc = os.sample_pc(pid);
+            os.osr_arm(pid, pc, 3);
+            let mut waited = 0u64;
+            while !os.is_osr_parked(pid) {
+                os.advance(500);
+                waited += 1;
+                assert!(waited < 1_000_000, "park never fired at pc {pc}");
+            }
+            parks.push((pc, os.osr_hits(pid), os.osr_frame(pid).to_vec()));
+            os.osr_disarm(pid);
+        }
+        while !matches!(os.status(pid), machine::ExecStatus::Halted) {
+            os.advance(100_000);
+        }
+        (parks, data_snapshot(&os, pid), os.proc(pid).counters())
+    };
+    let decoded = run_mode(false);
+    let fallback = run_mode(true);
+    assert_eq!(decoded, fallback);
+    assert_eq!(decoded.0.len(), 2, "both parks must fire");
+}
+
 /// A whole simulated experiment per work item returns bit-identical
 /// results at any worker count: the property the parallel figure
 /// harnesses rely on.

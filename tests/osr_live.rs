@@ -192,6 +192,54 @@ fn applied_transfer_matches_interpreter_oracle() {
 }
 
 // ---------------------------------------------------------------------
+// Decode-mode bit-identity: the park/transfer/resume round-trip must
+// not care whether the pre-decoded superblock tier or the from-scratch
+// fallback decoder is executing (a park lands mid-block by clamping the
+// decoded replay at the armed PC; resume re-enters via block lookup).
+// ---------------------------------------------------------------------
+
+fn osr_round_trip(fallback: bool) -> (u64, u64, u64, u32) {
+    const TRIP: i64 = 20_000;
+    const HIT: u64 = 500;
+    let module = oracle_module(TRIP);
+    let (mut os, pid, mut rt) = spawn_attached(&module);
+    os.set_decode_fallback(pid, fallback);
+    let spin = rt.module().function_by_name("spin").unwrap();
+    let mut health = HealthMonitor::new(HealthConfig::default());
+    let mut ctl = OsrController::new(OsrConfig {
+        park_hit: HIT,
+        stuck_samples: 1,
+        arm_window_cycles: 50_000_000,
+        probation_cycles: 1_000,
+        enabled: true,
+    });
+    let nt = nt_for(rt.module(), spin);
+    let idx = rt.compile_variant(&mut os, spin, &nt).unwrap();
+    ctl.arm(&mut os, &mut rt, &mut health, spin, idx)
+        .expect("arming must succeed");
+    tick_until_applied(&mut os, &mut rt, &mut health, &mut ctl);
+    run_to_halt(&mut os, pid);
+    let cursor_addr = rt.link().global_addrs[1];
+    (
+        os.read_u64(pid, cursor_addr),
+        os.read_u64(pid, cursor_addr + 8),
+        os.proc(pid).counters().instructions,
+        os.proc(pid).ctx().pc(),
+    )
+}
+
+#[test]
+fn osr_round_trip_is_bit_identical_across_decode_modes() {
+    let decoded = osr_round_trip(false);
+    let fallback = osr_round_trip(true);
+    assert_eq!(
+        decoded, fallback,
+        "OSR park/transfer/resume diverged between the decoded tier and \
+         the fallback decoder (cursor, checksum, instructions, pc)"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Bit-identity: disabled engine (and expired windows) are invisible
 // ---------------------------------------------------------------------
 
