@@ -1,21 +1,24 @@
-//! Figures 17-18 (and Table III): datacenter-scale impact. Server counts
-//! required to run each (webservice, batch-mix) pairing with PC3D
-//! co-location vs no co-location at equal throughput, and the resulting
-//! energy-efficiency ratio under a linear power model.
+//! Figures 17-18 (and Table III): datacenter-scale impact, re-derived
+//! from discrete-event simulation. Two warehouses are simulated end to
+//! end — the co-located fleet (every server hosting its LS service plus
+//! a pinned batch stream under PC3D) and the segregated fleet (LS alone,
+//! with the consolidating balancer parking idle servers through the
+//! diurnal trough) — and the figures fall out of the event streams:
+//! Fig. 17 from the batch-only servers the segregated fleet would need
+//! to match the co-located fleet's simulated batch throughput, Fig. 18
+//! from energies integrated over simulated per-server busy fractions.
 //!
-//! Every (webservice, mix, batch) cell is an independent simulation, so
-//! the grid fans out across `protean_bench::pool` workers
-//! (`PROTEAN_JOBS`); results are merged in input order, making the
-//! printed tables identical to a serial run.
+//! Per-server cycle boxes fan out across `protean_bench::pool` workers
+//! (`PROTEAN_JOBS`) at epoch barriers; all cluster-level decisions stay
+//! serial, so the printed tables are bit-identical to a serial run.
 
-use datacenter::{analyze, PairMeasurement, PowerModel, LS_APPS, MIXES};
-use protean_bench::{pool, report, run_pc3d_pair, Scale};
+use datacenter::{fig17_18, LS_APPS, MIXES};
+use protean_bench::dc::{fig17_18_json, pool_exec, scaleout_scenario};
+use protean_bench::{pool, report, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    let secs = scale.secs(40.0);
-    let machines = 10_000.0;
-    let cores = 4;
+    let scenario = scaleout_scenario(scale);
     let t0 = std::time::Instant::now();
 
     protean_bench::header("Table III — workload mixes for scale-out analysis");
@@ -23,55 +26,65 @@ fn main() {
     for m in MIXES {
         println!("  {}  {:?}", m.name, m.batch_apps);
     }
+    println!(
+        "\n  simulating 2 fleets x {} servers for {:.0}s (seed {})",
+        scenario.servers_per_group * LS_APPS.len() * MIXES.len(),
+        scenario.duration_secs,
+        scenario.seed
+    );
 
-    // Flatten the (ls, mix, batch) grid into one work list so the pool
-    // keeps every worker busy across mix boundaries.
-    let cells: Vec<(&str, &str)> = LS_APPS
-        .iter()
-        .flat_map(|&ls| {
-            MIXES
-                .iter()
-                .flat_map(move |mix| mix.batch_apps.iter().map(move |&batch| (ls, batch)))
-        })
-        .collect();
-    let measured = pool::map(&cells, |_, &(ls, batch)| {
-        let r = run_pc3d_pair(batch, ls, 0.95, secs);
-        PairMeasurement {
-            batch_utilization: r.utilization.min(1.0),
-            ls_core_util: r.ext_core_util.min(1.0),
-            batch_core_util: r.batch_core_util.min(1.0),
-        }
-    });
+    let fig = fig17_18(&scenario, &pool_exec());
 
     protean_bench::header(
-        "Figures 17-18 — servers required and energy efficiency (10k machines, 95% QoS)",
+        "Figures 17-18 — servers required and energy efficiency (simulated fleets)",
     );
     println!(
-        "{:<32}{:>12}{:>14}{:>14}",
-        "mix", "PC3D srv", "no-colo srv", "energy eff."
+        "{:<32}{:>10}{:>12}{:>12}{:>14}",
+        "mix", "PC3D srv", "no-colo srv", "extra/10k", "energy eff."
     );
-    let mut next = measured.iter();
-    for ls in LS_APPS {
-        for mix in MIXES {
-            let pairs: Vec<PairMeasurement> = mix
-                .batch_apps
-                .iter()
-                .map(|_| *next.next().expect("one measurement per cell"))
-                .collect();
-            let result = analyze(machines, cores, &pairs, PowerModel::default());
-            println!(
-                "{:<32}{:>12.0}{:>14.0}{:>13.2}x",
-                format!("{}/{}", ls, mix.name),
-                result.servers_pc3d,
-                result.servers_no_colo,
-                result.efficiency_ratio
-            );
-        }
+    for row in &fig.rows {
+        println!(
+            "{:<32}{:>10.0}{:>12.1}{:>12.0}{:>13.2}x",
+            row.name,
+            row.result.servers_pc3d,
+            row.result.servers_no_colo,
+            row.extra_servers_10k,
+            row.result.efficiency_ratio
+        );
     }
+    println!(
+        "{:<32}{:>10.0}{:>12.1}{:>12}{:>13.2}x",
+        "TOTAL",
+        fig.totals.servers_pc3d,
+        fig.totals.servers_no_colo,
+        "",
+        fig.totals.efficiency_ratio
+    );
+    println!(
+        "\n  co-located fleet : {} events, {} queries, {} branches",
+        fig.colo.events,
+        fig.colo.queries,
+        fig.rows.iter().map(|r| r.batch_branches).sum::<u64>()
+    );
+    println!(
+        "  segregated fleet : {} events, {} queries, {} park transitions",
+        fig.ls_only.events,
+        fig.ls_only.queries,
+        fig.ls_only.groups.iter().map(|g| g.parks).sum::<u64>()
+    );
     println!(
         "\nPaper: 3.5k-8k extra servers needed without co-location; PC3D improves\n\
          datacenter energy efficiency by 18-34% across the mixes."
     );
+
+    if let Some(dir) = report::report_dir() {
+        report::update_json_map(
+            &dir.join("BENCH_fig17_18_scaleout.json"),
+            "fig17_18",
+            &fig17_18_json(&fig),
+        )
+        .expect("write BENCH_fig17_18_scaleout.json");
+    }
     report::record_harness(
         "fig17_18_scaleout",
         t0.elapsed().as_millis() as u64,

@@ -12,12 +12,17 @@
 //!                         exit 1 on a >20% regression
 //!   bench_gate --update   rewrite the baseline from this host's numbers
 //!
+//! Besides the interpreter workloads, the gate times the discrete-event
+//! datacenter simulator on a fixed pinned-colo cluster and gates on
+//! simulated events processed per host second, normalized the same way.
+//!
 //! The baseline lives at `crates/bench/bench_baseline.json` (override
 //! with `PROTEAN_BENCH_BASELINE`). Workload and cycle budget follow
 //! `PROTEAN_SCALE` (quick/full); reports honor `PROTEAN_BENCH_JSON`.
 
+use datacenter::{serial_exec, Cluster};
 use protean_bench::report::{number_field, read_top_level, update_json_map, Json};
-use protean_bench::{host_calibration_mops, interp_cycles, interp_throughput, Scale};
+use protean_bench::{dc, host_calibration_mops, interp_cycles, interp_throughput, Scale};
 use std::path::PathBuf;
 
 /// Allowed loss of host-normalized throughput before the gate fails.
@@ -42,6 +47,34 @@ fn main() {
     println!("  calibration loop: {cal:.1} M ops/s");
 
     let mut failures = 0;
+    let mut gate_one = |name: &str, ratio: f64, raw: (&'static str, f64)| {
+        if update {
+            let entry = Json::obj([
+                ("ratio", Json::F64(ratio)),
+                (raw.0, Json::F64(raw.1)),
+                ("calibration_mops_on_update_host", Json::F64(cal)),
+            ]);
+            update_json_map(&baseline, name, &entry).expect("write baseline");
+            return;
+        }
+        let Some(base) = read_top_level(&baseline, name).and_then(|v| number_field(&v, "ratio"))
+        else {
+            println!(
+                "  {name:<12} no baseline entry in {} — skipping",
+                baseline.display()
+            );
+            return;
+        };
+        let floor = base * (1.0 - MAX_REGRESSION);
+        if ratio < floor {
+            println!(
+                "  {name:<12} REGRESSION: ratio {ratio:.4} < floor {floor:.4} (baseline {base:.4})"
+            );
+            failures += 1;
+        } else {
+            println!("  {name:<12} ok: ratio {ratio:.4} vs baseline {base:.4} (floor {floor:.4})");
+        }
+    };
     for &w in WORKLOADS {
         let m = interp_throughput(w, cycles, 2);
         let ratio = m.m_instr_per_s / cal;
@@ -49,33 +82,26 @@ fn main() {
             "  {w:<12} {:>8.1} M instr/s over {} cycles ({} insts)  ratio {ratio:.4}",
             m.m_instr_per_s, m.cycles, m.insts
         );
-        if update {
-            let entry = Json::obj([
-                ("ratio", Json::F64(ratio)),
-                ("m_instr_per_s_on_update_host", Json::F64(m.m_instr_per_s)),
-                ("calibration_mops_on_update_host", Json::F64(cal)),
-            ]);
-            update_json_map(&baseline, w, &entry).expect("write baseline");
-            continue;
-        }
-        let Some(base) = read_top_level(&baseline, w).and_then(|v| number_field(&v, "ratio"))
-        else {
-            println!(
-                "  {w:<12} no baseline entry in {} — skipping",
-                baseline.display()
-            );
-            continue;
-        };
-        let floor = base * (1.0 - MAX_REGRESSION);
-        if ratio < floor {
-            println!(
-                "  {w:<12} REGRESSION: ratio {ratio:.4} < floor {floor:.4} (baseline {base:.4})"
-            );
-            failures += 1;
-        } else {
-            println!("  {w:<12} ok: ratio {ratio:.4} vs baseline {base:.4} (floor {floor:.4})");
-        }
+        gate_one(w, ratio, ("m_instr_per_s_on_update_host", m.m_instr_per_s));
     }
+
+    // Datacenter DES throughput: simulated cluster events retired per
+    // host second on a fixed pinned-colo cluster (every event fans the
+    // fleet forward one epoch, so this tracks whole-simulator speed).
+    let t0 = std::time::Instant::now();
+    let r = Cluster::new(dc::gate_scenario()).run_with(&serial_exec());
+    let wall = t0.elapsed().as_secs_f64();
+    let events_per_sec = r.events as f64 / wall;
+    let ratio = events_per_sec / cal;
+    println!(
+        "  {:<12} {:>8.1} events/s over {} events ({} queries)  ratio {ratio:.4}",
+        "datacenter", events_per_sec, r.events, r.queries
+    );
+    gate_one(
+        "datacenter",
+        ratio,
+        ("events_per_sec_on_update_host", events_per_sec),
+    );
 
     if update {
         println!("baseline updated at {}", baseline.display());
@@ -87,7 +113,7 @@ fn main() {
         std::process::exit(1);
     } else {
         println!(
-            "bench_gate: interpreter throughput within {:.0}% of baseline",
+            "bench_gate: interpreter and datacenter throughput within {:.0}% of baseline",
             MAX_REGRESSION * 100.0
         );
     }

@@ -1,0 +1,184 @@
+//! Datacenter-simulation harness support: the pool-backed executor and
+//! deterministic JSON rendering of Figures 17–18.
+//!
+//! The datacenter crate deliberately knows nothing about this crate's
+//! thread pool — it only defines the [`SliceExec`] contract (results in
+//! input order). [`pool_exec`] plugs `protean_bench::pool` into that
+//! contract, so `PROTEAN_JOBS=1` and `PROTEAN_JOBS=N` runs of the same
+//! seeded cluster are bit-identical; CI diffs the rendered JSON of both
+//! to enforce it.
+//!
+//! The JSON here contains **simulated quantities only** — no wall-clock,
+//! no host identifiers — so byte-equality of two runs means the
+//! simulation itself was deterministic.
+
+use std::sync::Mutex;
+
+use datacenter::cluster::{
+    BatchMode, ClusterConfig, ClusterResult, GroupSpec, Placement, SliceExec, SliceJob,
+};
+use datacenter::{Fig1718, QpsShape, ScaleOutScenario, MIXES};
+
+use crate::pool;
+use crate::report::Json;
+use crate::Scale;
+
+/// A [`SliceExec`] backed by the experiment thread pool: slices are
+/// claimed dynamically across `PROTEAN_JOBS` workers and results come
+/// back in input order, exactly as the contract requires.
+pub fn pool_exec() -> SliceExec {
+    Box::new(|jobs| {
+        // `pool::map` hands out `&T`, but a slice job is consumed by
+        // running it — park each in a Mutex slot and take it exactly
+        // once, on whichever worker claims that index.
+        let slots: Vec<Mutex<Option<SliceJob>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        pool::map(&slots, |_, slot| {
+            slot.lock()
+                .expect("slice slot")
+                .take()
+                .expect("each slice claimed exactly once")
+                .run()
+        })
+    })
+}
+
+/// The scale-out scenario for a [`Scale`]: the full warehouse (1,080
+/// servers, two fleets, millions of simulated queries) by default, a
+/// 36-server miniature at `quick`.
+pub fn scaleout_scenario(scale: Scale) -> ScaleOutScenario {
+    match scale {
+        Scale::Quick => ScaleOutScenario::quick(),
+        Scale::Normal => ScaleOutScenario::default(),
+        Scale::Full => ScaleOutScenario {
+            duration_secs: 240.0,
+            ..ScaleOutScenario::default()
+        },
+    }
+}
+
+/// A small jobs-mode scenario (Poisson arrivals, co-location-aware
+/// placement, consolidating balancer) exercising the event paths the
+/// pinned fleets don't: arrivals, placement, queueing, job completion,
+/// park/reactivate cycles.
+pub fn jobs_scenario(seed: u64) -> ClusterConfig {
+    ClusterConfig {
+        groups: vec![
+            GroupSpec {
+                name: "web-search/WL1".into(),
+                ls_app: "web-search",
+                mix: MIXES[0],
+                servers: 6,
+                shape: QpsShape::diurnal(40.0, 80.0, 10.0, 1.0, 0.0, 1.0),
+            },
+            GroupSpec {
+                name: "graph-analytics/WL2".into(),
+                ls_app: "graph-analytics",
+                mix: MIXES[1],
+                servers: 6,
+                shape: QpsShape::bursty(40.0, 10.0, 60.0, 0.25, 1.0, seed ^ 0xb0b),
+            },
+        ],
+        batch: BatchMode::Jobs {
+            placement: Placement::ColocationAware,
+            mean_interarrival_secs: 2.5,
+        },
+        duration_secs: 40.0,
+        consolidate: true,
+        min_active: 1,
+        seed,
+        job_branches: 3_000,
+        ..ClusterConfig::default()
+    }
+}
+
+/// A compact pinned-colo cluster for the CI throughput gate: small
+/// enough to run in a couple of host seconds, busy enough (every server
+/// active, PC3D on every box) that events/sec tracks simulator speed.
+pub fn gate_scenario() -> ClusterConfig {
+    ClusterConfig {
+        groups: vec![GroupSpec {
+            name: "web-search/WL1".into(),
+            ls_app: "web-search",
+            mix: MIXES[0],
+            servers: 8,
+            shape: QpsShape::diurnal(15.0, 120.0, 30.0, 1.0, 0.0, 1.0),
+        }],
+        batch: BatchMode::Pinned,
+        duration_secs: 15.0,
+        consolidate: false,
+        seed: 1,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Renders a cluster result as deterministic JSON (simulated quantities
+/// only).
+pub fn cluster_json(r: &ClusterResult) -> Json {
+    let groups = r
+        .groups
+        .iter()
+        .map(|g| {
+            Json::obj([
+                ("name", Json::Str(g.name.clone())),
+                ("servers", Json::U64(g.servers as u64)),
+                ("queries", Json::U64(g.queries.max(0) as u64)),
+                ("jobs_completed", Json::U64(g.jobs_completed)),
+                ("batch_branches", Json::U64(g.batch_branches)),
+                ("busy_cycles", Json::U64(g.busy_cycles)),
+                ("lifetime_cycles", Json::U64(g.lifetime_cycles)),
+                ("energy_joules", Json::F64(g.energy_joules)),
+                ("qos_violations", Json::U64(g.qos_violations)),
+                ("activations", Json::U64(g.activations)),
+                ("parks", Json::U64(g.parks)),
+                ("idle_skipped_cycles", Json::U64(g.idle_skipped_cycles)),
+                ("peak_active", Json::U64(g.peak_active as u64)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("events", Json::U64(r.events)),
+        ("skipped_cycles", Json::U64(r.skipped_cycles)),
+        ("queries", Json::U64(r.queries.max(0) as u64)),
+        ("jobs_completed", Json::U64(r.jobs_completed)),
+        ("energy_joules", Json::F64(r.energy_joules)),
+        ("groups", Json::Arr(groups)),
+    ])
+}
+
+/// Renders the full Fig. 17–18 derivation as deterministic JSON.
+pub fn fig17_18_json(f: &Fig1718) -> Json {
+    let rows = f
+        .rows
+        .iter()
+        .map(|row| {
+            Json::obj([
+                ("name", Json::Str(row.name.clone())),
+                ("servers", Json::U64(row.servers as u64)),
+                ("queries", Json::U64(row.queries.max(0) as u64)),
+                ("batch_branches", Json::U64(row.batch_branches)),
+                ("qos_violations", Json::U64(row.qos_violations)),
+                ("servers_no_colo", Json::F64(row.result.servers_no_colo)),
+                ("extra_servers_10k", Json::F64(row.extra_servers_10k)),
+                ("power_pc3d_w", Json::F64(row.result.power_pc3d)),
+                ("power_no_colo_w", Json::F64(row.result.power_no_colo)),
+                ("efficiency_ratio", Json::F64(row.result.efficiency_ratio)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("rows", Json::Arr(rows)),
+        (
+            "totals",
+            Json::obj([
+                ("servers_pc3d", Json::F64(f.totals.servers_pc3d)),
+                ("servers_no_colo", Json::F64(f.totals.servers_no_colo)),
+                ("power_pc3d_w", Json::F64(f.totals.power_pc3d)),
+                ("power_no_colo_w", Json::F64(f.totals.power_no_colo)),
+                ("efficiency_ratio", Json::F64(f.totals.efficiency_ratio)),
+            ]),
+        ),
+        ("colo", cluster_json(&f.colo)),
+        ("ls_only", cluster_json(&f.ls_only)),
+    ])
+}

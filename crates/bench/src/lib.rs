@@ -17,6 +17,7 @@ use simos::{LoadSchedule, Os, OsConfig, Pid};
 use visa::Image;
 use workloads::catalog;
 
+pub mod dc;
 pub mod pool;
 pub mod report;
 

@@ -1,232 +1,47 @@
 #![warn(missing_docs)]
 
-//! # `datacenter` — scale-out impact analysis (Section V-E)
+//! # `datacenter` — warehouse-scale simulation (Section V-E)
 //!
-//! The paper's final experiments are analytic: given per-server
-//! utilization measurements, how many servers does a 10k-machine cluster
-//! save by co-locating batch work under PC3D (Figure 17), and what does
-//! that do to energy efficiency under a linear CPU-utilization power
-//! model (Figure 18)?
+//! The paper's final experiments ask what PC3D co-location is worth at
+//! warehouse scale: how many servers a 10k-machine cluster saves
+//! (Figure 17) and what that does to energy efficiency under a linear
+//! CPU-utilization power model (Figure 18).
 //!
-//! This crate is pure arithmetic over measured inputs; the bench harness
-//! feeds it utilizations measured on the simulated substrate.
+//! This crate answers that two ways:
+//!
+//! * [`analytic`] — the original closed-form model: pure arithmetic over
+//!   three measured scalars per (batch, LS) pair. Cheap, and kept as an
+//!   independent cross-check.
+//! * [`cluster`] + [`scaleout`] — a discrete-event simulation of the
+//!   warehouse itself: an [`event::EventQueue`] drives thousands of
+//!   simulated servers, each lazily instantiating a cycle-accurate
+//!   [`simos::Os`] box only while active; diurnal and bursty [`qps`]
+//!   shapes feed the load balancer; batch jobs arrive, get placed, and
+//!   run under per-server PC3D controllers; and Figures 17–18 fall out
+//!   of the simulated event streams instead of assumed utilizations.
+//!
+//! Determinism is load-bearing: all cluster decisions happen serially in
+//! event `(time, seq)` order, and the epoch fan-out contract
+//! ([`cluster::SliceExec`]) requires results back in input order, so a
+//! pinned-seed run is bit-identical whether server boxes advance on one
+//! thread or many. CI diffs a serial run against a parallel one on every
+//! push.
 
-/// The paper's workload mixes (Table III).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-pub struct Mix {
-    /// Mix name (WL1..WL3).
-    pub name: &'static str,
-    /// The four batch applications, deployed in equal proportion.
-    pub batch_apps: [&'static str; 4],
-}
+pub mod analytic;
+pub mod cluster;
+pub mod event;
+pub mod qps;
+pub mod scaleout;
+pub mod server;
 
-/// Table III: the workload mixes used for scale-out analysis.
-pub const MIXES: [Mix; 3] = [
-    Mix {
-        name: "WL1",
-        batch_apps: ["libquantum", "bzip2", "sphinx3", "milc"],
-    },
-    Mix {
-        name: "WL2",
-        batch_apps: ["soplex", "bst", "milc", "lbm"],
-    },
-    Mix {
-        name: "WL3",
-        batch_apps: ["sledge", "soplex", "sphinx3", "libquantum"],
-    },
-];
-
-/// The latency-sensitive services paired with each mix.
-pub const LS_APPS: [&str; 3] = ["web-search", "graph-analytics", "media-streaming"];
-
-/// Linear CPU-utilization power model: `P(u) = idle + (peak - idle) * u`.
-///
-/// Idle power is a large fraction of peak on real servers, which is why
-/// consolidation saves energy (Barroso & Hölzle).
-#[derive(Copy, Clone, Debug, PartialEq)]
-pub struct PowerModel {
-    /// Power at zero utilization, watts.
-    pub idle_watts: f64,
-    /// Power at full utilization, watts.
-    pub peak_watts: f64,
-}
-
-impl Default for PowerModel {
-    fn default() -> Self {
-        PowerModel {
-            idle_watts: 160.0,
-            peak_watts: 320.0,
-        }
-    }
-}
-
-impl PowerModel {
-    /// Power draw at CPU utilization `u` in [0, 1].
-    pub fn power(&self, u: f64) -> f64 {
-        self.idle_watts + (self.peak_watts - self.idle_watts) * u.clamp(0.0, 1.0)
-    }
-}
-
-/// Per-(batch, LS) pair measurements from the co-location experiments.
-#[derive(Copy, Clone, Debug, PartialEq)]
-pub struct PairMeasurement {
-    /// Batch throughput under PC3D relative to running alone (0..1).
-    pub batch_utilization: f64,
-    /// LS core busy fraction at its operating load (0..1).
-    pub ls_core_util: f64,
-    /// Batch core busy fraction under PC3D (reduced by napping).
-    pub batch_core_util: f64,
-}
-
-/// One datacenter configuration's requirements for a mix.
-#[derive(Copy, Clone, Debug, PartialEq)]
-pub struct ScaleOutResult {
-    /// Servers for the PC3D (co-located) datacenter.
-    pub servers_pc3d: f64,
-    /// Servers for the no-co-location datacenter at equal throughput.
-    pub servers_no_colo: f64,
-    /// Total power of the PC3D datacenter, watts.
-    pub power_pc3d: f64,
-    /// Total power of the no-co-location datacenter, watts.
-    pub power_no_colo: f64,
-    /// Energy efficiency of PC3D normalized to no-co-location
-    /// (performance is equal by construction, so this is the power
-    /// ratio `no_colo / pc3d`).
-    pub efficiency_ratio: f64,
-}
-
-/// Analyzes one (LS, mix) deployment.
-///
-/// `machines` servers each host one LS instance plus one batch instance
-/// under PC3D; `pairs` holds the measured behaviour of each of the mix's
-/// batch applications against this LS service (deployed in equal
-/// proportion). The no-co-location datacenter keeps the LS instances on
-/// the `machines` servers and adds enough batch-only servers (running at
-/// full utilization) to match the PC3D datacenter's batch throughput.
-///
-/// `cores` is the per-server core count; one core runs the LS app, one
-/// the batch app, the rest idle (as in the paper's per-core pinning).
-pub fn analyze(
-    machines: f64,
-    cores: usize,
-    pairs: &[PairMeasurement],
-    power: PowerModel,
-) -> ScaleOutResult {
-    assert!(!pairs.is_empty(), "need at least one pair measurement");
-    let n = pairs.len() as f64;
-    let mean_util: f64 = pairs.iter().map(|p| p.batch_utilization).sum::<f64>() / n;
-    let mean_ls_core: f64 = pairs.iter().map(|p| p.ls_core_util).sum::<f64>() / n;
-    let mean_batch_core: f64 = pairs.iter().map(|p| p.batch_core_util).sum::<f64>() / n;
-
-    // Server counts at equal batch throughput.
-    let servers_pc3d = machines;
-    let extra = machines * mean_util;
-    let servers_no_colo = machines + extra;
-
-    // Power. Per-server CPU utilization averages over all cores.
-    let c = cores as f64;
-    let pc3d_server_util = (mean_ls_core + mean_batch_core) / c;
-    let ls_only_util = mean_ls_core / c;
-    let batch_only_util = 1.0 / c; // batch runs flat out on one core
-    let power_pc3d = servers_pc3d * power.power(pc3d_server_util);
-    let power_no_colo = machines * power.power(ls_only_util) + extra * power.power(batch_only_util);
-    ScaleOutResult {
-        servers_pc3d,
-        servers_no_colo,
-        power_pc3d,
-        power_no_colo,
-        efficiency_ratio: power_no_colo / power_pc3d,
-    }
-}
-
-/// Looks up a mix by name.
-pub fn mix_by_name(name: &str) -> Option<Mix> {
-    MIXES.iter().copied().find(|m| m.name == name)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn pair(util: f64) -> PairMeasurement {
-        PairMeasurement {
-            batch_utilization: util,
-            ls_core_util: 0.6,
-            batch_core_util: util,
-        }
-    }
-
-    #[test]
-    fn mixes_match_table_iii() {
-        assert_eq!(MIXES.len(), 3);
-        let wl1 = mix_by_name("WL1").unwrap();
-        assert!(wl1.batch_apps.contains(&"libquantum"));
-        assert!(wl1.batch_apps.contains(&"bzip2"));
-        let wl3 = mix_by_name("WL3").unwrap();
-        assert!(wl3.batch_apps.contains(&"sledge"));
-        assert!(mix_by_name("WL9").is_none());
-    }
-
-    #[test]
-    fn power_model_linear() {
-        let p = PowerModel::default();
-        assert_eq!(p.power(0.0), 160.0);
-        assert_eq!(p.power(1.0), 320.0);
-        assert_eq!(p.power(0.5), 240.0);
-        assert_eq!(p.power(2.0), 320.0, "clamped");
-    }
-
-    #[test]
-    fn server_counts_track_utilization() {
-        // Paper: 3.5k-8k extra servers for 10k machines, i.e. mean
-        // utilization 0.35-0.8.
-        let r = analyze(10_000.0, 4, &[pair(0.5); 4], PowerModel::default());
-        assert_eq!(r.servers_pc3d, 10_000.0);
-        assert!((r.servers_no_colo - 15_000.0).abs() < 1e-9);
-        let r2 = analyze(10_000.0, 4, &[pair(0.8); 4], PowerModel::default());
-        assert!((r2.servers_no_colo - 18_000.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn colocated_datacenter_is_more_efficient() {
-        // With substantial idle power, consolidation must win, in the
-        // paper's 18-34% band for reasonable utilizations.
-        for util in [0.4, 0.6, 0.8] {
-            let r = analyze(10_000.0, 4, &[pair(util); 4], PowerModel::default());
-            assert!(
-                r.efficiency_ratio > 1.05,
-                "PC3D should be more efficient at util {util}: {r:?}"
-            );
-            assert!(r.efficiency_ratio < 1.6, "gain should be moderate: {r:?}");
-        }
-    }
-
-    #[test]
-    fn mixed_utilizations_average() {
-        let pairs = [pair(0.2), pair(0.4), pair(0.6), pair(0.8)];
-        let r = analyze(10_000.0, 4, &pairs, PowerModel::default());
-        assert!((r.servers_no_colo - 15_000.0).abs() < 1e-9);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one pair")]
-    fn empty_pairs_rejected() {
-        let _ = analyze(10_000.0, 4, &[], PowerModel::default());
-    }
-
-    #[test]
-    fn zero_idle_power_removes_consolidation_win() {
-        // Sanity: with no idle power, energy tracks work exactly and
-        // consolidation gains little.
-        let power = PowerModel {
-            idle_watts: 0.0,
-            peak_watts: 300.0,
-        };
-        let r = analyze(10_000.0, 4, &[pair(0.6); 4], power);
-        assert!(
-            (r.efficiency_ratio - 1.0).abs() < 0.25,
-            "little to gain without idle power: {}",
-            r.efficiency_ratio
-        );
-    }
-}
+pub use analytic::{
+    analyze, mix_by_name, Mix, PairMeasurement, PowerModel, ScaleOutResult, LS_APPS, MIXES,
+};
+pub use cluster::{
+    serial_exec, BatchMode, Cluster, ClusterConfig, ClusterResult, GroupResult, GroupSpec,
+    Placement, SliceExec, SliceJob,
+};
+pub use event::{Cycles, Event, EventQueue};
+pub use qps::QpsShape;
+pub use scaleout::{fig17_18, solo_batch_rate, Fig1718, GroupRow, ScaleOutScenario, SoloBatchRate};
+pub use server::{Server, ServerSpec, ServerStats};

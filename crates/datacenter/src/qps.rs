@@ -1,0 +1,190 @@
+//! Cluster-level offered-load shapes: diurnal and bursty QPS curves.
+//!
+//! A [`QpsShape`] describes the total queries per second offered to one
+//! server group, as a step function whose boundaries are aligned to the
+//! cluster's epoch grid. The load balancer divides the group total among
+//! however many servers it keeps active and feeds each server's
+//! [`simos::LoadSchedule`] a constant slice until the next boundary, so
+//! the shape is the single source of truth for when load changes.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use simos::LoadSchedule;
+
+/// A piecewise-constant cluster-level QPS shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QpsShape {
+    /// `(start_second, qps)` steps, sorted, first at 0.
+    steps: Vec<(f64, f64)>,
+}
+
+impl QpsShape {
+    /// A constant offered load.
+    pub fn constant(qps: f64) -> Self {
+        QpsShape {
+            steps: vec![(0.0, qps)],
+        }
+    }
+
+    /// A shape from explicit `(start_second, qps)` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, unsorted, or does not start at 0.
+    pub fn steps(steps: Vec<(f64, f64)>) -> Self {
+        assert!(!steps.is_empty(), "shape needs at least one step");
+        assert_eq!(steps[0].0, 0.0, "shape must start at second 0");
+        assert!(
+            steps.windows(2).all(|w| w[0].0 < w[1].0),
+            "shape steps must be strictly sorted by time"
+        );
+        QpsShape { steps }
+    }
+
+    /// A diurnal curve: a raised cosine between `trough` and `peak`
+    /// over `duration_secs`, completing `periods` full day-cycles,
+    /// sampled onto steps of `step_secs` (the cluster epoch). `phase`
+    /// in [0, 1) shifts the curve so different groups peak at
+    /// different times of "day".
+    pub fn diurnal(
+        duration_secs: f64,
+        peak: f64,
+        trough: f64,
+        periods: f64,
+        phase: f64,
+        step_secs: f64,
+    ) -> Self {
+        assert!(step_secs > 0.0 && duration_secs > 0.0);
+        let mid = 0.5 * (peak + trough);
+        let amp = 0.5 * (peak - trough);
+        let mut steps = Vec::new();
+        let n = (duration_secs / step_secs).ceil() as usize;
+        for i in 0..n {
+            let t = i as f64 * step_secs;
+            // Sample mid-step so the step value is the segment average
+            // of the underlying cosine to first order.
+            let x = (t + 0.5 * step_secs) / duration_secs * periods + phase;
+            let qps = mid - amp * (x * std::f64::consts::TAU).cos();
+            steps.push((t, qps.max(0.0)));
+        }
+        QpsShape { steps }
+    }
+
+    /// A bursty curve: a `base` load with square bursts to `burst` qps
+    /// at pseudo-random (seeded, reproducible) epoch-aligned offsets.
+    /// Roughly `duty` of the duration is spent bursting.
+    pub fn bursty(
+        duration_secs: f64,
+        base: f64,
+        burst: f64,
+        duty: f64,
+        step_secs: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(step_secs > 0.0 && duration_secs > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut steps = Vec::new();
+        let n = (duration_secs / step_secs).ceil() as usize;
+        for i in 0..n {
+            let t = i as f64 * step_secs;
+            let qps = if rng.gen_bool(duty.clamp(0.0, 1.0)) {
+                burst
+            } else {
+                base
+            };
+            steps.push((t, qps));
+        }
+        QpsShape { steps }
+    }
+
+    /// The underlying `(start_second, qps)` steps.
+    pub fn step_points(&self) -> &[(f64, f64)] {
+        &self.steps
+    }
+
+    /// Step boundaries in seconds (where a balancer must re-plan).
+    pub fn boundaries(&self) -> impl Iterator<Item = f64> + '_ {
+        self.steps.iter().map(|&(t, _)| t)
+    }
+
+    /// Offered QPS at time `t` seconds.
+    pub fn qps_at(&self, t: f64) -> f64 {
+        let mut current = self.steps[0].1;
+        for &(start, qps) in &self.steps {
+            if t >= start {
+                current = qps;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Mean QPS over `[0, duration_secs)`.
+    pub fn mean_qps(&self, duration_secs: f64) -> f64 {
+        let mut total = 0.0;
+        for (i, &(start, qps)) in self.steps.iter().enumerate() {
+            let end = self
+                .steps
+                .get(i + 1)
+                .map_or(duration_secs, |n| n.0)
+                .min(duration_secs);
+            if end > start {
+                total += qps * (end - start);
+            }
+        }
+        total / duration_secs
+    }
+
+    /// The whole shape scaled by `share`, as a per-server
+    /// [`LoadSchedule`] — used when one server carries a fixed fraction
+    /// of the group (no balancer in the loop).
+    pub fn to_load(&self, share: f64) -> LoadSchedule {
+        LoadSchedule::steps(self.steps.iter().map(|&(t, q)| (t, q * share)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_peaks_and_troughs() {
+        let s = QpsShape::diurnal(240.0, 100.0, 20.0, 1.0, 0.0, 1.0);
+        // Cosine dip at the start, peak mid-run.
+        assert!(s.qps_at(0.0) < 30.0, "trough at t=0: {}", s.qps_at(0.0));
+        assert!(s.qps_at(120.0) > 90.0, "peak mid-run: {}", s.qps_at(120.0));
+        let mean = s.mean_qps(240.0);
+        assert!((mean - 60.0).abs() < 2.0, "mean ~midpoint: {mean}");
+        // Epoch-aligned boundaries.
+        assert_eq!(s.step_points().len(), 240);
+        assert_eq!(s.boundaries().next(), Some(0.0));
+    }
+
+    #[test]
+    fn phase_shifts_the_peak() {
+        let a = QpsShape::diurnal(100.0, 80.0, 10.0, 1.0, 0.0, 1.0);
+        let b = QpsShape::diurnal(100.0, 80.0, 10.0, 1.0, 0.5, 1.0);
+        assert!(b.qps_at(1.0) > 70.0, "half-phase group peaks at t=0");
+        assert!(a.qps_at(1.0) < 20.0);
+    }
+
+    #[test]
+    fn bursty_is_reproducible_and_two_level() {
+        let a = QpsShape::bursty(120.0, 10.0, 90.0, 0.3, 1.0, 7);
+        let b = QpsShape::bursty(120.0, 10.0, 90.0, 0.3, 1.0, 7);
+        assert_eq!(a, b, "same seed, same shape");
+        let c = QpsShape::bursty(120.0, 10.0, 90.0, 0.3, 1.0, 8);
+        assert_ne!(a, c, "different seed, different bursts");
+        assert!(a.step_points().iter().all(|&(_, q)| q == 10.0 || q == 90.0));
+        let frac = a.step_points().iter().filter(|&&(_, q)| q == 90.0).count() as f64 / 120.0;
+        assert!((0.1..0.6).contains(&frac), "burst duty {frac}");
+    }
+
+    #[test]
+    fn to_load_scales_by_share() {
+        let s = QpsShape::steps(vec![(0.0, 100.0), (10.0, 50.0)]);
+        let l = s.to_load(0.1);
+        assert!((l.qps_at(5.0) - 10.0).abs() < 1e-12);
+        assert!((l.qps_at(15.0) - 5.0).abs() < 1e-12);
+    }
+}

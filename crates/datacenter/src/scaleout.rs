@@ -1,0 +1,345 @@
+//! Figures 17–18 derived from simulated event streams.
+//!
+//! The analytic model in [`crate::analytic`] answers the scale-out
+//! question from three measured scalars per pair. This module answers it
+//! from first principles instead: it simulates the co-located warehouse
+//! (every server hosting its LS service plus a pinned batch stream under
+//! PC3D, diurnal offered load) and the segregated one (the same LS
+//! fleet alone, with the consolidating balancer parking idle servers),
+//! then sizes the batch-only fleet the segregated datacenter would need
+//! to match the co-located one's batch throughput — using solo batch
+//! rates calibrated on the same cycle-accurate server model. Figure 17
+//! is the extra-server count; Figure 18 is the energy-efficiency ratio,
+//! with both datacenters' energies integrated from the simulated
+//! per-server busy fractions rather than assumed.
+
+use std::collections::BTreeMap;
+
+use crate::analytic::{PowerModel, ScaleOutResult, LS_APPS, MIXES};
+use crate::cluster::{BatchMode, Cluster, ClusterConfig, ClusterResult, GroupSpec, SliceExec};
+use crate::qps::QpsShape;
+use crate::server::{compile_app, server_machine, server_os_config};
+use simos::Os;
+
+/// Sizing knobs for the scale-out experiment.
+#[derive(Clone, Debug)]
+pub struct ScaleOutScenario {
+    /// Servers per (LS, mix) group; 9 groups total.
+    pub servers_per_group: usize,
+    /// Simulated duration, seconds.
+    pub duration_secs: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Peak group load as a fraction of the group's aggregate solo LS
+    /// capacity.
+    pub peak_load: f64,
+    /// Trough load as a fraction of aggregate capacity.
+    pub trough_load: f64,
+}
+
+impl Default for ScaleOutScenario {
+    fn default() -> Self {
+        ScaleOutScenario {
+            servers_per_group: 120,
+            duration_secs: 120.0,
+            seed: 42,
+            peak_load: 0.6,
+            trough_load: 0.15,
+        }
+    }
+}
+
+impl ScaleOutScenario {
+    /// A small configuration for tests and quick checks.
+    pub fn quick() -> Self {
+        ScaleOutScenario {
+            servers_per_group: 4,
+            duration_secs: 30.0,
+            ..ScaleOutScenario::default()
+        }
+    }
+}
+
+/// Solo calibration of one batch application on the server machine.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SoloBatchRate {
+    /// Branches per simulated second, running alone without a
+    /// controller.
+    pub branches_per_sec: f64,
+    /// Whole-server busy fraction while doing so (one core flat out).
+    pub busy_frac: f64,
+}
+
+/// Measures the solo throughput of a batch app: the rate a dedicated
+/// batch-only server (no co-location, no PC3D) retires branches at.
+pub fn solo_batch_rate(app: &str) -> SoloBatchRate {
+    let image = compile_app(app, true);
+    let mut os = Os::new(server_os_config());
+    let pid = os.spawn(&image, 0);
+    let secs = 4.0;
+    os.advance_seconds(secs);
+    let c = os.proc(pid).counters();
+    let mc = server_machine();
+    SoloBatchRate {
+        branches_per_sec: c.branches as f64 / secs,
+        busy_frac: c.cycles as f64 / (os.now() as f64 * mc.cores as f64),
+    }
+}
+
+/// One (LS service, mix) row of Figures 17–18.
+#[derive(Clone, Debug)]
+pub struct GroupRow {
+    /// Group display name.
+    pub name: String,
+    /// LS service.
+    pub ls_app: &'static str,
+    /// Batch mix.
+    pub mix_name: &'static str,
+    /// Simulated servers in the group.
+    pub servers: usize,
+    /// Queries the co-located group served.
+    pub queries: i64,
+    /// Batch branches the co-located group retired under PC3D.
+    pub batch_branches: u64,
+    /// PC3D windows that missed the QoS target in the co-located run.
+    pub qos_violations: u64,
+    /// The scale-out verdict, same type the analytic model emits.
+    pub result: ScaleOutResult,
+    /// Figure 17's y-axis: extra servers scaled to a 10k-machine
+    /// deployment of this group.
+    pub extra_servers_10k: f64,
+}
+
+/// The full simulated Fig. 17–18 derivation.
+#[derive(Clone, Debug)]
+pub struct Fig1718 {
+    /// Per-(LS, mix) rows, in `LS_APPS` × `MIXES` order.
+    pub rows: Vec<GroupRow>,
+    /// Whole-fleet totals (summed servers and powers).
+    pub totals: ScaleOutResult,
+    /// The co-located cluster's simulation outcome.
+    pub colo: ClusterResult,
+    /// The LS-only cluster's simulation outcome.
+    pub ls_only: ClusterResult,
+}
+
+/// Builds the nine-group cluster config shared by both datacenters.
+/// `capacity` maps LS app → measured solo queries/sec.
+fn fleet_config(
+    s: &ScaleOutScenario,
+    capacity: &BTreeMap<&'static str, f64>,
+    batch: BatchMode,
+    consolidate: bool,
+) -> ClusterConfig {
+    let mut groups = Vec::new();
+    let n_groups = (LS_APPS.len() * MIXES.len()) as f64;
+    for (li, &ls_app) in LS_APPS.iter().enumerate() {
+        for (mi, &mix) in MIXES.iter().enumerate() {
+            let gi = li * MIXES.len() + mi;
+            let aggregate = capacity[ls_app] * s.servers_per_group as f64;
+            groups.push(GroupSpec {
+                name: format!("{ls_app}/{}", mix.name),
+                ls_app,
+                mix,
+                servers: s.servers_per_group,
+                shape: QpsShape::diurnal(
+                    s.duration_secs,
+                    aggregate * s.peak_load,
+                    aggregate * s.trough_load,
+                    1.0,
+                    gi as f64 / n_groups,
+                    1.0,
+                ),
+            });
+        }
+    }
+    ClusterConfig {
+        groups,
+        batch,
+        duration_secs: s.duration_secs,
+        consolidate,
+        seed: s.seed,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Runs the full experiment: the co-located fleet, the LS-only fleet,
+/// and the solo batch calibrations, then derives Figures 17 and 18.
+pub fn fig17_18(s: &ScaleOutScenario, exec: &SliceExec) -> Fig1718 {
+    // Calibrate LS capacity once (shared by both fleets' shapes).
+    let mut capacity = BTreeMap::new();
+    for &app in &LS_APPS {
+        let probe = Cluster::new(ClusterConfig {
+            groups: vec![GroupSpec {
+                name: app.to_string(),
+                ls_app: app,
+                mix: MIXES[0],
+                servers: 1,
+                shape: QpsShape::constant(0.0),
+            }],
+            duration_secs: 1.0,
+            ..ClusterConfig::default()
+        });
+        capacity.insert(app, probe.capacity(app).expect("calibrated"));
+    }
+    // Calibrate each batch app's dedicated-server rate.
+    let mut solo: BTreeMap<&'static str, SoloBatchRate> = BTreeMap::new();
+    for mix in &MIXES {
+        for &app in &mix.batch_apps {
+            solo.entry(app).or_insert_with(|| solo_batch_rate(app));
+        }
+    }
+
+    let colo = Cluster::new(fleet_config(s, &capacity, BatchMode::Pinned, false)).run_with(exec);
+    let ls_only = Cluster::new(fleet_config(s, &capacity, BatchMode::None, true)).run_with(exec);
+
+    let power = PowerModel::default();
+    let mut rows = Vec::new();
+    let mut totals = ScaleOutResult {
+        servers_pc3d: 0.0,
+        servers_no_colo: 0.0,
+        power_pc3d: 0.0,
+        power_no_colo: 0.0,
+        efficiency_ratio: 0.0,
+    };
+    for (cg, lg) in colo.groups.iter().zip(&ls_only.groups) {
+        let mix = crate::analytic::mix_by_name(cg.mix_name).expect("known mix");
+        let mean_rate = mix
+            .batch_apps
+            .iter()
+            .map(|a| solo[a].branches_per_sec)
+            .sum::<f64>()
+            / mix.batch_apps.len() as f64;
+        let mean_solo_busy = mix
+            .batch_apps
+            .iter()
+            .map(|a| solo[a].busy_frac)
+            .sum::<f64>()
+            / mix.batch_apps.len() as f64;
+        // Batch-only servers the segregated fleet needs to match the
+        // co-located fleet's batch throughput (branches/sec, normalized
+        // by the span the servers actually simulated).
+        let extra = cg.batch_branches_per_sec() / mean_rate;
+        let servers = cg.servers as f64;
+        let power_pc3d = cg.mean_power_watts();
+        let power_no_colo = lg.mean_power_watts() + extra * power.power(mean_solo_busy);
+        let result = ScaleOutResult {
+            servers_pc3d: servers,
+            servers_no_colo: servers + extra,
+            power_pc3d,
+            power_no_colo,
+            efficiency_ratio: power_no_colo / power_pc3d,
+        };
+        totals.servers_pc3d += result.servers_pc3d;
+        totals.servers_no_colo += result.servers_no_colo;
+        totals.power_pc3d += result.power_pc3d;
+        totals.power_no_colo += result.power_no_colo;
+        rows.push(GroupRow {
+            name: cg.name.clone(),
+            ls_app: cg.ls_app,
+            mix_name: cg.mix_name,
+            servers: cg.servers,
+            queries: cg.queries,
+            batch_branches: cg.batch_branches,
+            qos_violations: cg.qos_violations,
+            extra_servers_10k: 10_000.0 * extra / servers,
+            result,
+        });
+    }
+    totals.efficiency_ratio = totals.power_no_colo / totals.power_pc3d;
+    Fig1718 {
+        rows,
+        totals,
+        colo,
+        ls_only,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::{analyze, PairMeasurement};
+    use crate::cluster::serial_exec;
+    use crate::server::server_machine;
+
+    /// Satellite check: at steady uniform load, the simulation converges
+    /// to the analytic model's prediction. We run a small co-located
+    /// cluster at constant load, extract the three scalars the analytic
+    /// model wants from the simulated event streams, and require the two
+    /// pipelines to agree on server count exactly and on the efficiency
+    /// ratio within tolerance.
+    #[test]
+    fn steady_load_converges_to_analytic() {
+        let servers = 2;
+        let secs = 30.0;
+        let mix = MIXES[0];
+        let ls = LS_APPS[0];
+        let mk = |batch, consolidate| ClusterConfig {
+            groups: vec![GroupSpec {
+                name: format!("{ls}/{}", mix.name),
+                ls_app: ls,
+                mix,
+                servers,
+                shape: QpsShape::constant(30.0),
+            }],
+            batch,
+            duration_secs: secs,
+            consolidate,
+            seed: 7,
+            ..ClusterConfig::default()
+        };
+        let colo = Cluster::new(mk(BatchMode::Pinned, false)).run_with(&serial_exec());
+        let ls_only = Cluster::new(mk(BatchMode::None, false)).run_with(&serial_exec());
+        let cg = &colo.groups[0];
+        let lg = &ls_only.groups[0];
+        assert!(cg.queries > 500, "colo served load: {}", cg.queries);
+        assert!(cg.batch_branches > 0, "batch made progress under PC3D");
+
+        // Scalars for the analytic model, measured from the simulation.
+        let rates: Vec<f64> = mix
+            .batch_apps
+            .iter()
+            .map(|a| solo_batch_rate(a).branches_per_sec)
+            .collect();
+        let mean_rate = rates.iter().sum::<f64>() / rates.len() as f64;
+        let batch_util = cg.batch_branches_per_sec() / (mean_rate * servers as f64);
+        assert!(
+            batch_util > 0.1 && batch_util < 1.2,
+            "plausible relative batch throughput: {batch_util}"
+        );
+        let cores = server_machine().cores;
+        let ls_core_util = lg.mean_busy_frac() * cores as f64;
+        let batch_core_util = (cg.mean_busy_frac() - lg.mean_busy_frac()).max(0.0) * cores as f64;
+        let pair = PairMeasurement {
+            batch_utilization: batch_util,
+            ls_core_util,
+            batch_core_util,
+        };
+        let predicted = analyze(servers as f64, cores, &[pair], PowerModel::default());
+
+        // Simulated pipeline, same derivation as fig17_18.
+        let extra = cg.batch_branches_per_sec() / mean_rate;
+        let sim_servers_no_colo = servers as f64 + extra;
+        assert!(
+            (sim_servers_no_colo - predicted.servers_no_colo).abs() < 1e-9,
+            "server sizing must agree exactly: sim {sim_servers_no_colo} vs analytic {}",
+            predicted.servers_no_colo
+        );
+        let power = PowerModel::default();
+        let mean_solo_busy = mix
+            .batch_apps
+            .iter()
+            .map(|a| solo_batch_rate(a).busy_frac)
+            .sum::<f64>()
+            / mix.batch_apps.len() as f64;
+        let sim_ratio =
+            (lg.mean_power_watts() + extra * power.power(mean_solo_busy)) / cg.mean_power_watts();
+        assert!(
+            (sim_ratio / predicted.efficiency_ratio - 1.0).abs() < 0.15,
+            "efficiency ratios converge: sim {sim_ratio} vs analytic {}",
+            predicted.efficiency_ratio
+        );
+        // And the co-located fleet should win, as in Fig. 18.
+        assert!(sim_ratio > 1.0, "consolidation wins: {sim_ratio}");
+    }
+}

@@ -90,6 +90,21 @@ impl Default for Pc3dConfig {
     }
 }
 
+impl Pc3dConfig {
+    /// Preset for cluster-scale simulation (the `datacenter` crate):
+    /// the same control laws, but a shorter warm-up so controllers on
+    /// thousands of simulated servers reach steady state within the
+    /// first few cluster epochs, and a longer re-search interval so
+    /// hopeless hosts don't churn the greedy search at fleet scale.
+    pub fn datacenter() -> Self {
+        Pc3dConfig {
+            warmup_secs: 1.0,
+            research_interval_secs: 60.0,
+            ..Pc3dConfig::default()
+        }
+    }
+}
+
 /// One window of the controller's timeline (drives Figure 16).
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct WindowRecord {

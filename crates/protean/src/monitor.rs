@@ -243,6 +243,24 @@ pub struct MonitorReport {
     pub hot: Vec<(FuncId, f64)>,
 }
 
+impl MonitorReport {
+    /// Builds a report from a bare metric snapshot, with empty window,
+    /// gate, and hotness sections. Aggregators that are not themselves a
+    /// [`HostMonitor`] — e.g. a cluster simulator merging thousands of
+    /// per-server controller snapshots with its own `datacenter.*`
+    /// registry — use this to surface their counters through the same
+    /// operator-facing type the per-server controllers report.
+    pub fn from_metrics(metrics: crate::metrics::Snapshot) -> MonitorReport {
+        MonitorReport {
+            window: WindowStats::default(),
+            gate: GateStats::default(),
+            health: None,
+            metrics,
+            hot: Vec::new(),
+        }
+    }
+}
+
 impl fmt::Display for MonitorReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

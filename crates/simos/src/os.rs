@@ -484,6 +484,13 @@ impl Os {
         })
     }
 
+    /// Queued-but-unserved queries plus the one in service, if any — the
+    /// instantaneous per-server queue depth a cluster scheduler samples.
+    pub fn queue_depth(&self, pid: Pid) -> usize {
+        let p = self.proc(pid);
+        p.arrival_queue.len() + usize::from(p.in_service.is_some())
+    }
+
     /// Shared-LLC lines currently owned by `pid`.
     pub fn llc_occupancy(&self, pid: Pid) -> usize {
         let space = u64::from(pid.0);
@@ -837,6 +844,65 @@ impl Os {
     pub fn advance_seconds(&mut self, secs: f64) {
         let cycles = self.config.machine.seconds_to_cycles(secs);
         self.advance(cycles);
+    }
+
+    /// Fast-forwards simulated time by `cycles` without running the
+    /// quantum loop, provided nothing could possibly execute over the
+    /// span. Returns `false` (and advances nothing) when any core might
+    /// do work, in which case the caller must use [`advance`](Os::advance).
+    ///
+    /// The skip replicates `advance`'s accounting exactly — frozen
+    /// processes accrue `napped_cycles`, everything else accrues
+    /// `idle_cycles` — so a skipped span is bit-identical to a stepped
+    /// one. That invariant is what lets a cluster simulator park a
+    /// server's cycle-box and later reconcile it with a server that
+    /// idled through the same span quantum by quantum.
+    pub fn skip_idle(&mut self, cycles: u64) -> bool {
+        if cycles == 0 {
+            return true;
+        }
+        // Pending runtime work would consume core cycles.
+        if self.runtime_pending.iter().any(|&c| c > 0) {
+            return false;
+        }
+        let t0 = self.config.machine.cycles_to_seconds(self.now);
+        let t1 = self.config.machine.cycles_to_seconds(self.now + cycles);
+        for &pid in self.core_proc.iter().flatten() {
+            let p = &self.procs[pid.index() - 1];
+            if p.frozen {
+                continue; // accrues napped_cycles regardless of state
+            }
+            // A nap duty cycle would split the span between napped and
+            // idle accounting; don't try to replicate the phase math.
+            if p.nap_intensity > 0.0 {
+                return false;
+            }
+            if let Some(load) = &p.load {
+                // Exact piecewise integration of a non-negative rate:
+                // a whole-span integral of exactly zero means every
+                // sub-quantum integral is exactly zero too, so skipping
+                // leaves `pending_work` bit-identical.
+                if load.arrivals_between(t0, t1) != 0.0 || p.pending_work >= 1.0 {
+                    return false;
+                }
+            }
+            let runnable = p.ctx.is_running()
+                || (p.ctx.status() == ExecStatus::Waiting && !p.arrival_queue.is_empty());
+            if runnable {
+                return false;
+            }
+        }
+        // Nothing can run: apply the same accounting `advance` would.
+        for &pid in self.core_proc.iter().flatten() {
+            let p = &mut self.procs[pid.index() - 1];
+            if p.frozen {
+                p.napped_cycles += cycles;
+            } else {
+                p.idle_cycles += cycles;
+            }
+        }
+        self.now += cycles;
+        true
     }
 }
 
@@ -1204,6 +1270,59 @@ mod tests {
         // The underlying counters kept their true values.
         os.advance(1);
         assert!(os.counters(pid).instructions >= clean.instructions);
+    }
+
+    #[test]
+    fn skip_idle_matches_advance_bit_for_bit() {
+        let run = |skip: bool| {
+            let mut os = Os::new(OsConfig::small());
+            let pid = os.spawn(&server("s"), 0);
+            os.set_load(pid, LoadSchedule::constant(50.0));
+            // Serve some queries so caches and counters hold real state.
+            os.advance(400_000);
+            os.set_load(pid, LoadSchedule::constant(0.0));
+            os.advance(100_000); // drain the queue
+            if skip {
+                assert!(os.skip_idle(2_000_000), "idle server must be skippable");
+            } else {
+                os.advance(2_000_000);
+            }
+            // Resume load after the idle span.
+            os.set_load(pid, LoadSchedule::constant(50.0));
+            os.advance(400_000);
+            (
+                os.now(),
+                os.counters(pid),
+                os.app_metric(pid, 0),
+                os.proc(pid).idle_cycles(),
+                os.proc(pid).napped_cycles(),
+                os.latency_stats(pid).map(|l| (l.p50, l.p99, l.count)),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn skip_idle_refuses_when_work_is_possible() {
+        // A batch spinner is always runnable.
+        let mut os = Os::new(OsConfig::small());
+        let pid = os.spawn(&spinner("a", 4), 0);
+        let before = os.now();
+        assert!(!os.skip_idle(1_000));
+        assert_eq!(os.now(), before);
+        // A loaded server with arrivals due over the span is not skippable.
+        let mut os = Os::new(OsConfig::small());
+        let pid2 = os.spawn(&server("s"), 0);
+        os.advance(1_000); // reach the Wait
+        os.set_load(pid2, LoadSchedule::constant(100.0));
+        assert!(!os.skip_idle(1_000_000));
+        // A frozen process accrues napped cycles across a skip.
+        os.set_load(pid2, LoadSchedule::constant(0.0));
+        os.set_frozen(pid2, true);
+        let napped = os.proc(pid2).napped_cycles();
+        assert!(os.skip_idle(10_000));
+        assert_eq!(os.proc(pid2).napped_cycles(), napped + 10_000);
+        let _ = pid;
     }
 
     #[test]
